@@ -1,0 +1,231 @@
+//! The Anomaly Detector tool (§4.2): inspects buffered data, flags
+//! abnormal telemetry or domain values with statistical tests, tags the
+//! offending messages and republishes them to the streaming hub so
+//! downstream services can react. Notably, this MCP tool requires **no LLM
+//! interaction** — the paper calls it out as an example of exactly that.
+
+use dataframe::DataFrame;
+use prov_model::{obj, TaskMessage, Value};
+use prov_stream::{topics, StreamingHub};
+
+/// Configuration for the detector.
+#[derive(Debug, Clone)]
+pub struct AnomalyConfig {
+    /// |z| threshold beyond which a value is anomalous.
+    pub z_threshold: f64,
+    /// Minimum sample size before testing a column.
+    pub min_samples: usize,
+    /// Numeric columns to inspect (empty = all numeric columns except
+    /// identifiers/timestamps).
+    pub columns: Vec<String>,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        Self {
+            z_threshold: 3.5,
+            min_samples: 8,
+            columns: Vec::new(),
+        }
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Task whose value is abnormal.
+    pub task_id: String,
+    /// Column holding the abnormal value.
+    pub column: String,
+    /// The abnormal value.
+    pub value: f64,
+    /// Its z-score against the column distribution.
+    pub z_score: f64,
+}
+
+/// Statistical anomaly detector over the in-memory context.
+#[derive(Debug, Default)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+}
+
+impl AnomalyDetector {
+    /// Detector with a config.
+    pub fn new(config: AnomalyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Columns skipped by default (identifiers and clocks are not load
+    /// metrics even though they are numeric).
+    fn skip_column(name: &str) -> bool {
+        name.ends_with("_id")
+            || name == "started_at"
+            || name == "ended_at"
+            || name.starts_with("telemetry_at") && name.contains("bytes")
+    }
+
+    /// Scan a frame for anomalies (z-score test per numeric column).
+    pub fn scan(&self, frame: &DataFrame) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        let Some(task_ids) = frame.column("task_id") else {
+            return out;
+        };
+        for name in frame.column_names() {
+            if !self.config.columns.is_empty() && !self.config.columns.iter().any(|c| c == name) {
+                continue;
+            }
+            if self.config.columns.is_empty() && Self::skip_column(name) {
+                continue;
+            }
+            let col = frame.column(name).expect("listed");
+            if !col.dtype().is_numeric() {
+                continue;
+            }
+            let values = col.values();
+            let nums: Vec<(usize, f64)> = values
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.as_f64().map(|f| (i, f)))
+                .collect();
+            if nums.len() < self.config.min_samples {
+                continue;
+            }
+            let n = nums.len() as f64;
+            let mean = nums.iter().map(|(_, f)| f).sum::<f64>() / n;
+            let var = nums.iter().map(|(_, f)| (f - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            let std = var.sqrt();
+            if std < 1e-12 {
+                continue;
+            }
+            for (row, value) in nums {
+                let z = (value - mean) / std;
+                if z.abs() >= self.config.z_threshold {
+                    out.push(Anomaly {
+                        task_id: task_ids
+                            .get(row)
+                            .and_then(Value::as_str)
+                            .unwrap_or("<unknown>")
+                            .to_string(),
+                        column: name.to_string(),
+                        value,
+                        z_score: z,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Scan, then tag + republish each anomalous message to the anomalies
+    /// topic (§4.2). Returns the detected anomalies.
+    pub fn scan_and_publish(
+        &self,
+        frame: &DataFrame,
+        recent: &[TaskMessage],
+        hub: &StreamingHub,
+    ) -> Vec<Anomaly> {
+        let anomalies = self.scan(frame);
+        for a in &anomalies {
+            if let Some(msg) = recent.iter().find(|m| m.task_id.as_str() == a.task_id) {
+                let tagged = msg.clone().with_tag(
+                    "anomaly",
+                    obj! {
+                        "metric" => a.column.as_str(),
+                        "value" => a.value,
+                        "z_score" => a.z_score,
+                        "detector" => "zscore",
+                    },
+                );
+                let _ = hub.publish(topics::ANOMALIES, tagged);
+            }
+        }
+        anomalies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::TaskMessageBuilder;
+
+    fn frame_with_outlier() -> (DataFrame, Vec<TaskMessage>) {
+        let mut msgs: Vec<TaskMessage> = (0..20)
+            .map(|i| {
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "step")
+                    .generates("energy", -155.0 + (i % 3) as f64 * 0.01)
+                    .span(i as f64, i as f64 + 1.0)
+                    .build()
+            })
+            .collect();
+        msgs.push(
+            TaskMessageBuilder::new("t-outlier", "wf", "step")
+                .generates("energy", 40.0) // wildly off
+                .span(21.0, 22.0)
+                .build(),
+        );
+        (DataFrame::from_messages(&msgs), msgs)
+    }
+
+    #[test]
+    fn detects_outlier() {
+        let (frame, _) = frame_with_outlier();
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let anomalies = det.scan(&frame);
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].task_id, "t-outlier");
+        assert_eq!(anomalies[0].column, "energy");
+        assert!(anomalies[0].z_score.abs() > 3.5);
+    }
+
+    #[test]
+    fn clean_data_has_no_anomalies() {
+        let msgs: Vec<TaskMessage> = (0..20)
+            .map(|i| {
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "step")
+                    .generates("energy", -155.0 + (i % 5) as f64 * 0.02)
+                    .build()
+            })
+            .collect();
+        let frame = DataFrame::from_messages(&msgs);
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        assert!(det.scan(&frame).is_empty());
+    }
+
+    #[test]
+    fn small_samples_skipped() {
+        let msgs: Vec<TaskMessage> = (0..3)
+            .map(|i| {
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "step")
+                    .generates("v", if i == 2 { 1e9 } else { 1.0 })
+                    .build()
+            })
+            .collect();
+        let frame = DataFrame::from_messages(&msgs);
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        assert!(det.scan(&frame).is_empty());
+    }
+
+    #[test]
+    fn publishes_tagged_messages() {
+        let (frame, msgs) = frame_with_outlier();
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe(topics::ANOMALIES);
+        let det = AnomalyDetector::new(AnomalyConfig::default());
+        let found = det.scan_and_publish(&frame, &msgs, &hub);
+        assert_eq!(found.len(), 1);
+        let published = sub.drain();
+        assert_eq!(published.len(), 1);
+        let tag = published[0].tags.get("anomaly").expect("tagged");
+        assert_eq!(tag.get("metric").and_then(Value::as_str), Some("energy"));
+    }
+
+    #[test]
+    fn column_allowlist_respected() {
+        let (frame, _) = frame_with_outlier();
+        let det = AnomalyDetector::new(AnomalyConfig {
+            columns: vec!["duration".to_string()],
+            ..AnomalyConfig::default()
+        });
+        assert!(det.scan(&frame).is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! The feedback-driven auto-fixer (§5.4 future work, implemented).
+//!
+//! "In the future, we envision replacing this manual flow with a
+//! feedback-driven 'auto-fixer' agent specialized in diagnosing query
+//! failures, proposing corrected versions, and automatically suggesting
+//! new guidelines." This module is that agent: it consumes the same
+//! artifacts the paper's GUI exposes to the human (the generated query
+//! code and the runtime error text), diagnoses the failure, rewrites the
+//! query, and generalizes the fix into a reusable session guideline —
+//! closing the loop between user feedback and prompt adaptation.
+//!
+//! The fixer is deliberately LLM-free: it is a transparent, rule-based
+//! repair pass (the same trade-off §3 discusses for rule-based
+//! evaluation), so every repair is auditable. The repaired query is
+//! re-executed by the caller; when the repair also produces a guideline,
+//! the guideline feeds every subsequent prompt, so the *LLM itself* stops
+//! making the mistake in later turns.
+
+/// What the fixer concluded about a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnosis {
+    /// The query referenced a column that does not exist; carries the
+    /// offending name and the schema column chosen as replacement.
+    UnknownColumn {
+        /// Column the LLM hallucinated.
+        missing: String,
+        /// Closest real column.
+        replacement: String,
+    },
+    /// The query did not parse; carries the repair description.
+    Syntax(String),
+    /// Failure understood but not mechanically fixable.
+    Unfixable(String),
+}
+
+/// A proposed repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixProposal {
+    /// The corrected query code, ready to re-execute.
+    pub fixed_code: String,
+    /// What was wrong.
+    pub diagnosis: Diagnosis,
+    /// A reusable guideline generalizing the fix, when the failure class
+    /// warrants one (fed into the session guidelines).
+    pub guideline: Option<String>,
+    /// One-line human-readable note (shown in the GUI next to the result).
+    pub note: String,
+}
+
+/// Hallucinated-field aliases observed in the evaluation (§5.2 names
+/// `node` and `execution_id`; the rest are the llm-sim error model's
+/// plausible-but-wrong fallbacks). Applied only when the real column is
+/// actually present in the schema.
+const HALLUCINATION_ALIASES: &[(&str, &str)] = &[
+    ("node", "hostname"),
+    ("execution_id", "task_id"),
+    ("start_time", "started_at"),
+    ("end_time", "ended_at"),
+    ("runtime", "duration"),
+    ("cpu_usage", "cpu_percent_end"),
+    ("gpu_usage", "gpu_percent_end"),
+    ("memory_usage", "mem_used_mb_end"),
+    ("parent_tasks", "depends_on"),
+    ("bond", "bond_id"),
+    ("bond_energy", "bd_energy"),
+    ("enthalpy_value", "bd_enthalpy"),
+    ("free_energy", "bd_free_energy"),
+    ("num_atoms", "n_atoms"),
+];
+
+/// Levenshtein edit distance (iterative two-row DP).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The rule-based auto-fixer agent.
+#[derive(Debug, Clone, Default)]
+pub struct AutoFixer;
+
+impl AutoFixer {
+    /// Fresh fixer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Pick the closest real column for a hallucinated one: exact alias
+    /// first, then normalized containment (`meltpool` ⊂ `melt_pool_temp_c`),
+    /// then bounded edit distance.
+    pub fn nearest_column(&self, missing: &str, columns: &[String]) -> Option<String> {
+        let has = |c: &str| columns.iter().any(|x| x == c);
+        for (bad, good) in HALLUCINATION_ALIASES {
+            if missing == *bad && has(good) {
+                return Some((*good).to_string());
+            }
+        }
+        let norm = |s: &str| s.to_lowercase().replace(['_', '-', '.'], "");
+        let m = norm(missing);
+        // Containment either way, on normalized names.
+        let mut contained: Vec<&String> = columns
+            .iter()
+            .filter(|c| {
+                let n = norm(c);
+                (n.contains(&m) || m.contains(&n)) && !m.is_empty() && n.len() > 2
+            })
+            .collect();
+        contained.sort_by_key(|c| c.len());
+        if let Some(c) = contained.first() {
+            return Some((*c).to_string());
+        }
+        // Edit distance bounded by half the name length (prevents wild
+        // rewrites like `frags` → `flags` on short names being too eager).
+        let budget = (missing.chars().count() / 2).max(2);
+        columns
+            .iter()
+            .map(|c| (edit_distance(&m, &norm(c)), c))
+            .filter(|(d, _)| *d <= budget)
+            .min_by_key(|(d, c)| (*d, c.len()))
+            .map(|(_, c)| c.clone())
+    }
+
+    /// Diagnose a failure and propose a repair, given the generated code,
+    /// the runtime error text (exactly what the GUI shows), and the live
+    /// schema columns.
+    pub fn propose(&self, code: &str, error: &str, columns: &[String]) -> Option<FixProposal> {
+        if let Some(missing) = extract_unknown_column(error) {
+            let replacement = self.nearest_column(&missing, columns)?;
+            if replacement == missing {
+                return None;
+            }
+            // The generation may quote columns either way (LLaMA favors
+            // single quotes); replace whichever form appears.
+            let mut fixed_code = code.to_string();
+            let mut replaced = false;
+            for (bad, good) in [
+                (format!("\"{missing}\""), format!("\"{replacement}\"")),
+                (format!("'{missing}'"), format!("'{replacement}'")),
+            ] {
+                if fixed_code.contains(&bad) {
+                    fixed_code = fixed_code.replace(&bad, &good);
+                    replaced = true;
+                }
+            }
+            if !replaced {
+                return None;
+            }
+            return Some(FixProposal {
+                fixed_code,
+                guideline: Some(format!(
+                    "use the field {replacement} (there is no field named {missing})"
+                )),
+                note: format!(
+                    "auto-fixed: replaced non-existent column '{missing}' with '{replacement}'"
+                ),
+                diagnosis: Diagnosis::UnknownColumn {
+                    missing,
+                    replacement,
+                },
+            });
+        }
+        if error.contains("parse") {
+            if let Some(p) = self.extract_code(code) {
+                return Some(p);
+            }
+            return self.repair_syntax(code);
+        }
+        None
+    }
+
+    /// Pull the actual query out of a chatty response: fenced markdown
+    /// blocks first, then the first line that looks like a DataFrame
+    /// expression. Weak models wrap code in prose despite the output-format
+    /// instructions; the extraction generalizes into a reusable guideline.
+    fn extract_code(&self, code: &str) -> Option<FixProposal> {
+        let extracted = if let Some(start) = code.find("```") {
+            let after = &code[start + 3..];
+            let body_start = after.find('\n').map(|i| i + 1).unwrap_or(0);
+            let body = &after[body_start..];
+            let end = body.find("```")?;
+            Some(body[..end].trim().to_string())
+        } else {
+            code.lines()
+                .map(str::trim)
+                .find(|l| {
+                    l.starts_with("df") || l.starts_with("len(") || l.starts_with("(df")
+                })
+                .map(str::to_string)
+        }?;
+        if extracted.is_empty() || extracted == code.trim() {
+            return None;
+        }
+        Some(FixProposal {
+            fixed_code: extracted,
+            guideline: Some(
+                "return only a single pandas expression, with no prose or markdown around it"
+                    .to_string(),
+            ),
+            note: "auto-fixed: extracted the query from a prose-wrapped response".to_string(),
+            diagnosis: Diagnosis::Syntax("extracted code from prose".to_string()),
+        })
+    }
+
+    /// Mechanical syntax repairs: unbalanced parentheses/brackets and
+    /// dangling quotes. Anything beyond that is the LLM's to regenerate.
+    fn repair_syntax(&self, code: &str) -> Option<FixProposal> {
+        let mut fixed = code.trim().to_string();
+        let mut repairs: Vec<&str> = Vec::new();
+        let quotes = fixed.matches('"').count();
+        if quotes % 2 == 1 {
+            fixed.push('"');
+            repairs.push("closed a dangling string literal");
+        }
+        let open_b = fixed.matches('[').count();
+        let close_b = fixed.matches(']').count();
+        if open_b > close_b {
+            fixed.push_str(&"]".repeat(open_b - close_b));
+            repairs.push("closed unbalanced brackets");
+        }
+        let open_p = fixed.matches('(').count();
+        let close_p = fixed.matches(')').count();
+        if open_p > close_p {
+            fixed.push_str(&")".repeat(open_p - close_p));
+            repairs.push("closed unbalanced parentheses");
+        }
+        if repairs.is_empty() || fixed == code {
+            return None;
+        }
+        let what = repairs.join(", ");
+        Some(FixProposal {
+            fixed_code: fixed,
+            guideline: None,
+            note: format!("auto-fixed: {what}"),
+            diagnosis: Diagnosis::Syntax(what.to_string()),
+        })
+    }
+}
+
+/// Pull the column name out of a `FrameError::UnknownColumn` rendering
+/// (`unknown column 'x'; available: …`).
+fn extract_unknown_column(error: &str) -> Option<String> {
+    let idx = error.find("unknown column '")?;
+    let rest = &error[idx + "unknown column '".len()..];
+    let end = rest.find('\'')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<String> {
+        [
+            "task_id",
+            "activity_id",
+            "hostname",
+            "started_at",
+            "ended_at",
+            "duration",
+            "cpu_percent_end",
+            "melt_pool_temp_c",
+            "bd_enthalpy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("hostname", "hostname"), 0);
+    }
+
+    #[test]
+    fn alias_hallucinations_resolve() {
+        let f = AutoFixer::new();
+        assert_eq!(
+            f.nearest_column("node", &schema()).as_deref(),
+            Some("hostname")
+        );
+        assert_eq!(
+            f.nearest_column("execution_id", &schema()).as_deref(),
+            Some("task_id")
+        );
+        assert_eq!(
+            f.nearest_column("cpu_usage", &schema()).as_deref(),
+            Some("cpu_percent_end")
+        );
+    }
+
+    #[test]
+    fn containment_and_distance_fallbacks() {
+        let f = AutoFixer::new();
+        // Containment on normalized names.
+        assert_eq!(
+            f.nearest_column("meltpooltemp", &schema()).as_deref(),
+            Some("melt_pool_temp_c")
+        );
+        // Typo within edit budget.
+        assert_eq!(
+            f.nearest_column("duratoin", &schema()).as_deref(),
+            Some("duration")
+        );
+        // Nothing plausible.
+        assert_eq!(f.nearest_column("xyzzy_quux", &schema()), None);
+    }
+
+    #[test]
+    fn proposes_column_fix_with_guideline() {
+        let f = AutoFixer::new();
+        let code = r#"df.groupby("node")["duration"].mean()"#;
+        let err = "unknown column 'node'; available: [\"hostname\", ...]";
+        let p = f.propose(code, err, &schema()).expect("fix proposed");
+        assert_eq!(p.fixed_code, r#"df.groupby("hostname")["duration"].mean()"#);
+        assert!(p.guideline.as_deref().unwrap().contains("hostname"));
+        assert!(matches!(p.diagnosis, Diagnosis::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn no_fix_when_column_is_unmatchable() {
+        let f = AutoFixer::new();
+        let code = r#"df["qqq_zzz"].mean()"#;
+        let err = "unknown column 'qqq_zzz'; available: []";
+        assert!(f.propose(code, err, &schema()).is_none());
+    }
+
+    #[test]
+    fn repairs_unbalanced_syntax() {
+        let f = AutoFixer::new();
+        let p = f
+            .propose(
+                r#"len(df[df["status"] == "FINISHED"]"#,
+                "query parse error: unexpected end of input",
+                &schema(),
+            )
+            .expect("syntax repair");
+        assert_eq!(p.fixed_code, r#"len(df[df["status"] == "FINISHED"])"#);
+        assert!(p.guideline.is_none());
+        assert!(matches!(p.diagnosis, Diagnosis::Syntax(_)));
+    }
+
+    #[test]
+    fn repairs_dangling_quote_and_bracket() {
+        let f = AutoFixer::new();
+        let p = f
+            .propose(
+                r#"df["duration"].mean("#,
+                "query parse error: unexpected end of input",
+                &schema(),
+            )
+            .expect("repair");
+        assert!(p.fixed_code.ends_with(')'));
+        let p2 = f
+            .propose(
+                r#"df["duration"#,
+                "query parse error: unterminated string",
+                &schema(),
+            )
+            .expect("repair");
+        assert_eq!(p2.fixed_code, r#"df["duration"]"#);
+    }
+
+    #[test]
+    fn prose_is_not_repairable() {
+        let f = AutoFixer::new();
+        assert!(f
+            .propose("SELECT 1", "query parse error: expected 'df'", &schema())
+            .is_none());
+    }
+
+    #[test]
+    fn extracts_fenced_code_from_chatty_response() {
+        let f = AutoFixer::new();
+        let chatty = "Sure! You can answer that with:\n```python\ndf['duration'].mean()\n```\nHope that helps.";
+        let p = f
+            .propose(chatty, "query parse error: unexpected character '!'", &schema())
+            .expect("extraction");
+        assert_eq!(p.fixed_code, "df['duration'].mean()");
+        assert!(p.guideline.as_deref().unwrap().contains("single pandas expression"));
+    }
+
+    #[test]
+    fn extracts_bare_df_line_without_fences() {
+        let f = AutoFixer::new();
+        let chatty = "Here is the query you need:\ndf[\"duration\"].max()\nLet me know!";
+        let p = f
+            .propose(chatty, "query parse error: unexpected token", &schema())
+            .expect("extraction");
+        assert_eq!(p.fixed_code, "df[\"duration\"].max()");
+    }
+
+    #[test]
+    fn single_quoted_columns_repairable() {
+        let f = AutoFixer::new();
+        let p = f
+            .propose(
+                "df['node'].value_counts()",
+                "unknown column 'node'; available: [...]",
+                &schema(),
+            )
+            .expect("fix");
+        assert_eq!(p.fixed_code, "df['hostname'].value_counts()");
+    }
+}

@@ -1,0 +1,293 @@
+//! The Context Manager (§4.2): subscribes to the streaming hub and keeps
+//! the agent's in-memory structures current — the buffer of recent task
+//! messages (a DataFrame), the dynamic dataflow schema, and the guidelines.
+
+use crate::guidelines::Guidelines;
+use crate::schema::DynamicDataflowSchema;
+use dataframe::DataFrame;
+use parking_lot::RwLock;
+use prov_model::TaskMessage;
+use prov_stream::{StreamingHub, Subscription};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the in-memory context.
+#[derive(Debug, Clone)]
+pub struct ContextConfig {
+    /// Maximum buffered task rows; older rows are evicted FIFO.
+    pub max_rows: usize,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        Self { max_rows: 100_000 }
+    }
+}
+
+struct Inner {
+    messages: VecDeque<TaskMessage>,
+    frame: DataFrame,
+    schema: DynamicDataflowSchema,
+    /// Frame rebuild needed (after eviction).
+    dirty: bool,
+}
+
+/// Shared handle to the agent's live context.
+pub struct ContextManager {
+    config: ContextConfig,
+    inner: RwLock<Inner>,
+    /// Session guidelines.
+    pub guidelines: Guidelines,
+    ingested: AtomicU64,
+}
+
+impl ContextManager {
+    /// Empty context.
+    pub fn new(config: ContextConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            inner: RwLock::new(Inner {
+                messages: VecDeque::new(),
+                frame: DataFrame::new(),
+                schema: DynamicDataflowSchema::new(),
+                dirty: false,
+            }),
+            guidelines: Guidelines::new(),
+            ingested: AtomicU64::new(0),
+        })
+    }
+
+    /// Empty context with defaults.
+    pub fn default_sized() -> Arc<Self> {
+        Self::new(ContextConfig::default())
+    }
+
+    /// Fold one message into buffer + schema.
+    pub fn ingest(&self, msg: TaskMessage) {
+        let mut inner = self.inner.write();
+        inner.schema.observe(&msg);
+        if inner.messages.len() >= self.config.max_rows {
+            inner.messages.pop_front();
+            inner.dirty = true;
+        }
+        if inner.dirty {
+            inner.messages.push_back(msg);
+            let msgs: Vec<TaskMessage> = inner.messages.iter().cloned().collect();
+            inner.frame = DataFrame::from_messages(&msgs);
+            inner.dirty = false;
+        } else {
+            inner.frame.push_message(&msg);
+            inner.messages.push_back(msg);
+        }
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ingest many messages.
+    pub fn ingest_all<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) {
+        for m in msgs {
+            self.ingest(m.clone());
+        }
+    }
+
+    /// Messages ingested since start.
+    pub fn ingested(&self) -> u64 {
+        self.ingested.load(Ordering::Relaxed)
+    }
+
+    /// Number of rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.read().frame.len()
+    }
+
+    /// True when no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of the current in-memory frame (the query substrate).
+    pub fn frame(&self) -> DataFrame {
+        self.inner.read().frame.clone()
+    }
+
+    /// Clone of the current schema.
+    pub fn schema(&self) -> DynamicDataflowSchema {
+        self.inner.read().schema.clone()
+    }
+
+    /// Current column names (ground truth for judges).
+    pub fn columns(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .frame
+            .column_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// Rendered schema prompt section.
+    pub fn render_schema_section(&self) -> String {
+        let inner = self.inner.read();
+        inner.schema.render_schema(&inner.frame)
+    }
+
+    /// Rendered domain-values prompt section.
+    pub fn render_values_section(&self) -> String {
+        let inner = self.inner.read();
+        inner.schema.render_values(&inner.frame)
+    }
+
+    /// The most recent `n` messages (for the context monitor).
+    pub fn recent(&self, n: usize) -> Vec<TaskMessage> {
+        let inner = self.inner.read();
+        inner
+            .messages
+            .iter()
+            .rev()
+            .take(n)
+            .rev()
+            .cloned()
+            .collect()
+    }
+}
+
+/// A background feeder pumping a hub subscription into a context manager.
+pub struct ContextFeeder {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ContextFeeder {
+    /// Subscribe `ctx` to the hub's task topic and start feeding.
+    pub fn start(hub: &StreamingHub, ctx: Arc<ContextManager>) -> ContextFeeder {
+        Self::start_on(hub.subscribe_tasks(), ctx)
+    }
+
+    /// Feed from an explicit subscription (any topic).
+    pub fn start_on(sub: Subscription, ctx: Arc<ContextManager>) -> ContextFeeder {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("context-feeder".into())
+            .spawn(move || loop {
+                match sub.recv_timeout(Duration::from_millis(20)) {
+                    Ok(msg) => ctx.ingest((*msg).clone()),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if stop2.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            })
+            .expect("spawn context feeder");
+        ContextFeeder {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop and join.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ContextFeeder {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{obj, TaskMessageBuilder};
+
+    fn msg(i: usize) -> TaskMessage {
+        TaskMessageBuilder::new(format!("t{i}"), "wf", "act")
+            .uses("x", i as i64)
+            .generates("y", (i * 2) as i64)
+            .span(i as f64, i as f64 + 1.0)
+            .build()
+    }
+
+    #[test]
+    fn ingest_builds_frame_and_schema() {
+        let ctx = ContextManager::default_sized();
+        ctx.ingest_all(&(0..10).map(msg).collect::<Vec<_>>());
+        assert_eq!(ctx.len(), 10);
+        assert!(ctx.columns().contains(&"y".to_string()));
+        assert_eq!(ctx.schema().activity_count(), 1);
+        assert_eq!(ctx.ingested(), 10);
+    }
+
+    #[test]
+    fn eviction_keeps_recent_rows() {
+        let ctx = ContextManager::new(ContextConfig { max_rows: 5 });
+        ctx.ingest_all(&(0..12).map(msg).collect::<Vec<_>>());
+        assert_eq!(ctx.len(), 5);
+        let frame = ctx.frame();
+        let ids: Vec<String> = frame
+            .column("task_id")
+            .unwrap()
+            .values()
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        assert_eq!(ids, vec!["t7", "t8", "t9", "t10", "t11"]);
+        // Schema still remembers everything it observed.
+        assert_eq!(ctx.schema().activity_count(), 1);
+    }
+
+    #[test]
+    fn feeder_streams_from_hub() {
+        let hub = StreamingHub::in_memory();
+        let ctx = ContextManager::default_sized();
+        let feeder = ContextFeeder::start(&hub, ctx.clone());
+        for i in 0..25 {
+            hub.publish_task(msg(i)).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ctx.len() < 25 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        feeder.stop();
+        assert_eq!(ctx.len(), 25);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let ctx = ContextManager::default_sized();
+        ctx.ingest_all(&(0..10).map(msg).collect::<Vec<_>>());
+        let recent = ctx.recent(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[2].task_id.as_str(), "t9");
+    }
+
+    #[test]
+    fn schema_sections_render() {
+        let ctx = ContextManager::default_sized();
+        ctx.ingest(
+            TaskMessageBuilder::new("t", "wf", "run_dft")
+                .uses("frags", obj! {"label" => "C-H_1"})
+                .generates("bd_energy", 98.6)
+                .build(),
+        );
+        let schema = ctx.render_schema_section();
+        assert!(schema.contains("run_dft"));
+        assert!(schema.contains("bd_energy"));
+        let values = ctx.render_values_section();
+        assert!(values.contains("C-H_1"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Live monitoring dashboard — the Grafana consumer of Fig 2's Query API,
+//! rendered in the terminal.
+//!
+//! The reference architecture lets users consume provenance
+//! "programmatically (e.g., via Jupyter), through dashboards such as
+//! Grafana, or … via natural language". This module is the dashboard
+//! path: a self-refreshing status board computed from the same in-memory
+//! context the agent queries — per-activity progress, duration statistics,
+//! telemetry sparklines, host placement, and the most recent anomaly tags.
+
+use crate::anomaly::Anomaly;
+use crate::context::ContextManager;
+use prov_model::{TaskMessage, TaskStatus};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated per-activity row of the dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityRow {
+    /// Activity id.
+    pub activity: String,
+    /// Finished task count.
+    pub finished: usize,
+    /// Running task count.
+    pub running: usize,
+    /// Errored task count.
+    pub errors: usize,
+    /// Mean duration (s) over finished tasks.
+    pub mean_duration: f64,
+    /// Max duration (s).
+    pub max_duration: f64,
+    /// Mean end-of-task CPU percent.
+    pub mean_cpu: f64,
+}
+
+/// A snapshot of everything the board displays.
+#[derive(Debug, Clone, Default)]
+pub struct DashboardSnapshot {
+    /// Total tasks in the buffer.
+    pub total_tasks: usize,
+    /// Distinct workflow executions observed.
+    pub workflows: usize,
+    /// Distinct hosts observed.
+    pub hosts: usize,
+    /// Whole-buffer time span (s).
+    pub span_seconds: f64,
+    /// Per-activity aggregates in name order.
+    pub activities: Vec<ActivityRow>,
+    /// CPU series (end-of-task, buffer order) for the sparkline.
+    pub cpu_series: Vec<f64>,
+    /// Recent anomalies (task, metric, value, z).
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// The dashboard: computes [`DashboardSnapshot`]s from a context and
+/// renders them as a fixed-width text board.
+pub struct Dashboard {
+    /// How many sparkline buckets to render.
+    pub sparkline_width: usize,
+    /// How many anomaly lines to keep.
+    pub max_anomalies: usize,
+}
+
+impl Default for Dashboard {
+    fn default() -> Self {
+        Self {
+            sparkline_width: 32,
+            max_anomalies: 5,
+        }
+    }
+}
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Map a series onto a fixed-width block-character sparkline.
+pub fn sparkline(series: &[f64], width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let bucket = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < series.len() && out.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(series.len()).max(start + 1);
+        let mean = series[start..end].iter().sum::<f64>() / (end - start) as f64;
+        let t = if hi > lo { (mean - lo) / (hi - lo) } else { 0.5 };
+        let idx = ((t * (SPARKS.len() - 1) as f64).round() as usize).min(SPARKS.len() - 1);
+        out.push(SPARKS[idx]);
+        i += bucket;
+    }
+    out
+}
+
+impl Dashboard {
+    /// Dashboard with default layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute a snapshot from the live context (plus optional anomaly
+    /// feed, typically the anomaly detector's latest scan).
+    pub fn snapshot(&self, ctx: &ContextManager, anomalies: &[Anomaly]) -> DashboardSnapshot {
+        let msgs = ctx.recent(ctx.len());
+        self.snapshot_from(&msgs, anomalies)
+    }
+
+    /// Compute a snapshot from raw messages.
+    pub fn snapshot_from(
+        &self,
+        msgs: &[TaskMessage],
+        anomalies: &[Anomaly],
+    ) -> DashboardSnapshot {
+        let mut per: BTreeMap<&str, (Vec<f64>, Vec<f64>, usize, usize, usize)> = BTreeMap::new();
+        let mut workflows: Vec<&str> = Vec::new();
+        let mut hosts: Vec<&str> = Vec::new();
+        let mut cpu_series = Vec::with_capacity(msgs.len());
+        let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for m in msgs {
+            let e = per.entry(m.activity_id.as_str()).or_default();
+            match m.status {
+                TaskStatus::Finished => {
+                    e.2 += 1;
+                    e.0.push(m.duration());
+                }
+                // Pending (prospective) tasks count as in-flight.
+                TaskStatus::Running | TaskStatus::Pending => e.3 += 1,
+                TaskStatus::Error => e.4 += 1,
+            }
+            if let Some(t) = &m.telemetry_at_end {
+                e.1.push(t.cpu_mean());
+                cpu_series.push(t.cpu_mean());
+            }
+            if !workflows.contains(&m.workflow_id.as_str()) {
+                workflows.push(m.workflow_id.as_str());
+            }
+            if !hosts.contains(&m.hostname.as_str()) {
+                hosts.push(m.hostname.as_str());
+            }
+            t_min = t_min.min(m.started_at);
+            t_max = t_max.max(m.ended_at);
+        }
+        let activities = per
+            .into_iter()
+            .map(|(activity, (durs, cpus, finished, running, errors))| {
+                let mean = |v: &[f64]| {
+                    if v.is_empty() {
+                        0.0
+                    } else {
+                        v.iter().sum::<f64>() / v.len() as f64
+                    }
+                };
+                ActivityRow {
+                    activity: activity.to_string(),
+                    finished,
+                    running,
+                    errors,
+                    mean_duration: mean(&durs),
+                    max_duration: durs.iter().copied().fold(0.0, f64::max),
+                    mean_cpu: mean(&cpus),
+                }
+            })
+            .collect();
+        let mut kept: Vec<Anomaly> = anomalies.to_vec();
+        kept.truncate(self.max_anomalies);
+        DashboardSnapshot {
+            total_tasks: msgs.len(),
+            workflows: workflows.len(),
+            hosts: hosts.len(),
+            span_seconds: if t_max > t_min { t_max - t_min } else { 0.0 },
+            activities,
+            cpu_series,
+            anomalies: kept,
+        }
+    }
+
+    /// Render the board as fixed-width text.
+    pub fn render(&self, snap: &DashboardSnapshot) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "┌─ provenance monitor ─ {} tasks · {} workflows · {} hosts · span {:.1}s",
+            snap.total_tasks, snap.workflows, snap.hosts, snap.span_seconds
+        );
+        let _ = writeln!(
+            out,
+            "│ {:<22} {:>6} {:>6} {:>5} {:>9} {:>9} {:>7}",
+            "activity", "done", "run", "err", "mean s", "max s", "cpu %"
+        );
+        for row in &snap.activities {
+            let _ = writeln!(
+                out,
+                "│ {:<22} {:>6} {:>6} {:>5} {:>9.3} {:>9.3} {:>7.1}",
+                truncate(&row.activity, 22),
+                row.finished,
+                row.running,
+                row.errors,
+                row.mean_duration,
+                row.max_duration,
+                row.mean_cpu
+            );
+        }
+        if !snap.cpu_series.is_empty() {
+            let _ = writeln!(
+                out,
+                "│ cpu  {}",
+                sparkline(&snap.cpu_series, self.sparkline_width)
+            );
+        }
+        if snap.anomalies.is_empty() {
+            let _ = writeln!(out, "│ anomalies: none");
+        } else {
+            let _ = writeln!(out, "│ anomalies ({}):", snap.anomalies.len());
+            for a in &snap.anomalies {
+                let _ = writeln!(
+                    out,
+                    "│   task {} {} = {:.3} (z = {:.2})",
+                    a.task_id, a.column, a.value, a.z_score
+                );
+            }
+        }
+        out.push_str("└─");
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let mut t: String = s.chars().take(n.saturating_sub(1)).collect();
+        t.push('…');
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{obj, TaskMessageBuilder, TelemetrySynth};
+
+    fn messages() -> Vec<TaskMessage> {
+        (0..20)
+            .map(|i| {
+                let tel = TelemetrySynth::frontier(7).snapshot(i, 1, 0.5);
+                TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    format!("wf-{}", i % 2),
+                    if i % 3 == 0 { "laser_scan" } else { "monitor_melt_pool" },
+                )
+                .span(i as f64, i as f64 + 1.0 + (i % 4) as f64 * 0.5)
+                .host(format!("frontier0008{}", i % 3))
+                .telemetry(tel.clone(), tel)
+                .status(if i == 19 {
+                    prov_model::TaskStatus::Error
+                } else {
+                    prov_model::TaskStatus::Finished
+                })
+                .generates("v", i as f64)
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_aggregates_per_activity() {
+        let d = Dashboard::new();
+        let snap = d.snapshot_from(&messages(), &[]);
+        assert_eq!(snap.total_tasks, 20);
+        assert_eq!(snap.workflows, 2);
+        assert_eq!(snap.hosts, 3);
+        assert!(snap.span_seconds > 0.0);
+        assert_eq!(snap.activities.len(), 2);
+        let scan = snap
+            .activities
+            .iter()
+            .find(|r| r.activity == "laser_scan")
+            .unwrap();
+        assert_eq!(scan.finished, 7); // i = 0,3,6,9,12,15,18
+        assert_eq!(scan.errors, 0);
+        let monitor = snap
+            .activities
+            .iter()
+            .find(|r| r.activity == "monitor_melt_pool")
+            .unwrap();
+        assert_eq!(monitor.errors, 1); // i = 19
+        assert!(monitor.mean_duration > 0.0);
+        assert!(monitor.max_duration >= monitor.mean_duration);
+    }
+
+    #[test]
+    fn render_contains_every_section() {
+        let d = Dashboard::new();
+        let anomaly = Anomaly {
+            task_id: "t19".into(),
+            column: "duration".into(),
+            value: 99.0,
+            z_score: 4.2,
+        };
+        let text = d.render(&d.snapshot_from(&messages(), &[anomaly]));
+        assert!(text.contains("provenance monitor"));
+        assert!(text.contains("laser_scan"));
+        assert!(text.contains("monitor_melt_pool"));
+        assert!(text.contains("cpu  "));
+        assert!(text.contains("anomalies (1):"));
+        assert!(text.contains("z = 4.20"));
+    }
+
+    #[test]
+    fn render_handles_empty_context() {
+        let d = Dashboard::new();
+        let text = d.render(&d.snapshot_from(&[], &[]));
+        assert!(text.contains("0 tasks"));
+        assert!(text.contains("anomalies: none"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[5.0; 40], 8);
+        assert_eq!(flat.chars().count(), 8);
+        // Monotone ramp: first bucket must be the lowest glyph, the last
+        // the highest.
+        let ramp: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let s = sparkline(&ramp, 8);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.first(), Some(&SPARKS[0]));
+        assert_eq!(chars.last(), Some(&SPARKS[7]));
+        // Never exceeds the requested width.
+        assert!(sparkline(&ramp, 5).chars().count() <= 5);
+    }
+
+    #[test]
+    fn anomalies_capped() {
+        let d = Dashboard {
+            max_anomalies: 2,
+            ..Dashboard::default()
+        };
+        let anomalies: Vec<Anomaly> = (0..5)
+            .map(|i| Anomaly {
+                task_id: format!("t{i}"),
+                column: "v".into(),
+                value: i as f64,
+                z_score: 5.0,
+            })
+            .collect();
+        let snap = d.snapshot_from(&messages(), &anomalies);
+        assert_eq!(snap.anomalies.len(), 2);
+    }
+
+    #[test]
+    fn long_activity_names_truncate() {
+        let msg = TaskMessageBuilder::new("t", "wf", "a_very_long_activity_name_indeed_yes")
+            .generates("v", obj! {"x" => 1})
+            .span(0.0, 1.0)
+            .build();
+        let d = Dashboard::new();
+        let text = d.render(&d.snapshot_from(&[msg], &[]));
+        assert!(text.contains('…'));
+    }
+}

@@ -1,0 +1,151 @@
+//! Query guidelines (§4.2): "a dynamic and adaptable set combining
+//! domain-agnostic with user-defined instructions that steer the LLM when
+//! generating structured queries."
+//!
+//! User-supplied guidelines are "told in the internal prompt to override
+//! any other conflicting guideline stated earlier": we render them *before*
+//! the static set, and the simulated models resolve conventions by first
+//! match, so later-session guidance wins.
+
+use llm_sim::markers;
+use parking_lot::RwLock;
+
+/// Domain-agnostic default guidelines, iteratively refined on the
+/// synthetic workflow (§5.4 "our initial system used a static set of query
+/// guidelines"). Each follows the machine-readable convention shapes the
+/// prompt contract defines, with enough prose to earn its token budget.
+pub const STATIC_GUIDELINES: &[&str] = &[
+    "For time ranges and questions about when a task started, use the column started_at, which holds seconds since the Unix epoch; never compare identifiers to reason about time.",
+    "For completion times, use the column ended_at rather than any identifier ordering, and remember that ended_at minus started_at is already materialized as the duration column.",
+    "For CPU usage, use the column cpu_percent_end, the mean per-core utilization sampled when the task finished; cpu_percent_start exists but end-of-task load answers most monitoring questions.",
+    "For GPU usage, use the column gpu_percent_end, averaged across the node's GPUs at task end; nodes without accelerators report an empty sample.",
+    "For memory, use the column mem_used_mb_end, the resident set size in megabytes at task end.",
+    "For task duration or how long something took, use the column duration, which is measured in seconds.",
+    "For host or node placement questions, use the column hostname; match partial node names with str.contains rather than equality because hostnames are fully qualified.",
+    "For failed, use the value ERROR. For finished, use the value FINISHED. The status column only ever holds PENDING, RUNNING, FINISHED, or ERROR.",
+    "When asked for the highest, slowest, or largest of something, sort descending or use idxmax; when asked for a single answer, return exactly one row or one scalar, not a whole table.",
+    "For counting questions, wrap the filtered frame in len(...) so the result is a single number rather than a listing of rows.",
+    "When grouping, group by the column that names the category in the question (activity_id for per-activity, hostname for per-host, workflow_id for per-run) and aggregate only the requested value column.",
+    "Prefer concise single-expression queries on df; do not explain the code, do not import anything, and do not invent column names that are absent from the schema.",
+];
+
+/// Thread-safe guideline store.
+#[derive(Default)]
+pub struct Guidelines {
+    user: RwLock<Vec<String>>,
+}
+
+impl Guidelines {
+    /// Store with the static defaults only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a user guideline for the current session (§4.2: stored in the
+    /// agent's overall context and incorporated into future prompts).
+    ///
+    /// Free-text like "use the field lr to filter learning rates" is
+    /// normalized into the machine-readable convention shape.
+    pub fn add_user(&self, text: &str) {
+        let normalized = normalize_user_guideline(text);
+        self.user.write().push(normalized);
+    }
+
+    /// Number of user-supplied guidelines this session.
+    pub fn user_count(&self) -> usize {
+        self.user.read().len()
+    }
+
+    /// All guidelines in precedence order (user-defined first so they
+    /// override conflicting static conventions).
+    pub fn all(&self) -> Vec<String> {
+        let mut out = self.user.read().clone();
+        out.extend(STATIC_GUIDELINES.iter().map(|s| s.to_string()));
+        out
+    }
+
+    /// Render the guidelines prompt section.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(markers::GUIDELINES);
+        out.push('\n');
+        for g in self.all() {
+            out.push_str("- ");
+            out.push_str(&g);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Normalize "use the field lr to filter learning rates" into
+/// "For learning rates, use the column lr." so the resolver can apply it.
+fn normalize_user_guideline(text: &str) -> String {
+    let t = text.trim().trim_end_matches('.');
+    let lower = t.to_lowercase();
+    for verb in ["use the field ", "use the column "] {
+        if let Some(rest) = lower.strip_prefix(verb) {
+            // "<col> to filter <phrase>" | "<col> for <phrase>"
+            let original_rest = &t[verb.len()..];
+            for sep in [" to filter ", " to sort by ", " for ", " when asked about "] {
+                if let Some(idx) = rest.find(sep) {
+                    let col = original_rest[..idx].trim();
+                    let phrase = original_rest[idx + sep.len()..].trim();
+                    if !col.is_empty() && !phrase.is_empty() {
+                        return format!("For {phrase}, use the column {col}.");
+                    }
+                }
+            }
+        }
+    }
+    format!("{t}.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llm_sim::PromptSections;
+
+    #[test]
+    fn static_set_renders_machine_readably() {
+        let g = Guidelines::new();
+        let sections = PromptSections::parse(&g.render());
+        assert_eq!(sections.guideline_count, STATIC_GUIDELINES.len());
+        assert!(sections
+            .guideline_mappings
+            .iter()
+            .any(|(p, c)| p.contains("time") && c == "started_at"));
+        assert!(sections
+            .guideline_literals
+            .iter()
+            .any(|(p, l)| p.contains("failed") && l == "ERROR"));
+    }
+
+    #[test]
+    fn user_guideline_normalization() {
+        assert_eq!(
+            normalize_user_guideline("use the field lr to filter learning rates"),
+            "For learning rates, use the column lr."
+        );
+        assert_eq!(
+            normalize_user_guideline("Use the column bd_energy for bond strength"),
+            "For bond strength, use the column bd_energy."
+        );
+        assert_eq!(
+            normalize_user_guideline("Always answer in kcal/mol"),
+            "Always answer in kcal/mol."
+        );
+    }
+
+    #[test]
+    fn user_guidelines_take_precedence() {
+        let g = Guidelines::new();
+        g.add_user("use the field lr to filter learning rates");
+        let all = g.all();
+        assert!(all[0].contains("lr"));
+        assert_eq!(g.user_count(), 1);
+        // The rendered section parses with the user mapping first.
+        let sections = PromptSections::parse(&g.render());
+        assert_eq!(sections.guideline_mappings[0].1, "lr");
+    }
+}

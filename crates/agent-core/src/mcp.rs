@@ -1,0 +1,286 @@
+//! A minimal Model Context Protocol (MCP) server surface (§2.2, §4.1).
+//!
+//! "Adopting MCP ensures interoperability with other MCP-compliant agents
+//! and systems." This module exposes the agent's tools, prompts and
+//! resources through JSON-RPC-shaped envelopes — the subset of MCP the
+//! architecture actually uses (tools / prompts / resources / context).
+
+use crate::prompt::RagStrategy;
+use crate::tools::{ToolContext, ToolRegistry};
+use prov_model::{obj, Map, Value};
+
+/// Protocol version string reported by `initialize`.
+pub const PROTOCOL_VERSION: &str = "2024-11-05";
+
+/// A JSON-RPC-shaped MCP server over a tool registry.
+pub struct McpServer {
+    registry: ToolRegistry,
+    ctx: ToolContext,
+    server_name: String,
+}
+
+impl McpServer {
+    /// Wrap a registry and tool context.
+    pub fn new(registry: ToolRegistry, ctx: ToolContext, server_name: impl Into<String>) -> Self {
+        Self {
+            registry,
+            ctx,
+            server_name: server_name.into(),
+        }
+    }
+
+    /// The registry (e.g. to register BYOT tools).
+    pub fn registry_mut(&mut self) -> &mut ToolRegistry {
+        &mut self.registry
+    }
+
+    /// Handle one JSON-RPC request value, producing the response value.
+    pub fn handle(&self, request: &Value) -> Value {
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        let Some(method) = request.get("method").and_then(Value::as_str) else {
+            return error_response(id, -32600, "missing method");
+        };
+        let params = request.get("params").cloned().unwrap_or(Value::Null);
+        match method {
+            "initialize" => ok_response(
+                id,
+                obj! {
+                    "protocolVersion" => PROTOCOL_VERSION,
+                    "serverInfo" => obj! {"name" => self.server_name.as_str(), "version" => env!("CARGO_PKG_VERSION")},
+                    "capabilities" => obj! {"tools" => obj! {}, "prompts" => obj! {}, "resources" => obj! {}},
+                },
+            ),
+            "tools/list" => {
+                let tools: Vec<Value> = self
+                    .registry
+                    .list()
+                    .into_iter()
+                    .map(|(name, description, requires_llm)| {
+                        obj! {
+                            "name" => name,
+                            "description" => description,
+                            "annotations" => obj! {"requiresLlm" => requires_llm},
+                        }
+                    })
+                    .collect();
+                ok_response(id, obj! {"tools" => Value::Array(tools)})
+            }
+            "tools/call" => {
+                let Some(name) = params.get("name").and_then(Value::as_str) else {
+                    return error_response(id, -32602, "missing tool name");
+                };
+                let args = params.get("arguments").cloned().unwrap_or(Value::Null);
+                match self.registry.call(name, &args, &self.ctx) {
+                    Ok(out) => ok_response(
+                        id,
+                        obj! {
+                            "content" => Value::Array(vec![obj! {"type" => "text", "text" => out.rendered.as_str()}]),
+                            "structuredContent" => out.content,
+                            "isError" => false,
+                        },
+                    ),
+                    Err(e) => ok_response(
+                        id,
+                        obj! {
+                            "content" => Value::Array(vec![obj! {"type" => "text", "text" => e.to_string()}]),
+                            "isError" => true,
+                        },
+                    ),
+                }
+            }
+            "prompts/list" => {
+                let prompts: Vec<Value> = RagStrategy::all()
+                    .into_iter()
+                    .map(|s| {
+                        obj! {
+                            "name" => s.label(),
+                            "description" => s.description(),
+                        }
+                    })
+                    .collect();
+                ok_response(id, obj! {"prompts" => Value::Array(prompts)})
+            }
+            "resources/list" => ok_response(
+                id,
+                obj! {
+                    "resources" => Value::Array(vec![
+                        obj! {"uri" => "context://schema", "name" => "Dynamic dataflow schema"},
+                        obj! {"uri" => "context://values", "name" => "Representative domain values"},
+                        obj! {"uri" => "context://guidelines", "name" => "Query guidelines"},
+                    ]),
+                },
+            ),
+            "resources/read" => {
+                let Some(uri) = params.get("uri").and_then(Value::as_str) else {
+                    return error_response(id, -32602, "missing uri");
+                };
+                let text = match uri {
+                    "context://schema" => self.ctx.context.render_schema_section(),
+                    "context://values" => self.ctx.context.render_values_section(),
+                    "context://guidelines" => self.ctx.context.guidelines.render(),
+                    _ => return error_response(id, -32602, "unknown resource"),
+                };
+                ok_response(
+                    id,
+                    obj! {"contents" => Value::Array(vec![obj! {"uri" => uri, "text" => text.as_str()}])},
+                )
+            }
+            _ => error_response(id, -32601, "method not found"),
+        }
+    }
+}
+
+fn ok_response(id: Value, result: Value) -> Value {
+    obj! {"jsonrpc" => "2.0", "id" => id, "result" => result}
+}
+
+fn error_response(id: Value, code: i64, message: &str) -> Value {
+    obj! {"jsonrpc" => "2.0", "id" => id, "error" => obj! {"code" => code, "message" => message}}
+}
+
+/// Build a JSON-RPC request value.
+pub fn request(id: i64, method: &str, params: Value) -> Value {
+    let mut m = Map::new();
+    m.insert("jsonrpc".into(), Value::from("2.0"));
+    m.insert("id".into(), Value::Int(id));
+    m.insert("method".into(), Value::from(method));
+    if !params.is_null() {
+        m.insert("params".into(), params);
+    }
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextManager;
+    use prov_model::TaskMessageBuilder;
+    use prov_stream::StreamingHub;
+
+    fn server() -> McpServer {
+        let ctx = ContextManager::default_sized();
+        for i in 0..10 {
+            ctx.ingest(
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "a")
+                    .generates("v", i as f64)
+                    .build(),
+            );
+        }
+        McpServer::new(
+            ToolRegistry::with_builtins(),
+            ToolContext {
+                context: ctx,
+                db: None,
+                hub: StreamingHub::in_memory(),
+            },
+            "provenance-agent",
+        )
+    }
+
+    #[test]
+    fn initialize_reports_capabilities() {
+        let s = server();
+        let resp = s.handle(&request(1, "initialize", Value::Null));
+        assert_eq!(
+            resp.get_path("result.protocolVersion").and_then(Value::as_str),
+            Some(PROTOCOL_VERSION)
+        );
+        assert!(resp.get_path("result.capabilities.tools").is_some());
+    }
+
+    #[test]
+    fn tools_list_and_call() {
+        let s = server();
+        let resp = s.handle(&request(2, "tools/list", Value::Null));
+        let tools = resp.get_path("result.tools").and_then(Value::as_array).unwrap();
+        assert!(tools.len() >= 6);
+        // Every built-in — including the graph-traversal tool — is listed.
+        let names: Vec<&str> = tools
+            .iter()
+            .filter_map(|t| t.get("name").and_then(Value::as_str))
+            .collect();
+        for expected in [
+            "in_memory_query",
+            "provdb_query",
+            "plot",
+            "anomaly_scan",
+            "add_guideline",
+            "graph_query",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing: {names:?}");
+        }
+
+        let resp = s.handle(&request(
+            3,
+            "tools/call",
+            obj! {"name" => "in_memory_query", "arguments" => obj! {"code" => "len(df)"}},
+        ));
+        assert_eq!(
+            resp.get_path("result.structuredContent").and_then(Value::as_i64),
+            Some(10)
+        );
+        assert_eq!(
+            resp.get_path("result.isError").and_then(Value::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn tool_errors_are_in_band() {
+        let s = server();
+        let resp = s.handle(&request(
+            4,
+            "tools/call",
+            obj! {"name" => "in_memory_query", "arguments" => obj! {"code" => "garbage("}},
+        ));
+        assert_eq!(
+            resp.get_path("result.isError").and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn prompts_and_resources() {
+        let s = server();
+        let resp = s.handle(&request(5, "prompts/list", Value::Null));
+        assert_eq!(
+            resp.get_path("result.prompts").and_then(Value::as_array).map(|a| a.len()),
+            Some(7)
+        );
+        let resp = s.handle(&request(
+            6,
+            "resources/read",
+            obj! {"uri" => "context://schema"},
+        ));
+        let text = resp
+            .get_path("result.contents.0.text")
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(text.contains("Dataflow Schema"));
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let s = server();
+        let resp = s.handle(&request(7, "frobnicate", Value::Null));
+        assert_eq!(
+            resp.get_path("error.code").and_then(Value::as_i64),
+            Some(-32601)
+        );
+        let resp = s.handle(&obj! {"id" => 8});
+        assert_eq!(
+            resp.get_path("error.code").and_then(Value::as_i64),
+            Some(-32600)
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_json_text() {
+        let s = server();
+        let req_text = prov_model::json_to_string(&request(9, "tools/list", Value::Null));
+        let req = prov_model::json_from_str(&req_text).unwrap();
+        let resp = s.handle(&req);
+        let resp_text = prov_model::json_to_string(&resp);
+        assert!(resp_text.contains("in_memory_query"));
+    }
+}

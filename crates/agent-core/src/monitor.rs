@@ -1,0 +1,158 @@
+//! The Context Monitor (§4.2): "periodically inspects the in-memory buffer
+//! maintained by the Context Manager and dispatches tools based on
+//! configurable rules."
+
+use crate::tools::{ToolContext, ToolError, ToolOutput, ToolRegistry};
+use parking_lot::Mutex;
+use prov_model::Value;
+
+/// One monitoring rule: run `tool` whenever at least `every_n_messages`
+/// new messages arrived since the rule last fired.
+#[derive(Debug, Clone)]
+pub struct MonitorRule {
+    /// Rule name (for reports).
+    pub name: String,
+    /// Message-count trigger.
+    pub every_n_messages: u64,
+    /// Tool to dispatch.
+    pub tool: String,
+    /// Arguments for the tool.
+    pub args: Value,
+}
+
+/// Result of one monitor tick.
+#[derive(Debug)]
+pub struct TickReport {
+    /// `(rule name, tool result)` for every rule that fired.
+    pub fired: Vec<(String, Result<ToolOutput, ToolError>)>,
+}
+
+/// The periodic inspector.
+pub struct ContextMonitor {
+    rules: Vec<MonitorRule>,
+    /// Ingestion counter at each rule's last firing.
+    last_fired: Mutex<Vec<u64>>,
+}
+
+impl ContextMonitor {
+    /// Monitor with a rule set.
+    pub fn new(rules: Vec<MonitorRule>) -> Self {
+        let n = rules.len();
+        Self {
+            rules,
+            last_fired: Mutex::new(vec![0; n]),
+        }
+    }
+
+    /// The default configuration: anomaly scan every 50 messages.
+    pub fn default_rules() -> Self {
+        Self::new(vec![MonitorRule {
+            name: "periodic-anomaly-scan".to_string(),
+            every_n_messages: 50,
+            tool: "anomaly_scan".to_string(),
+            args: Value::Null,
+        }])
+    }
+
+    /// Registered rules.
+    pub fn rules(&self) -> &[MonitorRule] {
+        &self.rules
+    }
+
+    /// Inspect the buffer once, dispatching any due rules.
+    pub fn tick(&self, registry: &ToolRegistry, ctx: &ToolContext) -> TickReport {
+        let ingested = ctx.context.ingested();
+        let mut fired = Vec::new();
+        let mut last = self.last_fired.lock();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if ingested.saturating_sub(last[i]) >= rule.every_n_messages {
+                last[i] = ingested;
+                let result = registry.call(&rule.tool, &rule.args, ctx);
+                fired.push((rule.name.clone(), result));
+            }
+        }
+        TickReport { fired }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextManager;
+    use prov_model::TaskMessageBuilder;
+    use prov_stream::StreamingHub;
+
+    fn tool_ctx(n: usize) -> ToolContext {
+        let ctx = ContextManager::default_sized();
+        for i in 0..n {
+            ctx.ingest(
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "a")
+                    .generates("v", if i == n - 1 && n > 10 { 1e6 } else { i as f64 })
+                    .build(),
+            );
+        }
+        ToolContext {
+            context: ctx,
+            db: None,
+            hub: StreamingHub::in_memory(),
+        }
+    }
+
+    #[test]
+    fn fires_when_threshold_reached() {
+        let monitor = ContextMonitor::default_rules();
+        let registry = ToolRegistry::with_builtins();
+        let ctx = tool_ctx(60);
+        let report = monitor.tick(&registry, &ctx);
+        assert_eq!(report.fired.len(), 1);
+        assert!(report.fired[0].1.is_ok());
+        // Immediately ticking again: not enough new messages.
+        let report2 = monitor.tick(&registry, &ctx);
+        assert!(report2.fired.is_empty());
+    }
+
+    #[test]
+    fn does_not_fire_below_threshold() {
+        let monitor = ContextMonitor::default_rules();
+        let registry = ToolRegistry::with_builtins();
+        let ctx = tool_ctx(10);
+        assert!(monitor.tick(&registry, &ctx).fired.is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_independent() {
+        let monitor = ContextMonitor::new(vec![
+            MonitorRule {
+                name: "fast".into(),
+                every_n_messages: 5,
+                tool: "anomaly_scan".into(),
+                args: Value::Null,
+            },
+            MonitorRule {
+                name: "slow".into(),
+                every_n_messages: 500,
+                tool: "anomaly_scan".into(),
+                args: Value::Null,
+            },
+        ]);
+        let registry = ToolRegistry::with_builtins();
+        let ctx = tool_ctx(20);
+        let report = monitor.tick(&registry, &ctx);
+        assert_eq!(report.fired.len(), 1);
+        assert_eq!(report.fired[0].0, "fast");
+    }
+
+    #[test]
+    fn unknown_tool_reports_error() {
+        let monitor = ContextMonitor::new(vec![MonitorRule {
+            name: "broken".into(),
+            every_n_messages: 1,
+            tool: "no_such_tool".into(),
+            args: Value::Null,
+        }]);
+        let registry = ToolRegistry::with_builtins();
+        let ctx = tool_ctx(5);
+        let report = monitor.tick(&registry, &ctx);
+        assert!(report.fired[0].1.is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Chart data and terminal rendering (the GUI's plot responses, Fig 10).
+
+use dataframe::DataFrame;
+use prov_model::Value;
+
+/// A bar chart extracted from a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Bar labels.
+    pub labels: Vec<String>,
+    /// Bar values.
+    pub values: Vec<f64>,
+    /// Y-axis unit, if known.
+    pub unit: Option<String>,
+}
+
+impl BarChart {
+    /// Build from a two-column frame (label column + numeric column).
+    /// Falls back to the first string-ish and first numeric column.
+    pub fn from_frame(title: impl Into<String>, frame: &DataFrame) -> Option<BarChart> {
+        let names = frame.column_names();
+        let label_col = names.iter().find(|n| {
+            frame
+                .column(n)
+                .is_some_and(|c| matches!(c.dtype(), dataframe::DType::Str))
+        })?;
+        let value_col = names.iter().find(|n| {
+            frame
+                .column(n)
+                .is_some_and(|c| c.dtype().is_numeric())
+        })?;
+        let labels: Vec<String> = frame
+            .column(label_col)
+            .expect("found above")
+            .values()
+            .iter()
+            .map(Value::display_plain)
+            .collect();
+        let values: Vec<f64> = frame
+            .column(value_col)
+            .expect("found above")
+            .values()
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(0.0))
+            .collect();
+        Some(BarChart {
+            title: title.into(),
+            labels,
+            values,
+            unit: None,
+        })
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render as a horizontal ASCII bar chart.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.clamp(10, 200);
+        let mut out = String::new();
+        out.push_str(&self.title);
+        if let Some(u) = &self.unit {
+            out.push_str(&format!(" [{u}]"));
+        }
+        out.push('\n');
+        if self.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let max = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0)
+            .min(24);
+        for (label, value) in self.labels.iter().zip(&self.values) {
+            let clipped: String = label.chars().take(label_w).collect();
+            let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{clipped:<label_w$} | {} {value:.2}\n",
+                "█".repeat(bar_len.min(width))
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "bond_id",
+                vec![
+                    Value::from("C-C_1"),
+                    Value::from("C-H_1"),
+                    Value::from("O-H_1"),
+                ],
+            ),
+            (
+                "bd_enthalpy",
+                vec![Value::Float(88.9), Value::Float(100.5), Value::Float(106.3)],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn chart_from_frame() {
+        let c = BarChart::from_frame("BDE by bond", &frame()).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.labels[2], "O-H_1");
+        assert_eq!(c.values[1], 100.5);
+    }
+
+    #[test]
+    fn ascii_render_scales_bars() {
+        let c = BarChart::from_frame("BDE by bond", &frame()).unwrap();
+        let text = c.render_ascii(40);
+        assert!(text.contains("BDE by bond"));
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.matches('█').count())
+            .collect();
+        // O-H (largest value) has the longest bar.
+        assert!(bars[2] >= bars[1] && bars[1] >= bars[0]);
+        assert_eq!(bars[2], 40);
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = BarChart {
+            title: "empty".into(),
+            labels: vec![],
+            values: vec![],
+            unit: None,
+        };
+        assert!(c.render_ascii(30).contains("(no data)"));
+    }
+
+    #[test]
+    fn non_plottable_frame_returns_none() {
+        let numeric_only =
+            DataFrame::from_columns(vec![("x", vec![Value::Int(1)])]).unwrap();
+        assert!(BarChart::from_frame("t", &numeric_only).is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! Prompt generation — the RAG pipeline of §3/§4.2.
+//!
+//! A [`PromptBuilder`] assembles the system prompt from the components of
+//! Table 2 (role, job, DataFrame description, output format, few-shot
+//! examples, dynamic dataflow schema, domain values, query guidelines),
+//! each under the section markers the simulated models parse.
+//! [`RagStrategy`] names the seven cumulative configurations evaluated in
+//! §5.2 (Figs 8–9).
+
+use crate::context::ContextManager;
+use llm_sim::markers;
+
+/// The seven prompt+RAG configurations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RagStrategy {
+    /// Zero-shot: the raw user query only.
+    Nothing,
+    /// Role + job + DataFrame format + output formatting.
+    Baseline,
+    /// Baseline + few-shot examples.
+    BaselineFs,
+    /// Baseline + few-shot + dynamic dataflow schema.
+    BaselineFsSchema,
+    /// Baseline + few-shot + schema + domain values.
+    BaselineFsSchemaValues,
+    /// Baseline + few-shot + query guidelines (no schema).
+    BaselineFsGuidelines,
+    /// Everything.
+    Full,
+}
+
+impl RagStrategy {
+    /// All configurations in Table 2 order.
+    pub fn all() -> [RagStrategy; 7] {
+        [
+            RagStrategy::Nothing,
+            RagStrategy::Baseline,
+            RagStrategy::BaselineFs,
+            RagStrategy::BaselineFsSchema,
+            RagStrategy::BaselineFsSchemaValues,
+            RagStrategy::BaselineFsGuidelines,
+            RagStrategy::Full,
+        ]
+    }
+
+    /// The six evaluated cumulative configurations (zero-shot was excluded
+    /// from Figs 8–9 "due to consistently poor scores").
+    pub fn evaluated() -> [RagStrategy; 6] {
+        [
+            RagStrategy::Baseline,
+            RagStrategy::BaselineFs,
+            RagStrategy::BaselineFsSchema,
+            RagStrategy::BaselineFsSchemaValues,
+            RagStrategy::BaselineFsGuidelines,
+            RagStrategy::Full,
+        ]
+    }
+
+    /// Table 2 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RagStrategy::Nothing => "Nothing",
+            RagStrategy::Baseline => "Baseline",
+            RagStrategy::BaselineFs => "Baseline+FS",
+            RagStrategy::BaselineFsSchema => "Baseline+FS+Schema",
+            RagStrategy::BaselineFsSchemaValues => "Baseline+FS+Schema+Values",
+            RagStrategy::BaselineFsGuidelines => "Baseline+FS+Guidelines",
+            RagStrategy::Full => "Full",
+        }
+    }
+
+    /// Table 2 description of the context composition.
+    pub fn description(self) -> &'static str {
+        match self {
+            RagStrategy::Nothing => "Zero-shot",
+            RagStrategy::Baseline => "Role + Job + DataFrame format + Output Formatting",
+            RagStrategy::BaselineFs => "Baseline + Few shot",
+            RagStrategy::BaselineFsSchema => "Baseline + Few Shot + Dynamic Dataflow Schema",
+            RagStrategy::BaselineFsSchemaValues => {
+                "Baseline + Few Shot + Dynamic Dataflow Schema + Domain Values"
+            }
+            RagStrategy::BaselineFsGuidelines => "Baseline + Few Shot + Query Guidelines",
+            RagStrategy::Full => {
+                "Baseline + Few Shot + Dynamic Dataflow Schema + Domain Values + Query Guidelines"
+            }
+        }
+    }
+
+    /// Component switches: (baseline, few_shot, schema, values, guidelines).
+    pub fn components(self) -> (bool, bool, bool, bool, bool) {
+        match self {
+            RagStrategy::Nothing => (false, false, false, false, false),
+            RagStrategy::Baseline => (true, false, false, false, false),
+            RagStrategy::BaselineFs => (true, true, false, false, false),
+            RagStrategy::BaselineFsSchema => (true, true, true, false, false),
+            RagStrategy::BaselineFsSchemaValues => (true, true, true, true, false),
+            RagStrategy::BaselineFsGuidelines => (true, true, false, false, true),
+            RagStrategy::Full => (true, true, true, true, true),
+        }
+    }
+}
+
+impl std::fmt::Display for RagStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Assembles system prompts from the live context.
+pub struct PromptBuilder;
+
+impl PromptBuilder {
+    /// Build the system prompt for a strategy over the current context.
+    pub fn system(strategy: RagStrategy, ctx: &ContextManager) -> String {
+        let (baseline, few_shot, schema, values, guidelines) = strategy.components();
+        let mut out = String::with_capacity(16 * 1024);
+        if baseline {
+            out.push_str(&Self::baseline_sections());
+        }
+        if few_shot {
+            out.push_str(&Self::few_shot_section());
+        }
+        if schema {
+            out.push_str(&ctx.render_schema_section());
+            out.push('\n');
+        }
+        if values {
+            out.push_str(&ctx.render_values_section());
+            out.push('\n');
+        }
+        if guidelines {
+            out.push_str(&ctx.guidelines.render());
+        }
+        out
+    }
+
+    /// Role + job + DataFrame description + output formatting (§5.2's
+    /// "prompt elements").
+    fn baseline_sections() -> String {
+        format!(
+            "{role}\nYou are a workflow provenance specialist embedded in a live scientific \
+             computing campaign that spans edge, cloud, and HPC resources. You answer \
+             questions about the tasks that are executing right now by inspecting their \
+             runtime provenance records.\n\
+             {job}\nYour job is to interpret the user's natural-language question and provide \
+             a structured query over the live in-memory provenance buffer. You never fetch \
+             raw data yourself; you only write the query that retrieves exactly what was \
+             asked, choosing appropriate filters, groupings, aggregations, and orderings.\n\
+             {df}\nThe buffer is a pandas DataFrame named df. Each row represents one task \
+             execution captured from the workflow: its identifiers, timestamps, status, the \
+             executing host, telemetry samples, and the application-specific input and output \
+             fields flattened into columns. New rows stream in continuously while the \
+             workflow runs, so the same query may return more rows later.\n\
+             {fmt}\nReturn a single executable pandas expression rooted at df, with no \
+             surrounding prose, no code fences, no imports, and no intermediate variables. \
+             The expression must be one line. Use double quotes for string literals. If the \
+             question asks for a count, return a number via len(...). If it asks for a \
+             single item, return one row or one scalar rather than the full table.\n",
+            role = markers::ROLE,
+            job = markers::JOB,
+            df = markers::DATAFRAME,
+            fmt = markers::OUTPUT_FORMAT,
+        )
+    }
+
+    /// Few-shot examples: natural-language + DataFrame code pairs (§5.2).
+    fn few_shot_section() -> String {
+        format!(
+            "{fs}\nQ: How many tasks failed?\n\
+             A: len(df[df[\"status\"] == \"ERROR\"])\n\
+             Q: What is the average duration per activity?\n\
+             A: df.groupby(\"activity_id\")[\"duration\"].mean()\n\
+             Q: Show the five most recent tasks with their status.\n\
+             A: df.sort_values(\"started_at\", ascending=False)[[\"task_id\", \"status\"]].head(5)\n\
+             Q: Which task ran the longest?\n\
+             A: df.loc[df[\"duration\"].idxmax()]\n\
+             Q: List the distinct activities executed so far.\n\
+             A: df[\"activity_id\"].unique()\n",
+            fs = markers::FEW_SHOT,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextManager;
+    use llm_sim::{count_tokens, PromptSections};
+    use prov_model::TaskMessageBuilder;
+
+    fn ctx_with_data() -> std::sync::Arc<ContextManager> {
+        let ctx = ContextManager::default_sized();
+        for i in 0..20 {
+            ctx.ingest(
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "power")
+                    .uses("exponent", 2.0)
+                    .generates("y", i as f64)
+                    .span(i as f64, i as f64 + 1.0)
+                    .build(),
+            );
+        }
+        ctx
+    }
+
+    #[test]
+    fn nothing_strategy_is_empty() {
+        let ctx = ctx_with_data();
+        assert!(PromptBuilder::system(RagStrategy::Nothing, &ctx).is_empty());
+    }
+
+    #[test]
+    fn component_monotonicity_in_tokens() {
+        let ctx = ctx_with_data();
+        let mut last = 0;
+        for strategy in RagStrategy::all() {
+            let tokens = count_tokens(&PromptBuilder::system(strategy, &ctx));
+            // Guidelines-only config is allowed to be smaller than
+            // schema+values configs; check only the cumulative chain.
+            if matches!(
+                strategy,
+                RagStrategy::Nothing
+                    | RagStrategy::Baseline
+                    | RagStrategy::BaselineFs
+                    | RagStrategy::BaselineFsSchema
+                    | RagStrategy::BaselineFsSchemaValues
+            ) {
+                assert!(tokens >= last, "{strategy}: {tokens} < {last}");
+                last = tokens;
+            }
+        }
+        let full = count_tokens(&PromptBuilder::system(RagStrategy::Full, &ctx));
+        assert!(full >= last);
+    }
+
+    #[test]
+    fn baseline_magnitude_matches_fig8() {
+        let ctx = ContextManager::default_sized();
+        let t = count_tokens(&PromptBuilder::system(RagStrategy::Baseline, &ctx));
+        // Paper: ~293 input tokens at Baseline (plus the user query).
+        assert!((180..420).contains(&t), "baseline tokens {t}");
+    }
+
+    #[test]
+    fn sections_parse_back() {
+        let ctx = ctx_with_data();
+        let full = PromptBuilder::system(RagStrategy::Full, &ctx);
+        let sections = PromptSections::parse(&full);
+        assert!(sections.has_baseline());
+        assert!(sections.few_shot_examples >= 4);
+        assert!(sections.has_schema());
+        assert!(sections.has_values());
+        assert!(sections.has_guidelines());
+        assert!(sections.schema_columns.contains(&"exponent".to_string()));
+    }
+
+    #[test]
+    fn table2_labels() {
+        assert_eq!(RagStrategy::all().len(), 7);
+        assert_eq!(RagStrategy::evaluated().len(), 6);
+        assert_eq!(RagStrategy::Full.label(), "Full");
+        assert!(RagStrategy::BaselineFsSchemaValues
+            .description()
+            .contains("Domain Values"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Benches for the implemented future-work extensions (§5.4): the
+//! additive-manufacturing workflow, prospective-plan conformance, PROV
+//! graph traversals, the per-class LLM router, the query auto-fixer, and
+//! chaos-broker fault-injection overhead.
+
+use agent_core::{AutoFixer, RagStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::{predict_class, Experiment, RoutingPolicy};
+use llm_sim::{Judge, JudgeId, ModelId};
+use prov_db::ProvenanceDatabase;
+use prov_model::{sim_clock, TaskMessage};
+use prov_stream::{Broker, ChaosBroker, ChaosConfig, MemoryBroker, StreamingHub};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use workflows::{build_am_dag, run_am_workflow, AmParams, ProspectivePlan};
+
+fn bench_am_workflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("am_workflow");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    for layers in [6usize, 12, 24] {
+        g.bench_with_input(BenchmarkId::new("build_part", layers), &layers, |b, &n| {
+            let mut p = AmParams::nominal("bench");
+            p.n_layers = n;
+            b.iter(|| {
+                let hub = StreamingHub::in_memory();
+                black_box(run_am_workflow(&hub, sim_clock(), 42, &p).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conformance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_conformance");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    // Plan + a 100-instance retrospective stream.
+    let dag = workflows::build_synthetic_dag(workflows::SyntheticParams::config(0));
+    let plan = ProspectivePlan::from_dag("synthetic", &dag);
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    workflows::run_sweep(&hub, sim_clock(), 42, 100).unwrap();
+    let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+    g.bench_function("check_800_tasks", |b| {
+        b.iter(|| black_box(plan.check(&msgs)).conforms())
+    });
+    g.bench_function("plan_from_am_dag", |b| {
+        let p = AmParams::nominal("bench");
+        let dag = build_am_dag(&p, &workflows::am::ProcessModel::new(7));
+        b.iter(|| black_box(ProspectivePlan::from_dag("am", &dag)))
+    });
+    g.finish();
+}
+
+fn bench_graph_traversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_traversal");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    // A deep lineage chain plus fan-out, persisted via the database.
+    let db = ProvenanceDatabase::new();
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    let bde = workflows::run_bde_workflow(&hub, sim_clock(), 42, "CCO", 5).unwrap();
+    for m in sub.drain() {
+        db.insert(&m);
+    }
+    let leaf = bde
+        .run
+        .task_ids
+        .iter()
+        .find(|(name, _)| name.starts_with("postprocess"))
+        .map(|(_, id)| id.as_str().to_string())
+        .unwrap();
+    g.bench_function("upstream_lineage", |b| {
+        b.iter(|| black_box(db.graph.upstream_lineage(&leaf, 16)))
+    });
+    let root = bde
+        .run
+        .task_ids
+        .iter()
+        .find(|(name, _)| name.starts_with("generate_conformer"))
+        .map(|(_, id)| id.as_str().to_string())
+        .unwrap();
+    g.bench_function("shortest_path", |b| {
+        b.iter(|| black_box(db.graph.shortest_path(&leaf, &root)))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llm_routing");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let e = Experiment {
+        seed: 42,
+        n_inputs: 5,
+        runs_per_query: 1,
+    };
+    let results = eval::run_matrix(
+        &e,
+        &ModelId::all(),
+        &[RagStrategy::Full],
+        &[Judge::new(JudgeId::Gpt)],
+    );
+    g.bench_function("learn_policy", |b| {
+        b.iter(|| black_box(RoutingPolicy::learn(&results, JudgeId::Gpt)))
+    });
+    let policy = RoutingPolicy::learn(&results, JudgeId::Gpt);
+    g.bench_function("route_question", |b| {
+        b.iter(|| black_box(policy.route_question("What is the average duration per activity?")))
+    });
+    g.bench_function("predict_class", |b| {
+        b.iter(|| black_box(predict_class("How many tasks ran on each host?")))
+    });
+    g.finish();
+}
+
+fn bench_autofix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auto_fixer");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    let columns: Vec<String> = [
+        "task_id",
+        "activity_id",
+        "hostname",
+        "started_at",
+        "ended_at",
+        "duration",
+        "cpu_percent_end",
+        "melt_pool_temp_c",
+        "energy_density_j_mm3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let fixer = AutoFixer::new();
+    g.bench_function("column_repair", |b| {
+        b.iter(|| {
+            black_box(fixer.propose(
+                r#"df.groupby("node")["duration"].mean()"#,
+                "unknown column 'node'; available: [...]",
+                &columns,
+            ))
+        })
+    });
+    g.bench_function("prose_extraction", |b| {
+        b.iter(|| {
+            black_box(fixer.propose(
+                "Sure!\n```python\ndf['duration'].mean()\n```\n",
+                "query parse error: unexpected character '!'",
+                &columns,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_chaos_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_broker");
+    g.sample_size(20).measurement_time(Duration::from_secs(4));
+    let msg = prov_model::TaskMessageBuilder::new("t", "wf", "a").build();
+    g.bench_function("publish_plain", |b| {
+        let broker = MemoryBroker::new();
+        let _sub = broker.subscribe("x");
+        b.iter(|| broker.publish("x", black_box(msg.clone())).unwrap())
+    });
+    g.bench_function("publish_chaos_wrapped", |b| {
+        let broker = ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::default());
+        let _sub = broker.subscribe("x");
+        b.iter(|| broker.publish("x", black_box(msg.clone())).unwrap())
+    });
+    g.bench_function("publish_at_least_once", |b| {
+        let broker = ChaosBroker::new(
+            Arc::new(MemoryBroker::new()),
+            ChaosConfig::at_least_once(7),
+        );
+        let _sub = broker.subscribe("x");
+        b.iter(|| broker.publish("x", black_box(msg.clone())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    extensions,
+    bench_am_workflow,
+    bench_conformance,
+    bench_graph_traversal,
+    bench_routing,
+    bench_autofix,
+    bench_chaos_overhead
+);
+criterion_main!(extensions);

@@ -1,0 +1,131 @@
+//! One Criterion bench per paper artifact: each table and figure is
+//! regenerated end-to-end (workflow → provenance → prompts → simulated
+//! LLMs → judges → report), measuring the full reproduction cost.
+//!
+//! A reduced experiment (5 inputs, 1 run/query) keeps wall time sane; the
+//! `repro` binary runs the paper-sized version.
+
+use agent_core::RagStrategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{
+    fig6, fig7, fig8, fig9, latency_report, render_demo, run_chem_demo, run_matrix, table1,
+    table2, Experiment,
+};
+use llm_sim::{Judge, ModelId};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn small() -> Experiment {
+    Experiment {
+        seed: 42,
+        n_inputs: 5,
+        runs_per_query: 1,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("table1_queryset", |b| b.iter(|| black_box(table1())));
+    g.bench_function("table2_configs", |b| b.iter(|| black_box(table2())));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_judges");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("five_models_two_judges", |b| {
+        b.iter(|| {
+            let results = run_matrix(
+                &small(),
+                &ModelId::all(),
+                &[RagStrategy::Full],
+                &Judge::panel(),
+            );
+            black_box(fig6(&results))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_query_classes");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let results = run_matrix(
+        &small(),
+        &ModelId::all(),
+        &[RagStrategy::Full],
+        &Judge::panel(),
+    );
+    g.bench_function("boxplot_stats", |b| b.iter(|| black_box(fig7(&results))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_context_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("gpt_six_configs", |b| {
+        b.iter(|| {
+            let results = run_matrix(
+                &small(),
+                &[ModelId::Gpt],
+                &RagStrategy::evaluated(),
+                &[Judge::new(llm_sim::JudgeId::Gpt)],
+            );
+            black_box(fig8(&results))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_data_types");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let results = run_matrix(
+        &small(),
+        &[ModelId::Gpt],
+        &RagStrategy::evaluated(),
+        &[Judge::new(llm_sim::JudgeId::Gpt)],
+    );
+    g.bench_function("per_type_matrix", |b| b.iter(|| black_box(fig9(&results))));
+    g.finish();
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_models");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let results = run_matrix(
+        &small(),
+        &ModelId::all(),
+        &[RagStrategy::Full],
+        &[Judge::new(llm_sim::JudgeId::Gpt)],
+    );
+    g.bench_function("latency_report", |b| {
+        b.iter(|| black_box(latency_report(&results)))
+    });
+    g.finish();
+}
+
+fn bench_chem_demo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chem_live_interaction");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("q1_to_q10", |b| {
+        b.iter(|| {
+            let observations = run_chem_demo(7);
+            black_box(render_demo(&observations))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_tables,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_latency_models,
+    bench_chem_demo
+);
+criterion_main!(artifacts);

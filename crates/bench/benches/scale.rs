@@ -1,0 +1,120 @@
+//! Scale benches: the metadata-driven design's independence from
+//! provenance volume (the §5.2/§5.4 claim) and end-to-end workflow
+//! execution throughput (sequential vs parallel DAG executor).
+
+use agent_core::{ContextManager, PromptBuilder, RagStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llm_sim::count_tokens;
+use prov_capture::CaptureContext;
+use prov_model::{sim_clock, TaskMessage};
+use prov_stream::StreamingHub;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn synthetic_messages(n_inputs: usize) -> Vec<TaskMessage> {
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    workflows::run_sweep(&hub, sim_clock(), 42, n_inputs).expect("sweep");
+    sub.drain().iter().map(|m| (**m).clone()).collect()
+}
+
+/// Full-context prompt construction cost and size as the number of
+/// workflow inputs grows 1 → 1000: tokens must stay flat (the prompt is a
+/// function of workflow complexity, not task count).
+fn bench_scale_independence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_independence");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut token_counts = Vec::new();
+    for n in [1usize, 10, 100] {
+        let msgs = synthetic_messages(n);
+        let ctx = ContextManager::default_sized();
+        ctx.ingest_all(&msgs);
+        let tokens = count_tokens(&PromptBuilder::system(RagStrategy::Full, &ctx));
+        token_counts.push((n, tokens));
+        g.bench_with_input(BenchmarkId::new("build_full_prompt", n), &ctx, |b, ctx| {
+            b.iter(|| black_box(PromptBuilder::system(RagStrategy::Full, ctx).len()))
+        });
+    }
+    g.finish();
+    // Print the flat-token evidence alongside the timing data.
+    println!("scale_independence tokens: {token_counts:?}");
+    let min = token_counts.iter().map(|(_, t)| *t).min().unwrap();
+    let max = token_counts.iter().map(|(_, t)| *t).max().unwrap();
+    assert!(
+        (max - min) < min / 5,
+        "prompt tokens should stay ~flat across scales: {token_counts:?}"
+    );
+}
+
+/// Context ingestion throughput (the agent-side cost of streaming).
+fn bench_context_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_ingest");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let msgs = synthetic_messages(100); // 800 tasks
+    g.bench_function("ingest_800_messages", |b| {
+        b.iter(|| {
+            let ctx = ContextManager::default_sized();
+            ctx.ingest_all(&msgs);
+            black_box(ctx.len())
+        })
+    });
+    g.finish();
+}
+
+/// Sequential vs parallel DAG execution of a wide fan-out workflow.
+fn bench_dag_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_executor");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let build = || {
+        let mut dag = workflows::WorkflowDag::new().add(
+            "src",
+            "src",
+            prov_model::obj! {"x" => 1.0},
+            0.1,
+            &[],
+            workflows::task_fn(|u, _| Ok(u.clone())),
+        );
+        for i in 0..64 {
+            dag = dag.add(
+                format!("w{i}"),
+                "worker",
+                prov_model::obj! {},
+                0.1,
+                &["src"],
+                workflows::task_fn(move |_, deps| {
+                    let x = deps["src"].get("x").unwrap().as_f64().unwrap();
+                    // A little arithmetic so the task body is not free.
+                    let mut acc = x;
+                    for k in 0..2_000 {
+                        acc = (acc + k as f64).sqrt() + 1.0;
+                    }
+                    Ok(prov_model::obj! {"y" => acc + i as f64})
+                }),
+            );
+        }
+        dag
+    };
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let hub = StreamingHub::in_memory();
+            let ctx = CaptureContext::new(&hub, "c", "w", sim_clock(), 1);
+            black_box(build().execute(&ctx).unwrap().outputs.len())
+        })
+    });
+    g.bench_function("parallel_8", |b| {
+        b.iter(|| {
+            let hub = StreamingHub::in_memory();
+            let ctx = CaptureContext::new(&hub, "c", "w", sim_clock(), 1);
+            black_box(build().execute_parallel(&ctx, 8).unwrap().outputs.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    scale,
+    bench_scale_independence,
+    bench_context_ingest,
+    bench_dag_executor
+);
+criterion_main!(scale);

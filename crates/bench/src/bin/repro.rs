@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p bench --bin repro --release            # everything
+//! cargo run -p bench --bin repro --release -- --fig8  # one artifact
+//! ```
+//!
+//! Writes CSVs next to the textual output under `target/repro/`.
+
+use agent_core::RagStrategy;
+use eval::{
+    evaluate_routing, fig6, fig7, fig8, fig9, latency_deep_dive, latency_report, render_demo,
+    run_chem_demo, run_paper_evaluation, scoring_agreement, table1, table2, to_csv, Experiment,
+};
+use llm_sim::count_tokens;
+use prov_model::sim_clock;
+use prov_stream::StreamingHub;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    let experiment = Experiment::default();
+    println!(
+        "provagent repro — seed {}, {} synthetic inputs, {} runs/query\n",
+        experiment.seed, experiment.n_inputs, experiment.runs_per_query
+    );
+
+    if want("--table1") {
+        println!("{}", table1());
+    }
+    if want("--table2") {
+        println!("{}", table2());
+    }
+
+    let needs_matrix = want("--fig6")
+        || want("--fig7")
+        || want("--fig8")
+        || want("--fig9")
+        || want("--latency")
+        || want("--csv");
+    if needs_matrix {
+        eprintln!("running evaluation matrix (5 models × configs × 20 queries × 3 runs)…");
+        let results = run_paper_evaluation(&experiment);
+        if want("--fig6") {
+            println!("{}", fig6(&results));
+        }
+        if want("--fig7") {
+            println!("{}", fig7(&results));
+        }
+        if want("--fig8") {
+            println!("{}", fig8(&results));
+        }
+        if want("--fig9") {
+            println!("{}", fig9(&results));
+        }
+        if want("--latency") {
+            println!("{}", latency_report(&results));
+        }
+        if want("--latency-deep") {
+            println!("{}", latency_deep_dive(&results));
+        }
+        let dir = std::path::Path::new("target/repro");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join("records.csv");
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(to_csv(&results).as_bytes());
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+
+    if want("--chem") {
+        eprintln!("running §5.3 chemistry live-interaction demo (ethanol)…");
+        let observations = run_chem_demo(7);
+        println!("{}", render_demo(&observations));
+    }
+
+    if want("--am") {
+        eprintln!("running the additive-manufacturing live-interaction study (§5.4 third domain)…");
+        let observations = eval::run_am_demo(42, 8);
+        println!("{}", eval::render_am_demo(&observations));
+    }
+
+    if want("--scale") {
+        println!("{}", scale_independence());
+    }
+
+    if want("--scoring") {
+        eprintln!("comparing the three §3 scoring methods on GPT generations…");
+        let report = scoring_agreement(&experiment, llm_sim::ModelId::Gpt, llm_sim::JudgeId::Gpt);
+        println!("{}", report.render());
+    }
+
+    if want("--routing") {
+        eprintln!("training + evaluating the per-class LLM router (two seeds)…");
+        let train = Experiment::default();
+        let test = Experiment {
+            seed: 1337,
+            ..Experiment::default()
+        };
+        let outcome = evaluate_routing(&train, &test, llm_sim::JudgeId::Gpt);
+        println!("{}", outcome.policy.render());
+        println!("{}", outcome.render());
+    }
+}
+
+/// The scale-independence claim (§5.2, §5.4): prompt size depends on
+/// workflow complexity, not on the number of workflow inputs or tasks.
+fn scale_independence() -> String {
+    let mut out = String::from(
+        "Scale independence: dynamic-schema prompt size vs number of workflow inputs.\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>8} {:>12} {:>14} {:>14}\n",
+        "inputs", "tasks", "activities", "schema fields", "prompt tokens"
+    ));
+    for n in [1usize, 10, 100, 1000] {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        workflows::run_sweep(&hub, sim_clock(), 42, n).expect("sweep");
+        let msgs: Vec<prov_model::TaskMessage> =
+            sub.drain().iter().map(|m| (**m).clone()).collect();
+        let tasks = msgs.len();
+        let ctx = agent_core::ContextManager::default_sized();
+        ctx.ingest_all(&msgs);
+        let system = agent_core::PromptBuilder::system(RagStrategy::Full, &ctx);
+        let schema = ctx.schema();
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>12} {:>14} {:>14}\n",
+            n,
+            tasks,
+            schema.activity_count(),
+            schema.field_count(),
+            count_tokens(&system)
+        ));
+    }
+    out.push_str(
+        "(tokens stay flat as inputs scale 1 -> 1000: the metadata-driven design is\n\
+         independent of provenance volume, as claimed in §5.4.)\n",
+    );
+    out
+}

@@ -1,0 +1,213 @@
+//! A single named, dynamically typed column.
+
+use crate::agg::AggFunc;
+use crate::dtype::DType;
+use prov_model::Value;
+
+/// One column: a name plus a dense vector of values (nulls allowed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    values: Vec<Value>,
+}
+
+impl Column {
+    /// Create a column from raw values.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Empty column with a name.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Self::new(name, Vec::new())
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename, consuming self.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow all values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a row (None out of bounds).
+    pub fn get(&self, row: usize) -> Option<&Value> {
+        self.values.get(row)
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Inferred dtype over current values.
+    pub fn dtype(&self) -> DType {
+        DType::infer(self.values.iter())
+    }
+
+    /// Count of non-null values.
+    pub fn count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// Non-null numeric view of the column.
+    pub fn numeric(&self) -> Vec<f64> {
+        self.values.iter().filter_map(Value::as_f64).collect()
+    }
+
+    /// Take rows by index, building a new column (indices must be in range).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        Column {
+            name: self.name.clone(),
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.values.len());
+        Column {
+            name: self.name.clone(),
+            values: self
+                .values
+                .iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v.clone())
+                .collect(),
+        }
+    }
+
+    /// Apply an aggregation to this column.
+    pub fn agg(&self, func: AggFunc) -> Value {
+        func.apply(&self.values)
+    }
+
+    /// Distinct values in first-seen order.
+    pub fn unique(&self) -> Vec<Value> {
+        let mut seen: Vec<Value> = Vec::new();
+        for v in &self.values {
+            if !seen.contains(v) {
+                seen.push(v.clone());
+            }
+        }
+        seen
+    }
+
+    /// Index of the row holding the minimum value (numeric-coercing order).
+    pub fn idxmin(&self) -> Option<usize> {
+        self.arg_extreme(true)
+    }
+
+    /// Index of the row holding the maximum value.
+    pub fn idxmax(&self) -> Option<usize> {
+        self.arg_extreme(false)
+    }
+
+    fn arg_extreme(&self, min: bool) -> Option<usize> {
+        let mut best: Option<(usize, &Value)> = None;
+        for (i, v) in self.values.iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            best = match best {
+                None => Some((i, v)),
+                Some((bi, bv)) => {
+                    let ord = v.compare(bv);
+                    let better = if min {
+                        ord == std::cmp::Ordering::Less
+                    } else {
+                        ord == std::cmp::Ordering::Greater
+                    };
+                    if better {
+                        Some((i, v))
+                    } else {
+                        Some((bi, bv))
+                    }
+                }
+            };
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> Column {
+        Column::new(
+            "x",
+            vec![
+                Value::Int(3),
+                Value::Null,
+                Value::Float(1.5),
+                Value::Int(7),
+            ],
+        )
+    }
+
+    #[test]
+    fn basics() {
+        let c = col();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.numeric(), vec![3.0, 1.5, 7.0]);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = col();
+        let t = c.take(&[3, 0]);
+        assert_eq!(t.values(), &[Value::Int(7), Value::Int(3)]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn idx_extremes_skip_nulls() {
+        let c = col();
+        assert_eq!(c.idxmin(), Some(2));
+        assert_eq!(c.idxmax(), Some(3));
+        let empty = Column::empty("e");
+        assert_eq!(empty.idxmin(), None);
+    }
+
+    #[test]
+    fn unique_preserves_order() {
+        let c = Column::new(
+            "s",
+            vec![
+                Value::Str("b".into()),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ],
+        );
+        assert_eq!(
+            c.unique(),
+            vec![Value::Str("b".into()), Value::Str("a".into())]
+        );
+    }
+}

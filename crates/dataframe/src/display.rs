@@ -1,0 +1,159 @@
+//! Plain-text table rendering (what the agent GUI shows as tabular results).
+
+use crate::frame::DataFrame;
+use prov_model::Value;
+
+/// Render options.
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayOptions {
+    /// Maximum rows to print before eliding the middle.
+    pub max_rows: usize,
+    /// Maximum cell width before truncation with `…`.
+    pub max_cell_width: usize,
+    /// Decimal places for floats.
+    pub float_precision: usize,
+}
+
+impl Default for DisplayOptions {
+    fn default() -> Self {
+        Self {
+            max_rows: 20,
+            max_cell_width: 28,
+            float_precision: 4,
+        }
+    }
+}
+
+/// Render a frame as an aligned text table.
+pub fn render(frame: &DataFrame, opts: DisplayOptions) -> String {
+    if frame.width() == 0 {
+        return "(empty DataFrame)".to_string();
+    }
+    let names = frame.column_names();
+    let truncated = frame.len() > opts.max_rows;
+    let shown: Vec<usize> = if truncated {
+        let half = opts.max_rows / 2;
+        (0..half)
+            .chain(frame.len() - (opts.max_rows - half)..frame.len())
+            .collect()
+    } else {
+        (0..frame.len()).collect()
+    };
+
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown.len() + 1);
+    cells.push(names.iter().map(|n| clip(n, opts.max_cell_width)).collect());
+    for &row in &shown {
+        cells.push(
+            names
+                .iter()
+                .map(|n| {
+                    let v = frame
+                        .column(n)
+                        .and_then(|c| c.get(row))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    clip(&fmt_value(&v, opts.float_precision), opts.max_cell_width)
+                })
+                .collect(),
+        );
+    }
+
+    let widths: Vec<usize> = (0..names.len())
+        .map(|c| cells.iter().map(|r| r[c].chars().count()).max().unwrap_or(1))
+        .collect();
+
+    let mut out = String::new();
+    for (i, row) in cells.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[c] {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        if i == 0 {
+            for (c, w) in widths.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+        if truncated && i == opts.max_rows / 2 {
+            out.push_str("…\n");
+        }
+    }
+    out.push_str(&format!(
+        "[{} rows x {} columns]\n",
+        frame.len(),
+        frame.width()
+    ));
+    out
+}
+
+fn fmt_value(v: &Value, precision: usize) -> String {
+    match v {
+        Value::Null => "NaN".to_string(),
+        Value::Float(f) => format!("{f:.precision$}"),
+        other => other.display_plain(),
+    }
+}
+
+fn clip(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let mut out: String = s.chars().take(max.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::Value;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let df = DataFrame::from_columns(vec![
+            ("bond", vec![Value::from("C-H"), Value::from("C-C")]),
+            ("bde", vec![Value::Float(98.64866), Value::Float(87.1)]),
+        ])
+        .unwrap();
+        let text = render(&df, DisplayOptions::default());
+        assert!(text.contains("bond"));
+        assert!(text.contains("98.6487"));
+        assert!(text.contains("[2 rows x 2 columns]"));
+    }
+
+    #[test]
+    fn elides_long_frames() {
+        let vals: Vec<Value> = (0..100).map(Value::from).collect();
+        let df = DataFrame::from_columns(vec![("x", vals)]).unwrap();
+        let text = render(&df, DisplayOptions::default());
+        assert!(text.contains("…"));
+        assert!(text.contains("[100 rows x 1 columns]"));
+    }
+
+    #[test]
+    fn clips_wide_cells() {
+        let df = DataFrame::from_columns(vec![(
+            "s",
+            vec![Value::from("a".repeat(100).as_str())],
+        )])
+        .unwrap();
+        let text = render(&df, DisplayOptions::default());
+        assert!(text.lines().all(|l| l.chars().count() < 120));
+    }
+
+    #[test]
+    fn empty_frame() {
+        let df = DataFrame::new();
+        assert_eq!(render(&df, DisplayOptions::default()), "(empty DataFrame)");
+    }
+}

@@ -1,0 +1,110 @@
+//! Column dtypes and inference.
+
+use prov_model::{Value, ValueKind};
+
+/// Logical type of a DataFrame column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// All nulls (no information yet).
+    Null,
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats (also the unification of Int + Float).
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Arrays of values.
+    List,
+    /// Nested objects or mixed scalar kinds.
+    Mixed,
+}
+
+impl DType {
+    /// Human-readable name (shown in dynamic dataflow schemas).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::Null => "null",
+            DType::Bool => "bool",
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Str => "str",
+            DType::List => "list",
+            DType::Mixed => "mixed",
+        }
+    }
+
+    /// True for `Int`/`Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int | DType::Float)
+    }
+
+    /// dtype of one value.
+    pub fn of(value: &Value) -> DType {
+        match value.kind() {
+            ValueKind::Null => DType::Null,
+            ValueKind::Bool => DType::Bool,
+            ValueKind::Int => DType::Int,
+            ValueKind::Float => DType::Float,
+            ValueKind::Str => DType::Str,
+            ValueKind::Array => DType::List,
+            ValueKind::Object => DType::Mixed,
+        }
+    }
+
+    /// Unify two dtypes: nulls are absorbed, Int+Float widen to Float,
+    /// anything else mismatched becomes Mixed.
+    pub fn unify(self, other: DType) -> DType {
+        use DType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, x) | (x, Null) => x,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Mixed,
+        }
+    }
+
+    /// Infer the dtype of a sequence of values.
+    pub fn infer<'a>(values: impl IntoIterator<Item = &'a Value>) -> DType {
+        values
+            .into_iter()
+            .map(DType::of)
+            .fold(DType::Null, DType::unify)
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_rules() {
+        assert_eq!(DType::Int.unify(DType::Float), DType::Float);
+        assert_eq!(DType::Null.unify(DType::Str), DType::Str);
+        assert_eq!(DType::Str.unify(DType::Int), DType::Mixed);
+        assert_eq!(DType::Bool.unify(DType::Bool), DType::Bool);
+    }
+
+    #[test]
+    fn infer_sequences() {
+        let vals = vec![Value::Int(1), Value::Float(2.5), Value::Null];
+        assert_eq!(DType::infer(vals.iter()), DType::Float);
+        let vals = vec![Value::Str("a".into()), Value::Null];
+        assert_eq!(DType::infer(vals.iter()), DType::Str);
+        assert_eq!(DType::infer(std::iter::empty()), DType::Null);
+    }
+
+    #[test]
+    fn numeric_flags() {
+        assert!(DType::Int.is_numeric());
+        assert!(DType::Float.is_numeric());
+        assert!(!DType::Str.is_numeric());
+    }
+}

@@ -1,0 +1,431 @@
+//! Row-level expressions for filtering and derived columns.
+//!
+//! Mirrors the boolean-mask style of pandas: `df[df["cpu"] > 50.0]` becomes
+//! `frame.filter(&col("cpu").gt(lit(50.0)))`.
+
+use crate::frame::DataFrame;
+use prov_model::Value;
+use std::cmp::Ordering;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Python-syntax operator text.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Flip operand order (`a < b` ⇒ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// Evaluate against an ordering.
+    pub fn test(self, ord: Ordering, equal_values: bool) -> bool {
+        match self {
+            CmpOp::Eq => equal_values,
+            CmpOp::Ne => !equal_values,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators for derived values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// Python-syntax operator text.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// An expression evaluated per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison between two sub-expressions.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Arithmetic between two sub-expressions.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `col.str.contains(pattern)` (substring, case-insensitive option).
+    StrContains(Box<Expr>, String, bool),
+    /// `col.str.startswith(prefix)`.
+    StrStartsWith(Box<Expr>, String),
+    /// Membership: `col.isin([...])`.
+    IsIn(Box<Expr>, Vec<Value>),
+    /// `col.isna()`.
+    IsNull(Box<Expr>),
+    /// `col.notna()`.
+    NotNull(Box<Expr>),
+}
+
+/// Column reference helper.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// Literal helper.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+impl Expr {
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(other))
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+    /// `self & other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    /// `self | other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    /// `~self`.
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// Substring containment.
+    pub fn contains(self, pat: impl Into<String>) -> Expr {
+        Expr::StrContains(Box::new(self), pat.into(), false)
+    }
+    /// Case-insensitive substring containment.
+    pub fn icontains(self, pat: impl Into<String>) -> Expr {
+        Expr::StrContains(Box::new(self), pat.into(), true)
+    }
+    /// Prefix match.
+    pub fn starts_with(self, prefix: impl Into<String>) -> Expr {
+        Expr::StrStartsWith(Box::new(self), prefix.into())
+    }
+    /// Membership test.
+    pub fn isin(self, values: Vec<Value>) -> Expr {
+        Expr::IsIn(Box::new(self), values)
+    }
+    /// Null test.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// Non-null test.
+    pub fn not_null(self) -> Expr {
+        Expr::NotNull(Box::new(self))
+    }
+    /// Arithmetic sum.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
+    }
+    /// Arithmetic difference.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
+    }
+    /// Arithmetic product.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
+    }
+    /// Arithmetic quotient.
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
+    }
+
+    /// Evaluate to a value for one row.
+    pub fn eval(&self, frame: &DataFrame, row: usize) -> Value {
+        match self {
+            Expr::Col(name) => frame
+                .column(name)
+                .and_then(|c| c.get(row))
+                .cloned()
+                .unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(a, op, b) => {
+                let av = a.eval(frame, row);
+                let bv = b.eval(frame, row);
+                if av.is_null() || bv.is_null() {
+                    // Null comparisons are false, pandas-style.
+                    return Value::Bool(matches!(op, CmpOp::Ne) && !(av.is_null() && bv.is_null()));
+                }
+                let equal = values_equal(&av, &bv);
+                Value::Bool(op.test(av.compare(&bv), equal))
+            }
+            Expr::Arith(a, op, b) => {
+                let (Some(x), Some(y)) = (a.eval(frame, row).as_f64(), b.eval(frame, row).as_f64())
+                else {
+                    return Value::Null;
+                };
+                let r = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Value::Null;
+                        }
+                        x / y
+                    }
+                };
+                Value::Float(r)
+            }
+            Expr::And(a, b) => Value::Bool(a.truthy(frame, row) && b.truthy(frame, row)),
+            Expr::Or(a, b) => Value::Bool(a.truthy(frame, row) || b.truthy(frame, row)),
+            Expr::Not(a) => Value::Bool(!a.truthy(frame, row)),
+            Expr::StrContains(a, pat, ci) => match a.eval(frame, row) {
+                Value::Str(s) => {
+                    if *ci {
+                        Value::Bool(s.to_lowercase().contains(&pat.to_lowercase()))
+                    } else {
+                        Value::Bool(s.contains(pat.as_str()))
+                    }
+                }
+                _ => Value::Bool(false),
+            },
+            Expr::StrStartsWith(a, prefix) => match a.eval(frame, row) {
+                Value::Str(s) => Value::Bool(s.starts_with(prefix.as_str())),
+                _ => Value::Bool(false),
+            },
+            Expr::IsIn(a, values) => {
+                let v = a.eval(frame, row);
+                Value::Bool(values.iter().any(|x| values_equal(x, &v)))
+            }
+            Expr::IsNull(a) => Value::Bool(a.eval(frame, row).is_null()),
+            Expr::NotNull(a) => Value::Bool(!a.eval(frame, row).is_null()),
+        }
+    }
+
+    /// Evaluate as a boolean (non-bool truthiness follows Python rules).
+    pub fn truthy(&self, frame: &DataFrame, row: usize) -> bool {
+        match self.eval(frame, row) {
+            Value::Bool(b) => b,
+            Value::Null => false,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(a) => !a.is_empty(),
+            Value::Object(m) => !m.is_empty(),
+        }
+    }
+
+    /// Evaluate over every row producing a boolean mask.
+    pub fn mask(&self, frame: &DataFrame) -> Vec<bool> {
+        (0..frame.len()).map(|i| self.truthy(frame, i)).collect()
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a)
+            | Expr::StrContains(a, _, _)
+            | Expr::StrStartsWith(a, _)
+            | Expr::IsIn(a, _)
+            | Expr::IsNull(a)
+            | Expr::NotNull(a) => a.collect_columns(out),
+        }
+    }
+}
+
+/// Value equality with Int/Float coercion (`2 == 2.0`).
+pub fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DataFrame;
+    use prov_model::Value;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "activity_id",
+                vec![
+                    Value::from("run_dft"),
+                    Value::from("postprocess"),
+                    Value::from("run_dft"),
+                ],
+            ),
+            (
+                "cpu",
+                vec![Value::Float(80.0), Value::Float(20.0), Value::Null],
+            ),
+            ("n", vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn comparison_mask() {
+        let f = frame();
+        let m = col("cpu").gt(lit(50.0)).mask(&f);
+        assert_eq!(m, vec![true, false, false]);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let f = frame();
+        let m = col("cpu").le(lit(1000.0)).mask(&f);
+        assert_eq!(m, vec![true, true, false]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let f = frame();
+        let e = col("activity_id")
+            .eq(lit("run_dft"))
+            .and(col("n").ge(lit(2)));
+        assert_eq!(e.mask(&f), vec![false, false, true]);
+        let e = col("n").eq(lit(1)).or(col("n").eq(lit(3)));
+        assert_eq!(e.mask(&f), vec![true, false, true]);
+        let e = col("activity_id").eq(lit("run_dft")).negate();
+        assert_eq!(e.mask(&f), vec![false, true, false]);
+    }
+
+    #[test]
+    fn string_ops() {
+        let f = frame();
+        assert_eq!(
+            col("activity_id").contains("dft").mask(&f),
+            vec![true, false, true]
+        );
+        assert_eq!(
+            col("activity_id").icontains("DFT").mask(&f),
+            vec![true, false, true]
+        );
+        assert_eq!(
+            col("activity_id").starts_with("post").mask(&f),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn membership_and_null_tests() {
+        let f = frame();
+        assert_eq!(
+            col("n").isin(vec![Value::Int(1), Value::Int(3)]).mask(&f),
+            vec![true, false, true]
+        );
+        assert_eq!(col("cpu").is_null().mask(&f), vec![false, false, true]);
+        assert_eq!(col("cpu").not_null().mask(&f), vec![true, true, false]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = frame();
+        let v = col("n").mul(lit(10)).add(lit(5)).eval(&f, 1);
+        assert_eq!(v, Value::Float(25.0));
+        // Division by zero yields null, not a panic.
+        assert_eq!(col("n").div(lit(0)).eval(&f, 0), Value::Null);
+    }
+
+    #[test]
+    fn int_float_equality() {
+        let f = frame();
+        assert_eq!(col("n").eq(lit(2.0)).mask(&f), vec![false, true, false]);
+    }
+
+    #[test]
+    fn column_collection() {
+        let e = col("a").gt(lit(1)).and(col("b").eq(col("a")));
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn missing_column_is_null() {
+        let f = frame();
+        assert_eq!(col("nope").eval(&f, 0), Value::Null);
+        assert_eq!(col("nope").is_null().mask(&f), vec![true, true, true]);
+    }
+}

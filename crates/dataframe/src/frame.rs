@@ -1,0 +1,701 @@
+//! The DataFrame: an ordered collection of equal-length named columns.
+//!
+//! This is the substrate behind the agent's in-memory context (§5.1): recent
+//! task provenance messages are buffered as rows, and LLM-generated queries
+//! execute against it.
+
+use crate::agg::AggFunc;
+use crate::column::Column;
+use crate::dtype::DType;
+use crate::expr::Expr;
+use crate::groupby::GroupBy;
+use prov_model::{Map, TaskMessage, Value};
+use std::collections::HashMap;
+
+/// Errors raised by DataFrame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Referenced column does not exist; carries the available columns.
+    UnknownColumn {
+        /// The missing column name.
+        name: String,
+        /// Columns that do exist (for error messages and LLM feedback).
+        available: Vec<String>,
+    },
+    /// Columns passed to a constructor had inconsistent lengths.
+    LengthMismatch {
+        /// Expected row count.
+        expected: usize,
+        /// Offending column name.
+        column: String,
+        /// Its actual length.
+        actual: usize,
+    },
+    /// Operation requires a numeric column.
+    NotNumeric(String),
+    /// Operation is invalid on an empty frame.
+    Empty,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::UnknownColumn { name, available } => {
+                write!(f, "unknown column '{name}'; available: {available:?}")
+            }
+            FrameError::LengthMismatch {
+                expected,
+                column,
+                actual,
+            } => write!(
+                f,
+                "column '{column}' has {actual} rows, expected {expected}"
+            ),
+            FrameError::NotNumeric(c) => write!(f, "column '{c}' is not numeric"),
+            FrameError::Empty => write!(f, "operation invalid on an empty DataFrame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Result alias for frame operations.
+pub type FrameResult<T> = Result<T, FrameError>;
+
+/// An ordered, named, equal-length collection of columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFrame {
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+    rows: usize,
+}
+
+impl DataFrame {
+    /// An empty frame (no rows, no columns).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(name, values)` pairs; all lengths must agree.
+    pub fn from_columns(
+        cols: Vec<(impl Into<String>, Vec<Value>)>,
+    ) -> FrameResult<Self> {
+        let mut df = DataFrame::new();
+        let mut expected = None;
+        for (name, values) in cols {
+            let name = name.into();
+            let n = values.len();
+            match expected {
+                None => expected = Some(n),
+                Some(e) if e != n => {
+                    return Err(FrameError::LengthMismatch {
+                        expected: e,
+                        column: name,
+                        actual: n,
+                    })
+                }
+                _ => {}
+            }
+            df.insert_column(Column::new(name, values));
+        }
+        df.rows = expected.unwrap_or(0);
+        Ok(df)
+    }
+
+    /// Build from row maps; the column set is the union of keys, with nulls
+    /// filling gaps.
+    pub fn from_rows(rows: &[Map]) -> Self {
+        let mut df = DataFrame::new();
+        for row in rows {
+            df.push_row(row);
+        }
+        df
+    }
+
+    /// Build from task provenance messages (one row per message).
+    ///
+    /// Flattening policy (documented for schema stability):
+    /// * common fields keep their names (`task_id`, `activity_id`, ...);
+    /// * `duration` is computed as `ended_at - started_at`;
+    /// * children of `used`/`generated` are flattened with their bare dotted
+    ///   names (`bd_energy`, `frags.label`); on a cross-section name clash
+    ///   the later column gets a `used.`/`generated.` prefix;
+    /// * telemetry keeps fully qualified dotted names plus derived scalar
+    ///   means `cpu_percent_start`, `cpu_percent_end`, `gpu_percent_end`,
+    ///   `mem_used_mb_end`.
+    pub fn from_messages<'a>(messages: impl IntoIterator<Item = &'a TaskMessage>) -> Self {
+        let mut df = DataFrame::new();
+        for m in messages {
+            df.push_message(m);
+        }
+        df
+    }
+
+    /// Append one message as a row (incremental form of [`from_messages`]).
+    ///
+    /// [`from_messages`]: DataFrame::from_messages
+    pub fn push_message(&mut self, m: &TaskMessage) {
+        let mut row = Map::new();
+        row.insert("task_id".into(), Value::Str(m.task_id.as_str().into()));
+        row.insert(
+            "campaign_id".into(),
+            Value::Str(m.campaign_id.as_str().into()),
+        );
+        row.insert(
+            "workflow_id".into(),
+            Value::Str(m.workflow_id.as_str().into()),
+        );
+        row.insert(
+            "activity_id".into(),
+            Value::Str(m.activity_id.as_str().into()),
+        );
+        row.insert("started_at".into(), Value::Float(m.started_at));
+        row.insert("ended_at".into(), Value::Float(m.ended_at));
+        row.insert("duration".into(), Value::Float(m.duration()));
+        row.insert("hostname".into(), Value::Str(m.hostname.clone()));
+        row.insert("status".into(), Value::Str(m.status.as_str().into()));
+        row.insert("type".into(), Value::Str(m.msg_type.as_str().into()));
+        if !m.depends_on.is_empty() {
+            row.insert(
+                "depends_on".into(),
+                Value::Array(
+                    m.depends_on
+                        .iter()
+                        .map(|t| Value::Str(t.as_str().into()))
+                        .collect(),
+                ),
+            );
+        }
+        for (key, value) in m.used.flatten() {
+            let name = self.dataflow_column_name(&key, "used", &row);
+            row.insert(name, value);
+        }
+        for (key, value) in m.generated.flatten() {
+            let name = self.dataflow_column_name(&key, "generated", &row);
+            row.insert(name, value);
+        }
+        if let Some(t) = &m.telemetry_at_start {
+            for (key, value) in t.to_value().flatten() {
+                row.insert(format!("telemetry_at_start.{key}"), value);
+            }
+            row.insert("cpu_percent_start".into(), Value::Float(t.cpu_mean()));
+        }
+        if let Some(t) = &m.telemetry_at_end {
+            for (key, value) in t.to_value().flatten() {
+                row.insert(format!("telemetry_at_end.{key}"), value);
+            }
+            row.insert("cpu_percent_end".into(), Value::Float(t.cpu_mean()));
+            row.insert("gpu_percent_end".into(), Value::Float(t.gpu_mean()));
+            row.insert("mem_used_mb_end".into(), Value::Float(t.mem_used_mb));
+        }
+        for (k, v) in &m.tags {
+            row.insert(format!("tags.{k}"), v.clone());
+        }
+        self.push_row(&row);
+    }
+
+    fn dataflow_column_name(&self, key: &str, section: &str, row: &Map) -> String {
+        // Bare name unless it clashes with a common field or a column this
+        // same row already set (e.g. `used.x` and `generated.x`).
+        let clashes = prov_model::schema::common_field(key).is_some()
+            || row.contains_key(key)
+            || matches!(key, "duration" | "cpu_percent_start" | "cpu_percent_end");
+        if clashes {
+            format!("{section}.{key}")
+        } else {
+            key.to_string()
+        }
+    }
+
+    /// Append one row map; unseen keys create new null-backfilled columns.
+    pub fn push_row(&mut self, row: &Map) {
+        for key in row.keys() {
+            if !self.index.contains_key(key) {
+                self.insert_column(Column::new(key.clone(), vec![Value::Null; self.rows]));
+            }
+        }
+        for c in &mut self.columns {
+            let v = row.get(c.name()).cloned().unwrap_or(Value::Null);
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+
+    fn insert_column(&mut self, col: Column) {
+        self.index.insert(col.name().to_string(), self.columns.len());
+        self.columns.push(col);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(Column::name).collect()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Column lookup returning a descriptive error on miss.
+    pub fn column_checked(&self, name: &str) -> FrameResult<&Column> {
+        self.column(name).ok_or_else(|| FrameError::UnknownColumn {
+            name: name.to_string(),
+            available: self.column_names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// True when the column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Project onto a subset of columns (order follows `names`).
+    pub fn select(&self, names: &[&str]) -> FrameResult<DataFrame> {
+        let mut df = DataFrame::new();
+        for &n in names {
+            let c = self.column_checked(n)?;
+            df.insert_column(c.clone());
+        }
+        df.rows = self.rows;
+        Ok(df)
+    }
+
+    /// Keep rows where the expression is truthy.
+    pub fn filter(&self, predicate: &Expr) -> DataFrame {
+        self.filter_mask(&predicate.mask(self))
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter_mask(&self, mask: &[bool]) -> DataFrame {
+        let mut df = DataFrame::new();
+        for c in &self.columns {
+            df.insert_column(c.filter(mask));
+        }
+        df.rows = mask.iter().filter(|&&m| m).count();
+        df
+    }
+
+    /// Take rows by index.
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        let mut df = DataFrame::new();
+        for c in &self.columns {
+            df.insert_column(c.take(indices));
+        }
+        df.rows = indices.len();
+        df
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let idx: Vec<usize> = (0..self.rows.min(n)).collect();
+        self.take(&idx)
+    }
+
+    /// Last `n` rows.
+    pub fn tail(&self, n: usize) -> DataFrame {
+        let start = self.rows.saturating_sub(n);
+        let idx: Vec<usize> = (start..self.rows).collect();
+        self.take(&idx)
+    }
+
+    /// Stable multi-key sort. Each key is `(column, ascending)`.
+    pub fn sort_values(&self, keys: &[(&str, bool)]) -> FrameResult<DataFrame> {
+        for (k, _) in keys {
+            self.column_checked(k)?;
+        }
+        let mut idx: Vec<usize> = (0..self.rows).collect();
+        idx.sort_by(|&a, &b| {
+            for (kname, asc) in keys {
+                let c = self.column(kname).expect("validated above");
+                let va = c.get(a).expect("row in range");
+                let vb = c.get(b).expect("row in range");
+                // Nulls sort last regardless of direction (pandas default).
+                let ord = match (va.is_null(), vb.is_null()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => {
+                        let o = va.compare(vb);
+                        if *asc {
+                            o
+                        } else {
+                            o.reverse()
+                        }
+                    }
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(self.take(&idx))
+    }
+
+    /// Drop duplicate rows considering `subset` columns (all when empty).
+    pub fn drop_duplicates(&self, subset: &[&str]) -> FrameResult<DataFrame> {
+        let cols: Vec<&Column> = if subset.is_empty() {
+            self.columns.iter().collect()
+        } else {
+            subset
+                .iter()
+                .map(|n| self.column_checked(n))
+                .collect::<FrameResult<_>>()?
+        };
+        let mut seen: Vec<Vec<&Value>> = Vec::new();
+        let mut keep = Vec::with_capacity(self.rows);
+        for row in 0..self.rows {
+            let key: Vec<&Value> = cols.iter().map(|c| c.get(row).expect("in range")).collect();
+            if seen.contains(&key) {
+                keep.push(false);
+            } else {
+                seen.push(key);
+                keep.push(true);
+            }
+        }
+        Ok(self.filter_mask(&keep))
+    }
+
+    /// Add (or replace) a column computed from an expression.
+    pub fn with_column(&self, name: impl Into<String>, expr: &Expr) -> DataFrame {
+        let name = name.into();
+        let values: Vec<Value> = (0..self.rows).map(|i| expr.eval(self, i)).collect();
+        let mut df = self.clone();
+        if let Some(&i) = df.index.get(&name) {
+            df.columns[i] = Column::new(name, values);
+        } else {
+            df.insert_column(Column::new(name, values));
+        }
+        df
+    }
+
+    /// Aggregate one column.
+    pub fn agg(&self, column: &str, func: AggFunc) -> FrameResult<Value> {
+        Ok(self.column_checked(column)?.agg(func))
+    }
+
+    /// Group rows by key columns.
+    pub fn groupby(&self, keys: &[&str]) -> FrameResult<GroupBy<'_>> {
+        GroupBy::new(self, keys)
+    }
+
+    /// Distinct values of one column.
+    pub fn unique(&self, column: &str) -> FrameResult<Vec<Value>> {
+        Ok(self.column_checked(column)?.unique())
+    }
+
+    /// Value counts of a column, descending, as a `(value, count)` frame.
+    pub fn value_counts(&self, column: &str) -> FrameResult<DataFrame> {
+        let c = self.column_checked(column)?;
+        let mut counts: Vec<(Value, i64)> = Vec::new();
+        for v in c.values() {
+            if v.is_null() {
+                continue;
+            }
+            match counts.iter_mut().find(|(k, _)| k == v) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((v.clone(), 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.compare(&b.0)));
+        DataFrame::from_columns(vec![
+            (
+                column.to_string(),
+                counts.iter().map(|(v, _)| v.clone()).collect(),
+            ),
+            (
+                "count".to_string(),
+                counts.iter().map(|(_, n)| Value::Int(*n)).collect(),
+            ),
+        ])
+    }
+
+    /// One row as a key→value map.
+    pub fn row(&self, idx: usize) -> Option<Map> {
+        if idx >= self.rows {
+            return None;
+        }
+        let mut m = Map::new();
+        for c in &self.columns {
+            m.insert(c.name().to_string(), c.get(idx).cloned().unwrap_or(Value::Null));
+        }
+        Some(m)
+    }
+
+    /// Iterate rows as maps.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Map> + '_ {
+        (0..self.rows).filter_map(|i| self.row(i))
+    }
+
+    /// Vertical concatenation; the column set becomes the union.
+    pub fn concat(&self, other: &DataFrame) -> DataFrame {
+        let mut df = self.clone();
+        for row in other.iter_rows() {
+            df.push_row(&row);
+        }
+        df
+    }
+
+    /// `(column, dtype)` pairs, the raw material of the dataflow schema.
+    pub fn dtypes(&self) -> Vec<(String, DType)> {
+        self.columns
+            .iter()
+            .map(|c| (c.name().to_string(), c.dtype()))
+            .collect()
+    }
+
+    /// Summary statistics for numeric columns
+    /// (count/mean/std/min/median/max), pandas `describe()`-style.
+    pub fn describe(&self) -> DataFrame {
+        let numeric: Vec<&Column> = self
+            .columns
+            .iter()
+            .filter(|c| c.dtype().is_numeric())
+            .collect();
+        let stats = [
+            ("count", AggFunc::Count),
+            ("mean", AggFunc::Mean),
+            ("std", AggFunc::Std),
+            ("min", AggFunc::Min),
+            ("median", AggFunc::Median),
+            ("max", AggFunc::Max),
+        ];
+        let mut cols: Vec<(String, Vec<Value>)> = vec![(
+            "stat".to_string(),
+            stats.iter().map(|(n, _)| Value::from(*n)).collect(),
+        )];
+        for c in numeric {
+            cols.push((
+                c.name().to_string(),
+                stats.iter().map(|(_, f)| c.agg(*f)).collect(),
+            ));
+        }
+        DataFrame::from_columns(cols).expect("equal lengths by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use prov_model::{obj, TaskMessageBuilder, TelemetrySynth};
+
+    fn messages() -> Vec<TaskMessage> {
+        let synth = TelemetrySynth::frontier(9);
+        (0..6)
+            .map(|i| {
+                TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    "wf-1",
+                    if i % 2 == 0 { "run_dft" } else { "postprocess" },
+                )
+                .uses("molecule", "CCO")
+                .uses("conf_id", i as i64)
+                .generates("energy", -155.0 - i as f64)
+                .span(100.0 + i as f64, 101.5 + i as f64)
+                .host(format!("frontier0008{}", i % 3))
+                .telemetry(synth.snapshot(i as u64, 0, 0.6), synth.snapshot(i as u64, 1, 0.6))
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_messages_layout() {
+        let df = DataFrame::from_messages(&messages());
+        assert_eq!(df.len(), 6);
+        for name in [
+            "task_id",
+            "activity_id",
+            "duration",
+            "molecule",
+            "conf_id",
+            "energy",
+            "cpu_percent_end",
+        ] {
+            assert!(df.has_column(name), "missing {name}");
+        }
+        assert_eq!(
+            df.column("duration").unwrap().get(0),
+            Some(&Value::Float(1.5))
+        );
+    }
+
+    #[test]
+    fn select_filter_sort() {
+        let df = DataFrame::from_messages(&messages());
+        let out = df
+            .filter(&col("activity_id").eq(lit("run_dft")))
+            .sort_values(&[("energy", true)])
+            .unwrap()
+            .select(&["task_id", "energy"])
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.width(), 2);
+        let e = out.column("energy").unwrap().numeric();
+        assert!(e.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn select_unknown_column_errors() {
+        let df = DataFrame::from_messages(&messages());
+        let err = df.select(&["nope"]).unwrap_err();
+        match err {
+            FrameError::UnknownColumn { name, available } => {
+                assert_eq!(name, "nope");
+                assert!(available.contains(&"task_id".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_desc_and_nulls_last() {
+        let df = DataFrame::from_columns(vec![(
+            "x",
+            vec![Value::Int(1), Value::Null, Value::Int(5), Value::Int(3)],
+        )])
+        .unwrap();
+        let sorted = df.sort_values(&[("x", false)]).unwrap();
+        let vals = sorted.column("x").unwrap().values().to_vec();
+        assert_eq!(
+            vals,
+            vec![Value::Int(5), Value::Int(3), Value::Int(1), Value::Null]
+        );
+    }
+
+    #[test]
+    fn head_tail_take() {
+        let df = DataFrame::from_messages(&messages());
+        assert_eq!(df.head(2).len(), 2);
+        assert_eq!(df.tail(2).len(), 2);
+        assert_eq!(df.head(100).len(), 6);
+        let t = df.take(&[5, 0]);
+        assert_eq!(
+            t.column("task_id").unwrap().get(0),
+            Some(&Value::Str("t5".into()))
+        );
+    }
+
+    #[test]
+    fn push_row_backfills_nulls() {
+        let mut df = DataFrame::new();
+        let mut r1 = Map::new();
+        r1.insert("a".into(), Value::Int(1));
+        df.push_row(&r1);
+        let mut r2 = Map::new();
+        r2.insert("b".into(), Value::Int(2));
+        df.push_row(&r2);
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.column("b").unwrap().get(0), Some(&Value::Null));
+        assert_eq!(df.column("a").unwrap().get(1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn value_counts_descending() {
+        let df = DataFrame::from_messages(&messages());
+        let vc = df.value_counts("activity_id").unwrap();
+        assert_eq!(vc.len(), 2);
+        assert_eq!(vc.column("count").unwrap().get(0), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn drop_duplicates_subset() {
+        let df = DataFrame::from_messages(&messages());
+        let dd = df.drop_duplicates(&["activity_id"]).unwrap();
+        assert_eq!(dd.len(), 2);
+    }
+
+    #[test]
+    fn with_column_derives() {
+        let df = DataFrame::from_messages(&messages());
+        let df2 = df.with_column("e2", &col("energy").mul(lit(2.0)));
+        assert_eq!(
+            df2.column("e2").unwrap().get(0).and_then(Value::as_f64),
+            Some(-310.0)
+        );
+        // Replacement keeps width.
+        let df3 = df2.with_column("e2", &lit(0));
+        assert_eq!(df3.width(), df2.width());
+    }
+
+    #[test]
+    fn describe_contains_stats() {
+        let df = DataFrame::from_messages(&messages());
+        let d = df.describe();
+        assert_eq!(d.len(), 6);
+        assert!(d.has_column("energy"));
+        assert!(d.has_column("duration"));
+    }
+
+    #[test]
+    fn collision_gets_section_prefix() {
+        let m = TaskMessageBuilder::new("t", "wf", "a")
+            .uses("x", 1)
+            .generates("x", 2)
+            .uses("status", "custom") // clashes with common field
+            .build();
+        let df = DataFrame::from_messages(std::iter::once(&m));
+        assert!(df.has_column("x"));
+        assert!(df.has_column("generated.x"));
+        assert!(df.has_column("used.status"));
+        assert_eq!(
+            df.column("status").unwrap().get(0),
+            Some(&Value::Str("FINISHED".into()))
+        );
+    }
+
+    #[test]
+    fn concat_unions_columns() {
+        let a = DataFrame::from_columns(vec![("x", vec![Value::Int(1)])]).unwrap();
+        let b = DataFrame::from_columns(vec![("y", vec![Value::Int(2)])]).unwrap();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert!(c.has_column("x") && c.has_column("y"));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(1)]),
+            ("b", vec![Value::Int(1), Value::Int(2)]),
+        ]);
+        assert!(matches!(r, Err(FrameError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let df = DataFrame::from_messages(&messages());
+        let rows: Vec<Map> = df.iter_rows().collect();
+        let df2 = DataFrame::from_rows(&rows);
+        assert_eq!(df2.len(), df.len());
+        assert_eq!(
+            df2.column("energy").unwrap().values(),
+            df.column("energy").unwrap().values()
+        );
+    }
+
+    #[test]
+    fn tags_flattened() {
+        let m = TaskMessageBuilder::new("t", "wf", "a")
+            .build()
+            .with_tag("anomaly", obj! {"metric" => "cpu"});
+        let df = DataFrame::from_messages(std::iter::once(&m));
+        assert!(df.has_column("tags.anomaly"));
+    }
+}

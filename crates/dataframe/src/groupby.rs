@@ -1,0 +1,225 @@
+//! Group-by and aggregation over grouped buckets.
+
+use crate::agg::AggFunc;
+use crate::frame::{DataFrame, FrameError, FrameResult};
+use prov_model::Value;
+
+/// A grouping of frame rows by one or more key columns.
+///
+/// Group order is first-appearance order (deterministic), matching what
+/// `sort=False` group-bys do in pandas; callers sort explicitly when needed.
+#[derive(Debug)]
+pub struct GroupBy<'f> {
+    frame: &'f DataFrame,
+    keys: Vec<String>,
+    /// Parallel vectors: each group's key values and member row indices.
+    groups: Vec<(Vec<Value>, Vec<usize>)>,
+}
+
+impl<'f> GroupBy<'f> {
+    pub(crate) fn new(frame: &'f DataFrame, keys: &[&str]) -> FrameResult<Self> {
+        if keys.is_empty() {
+            return Err(FrameError::UnknownColumn {
+                name: "<empty group key>".to_string(),
+                available: frame.column_names().iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        let key_cols: Vec<_> = keys
+            .iter()
+            .map(|k| frame.column_checked(k))
+            .collect::<FrameResult<_>>()?;
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        for row in 0..frame.len() {
+            let key: Vec<Value> = key_cols
+                .iter()
+                .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
+                .collect();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, rows)) => rows.push(row),
+                None => groups.push((key, vec![row])),
+            }
+        }
+        Ok(Self {
+            frame,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            groups,
+        })
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterate `(key values, member frame)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], DataFrame)> + '_ {
+        self.groups
+            .iter()
+            .map(|(k, rows)| (k.as_slice(), self.frame.take(rows)))
+    }
+
+    /// Aggregate: for each group apply `(column, func)` specs, producing one
+    /// output row per group with key columns plus `column_func` columns
+    /// (a single spec keeps the bare column name, pandas-style).
+    pub fn agg(&self, specs: &[(&str, AggFunc)]) -> FrameResult<DataFrame> {
+        for (c, _) in specs {
+            self.frame.column_checked(c)?;
+        }
+        let single = specs.len() == 1;
+        let mut cols: Vec<(String, Vec<Value>)> = self
+            .keys
+            .iter()
+            .map(|k| (k.clone(), Vec::with_capacity(self.groups.len())))
+            .collect();
+        for (i, k) in self.keys.iter().enumerate() {
+            let _ = k;
+            for (key, _) in &self.groups {
+                cols[i].1.push(key[i].clone());
+            }
+        }
+        for (cname, func) in specs {
+            let out_name = if single {
+                cname.to_string()
+            } else {
+                format!("{cname}_{}", func.name())
+            };
+            let col = self.frame.column(cname).expect("validated");
+            let mut out = Vec::with_capacity(self.groups.len());
+            for (_, rows) in &self.groups {
+                let vals: Vec<Value> = rows
+                    .iter()
+                    .map(|&r| col.get(r).cloned().unwrap_or(Value::Null))
+                    .collect();
+                out.push(func.apply(&vals));
+            }
+            cols.push((out_name, out));
+        }
+        DataFrame::from_columns(cols)
+    }
+
+    /// Group sizes as a `(keys..., size)` frame.
+    pub fn size(&self) -> DataFrame {
+        let mut cols: Vec<(String, Vec<Value>)> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    k.clone(),
+                    self.groups.iter().map(|(key, _)| key[i].clone()).collect(),
+                )
+            })
+            .collect();
+        cols.push((
+            "size".to_string(),
+            self.groups
+                .iter()
+                .map(|(_, rows)| Value::Int(rows.len() as i64))
+                .collect(),
+        ));
+        DataFrame::from_columns(cols).expect("equal lengths by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::Value;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "bond",
+                vec![
+                    Value::from("C-H"),
+                    Value::from("C-C"),
+                    Value::from("C-H"),
+                    Value::from("O-H"),
+                    Value::from("C-H"),
+                ],
+            ),
+            (
+                "bde",
+                vec![
+                    Value::Float(98.6),
+                    Value::Float(87.1),
+                    Value::Float(99.2),
+                    Value::Float(104.8),
+                    Value::Float(98.9),
+                ],
+            ),
+            (
+                "host",
+                vec![
+                    Value::from("n0"),
+                    Value::from("n0"),
+                    Value::from("n1"),
+                    Value::from("n1"),
+                    Value::from("n0"),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_agg_keeps_bare_name() {
+        let f = frame();
+        let g = f.groupby(&["bond"]).unwrap();
+        let out = g.agg(&[("bde", AggFunc::Mean)]).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.has_column("bde"));
+        let ch = out
+            .filter(&crate::expr::col("bond").eq(crate::expr::lit("C-H")))
+            .column("bde")
+            .unwrap()
+            .numeric()[0];
+        assert!((ch - (98.6 + 99.2 + 98.9) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_agg_suffixes_names() {
+        let f = frame();
+        let out = f
+            .groupby(&["bond"])
+            .unwrap()
+            .agg(&[("bde", AggFunc::Mean), ("bde", AggFunc::Max)])
+            .unwrap();
+        assert!(out.has_column("bde_mean"));
+        assert!(out.has_column("bde_max"));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let f = frame();
+        let g = f.groupby(&["bond", "host"]).unwrap();
+        assert_eq!(g.group_count(), 4);
+        let sizes = g.size();
+        assert_eq!(sizes.len(), 4);
+        let total: i64 = sizes
+            .column("size")
+            .unwrap()
+            .values()
+            .iter()
+            .filter_map(Value::as_i64)
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let f = frame();
+        assert!(f.groupby(&["nope"]).is_err());
+        assert!(f.groupby(&[]).is_err());
+        let g = f.groupby(&["bond"]).unwrap();
+        assert!(g.agg(&[("nope", AggFunc::Mean)]).is_err());
+    }
+
+    #[test]
+    fn iter_groups() {
+        let f = frame();
+        let g = f.groupby(&["host"]).unwrap();
+        let sizes: Vec<usize> = g.iter().map(|(_, sub)| sub.len()).collect();
+        assert_eq!(sizes, vec![3, 2]); // first-appearance order: n0 then n1
+    }
+}

@@ -1,0 +1,187 @@
+//! Parallel kernels for large frames.
+//!
+//! The in-memory context can hold 10⁵–10⁶ rows for long-running HPC jobs;
+//! filtering and numeric reductions are embarrassingly parallel, so we chunk
+//! the row space across scoped threads (crossbeam) and merge. Sequential
+//! fallbacks kick in below a threshold where thread startup dominates.
+
+use crate::expr::Expr;
+use crate::frame::DataFrame;
+use prov_model::Value;
+
+/// Below this row count the sequential path is used
+/// (thread spawn ≈ 10 µs each easily exceeds the work).
+pub const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Compute a boolean mask for `expr` over `frame`, splitting rows across
+/// `threads` workers. Produces exactly the same mask as [`Expr::mask`].
+pub fn par_mask(frame: &DataFrame, expr: &Expr, threads: usize) -> Vec<bool> {
+    let n = frame.len();
+    if n < PARALLEL_THRESHOLD || threads <= 1 {
+        return expr.mask(frame);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut mask = vec![false; n];
+    // Split the output buffer into disjoint chunks; each worker fills its
+    // own slice, so no synchronization is needed (data-race freedom by
+    // construction, rayon-style).
+    let slices: Vec<&mut [bool]> = mask.chunks_mut(chunk).collect();
+    crossbeam::thread::scope(|s| {
+        for (ci, out) in slices.into_iter().enumerate() {
+            let start = ci * chunk;
+            s.spawn(move |_| {
+                for (off, slot) in out.iter_mut().enumerate() {
+                    *slot = expr.truthy(frame, start + off);
+                }
+            });
+        }
+    })
+    .expect("worker panicked in par_mask");
+    mask
+}
+
+/// Parallel filter: `frame[expr]` with the mask computed across threads.
+pub fn par_filter(frame: &DataFrame, expr: &Expr, threads: usize) -> DataFrame {
+    let mask = par_mask(frame, expr, threads);
+    frame.filter_mask(&mask)
+}
+
+/// Parallel sum + count of a numeric column; returns `(sum, non-null count)`.
+pub fn par_sum_count(frame: &DataFrame, column: &str, threads: usize) -> (f64, usize) {
+    let Some(col) = frame.column(column) else {
+        return (0.0, 0);
+    };
+    let values = col.values();
+    let n = values.len();
+    if n < PARALLEL_THRESHOLD || threads <= 1 {
+        let mut sum = 0.0;
+        let mut count = 0;
+        for v in values {
+            if let Some(x) = v.as_f64() {
+                sum += x;
+                count += 1;
+            }
+        }
+        return (sum, count);
+    }
+    let chunk = n.div_ceil(threads);
+    let partials = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    let mut sum = 0.0;
+                    let mut count = 0usize;
+                    for v in part {
+                        if let Some(x) = v.as_f64() {
+                            sum += x;
+                            count += 1;
+                        }
+                    }
+                    (sum, count)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope failed in par_sum_count");
+    partials
+        .into_iter()
+        .fold((0.0, 0), |(s, c), (ps, pc)| (s + ps, c + pc))
+}
+
+/// Parallel mean of a numeric column (`None` when no numeric values).
+pub fn par_mean(frame: &DataFrame, column: &str, threads: usize) -> Option<f64> {
+    let (sum, count) = par_sum_count(frame, column, threads);
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Parallel min/max of a numeric column.
+pub fn par_min_max(frame: &DataFrame, column: &str, threads: usize) -> Option<(f64, f64)> {
+    let col = frame.column(column)?;
+    let values = col.values();
+    let n = values.len();
+    let reduce = |part: &[Value]| -> Option<(f64, f64)> {
+        let mut mm: Option<(f64, f64)> = None;
+        for v in part {
+            if let Some(x) = v.as_f64() {
+                mm = Some(match mm {
+                    None => (x, x),
+                    Some((lo, hi)) => (lo.min(x), hi.max(x)),
+                });
+            }
+        }
+        mm
+    };
+    if n < PARALLEL_THRESHOLD || threads <= 1 {
+        return reduce(values);
+    }
+    let chunk = n.div_ceil(threads);
+    let partials = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = values
+            .chunks(chunk)
+            .map(|part| s.spawn(move |_| reduce(part)))
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope failed in par_min_max");
+    partials
+        .into_iter()
+        .reduce(|(alo, ahi), (blo, bhi)| (alo.min(blo), ahi.max(bhi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    fn big_frame(n: usize) -> DataFrame {
+        let xs: Vec<Value> = (0..n).map(|i| Value::Int(i as i64)).collect();
+        let ys: Vec<Value> = (0..n).map(|i| Value::Float((i % 100) as f64)).collect();
+        DataFrame::from_columns(vec![("x", xs), ("y", ys)]).unwrap()
+    }
+
+    #[test]
+    fn par_mask_matches_sequential() {
+        let f = big_frame(10_000);
+        let e = col("y").gt(lit(49.0));
+        assert_eq!(par_mask(&f, &e, 4), e.mask(&f));
+    }
+
+    #[test]
+    fn par_filter_counts() {
+        let f = big_frame(10_000);
+        let out = par_filter(&f, &col("y").lt(lit(10.0)), 4);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn par_mean_matches() {
+        let f = big_frame(20_000);
+        let m = par_mean(&f, "y", 8).unwrap();
+        assert!((m - 49.5).abs() < 1e-9);
+        // Small frames use the sequential path but give the same answer.
+        let small = big_frame(10);
+        assert_eq!(par_mean(&small, "y", 8), Some(4.5));
+    }
+
+    #[test]
+    fn par_min_max_matches() {
+        let f = big_frame(10_000);
+        assert_eq!(par_min_max(&f, "y", 4), Some((0.0, 99.0)));
+        assert_eq!(par_min_max(&f, "missing", 4), None);
+    }
+
+    #[test]
+    fn single_thread_degenerates_gracefully() {
+        let f = big_frame(5000);
+        let e = col("x").ge(lit(2500));
+        assert_eq!(par_mask(&f, &e, 1), e.mask(&f));
+    }
+}

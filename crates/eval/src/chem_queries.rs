@@ -1,0 +1,301 @@
+//! The §5.3 live-interaction study: ten natural-language questions asked
+//! against the running chemistry workflow, with the paper's documented
+//! outcomes (Q5 and Q8 incorrect, Q3 correct-with-unit-error, the rest
+//! correct with noted presentation caveats).
+
+use agent_core::{AgentConfig, ContextManager, ProvenanceAgent, RagStrategy};
+use llm_sim::{ModelId, SimLlmServer};
+use prov_model::{sim_clock, TaskMessage};
+use prov_stream::StreamingHub;
+use std::sync::Arc;
+
+/// Expected outcome of a demo question, as reported in §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// Fully correct.
+    Correct,
+    /// Correct with a caveat (verbose table, missing unit/label, ...).
+    CorrectWithCaveat(&'static str),
+    /// Incorrect.
+    Incorrect(&'static str),
+}
+
+/// One demo question.
+#[derive(Debug, Clone)]
+pub struct ChemQuery {
+    /// Paper id (Q1…Q10).
+    pub id: &'static str,
+    /// The question, verbatim from §5.3.
+    pub question: &'static str,
+    /// The paper's reported outcome.
+    pub expected: Expected,
+}
+
+/// The ten §5.3 questions.
+pub fn chem_queries() -> Vec<ChemQuery> {
+    use Expected::*;
+    vec![
+        ChemQuery {
+            id: "Q1",
+            question: "Which bond has the highest dissociation free energy?",
+            expected: Correct,
+        },
+        ChemQuery {
+            id: "Q2",
+            question: "What functional was used for the calculations?",
+            expected: CorrectWithCaveat("tabular result repeats the value across calculations"),
+        },
+        ChemQuery {
+            id: "Q3",
+            question: "What is the lowest energy bond enthalpy?",
+            expected: CorrectWithCaveat("wrong unit (kJ/mol) and missing bond id"),
+        },
+        ChemQuery {
+            id: "Q4",
+            question: "What is the number of atoms in this molecule?",
+            expected: CorrectWithCaveat("atom counts not clearly associated with molecule labels"),
+        },
+        ChemQuery {
+            id: "Q5",
+            question: "What is the number of atoms in the parent molecule?",
+            expected: Incorrect("summed atom counts across all molecules (81 instead of 9)"),
+        },
+        ChemQuery {
+            id: "Q6",
+            question: "What are the multiplicity and charge of the parent?",
+            expected: Correct,
+        },
+        ChemQuery {
+            id: "Q7",
+            question: "Plot a bar graph displaying the bond dissociation enthalpy for each bond label.",
+            expected: Correct,
+        },
+        ChemQuery {
+            id: "Q8",
+            question: "For this molecule, please plot a bar graph displaying the bond dissociation enthalpy with averaged C-H values.",
+            expected: Incorrect("failed to group C-H bonds and average before plotting"),
+        },
+        ChemQuery {
+            id: "Q9",
+            question: "What is the average bond dissociation enthalpy for the bond labels that contain 'C-H'?",
+            expected: Correct,
+        },
+        ChemQuery {
+            id: "Q10",
+            question: "What is the multiplicity and charge of any fragment?",
+            expected: Correct,
+        },
+    ]
+}
+
+/// The observed outcome of one question in the live demo.
+#[derive(Debug)]
+pub struct ChemObservation {
+    /// Question id.
+    pub id: &'static str,
+    /// The question asked.
+    pub question: &'static str,
+    /// Paper-reported outcome.
+    pub expected: Expected,
+    /// Generated query code (when any).
+    pub code: Option<String>,
+    /// Agent answer text.
+    pub answer: String,
+    /// Rendered chart, when the question produced one.
+    pub chart: Option<String>,
+    /// Whether our agent's behavior matches the paper's report.
+    pub matches_paper: bool,
+    /// Note explaining the verdict.
+    pub note: String,
+}
+
+/// Run the chemistry workflow (ethanol on simulated Frontier) and put the
+/// ten questions to a GPT-4-backed agent, checking each observation
+/// against the §5.3 report.
+pub fn run_chem_demo(seed: u64) -> Vec<ChemObservation> {
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    workflows::run_bde_workflow(&hub, sim_clock(), seed, "CCO", 2)
+        .expect("chemistry workflow executes");
+    let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+    let ctx = ContextManager::default_sized();
+    ctx.ingest_all(&msgs);
+    run_chem_demo_on(ctx, hub, seed)
+}
+
+/// Run the demo against an existing context (e.g. shared with an example).
+pub fn run_chem_demo_on(
+    ctx: Arc<ContextManager>,
+    hub: StreamingHub,
+    seed: u64,
+) -> Vec<ChemObservation> {
+    let agent = ProvenanceAgent::new(
+        ctx,
+        hub,
+        Box::new(SimLlmServer::new(ModelId::Gpt)),
+        None,
+        sim_clock(),
+        AgentConfig {
+            strategy: RagStrategy::Full,
+            seed,
+            ..AgentConfig::default()
+        },
+    );
+    chem_queries()
+        .into_iter()
+        .map(|q| {
+            let reply = agent.chat(q.question);
+            let (matches_paper, note) = check(&q, &reply);
+            ChemObservation {
+                id: q.id,
+                question: q.question,
+                expected: q.expected,
+                code: reply.code,
+                answer: reply.text,
+                chart: reply.chart.map(|c| c.render_ascii(40)),
+                matches_paper,
+                note,
+            }
+        })
+        .collect()
+}
+
+/// Verify one observation against the paper's reported behavior.
+fn check(q: &ChemQuery, reply: &agent_core::AgentReply) -> (bool, String) {
+    match q.id {
+        // Q1: correct bond (O-H) with correct unit inference.
+        "Q1" => {
+            let ok = reply.text.contains("O-H") && reply.error.is_none();
+            (ok, format!("answer names the O-H bond: {ok}"))
+        }
+        // Q2: correct functional, presented as a (repetitive) table.
+        "Q2" => {
+            let table_ok = reply
+                .table
+                .as_ref()
+                .is_some_and(|t| t.len() > 1 && t.has_column("functional"));
+            (table_ok, format!("B3LYP table with repeated rows: {table_ok}"))
+        }
+        // Q3: correct value, but unit mislabeled kJ/mol and no bond id.
+        "Q3" => {
+            let unit_slip = reply.text.contains("kJ/mol");
+            let no_bond = !reply.text.contains("C-C");
+            (unit_slip && no_bond, format!("kJ/mol slip: {unit_slip}, bond id omitted: {no_bond}"))
+        }
+        // Q4: per-molecule atom counts in a table.
+        "Q4" => {
+            let ok = reply
+                .table
+                .as_ref()
+                .is_some_and(|t| t.has_column("n_atoms") && t.len() > 1);
+            (ok, format!("atom counts across molecules: {ok}"))
+        }
+        // Q5: the sum trap — 81 instead of 9.
+        "Q5" => {
+            let ok = reply.text.contains("81");
+            (ok, format!("returned the incorrect 81 total: {ok}"))
+        }
+        // Q6: multiplicity 1, charge 0, with singlet/neutral terminology.
+        "Q6" => {
+            let ok = reply.text.contains("singlet") && reply.text.contains("neutral");
+            (ok, format!("enriched with singlet/neutral terms: {ok}"))
+        }
+        // Q7: a bar chart with one bar per bond label.
+        "Q7" => {
+            let ok = reply.chart.as_ref().is_some_and(|c| c.len() == 8);
+            (ok, format!("bar per bond label (8): {ok}"))
+        }
+        // Q8: plot produced but WITHOUT grouped/averaged C-H bars.
+        "Q8" => {
+            let wrong = match &reply.chart {
+                // Correct would be 4 bars (C-C, C-H averaged, C-O, O-H).
+                Some(c) => c.len() != 4,
+                None => true,
+            };
+            (wrong, format!("failed to average C-H before plotting: {wrong}"))
+        }
+        // Q9: the average over the five C-H bonds, ~98-102 kcal/mol.
+        "Q9" => {
+            let ok = reply.error.is_none()
+                && reply
+                    .code
+                    .as_deref()
+                    .is_some_and(|c| c.contains("C-H") && c.contains("mean"));
+            (ok, format!("mean over C-H bonds computed: {ok}"))
+        }
+        // Q10: fragment doublet retrieved, without extra terminology.
+        "Q10" => {
+            let ok = reply.error.is_none()
+                && !reply.text.contains("singlet")
+                && reply.code.as_deref().is_some_and(|c| c.contains("fragment"));
+            (ok, format!("fragment spin/charge without enrichment: {ok}"))
+        }
+        _ => (false, "unknown question".to_string()),
+    }
+}
+
+/// Render the demo as a report table.
+pub fn render_demo(observations: &[ChemObservation]) -> String {
+    let mut out = String::new();
+    out.push_str("§5.3 Live interaction with the chemistry workflow (ethanol, GPT-4 agent)\n\n");
+    let mut matched = 0;
+    for o in observations {
+        let status = match o.expected {
+            Expected::Correct => "correct".to_string(),
+            Expected::CorrectWithCaveat(c) => format!("correct, but {c}"),
+            Expected::Incorrect(c) => format!("incorrect: {c}"),
+        };
+        out.push_str(&format!("{}: {}\n", o.id, o.question));
+        out.push_str(&format!("  paper outcome : {status}\n"));
+        if let Some(code) = &o.code {
+            out.push_str(&format!("  generated     : {code}\n"));
+        }
+        out.push_str(&format!("  agent answer  : {}\n", o.answer.lines().next().unwrap_or("")));
+        out.push_str(&format!(
+            "  reproduces paper behaviour: {}  ({})\n\n",
+            if o.matches_paper { "yes" } else { "NO" },
+            o.note
+        ));
+        if o.matches_paper {
+            matched += 1;
+        }
+    }
+    out.push_str(&format!(
+        "{matched}/{} behaviours reproduced; fully/partially correct answers: >80% as reported.\n",
+        observations.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_reproduces_paper_outcomes() {
+        let obs = run_chem_demo(7);
+        assert_eq!(obs.len(), 10);
+        for o in &obs {
+            assert!(
+                o.matches_paper,
+                "{} failed to reproduce the paper: {} (answer: {}, code: {:?})",
+                o.id, o.note, o.answer, o.code
+            );
+        }
+    }
+
+    #[test]
+    fn q5_returns_81() {
+        let obs = run_chem_demo(7);
+        let q5 = obs.iter().find(|o| o.id == "Q5").unwrap();
+        assert!(q5.answer.contains("81"), "Q5 answer: {}", q5.answer);
+    }
+
+    #[test]
+    fn report_renders() {
+        let obs = run_chem_demo(7);
+        let text = render_demo(&obs);
+        assert!(text.contains("Q1:"));
+        assert!(text.contains("10/10 behaviours reproduced"));
+    }
+}

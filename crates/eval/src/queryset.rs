@@ -1,0 +1,260 @@
+//! The golden query set (§3 "Query Set", §5.2).
+//!
+//! Twenty manually curated natural-language queries over the synthetic
+//! workflow, each labelled with its query class and paired with the
+//! expected DataFrame code. The distribution reproduces Table 1 exactly:
+//! evenly split OLAP/OLTP, with data-type totals exceeding 20 because some
+//! queries touch multiple provenance types.
+
+use crate::taxonomy::{DataType, QueryClass, Workload};
+
+/// One golden query.
+#[derive(Debug, Clone)]
+pub struct GoldenQuery {
+    /// Stable id (`q01`…`q20`).
+    pub id: &'static str,
+    /// The natural-language question.
+    pub question: &'static str,
+    /// Human-written gold DataFrame code.
+    pub gold_code: &'static str,
+    /// Query-class annotation.
+    pub class: QueryClass,
+}
+
+/// Build the 20-query golden set.
+pub fn golden_queries() -> Vec<GoldenQuery> {
+    use DataType::*;
+    use Workload::*;
+    let q = |id, question, gold_code, data_types: &[DataType], workload| GoldenQuery {
+        id,
+        question,
+        gold_code,
+        class: QueryClass::online(data_types, workload),
+    };
+    vec![
+        // ---------------- OLTP (targeted lookups) ----------------
+        q(
+            "q01",
+            "How many tasks have finished so far?",
+            r#"len(df[df["status"] == "FINISHED"])"#,
+            &[ControlFlow],
+            Oltp,
+        ),
+        q(
+            "q02",
+            "Show the tasks that ran on host frontier00082 with their activity and duration.",
+            r#"df[df["hostname"].str.contains("frontier00082")][["task_id", "activity_id", "duration"]]"#,
+            &[Scheduling, Telemetry],
+            Oltp,
+        ),
+        q(
+            "q03",
+            "What exponent did the power activity use?",
+            r#"df[df["activity_id"] == "power"][["task_id", "exponent"]]"#,
+            &[Dataflow],
+            Oltp,
+        ),
+        q(
+            "q04",
+            "Which tasks started after time 1753457859 and what output y did they produce?",
+            r#"df[df["started_at"] > 1753457859][["task_id", "y"]]"#,
+            &[Scheduling, Dataflow],
+            Oltp,
+        ),
+        q(
+            "q05",
+            "What was the CPU utilization at the end of the tasks that ran on host frontier00083?",
+            r#"df[df["hostname"].str.contains("frontier00083")][["task_id", "cpu_percent_end"]]"#,
+            &[Telemetry, Scheduling],
+            Oltp,
+        ),
+        q(
+            "q06",
+            "List the distinct activities and the hosts they ran on.",
+            r#"df[["activity_id", "hostname"]].drop_duplicates()"#,
+            &[ControlFlow, Scheduling],
+            Oltp,
+        ),
+        q(
+            "q07",
+            "How much memory did the average_results tasks use?",
+            r#"df[df["activity_id"] == "average_results"][["task_id", "mem_used_mb_end"]]"#,
+            &[Telemetry, Dataflow],
+            Oltp,
+        ),
+        q(
+            "q08",
+            "How many tasks failed?",
+            r#"len(df[df["status"] == "ERROR"])"#,
+            &[ControlFlow],
+            Oltp,
+        ),
+        q(
+            "q09",
+            "What is the final average value and how long did that task take?",
+            r#"df[df["activity_id"] == "average_results"][["average", "duration"]]"#,
+            &[Dataflow, Telemetry],
+            Oltp,
+        ),
+        q(
+            "q10",
+            "On which host did the task with the highest GPU utilization run?",
+            r#"df.loc[df["gpu_percent_end"].idxmax(), "hostname"]"#,
+            &[Telemetry, Scheduling],
+            Oltp,
+        ),
+        // ---------------- OLAP (analytical) ----------------
+        q(
+            "q11",
+            "What is the average duration per activity?",
+            r#"df.groupby("activity_id")["duration"].mean()"#,
+            &[ControlFlow, Telemetry],
+            Olap,
+        ),
+        q(
+            "q12",
+            "Which activity has the highest mean CPU utilization?",
+            r#"df.groupby("activity_id")["cpu_percent_end"].mean().reset_index().sort_values("cpu_percent_end", ascending=False).head(1)"#,
+            &[Telemetry, ControlFlow],
+            Olap,
+        ),
+        q(
+            "q13",
+            "How many tasks ran on each host?",
+            r#"df["hostname"].value_counts()"#,
+            &[Scheduling],
+            Olap,
+        ),
+        q(
+            "q14",
+            "What is the total time span of the workflow execution?",
+            r#"df["ended_at"].max() - df["started_at"].min()"#,
+            &[Scheduling],
+            Olap,
+        ),
+        q(
+            "q15",
+            "Which task produced the largest output y?",
+            r#"df.loc[df["y"].idxmax()]"#,
+            &[Dataflow],
+            Olap,
+        ),
+        q(
+            "q16",
+            "What is the average output y of the power tasks?",
+            r#"df[df["activity_id"] == "power"]["y"].mean()"#,
+            &[Dataflow],
+            Olap,
+        ),
+        q(
+            "q17",
+            "Show the 3 slowest tasks with their activity and host.",
+            r#"df.sort_values("duration", ascending=False)[["task_id", "activity_id", "hostname", "duration"]].head(3)"#,
+            &[Telemetry, Scheduling],
+            Olap,
+        ),
+        {
+            let mut g = q(
+                "q18",
+                "How many tasks consumed outputs of other tasks?",
+                r#"len(df[df["depends_on"].notna()])"#,
+                &[Dataflow, ControlFlow],
+                Olap,
+            );
+            g.class = QueryClass::online_graph(&[Dataflow, ControlFlow], Olap);
+            g
+        },
+        q(
+            "q19",
+            "What is the average memory usage per activity?",
+            r#"df.groupby("activity_id")["mem_used_mb_end"].mean()"#,
+            &[Telemetry],
+            Olap,
+        ),
+        q(
+            "q20",
+            "Which workflow run had the highest total duration?",
+            r#"df.groupby("workflow_id")["duration"].sum().reset_index().sort_values("duration", ascending=False).head(1)"#,
+            &[ControlFlow],
+            Olap,
+        ),
+    ]
+}
+
+/// Table 1: query counts per data type and workload.
+pub fn distribution() -> Vec<(DataType, usize, usize)> {
+    let queries = golden_queries();
+    DataType::all()
+        .into_iter()
+        .map(|dt| {
+            let olap = queries
+                .iter()
+                .filter(|q| q.class.workload == Workload::Olap && q.class.data_types.contains(&dt))
+                .count();
+            let oltp = queries
+                .iter()
+                .filter(|q| q.class.workload == Workload::Oltp && q.class.data_types.contains(&dt))
+                .count();
+            (dt, olap, oltp)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provql::parse;
+
+    #[test]
+    fn twenty_queries_even_split() {
+        let qs = golden_queries();
+        assert_eq!(qs.len(), 20);
+        let olap = qs.iter().filter(|q| q.class.workload == Workload::Olap).count();
+        assert_eq!(olap, 10, "evenly split between OLAP and OLTP");
+        // Unique ids.
+        let mut ids: Vec<&str> = qs.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn table1_marginals_match_paper() {
+        // Paper Table 1: CF 4/3, DF 3/4, Sched 3/5, Tel 4/5 (OLAP/OLTP).
+        let dist = distribution();
+        let get = |dt: DataType| dist.iter().find(|(d, _, _)| *d == dt).unwrap();
+        assert_eq!(get(DataType::ControlFlow).1, 4);
+        assert_eq!(get(DataType::ControlFlow).2, 3);
+        assert_eq!(get(DataType::Dataflow).1, 3);
+        assert_eq!(get(DataType::Dataflow).2, 4);
+        assert_eq!(get(DataType::Scheduling).1, 3);
+        assert_eq!(get(DataType::Scheduling).2, 5);
+        assert_eq!(get(DataType::Telemetry).1, 4);
+        assert_eq!(get(DataType::Telemetry).2, 5);
+        // Totals exceed 20 (31 tags over 20 queries).
+        let total: usize = dist.iter().map(|(_, a, b)| a + b).sum();
+        assert_eq!(total, 31);
+    }
+
+    #[test]
+    fn gold_code_parses() {
+        for q in golden_queries() {
+            assert!(parse(q.gold_code).is_ok(), "{} gold does not parse", q.id);
+        }
+    }
+
+    #[test]
+    fn gold_code_executes_on_synthetic_data() {
+        let hub = prov_stream::StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        workflows::run_sweep(&hub, prov_model::sim_clock(), 42, 5).unwrap();
+        let msgs: Vec<prov_model::TaskMessage> =
+            sub.drain().iter().map(|m| (**m).clone()).collect();
+        let frame = dataframe::DataFrame::from_messages(&msgs);
+        for q in golden_queries() {
+            let query = parse(q.gold_code).unwrap();
+            let out = provql::execute(&query, &frame);
+            assert!(out.is_ok(), "{} failed: {:?}", q.id, out.err());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The experiment runner (§3 "Experimental Runs and Refine", §5.2).
+//!
+//! Runs the model × strategy × query matrix against the synthetic workflow
+//! context: each query is sent three times (temperature 0 still varies
+//! slightly), both judges score every response, and the per-query medians
+//! feed the figures.
+
+use crate::queryset::{golden_queries, GoldenQuery};
+use crate::stats::median;
+use crate::taxonomy::{DataType, Workload};
+use agent_core::{ContextManager, PromptBuilder, RagStrategy};
+use llm_sim::{ChatRequest, Judge, JudgeId, LlmServer, ModelId, SimLlmServer};
+use prov_model::{sim_clock, TaskMessage};
+use prov_stream::StreamingHub;
+use std::sync::Arc;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Master seed (all randomness is keyed off it).
+    pub seed: u64,
+    /// Number of synthetic workflow input configurations (the paper uses
+    /// 100 and observes identical results from 1 to 1000).
+    pub n_inputs: usize,
+    /// Repetitions per query (the paper uses 3 and takes medians).
+    pub runs_per_query: usize,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            n_inputs: 100,
+            runs_per_query: 3,
+        }
+    }
+}
+
+/// One aggregated measurement: a (query, model, strategy, judge) cell.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Golden query id.
+    pub query_id: String,
+    /// Evaluated model.
+    pub model: ModelId,
+    /// Prompt+RAG strategy.
+    pub strategy: RagStrategy,
+    /// Scoring judge.
+    pub judge: JudgeId,
+    /// Data types of the query class.
+    pub data_types: Vec<DataType>,
+    /// Workload of the query class.
+    pub workload: Workload,
+    /// Median judge score over the runs.
+    pub median_score: f64,
+    /// Median total tokens (input + output) over the runs.
+    pub median_tokens: f64,
+    /// Median LLM latency (ms) over the runs.
+    pub median_latency_ms: f64,
+    /// The last generated output (for inspection).
+    pub last_generation: String,
+}
+
+/// All measurements of one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct EvalResults {
+    /// Flat record list.
+    pub records: Vec<Record>,
+}
+
+impl EvalResults {
+    /// Records matching a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&Record) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| pred(r))
+    }
+
+    /// Scores of records matching a predicate.
+    pub fn scores(&self, pred: impl Fn(&Record) -> bool) -> Vec<f64> {
+        self.filter(pred).map(|r| r.median_score).collect()
+    }
+}
+
+/// Build the evaluation context: run the synthetic sweep and ingest its
+/// provenance into a fresh context manager.
+pub fn build_synthetic_context(experiment: &Experiment) -> Arc<ContextManager> {
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    workflows::run_sweep(&hub, sim_clock(), experiment.seed, experiment.n_inputs)
+        .expect("synthetic workflow executes");
+    let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+    let ctx = ContextManager::default_sized();
+    ctx.ingest_all(&msgs);
+    ctx
+}
+
+/// Run the full matrix.
+pub fn run_matrix(
+    experiment: &Experiment,
+    models: &[ModelId],
+    strategies: &[RagStrategy],
+    judges: &[Judge],
+) -> EvalResults {
+    let ctx = build_synthetic_context(experiment);
+    run_matrix_on(experiment, &ctx, models, strategies, judges, &golden_queries())
+}
+
+/// Run the matrix against an existing context and query set (used by the
+/// chemistry evaluation too).
+pub fn run_matrix_on(
+    experiment: &Experiment,
+    ctx: &Arc<ContextManager>,
+    models: &[ModelId],
+    strategies: &[RagStrategy],
+    judges: &[Judge],
+    queries: &[GoldenQuery],
+) -> EvalResults {
+    let columns = ctx.columns();
+    let mut results = EvalResults::default();
+    for &model in models {
+        let server = SimLlmServer::new(model);
+        for &strategy in strategies {
+            let system = PromptBuilder::system(strategy, ctx);
+            for q in queries {
+                let mut tokens = Vec::with_capacity(experiment.runs_per_query);
+                let mut latencies = Vec::with_capacity(experiment.runs_per_query);
+                let mut scores_per_judge: Vec<Vec<f64>> = vec![Vec::new(); judges.len()];
+                let mut last_generation = String::new();
+                for run in 0..experiment.runs_per_query {
+                    let response = server.chat(&ChatRequest {
+                        system: system.clone(),
+                        user: q.question.to_string(),
+                        temperature: 0.0,
+                        run: run as u32,
+                        seed: experiment.seed,
+                    });
+                    tokens.push(response.total_tokens() as f64);
+                    latencies.push(response.latency_ms);
+                    for (ji, judge) in judges.iter().enumerate() {
+                        let verdict = judge.judge_query(
+                            &response.text,
+                            q.gold_code,
+                            Some(&columns),
+                            model,
+                            llm_sim::Key::new(experiment.seed)
+                                .with_str(q.id)
+                                .with_u64(run as u64),
+                        );
+                        scores_per_judge[ji].push(verdict.score);
+                    }
+                    last_generation = response.text;
+                }
+                for (ji, judge) in judges.iter().enumerate() {
+                    results.records.push(Record {
+                        query_id: q.id.to_string(),
+                        model,
+                        strategy,
+                        judge: judge.id,
+                        data_types: q.class.data_types.clone(),
+                        workload: q.class.workload,
+                        median_score: median(&scores_per_judge[ji]),
+                        median_tokens: median(&tokens),
+                        median_latency_ms: median(&latencies),
+                        last_generation: last_generation.clone(),
+                    });
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Convenience: the full paper evaluation (5 models × Full strategy for
+/// Figs 6–7; GPT across all strategies for Figs 8–9), sharing one context.
+pub fn run_paper_evaluation(experiment: &Experiment) -> EvalResults {
+    let ctx = build_synthetic_context(experiment);
+    let judges = Judge::panel();
+    let queries = golden_queries();
+    let mut results = run_matrix_on(
+        experiment,
+        &ctx,
+        &ModelId::all(),
+        &[RagStrategy::Full],
+        &judges,
+        &queries,
+    );
+    let gpt_ablation = run_matrix_on(
+        experiment,
+        &ctx,
+        &[ModelId::Gpt],
+        &RagStrategy::evaluated(),
+        &judges,
+        &queries,
+    );
+    // Avoid duplicating the (GPT, Full) cell.
+    results.records.extend(
+        gpt_ablation
+            .records
+            .into_iter()
+            .filter(|r| r.strategy != RagStrategy::Full),
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_experiment() -> Experiment {
+        Experiment {
+            seed: 42,
+            n_inputs: 5,
+            runs_per_query: 3,
+        }
+    }
+
+    #[test]
+    fn matrix_produces_expected_record_count() {
+        let e = small_experiment();
+        let results = run_matrix(
+            &e,
+            &[ModelId::Gpt, ModelId::Llama8B],
+            &[RagStrategy::Full],
+            &Judge::panel(),
+        );
+        // 2 models × 1 strategy × 20 queries × 2 judges.
+        assert_eq!(results.records.len(), 80);
+    }
+
+    #[test]
+    fn full_context_scores_separate_models() {
+        let e = small_experiment();
+        let results = run_matrix(
+            &e,
+            &[ModelId::Gpt, ModelId::Llama8B],
+            &[RagStrategy::Full],
+            &[Judge::new(JudgeId::Gpt)],
+        );
+        let gpt = crate::stats::mean(&results.scores(|r| r.model == ModelId::Gpt));
+        let l8 = crate::stats::mean(&results.scores(|r| r.model == ModelId::Llama8B));
+        assert!(gpt > 0.85, "GPT mean {gpt}");
+        assert!(l8 < gpt, "LLaMA-8B ({l8}) should trail GPT ({gpt})");
+    }
+
+    #[test]
+    fn strategy_ablation_is_monotone_ish() {
+        let e = small_experiment();
+        let results = run_matrix(
+            &e,
+            &[ModelId::Gpt],
+            &[
+                RagStrategy::Baseline,
+                RagStrategy::BaselineFsSchema,
+                RagStrategy::Full,
+            ],
+            &[Judge::new(JudgeId::Gpt)],
+        );
+        let score = |s: RagStrategy| crate::stats::mean(&results.scores(|r| r.strategy == s));
+        let baseline = score(RagStrategy::Baseline);
+        let schema = score(RagStrategy::BaselineFsSchema);
+        let full = score(RagStrategy::Full);
+        assert!(baseline < 0.4, "baseline {baseline}");
+        assert!(schema > baseline, "schema {schema} vs baseline {baseline}");
+        assert!(full > schema, "full {full} vs schema {schema}");
+        assert!(full > 0.85, "full {full}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let e = small_experiment();
+        let a = run_matrix(&e, &[ModelId::Gemini], &[RagStrategy::Full], &Judge::panel());
+        let b = run_matrix(&e, &[ModelId::Gemini], &[RagStrategy::Full], &Judge::panel());
+        let sa: Vec<f64> = a.records.iter().map(|r| r.median_score).collect();
+        let sb: Vec<f64> = b.records.iter().map(|r| r.median_score).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn tokens_grow_with_strategy() {
+        let e = small_experiment();
+        let results = run_matrix(
+            &e,
+            &[ModelId::Gpt],
+            &[RagStrategy::Baseline, RagStrategy::Full],
+            &[Judge::new(JudgeId::Gpt)],
+        );
+        let t = |s: RagStrategy| {
+            crate::stats::mean(
+                &results
+                    .filter(|r| r.strategy == s)
+                    .map(|r| r.median_tokens)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let baseline = t(RagStrategy::Baseline);
+        let full = t(RagStrategy::Full);
+        assert!(
+            full > baseline * 3.0,
+            "full {full} should dwarf baseline {baseline}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The workflow provenance query-characteristics taxonomy (Fig 1).
+//!
+//! Leaves of the taxonomy define the query classes of the methodology:
+//! what data (control flow / dataflow / scheduling / telemetry), when
+//! (offline/online), who (human/AI), and how (scope, workload type,
+//! provenance type).
+
+/// Provenance data type touched by a query (the "What Data" dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Task dependencies and execution order.
+    ControlFlow,
+    /// How inputs/outputs connect and transform across tasks.
+    Dataflow,
+    /// Where tasks executed (hosts, placement, timestamps).
+    Scheduling,
+    /// Performance metrics: CPU/GPU/memory/execution times.
+    Telemetry,
+}
+
+impl DataType {
+    /// All data types in Table 1 order.
+    pub fn all() -> [DataType; 4] {
+        [
+            DataType::ControlFlow,
+            DataType::Dataflow,
+            DataType::Scheduling,
+            DataType::Telemetry,
+        ]
+    }
+
+    /// Table/figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::ControlFlow => "Control Flow",
+            DataType::Dataflow => "Dataflow",
+            DataType::Scheduling => "Scheduling",
+            DataType::Telemetry => "Telemetry",
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Query workload type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// Analytical: aggregation, exploration, monitoring.
+    Olap,
+    /// Transactional: fast targeted lookups.
+    Oltp,
+}
+
+impl Workload {
+    /// Both workloads.
+    pub fn all() -> [Workload; 2] {
+        [Workload::Olap, Workload::Oltp]
+    }
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Olap => "OLAP",
+            Workload::Oltp => "OLTP",
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Query scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryScope {
+    /// Filter specific tasks or fields.
+    Targeted,
+    /// Multi-step dependency / causal-chain analysis.
+    GraphTraversal,
+}
+
+/// When the analysis happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// During workflow execution (the paper's evaluation focus).
+    Online,
+    /// After workflow completion.
+    Offline,
+}
+
+/// Who issues/consumes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// A human scientist.
+    Human,
+    /// An AI agent.
+    Ai,
+}
+
+/// Provenance nature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProvType {
+    /// Records of actual execution.
+    Retrospective,
+    /// Planned workflow structure.
+    Prospective,
+}
+
+/// A full query-class annotation (taxonomy leaves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryClass {
+    /// One or more data types (totals in Table 1 exceed the query count
+    /// because some queries touch several).
+    pub data_types: Vec<DataType>,
+    /// Workload type.
+    pub workload: Workload,
+    /// Scope.
+    pub scope: QueryScope,
+    /// Mode.
+    pub mode: Mode,
+    /// Actor.
+    pub actor: Actor,
+    /// Provenance type.
+    pub prov_type: ProvType,
+}
+
+impl QueryClass {
+    /// The evaluation default: online, human-issued, retrospective,
+    /// targeted (§5.2 scopes the study to online retrospective queries).
+    pub fn online(data_types: &[DataType], workload: Workload) -> QueryClass {
+        QueryClass {
+            data_types: data_types.to_vec(),
+            workload,
+            scope: QueryScope::Targeted,
+            mode: Mode::Online,
+            actor: Actor::Human,
+            prov_type: ProvType::Retrospective,
+        }
+    }
+
+    /// Same, but graph-traversal scoped.
+    pub fn online_graph(data_types: &[DataType], workload: Workload) -> QueryClass {
+        QueryClass {
+            scope: QueryScope::GraphTraversal,
+            ..QueryClass::online(data_types, workload)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataType::ControlFlow.name(), "Control Flow");
+        assert_eq!(Workload::Olap.to_string(), "OLAP");
+        assert_eq!(DataType::all().len(), 4);
+    }
+
+    #[test]
+    fn default_class_matches_evaluation_scope() {
+        let c = QueryClass::online(&[DataType::Telemetry], Workload::Oltp);
+        assert_eq!(c.mode, Mode::Online);
+        assert_eq!(c.prov_type, ProvType::Retrospective);
+        assert_eq!(c.actor, Actor::Human);
+        let g = QueryClass::online_graph(&[DataType::Dataflow], Workload::Olap);
+        assert_eq!(g.scope, QueryScope::GraphTraversal);
+    }
+}

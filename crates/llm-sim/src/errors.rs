@@ -1,0 +1,568 @@
+//! Model-specific error injection.
+//!
+//! The semantic layer already degrades mechanically with missing context;
+//! this layer adds each model's *stochastic* failure modes on top, with
+//! probabilities that shrink as the prompt gets richer (few-shot examples
+//! and guidelines reduce syntax/logic slips — §5.2's observation) and grow
+//! under context-window pressure.
+
+use crate::model::ModelProfile;
+use crate::prompt::PromptSections;
+use crate::rng::Key;
+use crate::semantics::IntentKind;
+use dataframe::{AggFunc, Expr};
+use provql::{Pipeline, Query, Stage};
+
+/// A degradation applied to the generated query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppliedError {
+    /// Replaced a real column with a fabricated one.
+    HallucinatedField(String, String),
+    /// Changed the aggregation function.
+    WrongAggregation,
+    /// Dropped the group-by.
+    DroppedGroupBy,
+    /// Sorted/filtered by the wrong temporal field or an id.
+    TimeLogic,
+    /// Changed a filter literal.
+    WrongLiteral,
+    /// Dropped a filter conjunct.
+    DroppedFilter,
+    /// Flipped a sort direction or limit.
+    WrongOrdering,
+    /// Produced unparseable output.
+    SyntaxBroken,
+}
+
+/// Outcome of error injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Degraded {
+    /// Query survived (possibly altered); list of applied errors.
+    Query(Query, Vec<AppliedError>),
+    /// Output is syntactically broken text.
+    Broken(String),
+}
+
+/// Intrinsic difficulty multiplier per intent shape: OLAP-style analytical
+/// intents are harder than targeted lookups (§5.2: "OLAP queries show
+/// greater dispersion and more frequent low scores").
+pub fn intent_difficulty(intent: IntentKind) -> f64 {
+    match intent {
+        IntentKind::Greeting => 0.0,
+        IntentKind::Count | IntentKind::FilterSelect | IntentKind::ExtremeValue => 0.8,
+        IntentKind::Distinct | IntentKind::SpinCharge | IntentKind::AtomCount => 0.9,
+        IntentKind::ExtremeRow | IntentKind::ScalarAgg | IntentKind::CountPerGroup => 1.1,
+        IntentKind::GroupAgg | IntentKind::TopN | IntentKind::Span => 1.5,
+        IntentKind::GroupAggTop | IntentKind::Plot => 1.9,
+        IntentKind::Unknown => 2.2,
+    }
+}
+
+/// The probability that this call produces at least one injected error.
+pub fn error_probability(
+    profile: &ModelProfile,
+    intent: IntentKind,
+    sections: &PromptSections,
+    input_tokens: usize,
+) -> f64 {
+    let base = (1.0 - profile.competence) * intent_difficulty(intent);
+    // Richer context reduces slips, but a weak model stays weak: the mix
+    // keeps a competence-driven floor under the context relief.
+    let mut relief = 1.0;
+    if sections.few_shot_examples > 0 {
+        relief *= 0.75;
+    }
+    if sections.has_guidelines() {
+        relief *= 0.45;
+    }
+    let relief = 0.4 + 0.6 * relief;
+    // Context-window pressure: degradation ramps beyond 75% utilization
+    // (LLaMA 3-8B on the chemistry schema, §5.3).
+    let utilization = input_tokens as f64 / profile.context_window as f64;
+    let pressure = if utilization > 1.0 {
+        6.0
+    } else if utilization > 0.75 {
+        1.0 + (utilization - 0.75) * 8.0
+    } else {
+        1.0
+    };
+    (base * relief * pressure * (1.0 + profile.variability)).clamp(0.0, 0.97)
+}
+
+/// Apply model-characteristic errors to a generated query.
+pub fn degrade(
+    query: Query,
+    intent: IntentKind,
+    profile: &ModelProfile,
+    sections: &PromptSections,
+    input_tokens: usize,
+    key: Key,
+) -> Degraded {
+    let p = error_probability(profile, intent, sections, input_tokens);
+    let draw = key.with_str("err-draw").unit();
+    if draw >= p {
+        return Degraded::Query(query, Vec::new());
+    }
+    // An error fires. High-variability models sometimes compound two.
+    let n_errors = if key.with_str("compound").unit() < profile.variability * 0.5 {
+        2
+    } else {
+        1
+    };
+    let mut q = query;
+    let mut applied = Vec::new();
+    for i in 0..n_errors {
+        let mode_key = key.with_str("mode").with_u64(i);
+        match pick_mode(profile, sections, mode_key) {
+            Mode::Hallucinate => {
+                if let Some((from, to)) = hallucinate_field(&mut q, mode_key) {
+                    applied.push(AppliedError::HallucinatedField(from, to));
+                }
+            }
+            Mode::GroupLogic => {
+                if apply_group_logic(&mut q, mode_key) {
+                    applied.push(if mode_key.with_u64(9).unit() < 0.5 {
+                        AppliedError::WrongAggregation
+                    } else {
+                        AppliedError::DroppedGroupBy
+                    });
+                }
+            }
+            Mode::TimeLogic => {
+                if apply_time_logic(&mut q, mode_key) {
+                    applied.push(AppliedError::TimeLogic);
+                }
+            }
+            Mode::FilterLogic => {
+                if apply_filter_logic(&mut q, mode_key) {
+                    applied.push(AppliedError::WrongLiteral);
+                }
+            }
+            Mode::Syntax => {
+                let text = broken_render(&q, mode_key);
+                return Degraded::Broken(text);
+            }
+        }
+    }
+    if applied.is_empty() {
+        // Chosen mode was inapplicable to this query shape; fall back to a
+        // generic ordering slip so the failure still manifests.
+        if apply_ordering_slip(&mut q) {
+            applied.push(AppliedError::WrongOrdering);
+        }
+    }
+    Degraded::Query(q, applied)
+}
+
+enum Mode {
+    Hallucinate,
+    GroupLogic,
+    TimeLogic,
+    FilterLogic,
+    Syntax,
+}
+
+fn pick_mode(profile: &ModelProfile, sections: &PromptSections, key: Key) -> Mode {
+    let e = &profile.errors;
+    // Guidelines suppress convention errors unless the model ignores them.
+    let guideline_shield = if sections.has_guidelines() {
+        e.ignores_guidelines
+    } else {
+        1.0
+    };
+    let weights = [
+        (Mode::Hallucinate, e.hallucinate_field),
+        (Mode::GroupLogic, e.group_logic),
+        (Mode::TimeLogic, e.time_logic * guideline_shield.max(0.3)),
+        (Mode::FilterLogic, e.filter_logic),
+        (Mode::Syntax, e.syntax * if sections.few_shot_examples > 0 { 0.3 } else { 1.0 }),
+    ];
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut draw = key.with_str("which-mode").unit() * total;
+    for (mode, w) in weights {
+        if draw < w {
+            return mode;
+        }
+        draw -= w;
+    }
+    Mode::FilterLogic
+}
+
+/// Fabricated field names, as reported in §5.2.
+const FABRICATIONS: &[&str] = &["node", "execution_id", "task_name", "cpu_load", "runtime_s"];
+
+fn hallucinate_field(q: &mut Query, key: Key) -> Option<(String, String)> {
+    let cols = q.referenced_columns();
+    if cols.is_empty() {
+        return None;
+    }
+    let victim = cols[key.with_str("victim").pick(cols.len())].clone();
+    let fake = FABRICATIONS[key.with_str("fake").pick(FABRICATIONS.len())].to_string();
+    if fake == victim {
+        return None;
+    }
+    rename_column(q, &victim, &fake);
+    Some((victim, fake))
+}
+
+/// Rename every reference to a column across the query.
+pub fn rename_column(q: &mut Query, from: &str, to: &str) {
+    match q {
+        Query::Pipeline(p) => rename_in_pipeline(p, from, to),
+        Query::Len(inner) => rename_column(inner, from, to),
+        Query::Binary(a, _, b) => {
+            rename_column(a, from, to);
+            rename_column(b, from, to);
+        }
+        Query::Number(_) => {}
+    }
+}
+
+fn rename_in_pipeline(p: &mut Pipeline, from: &str, to: &str) {
+    for stage in &mut p.stages {
+        match stage {
+            Stage::Filter(e) => rename_in_expr(e, from, to),
+            Stage::Select(cols) | Stage::GroupBy(cols) | Stage::DropDuplicates(cols) => {
+                for c in cols {
+                    if c == from {
+                        *c = to.to_string();
+                    }
+                }
+            }
+            Stage::Col(c) => {
+                if c == from {
+                    *c = to.to_string();
+                }
+            }
+            Stage::AggMap(specs) => {
+                for (c, _) in specs {
+                    if c == from {
+                        *c = to.to_string();
+                    }
+                }
+            }
+            Stage::SortValues(keys) => {
+                for (c, _) in keys {
+                    if c == from {
+                        *c = to.to_string();
+                    }
+                }
+            }
+            Stage::NLargest(_, c) | Stage::NSmallest(_, c) => {
+                if c == from {
+                    *c = to.to_string();
+                }
+            }
+            Stage::LocIdx { column, cell, .. } => {
+                if column == from {
+                    *column = to.to_string();
+                }
+                if let Some(c) = cell {
+                    if c == from {
+                        *c = to.to_string();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rename_in_expr(e: &mut Expr, from: &str, to: &str) {
+    match e {
+        Expr::Col(c) => {
+            if c == from {
+                *c = to.to_string();
+            }
+        }
+        Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            rename_in_expr(a, from, to);
+            rename_in_expr(b, from, to);
+        }
+        Expr::Not(a)
+        | Expr::StrContains(a, _, _)
+        | Expr::StrStartsWith(a, _)
+        | Expr::IsIn(a, _)
+        | Expr::IsNull(a)
+        | Expr::NotNull(a) => rename_in_expr(a, from, to),
+        Expr::Lit(_) => {}
+    }
+}
+
+fn apply_group_logic(q: &mut Query, key: Key) -> bool {
+    let Query::Pipeline(p) = q else { return false };
+    if key.with_u64(9).unit() < 0.5 {
+        // Wrong aggregation function.
+        for stage in &mut p.stages {
+            if let Stage::Agg(f) = stage {
+                *f = match *f {
+                    AggFunc::Mean => AggFunc::Median,
+                    AggFunc::Sum => AggFunc::Mean,
+                    AggFunc::Count => AggFunc::Sum,
+                    AggFunc::Max => AggFunc::Mean,
+                    AggFunc::Min => AggFunc::Mean,
+                    _ => AggFunc::Mean,
+                };
+                return true;
+            }
+        }
+        false
+    } else {
+        // Drop the group-by: a grouped series becomes a plain column agg.
+        let before = p.stages.len();
+        p.stages.retain(|s| !matches!(s, Stage::GroupBy(_)));
+        p.stages.len() != before
+    }
+}
+
+fn apply_time_logic(q: &mut Query, key: Key) -> bool {
+    // Swap temporal fields, or sort by an id instead of a timestamp
+    // ("using .min() on IDs instead of timestamps").
+    let cols = q.referenced_columns();
+    let temporal: Vec<&String> = cols
+        .iter()
+        .filter(|c| c.contains("started") || c.contains("ended") || c.contains("duration"))
+        .collect();
+    if let Some(t) = temporal.first() {
+        let t = (*t).clone();
+        let replacement = if key.with_str("id-swap").unit() < 0.4 {
+            "task_id".to_string()
+        } else if t.contains("started") {
+            t.replace("started", "ended")
+        } else if t.contains("ended") {
+            t.replace("ended", "started")
+        } else {
+            "ended_at".to_string()
+        };
+        rename_column(q, &t, &replacement);
+        return true;
+    }
+    false
+}
+
+fn apply_filter_logic(q: &mut Query, key: Key) -> bool {
+    let Query::Pipeline(p) = q else {
+        if let Query::Len(inner) = q {
+            return apply_filter_logic(inner, key);
+        }
+        return false;
+    };
+    for stage in &mut p.stages {
+        if let Stage::Filter(e) = stage {
+            if corrupt_literal(e, key) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn corrupt_literal(e: &mut Expr, key: Key) -> bool {
+    match e {
+        Expr::Cmp(_, _, rhs) => {
+            if let Expr::Lit(v) = rhs.as_mut() {
+                match v {
+                    prov_model::Value::Str(s) => {
+                        *s = match s.as_str() {
+                            "ERROR" => "RUNNING".to_string(),
+                            "FINISHED" => "COMPLETED".to_string(),
+                            other => format!("{other}_"),
+                        };
+                        return true;
+                    }
+                    prov_model::Value::Int(i) => {
+                        *i += 1 + (key.with_str("int").pick(5) as i64);
+                        return true;
+                    }
+                    prov_model::Value::Float(f) => {
+                        *f *= if key.with_str("float").unit() < 0.5 { 10.0 } else { 0.1 };
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => corrupt_literal(a, key) || corrupt_literal(b, key),
+        Expr::StrContains(_, pat, _) => {
+            pat.push('_');
+            true
+        }
+        _ => false,
+    }
+}
+
+fn apply_ordering_slip(q: &mut Query) -> bool {
+    let Query::Pipeline(p) = q else { return false };
+    for stage in &mut p.stages {
+        match stage {
+            Stage::SortValues(keys) => {
+                for (_, asc) in keys.iter_mut() {
+                    *asc = !*asc;
+                }
+                return true;
+            }
+            Stage::LocIdx { max, .. } => {
+                *max = !*max;
+                return true;
+            }
+            Stage::Head(n) => {
+                *n += 4;
+                return true;
+            }
+            _ => {}
+        }
+    }
+    // Nothing orderable: degrade a Len into a row listing.
+    if let Query::Len(inner) = q {
+        *q = (**inner).clone();
+        return true;
+    }
+    false
+}
+
+fn broken_render(q: &Query, key: Key) -> String {
+    let text = provql::render(q);
+    match key.with_str("break-shape").pick(3) {
+        0 => format!("{} AND status == done", text),
+        1 if text.contains(']') => text.replace(']', ""),
+        1 => format!("{}.filter(", text),
+        _ => format!("SELECT * FROM df WHERE {}", text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelId;
+    use crate::prompt::markers;
+    use provql::parse;
+
+    fn full_sections() -> PromptSections {
+        PromptSections::parse(&format!(
+            "{}\nr\n{}\nj\n{}\nd\n{}\nReturn a query.\n{}\nQ: x?\nA: df\n{}\n- a (int): x\n{}\n- a: 1\n{}\n- For x, use the column a.\n",
+            markers::ROLE,
+            markers::JOB,
+            markers::DATAFRAME,
+            markers::OUTPUT_FORMAT,
+            markers::FEW_SHOT,
+            markers::SCHEMA,
+            markers::VALUES,
+            markers::GUIDELINES
+        ))
+    }
+
+    #[test]
+    fn error_probability_ordering() {
+        let s = full_sections();
+        let gpt = ModelProfile::of(ModelId::Gpt);
+        let l8 = ModelProfile::of(ModelId::Llama8B);
+        let p_gpt = error_probability(&gpt, IntentKind::GroupAgg, &s, 3000);
+        let p_l8 = error_probability(&l8, IntentKind::GroupAgg, &s, 3000);
+        assert!(p_l8 > p_gpt);
+        // OLAP-ish intents harder than targeted lookups.
+        assert!(
+            error_probability(&gpt, IntentKind::GroupAggTop, &s, 3000)
+                > error_probability(&gpt, IntentKind::Count, &s, 3000)
+        );
+    }
+
+    #[test]
+    fn context_pressure_raises_errors() {
+        let s = full_sections();
+        let l8 = ModelProfile::of(ModelId::Llama8B);
+        let relaxed = error_probability(&l8, IntentKind::Count, &s, 2000);
+        let pressured = error_probability(&l8, IntentKind::Count, &s, 7500);
+        let overflow = error_probability(&l8, IntentKind::Count, &s, 9000);
+        assert!(pressured > relaxed);
+        assert!(overflow > pressured);
+    }
+
+    #[test]
+    fn guidelines_reduce_errors() {
+        let with = full_sections();
+        let without = PromptSections::parse(&format!(
+            "{}\nr\n{}\nReturn a query.\n",
+            markers::ROLE,
+            markers::OUTPUT_FORMAT
+        ));
+        let l70 = ModelProfile::of(ModelId::Llama70B);
+        assert!(
+            error_probability(&l70, IntentKind::GroupAgg, &with, 2000)
+                < error_probability(&l70, IntentKind::GroupAgg, &without, 2000)
+        );
+    }
+
+    #[test]
+    fn degrade_is_deterministic() {
+        let s = full_sections();
+        let q = parse(r#"df.groupby("activity_id")["duration"].mean()"#).unwrap();
+        let profile = ModelProfile::of(ModelId::Llama70B);
+        let a = degrade(q.clone(), IntentKind::GroupAgg, &profile, &s, 3000, Key::new(5));
+        let b = degrade(q, IntentKind::GroupAgg, &profile, &s, 3000, Key::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rename_reaches_every_reference() {
+        let mut q = parse(
+            r#"df[df["duration"] > 1].sort_values("duration").groupby("duration")["duration"].mean()"#,
+        )
+        .unwrap();
+        rename_column(&mut q, "duration", "runtime");
+        assert!(q.referenced_columns().iter().all(|c| c == "runtime"));
+    }
+
+    #[test]
+    fn some_draws_produce_errors_for_weak_models() {
+        let s = PromptSections::parse(&format!(
+            "{}\nr\n{}\nReturn a query.\n",
+            markers::ROLE,
+            markers::OUTPUT_FORMAT
+        ));
+        let l8 = ModelProfile::of(ModelId::Llama8B);
+        let q = parse(r#"df.groupby("activity_id")["duration"].mean()"#).unwrap();
+        let mut errors = 0;
+        for i in 0..200 {
+            match degrade(
+                q.clone(),
+                IntentKind::GroupAgg,
+                &l8,
+                &s,
+                3000,
+                Key::new(900).with_u64(i),
+            ) {
+                Degraded::Query(_, applied) if !applied.is_empty() => errors += 1,
+                Degraded::Broken(_) => errors += 1,
+                _ => {}
+            }
+        }
+        assert!(errors > 30, "expected frequent errors, got {errors}/200");
+    }
+
+    #[test]
+    fn frontier_models_rarely_err_with_full_context() {
+        let s = full_sections();
+        let gpt = ModelProfile::of(ModelId::Gpt);
+        let q = parse(r#"len(df[df["status"] == "ERROR"])"#).unwrap();
+        let mut errors = 0;
+        for i in 0..300 {
+            if !matches!(
+                degrade(q.clone(), IntentKind::Count, &gpt, &s, 4000, Key::new(31).with_u64(i)),
+                Degraded::Query(_, ref a) if a.is_empty()
+            ) {
+                errors += 1;
+            }
+        }
+        assert!(errors < 30, "too many errors for GPT: {errors}/300");
+    }
+
+    #[test]
+    fn broken_output_does_not_parse() {
+        let q = parse("df.head(3)").unwrap();
+        for i in 0..3 {
+            let text = broken_render(&q, Key::new(i));
+            assert!(parse(&text).is_err(), "should not parse: {text}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! LLM service latency models.
+//!
+//! §5.2: "LLM response times ... remained within acceptable interactive
+//! thresholds (~2 s)". Latency = network round-trip + prefill (per input
+//! token) + decode (per output token), with log-normal-ish jitter, all
+//! sampled deterministically from a [`Key`].
+
+use crate::rng::Key;
+
+/// Latency model for one hosted model endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed network + queuing overhead, ms.
+    pub base_ms: f64,
+    /// Prefill cost per input token, ms.
+    pub prefill_ms_per_token: f64,
+    /// Decode cost per output token, ms.
+    pub decode_ms_per_token: f64,
+    /// Multiplicative jitter amplitude (0.15 = ±15%).
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// Sample the latency of one call in milliseconds.
+    pub fn sample(&self, input_tokens: usize, output_tokens: usize, key: Key) -> f64 {
+        let deterministic = self.base_ms
+            + self.prefill_ms_per_token * input_tokens as f64
+            + self.decode_ms_per_token * output_tokens as f64;
+        let jitter = 1.0 + self.jitter * key.gaussian().clamp(-2.5, 2.5);
+        (deterministic * jitter).max(1.0)
+    }
+
+    /// Expected latency without jitter, ms.
+    pub fn expected(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        self.base_ms
+            + self.prefill_ms_per_token * input_tokens as f64
+            + self.decode_ms_per_token * output_tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LatencyModel {
+        LatencyModel {
+            base_ms: 180.0,
+            prefill_ms_per_token: 0.12,
+            decode_ms_per_token: 9.0,
+            jitter: 0.12,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let m = model();
+        let a = m.sample(4000, 60, Key::new(1).with_str("q1"));
+        let b = m.sample(4000, 60, Key::new(1).with_str("q1"));
+        assert_eq!(a, b);
+        assert_ne!(a, m.sample(4000, 60, Key::new(1).with_str("q2")));
+    }
+
+    #[test]
+    fn interactive_bound_for_full_context() {
+        // Full-context prompt (~4300 tokens in, ~60 out) stays ~2 s.
+        let m = model();
+        for i in 0..200 {
+            let l = m.sample(4300, 60, Key::new(9).with_u64(i));
+            assert!(l < 2_500.0, "latency {l} ms breaks interactivity");
+            assert!(l > 100.0);
+        }
+    }
+
+    #[test]
+    fn scales_with_tokens() {
+        let m = model();
+        assert!(m.expected(4000, 60) > m.expected(300, 60));
+        assert!(m.expected(300, 200) > m.expected(300, 20));
+    }
+}

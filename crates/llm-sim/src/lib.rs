@@ -1,0 +1,38 @@
+//! # llm-sim
+//!
+//! Deterministic behavioral simulation of the LLM services the paper
+//! evaluates (LLaMA 3 8B/70B, Gemini 2.5 Flash Lite, GPT-4, Claude Opus 4)
+//! and of the GPT/Claude LLM-as-a-judge pair (§5.1–5.2).
+//!
+//! The simulator is *mechanistic*, not a score table: models parse the
+//! actual prompt ([`prompt::PromptSections`]), translate the question with
+//! a semantic intent engine ([`semantics`]), resolve field names against
+//! whatever schema/value/guideline sections the RAG pipeline included, and
+//! then suffer model-specific stochastic error injection ([`errors`])
+//! keyed by a reproducible RNG ([`rng::Key`]). Ablating a prompt component
+//! therefore degrades output quality through the same causal paths the
+//! paper describes. DESIGN.md documents this substitution for the real
+//! cloud LLM endpoints.
+
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod judge;
+pub mod latency;
+pub mod model;
+pub mod prompt;
+pub mod rng;
+pub mod routing;
+pub mod semantics;
+pub mod server;
+pub mod token;
+
+pub use judge::{Judge, JudgeId, Verdict};
+pub use latency::LatencyModel;
+pub use model::{ErrorWeights, ModelId, ModelProfile};
+pub use prompt::{markers, PromptSections};
+pub use rng::Key;
+pub use routing::{classify, Route};
+pub use semantics::{translate, IntentKind, Translation};
+pub use server::{ChatRequest, ChatResponse, LlmServer, SimLlmServer};
+pub use token::{count_tokens, prompt_tokens};

@@ -1,0 +1,253 @@
+//! Model profiles for the five evaluated LLMs (§5.1).
+//!
+//! Each profile captures what the paper's evaluation characterizes about
+//! the model: context window, latency shape, overall competence, score
+//! variability, and its *signature failure modes* (§5.2: "LLaMA 3–8B often
+//! hallucinated non-existing fields like `node` or `execution_id` and
+//! ignored guidelines. LLaMA 3–70B struggled with group-by logic or time
+//! comparisons. Gemini's performance has the greatest variability…
+//! Claude's and GPT-4's errors typically involved logic misinterpretations
+//! (e.g., using `.min()` on IDs instead of timestamps).").
+
+use crate::latency::LatencyModel;
+
+/// The five evaluated models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelId {
+    /// LLaMA 3 8B (ORNL cloud).
+    Llama8B,
+    /// LLaMA 3 70B (ORNL cloud).
+    Llama70B,
+    /// Gemini 2.5 Flash Lite (GCP).
+    Gemini,
+    /// GPT-4 (Azure).
+    Gpt,
+    /// Claude Opus 4 (GCP).
+    Claude,
+}
+
+impl ModelId {
+    /// All models in paper order.
+    pub fn all() -> [ModelId; 5] {
+        [
+            ModelId::Llama8B,
+            ModelId::Llama70B,
+            ModelId::Gemini,
+            ModelId::Gpt,
+            ModelId::Claude,
+        ]
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Llama8B => "LLaMA 3-8B",
+            ModelId::Llama70B => "LLaMA 3-70B",
+            ModelId::Gemini => "Gemini",
+            ModelId::Gpt => "GPT",
+            ModelId::Claude => "Claude",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Relative weights of the model's characteristic error modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorWeights {
+    /// Replace a real column with a fabricated one (`node`, `execution_id`).
+    pub hallucinate_field: f64,
+    /// Wrong aggregation function or dropped/incorrect group key.
+    pub group_logic: f64,
+    /// Time-comparison slips: sorting/filtering by the wrong temporal field
+    /// or by an ID instead of a timestamp.
+    pub time_logic: f64,
+    /// Wrong filter literal or dropped conjunct.
+    pub filter_logic: f64,
+    /// Output that fails to parse at all.
+    pub syntax: f64,
+    /// Ignores guideline conventions even when present.
+    pub ignores_guidelines: f64,
+}
+
+/// Full behavioral profile of one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Which model this is.
+    pub id: ModelId,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// Latency model of the hosting endpoint.
+    pub latency: LatencyModel,
+    /// Base probability of a flawless translation under full context.
+    pub competence: f64,
+    /// Score spread: scales error probability multiplicatively and
+    /// introduces occasional multi-error outputs (Gemini-style).
+    pub variability: f64,
+    /// Signature error-mode weights (normalized at use).
+    pub errors: ErrorWeights,
+}
+
+impl ModelProfile {
+    /// Profile for a model id, calibrated to §5.1–5.2.
+    pub fn of(id: ModelId) -> ModelProfile {
+        match id {
+            ModelId::Llama8B => ModelProfile {
+                id,
+                context_window: 8_192,
+                latency: LatencyModel {
+                    base_ms: 120.0,
+                    prefill_ms_per_token: 0.09,
+                    decode_ms_per_token: 11.0,
+                    jitter: 0.18,
+                },
+                competence: 0.60,
+                variability: 0.22,
+                errors: ErrorWeights {
+                    hallucinate_field: 0.42,
+                    group_logic: 0.16,
+                    time_logic: 0.10,
+                    filter_logic: 0.12,
+                    syntax: 0.10,
+                    ignores_guidelines: 0.10,
+                },
+            },
+            ModelId::Llama70B => ModelProfile {
+                id,
+                context_window: 8_192,
+                latency: LatencyModel {
+                    base_ms: 200.0,
+                    prefill_ms_per_token: 0.14,
+                    decode_ms_per_token: 16.0,
+                    jitter: 0.15,
+                },
+                competence: 0.80,
+                variability: 0.12,
+                errors: ErrorWeights {
+                    hallucinate_field: 0.10,
+                    group_logic: 0.40,
+                    time_logic: 0.28,
+                    filter_logic: 0.12,
+                    syntax: 0.04,
+                    ignores_guidelines: 0.06,
+                },
+            },
+            ModelId::Gemini => ModelProfile {
+                id,
+                context_window: 1_000_000,
+                latency: LatencyModel {
+                    base_ms: 150.0,
+                    prefill_ms_per_token: 0.05,
+                    decode_ms_per_token: 6.0,
+                    jitter: 0.25,
+                },
+                competence: 0.85,
+                variability: 0.38,
+                errors: ErrorWeights {
+                    hallucinate_field: 0.18,
+                    group_logic: 0.22,
+                    time_logic: 0.15,
+                    filter_logic: 0.25,
+                    syntax: 0.12,
+                    ignores_guidelines: 0.08,
+                },
+            },
+            ModelId::Gpt => ModelProfile {
+                id,
+                context_window: 128_000,
+                latency: LatencyModel {
+                    base_ms: 260.0,
+                    prefill_ms_per_token: 0.11,
+                    decode_ms_per_token: 12.0,
+                    jitter: 0.12,
+                },
+                competence: 0.975,
+                variability: 0.05,
+                errors: ErrorWeights {
+                    hallucinate_field: 0.04,
+                    group_logic: 0.16,
+                    time_logic: 0.44,
+                    filter_logic: 0.28,
+                    syntax: 0.02,
+                    ignores_guidelines: 0.06,
+                },
+            },
+            ModelId::Claude => ModelProfile {
+                id,
+                context_window: 200_000,
+                latency: LatencyModel {
+                    base_ms: 280.0,
+                    prefill_ms_per_token: 0.12,
+                    decode_ms_per_token: 13.0,
+                    jitter: 0.11,
+                },
+                competence: 0.978,
+                variability: 0.05,
+                errors: ErrorWeights {
+                    hallucinate_field: 0.03,
+                    group_logic: 0.14,
+                    time_logic: 0.46,
+                    filter_logic: 0.29,
+                    syntax: 0.02,
+                    ignores_guidelines: 0.06,
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_models() {
+        assert_eq!(ModelId::all().len(), 5);
+        for id in ModelId::all() {
+            let p = ModelProfile::of(id);
+            assert_eq!(p.id, id);
+            assert!(p.competence > 0.5 && p.competence < 1.0);
+            assert!(p.context_window >= 8_192);
+        }
+    }
+
+    #[test]
+    fn frontier_models_most_competent() {
+        let gpt = ModelProfile::of(ModelId::Gpt);
+        let claude = ModelProfile::of(ModelId::Claude);
+        let llama8 = ModelProfile::of(ModelId::Llama8B);
+        let gemini = ModelProfile::of(ModelId::Gemini);
+        assert!(gpt.competence > gemini.competence);
+        assert!(claude.competence > gemini.competence);
+        assert!(gemini.competence > llama8.competence);
+        // Gemini has the greatest variability (§5.2).
+        for id in ModelId::all() {
+            if id != ModelId::Gemini {
+                assert!(ModelProfile::of(id).variability < gemini.variability);
+            }
+        }
+    }
+
+    #[test]
+    fn signature_error_modes() {
+        // LLaMA-8B: hallucination-dominant.
+        let l8 = ModelProfile::of(ModelId::Llama8B).errors;
+        assert!(l8.hallucinate_field > l8.group_logic);
+        // LLaMA-70B: group-by logic dominant.
+        let l70 = ModelProfile::of(ModelId::Llama70B).errors;
+        assert!(l70.group_logic > l70.hallucinate_field);
+        // GPT/Claude: time-logic misinterpretations dominate.
+        let gpt = ModelProfile::of(ModelId::Gpt).errors;
+        assert!(gpt.time_logic > gpt.hallucinate_field);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ModelId::Llama8B.name(), "LLaMA 3-8B");
+        assert_eq!(ModelId::Gpt.to_string(), "GPT");
+    }
+}

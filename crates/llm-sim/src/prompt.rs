@@ -1,0 +1,301 @@
+//! The prompt contract between the agent's RAG pipeline and the simulated
+//! LLM service.
+//!
+//! The agent assembles system prompts from the components of Table 2
+//! (role, job, DataFrame description, output format, few-shot examples,
+//! dynamic dataflow schema, domain values, query guidelines), each under a
+//! well-known section marker. The simulated models *actually read* these
+//! sections: field resolution uses the schema section, literal resolution
+//! uses the domain-value section, and conventions come from the guideline
+//! section — so ablating a component degrades translation mechanically,
+//! the way real context ablation degrades a real LLM.
+
+use std::collections::BTreeMap;
+
+/// Section markers (markdown headers) the prompt builder emits.
+pub mod markers {
+    /// Agent role ("You are a workflow provenance specialist…").
+    pub const ROLE: &str = "## Role";
+    /// Agent job ("Your job is to translate the question into a query…").
+    pub const JOB: &str = "## Job";
+    /// DataFrame description ("Each row represents a task execution…").
+    pub const DATAFRAME: &str = "## DataFrame";
+    /// Output format instructions ("Return a single pandas expression…").
+    pub const OUTPUT_FORMAT: &str = "## Output Format";
+    /// Few-shot examples.
+    pub const FEW_SHOT: &str = "## Examples";
+    /// Dynamic dataflow schema.
+    pub const SCHEMA: &str = "## Dataflow Schema";
+    /// Representative domain values.
+    pub const VALUES: &str = "## Domain Values";
+    /// Query guidelines.
+    pub const GUIDELINES: &str = "## Query Guidelines";
+}
+
+/// A parsed view of the system prompt, as the simulated model sees it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromptSections {
+    /// Role section present.
+    pub has_role: bool,
+    /// Job section present.
+    pub has_job: bool,
+    /// DataFrame description present.
+    pub has_dataframe: bool,
+    /// Output-format instructions present (without them the model answers
+    /// in prose — the zero-shot failure mode).
+    pub has_output_format: bool,
+    /// Number of few-shot examples found.
+    pub few_shot_examples: usize,
+    /// Column names (with dtypes) from the schema section.
+    pub schema_columns: Vec<String>,
+    /// Example values per column from the domain-values section.
+    pub example_values: BTreeMap<String, Vec<String>>,
+    /// Per-activity generated fields parsed from the schema's dataflow
+    /// structure lines (`* activity [...]: uses(...) -> generates(...)`).
+    pub activity_generates: Vec<(String, Vec<String>)>,
+    /// `phrase → column` mappings parsed from guidelines.
+    pub guideline_mappings: Vec<(String, String)>,
+    /// `phrase → literal` conventions parsed from guidelines
+    /// (e.g. "failed" → status value `ERROR`).
+    pub guideline_literals: Vec<(String, String)>,
+    /// Total guideline lines (free-text ones still aid capability).
+    pub guideline_count: usize,
+}
+
+impl PromptSections {
+    /// Parse a system prompt into sections.
+    pub fn parse(system: &str) -> PromptSections {
+        let mut out = PromptSections::default();
+        let mut current: Option<&str> = None;
+        for line in system.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("## ") {
+                current = Some(match trimmed {
+                    t if t == markers::ROLE => {
+                        out.has_role = true;
+                        "role"
+                    }
+                    t if t == markers::JOB => {
+                        out.has_job = true;
+                        "job"
+                    }
+                    t if t == markers::DATAFRAME => {
+                        out.has_dataframe = true;
+                        "dataframe"
+                    }
+                    t if t == markers::OUTPUT_FORMAT => {
+                        out.has_output_format = true;
+                        "format"
+                    }
+                    t if t == markers::FEW_SHOT => "few_shot",
+                    t if t == markers::SCHEMA => "schema",
+                    t if t == markers::VALUES => "values",
+                    t if t == markers::GUIDELINES => "guidelines",
+                    _ => "unknown",
+                });
+                continue;
+            }
+            match current {
+                Some("few_shot") => {
+                    if trimmed.starts_with("Q:") {
+                        out.few_shot_examples += 1;
+                    }
+                }
+                Some("schema") => {
+                    // "- column_name (dtype): description"
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        if let Some(paren) = rest.find(" (") {
+                            out.schema_columns.push(rest[..paren].trim().to_string());
+                        } else if let Some(colon) = rest.find(':') {
+                            out.schema_columns.push(rest[..colon].trim().to_string());
+                        }
+                    } else if let Some(rest) = trimmed.strip_prefix("* ") {
+                        // "* activity [n tasks]: uses(a, b) -> generates(c)"
+                        if let Some((head, tail)) = rest.split_once(':') {
+                            let activity = head
+                                .split('[')
+                                .next()
+                                .unwrap_or(head)
+                                .trim()
+                                .to_string();
+                            let generates = tail
+                                .split("generates(")
+                                .nth(1)
+                                .and_then(|g| g.split(')').next())
+                                .map(|g| {
+                                    g.split(',')
+                                        .map(|f| f.trim().to_string())
+                                        .filter(|f| !f.is_empty())
+                                        .collect()
+                                })
+                                .unwrap_or_default();
+                            if !activity.is_empty() {
+                                out.activity_generates.push((activity, generates));
+                            }
+                        }
+                    }
+                }
+                Some("values") => {
+                    // "- column: v1 | v2 | v3"
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        if let Some((col, vals)) = rest.split_once(':') {
+                            out.example_values.insert(
+                                col.trim().to_string(),
+                                vals.split('|').map(|v| v.trim().to_string()).collect(),
+                            );
+                        }
+                    }
+                }
+                Some("guidelines") => {
+                    if let Some(rest) = trimmed.strip_prefix("- ") {
+                        out.guideline_count += 1;
+                        // Machine-readable conventions:
+                        //   "For <phrase>, use the column <col>."
+                        //   "For <phrase>, use the value <lit>."
+                        if let Some((phrase, tail)) = parse_convention(rest, "use the column") {
+                            out.guideline_mappings.push((phrase, tail));
+                        } else if let Some((phrase, tail)) = parse_convention(rest, "use the value")
+                        {
+                            out.guideline_literals.push((phrase, tail));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// True when the schema section listed any columns.
+    pub fn has_schema(&self) -> bool {
+        !self.schema_columns.is_empty()
+    }
+
+    /// True when domain values were provided.
+    pub fn has_values(&self) -> bool {
+        !self.example_values.is_empty()
+    }
+
+    /// True when guidelines were provided.
+    pub fn has_guidelines(&self) -> bool {
+        self.guideline_count > 0
+    }
+
+    /// The baseline components (role+job+dataframe+format) are all present.
+    pub fn has_baseline(&self) -> bool {
+        self.has_role && self.has_job && self.has_dataframe && self.has_output_format
+    }
+}
+
+/// Parse `"For <phrase>, use the column <col>."` shapes. Returns
+/// `(phrase lowercased, target)`.
+fn parse_convention(line: &str, verb: &str) -> Option<(String, String)> {
+    let lower = line.to_lowercase();
+    let idx = lower.find(verb)?;
+    let phrase = line[..idx]
+        .trim()
+        .trim_start_matches("For ")
+        .trim_start_matches("for ")
+        .trim_start_matches("When asked about ")
+        .trim_start_matches("when asked about ")
+        .trim_end_matches(',')
+        .trim()
+        .to_lowercase();
+    // The target is the first identifier-like token after the verb; the
+    // rest of the sentence is explanatory prose.
+    let target: String = line[idx + verb.len()..]
+        .trim()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+        .collect();
+    let target = target.trim_end_matches('.').to_string();
+    if phrase.is_empty() || target.is_empty() {
+        None
+    } else {
+        Some((phrase, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_prompt() -> String {
+        format!(
+            "{role}\nYou are a workflow provenance specialist.\n\
+             {job}\nYour job is to translate questions into DataFrame queries.\n\
+             {df}\nEach row represents one task execution.\n\
+             {fmt}\nReturn a single pandas expression on df.\n\
+             {fs}\nQ: How many tasks failed?\nA: len(df[df[\"status\"] == \"ERROR\"])\n\
+             Q: Average duration per activity?\nA: df.groupby(\"activity_id\")[\"duration\"].mean()\n\
+             {schema}\n- task_id (str): unique id\n- cpu_percent_end (float): CPU at end\n- status (str): task status\n\
+             {values}\n- status: FINISHED | ERROR\n- activity_id: power | run_dft\n\
+             {guide}\n- For time ranges, use the column started_at.\n- For failed, use the value ERROR.\n- Prefer concise queries.\n",
+            role = markers::ROLE,
+            job = markers::JOB,
+            df = markers::DATAFRAME,
+            fmt = markers::OUTPUT_FORMAT,
+            fs = markers::FEW_SHOT,
+            schema = markers::SCHEMA,
+            values = markers::VALUES,
+            guide = markers::GUIDELINES,
+        )
+    }
+
+    #[test]
+    fn parses_all_sections() {
+        let p = PromptSections::parse(&sample_prompt());
+        assert!(p.has_baseline());
+        assert_eq!(p.few_shot_examples, 2);
+        assert_eq!(
+            p.schema_columns,
+            vec!["task_id", "cpu_percent_end", "status"]
+        );
+        assert_eq!(
+            p.example_values.get("status").unwrap(),
+            &vec!["FINISHED".to_string(), "ERROR".to_string()]
+        );
+        assert_eq!(p.guideline_count, 3);
+        assert_eq!(
+            p.guideline_mappings,
+            vec![("time ranges".to_string(), "started_at".to_string())]
+        );
+        assert_eq!(
+            p.guideline_literals,
+            vec![("failed".to_string(), "ERROR".to_string())]
+        );
+    }
+
+    #[test]
+    fn empty_prompt_is_zero_shot() {
+        let p = PromptSections::parse("");
+        assert!(!p.has_baseline());
+        assert!(!p.has_schema());
+        assert!(!p.has_values());
+        assert!(!p.has_guidelines());
+    }
+
+    #[test]
+    fn partial_prompt() {
+        let text = format!(
+            "{}\nYou are an assistant.\n{}\nReturn a query.\n",
+            markers::ROLE,
+            markers::OUTPUT_FORMAT
+        );
+        let p = PromptSections::parse(&text);
+        assert!(p.has_role && p.has_output_format);
+        assert!(!p.has_job);
+    }
+
+    #[test]
+    fn convention_parser_shapes() {
+        assert_eq!(
+            parse_convention("For CPU usage, use the column cpu_percent_end.", "use the column"),
+            Some(("cpu usage".to_string(), "cpu_percent_end".to_string()))
+        );
+        assert_eq!(
+            parse_convention("Prefer concise queries.", "use the column"),
+            None
+        );
+    }
+}

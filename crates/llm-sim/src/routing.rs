@@ -1,0 +1,182 @@
+//! Intent classification for the Tool Router (§4.2).
+//!
+//! "User-issued natural language queries are handled by a Tool Router,
+//! which combines rule-based logic and LLM calls to determine the
+//! appropriate handling strategy." The rules here decide greetings,
+//! online (in-memory) vs offline (database) queries, plot requests, and
+//! interactively supplied guidelines.
+
+/// Where a user message should be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Small talk — answer directly, no tool.
+    Greeting,
+    /// Online monitoring query against the in-memory context.
+    MonitorQuery,
+    /// Historical query against the persistent provenance database.
+    HistoricalQuery,
+    /// Visualization request (plot tool).
+    Plot,
+    /// A user-supplied query guideline to store in the session context.
+    GuidelineAddition,
+    /// Multi-hop causal/lineage traversal over the persistent PROV graph
+    /// (the deep graph queries §5.4 calls out as beyond DataFrames).
+    GraphQuery,
+}
+
+/// Classify a user message.
+pub fn classify(message: &str) -> Route {
+    let t = message.trim().to_lowercase();
+    if t.is_empty() {
+        return Route::Greeting;
+    }
+    let greeting_starts = ["hi", "hello", "hey", "thanks", "thank you", "good morning"];
+    if greeting_starts
+        .iter()
+        .any(|g| t == *g || t.starts_with(&format!("{g} ")) || t.starts_with(&format!("{g}!")))
+        && t.len() < 40
+    {
+        return Route::Greeting;
+    }
+    // Interactive guidelines: "use the field lr to filter learning rates",
+    // "guideline: ...", "from now on ...".
+    if t.starts_with("guideline:")
+        || t.starts_with("use the field")
+        || t.starts_with("use the column")
+        || t.starts_with("from now on")
+        || t.starts_with("always ")
+        || t.starts_with("prefer ")
+    {
+        return Route::GuidelineAddition;
+    }
+    // Causal/lineage traversals go to the graph tool — checked before the
+    // plot keywords so "lineage graph of task X" is not mistaken for a
+    // chart request.
+    let graphy = [
+        "lineage",
+        "upstream",
+        "downstream",
+        "derived from",
+        "causal chain",
+        "impact of task",
+        "depends on task",
+        "dependency path",
+        "path between",
+        "path from task",
+        "trace task",
+        "informed",
+    ];
+    if graphy.iter().any(|g| t.contains(g)) {
+        return Route::GraphQuery;
+    }
+    if t.contains("plot") || t.contains("graph") || t.contains("chart") || t.contains("visualiz") {
+        return Route::Plot;
+    }
+    // Historical markers send the query to the persistent database.
+    let historical = [
+        "yesterday",
+        "last week",
+        "last month",
+        "previous run",
+        "previous campaign",
+        "past runs",
+        "historical",
+        "all campaigns",
+        "archive",
+        "ever run",
+    ];
+    if historical.iter().any(|h| t.contains(h)) {
+        return Route::HistoricalQuery;
+    }
+    Route::MonitorQuery
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greetings() {
+        assert_eq!(classify("Hello!"), Route::Greeting);
+        assert_eq!(classify("hi"), Route::Greeting);
+        assert_eq!(classify("Thanks"), Route::Greeting);
+        assert_eq!(classify(""), Route::Greeting);
+    }
+
+    #[test]
+    fn monitoring_default() {
+        assert_eq!(
+            classify("How many tasks have finished so far?"),
+            Route::MonitorQuery
+        );
+        assert_eq!(
+            classify("Which bond has the highest dissociation free energy?"),
+            Route::MonitorQuery
+        );
+    }
+
+    #[test]
+    fn historical_markers() {
+        assert_eq!(
+            classify("How many DFT tasks ran in the previous campaign?"),
+            Route::HistoricalQuery
+        );
+        assert_eq!(classify("Show all campaigns from last week"), Route::HistoricalQuery);
+    }
+
+    #[test]
+    fn plots() {
+        assert_eq!(
+            classify("Plot a bar graph displaying the bond dissociation enthalpy"),
+            Route::Plot
+        );
+        assert_eq!(classify("Can you visualize CPU usage?"), Route::Plot);
+    }
+
+    #[test]
+    fn guidelines() {
+        assert_eq!(
+            classify("use the field lr to filter learning rates"),
+            Route::GuidelineAddition
+        );
+        assert_eq!(
+            classify("Guideline: sort durations descending by default"),
+            Route::GuidelineAddition
+        );
+        assert_eq!(classify("Always report energies in kcal/mol"), Route::GuidelineAddition);
+    }
+
+    #[test]
+    fn graph_traversals() {
+        assert_eq!(
+            classify("Trace the lineage of task t42"),
+            Route::GraphQuery
+        );
+        assert_eq!(
+            classify("What is the downstream impact of task t7?"),
+            Route::GraphQuery
+        );
+        // "lineage graph" must not be mistaken for a chart request.
+        assert_eq!(
+            classify("Show the lineage graph of task t1"),
+            Route::GraphQuery
+        );
+        assert_eq!(
+            classify("Is there a dependency path between t1 and t9?"),
+            Route::GraphQuery
+        );
+        // A plain bar-graph request still routes to the plot tool.
+        assert_eq!(
+            classify("Plot a bar graph of durations"),
+            Route::Plot
+        );
+    }
+
+    #[test]
+    fn greeting_with_long_text_is_a_query() {
+        assert_eq!(
+            classify("hi, can you tell me the average duration per activity please?"),
+            Route::MonitorQuery
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! The simulated LLM chat endpoint.
+//!
+//! One [`SimLlmServer`] stands in for a cloud-hosted model (§5.1: LLaMA on
+//! ORNL cloud, GPT-4 on Azure, Gemini/Claude on GCP). A chat call parses
+//! the prompt, translates the question through the semantic engine,
+//! applies model-specific error injection, renders the query in the
+//! model's surface style, and accounts tokens and latency.
+
+use crate::errors::{degrade, Degraded};
+use crate::model::{ModelId, ModelProfile};
+use crate::prompt::PromptSections;
+use crate::rng::Key;
+use crate::semantics::{translate, IntentKind, Translation};
+use crate::token::{count_tokens, prompt_tokens};
+use provql::{render, Query, Stage};
+
+/// A chat request to the (simulated) LLM service.
+#[derive(Debug, Clone)]
+pub struct ChatRequest {
+    /// System prompt assembled by the agent's RAG pipeline.
+    pub system: String,
+    /// The user's natural-language question.
+    pub user: String,
+    /// Sampling temperature (the paper sets 0 everywhere).
+    pub temperature: f64,
+    /// Repetition index (the paper runs each query 3 times).
+    pub run: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl ChatRequest {
+    /// Request with temperature 0, run 0, default seed.
+    pub fn new(system: impl Into<String>, user: impl Into<String>) -> Self {
+        Self {
+            system: system.into(),
+            user: user.into(),
+            temperature: 0.0,
+            run: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A chat response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatResponse {
+    /// Raw model output (query code, or prose).
+    pub text: String,
+    /// Whether the output is intended as query code.
+    pub is_code: bool,
+    /// Intent the model settled on.
+    pub intent: IntentKind,
+    /// Prompt tokens consumed.
+    pub input_tokens: usize,
+    /// Completion tokens produced.
+    pub output_tokens: usize,
+    /// Simulated end-to-end latency (ms).
+    pub latency_ms: f64,
+    /// True when the prompt exceeded the context window and was truncated.
+    pub truncated: bool,
+}
+
+impl ChatResponse {
+    /// Total token usage (the x-axis of Fig 8).
+    pub fn total_tokens(&self) -> usize {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// The LLM service interface the agent depends on.
+pub trait LlmServer: Send + Sync {
+    /// The model served by this endpoint.
+    fn model(&self) -> ModelId;
+    /// One chat completion.
+    fn chat(&self, request: &ChatRequest) -> ChatResponse;
+}
+
+/// Simulated endpoint for one model profile.
+pub struct SimLlmServer {
+    profile: ModelProfile,
+}
+
+impl SimLlmServer {
+    /// Server for a model.
+    pub fn new(id: ModelId) -> Self {
+        Self {
+            profile: ModelProfile::of(id),
+        }
+    }
+
+    /// The full profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Endpoints for all five evaluated models.
+    pub fn fleet() -> Vec<SimLlmServer> {
+        ModelId::all().into_iter().map(SimLlmServer::new).collect()
+    }
+
+    fn request_key(&self, request: &ChatRequest) -> Key {
+        // Temperature 0 still shows slight run-to-run variation (§5.2:
+        // "LLMs can still produce slight variations even with the
+        // temperature set to zero"), so the run index is part of the key.
+        Key::new(request.seed)
+            .with_str(self.profile.id.name())
+            .with_str(&request.user)
+            .with_u64(request.run as u64)
+            .with_u64((request.temperature * 1000.0) as u64)
+    }
+}
+
+impl LlmServer for SimLlmServer {
+    fn model(&self) -> ModelId {
+        self.profile.id
+    }
+
+    fn chat(&self, request: &ChatRequest) -> ChatResponse {
+        let key = self.request_key(request);
+        let input_tokens = prompt_tokens(&request.system, &request.user);
+        let window = self.profile.context_window;
+        let truncated = input_tokens > window;
+        // When the prompt overflows, the tail sections (schema, values,
+        // guidelines) are what gets cut — parse only the surviving prefix.
+        let system_view: String = if truncated {
+            let keep_chars = request.system.len() * window / input_tokens.max(1);
+            request
+                .system
+                .chars()
+                .take(keep_chars)
+                .collect()
+        } else {
+            request.system.clone()
+        };
+        let sections = PromptSections::parse(&system_view);
+
+        // Conventions and field-ambiguity picks are systematic per
+        // (model, question): at temperature 0 the model commits to one
+        // reading across runs, so translation uses a run-independent key
+        // while error injection below keeps the per-run key.
+        let stable_key = Key::new(request.seed)
+            .with_str(self.profile.id.name())
+            .with_str(&request.user);
+        let (text, is_code, intent) = match translate(&request.user, &sections, stable_key) {
+            Translation::Prose { text, intent } => (text, false, intent),
+            Translation::Code { query, intent } => {
+                let query = apply_quirks(query, intent, self.profile.id, &request.user);
+                match degrade(
+                    query,
+                    intent,
+                    &self.profile,
+                    &sections,
+                    input_tokens,
+                    key,
+                ) {
+                    Degraded::Query(q, _applied) => {
+                        let code = style_render(&q, self.profile.id, key);
+                        // Without few-shot examples, models rarely emit a
+                        // bare executable expression: they wrap the query
+                        // in chat prose and code fences, which the judge
+                        // scores as unparseable (the paper's near-zero
+                        // Baseline scores in Fig 8).
+                        let wraps_in_prose = sections.few_shot_examples == 0
+                            && key.with_str("prose-wrap").unit()
+                                < 0.985 - self.profile.competence * 0.05;
+                        if wraps_in_prose {
+                            (
+                                format!(
+                                    "Sure! You can answer that with the following query:\n\
+                                     ```python\n{code}\n```\n\
+                                     This filters the live buffer and computes the result."
+                                ),
+                                true,
+                                intent,
+                            )
+                        } else {
+                            (code, true, intent)
+                        }
+                    }
+                    Degraded::Broken(text) => (text, true, intent),
+                }
+            }
+        };
+
+        let output_tokens = count_tokens(&text).max(1);
+        let latency_ms = self
+            .profile
+            .latency
+            .sample(input_tokens.min(window), output_tokens, key.with_str("lat"));
+        ChatResponse {
+            text,
+            is_code,
+            intent,
+            input_tokens,
+            output_tokens,
+            latency_ms,
+            truncated,
+        }
+    }
+}
+
+/// Paper-documented, model-specific misreadings of the chemistry demo
+/// (§5.3). These are deterministic behaviors, not stochastic errors:
+/// Q5 — GPT-4 "incorrectly summed the atom counts from all molecules,
+/// returning a total of 81 rather than the number for just the parent".
+fn apply_quirks(query: Query, intent: IntentKind, model: ModelId, user: &str) -> Query {
+    let u = user.to_lowercase();
+    if intent == IntentKind::AtomCount
+        && u.contains("parent")
+        && matches!(model, ModelId::Gpt | ModelId::Llama70B)
+    {
+        // The agent misses the molecule filter and sums across molecules.
+        return Query::pipeline(vec![
+            Stage::Col("n_atoms".to_string()),
+            Stage::Agg(dataframe::AggFunc::Sum),
+        ]);
+    }
+    query
+}
+
+/// Surface style differences between models: semantically neutral, but
+/// they make outputs look like they came from different systems (quote
+/// style, `reset_index()` habits).
+fn style_render(q: &Query, model: ModelId, key: Key) -> String {
+    let mut text = render(q);
+    match model {
+        ModelId::Llama8B | ModelId::Llama70B => {
+            // LLaMA outputs tend to single quotes.
+            text = text.replace('"', "'");
+        }
+        ModelId::Gemini => {
+            if key.with_str("style").unit() < 0.5 {
+                text = text.replace('"', "'");
+            }
+        }
+        ModelId::Gpt | ModelId::Claude => {}
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::markers;
+
+    fn prompt() -> String {
+        format!(
+            "{role}\nYou are a workflow provenance specialist.\n\
+             {job}\nTranslate questions into DataFrame queries.\n\
+             {df}\nEach row is a task execution.\n\
+             {fmt}\nReturn a single pandas expression.\n\
+             {fs}\nQ: How many tasks failed?\nA: len(df[df[\"status\"] == \"ERROR\"])\n\
+             {schema}\n- task_id (str): id\n- status (str): status\n- activity_id (str): step\n\
+             - duration (float): seconds\n- hostname (str): node name\n- started_at (float): start\n- ended_at (float): end\n\
+             {values}\n- status: FINISHED | ERROR\n\
+             {guide}\n- For time ranges, use the column started_at.\n- For failed, use the value ERROR.\n",
+            role = markers::ROLE,
+            job = markers::JOB,
+            df = markers::DATAFRAME,
+            fmt = markers::OUTPUT_FORMAT,
+            fs = markers::FEW_SHOT,
+            schema = markers::SCHEMA,
+            values = markers::VALUES,
+            guide = markers::GUIDELINES,
+        )
+    }
+
+    #[test]
+    fn chat_produces_parseable_code_for_frontier_models() {
+        let server = SimLlmServer::new(ModelId::Gpt);
+        let resp = server.chat(&ChatRequest::new(prompt(), "How many tasks failed?"));
+        assert!(resp.is_code);
+        assert!(provql::parse(&resp.text).is_ok(), "got {}", resp.text);
+        assert!(resp.input_tokens > 50);
+        assert!(resp.output_tokens > 3);
+        assert!(resp.latency_ms > 10.0 && resp.latency_ms < 2_500.0);
+        assert!(!resp.truncated);
+    }
+
+    #[test]
+    fn deterministic_at_temperature_zero() {
+        let server = SimLlmServer::new(ModelId::Claude);
+        let req = ChatRequest::new(prompt(), "What is the average duration per activity?");
+        assert_eq!(server.chat(&req), server.chat(&req));
+    }
+
+    #[test]
+    fn runs_can_differ() {
+        let server = SimLlmServer::new(ModelId::Gemini);
+        let mut req = ChatRequest::new(prompt(), "What is the average duration per activity?");
+        let a = server.chat(&req);
+        req.run = 1;
+        let b = server.chat(&req);
+        // Either the text or at least the sampled latency differs between
+        // runs (slight variation despite temperature 0).
+        assert!(a.text != b.text || a.latency_ms != b.latency_ms);
+    }
+
+    #[test]
+    fn llama_uses_single_quotes() {
+        let server = SimLlmServer::new(ModelId::Llama8B);
+        let mut resp = server.chat(&ChatRequest::new(prompt(), "How many tasks failed?"));
+        // Retry a few runs to dodge injected errors, then check style.
+        for run in 1..6 {
+            if resp.is_code && provql::parse(&resp.text).is_ok() {
+                break;
+            }
+            let mut req = ChatRequest::new(prompt(), "How many tasks failed?");
+            req.run = run;
+            resp = server.chat(&req);
+        }
+        if resp.is_code && resp.text.contains("status") {
+            assert!(!resp.text.contains('"'), "expected single quotes: {}", resp.text);
+        }
+    }
+
+    #[test]
+    fn zero_shot_prompt_yields_prose() {
+        let server = SimLlmServer::new(ModelId::Gpt);
+        let resp = server.chat(&ChatRequest::new("", "How many tasks failed?"));
+        assert!(!resp.is_code);
+        assert!(provql::parse(&resp.text).is_err());
+    }
+
+    #[test]
+    fn context_overflow_truncates() {
+        let server = SimLlmServer::new(ModelId::Llama8B); // 8k window
+        let huge_schema: String = (0..4000)
+            .map(|i| format!("- very_long_column_name_number_{i} (float): description text\n"))
+            .collect();
+        let system = format!("{}\n{}", prompt(), huge_schema);
+        let resp = server.chat(&ChatRequest::new(system, "How many tasks failed?"));
+        assert!(resp.truncated);
+        assert!(resp.input_tokens > server.profile().context_window);
+    }
+
+    #[test]
+    fn gpt_q5_quirk_sums_atoms() {
+        let server = SimLlmServer::new(ModelId::Gpt);
+        let chem_prompt = prompt().replace(
+            "- duration (float): seconds",
+            "- n_atoms (int): atoms\n- molecule_label (str): molecule",
+        );
+        let resp = server.chat(&ChatRequest::new(
+            chem_prompt,
+            "What is the number of atoms in the parent molecule?",
+        ));
+        assert!(resp.text.contains("sum"), "expected the Q5 trap: {}", resp.text);
+    }
+
+    #[test]
+    fn fleet_has_five_models() {
+        assert_eq!(SimLlmServer::fleet().len(), 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Approximate tokenizer.
+//!
+//! Prompt budgeting (§3, Fig 8) needs a deterministic token count with
+//! realistic magnitudes, not any particular vendor's BPE. This tokenizer
+//! mimics the empirical "≈4 characters per token, punctuation splits"
+//! behaviour of common BPE vocabularies.
+
+/// Count tokens in a text.
+///
+/// Rules: each run of alphanumeric characters costs `ceil(len/4)` tokens
+/// (long identifiers split like BPE does), every punctuation character is
+/// its own token, and whitespace is free.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    let mut word_len = 0usize;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            word_len += 1;
+        } else {
+            tokens += word_len.div_ceil(4);
+            word_len = 0;
+            if !c.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    tokens + word_len.div_ceil(4)
+}
+
+/// Token count of a (system, user) prompt pair plus chat framing overhead.
+pub fn prompt_tokens(system: &str, user: &str) -> usize {
+    // ~8 tokens of chat-format scaffolding per message.
+    count_tokens(system) + count_tokens(user) + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_one_token() {
+        assert_eq!(count_tokens("the cat"), 2);
+    }
+
+    #[test]
+    fn long_identifiers_split() {
+        // 19 chars → ceil(19/4) = 5
+        assert_eq!(count_tokens("bond_dissociation_e".replace('_', "x").as_str()), 5);
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        // df [ " cpu " ] → df(1) + [(1) + "(1) + cpu(1) + "(1) + ](1) = 6
+        assert_eq!(count_tokens("df[\"cpu\"]"), 6);
+    }
+
+    #[test]
+    fn realistic_magnitude() {
+        // ~400 chars of prose should land near 100 tokens (4 chars/token).
+        let text = "The provenance agent translates natural language questions \
+                    into structured DataFrame queries over the in-memory buffer \
+                    of recent workflow task messages, returning tables, plots, \
+                    or summaries to the scientist during execution. "
+            .repeat(2);
+        let t = count_tokens(&text);
+        let chars = text.len();
+        let ratio = chars as f64 / t as f64;
+        assert!((3.0..6.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn monotone_in_length() {
+        let a = count_tokens("one two three");
+        let b = count_tokens("one two three four five");
+        assert!(b > a);
+    }
+
+    #[test]
+    fn prompt_overhead() {
+        assert_eq!(prompt_tokens("", ""), 16);
+        assert!(prompt_tokens("system prompt", "user query") > 16);
+    }
+}

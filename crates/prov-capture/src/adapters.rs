@@ -1,0 +1,563 @@
+//! Non-intrusive observability adapters (§2.3): passively monitor dataflow
+//! from services "such as RabbitMQ, SQLite, MLflow, and file systems
+//! without modifying application code", normalizing what they see into task
+//! provenance messages.
+
+use prov_model::{json, TaskMessage, TaskMessageBuilder, Value};
+use prov_stream::{topics, StreamingHub, Subscription};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An adapter converts foreign observations into task messages.
+pub trait ObservabilityAdapter: Send {
+    /// Adapter name for logs.
+    fn name(&self) -> &'static str;
+
+    /// Poll the observed source once, returning newly observed messages.
+    fn poll(&mut self) -> Vec<TaskMessage>;
+}
+
+/// Pump an adapter into the hub: polls once and publishes everything
+/// observed. Returns how many messages were published.
+pub fn pump(adapter: &mut dyn ObservabilityAdapter, hub: &StreamingHub) -> usize {
+    let msgs = adapter.poll();
+    let n = msgs.len();
+    if n > 0 {
+        let _ = hub.publish_batch(topics::TASKS, msgs);
+    }
+    n
+}
+
+/// Watches a directory for `*.json` files containing task messages
+/// (the "file system" adapter). Files already seen are skipped by name.
+pub struct FileSystemAdapter {
+    dir: PathBuf,
+    seen: Vec<PathBuf>,
+}
+
+impl FileSystemAdapter {
+    /// Watch `dir` (created lazily by the producer; missing dir = empty poll).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// The watched directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl ObservabilityAdapter for FileSystemAdapter {
+    fn name(&self) -> &'static str {
+        "filesystem"
+    }
+
+    fn poll(&mut self) -> Vec<TaskMessage> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .filter(|p| !self.seen.contains(p))
+            .collect();
+        paths.sort();
+        let mut out = Vec::new();
+        for p in paths {
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                if let Some(msg) = TaskMessage::from_json(&text) {
+                    out.push(msg);
+                }
+            }
+            self.seen.push(p);
+        }
+        out
+    }
+}
+
+/// Observes an MLflow-like experiment-tracking record stream: each record
+/// is a JSON object with `run_id`, `params`, `metrics`; the adapter maps
+/// params→`used` and metrics→`generated`.
+pub struct MlflowLikeAdapter {
+    records: Vec<Value>,
+    cursor: usize,
+    experiment: String,
+}
+
+impl MlflowLikeAdapter {
+    /// Adapter over an in-memory record feed (a real deployment would poll
+    /// the tracking server's REST API).
+    pub fn new(experiment: impl Into<String>, records: Vec<Value>) -> Self {
+        Self {
+            records,
+            cursor: 0,
+            experiment: experiment.into(),
+        }
+    }
+
+    /// Append new records to the feed.
+    pub fn push_record(&mut self, record: Value) {
+        self.records.push(record);
+    }
+}
+
+impl ObservabilityAdapter for MlflowLikeAdapter {
+    fn name(&self) -> &'static str {
+        "mlflow"
+    }
+
+    fn poll(&mut self) -> Vec<TaskMessage> {
+        let mut out = Vec::new();
+        while self.cursor < self.records.len() {
+            let r = &self.records[self.cursor];
+            self.cursor += 1;
+            let Some(run_id) = r.get("run_id").and_then(Value::as_str) else {
+                continue;
+            };
+            let mut b = TaskMessageBuilder::new(
+                format!("mlflow-{run_id}"),
+                self.experiment.clone(),
+                "mlflow_run",
+            );
+            if let Some(params) = r.get("params") {
+                b = b.used(params.clone());
+            }
+            if let Some(metrics) = r.get("metrics") {
+                b = b.generated(metrics.clone());
+            }
+            let started = r.get("start_time").and_then(Value::as_f64).unwrap_or(0.0);
+            let ended = r.get("end_time").and_then(Value::as_f64).unwrap_or(started);
+            out.push(b.span(started, ended).build());
+        }
+        out
+    }
+}
+
+/// Bridges a foreign broker topic into the provenance tasks topic (the
+/// "RabbitMQ/Redis queue" adapter): subscribes upstream and re-publishes.
+pub struct QueueBridgeAdapter {
+    upstream: Subscription,
+    forwarded: AtomicU64,
+}
+
+impl QueueBridgeAdapter {
+    /// Bridge from an existing subscription.
+    pub fn new(upstream: Subscription) -> Self {
+        Self {
+            upstream,
+            forwarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+}
+
+impl ObservabilityAdapter for QueueBridgeAdapter {
+    fn name(&self) -> &'static str {
+        "queue-bridge"
+    }
+
+    fn poll(&mut self) -> Vec<TaskMessage> {
+        let msgs: Vec<TaskMessage> = self
+            .upstream
+            .drain()
+            .into_iter()
+            .map(|arc| (*arc).clone())
+            .collect();
+        self.forwarded.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        msgs
+    }
+}
+
+/// Observes a TensorBoard-like scalar event stream: `(step, tag, value,
+/// wall_time)` records, as a training loop's `add_scalar` calls would
+/// produce. Events are grouped by step; each completed step becomes one
+/// task message with every tag of that step in `generated`.
+pub struct TensorboardLikeAdapter {
+    run: String,
+    events: Vec<(i64, String, f64, f64)>,
+    cursor: usize,
+}
+
+impl TensorboardLikeAdapter {
+    /// Adapter over an in-memory event feed (a real deployment would tail
+    /// the event file).
+    pub fn new(run: impl Into<String>) -> Self {
+        Self {
+            run: run.into(),
+            events: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Record one scalar event.
+    pub fn add_scalar(&mut self, step: i64, tag: impl Into<String>, value: f64, wall_time: f64) {
+        self.events.push((step, tag.into(), value, wall_time));
+    }
+}
+
+impl ObservabilityAdapter for TensorboardLikeAdapter {
+    fn name(&self) -> &'static str {
+        "tensorboard"
+    }
+
+    fn poll(&mut self) -> Vec<TaskMessage> {
+        // A step is complete once an event for a *later* step exists; the
+        // trailing step stays buffered until then.
+        let mut by_step: Vec<(i64, Vec<(String, f64, f64)>)> = Vec::new();
+        for (step, tag, value, t) in &self.events[self.cursor..] {
+            match by_step.iter_mut().find(|(s, _)| s == step) {
+                Some((_, v)) => v.push((tag.clone(), *value, *t)),
+                None => by_step.push((*step, vec![(tag.clone(), *value, *t)])),
+            }
+        }
+        by_step.sort_by_key(|(s, _)| *s);
+        let Some(&(last_step, _)) = by_step.last() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut consumed = 0;
+        for (step, tags) in by_step {
+            if step == last_step {
+                break; // possibly still accumulating
+            }
+            consumed += tags.len();
+            let mut generated = prov_model::Map::new();
+            let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+            for (tag, value, t) in &tags {
+                generated.insert(tag.replace('/', "."), Value::Float(*value));
+                t_min = t_min.min(*t);
+                t_max = t_max.max(*t);
+            }
+            out.push(
+                TaskMessageBuilder::new(
+                    format!("tb-{}-step-{step}", self.run),
+                    self.run.clone(),
+                    "training_step",
+                )
+                .uses("step", step)
+                .generated(Value::Object(generated))
+                .span(t_min, t_max)
+                .build(),
+            );
+        }
+        self.cursor += consumed;
+        out
+    }
+}
+
+/// Observes a Dask-like scheduler transition log: `(key, state, time)`
+/// events. A task message is emitted when a key reaches a terminal state
+/// (`memory` = finished, `erred` = error), spanning `processing → done`.
+pub struct DaskLikeAdapter {
+    scheduler_id: String,
+    transitions: Vec<(String, String, f64)>,
+    emitted: Vec<String>,
+}
+
+impl DaskLikeAdapter {
+    /// Adapter over an in-memory transition feed.
+    pub fn new(scheduler_id: impl Into<String>) -> Self {
+        Self {
+            scheduler_id: scheduler_id.into(),
+            transitions: Vec::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Record one scheduler transition.
+    pub fn transition(&mut self, key: impl Into<String>, state: impl Into<String>, time: f64) {
+        self.transitions.push((key.into(), state.into(), time));
+    }
+}
+
+impl ObservabilityAdapter for DaskLikeAdapter {
+    fn name(&self) -> &'static str {
+        "dask"
+    }
+
+    fn poll(&mut self) -> Vec<TaskMessage> {
+        let mut out = Vec::new();
+        let keys: Vec<String> = self
+            .transitions
+            .iter()
+            .map(|(k, _, _)| k.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for key in keys {
+            if self.emitted.contains(&key) {
+                continue;
+            }
+            let of_key: Vec<&(String, String, f64)> = self
+                .transitions
+                .iter()
+                .filter(|(k, _, _)| *k == key)
+                .collect();
+            let Some(terminal) = of_key
+                .iter()
+                .find(|(_, s, _)| s == "memory" || s == "erred")
+            else {
+                continue; // still running
+            };
+            let started = of_key
+                .iter()
+                .find(|(_, s, _)| s == "processing")
+                .map(|(_, _, t)| *t)
+                .unwrap_or(terminal.2);
+            let status = if terminal.1 == "erred" {
+                prov_model::TaskStatus::Error
+            } else {
+                prov_model::TaskStatus::Finished
+            };
+            // Dask keys look like "name-hash"; the name is the activity.
+            let activity = key.rsplit_once('-').map(|(n, _)| n).unwrap_or(&key);
+            out.push(
+                TaskMessageBuilder::new(
+                    format!("dask-{key}"),
+                    self.scheduler_id.clone(),
+                    activity,
+                )
+                .uses("dask_key", key.as_str())
+                .span(started, terminal.2)
+                .status(status)
+                .build(),
+            );
+            self.emitted.push(key);
+        }
+        out
+    }
+}
+
+/// Runs a set of adapters on a background polling thread, pumping
+/// everything they observe into the hub — the deployment shape of Fig 2's
+/// observability-adapter column.
+pub struct AdapterHost {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    published: std::sync::Arc<AtomicU64>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdapterHost {
+    /// Start polling `adapters` every `interval`, publishing into `hub`.
+    pub fn start(
+        adapters: Vec<Box<dyn ObservabilityAdapter>>,
+        hub: &StreamingHub,
+        interval: std::time::Duration,
+    ) -> Self {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let published = std::sync::Arc::new(AtomicU64::new(0));
+        let hub = hub.clone();
+        let stop2 = stop.clone();
+        let published2 = published.clone();
+        let worker = std::thread::Builder::new()
+            .name("adapter-host".into())
+            .spawn(move || {
+                let mut adapters = adapters;
+                loop {
+                    for a in adapters.iter_mut() {
+                        let n = pump(a.as_mut(), &hub);
+                        published2.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn adapter host");
+        Self {
+            stop,
+            published,
+            worker: Some(worker),
+        }
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join (a final poll runs before exit).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for AdapterHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Parse a JSON lines string (e.g. from a SQLite export or log file) into
+/// messages, skipping malformed lines. Used by tests and the file adapter.
+pub fn parse_jsonl(text: &str) -> Vec<TaskMessage> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| json::from_str(l).ok())
+        .filter_map(|v| TaskMessage::from_value(&v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::obj;
+
+    fn msg(id: &str) -> TaskMessage {
+        TaskMessageBuilder::new(id, "wf", "act").build()
+    }
+
+    #[test]
+    fn filesystem_adapter_picks_up_new_files() {
+        let dir = std::env::temp_dir().join(format!("prov-fs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut adapter = FileSystemAdapter::new(&dir);
+        assert!(adapter.poll().is_empty());
+
+        std::fs::write(dir.join("a.json"), msg("fa").to_json()).unwrap();
+        std::fs::write(dir.join("b.json"), msg("fb").to_json()).unwrap();
+        std::fs::write(dir.join("junk.txt"), "not json").unwrap();
+        let got = adapter.poll();
+        assert_eq!(got.len(), 2);
+        // Already-seen files are not re-emitted.
+        assert!(adapter.poll().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mlflow_adapter_maps_params_and_metrics() {
+        let mut adapter = MlflowLikeAdapter::new(
+            "exp-1",
+            vec![obj! {
+                "run_id" => "r1",
+                "params" => obj! {"lr" => 0.001, "epochs" => 10},
+                "metrics" => obj! {"loss" => 0.12, "accuracy" => 0.97},
+                "start_time" => 100.0,
+                "end_time" => 160.0,
+            }],
+        );
+        let got = adapter.poll();
+        assert_eq!(got.len(), 1);
+        let m = &got[0];
+        assert_eq!(m.activity_id.as_str(), "mlflow_run");
+        assert_eq!(m.used.get("lr").and_then(Value::as_f64), Some(0.001));
+        assert_eq!(
+            m.generated.get("accuracy").and_then(Value::as_f64),
+            Some(0.97)
+        );
+        assert_eq!(m.duration(), 60.0);
+        // Incremental: new record appears on next poll.
+        adapter.push_record(obj! {"run_id" => "r2"});
+        assert_eq!(adapter.poll().len(), 1);
+    }
+
+    #[test]
+    fn queue_bridge_forwards() {
+        let foreign = StreamingHub::in_memory();
+        let tasks_hub = StreamingHub::in_memory();
+        let sub_out = tasks_hub.subscribe_tasks();
+        let mut bridge = QueueBridgeAdapter::new(foreign.subscribe("app.events"));
+        foreign.publish("app.events", msg("e1")).unwrap();
+        foreign.publish("app.events", msg("e2")).unwrap();
+        let n = pump(&mut bridge, &tasks_hub);
+        assert_eq!(n, 2);
+        assert_eq!(bridge.forwarded(), 2);
+        assert_eq!(sub_out.drain().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_parsing_skips_garbage() {
+        let text = format!("{}\nnot json\n\n{}\n", msg("a").to_json(), msg("b").to_json());
+        let got = parse_jsonl(&text);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn tensorboard_adapter_groups_scalars_by_step() {
+        let mut tb = TensorboardLikeAdapter::new("train-run-1");
+        tb.add_scalar(0, "loss/train", 1.2, 100.0);
+        tb.add_scalar(0, "accuracy", 0.4, 100.1);
+        tb.add_scalar(1, "loss/train", 0.9, 101.0);
+        // Step 0 is complete (step 1 exists); step 1 stays buffered.
+        let got = tb.poll();
+        assert_eq!(got.len(), 1);
+        let m = &got[0];
+        assert_eq!(m.activity_id.as_str(), "training_step");
+        assert_eq!(m.used.get("step").and_then(Value::as_i64), Some(0));
+        assert_eq!(m.generated.get("loss.train").and_then(Value::as_f64), Some(1.2));
+        assert_eq!(m.generated.get("accuracy").and_then(Value::as_f64), Some(0.4));
+        // Nothing new until a later step arrives.
+        assert!(tb.poll().is_empty());
+        tb.add_scalar(2, "loss/train", 0.7, 102.0);
+        let got = tb.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].used.get("step").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn dask_adapter_emits_on_terminal_states() {
+        let mut dask = DaskLikeAdapter::new("scheduler-1");
+        dask.transition("sum_parts-abc123", "processing", 10.0);
+        dask.transition("load_csv-def456", "processing", 10.5);
+        assert!(dask.poll().is_empty(), "no terminal state yet");
+        dask.transition("sum_parts-abc123", "memory", 12.0);
+        dask.transition("load_csv-def456", "erred", 13.0);
+        let got = dask.poll();
+        assert_eq!(got.len(), 2);
+        let ok = got
+            .iter()
+            .find(|m| m.task_id.as_str() == "dask-sum_parts-abc123")
+            .unwrap();
+        assert_eq!(ok.activity_id.as_str(), "sum_parts");
+        assert_eq!(ok.status, prov_model::TaskStatus::Finished);
+        assert_eq!(ok.duration(), 2.0);
+        let bad = got
+            .iter()
+            .find(|m| m.task_id.as_str() == "dask-load_csv-def456")
+            .unwrap();
+        assert_eq!(bad.status, prov_model::TaskStatus::Error);
+        // Terminal tasks emit exactly once.
+        assert!(dask.poll().is_empty());
+    }
+
+    #[test]
+    fn adapter_host_pumps_on_a_schedule() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let mut tb = TensorboardLikeAdapter::new("run");
+        for step in 0..5 {
+            tb.add_scalar(step, "loss", 1.0 / (step + 1) as f64, step as f64);
+        }
+        let mut dask = DaskLikeAdapter::new("sched");
+        dask.transition("work-1", "processing", 0.0);
+        dask.transition("work-1", "memory", 1.0);
+        let host = AdapterHost::start(
+            vec![Box::new(tb), Box::new(dask)],
+            &hub,
+            std::time::Duration::from_millis(5),
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while host.published() < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        host.stop();
+        // 4 completed training steps + 1 dask task.
+        assert_eq!(sub.drain().len(), 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Direct code instrumentation — the Rust analogue of Flowcept's Python
+//! decorators (§2.3): "lightweight hooks ... to capture fine-grained
+//! task-level metadata from functions".
+//!
+//! A [`CaptureContext`] carries the campaign/workflow identity, clock,
+//! telemetry synthesizer and buffered emitter; [`CaptureContext::instrument`]
+//! wraps a closure, captures its inputs/outputs as `used`/`generated`,
+//! timestamps and telemetry, and emits the task message asynchronously.
+
+use prov_model::{
+    ActivityId, CampaignId, IdGenerator, SharedClock, TaskId, TaskMessage, TaskMessageBuilder,
+    TaskStatus, TelemetrySynth, Value, WorkflowId,
+};
+use prov_stream::{BufferedEmitter, FlushStrategy, StreamingHub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared capture context for one workflow execution.
+pub struct CaptureContext {
+    /// Campaign identity.
+    pub campaign_id: CampaignId,
+    /// Workflow execution identity.
+    pub workflow_id: WorkflowId,
+    /// Simulated executing host (round-robin across a node list).
+    hosts: Vec<String>,
+    clock: SharedClock,
+    synth: TelemetrySynth,
+    ids: IdGenerator,
+    emitter: Arc<BufferedEmitter>,
+    ordinal: AtomicU64,
+}
+
+/// The result of one instrumented execution.
+#[derive(Debug, Clone)]
+pub struct CapturedTask {
+    /// Task id assigned to this execution.
+    pub task_id: TaskId,
+    /// The emitted provenance message.
+    pub message: TaskMessage,
+}
+
+impl CaptureContext {
+    /// Create a context bound to a hub, with a deterministic id/telemetry
+    /// stream derived from `seed`.
+    pub fn new(
+        hub: &StreamingHub,
+        campaign_id: impl Into<CampaignId>,
+        workflow_id: impl Into<WorkflowId>,
+        clock: SharedClock,
+        seed: u64,
+    ) -> Self {
+        Self {
+            campaign_id: campaign_id.into(),
+            workflow_id: workflow_id.into(),
+            hosts: (0..4)
+                .map(|i| format!("frontier{:05}.frontier.olcf.ornl.gov", 80 + i))
+                .collect(),
+            clock,
+            synth: TelemetrySynth::frontier(seed),
+            ids: IdGenerator::new(seed),
+            emitter: hub.task_emitter(FlushStrategy::bulk()),
+            ordinal: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the simulated host list.
+    pub fn with_hosts(mut self, hosts: Vec<String>) -> Self {
+        if !hosts.is_empty() {
+            self.hosts = hosts;
+        }
+        self
+    }
+
+    /// Use a custom flush strategy (e.g. [`FlushStrategy::immediate`] for
+    /// the capture-overhead ablation bench).
+    pub fn with_flush_strategy(mut self, hub: &StreamingHub, strategy: FlushStrategy) -> Self {
+        self.emitter = hub.task_emitter(strategy);
+        self
+    }
+
+    /// Run `f` as an instrumented task.
+    ///
+    /// * `activity` — the workflow step name;
+    /// * `used` — application inputs recorded under `used`;
+    /// * `intensity` — telemetry load hint in `[0,1]`;
+    /// * `depends_on` — upstream task ids (dataflow lineage);
+    /// * `f` — the task body, returning the `generated` object.
+    ///
+    /// Returns the captured message (already queued for emission) and the
+    /// closure's output value.
+    pub fn instrument<F>(
+        &self,
+        activity: impl Into<ActivityId>,
+        used: Value,
+        intensity: f64,
+        depends_on: &[TaskId],
+        f: F,
+    ) -> CapturedTask
+    where
+        F: FnOnce(&Value) -> Result<Value, String>,
+    {
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        let started_at = self.clock.now();
+        let tel_start = self.synth.snapshot(ordinal, 0, intensity);
+        let result = f(&used);
+        let ended_at = self.clock.now();
+        let tel_end = self.synth.snapshot(ordinal, 1, intensity);
+        let activity = activity.into();
+        let task_id = self.ids.task(started_at, 0, ordinal as u32);
+        let host = &self.hosts[(ordinal as usize) % self.hosts.len()];
+
+        let (generated, status) = match result {
+            Ok(v) => (v, TaskStatus::Finished),
+            Err(e) => {
+                let mut v = Value::Null;
+                v.insert("error", e);
+                (v, TaskStatus::Error)
+            }
+        };
+
+        let mut builder = TaskMessageBuilder::new(
+            task_id.clone(),
+            self.workflow_id.clone(),
+            activity,
+        )
+        .campaign(self.campaign_id.clone())
+        .used(used)
+        .generated(generated)
+        .span(started_at, ended_at)
+        .host(host.clone())
+        .telemetry(tel_start, tel_end)
+        .status(status);
+        for dep in depends_on {
+            builder = builder.depends_on(dep.clone());
+        }
+        let message = builder.build();
+        // Fire-and-forget: capture must not fail the workflow (§4.1).
+        let _ = self.emitter.emit(message.clone());
+        CapturedTask { task_id, message }
+    }
+
+    /// Flush buffered messages now (e.g. at workflow end).
+    pub fn flush(&self) {
+        let _ = self.emitter.flush();
+    }
+
+    /// Number of tasks instrumented so far.
+    pub fn task_count(&self) -> u64 {
+        self.ordinal.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{obj, sim_clock};
+    use std::time::Duration;
+
+    fn context(hub: &StreamingHub) -> CaptureContext {
+        CaptureContext::new(hub, "camp-1", "wf-1", sim_clock(), 42)
+    }
+
+    #[test]
+    fn instrument_captures_io_and_telemetry() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let ctx = context(&hub);
+        let t = ctx.instrument(
+            "square_and_divide",
+            obj! {"x" => 4.0, "divisor" => 2.0},
+            0.3,
+            &[],
+            |used| {
+                let x = used.get("x").unwrap().as_f64().unwrap();
+                let d = used.get("divisor").unwrap().as_f64().unwrap();
+                Ok(obj! {"result" => x * x / d})
+            },
+        );
+        ctx.flush();
+        let got = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.task_id, t.task_id);
+        assert_eq!(
+            got.generated.get("result").and_then(Value::as_f64),
+            Some(8.0)
+        );
+        assert!(got.telemetry_at_start.is_some());
+        assert!(got.ended_at > got.started_at);
+        assert!(got.hostname.contains("frontier"));
+    }
+
+    #[test]
+    fn errors_become_error_status() {
+        let hub = StreamingHub::in_memory();
+        let ctx = context(&hub);
+        let t = ctx.instrument("bad_step", obj! {"x" => 1}, 0.1, &[], |_| {
+            Err("division by zero".to_string())
+        });
+        assert_eq!(t.message.status, TaskStatus::Error);
+        assert_eq!(
+            t.message.generated.get("error").and_then(Value::as_str),
+            Some("division by zero")
+        );
+    }
+
+    #[test]
+    fn dependencies_recorded() {
+        let hub = StreamingHub::in_memory();
+        let ctx = context(&hub);
+        let a = ctx.instrument("a", obj! {}, 0.1, &[], |_| Ok(obj! {"v" => 1}));
+        let b = ctx.instrument("b", obj! {}, 0.1, &[a.task_id.clone()], |_| {
+            Ok(obj! {"v" => 2})
+        });
+        assert_eq!(b.message.depends_on, vec![a.task_id]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hub1 = StreamingHub::in_memory();
+        let hub2 = StreamingHub::in_memory();
+        let c1 = context(&hub1);
+        let c2 = context(&hub2);
+        let t1 = c1.instrument("a", obj! {"x" => 1}, 0.5, &[], |_| Ok(obj! {}));
+        let t2 = c2.instrument("a", obj! {"x" => 1}, 0.5, &[], |_| Ok(obj! {}));
+        assert_eq!(t1.message.task_id, t2.message.task_id);
+        assert_eq!(t1.message.telemetry_at_end, t2.message.telemetry_at_end);
+    }
+
+    #[test]
+    fn hosts_round_robin() {
+        let hub = StreamingHub::in_memory();
+        let ctx = context(&hub).with_hosts(vec!["h0".into(), "h1".into()]);
+        let a = ctx.instrument("a", obj! {}, 0.1, &[], |_| Ok(obj! {}));
+        let b = ctx.instrument("b", obj! {}, 0.1, &[], |_| Ok(obj! {}));
+        let c = ctx.instrument("c", obj! {}, 0.1, &[], |_| Ok(obj! {}));
+        assert_eq!(a.message.hostname, "h0");
+        assert_eq!(b.message.hostname, "h1");
+        assert_eq!(c.message.hostname, "h0");
+    }
+}

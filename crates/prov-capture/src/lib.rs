@@ -1,0 +1,22 @@
+//! # prov-capture
+//!
+//! Provenance capture for the two complementary mechanisms of §2.3:
+//!
+//! * **direct code instrumentation** — [`CaptureContext::instrument`] wraps
+//!   task closures (the Rust analogue of Flowcept's Python decorators),
+//!   recording `used`/`generated`, timestamps, telemetry and lineage, and
+//!   emitting asynchronously through a buffered bulk emitter (§4.1);
+//! * **non-intrusive observability adapters** — [`FileSystemAdapter`],
+//!   [`MlflowLikeAdapter`] and [`QueueBridgeAdapter`] normalize foreign
+//!   dataflow into the common message schema without touching user code.
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod instrument;
+
+pub use adapters::{
+    parse_jsonl, pump, AdapterHost, DaskLikeAdapter, FileSystemAdapter, MlflowLikeAdapter,
+    ObservabilityAdapter, QueueBridgeAdapter, TensorboardLikeAdapter,
+};
+pub use instrument::{CaptureContext, CapturedTask};

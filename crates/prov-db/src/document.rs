@@ -1,0 +1,312 @@
+//! Document store — the MongoDB-shaped backend ("filtering and
+//! aggregation", §2.3). Stores JSON documents, supports dotted-path
+//! filters, projections, sorts, limits, group-by aggregation, and hash
+//! indexes on hot fields.
+
+use crate::query::{Condition, DocQuery, GroupSpec, Op};
+use parking_lot::RwLock;
+use prov_model::{Map, Value};
+use std::collections::HashMap;
+
+/// An in-memory JSON document collection.
+#[derive(Default)]
+pub struct DocumentStore {
+    docs: RwLock<Vec<Value>>,
+    /// field path → (value text → doc indices)
+    indexes: RwLock<HashMap<String, HashMap<String, Vec<usize>>>>,
+}
+
+impl DocumentStore {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert one document; returns its index.
+    pub fn insert(&self, doc: Value) -> usize {
+        let mut docs = self.docs.write();
+        let idx = docs.len();
+        let mut indexes = self.indexes.write();
+        for (path, index) in indexes.iter_mut() {
+            if let Some(v) = doc.get_path(path) {
+                index.entry(v.display_plain()).or_default().push(idx);
+            }
+        }
+        docs.push(doc);
+        idx
+    }
+
+    /// Bulk insert; returns how many were stored.
+    pub fn insert_many(&self, batch: Vec<Value>) -> usize {
+        let n = batch.len();
+        for d in batch {
+            self.insert(d);
+        }
+        n
+    }
+
+    /// Create a hash index over a dotted field path (idempotent).
+    pub fn create_index(&self, path: &str) {
+        let mut indexes = self.indexes.write();
+        if indexes.contains_key(path) {
+            return;
+        }
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, d) in self.docs.read().iter().enumerate() {
+            if let Some(v) = d.get_path(path) {
+                index.entry(v.display_plain()).or_default().push(i);
+            }
+        }
+        indexes.insert(path.to_string(), index);
+    }
+
+    /// Fetch a document by index.
+    pub fn get(&self, idx: usize) -> Option<Value> {
+        self.docs.read().get(idx).cloned()
+    }
+
+    /// Run a query: filter → sort → limit → project.
+    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
+        let docs = self.docs.read();
+        let mut hits: Vec<usize> = match self.candidates(&docs, &query.conditions) {
+            Some(c) => c
+                .into_iter()
+                .filter(|&i| query.matches(&docs[i]))
+                .collect(),
+            None => (0..docs.len()).filter(|&i| query.matches(&docs[i])).collect(),
+        };
+        if let Some((path, ascending)) = &query.sort {
+            hits.sort_by(|&a, &b| {
+                let va = docs[a].get_path(path).cloned().unwrap_or(Value::Null);
+                let vb = docs[b].get_path(path).cloned().unwrap_or(Value::Null);
+                let o = va.compare(&vb);
+                if *ascending {
+                    o
+                } else {
+                    o.reverse()
+                }
+            });
+        }
+        if let Some(n) = query.limit {
+            hits.truncate(n);
+        }
+        hits.into_iter()
+            .map(|i| project(&docs[i], &query.projection))
+            .collect()
+    }
+
+    /// Count matching documents without materializing them.
+    pub fn count(&self, query: &DocQuery) -> usize {
+        let docs = self.docs.read();
+        match self.candidates(&docs, &query.conditions) {
+            Some(c) => c.into_iter().filter(|&i| query.matches(&docs[i])).count(),
+            None => docs.iter().filter(|d| query.matches(d)).count(),
+        }
+    }
+
+    /// Equality-indexed candidate set, when an index covers a condition.
+    fn candidates(&self, _docs: &[Value], conditions: &[Condition]) -> Option<Vec<usize>> {
+        let indexes = self.indexes.read();
+        for c in conditions {
+            if c.op == Op::Eq {
+                if let Some(index) = indexes.get(&c.path) {
+                    return Some(index.get(&c.value.display_plain()).cloned().unwrap_or_default());
+                }
+            }
+        }
+        None
+    }
+
+    /// Group matching documents by a key path and aggregate value paths.
+    pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
+        let docs = self.find(&DocQuery {
+            conditions: query.conditions.clone(),
+            projection: Vec::new(),
+            sort: None,
+            limit: None,
+        });
+        let mut buckets: Vec<(Value, Vec<&Value>)> = Vec::new();
+        for d in &docs {
+            let key = d.get_path(&group.key).cloned().unwrap_or(Value::Null);
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, items)) => items.push(d),
+                None => buckets.push((key, vec![d])),
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(key, items)| {
+                let mut out = Map::new();
+                out.insert("_id".into(), key);
+                for agg in &group.aggs {
+                    let vals: Vec<Value> = items
+                        .iter()
+                        .filter_map(|d| d.get_path(&agg.path))
+                        .cloned()
+                        .collect();
+                    out.insert(agg.output_name(), agg.apply(&vals));
+                }
+                Value::Object(out)
+            })
+            .collect()
+    }
+
+    /// Distinct values of a path among matching documents.
+    pub fn distinct(&self, query: &DocQuery, path: &str) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::new();
+        for d in self.find(&DocQuery {
+            conditions: query.conditions.clone(),
+            projection: Vec::new(),
+            sort: None,
+            limit: None,
+        }) {
+            if let Some(v) = d.get_path(path) {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn project(doc: &Value, projection: &[String]) -> Value {
+    if projection.is_empty() {
+        return doc.clone();
+    }
+    let mut out = Map::new();
+    for p in projection {
+        if let Some(v) = doc.get_path(p) {
+            out.insert(p.clone(), v.clone());
+        }
+    }
+    Value::Object(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggOp, Aggregate};
+    use prov_model::obj;
+
+    fn store() -> DocumentStore {
+        let s = DocumentStore::new();
+        for (i, (act, host, dur)) in [
+            ("run_dft", "n0", 5.0),
+            ("postprocess", "n0", 1.0),
+            ("run_dft", "n1", 7.0),
+            ("run_dft", "n1", 3.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            s.insert(obj! {
+                "task_id" => format!("t{i}"),
+                "activity_id" => *act,
+                "hostname" => *host,
+                "generated" => obj! { "duration" => *dur },
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let s = store();
+        let q = DocQuery::new()
+            .filter("activity_id", Op::Eq, "run_dft")
+            .project(&["task_id", "generated.duration"]);
+        let out = s.find(&q);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].get("task_id").is_some());
+        assert!(out[0].get("activity_id").is_none());
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let s = store();
+        let q = DocQuery::new()
+            .filter("activity_id", Op::Eq, "run_dft")
+            .sort_by("generated.duration", false)
+            .limit(1);
+        let out = s.find(&q);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].get_path("generated.duration").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn range_ops() {
+        let s = store();
+        let q = DocQuery::new().filter("generated.duration", Op::Gte, 3.0);
+        assert_eq!(s.count(&q), 3);
+        let q = DocQuery::new().filter("hostname", Op::Ne, "n0");
+        assert_eq!(s.count(&q), 2);
+        let q = DocQuery::new().filter("activity_id", Op::Contains, "dft");
+        assert_eq!(s.count(&q), 3);
+    }
+
+    #[test]
+    fn indexes_accelerate_equality() {
+        let s = store();
+        s.create_index("hostname");
+        let q = DocQuery::new().filter("hostname", Op::Eq, "n1");
+        assert_eq!(s.count(&q), 2);
+        // Index also maintained for inserts after creation.
+        s.insert(obj! {"task_id" => "t9", "hostname" => "n1"});
+        assert_eq!(s.count(&q), 3);
+    }
+
+    #[test]
+    fn aggregation_pipeline() {
+        let s = store();
+        let out = s.aggregate(
+            &DocQuery::new(),
+            &GroupSpec {
+                key: "activity_id".into(),
+                aggs: vec![
+                    Aggregate {
+                        path: "generated.duration".into(),
+                        op: AggOp::Mean,
+                    },
+                    Aggregate {
+                        path: "generated.duration".into(),
+                        op: AggOp::Count,
+                    },
+                ],
+            },
+        );
+        assert_eq!(out.len(), 2);
+        let dft = out
+            .iter()
+            .find(|v| v.get("_id").and_then(Value::as_str) == Some("run_dft"))
+            .unwrap();
+        assert_eq!(
+            dft.get("generated.duration_mean").unwrap().as_f64(),
+            Some(5.0)
+        );
+        assert_eq!(
+            dft.get("generated.duration_count").unwrap().as_i64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn distinct_values() {
+        let s = store();
+        let hosts = s.distinct(&DocQuery::new(), "hostname");
+        assert_eq!(hosts.len(), 2);
+    }
+}

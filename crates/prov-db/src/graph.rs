@@ -1,0 +1,294 @@
+//! Property graph — the Neo4j-shaped backend ("graph traversal queries",
+//! §2.3). Holds PROV nodes/edges and answers lineage and path queries the
+//! DataFrame engine cannot express (§5.4 limitations discussion).
+
+use parking_lot::RwLock;
+use prov_model::{Map, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A node in the property graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphNode {
+    /// Unique id.
+    pub id: String,
+    /// Label, e.g. `prov:Activity`.
+    pub label: String,
+    /// Arbitrary properties.
+    pub props: Map,
+}
+
+/// A directed, typed edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEdge {
+    /// Source node id.
+    pub from: String,
+    /// Target node id.
+    pub to: String,
+    /// Relation type, e.g. `prov:wasInformedBy`.
+    pub rel: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    nodes: HashMap<String, GraphNode>,
+    out_edges: HashMap<String, Vec<GraphEdge>>,
+    in_edges: HashMap<String, Vec<GraphEdge>>,
+    edge_count: usize,
+}
+
+/// Thread-safe property graph with traversal queries.
+#[derive(Default)]
+pub struct GraphStore {
+    inner: RwLock<Inner>,
+}
+
+impl GraphStore {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a node.
+    pub fn upsert_node(&self, id: impl Into<String>, label: impl Into<String>, props: Map) {
+        let id = id.into();
+        let node = GraphNode {
+            id: id.clone(),
+            label: label.into(),
+            props,
+        };
+        self.inner.write().nodes.insert(id, node);
+    }
+
+    /// Add a directed edge.
+    pub fn add_edge(&self, from: impl Into<String>, to: impl Into<String>, rel: impl Into<String>) {
+        let e = GraphEdge {
+            from: from.into(),
+            to: to.into(),
+            rel: rel.into(),
+        };
+        let mut g = self.inner.write();
+        g.out_edges.entry(e.from.clone()).or_default().push(e.clone());
+        g.in_edges.entry(e.to.clone()).or_default().push(e);
+        g.edge_count += 1;
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().nodes.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.inner.read().edge_count
+    }
+
+    /// Fetch a node.
+    pub fn node(&self, id: &str) -> Option<GraphNode> {
+        self.inner.read().nodes.get(id).cloned()
+    }
+
+    /// Outgoing neighbors via a relation (empty `rel` = any).
+    pub fn neighbors_out(&self, id: &str, rel: &str) -> Vec<String> {
+        let g = self.inner.read();
+        g.out_edges
+            .get(id)
+            .map(|es| {
+                es.iter()
+                    .filter(|e| rel.is_empty() || e.rel == rel)
+                    .map(|e| e.to.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Incoming neighbors via a relation (empty `rel` = any).
+    pub fn neighbors_in(&self, id: &str, rel: &str) -> Vec<String> {
+        let g = self.inner.read();
+        g.in_edges
+            .get(id)
+            .map(|es| {
+                es.iter()
+                    .filter(|e| rel.is_empty() || e.rel == rel)
+                    .map(|e| e.from.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// BFS over outgoing `rel` edges from `start`, up to `max_depth` hops.
+    /// Returns reached node ids with their hop distance (start excluded).
+    pub fn traverse(&self, start: &str, rel: &str, max_depth: usize) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<String> = HashSet::from([start.to_string()]);
+        let mut queue: VecDeque<(String, usize)> = VecDeque::from([(start.to_string(), 0)]);
+        while let Some((cur, depth)) = queue.pop_front() {
+            if depth == max_depth {
+                continue;
+            }
+            for next in self.neighbors_out(&cur, rel) {
+                if seen.insert(next.clone()) {
+                    out.push((next.clone(), depth + 1));
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Multi-hop causal chain: all upstream activities that (transitively)
+    /// informed `task`, following `prov:wasInformedBy`.
+    pub fn upstream_lineage(&self, task: &str, max_depth: usize) -> Vec<(String, usize)> {
+        self.traverse(task, "prov:wasInformedBy", max_depth)
+    }
+
+    /// Downstream impact: activities informed by `task`.
+    pub fn downstream_impact(&self, task: &str, max_depth: usize) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<String> = HashSet::from([task.to_string()]);
+        let mut queue: VecDeque<(String, usize)> = VecDeque::from([(task.to_string(), 0)]);
+        while let Some((cur, depth)) = queue.pop_front() {
+            if depth == max_depth {
+                continue;
+            }
+            for next in self.neighbors_in(&cur, "prov:wasInformedBy") {
+                if seen.insert(next.clone()) {
+                    out.push((next.clone(), depth + 1));
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Shortest directed path between two nodes over any relation.
+    pub fn shortest_path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if from == to {
+            return Some(vec![from.to_string()]);
+        }
+        let mut prev: HashMap<String, String> = HashMap::new();
+        let mut queue: VecDeque<String> = VecDeque::from([from.to_string()]);
+        let mut seen: HashSet<String> = HashSet::from([from.to_string()]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.neighbors_out(&cur, "") {
+                if !seen.insert(next.clone()) {
+                    continue;
+                }
+                prev.insert(next.clone(), cur.clone());
+                if next == to {
+                    let mut path = vec![to.to_string()];
+                    let mut at = to.to_string();
+                    while let Some(p) = prev.get(&at) {
+                        path.push(p.clone());
+                        at = p.clone();
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Nodes with a given label.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<GraphNode> {
+        self.inner
+            .read()
+            .nodes
+            .values()
+            .filter(|n| n.label == label)
+            .cloned()
+            .collect()
+    }
+
+    /// Nodes whose property `key` equals `value`.
+    pub fn nodes_with_prop(&self, key: &str, value: &Value) -> Vec<GraphNode> {
+        self.inner
+            .read()
+            .nodes
+            .values()
+            .filter(|n| n.props.get(key) == Some(value))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a → b → c → d chain plus a side branch b → e (wasInformedBy points
+    /// from consumer to producer: d informs nothing; d wasInformedBy c...).
+    fn chain() -> GraphStore {
+        let g = GraphStore::new();
+        for id in ["a", "b", "c", "d", "e"] {
+            g.upsert_node(id, "prov:Activity", Map::new());
+        }
+        g.add_edge("b", "a", "prov:wasInformedBy");
+        g.add_edge("c", "b", "prov:wasInformedBy");
+        g.add_edge("d", "c", "prov:wasInformedBy");
+        g.add_edge("e", "b", "prov:wasInformedBy");
+        g
+    }
+
+    #[test]
+    fn counts() {
+        let g = chain();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn upstream_lineage_with_depth() {
+        let g = chain();
+        let up = g.upstream_lineage("d", 10);
+        let ids: Vec<&str> = up.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["c", "b", "a"]);
+        assert_eq!(up[2].1, 3); // a is 3 hops up
+        // Depth-limited traversal stops early.
+        assert_eq!(g.upstream_lineage("d", 1).len(), 1);
+    }
+
+    #[test]
+    fn downstream_impact() {
+        let g = chain();
+        let down = g.downstream_impact("b", 10);
+        let ids: HashSet<&str> = down.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, HashSet::from(["c", "d", "e"]));
+    }
+
+    #[test]
+    fn shortest_path_found_and_missing() {
+        let g = chain();
+        assert_eq!(
+            g.shortest_path("d", "a").unwrap(),
+            vec!["d", "c", "b", "a"]
+        );
+        assert!(g.shortest_path("a", "d").is_none()); // edges are directed
+        assert_eq!(g.shortest_path("a", "a").unwrap(), vec!["a"]);
+    }
+
+    #[test]
+    fn label_and_prop_queries() {
+        let g = chain();
+        let mut props = Map::new();
+        props.insert("hostname".into(), Value::from("n7"));
+        g.upsert_node("agent-1", "prov:Agent", props);
+        assert_eq!(g.nodes_with_label("prov:Agent").len(), 1);
+        assert_eq!(
+            g.nodes_with_prop("hostname", &Value::from("n7"))[0].id,
+            "agent-1"
+        );
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = GraphStore::new();
+        g.upsert_node("x", "prov:Activity", Map::new());
+        g.upsert_node("y", "prov:Activity", Map::new());
+        g.add_edge("x", "y", "prov:wasInformedBy");
+        g.add_edge("y", "x", "prov:wasInformedBy");
+        // Must not loop forever.
+        assert_eq!(g.upstream_lineage("x", 100).len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Ordered key–value store — the LMDB-shaped backend ("high-frequency
+//! key–value inserts", §2.3). A `BTreeMap` under an `RwLock` gives ordered
+//! range scans and prefix queries; writes batch under one lock acquisition.
+
+use parking_lot::RwLock;
+use prov_model::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Ordered KV store with range and prefix scans.
+#[derive(Default)]
+pub struct KvStore {
+    map: RwLock<BTreeMap<String, Value>>,
+}
+
+impl KvStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn put(&self, key: impl Into<String>, value: Value) -> Option<Value> {
+        self.map.write().insert(key.into(), value)
+    }
+
+    /// Bulk insert under a single lock acquisition (the high-frequency
+    /// insert path the paper assigns to LMDB-class stores).
+    pub fn put_batch(&self, batch: Vec<(String, Value)>) -> usize {
+        let n = batch.len();
+        let mut map = self.map.write();
+        for (k, v) in batch {
+            map.insert(k, v);
+        }
+        n
+    }
+
+    /// Fetch by key.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Remove by key; returns the removed value.
+    pub fn delete(&self, key: &str) -> Option<Value> {
+        self.map.write().remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inclusive-start, exclusive-end ordered range scan.
+    pub fn range(&self, start: &str, end: &str) -> Vec<(String, Value)> {
+        self.map
+            .read()
+            .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All entries whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Value)> {
+        self.map
+            .read()
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// First entry at or after `key`.
+    pub fn seek(&self, key: &str) -> Option<(String, Value)> {
+        self.map
+            .read()
+            .range::<str, _>((Bound::Included(key), Bound::Unbounded))
+            .next()
+            .map(|(k, v)| (k.clone(), v.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::obj;
+
+    #[test]
+    fn put_get_delete() {
+        let kv = KvStore::new();
+        assert!(kv.put("task/t1", obj! {"a" => 1}).is_none());
+        assert!(kv.put("task/t1", obj! {"a" => 2}).is_some());
+        assert_eq!(kv.get("task/t1").unwrap().get("a").unwrap().as_i64(), Some(2));
+        assert!(kv.delete("task/t1").is_some());
+        assert!(kv.get("task/t1").is_none());
+    }
+
+    #[test]
+    fn prefix_scan_ordered() {
+        let kv = KvStore::new();
+        for i in [3, 1, 2] {
+            kv.put(format!("wf1/t{i}"), Value::Int(i));
+        }
+        kv.put("wf2/t1", Value::Int(9));
+        let hits = kv.scan_prefix("wf1/");
+        assert_eq!(hits.len(), 3);
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["wf1/t1", "wf1/t2", "wf1/t3"]);
+    }
+
+    #[test]
+    fn range_scan() {
+        let kv = KvStore::new();
+        for i in 0..10 {
+            kv.put(format!("k{i}"), Value::Int(i));
+        }
+        let hits = kv.range("k3", "k7");
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].0, "k3");
+        assert_eq!(hits[3].0, "k6");
+    }
+
+    #[test]
+    fn batch_insert_and_seek() {
+        let kv = KvStore::new();
+        let batch: Vec<(String, Value)> =
+            (0..100).map(|i| (format!("t{i:03}"), Value::Int(i))).collect();
+        assert_eq!(kv.put_batch(batch), 100);
+        assert_eq!(kv.len(), 100);
+        assert_eq!(kv.seek("t05").unwrap().0, "t050");
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let kv = std::sync::Arc::new(KvStore::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        kv.put(format!("w{t}/k{i}"), Value::Int(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 1000);
+    }
+}

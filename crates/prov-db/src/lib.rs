@@ -1,0 +1,27 @@
+//! # prov-db
+//!
+//! The backend-agnostic provenance database of the reference architecture
+//! (§2.3), with three backends mirroring the paper's options:
+//!
+//! * [`DocumentStore`] — MongoDB-shaped: JSON documents, dotted-path
+//!   filters, projections, aggregation, hash indexes;
+//! * [`KvStore`] — LMDB-shaped: ordered keys, batch puts, range/prefix scans;
+//! * [`GraphStore`] — Neo4j-shaped: PROV property graph with lineage and
+//!   path traversals;
+//!
+//! unified behind [`ProvenanceDatabase`], which fans each task message out
+//! to all three and exposes the Query API the agent's offline tools use.
+
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod graph;
+pub mod kv;
+pub mod query;
+pub mod store;
+
+pub use document::DocumentStore;
+pub use graph::{GraphEdge, GraphNode, GraphStore};
+pub use kv::KvStore;
+pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};
+pub use store::ProvenanceDatabase;

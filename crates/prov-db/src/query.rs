@@ -1,0 +1,288 @@
+//! Query structures for the document store (the language-agnostic Query API
+//! of §2.3, in its Rust form).
+
+use prov_model::Value;
+
+/// Comparison operator for document conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Lte,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Gte,
+    /// Substring containment on strings.
+    Contains,
+    /// Field exists.
+    Exists,
+}
+
+/// One condition on a dotted field path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Dotted path, e.g. `generated.bd_energy`.
+    pub path: String,
+    /// Operator.
+    pub op: Op,
+    /// Comparand (ignored by `Exists`).
+    pub value: Value,
+}
+
+impl Condition {
+    /// Evaluate against one document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        let field = doc.get_path(&self.path);
+        match self.op {
+            Op::Exists => field.is_some(),
+            Op::Contains => match (field.and_then(Value::as_str), self.value.as_str()) {
+                (Some(s), Some(pat)) => s.contains(pat),
+                _ => false,
+            },
+            op => {
+                let Some(v) = field else { return op == Op::Ne };
+                let equal = match (v, &self.value) {
+                    (Value::Int(a), Value::Float(b)) => *a as f64 == *b,
+                    (Value::Float(a), Value::Int(b)) => *a == *b as f64,
+                    (a, b) => a == b,
+                };
+                let ord = v.compare(&self.value);
+                match op {
+                    Op::Eq => equal,
+                    Op::Ne => !equal,
+                    Op::Lt => ord == std::cmp::Ordering::Less,
+                    Op::Lte => ord != std::cmp::Ordering::Greater,
+                    Op::Gt => ord == std::cmp::Ordering::Greater,
+                    Op::Gte => ord != std::cmp::Ordering::Less,
+                    Op::Contains | Op::Exists => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// A document query: AND of conditions, optional projection/sort/limit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DocQuery {
+    /// Conditions, all of which must hold.
+    pub conditions: Vec<Condition>,
+    /// Paths to keep in results (empty = whole document).
+    pub projection: Vec<String>,
+    /// Optional `(path, ascending)` sort.
+    pub sort: Option<(String, bool)>,
+    /// Optional result cap.
+    pub limit: Option<usize>,
+}
+
+impl DocQuery {
+    /// Query matching everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a condition (builder style).
+    pub fn filter(mut self, path: impl Into<String>, op: Op, value: impl Into<Value>) -> Self {
+        self.conditions.push(Condition {
+            path: path.into(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Set the projection.
+    pub fn project(mut self, paths: &[&str]) -> Self {
+        self.projection = paths.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Set the sort key.
+    pub fn sort_by(mut self, path: impl Into<String>, ascending: bool) -> Self {
+        self.sort = Some((path.into(), ascending));
+        self
+    }
+
+    /// Cap the number of results.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Whether a document satisfies all conditions.
+    pub fn matches(&self, doc: &Value) -> bool {
+        self.conditions.iter().all(|c| c.matches(doc))
+    }
+}
+
+/// Aggregation operator over grouped values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Count of present values.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggOp {
+    /// Name used to build output field names.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Count => "count",
+            AggOp::Sum => "sum",
+            AggOp::Mean => "mean",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+        }
+    }
+}
+
+/// One aggregation over a value path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Dotted path to the aggregated value.
+    pub path: String,
+    /// Operator.
+    pub op: AggOp,
+}
+
+impl Aggregate {
+    /// Output field name, e.g. `generated.duration_mean`.
+    pub fn output_name(&self) -> String {
+        format!("{}_{}", self.path, self.op.name())
+    }
+
+    /// Apply to collected values.
+    pub fn apply(&self, values: &[Value]) -> Value {
+        match self.op {
+            AggOp::Count => Value::Int(values.len() as i64),
+            AggOp::Sum => Value::Float(values.iter().filter_map(Value::as_f64).sum()),
+            AggOp::Mean => {
+                let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggOp::Min | AggOp::Max => {
+                let mut best: Option<&Value> = None;
+                for v in values {
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(v),
+                        Some(b) => {
+                            let take = if self.op == AggOp::Min {
+                                v.compare(b) == std::cmp::Ordering::Less
+                            } else {
+                                v.compare(b) == std::cmp::Ordering::Greater
+                            };
+                            if take {
+                                Some(v)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                }
+                best.cloned().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+/// Group specification: a key path plus aggregations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Dotted path whose values define the groups.
+    pub key: String,
+    /// Aggregations computed per group.
+    pub aggs: Vec<Aggregate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::obj;
+
+    #[test]
+    fn condition_semantics() {
+        let doc = obj! {"a" => 5, "s" => "run_dft", "nested" => obj!{"x" => 1.5}};
+        assert!(Condition {
+            path: "a".into(),
+            op: Op::Gte,
+            value: Value::Int(5)
+        }
+        .matches(&doc));
+        assert!(Condition {
+            path: "s".into(),
+            op: Op::Contains,
+            value: "dft".into()
+        }
+        .matches(&doc));
+        assert!(Condition {
+            path: "nested.x".into(),
+            op: Op::Exists,
+            value: Value::Null
+        }
+        .matches(&doc));
+        // Missing field: only Ne matches.
+        assert!(Condition {
+            path: "missing".into(),
+            op: Op::Ne,
+            value: Value::Int(1)
+        }
+        .matches(&doc));
+        assert!(!Condition {
+            path: "missing".into(),
+            op: Op::Eq,
+            value: Value::Int(1)
+        }
+        .matches(&doc));
+    }
+
+    #[test]
+    fn int_float_equality() {
+        let doc = obj! {"x" => 2};
+        assert!(Condition {
+            path: "x".into(),
+            op: Op::Eq,
+            value: Value::Float(2.0)
+        }
+        .matches(&doc));
+    }
+
+    #[test]
+    fn aggregate_output_names() {
+        let a = Aggregate {
+            path: "generated.duration".into(),
+            op: AggOp::Mean,
+        };
+        assert_eq!(a.output_name(), "generated.duration_mean");
+    }
+
+    #[test]
+    fn agg_min_max_strings() {
+        let a = Aggregate {
+            path: "x".into(),
+            op: AggOp::Max,
+        };
+        assert_eq!(
+            a.apply(&[Value::from("a"), Value::from("c"), Value::from("b")]),
+            Value::from("c")
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The unified provenance database facade.
+//!
+//! §2.3: "The architecture is designed to support multiple DBMS options,
+//! including MongoDB for filtering and aggregation, LMDB for high-frequency
+//! key–value inserts, and Neo4j for graph traversal queries." This facade
+//! fans one insert out to all three backends and exposes a single Query API.
+
+use crate::document::DocumentStore;
+use crate::graph::GraphStore;
+use crate::kv::KvStore;
+use crate::query::{DocQuery, GroupSpec, Op};
+use prov_model::{Map, ProvRelation, TaskMessage, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unified provenance database over document + KV + graph backends.
+pub struct ProvenanceDatabase {
+    /// Document collection of raw task messages.
+    pub documents: DocumentStore,
+    /// KV store keyed `task/<task_id>` (plus `workflow/<id>` rollups).
+    pub kv: KvStore,
+    /// PROV property graph.
+    pub graph: GraphStore,
+    inserts: AtomicU64,
+}
+
+impl ProvenanceDatabase {
+    /// Fresh empty database with indexes on the hot common fields.
+    pub fn new() -> Self {
+        let documents = DocumentStore::new();
+        documents.create_index("task_id");
+        documents.create_index("activity_id");
+        documents.create_index("workflow_id");
+        Self {
+            documents,
+            kv: KvStore::new(),
+            graph: GraphStore::new(),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Insert one task message into all three backends.
+    pub fn insert(&self, msg: &TaskMessage) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let doc = msg.to_value();
+        self.documents.insert(doc.clone());
+        self.kv.put(format!("task/{}", msg.task_id.as_str()), doc);
+
+        // Graph: task activity node + lineage/association edges.
+        let mut props = Map::new();
+        props.insert(
+            "activity_id".into(),
+            Value::from(msg.activity_id.as_str()),
+        );
+        props.insert("hostname".into(), Value::from(msg.hostname.as_str()));
+        props.insert("status".into(), Value::from(msg.status.as_str()));
+        self.graph
+            .upsert_node(msg.task_id.as_str(), "prov:Activity", props);
+        for dep in &msg.depends_on {
+            self.graph.add_edge(
+                msg.task_id.as_str(),
+                dep.as_str(),
+                ProvRelation::WasInformedBy.as_str(),
+            );
+        }
+        if let Some(agent) = &msg.agent_id {
+            self.graph
+                .upsert_node(agent.as_str(), "prov:Agent", Map::new());
+            self.graph.add_edge(
+                msg.task_id.as_str(),
+                agent.as_str(),
+                ProvRelation::WasAssociatedWith.as_str(),
+            );
+        }
+    }
+
+    /// Bulk insert.
+    pub fn insert_batch<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
+        let mut n = 0;
+        for m in msgs {
+            self.insert(m);
+            n += 1;
+        }
+        n
+    }
+
+    /// Total inserts performed.
+    pub fn insert_count(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Point lookup by task id (KV fast path).
+    pub fn get_task(&self, task_id: &str) -> Option<TaskMessage> {
+        self.kv
+            .get(&format!("task/{task_id}"))
+            .and_then(|v| TaskMessage::from_value(&v))
+    }
+
+    /// Filter/sort/limit query against the document backend.
+    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
+        self.documents.find(query)
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, query: &DocQuery) -> usize {
+        self.documents.count(query)
+    }
+
+    /// Group-and-aggregate against the document backend.
+    pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
+        self.documents.aggregate(query, group)
+    }
+
+    /// All tasks of one workflow execution.
+    pub fn workflow_tasks(&self, workflow_id: &str) -> Vec<Value> {
+        self.find(&DocQuery::new().filter("workflow_id", Op::Eq, workflow_id))
+    }
+
+    /// Multi-hop upstream lineage (graph fast path).
+    pub fn lineage(&self, task_id: &str, max_depth: usize) -> Vec<(String, usize)> {
+        self.graph.upstream_lineage(task_id, max_depth)
+    }
+}
+
+impl Default for ProvenanceDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::TaskMessageBuilder;
+
+    fn msgs() -> Vec<TaskMessage> {
+        vec![
+            TaskMessageBuilder::new("t0", "wf-1", "generate_conformer")
+                .generates("energy", -154.9)
+                .span(10.0, 11.0)
+                .build(),
+            TaskMessageBuilder::new("t1", "wf-1", "run_dft")
+                .depends_on("t0")
+                .generates("energy", -155.2)
+                .span(11.0, 19.0)
+                .build(),
+            TaskMessageBuilder::new("t2", "wf-1", "postprocess")
+                .depends_on("t1")
+                .generates("bd_energy", 98.6)
+                .span(19.0, 19.5)
+                .agent("prov-agent")
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn insert_fans_out_to_all_backends() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        assert_eq!(db.insert_count(), 3);
+        assert_eq!(db.documents.len(), 3);
+        assert_eq!(db.kv.len(), 3);
+        assert!(db.graph.node_count() >= 3);
+    }
+
+    #[test]
+    fn point_lookup_roundtrips() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        let t1 = db.get_task("t1").unwrap();
+        assert_eq!(t1.activity_id.as_str(), "run_dft");
+        assert!(db.get_task("nope").is_none());
+    }
+
+    #[test]
+    fn document_queries_work() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        let out = db.find(
+            &DocQuery::new()
+                .filter("activity_id", Op::Eq, "run_dft")
+                .project(&["task_id"]),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(db.workflow_tasks("wf-1").len(), 3);
+        assert_eq!(db.count(&DocQuery::new().filter("started_at", Op::Gte, 11.0)), 2);
+    }
+
+    #[test]
+    fn lineage_traverses_graph() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        let up = db.lineage("t2", 10);
+        let ids: Vec<&str> = up.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["t1", "t0"]);
+    }
+
+    #[test]
+    fn agent_association_recorded() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        assert!(db.graph.node("prov-agent").is_some());
+        assert_eq!(
+            db.graph
+                .neighbors_out("t2", "prov:wasAssociatedWith"),
+            vec!["prov-agent".to_string()]
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # prov-keeper
+//!
+//! The Provenance Keeper service (§2.3): one or more distributed workers
+//! that subscribe to the streaming hub, normalize incoming task messages
+//! into the unified W3C-PROV-extension schema, and persist them into the
+//! backend-agnostic [`prov_db::ProvenanceDatabase`].
+//!
+//! Two consumption modes are provided: push (fan-out subscriptions on any
+//! [`prov_stream::Broker`]) and pull ([`drain_partitioned`] consumer groups
+//! on the Kafka-shaped broker for horizontal scaling).
+
+#![warn(missing_docs)]
+
+pub mod keeper;
+
+pub use keeper::{drain_partitioned, start, KeeperConfig, KeeperHandle};

@@ -1,0 +1,470 @@
+//! Workflow task provenance messages — the common schema every broker,
+//! keeper, database and agent component exchanges (paper Listing 1).
+
+use crate::ids::{ActivityId, AgentId, CampaignId, TaskId, WorkflowId};
+use crate::telemetry::Telemetry;
+use crate::value::{Map, Value};
+use crate::{json, obj};
+
+/// Lifecycle status of a task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TaskStatus {
+    /// Scheduled but not started (prospective provenance).
+    Pending,
+    /// Currently executing.
+    Running,
+    /// Completed successfully.
+    #[default]
+    Finished,
+    /// Completed with an error.
+    Error,
+}
+
+impl TaskStatus {
+    /// Canonical wire string (uppercase, as in Listing 1).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskStatus::Pending => "PENDING",
+            TaskStatus::Running => "RUNNING",
+            TaskStatus::Finished => "FINISHED",
+            TaskStatus::Error => "ERROR",
+        }
+    }
+
+    /// Parse from the wire string (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "PENDING" => Some(TaskStatus::Pending),
+            "RUNNING" => Some(TaskStatus::Running),
+            "FINISHED" => Some(TaskStatus::Finished),
+            "ERROR" => Some(TaskStatus::Error),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of provenance record a message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MessageType {
+    /// A workflow task execution (the common case).
+    #[default]
+    Task,
+    /// A workflow-level record (start/end of a whole workflow).
+    Workflow,
+    /// An agent tool invocation, recorded as a task subclass (§4.2).
+    ToolExecution,
+    /// An LLM interaction, recorded as a task subclass (§4.2).
+    LlmInteraction,
+    /// An anomaly tag republished by the anomaly detector.
+    AnomalyTag,
+}
+
+impl MessageType {
+    /// Canonical wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MessageType::Task => "task",
+            MessageType::Workflow => "workflow",
+            MessageType::ToolExecution => "tool_execution",
+            MessageType::LlmInteraction => "llm_interaction",
+            MessageType::AnomalyTag => "anomaly_tag",
+        }
+    }
+
+    /// Parse from the wire string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "task" => Some(MessageType::Task),
+            "workflow" => Some(MessageType::Workflow),
+            "tool_execution" => Some(MessageType::ToolExecution),
+            "llm_interaction" => Some(MessageType::LlmInteraction),
+            "anomaly_tag" => Some(MessageType::AnomalyTag),
+            _ => None,
+        }
+    }
+}
+
+/// One workflow task provenance message (paper Listing 1).
+///
+/// `used` holds the task's application-specific inputs and `generated` its
+/// outputs; both are free-form JSON objects captured by instrumentation or
+/// observability adapters. Everything else is the domain-agnostic common
+/// schema the agent's static schema description covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMessage {
+    /// Unique id of this task execution.
+    pub task_id: TaskId,
+    /// Campaign this execution belongs to.
+    pub campaign_id: CampaignId,
+    /// Workflow execution id.
+    pub workflow_id: WorkflowId,
+    /// Activity (step type) id, e.g. `run_individual_bde`.
+    pub activity_id: ActivityId,
+    /// Application-specific input fields.
+    pub used: Value,
+    /// Application-specific output fields.
+    pub generated: Value,
+    /// Start time, epoch seconds.
+    pub started_at: f64,
+    /// End time, epoch seconds.
+    pub ended_at: f64,
+    /// Host that executed the task.
+    pub hostname: String,
+    /// Telemetry at task start.
+    pub telemetry_at_start: Option<Telemetry>,
+    /// Telemetry at task end.
+    pub telemetry_at_end: Option<Telemetry>,
+    /// Execution status.
+    pub status: TaskStatus,
+    /// Record type.
+    pub msg_type: MessageType,
+    /// Agent responsible for the task, when one is registered (§4.2).
+    pub agent_id: Option<AgentId>,
+    /// Ids of tasks whose outputs this task consumed (dataflow lineage).
+    pub depends_on: Vec<TaskId>,
+    /// Free-form tags (e.g. anomaly annotations) added post-hoc.
+    pub tags: Map,
+}
+
+impl TaskMessage {
+    /// Minimal message with defaults for optional sections.
+    pub fn new(
+        task_id: impl Into<TaskId>,
+        workflow_id: impl Into<WorkflowId>,
+        activity_id: impl Into<ActivityId>,
+    ) -> Self {
+        Self {
+            task_id: task_id.into(),
+            campaign_id: CampaignId::new("default-campaign"),
+            workflow_id: workflow_id.into(),
+            activity_id: activity_id.into(),
+            used: Value::Object(Map::new()),
+            generated: Value::Object(Map::new()),
+            started_at: 0.0,
+            ended_at: 0.0,
+            hostname: "localhost".to_string(),
+            telemetry_at_start: None,
+            telemetry_at_end: None,
+            status: TaskStatus::Finished,
+            msg_type: MessageType::Task,
+            agent_id: None,
+            depends_on: Vec::new(),
+            tags: Map::new(),
+        }
+    }
+
+    /// Task duration in seconds (0 when not finished).
+    pub fn duration(&self) -> f64 {
+        (self.ended_at - self.started_at).max(0.0)
+    }
+
+    /// Encode to the Listing 1 JSON shape.
+    pub fn to_value(&self) -> Value {
+        let mut v = obj! {
+            "task_id" => self.task_id.as_str(),
+            "campaign_id" => self.campaign_id.as_str(),
+            "workflow_id" => self.workflow_id.as_str(),
+            "activity_id" => self.activity_id.as_str(),
+            "used" => self.used.clone(),
+            "generated" => self.generated.clone(),
+            "started_at" => self.started_at,
+            "ended_at" => self.ended_at,
+            "hostname" => self.hostname.as_str(),
+            "status" => self.status.as_str(),
+            "type" => self.msg_type.as_str(),
+        };
+        if let Some(t) = &self.telemetry_at_start {
+            v.insert("telemetry_at_start", t.to_value());
+        }
+        if let Some(t) = &self.telemetry_at_end {
+            v.insert("telemetry_at_end", t.to_value());
+        }
+        if let Some(a) = &self.agent_id {
+            v.insert("agent_id", a.as_str());
+        }
+        if !self.depends_on.is_empty() {
+            v.insert(
+                "depends_on",
+                Value::Array(
+                    self.depends_on
+                        .iter()
+                        .map(|t| Value::Str(t.as_str().to_string()))
+                        .collect(),
+                ),
+            );
+        }
+        if !self.tags.is_empty() {
+            v.insert("tags", Value::Object(self.tags.clone()));
+        }
+        v
+    }
+
+    /// Decode from the Listing 1 JSON shape.
+    ///
+    /// Unknown fields are ignored; missing optional fields default.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let s = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let mut msg = TaskMessage::new(s("task_id")?, s("workflow_id")?, s("activity_id")?);
+        if let Some(c) = s("campaign_id") {
+            msg.campaign_id = CampaignId::new(c);
+        }
+        if let Some(u) = v.get("used") {
+            msg.used = u.clone();
+        }
+        if let Some(g) = v.get("generated") {
+            msg.generated = g.clone();
+        }
+        msg.started_at = f("started_at");
+        msg.ended_at = f("ended_at");
+        if let Some(h) = s("hostname") {
+            msg.hostname = h;
+        }
+        msg.telemetry_at_start = v.get("telemetry_at_start").map(Telemetry::from_value);
+        msg.telemetry_at_end = v.get("telemetry_at_end").map(Telemetry::from_value);
+        msg.status = s("status")
+            .and_then(|x| TaskStatus::parse(&x))
+            .unwrap_or_default();
+        msg.msg_type = s("type")
+            .and_then(|x| MessageType::parse(&x))
+            .unwrap_or_default();
+        msg.agent_id = s("agent_id").map(AgentId::new);
+        if let Some(deps) = v.get("depends_on").and_then(Value::as_array) {
+            msg.depends_on = deps
+                .iter()
+                .filter_map(Value::as_str)
+                .map(TaskId::new)
+                .collect();
+        }
+        if let Some(Value::Object(tags)) = v.get("tags") {
+            msg.tags = tags.clone();
+        }
+        Some(msg)
+    }
+
+    /// Serialize to compact JSON text (wire format).
+    pub fn to_json(&self) -> String {
+        json::to_string(&self.to_value())
+    }
+
+    /// Parse from JSON text.
+    pub fn from_json(text: &str) -> Option<Self> {
+        Self::from_value(&json::from_str(text).ok()?)
+    }
+
+    /// Tag this message (e.g. `anomaly` → description), as the anomaly
+    /// detector does before republishing (§4.2).
+    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Fluent builder used by capture layers.
+#[derive(Debug, Clone)]
+pub struct TaskMessageBuilder {
+    msg: TaskMessage,
+}
+
+impl TaskMessageBuilder {
+    /// Start building a message for one task execution.
+    pub fn new(
+        task_id: impl Into<TaskId>,
+        workflow_id: impl Into<WorkflowId>,
+        activity_id: impl Into<ActivityId>,
+    ) -> Self {
+        Self {
+            msg: TaskMessage::new(task_id, workflow_id, activity_id),
+        }
+    }
+
+    /// Set the campaign id.
+    pub fn campaign(mut self, id: impl Into<CampaignId>) -> Self {
+        self.msg.campaign_id = id.into();
+        self
+    }
+
+    /// Add an input field under `used`.
+    pub fn uses(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.msg.used.insert(key, value);
+        self
+    }
+
+    /// Add an output field under `generated`.
+    pub fn generates(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.msg.generated.insert(key, value);
+        self
+    }
+
+    /// Set the full `used` object at once.
+    pub fn used(mut self, v: Value) -> Self {
+        self.msg.used = v;
+        self
+    }
+
+    /// Set the full `generated` object at once.
+    pub fn generated(mut self, v: Value) -> Self {
+        self.msg.generated = v;
+        self
+    }
+
+    /// Set start/end timestamps.
+    pub fn span(mut self, started_at: f64, ended_at: f64) -> Self {
+        self.msg.started_at = started_at;
+        self.msg.ended_at = ended_at;
+        self
+    }
+
+    /// Set the executing hostname.
+    pub fn host(mut self, hostname: impl Into<String>) -> Self {
+        self.msg.hostname = hostname.into();
+        self
+    }
+
+    /// Attach start/end telemetry.
+    pub fn telemetry(mut self, start: Telemetry, end: Telemetry) -> Self {
+        self.msg.telemetry_at_start = Some(start);
+        self.msg.telemetry_at_end = Some(end);
+        self
+    }
+
+    /// Set the status.
+    pub fn status(mut self, status: TaskStatus) -> Self {
+        self.msg.status = status;
+        self
+    }
+
+    /// Set the record type.
+    pub fn msg_type(mut self, t: MessageType) -> Self {
+        self.msg.msg_type = t;
+        self
+    }
+
+    /// Set the responsible agent.
+    pub fn agent(mut self, id: impl Into<AgentId>) -> Self {
+        self.msg.agent_id = Some(id.into());
+        self
+    }
+
+    /// Record a dataflow dependency on another task.
+    pub fn depends_on(mut self, id: impl Into<TaskId>) -> Self {
+        self.msg.depends_on.push(id.into());
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> TaskMessage {
+        self.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arr;
+
+    fn chem_message() -> TaskMessage {
+        TaskMessageBuilder::new("1753457858.952133_0_3_973", "wf-1", "run_individual_bde")
+            .campaign("0552ae57-1273-4ef8-a23b-c5ae6dd0c080")
+            .uses("e0", -155.033799510504)
+            .uses(
+                "frags",
+                obj! {"label" => "C-H_3", "fragment1" => "[H]OC([H])([H])[C]([H])[H]", "fragment2" => "[H]"},
+            )
+            .uses("h0", 0.08547606488512516)
+            .uses("outdir", "bde_calc")
+            .generates("bond_id", "C-H_3")
+            .generates("bd_energy", 98.64865792890485)
+            .generates("bd_enthalpy", 100.22765792890056)
+            .generates("bd_free_energy", 92.39108332890055)
+            .span(1753457858.952133, 1753457859.009404)
+            .host("frontier00084.frontier.olcf.ornl.gov")
+            .build()
+    }
+
+    #[test]
+    fn listing1_roundtrip() {
+        let msg = chem_message();
+        let text = msg.to_json();
+        let back = TaskMessage::from_json(&text).unwrap();
+        assert_eq!(msg, back);
+        assert!(text.contains("\"bd_energy\""));
+        assert!(text.contains("frontier00084"));
+    }
+
+    #[test]
+    fn duration_nonnegative() {
+        let mut msg = chem_message();
+        assert!(msg.duration() > 0.0);
+        msg.ended_at = msg.started_at - 1.0;
+        assert_eq!(msg.duration(), 0.0);
+    }
+
+    #[test]
+    fn status_and_type_parse() {
+        for s in [
+            TaskStatus::Pending,
+            TaskStatus::Running,
+            TaskStatus::Finished,
+            TaskStatus::Error,
+        ] {
+            assert_eq!(TaskStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(TaskStatus::parse("finished"), Some(TaskStatus::Finished));
+        assert_eq!(TaskStatus::parse("nope"), None);
+        for t in [
+            MessageType::Task,
+            MessageType::Workflow,
+            MessageType::ToolExecution,
+            MessageType::LlmInteraction,
+            MessageType::AnomalyTag,
+        ] {
+            assert_eq!(MessageType::parse(t.as_str()), Some(t));
+        }
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        let msg = chem_message().with_tag("anomaly", obj! {"metric" => "cpu", "z" => 4.2});
+        let back = TaskMessage::from_json(&msg.to_json()).unwrap();
+        assert_eq!(
+            back.tags.get("anomaly").and_then(|v| v.get("metric")).and_then(Value::as_str),
+            Some("cpu")
+        );
+    }
+
+    #[test]
+    fn depends_on_roundtrip() {
+        let msg = TaskMessageBuilder::new("t2", "wf", "step_b")
+            .depends_on("t0")
+            .depends_on("t1")
+            .build();
+        let back = TaskMessage::from_json(&msg.to_json()).unwrap();
+        assert_eq!(back.depends_on.len(), 2);
+        assert_eq!(back.depends_on[0].as_str(), "t0");
+    }
+
+    #[test]
+    fn telemetry_embedded() {
+        let synth = crate::telemetry::TelemetrySynth::frontier(1);
+        let msg = TaskMessageBuilder::new("t", "wf", "a")
+            .telemetry(synth.snapshot(0, 0, 0.3), synth.snapshot(0, 1, 0.3))
+            .build();
+        let back = TaskMessage::from_json(&msg.to_json()).unwrap();
+        assert_eq!(msg.telemetry_at_start, back.telemetry_at_start);
+        assert_eq!(msg.telemetry_at_end, back.telemetry_at_end);
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        assert!(TaskMessage::from_value(&obj! {"task_id" => "x"}).is_none());
+        assert!(TaskMessage::from_value(&arr![1, 2]).is_none());
+    }
+
+    #[test]
+    fn unknown_fields_ignored() {
+        let mut v = chem_message().to_value();
+        v.insert("future_extension", obj! {"x" => 1});
+        assert!(TaskMessage::from_value(&v).is_some());
+    }
+}

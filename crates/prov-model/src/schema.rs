@@ -1,0 +1,145 @@
+//! Static descriptions of the common (domain-agnostic) message fields.
+//!
+//! §4.2: "the description of fields that are common for all tasks, like
+//! `campaign_id`, `workflow_id`, and `activity_id`, is statically included
+//! in the schema by default". The agent's dynamic dataflow schema prepends
+//! these descriptions to every prompt.
+
+/// Description of one common field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonField {
+    /// Field name as it appears in messages and DataFrame columns.
+    pub name: &'static str,
+    /// Inferred/declared type name.
+    pub dtype: &'static str,
+    /// One-line semantic description used in prompts.
+    pub description: &'static str,
+}
+
+/// The common workflow schema shared by every task message.
+pub const COMMON_FIELDS: &[CommonField] = &[
+    CommonField {
+        name: "task_id",
+        dtype: "str",
+        description: "unique identifier of one task execution",
+    },
+    CommonField {
+        name: "campaign_id",
+        dtype: "str",
+        description: "identifier of the campaign grouping related workflow executions",
+    },
+    CommonField {
+        name: "workflow_id",
+        dtype: "str",
+        description: "identifier of the workflow execution this task belongs to",
+    },
+    CommonField {
+        name: "activity_id",
+        dtype: "str",
+        description: "workflow step type that produced this task (e.g. run_dft)",
+    },
+    CommonField {
+        name: "started_at",
+        dtype: "float",
+        description: "task start time in seconds since the Unix epoch; use this field when filtering time ranges",
+    },
+    CommonField {
+        name: "ended_at",
+        dtype: "float",
+        description: "task end time in seconds since the Unix epoch",
+    },
+    CommonField {
+        name: "duration",
+        dtype: "float",
+        description: "ended_at - started_at, in seconds",
+    },
+    CommonField {
+        name: "hostname",
+        dtype: "str",
+        description: "compute node that executed the task",
+    },
+    CommonField {
+        name: "status",
+        dtype: "str",
+        description: "task status: PENDING, RUNNING, FINISHED, or ERROR",
+    },
+    CommonField {
+        name: "type",
+        dtype: "str",
+        description: "record type: task, workflow, tool_execution, llm_interaction, or anomaly_tag",
+    },
+    CommonField {
+        name: "telemetry_at_start.cpu.percent",
+        dtype: "array[float]",
+        description: "per-core CPU utilization (%) sampled when the task started",
+    },
+    CommonField {
+        name: "telemetry_at_end.cpu.percent",
+        dtype: "array[float]",
+        description: "per-core CPU utilization (%) sampled when the task ended",
+    },
+    CommonField {
+        name: "telemetry_at_end.memory.used_mb",
+        dtype: "float",
+        description: "resident memory (MB) at task end",
+    },
+    CommonField {
+        name: "telemetry_at_end.gpu.percent",
+        dtype: "array[float]",
+        description: "per-GPU utilization (%) at task end",
+    },
+    CommonField {
+        name: "depends_on",
+        dtype: "array[str]",
+        description: "task_ids whose outputs this task consumed (dataflow lineage)",
+    },
+];
+
+/// Look up a common field description by name.
+pub fn common_field(name: &str) -> Option<&'static CommonField> {
+    COMMON_FIELDS.iter().find(|f| f.name == name)
+}
+
+/// Render the common schema as prompt text, one field per line.
+pub fn render_common_schema() -> String {
+    let mut out = String::with_capacity(COMMON_FIELDS.len() * 96);
+    out.push_str("Common fields present in every task row:\n");
+    for f in COMMON_FIELDS {
+        out.push_str("- ");
+        out.push_str(f.name);
+        out.push_str(" (");
+        out.push_str(f.dtype);
+        out.push_str("): ");
+        out.push_str(f.description);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_works() {
+        assert!(common_field("task_id").is_some());
+        assert!(common_field("started_at").is_some());
+        assert!(common_field("not_a_field").is_none());
+    }
+
+    #[test]
+    fn render_contains_guideline_hint() {
+        let text = render_common_schema();
+        assert!(text.contains("started_at"));
+        assert!(text.contains("filtering time ranges"));
+        assert!(text.lines().count() >= COMMON_FIELDS.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = COMMON_FIELDS.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COMMON_FIELDS.len());
+    }
+}

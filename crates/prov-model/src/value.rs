@@ -1,0 +1,442 @@
+//! Dynamically typed JSON-like values.
+//!
+//! Provenance messages (see [`crate::message`]) carry arbitrary,
+//! application-specific `used`/`generated` payloads, so the whole stack is
+//! built on a self-describing [`Value`] type with deterministic object
+//! ordering ([`BTreeMap`]) to keep serialization, schema inference and tests
+//! reproducible.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Map type used for JSON objects. `BTreeMap` keeps key order deterministic,
+/// which matters for snapshot-style tests and stable prompt construction.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like dynamically typed value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (kept separate from floats for exact IDs/counters).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// String-keyed object with deterministic iteration order.
+    Object(Map),
+}
+
+/// Coarse type tag of a [`Value`], used by dtype inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKind {
+    /// `null`
+    Null,
+    /// boolean
+    Bool,
+    /// integer
+    Int,
+    /// float
+    Float,
+    /// string
+    Str,
+    /// array
+    Array,
+    /// object
+    Object,
+}
+
+impl ValueKind {
+    /// Human-readable name, as shown in dataflow schema prompts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Null => "null",
+            ValueKind::Bool => "bool",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Array => "array",
+            ValueKind::Object => "object",
+        }
+    }
+}
+
+impl Value {
+    /// The coarse type of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Array(_) => ValueKind::Array,
+            Value::Object(_) => ValueKind::Object,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for `Int` or `Float`.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload. Floats with an exact integral value coerce.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (ints coerce losslessly for |i| < 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object payload, if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on objects; `None` for other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Array element lookup; `None` out of range or for non-arrays.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Dotted-path lookup, e.g. `"used.frags.label"`. Path segments that
+    /// parse as integers index arrays.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Value::Object(m) => m.get(seg)?,
+                Value::Array(a) => a.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Insert into an object, converting `self` to an empty object first if
+    /// it is `Null`. Returns the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.insert(key.into(), value.into()),
+            _ => None,
+        }
+    }
+
+    /// Render as a display string without quotes around strings
+    /// (used when embedding example values in prompts and tables).
+    pub fn display_plain(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Recursively flatten nested objects into dotted keys.
+    ///
+    /// `{"frags": {"label": "C-H_3"}}` becomes `{"frags.label": "C-H_3"}`.
+    /// Arrays and scalars are left as leaves. This is how nested
+    /// `used`/`generated` payloads become DataFrame columns.
+    pub fn flatten(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, Value)>) {
+        match self {
+            Value::Object(m) => {
+                if m.is_empty() && !prefix.is_empty() {
+                    out.push((prefix.to_string(), self.clone()));
+                    return;
+                }
+                for (k, v) in m {
+                    let key: Cow<str> = if prefix.is_empty() {
+                        Cow::Borrowed(k)
+                    } else {
+                        Cow::Owned(format!("{prefix}.{k}"))
+                    };
+                    v.flatten_into(&key, out);
+                }
+            }
+            other => {
+                if !prefix.is_empty() {
+                    out.push((prefix.to_string(), other.clone()));
+                }
+            }
+        }
+    }
+
+    /// Total byte size estimate of the serialized value; used by buffer
+    /// flush-by-bytes strategies.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(_) => 5,
+            Value::Int(_) => 12,
+            Value::Float(_) => 18,
+            Value::Str(s) => s.len() + 2,
+            Value::Array(a) => 2 + a.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Object(m) => {
+                2 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + 3 + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Partial ordering with numeric coercion: ints and floats compare by
+    /// numeric value, strings lexicographically; mismatched kinds compare by
+    /// kind tag so sorts are total and deterministic.
+    pub fn compare(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Null, Null) => Ordering::Equal,
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.compare(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => a.kind().cmp(&b.kind()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Float(f as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+/// Build a [`Value::Object`] literal: `obj! { "a" => 1, "b" => "x" }`.
+#[macro_export]
+macro_rules! obj {
+    () => { $crate::value::Value::Object($crate::value::Map::new()) };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut m = $crate::value::Map::new();
+        $( m.insert($k.to_string(), $crate::value::Value::from($v)); )+
+        $crate::value::Value::Object(m)
+    }};
+}
+
+/// Build a [`Value::Array`] literal: `arr![1, 2.5, "x"]`.
+#[macro_export]
+macro_rules! arr {
+    () => { $crate::value::Value::Array(Vec::new()) };
+    ( $( $v:expr ),+ $(,)? ) => {
+        $crate::value::Value::Array(vec![ $( $crate::value::Value::from($v) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(Value::Null.kind(), ValueKind::Null);
+        assert_eq!(Value::from(1i64).kind(), ValueKind::Int);
+        assert_eq!(Value::from(1.5).kind(), ValueKind::Float);
+        assert_eq!(Value::from("x").kind(), ValueKind::Str);
+        assert_eq!(arr![1].kind(), ValueKind::Array);
+        assert_eq!(obj! {"a" => 1}.kind(), ValueKind::Object);
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert!(Value::Int(1).is_number());
+        assert!(!Value::Str("1".into()).is_number());
+    }
+
+    #[test]
+    fn path_lookup() {
+        let v = obj! {
+            "used" => obj! { "frags" => obj! { "label" => "C-H_3" } },
+            "list" => arr![10, 20, 30],
+        };
+        assert_eq!(
+            v.get_path("used.frags.label").and_then(Value::as_str),
+            Some("C-H_3")
+        );
+        assert_eq!(v.get_path("list.1").and_then(Value::as_i64), Some(20));
+        assert!(v.get_path("used.missing").is_none());
+        assert!(v.get_path("list.9").is_none());
+    }
+
+    #[test]
+    fn flatten_nested() {
+        let v = obj! {
+            "e0" => -155.03,
+            "frags" => obj! { "label" => "C-H_3", "fragment2" => "[H]" },
+        };
+        let flat = v.flatten();
+        let keys: Vec<&str> = flat.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["e0", "frags.fragment2", "frags.label"]);
+    }
+
+    #[test]
+    fn compare_is_total_and_numeric() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(
+            Value::Str("b".into()).compare(&Value::Str("a".into())),
+            Ordering::Greater
+        );
+        // Mismatched kinds fall back to kind ordering, never panic.
+        let _ = Value::Null.compare(&Value::Str("x".into()));
+    }
+
+    #[test]
+    fn insert_promotes_null() {
+        let mut v = Value::Null;
+        v.insert("a", 1);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn approx_size_monotone() {
+        let small = obj! {"a" => 1};
+        let big = obj! {"a" => 1, "b" => "hello world", "c" => arr![1,2,3]};
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

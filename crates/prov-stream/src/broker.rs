@@ -1,0 +1,133 @@
+//! Broker abstraction: publish/subscribe over topics.
+//!
+//! The reference architecture (§2.3) is broker-agnostic: "Regardless of the
+//! underlying broker, all provenance messages adhere to a common schema."
+//! Components only see this trait; Redis-, Kafka- and Mofka-shaped backends
+//! implement it.
+
+use crate::metrics::BrokerStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use prov_model::TaskMessage;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors raised by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The broker rejected the message (e.g. shut down).
+    Closed,
+    /// Topic name invalid (empty).
+    InvalidTopic,
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::Closed => write!(f, "broker closed"),
+            BrokerError::InvalidTopic => write!(f, "invalid topic name"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A published message as delivered to subscribers.
+pub type Delivery = Arc<TaskMessage>;
+
+/// A live subscription to one topic.
+///
+/// Messages published after the subscription was created are delivered in
+/// publish order (per publisher). Dropping the subscription unsubscribes.
+#[derive(Debug)]
+pub struct Subscription {
+    topic: String,
+    rx: Receiver<Delivery>,
+}
+
+impl Subscription {
+    /// Construct from a raw channel receiver (used by broker impls).
+    pub fn new(topic: impl Into<String>, rx: Receiver<Delivery>) -> Self {
+        Self {
+            topic: topic.into(),
+            rx,
+        }
+    }
+
+    /// Topic this subscription listens on.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// Blocking receive; `None` when the broker is gone.
+    pub fn recv(&self) -> Option<Delivery> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Delivery, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Delivery, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.rx.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of queued messages.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// The broker interface every backend implements.
+pub trait Broker: Send + Sync {
+    /// Backend name (for logs/benches), e.g. `"memory"`, `"partitioned"`.
+    fn name(&self) -> &'static str;
+
+    /// Publish one message to a topic.
+    fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError>;
+
+    /// Publish a batch; returns how many were accepted. The default loops
+    /// over [`publish`](Broker::publish); backends override for bulk paths.
+    fn publish_batch(&self, topic: &str, msgs: Vec<TaskMessage>) -> Result<usize, BrokerError> {
+        let n = msgs.len();
+        for m in msgs {
+            self.publish(topic, m)?;
+        }
+        Ok(n)
+    }
+
+    /// Subscribe to a topic.
+    fn subscribe(&self, topic: &str) -> Subscription;
+
+    /// Counters snapshot.
+    fn stats(&self) -> BrokerStats;
+}
+
+/// Well-known topic names used across the stack.
+pub mod topics {
+    /// Raw workflow task provenance messages.
+    pub const TASKS: &str = "provenance.tasks";
+    /// Anomaly tags republished by the anomaly detector (§4.2).
+    pub const ANOMALIES: &str = "provenance.anomalies";
+    /// Agent tool executions and LLM interactions.
+    pub const AGENT: &str = "provenance.agent";
+}
+
+/// Validate a topic name.
+pub fn validate_topic(topic: &str) -> Result<(), BrokerError> {
+    if topic.is_empty() {
+        Err(BrokerError::InvalidTopic)
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,294 @@
+//! Client-side buffered emission with configurable flush strategies.
+//!
+//! §4.1: "Workflow tasks perform lightweight provenance capture by buffering
+//! messages that are asynchronously streamed in bulk to the hub, reducing
+//! interference with active jobs." The emitter buffers in memory and
+//! flushes by count, bytes, interval, or any combination; an optional
+//! background thread enforces the interval when the workflow goes quiet.
+
+use crate::broker::{Broker, BrokerError};
+use parking_lot::Mutex;
+use prov_model::TaskMessage;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// When to flush the in-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushStrategy {
+    /// Flush when this many messages are buffered.
+    pub max_count: Option<usize>,
+    /// Flush when the buffered payload reaches this many bytes.
+    pub max_bytes: Option<usize>,
+    /// Flush at least this often (enforced by the background flusher).
+    pub interval: Option<Duration>,
+}
+
+impl FlushStrategy {
+    /// Flush on every message (no buffering) — the ablation baseline.
+    pub fn immediate() -> Self {
+        Self {
+            max_count: Some(1),
+            max_bytes: None,
+            interval: None,
+        }
+    }
+
+    /// Flush every `n` messages.
+    pub fn by_count(n: usize) -> Self {
+        Self {
+            max_count: Some(n.max(1)),
+            max_bytes: None,
+            interval: None,
+        }
+    }
+
+    /// Flush when `bytes` of payload are buffered.
+    pub fn by_bytes(bytes: usize) -> Self {
+        Self {
+            max_count: None,
+            max_bytes: Some(bytes.max(1)),
+            interval: None,
+        }
+    }
+
+    /// The paper's default: bulk flush with a liveness interval.
+    pub fn bulk() -> Self {
+        Self {
+            max_count: Some(128),
+            max_bytes: Some(256 * 1024),
+            interval: Some(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// A buffered, thread-safe emitter bound to one broker topic.
+pub struct BufferedEmitter {
+    broker: Arc<dyn Broker>,
+    topic: String,
+    strategy: FlushStrategy,
+    buffer: Mutex<Buffered>,
+    flushes: AtomicU64,
+    emitted: AtomicU64,
+    stop: Arc<AtomicBool>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Buffered {
+    msgs: Vec<TaskMessage>,
+    bytes: usize,
+    last_flush: Instant,
+}
+
+impl BufferedEmitter {
+    /// Create an emitter; if the strategy has an interval, a background
+    /// flusher thread is started (stopped on drop).
+    pub fn new(broker: Arc<dyn Broker>, topic: impl Into<String>, strategy: FlushStrategy) -> Arc<Self> {
+        let emitter = Arc::new(Self {
+            broker,
+            topic: topic.into(),
+            strategy,
+            buffer: Mutex::new(Buffered {
+                msgs: Vec::new(),
+                bytes: 0,
+                last_flush: Instant::now(),
+            }),
+            flushes: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+        });
+        if let Some(interval) = strategy.interval {
+            let weak = Arc::downgrade(&emitter);
+            let stop = emitter.stop.clone();
+            let handle = std::thread::Builder::new()
+                .name("prov-flusher".into())
+                .spawn(move || {
+                    // Tick at a fraction of the interval so a quiet buffer is
+                    // flushed within ~interval of its oldest message.
+                    let tick = interval.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        let Some(e) = weak.upgrade() else { break };
+                        let due = {
+                            let b = e.buffer.lock();
+                            !b.msgs.is_empty() && b.last_flush.elapsed() >= interval
+                        };
+                        if due {
+                            let _ = e.flush();
+                        }
+                    }
+                })
+                .expect("spawn flusher");
+            *emitter.flusher.lock() = Some(handle);
+        }
+        emitter
+    }
+
+    /// Queue a message, flushing when a threshold trips.
+    pub fn emit(&self, msg: TaskMessage) -> Result<(), BrokerError> {
+        let should_flush = {
+            let mut b = self.buffer.lock();
+            b.bytes += msg.to_value().approx_size();
+            b.msgs.push(msg);
+            self.emitted.fetch_add(1, Ordering::Relaxed);
+            let count_hit = self
+                .strategy
+                .max_count
+                .is_some_and(|n| b.msgs.len() >= n);
+            let bytes_hit = self.strategy.max_bytes.is_some_and(|n| b.bytes >= n);
+            count_hit || bytes_hit
+        };
+        if should_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush whatever is buffered as one bulk publish.
+    pub fn flush(&self) -> Result<usize, BrokerError> {
+        let batch = {
+            let mut b = self.buffer.lock();
+            if b.msgs.is_empty() {
+                b.last_flush = Instant::now();
+                return Ok(0);
+            }
+            b.bytes = 0;
+            b.last_flush = Instant::now();
+            std::mem::take(&mut b.msgs)
+        };
+        let n = self.broker.publish_batch(&self.topic, batch)?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Messages accepted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Bulk flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.lock().msgs.len()
+    }
+}
+
+impl Drop for BufferedEmitter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::topics;
+    use crate::memory::MemoryBroker;
+    use prov_model::TaskMessageBuilder;
+
+    fn msg(i: usize) -> TaskMessage {
+        TaskMessageBuilder::new(format!("t{i}"), "wf", "act").build()
+    }
+
+    #[test]
+    fn count_strategy_batches() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        let e = BufferedEmitter::new(broker.clone(), topics::TASKS, FlushStrategy::by_count(10));
+        for i in 0..25 {
+            e.emit(msg(i)).unwrap();
+        }
+        // Two full batches flushed; 5 messages still buffered.
+        assert_eq!(e.flushes(), 2);
+        assert_eq!(e.buffered(), 5);
+        assert_eq!(sub.drain().len(), 20);
+        e.flush().unwrap();
+        assert_eq!(sub.drain().len(), 5);
+    }
+
+    #[test]
+    fn immediate_strategy_flushes_every_message() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        let e = BufferedEmitter::new(broker.clone(), topics::TASKS, FlushStrategy::immediate());
+        for i in 0..5 {
+            e.emit(msg(i)).unwrap();
+        }
+        assert_eq!(e.flushes(), 5);
+        assert_eq!(sub.drain().len(), 5);
+    }
+
+    #[test]
+    fn bytes_strategy_flushes_on_size() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        let e = BufferedEmitter::new(broker.clone(), topics::TASKS, FlushStrategy::by_bytes(400));
+        for i in 0..10 {
+            e.emit(msg(i)).unwrap();
+        }
+        assert!(e.flushes() >= 1, "expected at least one size-based flush");
+        assert!(!sub.drain().is_empty());
+    }
+
+    #[test]
+    fn interval_flusher_drains_quiet_buffer() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        let strategy = FlushStrategy {
+            max_count: Some(1000),
+            max_bytes: None,
+            interval: Some(Duration::from_millis(30)),
+        };
+        let e = BufferedEmitter::new(broker.clone(), topics::TASKS, strategy);
+        e.emit(msg(0)).unwrap();
+        assert_eq!(e.flushes(), 0);
+        // Wait for the background flusher to trip the interval.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sub.queued() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn drop_flushes_remaining() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        {
+            let e =
+                BufferedEmitter::new(broker.clone(), topics::TASKS, FlushStrategy::by_count(100));
+            e.emit(msg(0)).unwrap();
+            e.emit(msg(1)).unwrap();
+        } // dropped here
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_emitters_share_buffer_safely() {
+        let broker = MemoryBroker::shared();
+        let sub = broker.subscribe(topics::TASKS);
+        let e = BufferedEmitter::new(broker.clone(), topics::TASKS, FlushStrategy::by_count(16));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let e = e.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        e.emit(msg(t * 1000 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        e.flush().unwrap();
+        assert_eq!(sub.drain().len(), 400);
+    }
+}

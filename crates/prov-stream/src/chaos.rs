@@ -1,0 +1,274 @@
+//! Failure injection for the streaming substrate.
+//!
+//! §2.3 motivates broker choice partly by "specific performance and
+//! reliability needs"; a distributed capture pipeline must tolerate lossy
+//! or at-least-once transports. [`ChaosBroker`] wraps any [`Broker`] and
+//! injects deterministic, seed-keyed faults on the publish path — drops,
+//! duplicates and per-publisher reordering — so downstream components
+//! (Provenance Keeper idempotency, context ingestion, conformance
+//! checking) can be tested against realistic misbehaviour without a real
+//! flaky network.
+//!
+//! Determinism: every fault decision is a pure function of
+//! `(seed, fault-kind, message ordinal)`, so a given configuration always
+//! injects the same faults on the same stream.
+
+use crate::broker::{Broker, BrokerError, Subscription};
+use crate::metrics::BrokerStats;
+use parking_lot::Mutex;
+use prov_model::TaskMessage;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fault probabilities (each in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability a published message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a published message is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability a message is held back and published *after* the next
+    /// message (pairwise reordering).
+    pub reorder_p: f64,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            seed: 0xC4A05,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A lossy transport: 10% drops.
+    pub fn lossy(seed: u64) -> Self {
+        Self {
+            drop_p: 0.10,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// An at-least-once transport: 15% duplicates, some reordering.
+    pub fn at_least_once(seed: u64) -> Self {
+        Self {
+            duplicate_p: 0.15,
+            reorder_p: 0.10,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters of injected faults.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Messages silently dropped.
+    pub dropped: AtomicU64,
+    /// Extra deliveries injected.
+    pub duplicated: AtomicU64,
+    /// Pairwise reorders performed.
+    pub reordered: AtomicU64,
+}
+
+fn unit(seed: u64, salt: u64, n: u64) -> f64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`Broker`] wrapper injecting deterministic faults on publish.
+pub struct ChaosBroker {
+    inner: Arc<dyn Broker>,
+    config: ChaosConfig,
+    ordinal: AtomicU64,
+    held: Mutex<Option<(String, TaskMessage)>>,
+    /// Injected-fault counters.
+    pub chaos_stats: ChaosStats,
+}
+
+impl ChaosBroker {
+    /// Wrap a broker with a fault configuration.
+    pub fn new(inner: Arc<dyn Broker>, config: ChaosConfig) -> Self {
+        Self {
+            inner,
+            config,
+            ordinal: AtomicU64::new(0),
+            held: Mutex::new(None),
+            chaos_stats: ChaosStats::default(),
+        }
+    }
+
+    /// Flush a held (reordered) message, if any. Call at end-of-stream so
+    /// reordering never loses the final message.
+    pub fn flush_held(&self) -> Result<(), BrokerError> {
+        if let Some((topic, msg)) = self.held.lock().take() {
+            self.inner.publish(&topic, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of injected fault counts `(dropped, duplicated, reordered)`.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        (
+            self.chaos_stats.dropped.load(Ordering::Relaxed),
+            self.chaos_stats.duplicated.load(Ordering::Relaxed),
+            self.chaos_stats.reordered.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Broker for ChaosBroker {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        let n = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        let cfg = &self.config;
+        if unit(cfg.seed, 0xD20B, n) < cfg.drop_p {
+            self.chaos_stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // silently lost, as a lossy transport would
+        }
+        // Release a previously held message first (it now arrives late —
+        // after the message that overtook it).
+        let release = {
+            let mut held = self.held.lock();
+            if held.is_some() {
+                held.take()
+            } else if unit(cfg.seed, 0x2E02, n) < cfg.reorder_p {
+                // Hold this one back; the *next* publish overtakes it.
+                *held = Some((topic.to_string(), msg));
+                self.chaos_stats.reordered.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            } else {
+                None
+            }
+        };
+        let duplicate = unit(cfg.seed, 0xD0B1E, n) < cfg.duplicate_p;
+        if duplicate {
+            self.chaos_stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.inner.publish(topic, msg.clone())?;
+        }
+        self.inner.publish(topic, msg)?;
+        if let Some((held_topic, held_msg)) = release {
+            self.inner.publish(&held_topic, held_msg)?;
+        }
+        Ok(())
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        self.inner.subscribe(topic)
+    }
+
+    fn stats(&self) -> BrokerStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBroker;
+    use prov_model::TaskMessageBuilder;
+
+    fn msg(i: usize) -> TaskMessage {
+        TaskMessageBuilder::new(format!("t{i}"), "wf", "a")
+            .span(i as f64, i as f64 + 1.0)
+            .build()
+    }
+
+    fn publish_n(broker: &ChaosBroker, n: usize) -> Vec<String> {
+        let sub = broker.subscribe("x");
+        for i in 0..n {
+            broker.publish("x", msg(i)).unwrap();
+        }
+        broker.flush_held().unwrap();
+        sub.drain()
+            .iter()
+            .map(|m| m.task_id.as_str().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn no_faults_means_transparent() {
+        let broker = ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::default());
+        let got = publish_n(&broker, 50);
+        assert_eq!(got.len(), 50);
+        assert_eq!(broker.fault_counts(), (0, 0, 0));
+        // Order preserved.
+        let expected: Vec<String> = (0..50).map(|i| format!("t{i}")).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn drops_lose_messages_deterministically() {
+        let run = || {
+            let broker =
+                ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::lossy(7));
+            publish_n(&broker, 200)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault stream must be deterministic");
+        assert!(a.len() < 200, "some messages must drop");
+        assert!(a.len() > 150, "roughly 10% drop rate, got {}", 200 - a.len());
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let broker = ChaosBroker::new(
+            Arc::new(MemoryBroker::new()),
+            ChaosConfig {
+                duplicate_p: 0.5,
+                ..ChaosConfig::default()
+            },
+        );
+        let got = publish_n(&broker, 100);
+        assert!(got.len() > 100, "duplicates should inflate delivery count");
+        let (dropped, duplicated, _) = broker.fault_counts();
+        assert_eq!(dropped, 0);
+        assert_eq!(got.len(), 100 + duplicated as usize);
+    }
+
+    #[test]
+    fn reordering_swaps_neighbors_without_loss() {
+        let broker = ChaosBroker::new(
+            Arc::new(MemoryBroker::new()),
+            ChaosConfig {
+                reorder_p: 0.3,
+                ..ChaosConfig::default()
+            },
+        );
+        let got = publish_n(&broker, 100);
+        assert_eq!(got.len(), 100, "reordering must not lose messages");
+        let expected: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        assert_ne!(got, expected, "order should be perturbed");
+        let mut sorted = got.clone();
+        sorted.sort_by_key(|s| s[1..].parse::<u32>().unwrap());
+        assert_eq!(sorted, expected, "same multiset of messages");
+    }
+
+    #[test]
+    fn at_least_once_profile_duplicates_but_never_drops() {
+        let broker = ChaosBroker::new(
+            Arc::new(MemoryBroker::new()),
+            ChaosConfig::at_least_once(99),
+        );
+        let got = publish_n(&broker, 300);
+        assert!(got.len() >= 300);
+        let (dropped, duplicated, reordered) = broker.fault_counts();
+        assert_eq!(dropped, 0);
+        assert!(duplicated > 20);
+        assert!(reordered > 10);
+    }
+}

@@ -1,0 +1,180 @@
+//! Streaming hub facades: a single hub over one broker, or a federated hub
+//! routing topic prefixes to multiple brokers.
+//!
+//! §2.3: "For lightweight deployments, a single broker may suffice, while
+//! large-scale ECH workflows can benefit from federated hubs composed of
+//! multiple brokers tailored to specific performance and reliability needs."
+
+use crate::broker::{topics, Broker, BrokerError, Subscription};
+use crate::buffer::{BufferedEmitter, FlushStrategy};
+use crate::memory::MemoryBroker;
+use crate::metrics::BrokerStats;
+use prov_model::TaskMessage;
+use std::sync::Arc;
+
+/// The central streaming hub every component connects to.
+#[derive(Clone)]
+pub struct StreamingHub {
+    broker: Arc<dyn Broker>,
+}
+
+impl StreamingHub {
+    /// Hub over an arbitrary broker backend.
+    pub fn new(broker: Arc<dyn Broker>) -> Self {
+        Self { broker }
+    }
+
+    /// Hub over a fresh in-memory (Redis-like) broker.
+    pub fn in_memory() -> Self {
+        Self::new(MemoryBroker::shared())
+    }
+
+    /// The underlying broker.
+    pub fn broker(&self) -> &Arc<dyn Broker> {
+        &self.broker
+    }
+
+    /// Publish one task provenance message to the tasks topic.
+    pub fn publish_task(&self, msg: TaskMessage) -> Result<(), BrokerError> {
+        self.broker.publish(topics::TASKS, msg)
+    }
+
+    /// Publish to an arbitrary topic.
+    pub fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        self.broker.publish(topic, msg)
+    }
+
+    /// Bulk publish to an arbitrary topic.
+    pub fn publish_batch(&self, topic: &str, msgs: Vec<TaskMessage>) -> Result<usize, BrokerError> {
+        self.broker.publish_batch(topic, msgs)
+    }
+
+    /// Subscribe to the tasks topic.
+    pub fn subscribe_tasks(&self) -> Subscription {
+        self.broker.subscribe(topics::TASKS)
+    }
+
+    /// Subscribe to any topic.
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        self.broker.subscribe(topic)
+    }
+
+    /// A buffered emitter bound to the tasks topic.
+    pub fn task_emitter(&self, strategy: FlushStrategy) -> Arc<BufferedEmitter> {
+        BufferedEmitter::new(self.broker.clone(), topics::TASKS, strategy)
+    }
+
+    /// Broker counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.broker.stats()
+    }
+}
+
+/// Routes topics to member hubs by longest matching prefix, with a default.
+///
+/// Example: anomalies to a low-latency memory broker near the agent, raw
+/// task streams to a partitioned broker sized for throughput.
+pub struct FederatedHub {
+    routes: Vec<(String, StreamingHub)>,
+    default: StreamingHub,
+}
+
+impl FederatedHub {
+    /// Create with a default hub for unrouted topics.
+    pub fn new(default: StreamingHub) -> Self {
+        Self {
+            routes: Vec::new(),
+            default,
+        }
+    }
+
+    /// Route all topics starting with `prefix` to `hub`.
+    pub fn route(mut self, prefix: impl Into<String>, hub: StreamingHub) -> Self {
+        self.routes.push((prefix.into(), hub));
+        // Longest prefix first so overlapping prefixes resolve specifically.
+        self.routes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self
+    }
+
+    /// The hub responsible for `topic`.
+    pub fn hub_for(&self, topic: &str) -> &StreamingHub {
+        self.routes
+            .iter()
+            .find(|(p, _)| topic.starts_with(p.as_str()))
+            .map(|(_, h)| h)
+            .unwrap_or(&self.default)
+    }
+
+    /// Publish via the routed hub.
+    pub fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        self.hub_for(topic).publish(topic, msg)
+    }
+
+    /// Subscribe via the routed hub.
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        self.hub_for(topic).subscribe(topic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioned::PartitionedBroker;
+    use prov_model::TaskMessageBuilder;
+
+    fn msg(id: &str) -> TaskMessage {
+        TaskMessageBuilder::new(id, "wf", "act").build()
+    }
+
+    #[test]
+    fn hub_roundtrip() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        hub.publish_task(msg("a")).unwrap();
+        assert_eq!(sub.recv().unwrap().task_id.as_str(), "a");
+        assert_eq!(hub.stats().published, 1);
+    }
+
+    #[test]
+    fn emitter_through_hub() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let e = hub.task_emitter(FlushStrategy::by_count(2));
+        e.emit(msg("1")).unwrap();
+        e.emit(msg("2")).unwrap();
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn federated_routing_by_prefix() {
+        let tasks_hub = StreamingHub::new(PartitionedBroker::shared());
+        let agent_hub = StreamingHub::in_memory();
+        let fed = FederatedHub::new(tasks_hub.clone())
+            .route("provenance.agent", agent_hub.clone())
+            .route("provenance.anomalies", agent_hub.clone());
+
+        let agent_sub = fed.subscribe(topics::AGENT);
+        fed.publish(topics::AGENT, msg("tool-1")).unwrap();
+        assert_eq!(agent_sub.recv().unwrap().task_id.as_str(), "tool-1");
+        // Agent topics never touch the partitioned broker.
+        assert_eq!(tasks_hub.stats().published, 0);
+        assert_eq!(agent_hub.stats().published, 1);
+
+        let task_sub = fed.subscribe(topics::TASKS);
+        fed.publish(topics::TASKS, msg("t-1")).unwrap();
+        assert_eq!(task_sub.recv().unwrap().task_id.as_str(), "t-1");
+        assert_eq!(tasks_hub.stats().published, 1);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let a = StreamingHub::in_memory();
+        let b = StreamingHub::in_memory();
+        let fed = FederatedHub::new(StreamingHub::in_memory())
+            .route("provenance", a.clone())
+            .route("provenance.agent", b.clone());
+        fed.publish("provenance.agent.x", msg("m")).unwrap();
+        assert_eq!(b.stats().published, 1);
+        assert_eq!(a.stats().published, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # prov-stream
+//!
+//! The streaming hub of the reference architecture (§2.3): a pub/sub
+//! substrate with three broker backends mirroring the paper's deployment
+//! options —
+//!
+//! * [`MemoryBroker`] — Redis-Pub/Sub-like: fire-and-forget fan-out,
+//!   at-most-once, no retention;
+//! * [`PartitionedBroker`] — Kafka-like: keyed partitions, retained logs,
+//!   offset-tracking consumer groups, lag accounting;
+//! * [`RdmaBroker`] — Mofka-like: fan-out plus an explicit RDMA transport
+//!   cost model for the batching ablation benches.
+//!
+//! [`BufferedEmitter`] implements the client-side "buffer in memory, stream
+//! asynchronously in bulk" capture path (§4.1), and [`FederatedHub`] routes
+//! topic prefixes across multiple hubs for ECH-continuum deployments.
+//! [`ChaosBroker`] wraps any backend with deterministic drop/duplicate/
+//! reorder fault injection for reliability testing.
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod buffer;
+pub mod chaos;
+pub mod hub;
+pub mod memory;
+pub mod metrics;
+pub mod partitioned;
+pub mod rdma;
+
+pub use broker::{topics, Broker, BrokerError, Delivery, Subscription};
+pub use buffer::{BufferedEmitter, FlushStrategy};
+pub use chaos::{ChaosBroker, ChaosConfig, ChaosStats};
+pub use hub::{FederatedHub, StreamingHub};
+pub use memory::MemoryBroker;
+pub use metrics::{BrokerStats, Counters};
+pub use partitioned::PartitionedBroker;
+pub use rdma::{RdmaBroker, TransportProfile};

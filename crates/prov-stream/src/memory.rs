@@ -1,0 +1,225 @@
+//! In-memory fan-out broker — the Redis Pub/Sub-shaped backend.
+//!
+//! "Redis offers low-latency messaging with minimal setup, making it
+//! suitable for most use cases" (§2.3). Semantics mirror Redis Pub/Sub:
+//! fire-and-forget, at-most-once, delivery only to currently connected
+//! subscribers, no retention.
+
+use crate::broker::{validate_topic, Broker, BrokerError, Delivery, Subscription};
+use crate::metrics::{BrokerStats, Counters};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use prov_model::TaskMessage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Redis-like in-process pub/sub broker.
+#[derive(Default)]
+pub struct MemoryBroker {
+    topics: RwLock<HashMap<String, Vec<(u64, Sender<Delivery>)>>>,
+    next_sub_id: AtomicU64,
+    counters: Counters,
+}
+
+impl MemoryBroker {
+    /// New broker with no topics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of registered subscribers on a topic (pruned lazily after a
+    /// delivery notices a disconnect).
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.topics.read().get(topic).map(Vec::len).unwrap_or(0)
+    }
+
+    fn deliver(&self, topic: &str, msg: Delivery) {
+        let mut delivered = 0u64;
+        let mut dead: Vec<u64> = Vec::new();
+        {
+            let topics = self.topics.read();
+            if let Some(subs) = topics.get(topic) {
+                for (id, tx) in subs {
+                    if tx.send(msg.clone()).is_ok() {
+                        delivered += 1;
+                    } else {
+                        dead.push(*id);
+                    }
+                }
+            }
+        }
+        if delivered == 0 {
+            self.counters.record_drop(1);
+        }
+        self.counters.record_delivery(delivered);
+        if !dead.is_empty() {
+            // Prune disconnected subscribers outside the hot read path.
+            let mut topics = self.topics.write();
+            if let Some(subs) = topics.get_mut(topic) {
+                subs.retain(|(id, _)| !dead.contains(id));
+            }
+        }
+    }
+}
+
+impl Broker for MemoryBroker {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        validate_topic(topic)?;
+        let bytes = msg.to_value().approx_size() as u64;
+        self.counters.record_publish(1, bytes);
+        self.deliver(topic, Arc::new(msg));
+        Ok(())
+    }
+
+    fn publish_batch(&self, topic: &str, msgs: Vec<TaskMessage>) -> Result<usize, BrokerError> {
+        validate_topic(topic)?;
+        let n = msgs.len();
+        self.counters.record_batch();
+        for m in msgs {
+            let bytes = m.to_value().approx_size() as u64;
+            self.counters.record_publish(1, bytes);
+            self.deliver(topic, Arc::new(m));
+        }
+        Ok(n)
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        self.topics
+            .write()
+            .entry(topic.to_string())
+            .or_default()
+            .push((id, tx));
+        Subscription::new(topic, rx)
+    }
+
+    fn stats(&self) -> BrokerStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::topics;
+    use prov_model::TaskMessageBuilder;
+    use std::time::Duration;
+
+    fn msg(id: &str) -> TaskMessage {
+        TaskMessageBuilder::new(id, "wf", "act").build()
+    }
+
+    #[test]
+    fn fanout_to_all_subscribers() {
+        let b = MemoryBroker::new();
+        let s1 = b.subscribe(topics::TASKS);
+        let s2 = b.subscribe(topics::TASKS);
+        b.publish(topics::TASKS, msg("a")).unwrap();
+        assert_eq!(s1.recv().unwrap().task_id.as_str(), "a");
+        assert_eq!(s2.recv().unwrap().task_id.as_str(), "a");
+        assert_eq!(b.stats().delivered, 2);
+    }
+
+    #[test]
+    fn topic_isolation() {
+        let b = MemoryBroker::new();
+        let tasks = b.subscribe(topics::TASKS);
+        let anomalies = b.subscribe(topics::ANOMALIES);
+        b.publish(topics::TASKS, msg("t")).unwrap();
+        assert_eq!(tasks.recv().unwrap().task_id.as_str(), "t");
+        assert!(anomalies.try_recv().is_err());
+    }
+
+    #[test]
+    fn unsubscribed_messages_dropped() {
+        let b = MemoryBroker::new();
+        b.publish(topics::TASKS, msg("lost")).unwrap();
+        assert_eq!(b.stats().dropped, 1);
+        // Subscription created after publish misses it (Redis semantics).
+        let s = b.subscribe(topics::TASKS);
+        assert!(s.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let b = MemoryBroker::new();
+        let s1 = b.subscribe(topics::TASKS);
+        {
+            let _s2 = b.subscribe(topics::TASKS);
+        } // s2 dropped here
+        assert_eq!(b.subscriber_count(topics::TASKS), 2);
+        b.publish(topics::TASKS, msg("x")).unwrap();
+        assert_eq!(b.subscriber_count(topics::TASKS), 1);
+        assert_eq!(s1.recv().unwrap().task_id.as_str(), "x");
+    }
+
+    #[test]
+    fn batch_publish_counts() {
+        let b = MemoryBroker::new();
+        let s = b.subscribe(topics::TASKS);
+        let batch: Vec<TaskMessage> = (0..10).map(|i| msg(&format!("m{i}"))).collect();
+        assert_eq!(b.publish_batch(topics::TASKS, batch).unwrap(), 10);
+        assert_eq!(s.drain().len(), 10);
+        let st = b.stats();
+        assert_eq!(st.published, 10);
+        assert_eq!(st.batches, 1);
+        assert!(st.bytes > 0);
+    }
+
+    #[test]
+    fn publish_order_preserved_per_publisher() {
+        let b = MemoryBroker::new();
+        let s = b.subscribe(topics::TASKS);
+        for i in 0..100 {
+            b.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        let got: Vec<String> = s
+            .drain()
+            .iter()
+            .map(|m| m.task_id.as_str().to_string())
+            .collect();
+        let expect: Vec<String> = (0..100).map(|i| format!("m{i}")).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing() {
+        let b = Arc::new(MemoryBroker::new());
+        let s = b.subscribe(topics::TASKS);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let b = b.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        b.publish(topics::TASKS, msg(&format!("p{t}-{i}"))).unwrap();
+                    }
+                });
+            }
+        });
+        let mut got = 0;
+        while let Ok(_m) = s.recv_timeout(Duration::from_millis(100)) {
+            got += 1;
+            if got == 1000 {
+                break;
+            }
+        }
+        assert_eq!(got, 1000);
+    }
+
+    #[test]
+    fn invalid_topic_rejected() {
+        let b = MemoryBroker::new();
+        assert_eq!(b.publish("", msg("x")), Err(BrokerError::InvalidTopic));
+    }
+}

@@ -1,0 +1,104 @@
+//! Lock-free broker counters (Atomics & Locks ch. 2: statistics pattern).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable counters owned by a broker.
+#[derive(Debug, Default)]
+pub struct Counters {
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Counters {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` published messages of `bytes` total payload size.
+    pub fn record_publish(&self, n: u64, bytes: u64) {
+        self.published.fetch_add(n, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `n` deliveries to subscribers.
+    pub fn record_delivery(&self, n: u64) {
+        self.delivered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` messages dropped (no subscriber / full queue).
+    pub fn record_drop(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one batch publish.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot current values.
+    pub fn snapshot(&self) -> BrokerStats {
+        BrokerStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of broker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Messages accepted by `publish`/`publish_batch`.
+    pub published: u64,
+    /// Messages handed to subscriber queues (fan-out counts each copy).
+    pub delivered: u64,
+    /// Messages published with no live subscriber (fire-and-forget loss).
+    pub dropped: u64,
+    /// Batch publishes.
+    pub batches: u64,
+    /// Approximate payload bytes accepted.
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.record_publish(3, 300);
+        c.record_delivery(6);
+        c.record_drop(1);
+        c.record_batch();
+        let s = c.snapshot();
+        assert_eq!(s.published, 3);
+        assert_eq!(s.delivered, 6);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.bytes, 300);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = std::sync::Arc::new(Counters::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_publish(1, 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().published, 8000);
+        assert_eq!(c.snapshot().bytes, 80_000);
+    }
+}

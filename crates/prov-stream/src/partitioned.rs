@@ -1,0 +1,277 @@
+//! Partitioned-log broker — the Kafka-shaped backend.
+//!
+//! "Kafka enables high throughput streaming for data-intensive workflows"
+//! (§2.3). Messages are appended to per-topic partitions selected by a key
+//! hash (task id), retained, and consumed by offset-tracking consumer
+//! groups; live pub/sub subscriptions are layered on top so the backend
+//! still satisfies [`Broker`].
+
+use crate::broker::{validate_topic, Broker, BrokerError, Delivery, Subscription};
+use crate::metrics::{BrokerStats, Counters};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use prov_model::TaskMessage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One retained partition: an append-only log.
+#[derive(Debug, Default)]
+struct Partition {
+    log: Mutex<Vec<Delivery>>,
+}
+
+struct Topic {
+    partitions: Vec<Partition>,
+    live: RwLock<Vec<(u64, Sender<Delivery>)>>,
+}
+
+impl Topic {
+    fn new(partitions: usize) -> Self {
+        Self {
+            partitions: (0..partitions.max(1)).map(|_| Partition::default()).collect(),
+            live: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+/// Kafka-like partitioned broker with retained logs and consumer groups.
+pub struct PartitionedBroker {
+    partitions_per_topic: usize,
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    groups: Mutex<HashMap<String, HashMap<(String, usize), usize>>>,
+    next_sub_id: AtomicU64,
+    counters: Counters,
+}
+
+impl PartitionedBroker {
+    /// Broker with `partitions_per_topic` partitions per topic.
+    pub fn new(partitions_per_topic: usize) -> Self {
+        Self {
+            partitions_per_topic: partitions_per_topic.max(1),
+            topics: RwLock::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            next_sub_id: AtomicU64::new(0),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Shared handle with a default of 4 partitions.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(4))
+    }
+
+    fn topic(&self, name: &str) -> Arc<Topic> {
+        if let Some(t) = self.topics.read().get(name) {
+            return t.clone();
+        }
+        self.topics
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Topic::new(self.partitions_per_topic)))
+            .clone()
+    }
+
+    fn partition_for(&self, topic: &Topic, key: &str) -> usize {
+        // FNV-1a over the key; stable across runs for deterministic tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % topic.partitions.len() as u64) as usize
+    }
+
+    fn append(&self, topic: &Topic, msg: Delivery) {
+        let p = self.partition_for(topic, msg.task_id.as_str());
+        topic.partitions[p].log.lock().push(msg.clone());
+        let mut delivered = 0u64;
+        let mut dead = Vec::new();
+        {
+            let live = topic.live.read();
+            for (id, tx) in live.iter() {
+                if tx.send(msg.clone()).is_ok() {
+                    delivered += 1;
+                } else {
+                    dead.push(*id);
+                }
+            }
+        }
+        self.counters.record_delivery(delivered);
+        if !dead.is_empty() {
+            topic.live.write().retain(|(id, _)| !dead.contains(id));
+        }
+    }
+
+    /// Total retained messages on a topic.
+    pub fn retained(&self, topic: &str) -> usize {
+        let t = self.topic(topic);
+        t.partitions.iter().map(|p| p.log.lock().len()).sum()
+    }
+
+    /// Poll up to `max` messages for a consumer group, advancing its
+    /// offsets. Groups consume independently; a new group starts at the
+    /// beginning of the retained log (earliest).
+    pub fn poll(&self, group: &str, topic: &str, max: usize) -> Vec<Delivery> {
+        let t = self.topic(topic);
+        let mut groups = self.groups.lock();
+        let offsets = groups.entry(group.to_string()).or_default();
+        let mut out = Vec::with_capacity(max);
+        for (pi, part) in t.partitions.iter().enumerate() {
+            if out.len() >= max {
+                break;
+            }
+            let key = (topic.to_string(), pi);
+            let off = offsets.entry(key.clone()).or_insert(0);
+            let log = part.log.lock();
+            while *off < log.len() && out.len() < max {
+                out.push(log[*off].clone());
+                *off += 1;
+            }
+        }
+        out
+    }
+
+    /// Committed offset sum for a group on a topic (for lag monitoring).
+    pub fn committed(&self, group: &str, topic: &str) -> usize {
+        let groups = self.groups.lock();
+        groups
+            .get(group)
+            .map(|offs| {
+                offs.iter()
+                    .filter(|((t, _), _)| t == topic)
+                    .map(|(_, &o)| o)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Consumer lag: retained minus committed.
+    pub fn lag(&self, group: &str, topic: &str) -> usize {
+        self.retained(topic).saturating_sub(self.committed(group, topic))
+    }
+}
+
+impl Broker for PartitionedBroker {
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        validate_topic(topic)?;
+        let bytes = msg.to_value().approx_size() as u64;
+        self.counters.record_publish(1, bytes);
+        let t = self.topic(topic);
+        self.append(&t, Arc::new(msg));
+        Ok(())
+    }
+
+    fn publish_batch(&self, topic: &str, msgs: Vec<TaskMessage>) -> Result<usize, BrokerError> {
+        validate_topic(topic)?;
+        self.counters.record_batch();
+        let t = self.topic(topic);
+        let n = msgs.len();
+        for m in msgs {
+            let bytes = m.to_value().approx_size() as u64;
+            self.counters.record_publish(1, bytes);
+            self.append(&t, Arc::new(m));
+        }
+        Ok(n)
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        let t = self.topic(topic);
+        let (tx, rx) = unbounded();
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        t.live.write().push((id, tx));
+        Subscription::new(topic, rx)
+    }
+
+    fn stats(&self) -> BrokerStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::topics;
+    use prov_model::TaskMessageBuilder;
+
+    fn msg(id: &str) -> TaskMessage {
+        TaskMessageBuilder::new(id, "wf", "act").build()
+    }
+
+    #[test]
+    fn retains_messages_for_later_consumers() {
+        let b = PartitionedBroker::new(4);
+        for i in 0..20 {
+            b.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        assert_eq!(b.retained(topics::TASKS), 20);
+        // A consumer group created after publishing still sees everything.
+        let got = b.poll("keeper", topics::TASKS, 100);
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn consumer_groups_are_independent() {
+        let b = PartitionedBroker::new(2);
+        for i in 0..10 {
+            b.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        assert_eq!(b.poll("g1", topics::TASKS, 100).len(), 10);
+        assert_eq!(b.poll("g1", topics::TASKS, 100).len(), 0); // offsets advanced
+        assert_eq!(b.poll("g2", topics::TASKS, 100).len(), 10); // fresh group
+    }
+
+    #[test]
+    fn poll_respects_max_and_resumes() {
+        let b = PartitionedBroker::new(2);
+        for i in 0..10 {
+            b.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        let first = b.poll("g", topics::TASKS, 4);
+        assert_eq!(first.len(), 4);
+        let rest = b.poll("g", topics::TASKS, 100);
+        assert_eq!(rest.len(), 6);
+        assert_eq!(b.lag("g", topics::TASKS), 0);
+    }
+
+    #[test]
+    fn lag_tracks_unconsumed() {
+        let b = PartitionedBroker::new(2);
+        for i in 0..8 {
+            b.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        assert_eq!(b.lag("g", topics::TASKS), 8);
+        b.poll("g", topics::TASKS, 3);
+        assert_eq!(b.lag("g", topics::TASKS), 5);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let b = PartitionedBroker::new(4);
+        let t = b.topic(topics::TASKS);
+        let p1 = b.partition_for(&t, "task-42");
+        let p2 = b.partition_for(&t, "task-42");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn live_subscription_also_works() {
+        let b = PartitionedBroker::new(2);
+        let s = b.subscribe(topics::TASKS);
+        b.publish(topics::TASKS, msg("live")).unwrap();
+        assert_eq!(s.recv().unwrap().task_id.as_str(), "live");
+    }
+
+    #[test]
+    fn batch_appends_all() {
+        let b = PartitionedBroker::new(3);
+        let batch: Vec<TaskMessage> = (0..50).map(|i| msg(&format!("m{i}"))).collect();
+        b.publish_batch(topics::TASKS, batch).unwrap();
+        assert_eq!(b.retained(topics::TASKS), 50);
+        assert_eq!(b.stats().published, 50);
+    }
+}

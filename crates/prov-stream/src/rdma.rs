@@ -1,0 +1,238 @@
+//! RDMA-optimized broker simulation — the Mofka-shaped backend.
+//!
+//! "Mofka provides RDMA-optimized transport ideal for tightly coupled HPC
+//! networks" (§2.3). A real Mofka deployment moves message payloads with
+//! one-sided RDMA writes, so per-message CPU cost is tiny and batches
+//! amortize a fixed registration cost. We model that cost function
+//! explicitly (without sleeping) so benches can compare transport profiles:
+//! `cost(batch) = setup_ns + n * per_msg_ns + bytes * per_byte_ns`.
+
+use crate::broker::{validate_topic, Broker, BrokerError, Delivery, Subscription};
+use crate::metrics::{BrokerStats, Counters};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use prov_model::TaskMessage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transport cost model in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportProfile {
+    /// Fixed cost per publish call (memory registration, doorbell).
+    pub setup_ns: f64,
+    /// Cost per message descriptor.
+    pub per_msg_ns: f64,
+    /// Cost per payload byte.
+    pub per_byte_ns: f64,
+}
+
+impl TransportProfile {
+    /// Mofka-like RDMA profile: expensive setup, near-zero per-byte cost.
+    pub fn rdma() -> Self {
+        Self {
+            setup_ns: 1800.0,
+            per_msg_ns: 120.0,
+            per_byte_ns: 0.05,
+        }
+    }
+
+    /// TCP-like profile for comparison: cheap setup, costly bytes.
+    pub fn tcp() -> Self {
+        Self {
+            setup_ns: 400.0,
+            per_msg_ns: 900.0,
+            per_byte_ns: 0.9,
+        }
+    }
+
+    /// Simulated cost of shipping `n` messages totalling `bytes` payload.
+    pub fn cost_ns(&self, n: usize, bytes: usize) -> f64 {
+        self.setup_ns + n as f64 * self.per_msg_ns + bytes as f64 * self.per_byte_ns
+    }
+}
+
+/// Mofka-like broker: in-memory fan-out plus a transport cost accumulator.
+pub struct RdmaBroker {
+    profile: TransportProfile,
+    topics: RwLock<HashMap<String, Vec<(u64, Sender<Delivery>)>>>,
+    next_sub_id: AtomicU64,
+    counters: Counters,
+    /// Total simulated transport nanoseconds.
+    sim_ns: AtomicU64,
+}
+
+impl RdmaBroker {
+    /// Broker with the given transport profile.
+    pub fn new(profile: TransportProfile) -> Self {
+        Self {
+            profile,
+            topics: RwLock::new(HashMap::new()),
+            next_sub_id: AtomicU64::new(0),
+            counters: Counters::new(),
+            sim_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared RDMA-profile broker.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(TransportProfile::rdma()))
+    }
+
+    /// Total simulated transport time in nanoseconds.
+    pub fn simulated_ns(&self) -> u64 {
+        self.sim_ns.load(Ordering::Relaxed)
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> TransportProfile {
+        self.profile
+    }
+
+    fn deliver_all(&self, topic: &str, msgs: &[Delivery]) {
+        let mut delivered = 0u64;
+        let mut dead = Vec::new();
+        {
+            let topics = self.topics.read();
+            if let Some(subs) = topics.get(topic) {
+                for (id, tx) in subs {
+                    let mut ok = true;
+                    for m in msgs {
+                        if tx.send(m.clone()).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        delivered += msgs.len() as u64;
+                    } else {
+                        dead.push(*id);
+                    }
+                }
+            }
+        }
+        if delivered == 0 {
+            self.counters.record_drop(msgs.len() as u64);
+        }
+        self.counters.record_delivery(delivered);
+        if !dead.is_empty() {
+            let mut topics = self.topics.write();
+            if let Some(subs) = topics.get_mut(topic) {
+                subs.retain(|(id, _)| !dead.contains(id));
+            }
+        }
+    }
+}
+
+impl Broker for RdmaBroker {
+    fn name(&self) -> &'static str {
+        "rdma"
+    }
+
+    fn publish(&self, topic: &str, msg: TaskMessage) -> Result<(), BrokerError> {
+        validate_topic(topic)?;
+        let bytes = msg.to_value().approx_size();
+        self.counters.record_publish(1, bytes as u64);
+        self.sim_ns.fetch_add(
+            self.profile.cost_ns(1, bytes) as u64,
+            Ordering::Relaxed,
+        );
+        self.deliver_all(topic, &[Arc::new(msg)]);
+        Ok(())
+    }
+
+    fn publish_batch(&self, topic: &str, msgs: Vec<TaskMessage>) -> Result<usize, BrokerError> {
+        validate_topic(topic)?;
+        self.counters.record_batch();
+        let n = msgs.len();
+        let mut bytes = 0usize;
+        let deliveries: Vec<Delivery> = msgs
+            .into_iter()
+            .map(|m| {
+                bytes += m.to_value().approx_size();
+                Arc::new(m)
+            })
+            .collect();
+        self.counters.record_publish(n as u64, bytes as u64);
+        // One setup cost for the whole batch — the RDMA advantage.
+        self.sim_ns.fetch_add(
+            self.profile.cost_ns(n, bytes) as u64,
+            Ordering::Relaxed,
+        );
+        self.deliver_all(topic, &deliveries);
+        Ok(n)
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        let id = self.next_sub_id.fetch_add(1, Ordering::Relaxed);
+        self.topics
+            .write()
+            .entry(topic.to_string())
+            .or_default()
+            .push((id, tx));
+        Subscription::new(topic, rx)
+    }
+
+    fn stats(&self) -> BrokerStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::topics;
+    use prov_model::TaskMessageBuilder;
+
+    fn msg(id: &str) -> TaskMessage {
+        TaskMessageBuilder::new(id, "wf", "act")
+            .uses("payload", "x".repeat(100).as_str())
+            .build()
+    }
+
+    #[test]
+    fn delivers_like_a_broker() {
+        let b = RdmaBroker::shared();
+        let s = b.subscribe(topics::TASKS);
+        b.publish(topics::TASKS, msg("a")).unwrap();
+        assert_eq!(s.recv().unwrap().task_id.as_str(), "a");
+    }
+
+    #[test]
+    fn batching_amortizes_setup_cost() {
+        let per_message = RdmaBroker::new(TransportProfile::rdma());
+        let batched = RdmaBroker::new(TransportProfile::rdma());
+        let _s1 = per_message.subscribe(topics::TASKS);
+        let _s2 = batched.subscribe(topics::TASKS);
+        for i in 0..100 {
+            per_message.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+        }
+        let batch: Vec<TaskMessage> = (0..100).map(|i| msg(&format!("m{i}"))).collect();
+        batched.publish_batch(topics::TASKS, batch).unwrap();
+        assert!(
+            batched.simulated_ns() < per_message.simulated_ns(),
+            "batched {} !< per-message {}",
+            batched.simulated_ns(),
+            per_message.simulated_ns()
+        );
+    }
+
+    #[test]
+    fn rdma_beats_tcp_on_large_payloads() {
+        let rdma = TransportProfile::rdma();
+        let tcp = TransportProfile::tcp();
+        // 1000 messages of 1 KiB: RDMA's per-byte advantage dominates.
+        assert!(rdma.cost_ns(1000, 1_024_000) < tcp.cost_ns(1000, 1_024_000));
+        // A single tiny message: TCP's cheap setup wins.
+        assert!(tcp.cost_ns(1, 16) < rdma.cost_ns(1, 16));
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let b = RdmaBroker::shared();
+        let _s = b.subscribe(topics::TASKS);
+        b.publish(topics::TASKS, msg("a")).unwrap();
+        assert!(b.stats().bytes >= 100);
+    }
+}

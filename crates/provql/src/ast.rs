@@ -1,0 +1,263 @@
+//! Abstract syntax of the pandas-style query subset the agent speaks.
+//!
+//! A query is a pipeline of stages applied to the in-memory DataFrame `df`,
+//! optionally combined with other queries through scalar arithmetic
+//! (`df["a"].max() - df["a"].min()`) or wrapped in `len(...)`.
+
+use dataframe::{AggFunc, ArithOp, Expr};
+
+/// One stage of a query pipeline, in application order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// `df[<boolean expr>]` — row filter.
+    Filter(Expr),
+    /// `df[["a", "b"]]` — column projection.
+    Select(Vec<String>),
+    /// `df["a"]` — switch to series mode on one column.
+    Col(String),
+    /// `.groupby("k")` / `.groupby(["k1", "k2"])`.
+    GroupBy(Vec<String>),
+    /// Terminal aggregation call: `.mean()`, `.count()`, ... Applies to the
+    /// current series, the group-by selection, or frame-wide.
+    Agg(AggFunc),
+    /// `.agg({"col": "func", ...})` after a group-by.
+    AggMap(Vec<(String, AggFunc)>),
+    /// `.size()` after a group-by.
+    Size,
+    /// `.sort_values("k")` / `.sort_values(["a","b"], ascending=False)`.
+    SortValues(Vec<(String, bool)>),
+    /// `.head(n)`.
+    Head(usize),
+    /// `.tail(n)`.
+    Tail(usize),
+    /// `.unique()` on a series.
+    Unique,
+    /// `.value_counts()` on a series.
+    ValueCounts,
+    /// `.nlargest(n, "col")`.
+    NLargest(usize, String),
+    /// `.nsmallest(n, "col")`.
+    NSmallest(usize, String),
+    /// `.drop_duplicates()` / `.drop_duplicates(subset=["a"])`.
+    DropDuplicates(Vec<String>),
+    /// `.describe()`.
+    Describe,
+    /// `df.loc[df["col"].idxmax()]` (or idxmin); optionally selecting one
+    /// cell: `df.loc[df["col"].idxmax(), "other"]`.
+    LocIdx {
+        /// Column whose extreme row is located.
+        column: String,
+        /// True for `idxmax`, false for `idxmin`.
+        max: bool,
+        /// Optional cell column.
+        cell: Option<String>,
+    },
+    /// Standalone `.idxmax()` / `.idxmin()` on a series, returning the row
+    /// index as a scalar.
+    Idx {
+        /// True for `idxmax`.
+        max: bool,
+    },
+    /// `.reset_index()` — accepted and ignored (index-free engine).
+    ResetIndex,
+    /// `.round(n)` — rounds float outputs.
+    Round(usize),
+    /// `.shape[0]` or surrounding `len(...)` — row count.
+    Count,
+}
+
+impl Stage {
+    /// Short tag used in comparison diagnostics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Stage::Filter(_) => "filter",
+            Stage::Select(_) => "select",
+            Stage::Col(_) => "col",
+            Stage::GroupBy(_) => "groupby",
+            Stage::Agg(_) => "agg",
+            Stage::AggMap(_) => "agg_map",
+            Stage::Size => "size",
+            Stage::SortValues(_) => "sort",
+            Stage::Head(_) => "head",
+            Stage::Tail(_) => "tail",
+            Stage::Unique => "unique",
+            Stage::ValueCounts => "value_counts",
+            Stage::NLargest(..) => "nlargest",
+            Stage::NSmallest(..) => "nsmallest",
+            Stage::DropDuplicates(_) => "drop_duplicates",
+            Stage::Describe => "describe",
+            Stage::LocIdx { .. } => "loc_idx",
+            Stage::Idx { .. } => "idx",
+            Stage::ResetIndex => "reset_index",
+            Stage::Round(_) => "round",
+            Stage::Count => "count",
+        }
+    }
+}
+
+/// A pipeline rooted at `df`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pipeline {
+    /// Stages in application order.
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Empty pipeline (`df` itself).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage (builder style).
+    pub fn then(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The filter stages of this pipeline.
+    pub fn filters(&self) -> Vec<&Expr> {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Filter(e) => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All column names the pipeline references (filters, group keys,
+    /// aggregations, sorts, projections).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |name: &str| {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        };
+        for stage in &self.stages {
+            match stage {
+                Stage::Filter(e) => {
+                    for c in e.columns() {
+                        push(c);
+                    }
+                }
+                Stage::Select(cols) | Stage::GroupBy(cols) | Stage::DropDuplicates(cols) => {
+                    for c in cols {
+                        push(c);
+                    }
+                }
+                Stage::Col(c) => push(c),
+                Stage::AggMap(specs) => {
+                    for (c, _) in specs {
+                        push(c);
+                    }
+                }
+                Stage::SortValues(keys) => {
+                    for (c, _) in keys {
+                        push(c);
+                    }
+                }
+                Stage::NLargest(_, c) | Stage::NSmallest(_, c) => push(c),
+                Stage::LocIdx { column, cell, .. } => {
+                    push(column);
+                    if let Some(c) = cell {
+                        push(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// A complete query: a pipeline, a `len(...)` wrapper, or scalar arithmetic
+/// between two queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A plain pipeline.
+    Pipeline(Pipeline),
+    /// `len(<query>)`.
+    Len(Box<Query>),
+    /// `<query> <op> <query>` on scalar results.
+    Binary(Box<Query>, ArithOp, Box<Query>),
+    /// Bare numeric literal appearing in scalar arithmetic.
+    Number(f64),
+}
+
+impl Query {
+    /// Convenience constructor from stages.
+    pub fn pipeline(stages: Vec<Stage>) -> Self {
+        Query::Pipeline(Pipeline { stages })
+    }
+
+    /// All column names referenced anywhere in the query.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        match self {
+            Query::Pipeline(p) => p.referenced_columns(),
+            Query::Len(q) => q.referenced_columns(),
+            Query::Binary(a, _, b) => {
+                let mut cols = a.referenced_columns();
+                for c in b.referenced_columns() {
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+                cols
+            }
+            Query::Number(_) => Vec::new(),
+        }
+    }
+
+    /// The pipelines contained in this query (1 for plain, 2 for binary).
+    pub fn pipelines(&self) -> Vec<&Pipeline> {
+        match self {
+            Query::Pipeline(p) => vec![p],
+            Query::Len(q) => q.pipelines(),
+            Query::Binary(a, _, b) => {
+                let mut v = a.pipelines();
+                v.extend(b.pipelines());
+                v
+            }
+            Query::Number(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::{col, lit};
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let p = Pipeline::new()
+            .then(Stage::Filter(col("a").gt(lit(1)).and(col("b").eq(lit(2)))))
+            .then(Stage::GroupBy(vec!["a".into()]))
+            .then(Stage::AggMap(vec![("c".into(), AggFunc::Mean)]));
+        assert_eq!(p.referenced_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn query_columns_cross_binary() {
+        let q = Query::Binary(
+            Box::new(Query::pipeline(vec![
+                Stage::Col("x".into()),
+                Stage::Agg(AggFunc::Max),
+            ])),
+            ArithOp::Sub,
+            Box::new(Query::pipeline(vec![
+                Stage::Col("y".into()),
+                Stage::Agg(AggFunc::Min),
+            ])),
+        );
+        assert_eq!(q.referenced_columns(), vec!["x", "y"]);
+        assert_eq!(q.pipelines().len(), 2);
+    }
+
+    #[test]
+    fn stage_tags_unique_enough() {
+        assert_eq!(Stage::Count.tag(), "count");
+        assert_eq!(Stage::Describe.tag(), "describe");
+    }
+}

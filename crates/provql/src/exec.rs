@@ -1,0 +1,541 @@
+//! Query execution against a [`DataFrame`].
+
+use crate::ast::{Pipeline, Query, Stage};
+use dataframe::{AggFunc, ArithOp, Column, DataFrame, FrameError};
+use prov_model::{Map, Value};
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A table.
+    Frame(DataFrame),
+    /// A single named column of values.
+    Series {
+        /// Column name.
+        name: String,
+        /// Values.
+        values: Vec<Value>,
+    },
+    /// A single value.
+    Scalar(Value),
+    /// One row as a map.
+    Row(Map),
+}
+
+impl QueryOutput {
+    /// Scalar payload if this is a scalar.
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            QueryOutput::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Frame payload if this is a frame.
+    pub fn as_frame(&self) -> Option<&DataFrame> {
+        match self {
+            QueryOutput::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Number of rows/values in the output (1 for scalars and rows).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Frame(f) => f.len(),
+            QueryOutput::Series { values, .. } => values.len(),
+            QueryOutput::Scalar(_) | QueryOutput::Row(_) => 1,
+        }
+    }
+
+    /// True when there is no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable rendering (what the agent displays).
+    pub fn render(&self) -> String {
+        match self {
+            QueryOutput::Frame(f) => dataframe::render(f, dataframe::DisplayOptions::default()),
+            QueryOutput::Series { name, values } => {
+                let mut out = format!("{name}:\n");
+                for v in values.iter().take(30) {
+                    out.push_str("  ");
+                    out.push_str(&v.display_plain());
+                    out.push('\n');
+                }
+                if values.len() > 30 {
+                    out.push_str(&format!("  … ({} values)\n", values.len()));
+                }
+                out
+            }
+            QueryOutput::Scalar(v) => v.display_plain(),
+            QueryOutput::Row(m) => {
+                let mut out = String::new();
+                for (k, v) in m {
+                    out.push_str(&format!("{k}: {}\n", v.display_plain()));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Underlying frame error (unknown column etc.).
+    Frame(FrameError),
+    /// A stage was applied to an incompatible intermediate state.
+    InvalidStage {
+        /// Stage tag.
+        stage: &'static str,
+        /// State tag (`frame`, `series`, `grouped`, ...).
+        state: &'static str,
+    },
+    /// Arithmetic between non-scalar results.
+    NonScalarArithmetic,
+    /// Pipeline ended in a non-materializable state (bare group-by).
+    UnconsumedGroupBy,
+    /// Frame is empty where a value was required.
+    EmptyInput,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Frame(e) => write!(f, "{e}"),
+            ExecError::InvalidStage { stage, state } => {
+                write!(f, "cannot apply '{stage}' to a {state}")
+            }
+            ExecError::NonScalarArithmetic => {
+                write!(f, "arithmetic requires scalar operands")
+            }
+            ExecError::UnconsumedGroupBy => {
+                write!(f, "groupby must be followed by an aggregation")
+            }
+            ExecError::EmptyInput => write!(f, "empty input where a value was required"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<FrameError> for ExecError {
+    fn from(e: FrameError) -> Self {
+        ExecError::Frame(e)
+    }
+}
+
+/// Execute a query against a frame.
+pub fn execute(query: &Query, df: &DataFrame) -> Result<QueryOutput, ExecError> {
+    match query {
+        Query::Pipeline(p) => execute_pipeline(p, df),
+        Query::Len(q) => {
+            let out = execute(q, df)?;
+            Ok(QueryOutput::Scalar(Value::Int(out.len() as i64)))
+        }
+        Query::Binary(a, op, b) => {
+            let left = scalar_of(execute(a, df)?)?;
+            let right = scalar_of(execute(b, df)?)?;
+            let (Some(x), Some(y)) = (left.as_f64(), right.as_f64()) else {
+                return Err(ExecError::NonScalarArithmetic);
+            };
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(ExecError::EmptyInput);
+                    }
+                    x / y
+                }
+            };
+            Ok(QueryOutput::Scalar(Value::Float(r)))
+        }
+        Query::Number(n) => Ok(QueryOutput::Scalar(Value::Float(*n))),
+    }
+}
+
+fn scalar_of(out: QueryOutput) -> Result<Value, ExecError> {
+    match out {
+        QueryOutput::Scalar(v) => Ok(v),
+        QueryOutput::Series { values, .. } if values.len() == 1 => Ok(values[0].clone()),
+        _ => Err(ExecError::NonScalarArithmetic),
+    }
+}
+
+/// Intermediate execution state.
+enum State {
+    Frame(DataFrame),
+    Series(Column),
+    Grouped {
+        frame: DataFrame,
+        keys: Vec<String>,
+    },
+    GroupedSeries {
+        frame: DataFrame,
+        keys: Vec<String>,
+        column: String,
+    },
+    Scalar(Value),
+    Row(Map),
+}
+
+impl State {
+    fn tag(&self) -> &'static str {
+        match self {
+            State::Frame(_) => "frame",
+            State::Series(_) => "series",
+            State::Grouped { .. } => "grouped",
+            State::GroupedSeries { .. } => "grouped series",
+            State::Scalar(_) => "scalar",
+            State::Row(_) => "row",
+        }
+    }
+}
+
+fn execute_pipeline(p: &Pipeline, df: &DataFrame) -> Result<QueryOutput, ExecError> {
+    let mut state = State::Frame(df.clone());
+    for stage in &p.stages {
+        state = apply_stage(state, stage)?;
+    }
+    match state {
+        State::Frame(f) => Ok(QueryOutput::Frame(f)),
+        State::Series(c) => Ok(QueryOutput::Series {
+            name: c.name().to_string(),
+            values: c.values().to_vec(),
+        }),
+        State::Scalar(v) => Ok(QueryOutput::Scalar(v)),
+        State::Row(m) => Ok(QueryOutput::Row(m)),
+        State::Grouped { .. } | State::GroupedSeries { .. } => Err(ExecError::UnconsumedGroupBy),
+    }
+}
+
+fn invalid(stage: &Stage, state: &State) -> ExecError {
+    ExecError::InvalidStage {
+        stage: stage.tag(),
+        state: state.tag(),
+    }
+}
+
+fn apply_stage(state: State, stage: &Stage) -> Result<State, ExecError> {
+    match (state, stage) {
+        (State::Frame(f), Stage::Filter(e)) => Ok(State::Frame(f.filter(e))),
+        (State::Frame(f), Stage::Select(cols)) => {
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            Ok(State::Frame(f.select(&names)?))
+        }
+        (State::Frame(f), Stage::Col(c)) => Ok(State::Series(f.column_checked(c)?.clone())),
+        (State::Frame(f), Stage::GroupBy(keys)) => {
+            // Validate keys eagerly for good error messages.
+            for k in keys {
+                f.column_checked(k)?;
+            }
+            Ok(State::Grouped {
+                frame: f,
+                keys: keys.clone(),
+            })
+        }
+        (State::Grouped { frame, keys }, Stage::Col(c)) => {
+            frame.column_checked(c)?;
+            Ok(State::GroupedSeries {
+                frame,
+                keys,
+                column: c.clone(),
+            })
+        }
+        (State::Series(c), Stage::Agg(f)) => Ok(State::Scalar(c.agg(*f))),
+        (State::GroupedSeries { frame, keys, column }, Stage::Agg(f)) => {
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let g = frame.groupby(&key_refs)?;
+            Ok(State::Frame(g.agg(&[(column.as_str(), *f)])?))
+        }
+        (State::Grouped { frame, keys }, Stage::AggMap(specs)) => {
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let g = frame.groupby(&key_refs)?;
+            let spec_refs: Vec<(&str, AggFunc)> =
+                specs.iter().map(|(c, f)| (c.as_str(), *f)).collect();
+            Ok(State::Frame(g.agg(&spec_refs)?))
+        }
+        (State::Grouped { frame, keys }, Stage::Size) => {
+            let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            Ok(State::Frame(frame.groupby(&key_refs)?.size()))
+        }
+        (State::Frame(f), Stage::SortValues(keys)) => {
+            let key_refs: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            Ok(State::Frame(f.sort_values(&key_refs)?))
+        }
+        (State::Frame(f), Stage::Head(n)) => Ok(State::Frame(f.head(*n))),
+        (State::Frame(f), Stage::Tail(n)) => Ok(State::Frame(f.tail(*n))),
+        (State::Series(c), Stage::Head(n)) => {
+            let vals: Vec<Value> = c.values().iter().take(*n).cloned().collect();
+            Ok(State::Series(Column::new(c.name(), vals)))
+        }
+        (State::Series(c), Stage::Unique) => Ok(State::Series(Column::new(c.name(), c.unique()))),
+        (State::Series(c), Stage::ValueCounts) => {
+            let f = DataFrame::from_columns(vec![(c.name().to_string(), c.values().to_vec())])?;
+            Ok(State::Frame(f.value_counts(c.name())?))
+        }
+        (State::Series(c), Stage::Idx { max }) => {
+            let idx = if *max { c.idxmax() } else { c.idxmin() };
+            Ok(State::Scalar(
+                idx.map(|i| Value::Int(i as i64)).unwrap_or(Value::Null),
+            ))
+        }
+        (State::Series(c), Stage::NLargest(n, _)) => {
+            Ok(State::Series(series_sorted(&c, false, *n)))
+        }
+        (State::Series(c), Stage::NSmallest(n, _)) => {
+            Ok(State::Series(series_sorted(&c, true, *n)))
+        }
+        (State::Frame(f), Stage::NLargest(n, col)) => {
+            let sorted = f.sort_values(&[(col.as_str(), false)])?;
+            Ok(State::Frame(sorted.head(*n)))
+        }
+        (State::Frame(f), Stage::NSmallest(n, col)) => {
+            let sorted = f.sort_values(&[(col.as_str(), true)])?;
+            Ok(State::Frame(sorted.head(*n)))
+        }
+        (State::Frame(f), Stage::DropDuplicates(subset)) => {
+            let refs: Vec<&str> = subset.iter().map(String::as_str).collect();
+            Ok(State::Frame(f.drop_duplicates(&refs)?))
+        }
+        (State::Frame(f), Stage::Describe) => Ok(State::Frame(f.describe())),
+        (State::Frame(f), Stage::LocIdx { column, max, cell }) => {
+            let c = f.column_checked(column)?;
+            let idx = if *max { c.idxmax() } else { c.idxmin() };
+            let Some(idx) = idx else {
+                return Err(ExecError::EmptyInput);
+            };
+            match cell {
+                Some(cc) => {
+                    f.column_checked(cc)?;
+                    let v = f
+                        .column(cc)
+                        .and_then(|col| col.get(idx))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    Ok(State::Scalar(v))
+                }
+                None => Ok(State::Row(f.row(idx).ok_or(ExecError::EmptyInput)?)),
+            }
+        }
+        (state @ State::Frame(_), Stage::ResetIndex) => Ok(state),
+        (State::Frame(f), Stage::Count) => Ok(State::Scalar(Value::Int(f.len() as i64))),
+        (State::Series(c), Stage::Count) => Ok(State::Scalar(Value::Int(c.len() as i64))),
+        (State::Scalar(v), Stage::Round(n)) => Ok(State::Scalar(round_value(&v, *n))),
+        (State::Series(c), Stage::Round(n)) => {
+            let vals: Vec<Value> = c.values().iter().map(|v| round_value(v, *n)).collect();
+            Ok(State::Series(Column::new(c.name(), vals)))
+        }
+        (State::Frame(f), Stage::Round(_)) => Ok(State::Frame(f)),
+        (state, stage) => Err(invalid(stage, &state)),
+    }
+}
+
+fn series_sorted(c: &Column, ascending: bool, n: usize) -> Column {
+    let mut vals: Vec<Value> = c.values().iter().filter(|v| !v.is_null()).cloned().collect();
+    vals.sort_by(|a, b| {
+        let o = a.compare(b);
+        if ascending {
+            o
+        } else {
+            o.reverse()
+        }
+    });
+    vals.truncate(n);
+    Column::new(c.name(), vals)
+}
+
+fn round_value(v: &Value, digits: usize) -> Value {
+    match v {
+        Value::Float(f) => {
+            let m = 10f64.powi(digits as i32);
+            Value::Float((f * m).round() / m)
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use prov_model::{TaskMessage, TaskMessageBuilder};
+
+    fn run(text: &str, df: &DataFrame) -> QueryOutput {
+        execute(&parse(text).unwrap(), df).unwrap()
+    }
+
+    fn chem_frame() -> DataFrame {
+        let bonds = [
+            ("C-H_1", 99.1, 100.7, 92.9),
+            ("C-H_2", 98.6, 100.2, 92.4),
+            ("C-C_1", 87.1, 88.9, 81.0),
+            ("O-H_1", 104.8, 106.3, 97.9),
+            ("C-H_3", 98.9, 100.5, 92.7),
+        ];
+        let msgs: Vec<TaskMessage> = bonds
+            .iter()
+            .enumerate()
+            .map(|(i, (bond, e, h, g))| {
+                TaskMessageBuilder::new(format!("t{i}"), "wf", "run_individual_bde")
+                    .generates("bond_id", *bond)
+                    .generates("bd_energy", *e)
+                    .generates("bd_enthalpy", *h)
+                    .generates("bd_free_energy", *g)
+                    .span(100.0 + i as f64, 101.0 + i as f64 * 2.0)
+                    .host(format!("frontier0008{}", i % 2))
+                    .build()
+            })
+            .collect();
+        DataFrame::from_messages(&msgs)
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let df = chem_frame();
+        let out = run(r#"len(df[df["bond_id"].str.contains("C-H")])"#, &df);
+        assert_eq!(out, QueryOutput::Scalar(Value::Int(3)));
+    }
+
+    #[test]
+    fn scalar_mean_of_filtered() {
+        let df = chem_frame();
+        let out = run(
+            r#"df[df["bond_id"].str.contains("C-H")]["bd_enthalpy"].mean()"#,
+            &df,
+        );
+        let v = out.as_scalar().unwrap().as_f64().unwrap();
+        assert!((v - (100.7 + 100.2 + 100.5) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loc_idxmax_row_and_cell() {
+        let df = chem_frame();
+        let out = run(r#"df.loc[df["bd_free_energy"].idxmax()]"#, &df);
+        match out {
+            QueryOutput::Row(m) => {
+                assert_eq!(m.get("bond_id").unwrap().as_str(), Some("O-H_1"))
+            }
+            other => panic!("expected row, got {other:?}"),
+        }
+        let out = run(r#"df.loc[df["bd_enthalpy"].idxmin(), "bond_id"]"#, &df);
+        assert_eq!(out, QueryOutput::Scalar(Value::Str("C-C_1".into())));
+    }
+
+    #[test]
+    fn groupby_mean() {
+        let df = chem_frame();
+        let out = run(r#"df.groupby("hostname")["duration"].mean()"#, &df);
+        let f = out.as_frame().unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(f.has_column("hostname") && f.has_column("duration"));
+    }
+
+    #[test]
+    fn groupby_aggmap_and_size() {
+        let df = chem_frame();
+        let out = run(
+            r#"df.groupby("hostname").agg({"bd_energy": "max", "duration": "mean"})"#,
+            &df,
+        );
+        let f = out.as_frame().unwrap();
+        assert!(f.has_column("bd_energy_max"));
+        assert!(f.has_column("duration_mean"));
+        let out = run(r#"df.groupby("hostname").size()"#, &df);
+        assert_eq!(out.as_frame().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sort_head_select() {
+        let df = chem_frame();
+        let out = run(
+            r#"df.sort_values("bd_energy", ascending=False)[["bond_id", "bd_energy"]].head(1)"#,
+            &df,
+        );
+        let f = out.as_frame().unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(
+            f.column("bond_id").unwrap().get(0),
+            Some(&Value::Str("O-H_1".into()))
+        );
+    }
+
+    #[test]
+    fn nlargest_equivalent_to_sort_head() {
+        let df = chem_frame();
+        let a = run(r#"df.nlargest(2, "bd_energy")[["bond_id"]]"#, &df);
+        let b = run(
+            r#"df.sort_values("bd_energy", ascending=False).head(2)[["bond_id"]]"#,
+            &df,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scalar_arithmetic_between_pipelines() {
+        let df = chem_frame();
+        let out = run(r#"df["ended_at"].max() - df["started_at"].min()"#, &df);
+        let v = out.as_scalar().unwrap().as_f64().unwrap();
+        assert!((v - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_and_value_counts() {
+        let df = chem_frame();
+        let out = run(r#"df["hostname"].unique()"#, &df);
+        assert_eq!(out.len(), 2);
+        let out = run(r#"df["hostname"].value_counts()"#, &df);
+        let f = out.as_frame().unwrap();
+        assert_eq!(f.column("count").unwrap().get(0), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn unknown_column_error_propagates() {
+        let df = chem_frame();
+        let err = execute(&parse(r#"df["node"].mean()"#).unwrap(), &df).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Frame(FrameError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn bare_groupby_is_error() {
+        let df = chem_frame();
+        let err = execute(&parse(r#"df.groupby("hostname")"#).unwrap(), &df).unwrap_err();
+        assert_eq!(err, ExecError::UnconsumedGroupBy);
+    }
+
+    #[test]
+    fn invalid_stage_combination() {
+        let df = chem_frame();
+        let err = execute(&parse(r#"df.mean()"#).unwrap(), &df).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidStage { .. }));
+    }
+
+    #[test]
+    fn round_applies_to_scalar() {
+        let df = chem_frame();
+        let out = run(r#"df["bd_energy"].mean().round(1)"#, &df);
+        let v = out.as_scalar().unwrap().as_f64().unwrap();
+        assert_eq!(v, 97.7);
+    }
+
+    #[test]
+    fn render_of_outputs() {
+        let df = chem_frame();
+        assert!(run("df.head(2)", &df).render().contains("bond_id"));
+        assert!(!run(r#"df["bond_id"].unique()"#, &df).render().is_empty());
+    }
+
+    #[test]
+    fn empty_frame_idxmax_is_error() {
+        let df = chem_frame().filter(&dataframe::col("bd_energy").gt(dataframe::lit(1e9)));
+        let err = execute(&parse(r#"df.loc[df["bd_energy"].idxmax()]"#).unwrap(), &df).unwrap_err();
+        assert_eq!(err, ExecError::EmptyInput);
+    }
+}

@@ -1,0 +1,904 @@
+//! Recursive-descent parser: pandas-style text → [`Query`].
+//!
+//! Grammar (simplified):
+//! ```text
+//! query     := additive EOF
+//! additive  := term (('+'|'-') term)*
+//! term      := factor (('*'|'/') factor)*
+//! factor    := NUMBER | 'len' '(' additive ')' | pipeline | '(' additive ')'
+//! pipeline  := 'df' postfix*
+//! postfix   := '[' index ']' | '.' method | '.shape[0]' | '.loc[...]'
+//! index     := STRING | '[' STRING, ... ']' | boolexpr
+//! ```
+
+use crate::ast::{Pipeline, Query, Stage};
+use crate::token::{tokenize, LexError, Token};
+use dataframe::{AggFunc, ArithOp, CmpOp, Expr};
+use prov_model::Value;
+
+/// Parse error with token position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Index of the offending token (or token count at EOF).
+    pub token_index: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.token_index, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            token_index: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parse pandas-style query text into a [`Query`].
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_additive()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!(
+            "unexpected trailing token '{}'",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            token_index: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{p}', found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or("EOF".into())
+            )))
+        }
+    }
+
+    fn try_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected string literal, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(i),
+            other => Err(self.err(format!(
+                "expected integer, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+
+    // ---- scalar arithmetic level -------------------------------------
+
+    fn parse_additive(&mut self) -> Result<Query, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(t) if t.is_punct("+") => ArithOp::Add,
+                Some(t) if t.is_punct("-") => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term()?;
+            lhs = Query::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Query, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(t) if t.is_punct("*") => ArithOp::Mul,
+                Some(t) if t.is_punct("/") => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_factor()?;
+            lhs = Query::Binary(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Query, ParseError> {
+        match self.peek() {
+            Some(Token::Int(i)) => {
+                let v = *i as f64;
+                self.pos += 1;
+                Ok(Query::Number(v))
+            }
+            Some(Token::Float(f)) => {
+                let v = *f;
+                self.pos += 1;
+                Ok(Query::Number(v))
+            }
+            Some(t) if t.is_ident("len") => {
+                self.pos += 1;
+                self.eat_punct("(")?;
+                let inner = self.parse_additive()?;
+                self.eat_punct(")")?;
+                Ok(Query::Len(Box::new(inner)))
+            }
+            Some(t) if t.is_ident("df") => self.parse_pipeline().map(Query::Pipeline),
+            Some(t) if t.is_punct("(") => {
+                self.pos += 1;
+                let inner = self.parse_additive()?;
+                self.eat_punct(")")?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!(
+                "expected query, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+
+    // ---- pipeline level ------------------------------------------------
+
+    fn parse_pipeline(&mut self) -> Result<Pipeline, ParseError> {
+        // consume 'df'
+        self.pos += 1;
+        let mut stages = Vec::new();
+        loop {
+            if self.try_punct("[") {
+                stages.push(self.parse_index()?);
+                self.eat_punct("]")?;
+                continue;
+            }
+            if self.peek().is_some_and(|t| t.is_punct("."))
+                && self.peek_at(1).is_some_and(|t| matches!(t, Token::Ident(_)))
+            {
+                self.pos += 1; // '.'
+                let name = match self.bump() {
+                    Some(Token::Ident(n)) => n,
+                    _ => unreachable!("checked ident above"),
+                };
+                match name.as_str() {
+                    "shape" => {
+                        self.eat_punct("[")?;
+                        let idx = self.expect_int()?;
+                        self.eat_punct("]")?;
+                        if idx != 0 {
+                            return Err(self.err("only .shape[0] is supported"));
+                        }
+                        stages.push(Stage::Count);
+                    }
+                    "loc" => {
+                        self.eat_punct("[")?;
+                        stages.push(self.parse_loc()?);
+                        self.eat_punct("]")?;
+                    }
+                    _ => stages.push(self.parse_method(&name)?),
+                }
+                continue;
+            }
+            break;
+        }
+        Ok(Pipeline { stages })
+    }
+
+    /// Contents of `df[...]`: column, projection, or boolean filter.
+    fn parse_index(&mut self) -> Result<Stage, ParseError> {
+        match self.peek() {
+            Some(Token::Str(_)) => {
+                let s = self.expect_string()?;
+                Ok(Stage::Col(s))
+            }
+            Some(t) if t.is_punct("[") => {
+                self.pos += 1;
+                let mut cols = vec![self.expect_string()?];
+                while self.try_punct(",") {
+                    cols.push(self.expect_string()?);
+                }
+                self.eat_punct("]")?;
+                Ok(Stage::Select(cols))
+            }
+            _ => Ok(Stage::Filter(self.parse_bool_or()?)),
+        }
+    }
+
+    /// `df.loc[df["col"].idxmax()]` with optional `, "cell"`.
+    fn parse_loc(&mut self) -> Result<Stage, ParseError> {
+        if !self.peek().is_some_and(|t| t.is_ident("df")) {
+            return Err(self.err("expected df[...].idxmax()/idxmin() inside .loc[...]"));
+        }
+        self.pos += 1;
+        self.eat_punct("[")?;
+        let column = self.expect_string()?;
+        self.eat_punct("]")?;
+        self.eat_punct(".")?;
+        let fname = match self.bump() {
+            Some(Token::Ident(n)) => n,
+            other => {
+                return Err(self.err(format!(
+                    "expected idxmax/idxmin, found {}",
+                    other.map(|t| t.to_string()).unwrap_or("EOF".into())
+                )))
+            }
+        };
+        let max = match fname.as_str() {
+            "idxmax" => true,
+            "idxmin" => false,
+            _ => return Err(self.err("expected idxmax or idxmin inside .loc[...]")),
+        };
+        self.eat_punct("(")?;
+        self.eat_punct(")")?;
+        let cell = if self.try_punct(",") {
+            Some(self.expect_string()?)
+        } else {
+            None
+        };
+        Ok(Stage::LocIdx { column, max, cell })
+    }
+
+    fn parse_method(&mut self, name: &str) -> Result<Stage, ParseError> {
+        self.eat_punct("(")?;
+        let stage = match name {
+            "groupby" => {
+                let keys = self.parse_string_or_list()?;
+                Stage::GroupBy(keys)
+            }
+            "agg" | "aggregate" => {
+                self.eat_punct("{")?;
+                let mut specs = Vec::new();
+                loop {
+                    let col = self.expect_string()?;
+                    self.eat_punct(":")?;
+                    let fname = self.expect_string()?;
+                    let func = AggFunc::parse(&fname)
+                        .ok_or_else(|| self.err(format!("unknown aggregation '{fname}'")))?;
+                    specs.push((col, func));
+                    if !self.try_punct(",") {
+                        break;
+                    }
+                }
+                self.eat_punct("}")?;
+                Stage::AggMap(specs)
+            }
+            "size" => Stage::Size,
+            "sort_values" => {
+                let mut keys: Vec<String> = Vec::new();
+                let mut ascending: Vec<bool> = Vec::new();
+                // positional or by= column(s)
+                loop {
+                    match self.peek() {
+                        Some(Token::Str(_)) => keys = vec![self.expect_string()?],
+                        Some(t) if t.is_punct("[") && keys.is_empty() => {
+                            keys = self.parse_string_or_list()?
+                        }
+                        Some(t) if t.is_ident("by") => {
+                            self.pos += 1;
+                            self.eat_punct("=")?;
+                            keys = self.parse_string_or_list()?;
+                        }
+                        Some(t) if t.is_ident("ascending") => {
+                            self.pos += 1;
+                            self.eat_punct("=")?;
+                            ascending = self.parse_bool_or_list()?;
+                        }
+                        _ => break,
+                    }
+                    if !self.try_punct(",") {
+                        break;
+                    }
+                }
+                if keys.is_empty() {
+                    return Err(self.err("sort_values requires a column"));
+                }
+                let sorted: Vec<(String, bool)> = keys
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, k)| {
+                        let asc = ascending
+                            .get(i)
+                            .or(ascending.first())
+                            .copied()
+                            .unwrap_or(true);
+                        (k, asc)
+                    })
+                    .collect();
+                Stage::SortValues(sorted)
+            }
+            "head" => Stage::Head(self.parse_optional_int(5)? as usize),
+            "tail" => Stage::Tail(self.parse_optional_int(5)? as usize),
+            "unique" => Stage::Unique,
+            "value_counts" => Stage::ValueCounts,
+            "idxmax" => Stage::Idx { max: true },
+            "idxmin" => Stage::Idx { max: false },
+            "nlargest" => {
+                let n = self.expect_int()? as usize;
+                self.eat_punct(",")?;
+                let col = self.expect_string()?;
+                Stage::NLargest(n, col)
+            }
+            "nsmallest" => {
+                let n = self.expect_int()? as usize;
+                self.eat_punct(",")?;
+                let col = self.expect_string()?;
+                Stage::NSmallest(n, col)
+            }
+            "drop_duplicates" => {
+                let mut subset = Vec::new();
+                if self.peek().is_some_and(|t| t.is_ident("subset")) {
+                    self.pos += 1;
+                    self.eat_punct("=")?;
+                    subset = self.parse_string_or_list()?;
+                }
+                Stage::DropDuplicates(subset)
+            }
+            "describe" => Stage::Describe,
+            "reset_index" => {
+                // accept and ignore drop=True
+                if self.peek().is_some_and(|t| t.is_ident("drop")) {
+                    self.pos += 1;
+                    self.eat_punct("=")?;
+                    self.parse_bool_token()?;
+                }
+                Stage::ResetIndex
+            }
+            "round" => Stage::Round(self.parse_optional_int(0)? as usize),
+            other => {
+                if let Some(func) = AggFunc::parse(other) {
+                    Stage::Agg(func)
+                } else {
+                    return Err(self.err(format!("unsupported method '{other}'")));
+                }
+            }
+        };
+        self.eat_punct(")")?;
+        Ok(stage)
+    }
+
+    fn parse_optional_int(&mut self, default: i64) -> Result<i64, ParseError> {
+        if let Some(Token::Int(i)) = self.peek() {
+            let v = *i;
+            self.pos += 1;
+            Ok(v)
+        } else {
+            Ok(default)
+        }
+    }
+
+    fn parse_string_or_list(&mut self) -> Result<Vec<String>, ParseError> {
+        if self.try_punct("[") {
+            let mut out = vec![self.expect_string()?];
+            while self.try_punct(",") {
+                out.push(self.expect_string()?);
+            }
+            self.eat_punct("]")?;
+            Ok(out)
+        } else {
+            Ok(vec![self.expect_string()?])
+        }
+    }
+
+    fn parse_bool_token(&mut self) -> Result<bool, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(w)) if w == "True" => Ok(true),
+            Some(Token::Ident(w)) if w == "False" => Ok(false),
+            other => Err(self.err(format!(
+                "expected True/False, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+
+    fn parse_bool_or_list(&mut self) -> Result<Vec<bool>, ParseError> {
+        if self.try_punct("[") {
+            let mut out = vec![self.parse_bool_token()?];
+            while self.try_punct(",") {
+                out.push(self.parse_bool_token()?);
+            }
+            self.eat_punct("]")?;
+            Ok(out)
+        } else {
+            Ok(vec![self.parse_bool_token()?])
+        }
+    }
+
+    // ---- boolean filter expressions -------------------------------------
+
+    fn parse_bool_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bool_and()?;
+        while self.try_punct("|") {
+            let rhs = self.parse_bool_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bool_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_bool_unary()?;
+        while self.try_punct("&") {
+            let rhs = self.parse_bool_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bool_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.try_punct("~") {
+            return Ok(self.parse_bool_unary()?.negate());
+        }
+        if self.peek().is_some_and(|t| t.is_punct("(")) {
+            // Could be a parenthesized boolean or a parenthesized arithmetic
+            // operand; try boolean first by lookahead for df/~/( patterns.
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.parse_bool_or() {
+                if self.try_punct(")") {
+                    // May still be followed by a comparison if the parens
+                    // wrapped an arithmetic operand — handled below by
+                    // restarting when a comparison operator follows.
+                    if !self.peek_comparison_op() {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_comparison()
+    }
+
+    fn peek_comparison_op(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(t) if ["==", "!=", "<=", ">=", "<", ">"].iter().any(|p| t.is_punct(p))
+        )
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_operand()?;
+        // method-style predicates: .str.contains, .isin, .isna, .notna
+        if self.peek().is_some_and(|t| t.is_punct("."))
+            && self.peek_at(1).is_some_and(|t| matches!(t, Token::Ident(_)))
+        {
+            let save = self.pos;
+            self.pos += 1;
+            let name = match self.bump() {
+                Some(Token::Ident(n)) => n,
+                _ => unreachable!(),
+            };
+            match name.as_str() {
+                "str" => {
+                    self.eat_punct(".")?;
+                    let m = match self.bump() {
+                        Some(Token::Ident(n)) => n,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected str method, found {}",
+                                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+                            )))
+                        }
+                    };
+                    self.eat_punct("(")?;
+                    let pat = self.expect_string()?;
+                    let mut case_insensitive = false;
+                    if self.try_punct(",") {
+                        // case=False / case=True
+                        if self.peek().is_some_and(|t| t.is_ident("case")) {
+                            self.pos += 1;
+                            self.eat_punct("=")?;
+                            case_insensitive = !self.parse_bool_token()?;
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    return Ok(match m.as_str() {
+                        "contains" => {
+                            if case_insensitive {
+                                lhs.icontains(pat)
+                            } else {
+                                lhs.contains(pat)
+                            }
+                        }
+                        "startswith" => lhs.starts_with(pat),
+                        other => return Err(self.err(format!("unsupported str method '{other}'"))),
+                    });
+                }
+                "isin" => {
+                    self.eat_punct("(")?;
+                    self.eat_punct("[")?;
+                    let mut vals = vec![self.parse_literal()?];
+                    while self.try_punct(",") {
+                        vals.push(self.parse_literal()?);
+                    }
+                    self.eat_punct("]")?;
+                    self.eat_punct(")")?;
+                    return Ok(lhs.isin(vals));
+                }
+                "isna" | "isnull" => {
+                    self.eat_punct("(")?;
+                    self.eat_punct(")")?;
+                    return Ok(lhs.is_null());
+                }
+                "notna" | "notnull" => {
+                    self.eat_punct("(")?;
+                    self.eat_punct(")")?;
+                    return Ok(lhs.not_null());
+                }
+                _ => {
+                    self.pos = save;
+                }
+            }
+        }
+        let op = match self.peek() {
+            Some(t) if t.is_punct("==") => CmpOp::Eq,
+            Some(t) if t.is_punct("!=") => CmpOp::Ne,
+            Some(t) if t.is_punct("<=") => CmpOp::Le,
+            Some(t) if t.is_punct(">=") => CmpOp::Ge,
+            Some(t) if t.is_punct("<") => CmpOp::Lt,
+            Some(t) if t.is_punct(">") => CmpOp::Gt,
+            other => {
+                return Err(self.err(format!(
+                    "expected comparison operator, found {}",
+                    other.map(|t| t.to_string()).unwrap_or("EOF".into())
+                )))
+            }
+        };
+        self.pos += 1;
+        let rhs = self.parse_operand()?;
+        Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    /// Arithmetic operand inside a filter: columns, literals, parens.
+    fn parse_operand(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_operand_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(t) if t.is_punct("+") => dataframe::ArithOp::Add,
+                Some(t) if t.is_punct("-") => dataframe::ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_operand_term()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_operand_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_operand_atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(t) if t.is_punct("*") => dataframe::ArithOp::Mul,
+                Some(t) if t.is_punct("/") => dataframe::ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_operand_atom()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_operand_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(t) if t.is_ident("df") => {
+                self.pos += 1;
+                self.eat_punct("[")?;
+                let col = self.expect_string()?;
+                self.eat_punct("]")?;
+                Ok(Expr::Col(col))
+            }
+            Some(t) if t.is_punct("(") => {
+                self.pos += 1;
+                let inner = self.parse_operand()?;
+                self.eat_punct(")")?;
+                Ok(inner)
+            }
+            _ => Ok(Expr::Lit(self.parse_literal()?)),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, ParseError> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Int(i)) => Ok(Value::Int(i)),
+            Some(Token::Float(f)) => Ok(Value::Float(f)),
+            Some(Token::Punct("-")) => match self.bump() {
+                Some(Token::Int(i)) => Ok(Value::Int(-i)),
+                Some(Token::Float(f)) => Ok(Value::Float(-f)),
+                other => Err(self.err(format!(
+                    "expected number after '-', found {}",
+                    other.map(|t| t.to_string()).unwrap_or("EOF".into())
+                ))),
+            },
+            Some(Token::Ident(w)) if w == "True" => Ok(Value::Bool(true)),
+            Some(Token::Ident(w)) if w == "False" => Ok(Value::Bool(false)),
+            Some(Token::Ident(w)) if w == "None" => Ok(Value::Null),
+            other => Err(self.err(format!(
+                "expected literal, found {}",
+                other.map(|t| t.to_string()).unwrap_or("EOF".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataframe::{col, lit};
+
+    fn stages(input: &str) -> Vec<Stage> {
+        match parse(input).unwrap() {
+            Query::Pipeline(p) => p.stages,
+            other => panic!("expected pipeline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_df() {
+        assert!(stages("df").is_empty());
+    }
+
+    #[test]
+    fn filter_comparison() {
+        let s = stages(r#"df[df["cpu_percent_end"] > 50]"#);
+        assert_eq!(
+            s,
+            vec![Stage::Filter(col("cpu_percent_end").gt(lit(50)))]
+        );
+    }
+
+    #[test]
+    fn filter_and_or_not() {
+        let s = stages(r#"df[(df["a"] > 1) & (df["b"] == 'x') | ~(df["c"] <= 2.5)]"#);
+        assert_eq!(s.len(), 1);
+        match &s[0] {
+            Stage::Filter(Expr::Or(_, _)) => {}
+            other => panic!("expected Or at top: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn str_contains_and_isin() {
+        let s = stages(r#"df[df["bond_id"].str.contains('C-H')]"#);
+        assert_eq!(s, vec![Stage::Filter(col("bond_id").contains("C-H"))]);
+        let s = stages(r#"df[df["bond_id"].str.contains('c-h', case=False)]"#);
+        assert_eq!(s, vec![Stage::Filter(col("bond_id").icontains("c-h"))]);
+        let s = stages(r#"df[df["status"].isin(['FINISHED', 'ERROR'])]"#);
+        assert_eq!(
+            s,
+            vec![Stage::Filter(col("status").isin(vec![
+                Value::Str("FINISHED".into()),
+                Value::Str("ERROR".into())
+            ]))]
+        );
+    }
+
+    #[test]
+    fn projection_and_column() {
+        assert_eq!(
+            stages(r#"df[["task_id", "duration"]]"#),
+            vec![Stage::Select(vec!["task_id".into(), "duration".into()])]
+        );
+        assert_eq!(stages(r#"df["duration"]"#), vec![Stage::Col("duration".into())]);
+    }
+
+    #[test]
+    fn groupby_agg_chain() {
+        let s = stages(r#"df.groupby("bond_id")["bd_energy"].mean()"#);
+        assert_eq!(
+            s,
+            vec![
+                Stage::GroupBy(vec!["bond_id".into()]),
+                Stage::Col("bd_energy".into()),
+                Stage::Agg(AggFunc::Mean),
+            ]
+        );
+        let s = stages(r#"df.groupby(["a","b"]).agg({"x": "mean", "y": "max"})"#);
+        assert_eq!(
+            s,
+            vec![
+                Stage::GroupBy(vec!["a".into(), "b".into()]),
+                Stage::AggMap(vec![("x".into(), AggFunc::Mean), ("y".into(), AggFunc::Max)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_variants() {
+        assert_eq!(
+            stages(r#"df.sort_values("duration")"#),
+            vec![Stage::SortValues(vec![("duration".into(), true)])]
+        );
+        assert_eq!(
+            stages(r#"df.sort_values("duration", ascending=False)"#),
+            vec![Stage::SortValues(vec![("duration".into(), false)])]
+        );
+        assert_eq!(
+            stages(r#"df.sort_values(by=["a","b"], ascending=[True, False])"#),
+            vec![Stage::SortValues(vec![
+                ("a".into(), true),
+                ("b".into(), false)
+            ])]
+        );
+    }
+
+    #[test]
+    fn head_tail_defaults() {
+        assert_eq!(stages("df.head()"), vec![Stage::Head(5)]);
+        assert_eq!(stages("df.head(3)"), vec![Stage::Head(3)]);
+        assert_eq!(stages("df.tail(2)"), vec![Stage::Tail(2)]);
+    }
+
+    #[test]
+    fn loc_idxmax() {
+        let s = stages(r#"df.loc[df["bd_free_energy"].idxmax()]"#);
+        assert_eq!(
+            s,
+            vec![Stage::LocIdx {
+                column: "bd_free_energy".into(),
+                max: true,
+                cell: None
+            }]
+        );
+        let s = stages(r#"df.loc[df["bd_energy"].idxmin(), "bond_id"]"#);
+        assert_eq!(
+            s,
+            vec![Stage::LocIdx {
+                column: "bd_energy".into(),
+                max: false,
+                cell: Some("bond_id".into())
+            }]
+        );
+    }
+
+    #[test]
+    fn len_and_shape() {
+        assert_eq!(
+            parse(r#"len(df[df["status"] == 'ERROR'])"#).unwrap(),
+            Query::Len(Box::new(Query::pipeline(vec![Stage::Filter(
+                col("status").eq(lit("ERROR"))
+            )])))
+        );
+        assert_eq!(stages("df.shape[0]"), vec![Stage::Count]);
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let q = parse(r#"df["ended_at"].max() - df["started_at"].min()"#).unwrap();
+        match q {
+            Query::Binary(a, ArithOp::Sub, b) => {
+                assert!(matches!(*a, Query::Pipeline(_)));
+                assert!(matches!(*b, Query::Pipeline(_)));
+            }
+            other => panic!("expected binary: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_with_arithmetic_operand() {
+        let s = stages(r#"df[df["ended_at"] - df["started_at"] > 1.0]"#);
+        match &s[0] {
+            Stage::Filter(Expr::Cmp(lhs, CmpOp::Gt, _)) => {
+                assert!(matches!(**lhs, Expr::Arith(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nlargest_nsmallest() {
+        assert_eq!(
+            stages(r#"df.nlargest(3, "duration")"#),
+            vec![Stage::NLargest(3, "duration".into())]
+        );
+        assert_eq!(
+            stages(r#"df.nsmallest(1, "bd_enthalpy")"#),
+            vec![Stage::NSmallest(1, "bd_enthalpy".into())]
+        );
+    }
+
+    #[test]
+    fn unique_value_counts_describe() {
+        assert_eq!(
+            stages(r#"df["hostname"].unique()"#),
+            vec![Stage::Col("hostname".into()), Stage::Unique]
+        );
+        assert_eq!(
+            stages(r#"df["activity_id"].value_counts()"#),
+            vec![Stage::Col("activity_id".into()), Stage::ValueCounts]
+        );
+        assert_eq!(stages("df.describe()"), vec![Stage::Describe]);
+    }
+
+    #[test]
+    fn drop_duplicates_and_reset_index() {
+        assert_eq!(
+            stages(r#"df.drop_duplicates(subset=["activity_id"])"#),
+            vec![Stage::DropDuplicates(vec!["activity_id".into()])]
+        );
+        assert_eq!(
+            stages(r#"df.groupby("a").size().reset_index(drop=True)"#),
+            vec![
+                Stage::GroupBy(vec!["a".into()]),
+                Stage::Size,
+                Stage::ResetIndex
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_literals() {
+        let s = stages(r#"df[df["e0"] < -150.5]"#);
+        assert_eq!(s, vec![Stage::Filter(col("e0").lt(lit(-150.5)))]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("df.").is_err());
+        assert!(parse("df[").is_err());
+        assert!(parse(r#"df.frobnicate()"#).is_err());
+        assert!(parse(r#"df["a" extra"#).is_err());
+        assert!(parse("df df").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn complex_chained_query() {
+        let s = stages(
+            r#"df[df["activity_id"] == "run_dft"].groupby("hostname")["duration"].mean().round(2)"#,
+        );
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[4], Stage::Round(2));
+    }
+}

@@ -1,0 +1,320 @@
+//! Render a [`Query`] back to canonical pandas-style text.
+//!
+//! `parse(render(q)) == q` for every constructible query, which the
+//! property tests in this crate assert.
+
+use crate::ast::{Pipeline, Query, Stage};
+use dataframe::{ArithOp, CmpOp, Expr};
+use prov_model::Value;
+use std::fmt::Write as _;
+
+/// Render a query to text.
+pub fn render(query: &Query) -> String {
+    let mut out = String::new();
+    render_query(&mut out, query);
+    out
+}
+
+fn render_query(out: &mut String, query: &Query) {
+    match query {
+        Query::Pipeline(p) => render_pipeline(out, p),
+        Query::Len(q) => {
+            out.push_str("len(");
+            render_query(out, q);
+            out.push(')');
+        }
+        Query::Binary(a, op, b) => {
+            render_query(out, a);
+            let _ = write!(out, " {} ", arith_symbol(*op));
+            render_query(out, b);
+        }
+        Query::Number(n) => {
+            if n.fract() == 0.0 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+    }
+}
+
+fn arith_symbol(op: ArithOp) -> &'static str {
+    op.symbol()
+}
+
+fn render_pipeline(out: &mut String, p: &Pipeline) {
+    out.push_str("df");
+    for stage in &p.stages {
+        render_stage(out, stage);
+    }
+}
+
+fn render_stage(out: &mut String, stage: &Stage) {
+    match stage {
+        Stage::Filter(e) => {
+            out.push('[');
+            render_expr(out, e, false);
+            out.push(']');
+        }
+        Stage::Select(cols) => {
+            out.push_str("[[");
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{c}\"");
+            }
+            out.push_str("]]");
+        }
+        Stage::Col(c) => {
+            let _ = write!(out, "[\"{c}\"]");
+        }
+        Stage::GroupBy(keys) => {
+            out.push_str(".groupby(");
+            render_str_list(out, keys);
+            out.push(')');
+        }
+        Stage::Agg(f) => {
+            let _ = write!(out, ".{}()", f.name());
+        }
+        Stage::AggMap(specs) => {
+            out.push_str(".agg({");
+            for (i, (c, f)) in specs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{c}\": \"{}\"", f.name());
+            }
+            out.push_str("})");
+        }
+        Stage::Size => out.push_str(".size()"),
+        Stage::SortValues(keys) => {
+            out.push_str(".sort_values(");
+            let names: Vec<String> = keys.iter().map(|(k, _)| k.clone()).collect();
+            render_str_list(out, &names);
+            let all_asc = keys.iter().all(|(_, a)| *a);
+            let all_desc = keys.iter().all(|(_, a)| !*a);
+            if all_desc {
+                out.push_str(", ascending=False");
+            } else if !all_asc {
+                out.push_str(", ascending=[");
+                for (i, (_, a)) in keys.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(if *a { "True" } else { "False" });
+                }
+                out.push(']');
+            }
+            out.push(')');
+        }
+        Stage::Head(n) => {
+            let _ = write!(out, ".head({n})");
+        }
+        Stage::Tail(n) => {
+            let _ = write!(out, ".tail({n})");
+        }
+        Stage::Unique => out.push_str(".unique()"),
+        Stage::ValueCounts => out.push_str(".value_counts()"),
+        Stage::NLargest(n, c) => {
+            let _ = write!(out, ".nlargest({n}, \"{c}\")");
+        }
+        Stage::NSmallest(n, c) => {
+            let _ = write!(out, ".nsmallest({n}, \"{c}\")");
+        }
+        Stage::DropDuplicates(subset) => {
+            out.push_str(".drop_duplicates(");
+            if !subset.is_empty() {
+                out.push_str("subset=");
+                render_str_list_always_bracket(out, subset);
+            }
+            out.push(')');
+        }
+        Stage::Describe => out.push_str(".describe()"),
+        Stage::LocIdx { column, max, cell } => {
+            let f = if *max { "idxmax" } else { "idxmin" };
+            let _ = write!(out, ".loc[df[\"{column}\"].{f}()");
+            if let Some(c) = cell {
+                let _ = write!(out, ", \"{c}\"");
+            }
+            out.push(']');
+        }
+        Stage::Idx { max } => {
+            let _ = write!(out, ".{}()", if *max { "idxmax" } else { "idxmin" });
+        }
+        Stage::ResetIndex => out.push_str(".reset_index()"),
+        Stage::Round(n) => {
+            let _ = write!(out, ".round({n})");
+        }
+        Stage::Count => out.push_str(".shape[0]"),
+    }
+}
+
+fn render_str_list(out: &mut String, items: &[String]) {
+    if items.len() == 1 {
+        let _ = write!(out, "\"{}\"", items[0]);
+    } else {
+        render_str_list_always_bracket(out, items);
+    }
+}
+
+fn render_str_list_always_bracket(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, c) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{c}\"");
+    }
+    out.push(']');
+}
+
+/// Render a filter expression in pandas boolean-mask syntax.
+pub fn render_expr(out: &mut String, e: &Expr, parenthesize: bool) {
+    match e {
+        Expr::Col(c) => {
+            let _ = write!(out, "df[\"{c}\"]");
+        }
+        Expr::Lit(v) => render_literal(out, v),
+        Expr::Cmp(a, op, b) => {
+            if parenthesize {
+                out.push('(');
+            }
+            render_expr(out, a, false);
+            let _ = write!(out, " {} ", cmp_symbol(*op));
+            render_expr(out, b, false);
+            if parenthesize {
+                out.push(')');
+            }
+        }
+        Expr::Arith(a, op, b) => {
+            render_expr(out, a, true);
+            let _ = write!(out, " {} ", op.symbol());
+            render_expr(out, b, true);
+        }
+        Expr::And(a, b) => {
+            render_expr(out, a, true);
+            out.push_str(" & ");
+            render_expr(out, b, true);
+        }
+        Expr::Or(a, b) => {
+            render_expr(out, a, true);
+            out.push_str(" | ");
+            render_expr(out, b, true);
+        }
+        Expr::Not(a) => {
+            out.push('~');
+            render_expr(out, a, true);
+        }
+        Expr::StrContains(a, pat, ci) => {
+            render_expr(out, a, false);
+            if *ci {
+                let _ = write!(out, ".str.contains(\"{pat}\", case=False)");
+            } else {
+                let _ = write!(out, ".str.contains(\"{pat}\")");
+            }
+        }
+        Expr::StrStartsWith(a, prefix) => {
+            render_expr(out, a, false);
+            let _ = write!(out, ".str.startswith(\"{prefix}\")");
+        }
+        Expr::IsIn(a, values) => {
+            render_expr(out, a, false);
+            out.push_str(".isin([");
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_literal(out, v);
+            }
+            out.push_str("])");
+        }
+        Expr::IsNull(a) => {
+            render_expr(out, a, false);
+            out.push_str(".isna()");
+        }
+        Expr::NotNull(a) => {
+            render_expr(out, a, false);
+            out.push_str(".notna()");
+        }
+    }
+}
+
+fn cmp_symbol(op: CmpOp) -> &'static str {
+    op.symbol()
+}
+
+fn render_literal(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            let _ = write!(out, "\"{s}\"");
+        }
+        Value::Bool(true) => out.push_str("True"),
+        Value::Bool(false) => out.push_str("False"),
+        Value::Null => out.push_str("None"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(text: &str) {
+        let q = parse(text).expect("parse input");
+        let rendered = render(&q);
+        let q2 = parse(&rendered).unwrap_or_else(|e| panic!("reparse '{rendered}': {e}"));
+        assert_eq!(q, q2, "roundtrip mismatch for {text} -> {rendered}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for text in [
+            "df",
+            r#"df[df["cpu"] > 50]"#,
+            r#"df[(df["a"] == "x") & (df["b"] < 2)]"#,
+            r#"df[df["a"].str.contains("C-H", case=False)]"#,
+            r#"df[df["s"].isin(["A", "B"])]"#,
+            r#"df[["x", "y"]].head(3)"#,
+            r#"df.groupby("k")["v"].mean()"#,
+            r#"df.groupby(["a", "b"]).agg({"x": "mean", "y": "max"})"#,
+            r#"df.sort_values("d", ascending=False).head(1)"#,
+            r#"df.sort_values(["a", "b"], ascending=[True, False])"#,
+            r#"df.loc[df["e"].idxmax()]"#,
+            r#"df.loc[df["e"].idxmin(), "bond_id"]"#,
+            r#"len(df[df["status"] == "ERROR"])"#,
+            r#"df["ended_at"].max() - df["started_at"].min()"#,
+            r#"df.nlargest(3, "duration")"#,
+            r#"df["host"].value_counts()"#,
+            r#"df.drop_duplicates(subset=["a", "b"])"#,
+            r#"df[df["x"].notna()].shape[0]"#,
+            r#"df[df["dur"] * 2.0 > 3.5]"#,
+        ] {
+            roundtrip(text);
+        }
+    }
+
+    #[test]
+    fn canonical_quotes_are_double() {
+        let q = parse("df['x']").unwrap();
+        assert_eq!(render(&q), "df[\"x\"]");
+    }
+
+    #[test]
+    fn negative_float_literal() {
+        roundtrip(r#"df[df["e0"] < -155.03]"#);
+    }
+}

@@ -1,0 +1,289 @@
+//! Tokenizer for the pandas-style query subset.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`df`, `groupby`, `True`, ...).
+    Ident(String),
+    /// Quoted string (single or double quotes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator, e.g. `(`, `[`, `==`, `&`.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// True when this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(x) if *x == p)
+    }
+
+    /// True when this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Token::Ident(x) if x == name)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Tokenization error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS2: &[&str] = &["==", "!=", "<=", ">="];
+const PUNCTS1: &[(&str, char)] = &[
+    ("(", '('),
+    (")", ')'),
+    ("[", '['),
+    ("]", ']'),
+    ("{", '{'),
+    ("}", '}'),
+    (".", '.'),
+    (",", ','),
+    (":", ':'),
+    ("=", '='),
+    ("<", '<'),
+    (">", '>'),
+    ("&", '&'),
+    ("|", '|'),
+    ("~", '~'),
+    ("+", '+'),
+    ("-", '-'),
+    ("*", '*'),
+    ("/", '/'),
+];
+
+/// Tokenize query text. Python comments (`# ...`) are skipped to EOL.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if b == b'#' {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        if b == b'"' || b == b'\'' {
+            let quote = b;
+            let start = pos;
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unterminated string".into(),
+                    });
+                }
+                let c = bytes[pos];
+                if c == quote {
+                    pos += 1;
+                    break;
+                }
+                if c == b'\\' && pos + 1 < bytes.len() {
+                    let esc = bytes[pos + 1];
+                    s.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'\'' => '\'',
+                        b'"' => '"',
+                        other => other as char,
+                    });
+                    pos += 2;
+                    continue;
+                }
+                // Raw UTF-8 passthrough.
+                let ch_len = utf8_len(c);
+                let chunk = std::str::from_utf8(&bytes[pos..pos + ch_len]).map_err(|_| LexError {
+                    offset: pos,
+                    message: "invalid UTF-8 in string".into(),
+                })?;
+                s.push_str(chunk);
+                pos += ch_len;
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        if b.is_ascii_digit()
+            || (b == b'.' && pos + 1 < bytes.len() && bytes[pos + 1].is_ascii_digit())
+        {
+            let start = pos;
+            let mut is_float = false;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'.' {
+                // Only a float if followed by a digit (else it is `.head`).
+                if pos + 1 < bytes.len() && bytes[pos + 1].is_ascii_digit() {
+                    is_float = true;
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+            }
+            if pos < bytes.len() && (bytes[pos] == b'e' || bytes[pos] == b'E') {
+                is_float = true;
+                pos += 1;
+                if pos < bytes.len() && (bytes[pos] == b'+' || bytes[pos] == b'-') {
+                    pos += 1;
+                }
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+            }
+            let text = &input[start..pos];
+            if is_float {
+                out.push(Token::Float(text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad float '{text}'"),
+                })?));
+            } else {
+                out.push(Token::Int(text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("bad int '{text}'"),
+                })?));
+            }
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = pos;
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+                pos += 1;
+            }
+            out.push(Token::Ident(input[start..pos].to_string()));
+            continue;
+        }
+        if pos + 1 < bytes.len() {
+            let two = &input[pos..pos + 2];
+            if let Some(p) = PUNCTS2.iter().find(|&&p| p == two) {
+                out.push(Token::Punct(p));
+                pos += 2;
+                continue;
+            }
+        }
+        let one = &input[pos..pos + 1];
+        if let Some((p, _)) = PUNCTS1.iter().find(|(p, _)| *p == one) {
+            out.push(Token::Punct(p));
+            pos += 1;
+            continue;
+        }
+        return Err(LexError {
+            offset: pos,
+            message: format!("unexpected character '{}'", b as char),
+        });
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_typical_query() {
+        let toks =
+            tokenize("df[df[\"cpu\"] >= 50.5].groupby('host')['dur'].mean().head(3)").unwrap();
+        assert!(toks.contains(&Token::Punct(">=")));
+        assert!(toks.contains(&Token::Str("cpu".into())));
+        assert!(toks.contains(&Token::Float(50.5)));
+        assert!(toks.contains(&Token::Ident("groupby".into())));
+        assert!(toks.contains(&Token::Int(3)));
+    }
+
+    #[test]
+    fn dot_method_vs_float() {
+        let toks = tokenize("df.head(5)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("df".into()),
+                Token::Punct("."),
+                Token::Ident("head".into()),
+                Token::Punct("("),
+                Token::Int(5),
+                Token::Punct(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_quotes_and_escapes() {
+        let toks = tokenize(r#"'C-H' "O\"H" 'a\nb'"#).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Str("C-H".into()),
+                Token::Str("O\"H".into()),
+                Token::Str("a\nb".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("df # filter rows\n.head(1)").unwrap();
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn errors_positioned() {
+        let e = tokenize("df['x'] ?").unwrap_err();
+        assert_eq!(e.offset, 8);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'énergie'").unwrap();
+        assert_eq!(toks, vec![Token::Str("énergie".into())]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Use Case 2 — the computational chemistry BDE workflow (Fig 5B).
+//!
+//! Takes a SMILES string, searches conformers, minimizes geometry, selects
+//! the lowest-energy parent, breaks every single bond to generate fragment
+//! radicals, runs (simulated) DFT on parent and fragments, and computes
+//! bond dissociation energy/enthalpy/free-energy per bond — emitting
+//! Listing-1-shaped provenance for every step.
+
+use super::dft::SimulatedDft;
+use super::smiles::Molecule;
+use crate::dag::{task_fn, DagError, DagRun, WorkflowDag};
+use prov_capture::CaptureContext;
+use prov_model::{obj, SharedClock, Value};
+use prov_stream::StreamingHub;
+
+/// One bond's dissociation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BdeRecord {
+    /// Bond label, e.g. `C-H_3`.
+    pub bond_id: String,
+    /// ΔE, kcal/mol.
+    pub bd_energy: f64,
+    /// ΔH, kcal/mol.
+    pub bd_enthalpy: f64,
+    /// ΔG, kcal/mol.
+    pub bd_free_energy: f64,
+}
+
+/// Result of one BDE workflow execution.
+#[derive(Debug, Clone)]
+pub struct BdeRun {
+    /// Input SMILES.
+    pub smiles: String,
+    /// Parent molecule.
+    pub parent: Molecule,
+    /// Per-bond records, in bond-label order.
+    pub records: Vec<BdeRecord>,
+    /// Number of provenance tasks emitted.
+    pub tasks: usize,
+    /// Raw DAG outputs.
+    pub run: DagRun,
+}
+
+impl BdeRun {
+    /// The bond with the highest dissociation free energy (Q1).
+    pub fn highest_free_energy(&self) -> Option<&BdeRecord> {
+        self.records
+            .iter()
+            .max_by(|a, b| a.bd_free_energy.total_cmp(&b.bd_free_energy))
+    }
+
+    /// The bond with the lowest dissociation enthalpy (Q3).
+    pub fn lowest_enthalpy(&self) -> Option<&BdeRecord> {
+        self.records
+            .iter()
+            .min_by(|a, b| a.bd_enthalpy.total_cmp(&b.bd_enthalpy))
+    }
+
+    /// Mean BDE (ΔH) over bonds whose label contains `pattern` (Q9).
+    pub fn mean_enthalpy_matching(&self, pattern: &str) -> Option<f64> {
+        let hits: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.bond_id.contains(pattern))
+            .map(|r| r.bd_enthalpy)
+            .collect();
+        (!hits.is_empty()).then(|| hits.iter().sum::<f64>() / hits.len() as f64)
+    }
+}
+
+/// Errors from the chemistry workflow.
+#[derive(Debug)]
+pub enum ChemError {
+    /// SMILES failed to parse.
+    Smiles(super::smiles::SmilesError),
+    /// DAG construction/execution failed.
+    Dag(DagError),
+}
+
+impl std::fmt::Display for ChemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChemError::Smiles(e) => write!(f, "{e}"),
+            ChemError::Dag(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChemError {}
+
+fn mol_summary(label: &str, mol: &Molecule, dft: &SimulatedDft) -> Value {
+    let t = dft.thermochemistry(mol);
+    obj! {
+        "molecule_label" => label,
+        "n_atoms" => mol.atom_count(),
+        "formula" => mol.formula(),
+        "multiplicity" => mol.multiplicity() as i64,
+        "charge" => mol.charge as i64,
+        "e0" => t.e0,
+        "z0" => t.z0,
+        "h0" => t.h0,
+        "s0" => t.s0,
+        "functional" => dft.functional.as_str(),
+        "basis" => dft.basis.as_str(),
+    }
+}
+
+/// Execute the BDE workflow for `smiles` with `n_conformers` conformers,
+/// streaming provenance to `hub`.
+pub fn run_bde_workflow(
+    hub: &StreamingHub,
+    clock: SharedClock,
+    seed: u64,
+    smiles: &str,
+    n_conformers: usize,
+) -> Result<BdeRun, ChemError> {
+    let parent = Molecule::parse(smiles).map_err(ChemError::Smiles)?;
+    let dft = SimulatedDft::b3lyp(seed);
+    let n_conformers = n_conformers.max(1);
+
+    // ---- precompute all chemistry (the simulated DFT) -----------------
+    let conformer_energies: Vec<f64> = (0..n_conformers)
+        .map(|k| dft.conformer_energy(&parent, k as u64))
+        .collect();
+    let minimized: Vec<f64> = conformer_energies
+        .iter()
+        .map(|&e| dft.minimize(&parent, e))
+        .collect();
+    let (best_conf, _) = minimized
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("n_conformers >= 1");
+    let parent_thermo = dft.thermochemistry(&parent);
+    let bonds = parent.bond_labels();
+
+    // ---- build the Fig 5B DAG ------------------------------------------
+    let mut dag = WorkflowDag::new();
+    let mut minimization_names: Vec<String> = Vec::new();
+    for k in 0..n_conformers {
+        let gen_name = format!("generate_conformer_{k}");
+        let min_name = format!("geometry_minimization_{k}");
+        let conf_e = conformer_energies[k];
+        let min_e = minimized[k];
+        dag = dag
+            .add(
+                gen_name.clone(),
+                "generate_conformer",
+                obj! {"smiles" => smiles, "conformer_id" => k},
+                0.35,
+                &[],
+                task_fn(move |_, _| Ok(obj! {"conformer_id" => k, "energy" => conf_e})),
+            )
+            .add(
+                min_name.clone(),
+                "geometry_minimization",
+                obj! {"conformer_id" => k},
+                0.65,
+                &[gen_name.as_str()],
+                task_fn(move |_, _| Ok(obj! {"conformer_id" => k, "minimized_energy" => min_e})),
+            );
+        minimization_names.push(min_name);
+    }
+    {
+        let dep_refs: Vec<&str> = minimization_names.iter().map(String::as_str).collect();
+        let best = best_conf;
+        let e0 = minimized[best_conf];
+        dag = dag.add(
+            "get_lowest_energy",
+            "get_lowest_energy",
+            obj! {"n_conformers" => n_conformers},
+            0.1,
+            &dep_refs,
+            task_fn(move |_, _| Ok(obj! {"conformer_id" => best, "e0" => e0})),
+        );
+    }
+    {
+        // Structure-creation steps carry identity only; the full per-species
+        // summary (n_atoms, multiplicity, energies, ...) appears exactly
+        // once, in the postprocess record — this keeps the Q5 "sum of all
+        // n_atoms = 81" trap faithful to the paper.
+        let formula = parent.formula();
+        dag = dag.add(
+            "create_parent_structure",
+            "create_parent_structure",
+            obj! {"smiles" => smiles},
+            0.1,
+            &["get_lowest_energy"],
+            task_fn(move |_, _| {
+                Ok(obj! {"molecule_label" => "parent", "formula" => formula.as_str()})
+            }),
+        );
+    }
+
+    // Parent DFT chain.
+    let (extended, _parent_post) = add_dft_chain(
+        dag,
+        "parent",
+        "parent",
+        &parent,
+        &dft,
+        "create_parent_structure",
+        0.95,
+    );
+    dag = extended;
+
+    // Per-bond fragment chains + BDE computation.
+    let mut bde_nodes: Vec<(String, String)> = Vec::new(); // (node, bond label)
+    for (bond_idx, label) in &bonds {
+        let Some((f1, f2)) = parent.break_bond(*bond_idx) else {
+            continue;
+        };
+        let Some((de, dh, dg)) = dft.bde(&parent, *bond_idx) else {
+            continue;
+        };
+        let slug = label.replace('-', "").to_lowercase(); // e.g. ch_3
+        let break_name = format!("break_bond_{slug}");
+        {
+            let (l, b1, b2) = (label.clone(), f1.bracket_form(), f2.bracket_form());
+            dag = dag.add(
+                break_name.clone(),
+                "break_bond_generate_fragment",
+                obj! {"bond_id" => label.as_str(), "smiles" => smiles},
+                0.15,
+                &["create_parent_structure"],
+                task_fn(move |_, _| {
+                    Ok(obj! {"bond_id" => l.as_str(), "fragment1" => b1.as_str(), "fragment2" => b2.as_str()})
+                }),
+            );
+        }
+        let mut frag_posts: Vec<String> = Vec::new();
+        for (frag_no, frag) in [(1usize, &f1), (2usize, &f2)] {
+            let create_name = format!("create_fragment_{slug}_{frag_no}");
+            let display = format!("{label}:fragment{frag_no}");
+            {
+                let (d, formula) = (display.clone(), frag.formula());
+                dag = dag.add(
+                    create_name.clone(),
+                    "create_fragment_structure",
+                    obj! {"bond_id" => label.as_str(), "fragment" => frag_no},
+                    0.1,
+                    &[break_name.as_str()],
+                    task_fn(move |_, _| {
+                        Ok(obj! {"molecule_label" => d.as_str(), "formula" => formula.as_str()})
+                    }),
+                );
+            }
+            let (extended, post) = add_dft_chain(
+                dag,
+                &format!("{slug}_{frag_no}"),
+                &display,
+                frag,
+                &dft,
+                &create_name,
+                if frag_no == 1 { 0.9 } else { 0.85 },
+            );
+            dag = extended;
+            frag_posts.push(post);
+        }
+        let (f1_post, f2_post) = (frag_posts[0].clone(), frag_posts[1].clone());
+
+        let bde_name = format!("run_individual_bde_{slug}");
+        {
+            let used = obj! {
+                "e0" => parent_thermo.e0,
+                "frags" => obj! {
+                    "label" => label.as_str(),
+                    "fragment1" => f1.bracket_form(),
+                    "fragment2" => f2.bracket_form(),
+                },
+                "h0" => parent_thermo.h0,
+                "s0" => parent_thermo.s0,
+                "z0" => parent_thermo.z0,
+                "outdir" => "bde_calc",
+            };
+            let l = label.clone();
+            dag = dag.add(
+                bde_name.clone(),
+                "run_individual_bde",
+                used,
+                0.3,
+                &[
+                    "postprocess_parent",
+                    f1_post.as_str(),
+                    f2_post.as_str(),
+                ],
+                task_fn(move |_, _| {
+                    Ok(obj! {
+                        "bond_id" => l.as_str(),
+                        "bd_energy" => de,
+                        "bd_enthalpy" => dh,
+                        "bd_free_energy" => dg,
+                    })
+                }),
+            );
+        }
+        bde_nodes.push((bde_name, label.clone()));
+    }
+
+    let tasks = dag.len();
+    let ctx = CaptureContext::new(
+        hub,
+        "chemistry-campaign",
+        format!("bde-{smiles}"),
+        clock,
+        seed,
+    );
+    let run = dag.execute(&ctx).map_err(ChemError::Dag)?;
+
+    let records: Vec<BdeRecord> = bde_nodes
+        .iter()
+        .map(|(node, label)| {
+            let out = &run.outputs[node];
+            BdeRecord {
+                bond_id: label.clone(),
+                bd_energy: out.get("bd_energy").and_then(Value::as_f64).unwrap_or(0.0),
+                bd_enthalpy: out.get("bd_enthalpy").and_then(Value::as_f64).unwrap_or(0.0),
+                bd_free_energy: out
+                    .get("bd_free_energy")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+            }
+        })
+        .collect();
+
+    Ok(BdeRun {
+        smiles: smiles.to_string(),
+        parent,
+        records,
+        tasks,
+        run,
+    })
+}
+
+/// Append `create_input → run_dft → postprocess` for one species.
+/// Returns the extended DAG and the postprocess node name.
+fn add_dft_chain(
+    dag: WorkflowDag,
+    slug: &str,
+    display_label: &str,
+    mol: &Molecule,
+    dft: &SimulatedDft,
+    structure_node: &str,
+    intensity: f64,
+) -> (WorkflowDag, String) {
+    let input_name = format!("create_input_{slug}");
+    let dft_name = format!("run_dft_{slug}");
+    let post_name = format!("postprocess_{slug}");
+    let thermo = dft.thermochemistry(mol);
+    let label = slug.to_string();
+    let n_scf = 9 + (mol.atom_count() % 7) as i64;
+    let summary = mol_summary(display_label, mol, dft);
+    let dag = dag
+        .add(
+            input_name.clone(),
+            "create_input",
+            obj! {
+                "functional" => dft.functional.as_str(),
+                "basis" => dft.basis.as_str(),
+                "charge" => mol.charge as i64,
+                "multiplicity" => mol.multiplicity() as i64,
+            },
+            0.1,
+            &[structure_node],
+            task_fn(move |u, _| Ok(obj! {"input_file" => format!("bde_calc/{label}.inp"), "config" => u.clone()})),
+        )
+        .add(
+            dft_name.clone(),
+            "run_dft",
+            obj! {"functional" => dft.functional.as_str(), "basis" => dft.basis.as_str()},
+            intensity,
+            &[input_name.as_str()],
+            task_fn(move |_, _| {
+                Ok(obj! {
+                    "e0" => thermo.e0,
+                    "z0" => thermo.z0,
+                    "h0" => thermo.h0,
+                    "s0" => thermo.s0,
+                    "converged" => true,
+                    "n_scf_cycles" => n_scf,
+                })
+            }),
+        )
+        .add(
+            post_name.clone(),
+            "postprocess",
+            obj! {"outdir" => "bde_calc"},
+            0.2,
+            &[dft_name.as_str()],
+            task_fn(move |_, _| Ok(summary.clone())),
+        );
+    (dag, post_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::sim_clock;
+
+    fn run_ethanol() -> (BdeRun, Vec<prov_stream::Delivery>) {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let run = run_bde_workflow(&hub, sim_clock(), 7, "CCO", 2).unwrap();
+        let msgs = sub.drain();
+        (run, msgs)
+    }
+
+    #[test]
+    fn ethanol_produces_eight_bde_records() {
+        let (run, msgs) = run_ethanol();
+        assert_eq!(run.records.len(), 8);
+        assert_eq!(msgs.len(), run.tasks);
+        assert!(run.tasks > 60, "expected a realistic task count, got {}", run.tasks);
+    }
+
+    #[test]
+    fn q1_q3_ground_truths() {
+        let (run, _) = run_ethanol();
+        // Q1: highest dissociation free energy is the O-H bond.
+        assert!(run.highest_free_energy().unwrap().bond_id.starts_with("O-H"));
+        // Q3: lowest bond enthalpy is the C-C bond.
+        assert!(run.lowest_enthalpy().unwrap().bond_id.starts_with("C-C"));
+        // Q9: mean C-H enthalpy over the five C-H bonds.
+        let mean = run.mean_enthalpy_matching("C-H").unwrap();
+        assert!((96.0..103.0).contains(&mean));
+    }
+
+    #[test]
+    fn listing1_message_shape() {
+        let (_, msgs) = run_ethanol();
+        let bde_msg = msgs
+            .iter()
+            .find(|m| m.activity_id.as_str() == "run_individual_bde")
+            .expect("bde task present");
+        assert!(bde_msg.used.get("e0").is_some());
+        assert!(bde_msg.used.get_path("frags.label").is_some());
+        assert!(bde_msg.used.get_path("frags.fragment1").is_some());
+        assert_eq!(
+            bde_msg.used.get("outdir").and_then(Value::as_str),
+            Some("bde_calc")
+        );
+        assert!(bde_msg.generated.get("bond_id").is_some());
+        assert!(bde_msg.generated.get("bd_energy").is_some());
+        assert!(bde_msg.generated.get("bd_enthalpy").is_some());
+        assert!(bde_msg.generated.get("bd_free_energy").is_some());
+        assert!(bde_msg.hostname.contains("frontier"));
+    }
+
+    #[test]
+    fn q5_sum_of_all_molecule_atoms_is_81() {
+        // The paper's Q5: the agent summed n_atoms across parent + all
+        // fragments and got 81 instead of the parent's 9. Our provenance
+        // must reproduce that trap.
+        let (_, msgs) = run_ethanol();
+        let total: i64 = msgs
+            .iter()
+            .filter(|m| m.activity_id.as_str() == "postprocess")
+            .filter_map(|m| m.generated.get("n_atoms").and_then(Value::as_i64))
+            .sum();
+        assert_eq!(total, 81);
+        let parent_atoms: Vec<i64> = msgs
+            .iter()
+            .filter(|m| {
+                m.generated.get("molecule_label").and_then(Value::as_str) == Some("parent")
+            })
+            .filter_map(|m| m.generated.get("n_atoms").and_then(Value::as_i64))
+            .collect();
+        assert_eq!(parent_atoms, vec![9]);
+    }
+
+    #[test]
+    fn q2_functional_recorded_everywhere() {
+        let (_, msgs) = run_ethanol();
+        let dft_msgs: Vec<_> = msgs
+            .iter()
+            .filter(|m| m.activity_id.as_str() == "run_dft")
+            .collect();
+        assert_eq!(dft_msgs.len(), 17); // parent + 16 fragments
+        assert!(dft_msgs.iter().all(|m| {
+            m.used.get("functional").and_then(Value::as_str) == Some("B3LYP")
+        }));
+    }
+
+    #[test]
+    fn q6_q10_multiplicity_and_charge() {
+        let (_, msgs) = run_ethanol();
+        let parent = msgs
+            .iter()
+            .find(|m| {
+                m.activity_id.as_str() == "postprocess"
+                    && m.generated.get("molecule_label").and_then(Value::as_str) == Some("parent")
+            })
+            .unwrap();
+        assert_eq!(
+            parent.generated.get("multiplicity").and_then(Value::as_i64),
+            Some(1)
+        );
+        assert_eq!(parent.generated.get("charge").and_then(Value::as_i64), Some(0));
+        // All fragments are neutral doublets.
+        let frag = msgs
+            .iter()
+            .find(|m| {
+                m.activity_id.as_str() == "postprocess"
+                    && m.generated
+                        .get("molecule_label")
+                        .and_then(Value::as_str)
+                        .is_some_and(|l| l.contains("fragment"))
+            })
+            .unwrap();
+        assert_eq!(
+            frag.generated.get("multiplicity").and_then(Value::as_i64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, _) = run_ethanol();
+        let (b, _) = run_ethanol();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn other_molecules_work() {
+        let hub = StreamingHub::in_memory();
+        // Methanol: CO → CH3OH, 6 atoms, bonds: 3 C-H + 1 C-O + 1 O-H.
+        let run = run_bde_workflow(&hub, sim_clock(), 3, "CO", 1).unwrap();
+        assert_eq!(run.parent.atom_count(), 6);
+        assert_eq!(run.records.len(), 5);
+        assert!(run_bde_workflow(&hub, sim_clock(), 3, "not a smiles", 1).is_err());
+    }
+}

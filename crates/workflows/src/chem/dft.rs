@@ -1,0 +1,351 @@
+//! Simulated density functional theory.
+//!
+//! The paper's chemistry workflow runs real DFT on Frontier; the agent,
+//! however, only ever sees the *provenance* of those calculations. This
+//! module produces thermodynamically plausible, deterministic energetics —
+//! calibrated against published bond dissociation enthalpies (St. John et
+//! al. 2020: C–H ≈ 98–101, C–C ≈ 87–90, O–H ≈ 105 kcal/mol) — so the
+//! emitted messages are chemically sensible without a quantum chemistry
+//! package. DESIGN.md documents this substitution.
+
+use super::smiles::{Element, Molecule};
+
+/// Hartree → kcal/mol.
+pub const HARTREE_TO_KCAL: f64 = 627.509;
+
+/// A simulated DFT engine with a fixed method/basis.
+#[derive(Debug, Clone)]
+pub struct SimulatedDft {
+    /// Exchange-correlation functional reported in provenance (Q2: B3LYP).
+    pub functional: String,
+    /// Basis set reported in provenance.
+    pub basis: String,
+    seed: u64,
+}
+
+/// Thermochemical summary for one species.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thermochemistry {
+    /// Electronic energy, Hartree.
+    pub e0: f64,
+    /// Zero-point vibrational energy, Hartree.
+    pub z0: f64,
+    /// Enthalpy correction (H − E_elec), Hartree.
+    pub h0: f64,
+    /// Entropy term (T·S at 298.15 K), Hartree.
+    pub s0: f64,
+}
+
+impl Thermochemistry {
+    /// Total enthalpy, Hartree.
+    pub fn enthalpy(&self) -> f64 {
+        self.e0 + self.h0
+    }
+
+    /// Gibbs free energy, Hartree.
+    pub fn free_energy(&self) -> f64 {
+        self.e0 + self.h0 - self.s0
+    }
+}
+
+/// Isolated-atom electronic energies (Hartree), roughly B3LYP-like.
+fn atom_energy(el: Element) -> f64 {
+    match el {
+        Element::C => -37.846,
+        Element::N => -54.584,
+        Element::O => -75.060,
+        Element::H => -0.500,
+    }
+}
+
+/// Mean bond stabilization by bond type, kcal/mol. These are what BDEs
+/// reduce to under the additive energy model, so they are set directly to
+/// literature-plausible dissociation energies. Pairs are normalized via
+/// `Element`'s declaration order (C < N < O < H).
+fn bond_stabilization_kcal(a: Element, b: Element, order: u8) -> f64 {
+    use Element::*;
+    let single = match (a.min(b), a.max(b)) {
+        (C, C) => 87.3,
+        (C, N) => 82.0,
+        (C, O) => 94.1,
+        (C, H) => 98.9,
+        (N, N) => 38.0,
+        (N, O) => 48.0,
+        (N, H) => 99.0,
+        (O, O) => 34.0,
+        (O, H) => 104.7,
+        (H, H) => 104.2,
+        // Unreachable with the four supported elements; kept total.
+        _ => 80.0,
+    };
+    if order >= 2 {
+        single * 1.9
+    } else {
+        single
+    }
+}
+
+fn splitmix(mut z: u64) -> f64 {
+    z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SimulatedDft {
+    /// B3LYP/6-31G(2df,p)-labelled engine (the method the paper's workflow
+    /// reports; Q2's expected answer).
+    pub fn b3lyp(seed: u64) -> Self {
+        Self {
+            functional: "B3LYP".to_string(),
+            basis: "6-31G(2df,p)".to_string(),
+            seed,
+        }
+    }
+
+    /// Per-bond jitter in kcal/mol (±0.6), keyed by bond endpoints so each
+    /// C–H bond of a molecule gets a slightly different strength.
+    fn bond_jitter(&self, bond_index: usize) -> f64 {
+        (splitmix(self.seed ^ (bond_index as u64).wrapping_mul(0x9E37)) - 0.5) * 1.2
+    }
+
+    /// Electronic energy of a molecule, Hartree. Additive over atoms and
+    /// bonds with deterministic per-bond jitter.
+    pub fn electronic_energy(&self, mol: &Molecule) -> f64 {
+        let atoms: f64 = mol.atoms.iter().map(|a| atom_energy(a.element)).sum();
+        let bonds: f64 = mol
+            .bonds
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let kcal = bond_stabilization_kcal(
+                    mol.atoms[b.a].element,
+                    mol.atoms[b.b].element,
+                    b.order,
+                ) + self.bond_jitter(i);
+                kcal / HARTREE_TO_KCAL
+            })
+            .sum();
+        atoms - bonds
+    }
+
+    /// Conformer energy: the optimized energy plus a strictly positive
+    /// conformational penalty keyed by `conformer_id` (conformer 0 is not
+    /// necessarily the lowest — the workflow has to search).
+    pub fn conformer_energy(&self, mol: &Molecule, conformer_id: u64) -> f64 {
+        let penalty_kcal = 0.3 + 4.7 * splitmix(self.seed ^ conformer_id.wrapping_mul(0x51_7cc1));
+        self.electronic_energy(mol) + penalty_kcal / HARTREE_TO_KCAL
+    }
+
+    /// Geometry minimization: relaxes a conformer most of the way toward
+    /// the additive optimum, deterministically.
+    pub fn minimize(&self, mol: &Molecule, conformer_energy: f64) -> f64 {
+        let floor = self.electronic_energy(mol);
+        floor + (conformer_energy - floor) * 0.12
+    }
+
+    /// Full thermochemistry of one species.
+    ///
+    /// The corrections are sized so that BDE differences come out with the
+    /// Listing-1 offsets: `ΔH ≈ ΔE + 1.6 kcal/mol`, `ΔG ≈ ΔE − 6.3
+    /// kcal/mol` for a homolytic split (one species → two).
+    pub fn thermochemistry(&self, mol: &Molecule) -> Thermochemistry {
+        let e0 = self.electronic_energy(mol);
+        let n = mol.atom_count() as f64;
+        let nbonds = mol.bonds.len() as f64;
+        // ZPE scales with vibrational modes ≈ bonds (reported, not part of
+        // the enthalpy correction below — the correction is calibrated as a
+        // whole against the Listing-1 offsets).
+        let z0 = 0.0095 * nbonds + 0.0004 * n;
+        // H − E: atom-proportional thermal term (cancels exactly in a
+        // homolytic split, since fragment atoms sum to the parent's) plus a
+        // per-molecule +1.6 kcal/mol that appears once more on the product
+        // side, giving ΔH ≈ ΔE + 1.6 as in Listing 1.
+        let h0 = 0.0012 * n + 1.6 / HARTREE_TO_KCAL;
+        // T·S: per-molecule translational entropy of 7.86 kcal/mol; one
+        // extra molecule on the product side gives ΔG ≈ ΔH − 7.86
+        // ≈ ΔE − 6.26, matching Listing 1 (98.65 / 100.23 / 92.39).
+        let s0 = 7.86 / HARTREE_TO_KCAL + 0.0021 * n;
+        Thermochemistry { e0, z0, h0, s0 }
+    }
+
+    /// Thermochemistry of the two fragments from breaking `bond_idx`,
+    /// *consistent with the parent's bond jitter*: each surviving bond
+    /// keeps the stabilization it had in the parent, so the energy balance
+    /// `E(f1) + E(f2) − E(parent)` reduces exactly to the broken bond's
+    /// stabilization (what an unrelaxed homolytic cleavage gives).
+    pub fn fragment_thermochemistry(
+        &self,
+        parent: &Molecule,
+        bond_idx: usize,
+    ) -> Option<(Thermochemistry, Thermochemistry, Molecule, Molecule)> {
+        let (f1, f2) = parent.break_bond(bond_idx)?;
+        // Partition the parent's bond stabilization between the fragments:
+        // a surviving parent bond belongs to whichever fragment holds its
+        // atoms. We recover the assignment by walking parent bonds and
+        // asking which fragment's atom multiset the endpoints fell into —
+        // equivalently, recompute per-fragment sums from the parent side.
+        let broken = parent.bonds[bond_idx];
+        // Atom partition: redo the component split to know membership.
+        let mut comp = vec![usize::MAX; parent.atoms.len()];
+        let mut stack = vec![broken.a];
+        comp[broken.a] = 0;
+        while let Some(x) = stack.pop() {
+            for (i, b) in parent.bonds.iter().enumerate() {
+                if i == bond_idx {
+                    continue;
+                }
+                for (p, q) in [(b.a, b.b), (b.b, b.a)] {
+                    if p == x && comp[q] == usize::MAX {
+                        comp[q] = 0;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        for c in comp.iter_mut() {
+            if *c == usize::MAX {
+                *c = 1;
+            }
+        }
+        let mut e = [0.0f64; 2];
+        for (i, a) in parent.atoms.iter().enumerate() {
+            e[comp[i]] += atom_energy(a.element);
+        }
+        for (i, b) in parent.bonds.iter().enumerate() {
+            if i == bond_idx {
+                continue;
+            }
+            let kcal = bond_stabilization_kcal(
+                parent.atoms[b.a].element,
+                parent.atoms[b.b].element,
+                b.order,
+            ) + self.bond_jitter(i);
+            e[comp[b.a]] -= kcal / HARTREE_TO_KCAL;
+        }
+        let (e1, e2) = if comp[broken.a] == 0 {
+            (e[0], e[1])
+        } else {
+            (e[1], e[0])
+        };
+        let make = |frag: &Molecule, e0: f64| {
+            let base = self.thermochemistry(frag);
+            Thermochemistry { e0, ..base }
+        };
+        let t1 = make(&f1, e1);
+        let t2 = make(&f2, e2);
+        Some((t1, t2, f1, f2))
+    }
+
+    /// Bond dissociation energetics for breaking `bond_idx` homolytically:
+    /// `(ΔE, ΔH, ΔG)` in kcal/mol.
+    pub fn bde(&self, mol: &Molecule, bond_idx: usize) -> Option<(f64, f64, f64)> {
+        let parent = self.thermochemistry(mol);
+        let (t1, t2, _, _) = self.fragment_thermochemistry(mol, bond_idx)?;
+        let de = (t1.e0 + t2.e0 - parent.e0) * HARTREE_TO_KCAL;
+        let dh = (t1.enthalpy() + t2.enthalpy() - parent.enthalpy()) * HARTREE_TO_KCAL;
+        let dg = (t1.free_energy() + t2.free_energy() - parent.free_energy()) * HARTREE_TO_KCAL;
+        Some((de, dh, dg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ethanol() -> Molecule {
+        Molecule::parse("CCO").unwrap()
+    }
+
+    #[test]
+    fn bde_magnitudes_match_literature_bands() {
+        let dft = SimulatedDft::b3lyp(7);
+        let m = ethanol();
+        for (idx, label) in m.bond_labels() {
+            let (de, dh, dg) = dft.bde(&m, idx).unwrap();
+            let band = match label.split('_').next().unwrap() {
+                "C-C" => 85.0..91.0,
+                "C-H" => 96.0..102.5,
+                "C-O" => 91.0..97.0,
+                "O-H" => 102.0..107.5,
+                other => panic!("unexpected bond type {other}"),
+            };
+            assert!(band.contains(&de), "{label}: ΔE={de} outside {band:?}");
+            // Listing-1 offsets: ΔH ≈ ΔE + 1.6, ΔG ≈ ΔE − 6.3.
+            assert!((dh - de - 1.6).abs() < 0.3, "{label}: ΔH−ΔE = {}", dh - de);
+            assert!((dg - de + 6.3).abs() < 0.5, "{label}: ΔG−ΔE = {}", dg - de);
+        }
+    }
+
+    #[test]
+    fn oh_is_strongest_cc_is_weakest() {
+        let dft = SimulatedDft::b3lyp(7);
+        let m = ethanol();
+        let mut by_label: Vec<(String, f64)> = m
+            .bond_labels()
+            .into_iter()
+            .map(|(idx, l)| (l, dft.bde(&m, idx).unwrap().2))
+            .collect();
+        by_label.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert!(by_label.first().unwrap().0.starts_with("C-C"));
+        assert!(by_label.last().unwrap().0.starts_with("O-H"));
+    }
+
+    #[test]
+    fn conformer_search_finds_lower_energy() {
+        let dft = SimulatedDft::b3lyp(3);
+        let m = ethanol();
+        let floor = dft.electronic_energy(&m);
+        for k in 0..5 {
+            let conf = dft.conformer_energy(&m, k);
+            assert!(conf > floor, "conformer energy must sit above optimum");
+            let minimized = dft.minimize(&m, conf);
+            assert!(minimized < conf);
+            assert!(minimized >= floor);
+        }
+    }
+
+    #[test]
+    fn energies_are_deterministic() {
+        let a = SimulatedDft::b3lyp(11);
+        let b = SimulatedDft::b3lyp(11);
+        let m = ethanol();
+        assert_eq!(a.electronic_energy(&m), b.electronic_energy(&m));
+        assert_ne!(
+            SimulatedDft::b3lyp(12).electronic_energy(&m),
+            a.electronic_energy(&m)
+        );
+    }
+
+    #[test]
+    fn ethanol_energy_scale_is_plausible() {
+        let dft = SimulatedDft::b3lyp(7);
+        let e = dft.electronic_energy(&ethanol());
+        // Real B3LYP ethanol ≈ −155.03 Ha; additive model lands nearby.
+        assert!((-156.5..-153.5).contains(&e), "e0={e}");
+    }
+
+    #[test]
+    fn hydrogen_atom_has_no_correction_terms_blowup() {
+        let dft = SimulatedDft::b3lyp(7);
+        let h = Molecule::parse("[H]").unwrap();
+        let t = dft.thermochemistry(&h);
+        assert!((t.e0 - -0.5).abs() < 1e-9);
+        assert!(t.z0.abs() < 0.01);
+    }
+
+    #[test]
+    fn listing1_style_offsets_exact() {
+        let dft = SimulatedDft::b3lyp(7);
+        let m = ethanol();
+        let (idx, _) = m
+            .bond_labels()
+            .into_iter()
+            .find(|(_, l)| l == "C-H_3")
+            .unwrap();
+        let (de, dh, dg) = dft.bde(&m, idx).unwrap();
+        assert!((dh - de - 1.6).abs() < 1e-6);
+        assert!((dg - de + 6.26).abs() < 1e-6);
+    }
+}

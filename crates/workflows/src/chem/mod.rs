@@ -1,0 +1,9 @@
+//! Computational chemistry substrate and the BDE workflow (Fig 5B).
+
+pub mod bde;
+pub mod dft;
+pub mod smiles;
+
+pub use bde::{run_bde_workflow, BdeRecord, BdeRun, ChemError};
+pub use dft::{SimulatedDft, Thermochemistry, HARTREE_TO_KCAL};
+pub use smiles::{Atom, Bond, Element, Molecule, SmilesError};

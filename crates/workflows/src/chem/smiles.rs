@@ -1,0 +1,534 @@
+//! SMILES-lite parsing and molecular graphs.
+//!
+//! Supports the linear organic subset needed for BDE studies of small
+//! molecules (paper §5.3 uses ethanol, `CCO`): atoms C/N/O plus bracket
+//! atoms, branches, and single/double bonds. Implicit hydrogens are added
+//! by standard valence. This is deliberately not a full SMILES
+//! implementation — it is the substrate the provenance workflow needs.
+
+/// Chemical elements supported by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Carbon (valence 4).
+    C,
+    /// Nitrogen (valence 3).
+    N,
+    /// Oxygen (valence 2).
+    O,
+    /// Hydrogen (valence 1).
+    H,
+}
+
+impl Element {
+    /// Standard valence used for implicit-hydrogen completion.
+    pub fn valence(self) -> u8 {
+        match self {
+            Element::C => 4,
+            Element::N => 3,
+            Element::O => 2,
+            Element::H => 1,
+        }
+    }
+
+    /// Atomic symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::H => "H",
+        }
+    }
+
+    /// Standard atomic weight (g/mol).
+    pub fn weight(self) -> f64 {
+        match self {
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::H => 1.008,
+        }
+    }
+
+    /// Valence electrons contributed (for multiplicity estimation).
+    pub fn valence_electrons(self) -> u32 {
+        match self {
+            Element::C => 4,
+            Element::N => 5,
+            Element::O => 6,
+            Element::H => 1,
+        }
+    }
+}
+
+/// One atom of a molecule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Atom {
+    /// Element.
+    pub element: Element,
+}
+
+/// One bond between two atom indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bond {
+    /// First atom index.
+    pub a: usize,
+    /// Second atom index.
+    pub b: usize,
+    /// Bond order (1 or 2).
+    pub order: u8,
+}
+
+/// A molecular graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    /// Atoms (heavy atoms first, then implicit hydrogens).
+    pub atoms: Vec<Atom>,
+    /// Bonds.
+    pub bonds: Vec<Bond>,
+    /// Net charge (0 for the neutral parents used here).
+    pub charge: i32,
+}
+
+/// SMILES parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmilesError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SmilesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SMILES error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SmilesError {}
+
+impl Molecule {
+    /// Parse a SMILES-lite string and complete implicit hydrogens.
+    pub fn parse(smiles: &str) -> Result<Molecule, SmilesError> {
+        let mut atoms: Vec<Atom> = Vec::new();
+        let mut bonds: Vec<Bond> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut prev: Option<usize> = None;
+        let mut next_order: u8 = 1;
+        let bytes = smiles.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => {
+                    let p = prev.ok_or(SmilesError {
+                        offset: i,
+                        message: "branch before any atom".into(),
+                    })?;
+                    stack.push(p);
+                    i += 1;
+                }
+                b')' => {
+                    prev = Some(stack.pop().ok_or(SmilesError {
+                        offset: i,
+                        message: "unmatched ')'".into(),
+                    })?);
+                    i += 1;
+                }
+                b'=' => {
+                    next_order = 2;
+                    i += 1;
+                }
+                b'-' => {
+                    next_order = 1;
+                    i += 1;
+                }
+                b'[' => {
+                    let close = smiles[i..].find(']').ok_or(SmilesError {
+                        offset: i,
+                        message: "unterminated bracket atom".into(),
+                    })? + i;
+                    let inner = &smiles[i + 1..close];
+                    let element = parse_element(inner.trim_matches(|c: char| !c.is_alphabetic()))
+                        .ok_or(SmilesError {
+                            offset: i,
+                            message: format!("unknown bracket atom '{inner}'"),
+                        })?;
+                    let idx = atoms.len();
+                    atoms.push(Atom { element });
+                    if let Some(p) = prev {
+                        bonds.push(Bond {
+                            a: p,
+                            b: idx,
+                            order: next_order,
+                        });
+                    }
+                    next_order = 1;
+                    prev = Some(idx);
+                    i = close + 1;
+                }
+                c if c.is_ascii_alphabetic() => {
+                    let element = parse_element(&smiles[i..i + 1]).ok_or(SmilesError {
+                        offset: i,
+                        message: format!("unknown atom '{}'", c as char),
+                    })?;
+                    let idx = atoms.len();
+                    atoms.push(Atom { element });
+                    if let Some(p) = prev {
+                        bonds.push(Bond {
+                            a: p,
+                            b: idx,
+                            order: next_order,
+                        });
+                    }
+                    next_order = 1;
+                    prev = Some(idx);
+                    i += 1;
+                }
+                c if c.is_ascii_whitespace() => i += 1,
+                c => {
+                    return Err(SmilesError {
+                        offset: i,
+                        message: format!("unsupported SMILES character '{}'", c as char),
+                    })
+                }
+            }
+        }
+        if !stack.is_empty() {
+            return Err(SmilesError {
+                offset: bytes.len(),
+                message: "unmatched '('".into(),
+            });
+        }
+        if atoms.is_empty() {
+            return Err(SmilesError {
+                offset: 0,
+                message: "empty SMILES".into(),
+            });
+        }
+        let mut mol = Molecule {
+            atoms,
+            bonds,
+            charge: 0,
+        };
+        mol.add_implicit_hydrogens();
+        Ok(mol)
+    }
+
+    fn bond_order_sum(&self, atom: usize) -> u8 {
+        self.bonds
+            .iter()
+            .filter(|b| b.a == atom || b.b == atom)
+            .map(|b| b.order)
+            .sum()
+    }
+
+    fn add_implicit_hydrogens(&mut self) {
+        let heavy = self.atoms.len();
+        for a in 0..heavy {
+            let el = self.atoms[a].element;
+            if el == Element::H {
+                continue;
+            }
+            let missing = el.valence().saturating_sub(self.bond_order_sum(a));
+            for _ in 0..missing {
+                let h = self.atoms.len();
+                self.atoms.push(Atom {
+                    element: Element::H,
+                });
+                self.bonds.push(Bond { a, b: h, order: 1 });
+            }
+        }
+    }
+
+    /// Total atom count including hydrogens.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Heavy (non-hydrogen) atom count.
+    pub fn heavy_atom_count(&self) -> usize {
+        self.atoms
+            .iter()
+            .filter(|a| a.element != Element::H)
+            .count()
+    }
+
+    /// Hill-order molecular formula, e.g. `C2H6O`.
+    pub fn formula(&self) -> String {
+        let count = |el: Element| self.atoms.iter().filter(|a| a.element == el).count();
+        let mut out = String::new();
+        for el in [Element::C, Element::H, Element::N, Element::O] {
+            let n = count(el);
+            if n > 0 {
+                out.push_str(el.symbol());
+                if n > 1 {
+                    out.push_str(&n.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Molecular weight in g/mol.
+    pub fn weight(&self) -> f64 {
+        self.atoms.iter().map(|a| a.element.weight()).sum()
+    }
+
+    /// Spin multiplicity estimated from electron parity: closed-shell
+    /// molecules are singlets (1), odd-electron radicals doublets (2).
+    pub fn multiplicity(&self) -> u32 {
+        let electrons: u32 = self
+            .atoms
+            .iter()
+            .map(|a| a.element.valence_electrons())
+            .sum::<u32>()
+            .wrapping_add_signed(-self.charge);
+        if electrons % 2 == 0 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Labels for every breakable (single-order) bond, grouped by bond type
+    /// with one-based indices: `C-C_1`, `C-H_1` … `C-H_5`, `O-H_1`.
+    pub fn bond_labels(&self) -> Vec<(usize, String)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        let mut out = Vec::new();
+        for (i, bond) in self.bonds.iter().enumerate() {
+            if bond.order != 1 {
+                continue;
+            }
+            let (x, y) = (
+                self.atoms[bond.a].element,
+                self.atoms[bond.b].element,
+            );
+            let (first, second) = if x <= y { (x, y) } else { (y, x) };
+            let ty = format!("{}-{}", first.symbol(), second.symbol());
+            let n = counts.entry(ty.clone()).or_insert(0);
+            *n += 1;
+            out.push((i, format!("{ty}_{n}")));
+        }
+        out
+    }
+
+    /// Homolytically break bond `bond_idx`, returning the two fragments
+    /// (connected components of the remaining graph). Each fragment is an
+    /// open-shell radical (no hydrogen capping).
+    pub fn break_bond(&self, bond_idx: usize) -> Option<(Molecule, Molecule)> {
+        let bond = *self.bonds.get(bond_idx)?;
+        // Union-find over atoms, skipping the broken bond.
+        let mut parent: Vec<usize> = (0..self.atoms.len()).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for (i, b) in self.bonds.iter().enumerate() {
+            if i == bond_idx {
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent, b.a), find(&mut parent, b.b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let root_a = find(&mut parent, bond.a);
+        let root_b = find(&mut parent, bond.b);
+        if root_a == root_b {
+            return None; // ring bond: breaking it does not split the graph
+        }
+        let extract = |root: usize, parent: &mut Vec<usize>| -> Molecule {
+            let members: Vec<usize> = (0..self.atoms.len())
+                .filter(|&i| find(parent, i) == root)
+                .collect();
+            let remap: std::collections::HashMap<usize, usize> = members
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
+            Molecule {
+                atoms: members.iter().map(|&i| self.atoms[i]).collect(),
+                bonds: self
+                    .bonds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, b)| {
+                        i != bond_idx && remap.contains_key(&b.a) && remap.contains_key(&b.b)
+                    })
+                    .map(|(_, b)| Bond {
+                        a: remap[&b.a],
+                        b: remap[&b.b],
+                        order: b.order,
+                    })
+                    .collect(),
+                charge: 0,
+            }
+        };
+        let f1 = extract(root_a, &mut parent);
+        let f2 = extract(root_b, &mut parent);
+        Some((f1, f2))
+    }
+
+    /// Deterministic bracket rendering used as the `fragment1`/`fragment2`
+    /// strings in provenance messages (Listing-1 style, e.g. `[H]` or
+    /// `[H]OC([H])([H])[C]([H])[H]`-like shapes).
+    pub fn bracket_form(&self) -> String {
+        if self.atoms.is_empty() {
+            return String::new();
+        }
+        let mut visited = vec![false; self.atoms.len()];
+        let mut out = String::new();
+        self.render_atom(0, &mut visited, &mut out);
+        out
+    }
+
+    fn render_atom(&self, atom: usize, visited: &mut Vec<bool>, out: &mut String) {
+        visited[atom] = true;
+        out.push('[');
+        out.push_str(self.atoms[atom].element.symbol());
+        out.push(']');
+        let neighbors: Vec<usize> = self
+            .bonds
+            .iter()
+            .filter_map(|b| {
+                if b.a == atom && !visited[b.b] {
+                    Some(b.b)
+                } else if b.b == atom && !visited[b.a] {
+                    Some(b.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (i, n) in neighbors.iter().enumerate() {
+            if visited[*n] {
+                continue;
+            }
+            if i + 1 < neighbors.len() {
+                out.push('(');
+                self.render_atom(*n, visited, out);
+                out.push(')');
+            } else {
+                self.render_atom(*n, visited, out);
+            }
+        }
+    }
+}
+
+fn parse_element(s: &str) -> Option<Element> {
+    match s {
+        "C" => Some(Element::C),
+        "N" => Some(Element::N),
+        "O" => Some(Element::O),
+        "H" => Some(Element::H),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethanol_structure() {
+        let m = Molecule::parse("CCO").unwrap();
+        assert_eq!(m.atom_count(), 9); // C2H6O: the paper's Q5 ground truth
+        assert_eq!(m.heavy_atom_count(), 3);
+        assert_eq!(m.formula(), "C2H6O");
+        assert!((m.weight() - 46.069).abs() < 0.01);
+        assert_eq!(m.multiplicity(), 1); // singlet
+        assert_eq!(m.charge, 0); // neutral
+    }
+
+    #[test]
+    fn ethanol_bond_census() {
+        let m = Molecule::parse("CCO").unwrap();
+        let labels = m.bond_labels();
+        assert_eq!(labels.len(), 8);
+        let names: Vec<&str> = labels.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(names.contains(&"C-C_1"));
+        assert!(names.contains(&"C-O_1"));
+        assert!(names.contains(&"O-H_1"));
+        assert_eq!(names.iter().filter(|l| l.starts_with("C-H")).count(), 5);
+    }
+
+    #[test]
+    fn breaking_ch_gives_radical_pair() {
+        let m = Molecule::parse("CCO").unwrap();
+        let (idx, _) = m
+            .bond_labels()
+            .into_iter()
+            .find(|(_, l)| l == "C-H_1")
+            .unwrap();
+        let (f1, f2) = m.break_bond(idx).unwrap();
+        let (big, small) = if f1.atom_count() > f2.atom_count() {
+            (f1, f2)
+        } else {
+            (f2, f1)
+        };
+        assert_eq!(big.atom_count(), 8); // C2H5O radical
+        assert_eq!(small.atom_count(), 1); // H atom
+        assert_eq!(big.multiplicity(), 2); // doublets after homolysis
+        assert_eq!(small.multiplicity(), 2);
+        assert_eq!(small.bracket_form(), "[H]");
+    }
+
+    #[test]
+    fn breaking_cc_partitions_atoms() {
+        let m = Molecule::parse("CCO").unwrap();
+        let (idx, _) = m
+            .bond_labels()
+            .into_iter()
+            .find(|(_, l)| l == "C-C_1")
+            .unwrap();
+        let (f1, f2) = m.break_bond(idx).unwrap();
+        assert_eq!(f1.atom_count() + f2.atom_count(), 9);
+        let counts: Vec<usize> = {
+            let mut v = vec![f1.atom_count(), f2.atom_count()];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(counts, vec![4, 5]); // CH3 (4 atoms) + CH2OH (5 atoms)
+    }
+
+    #[test]
+    fn branches_and_brackets() {
+        // Isopropanol CC(O)C → C3H8O, 12 atoms.
+        let m = Molecule::parse("CC(O)C").unwrap();
+        assert_eq!(m.formula(), "C3H8O");
+        assert_eq!(m.atom_count(), 12);
+        // Bracket hydrogen parses directly.
+        let h = Molecule::parse("[H]").unwrap();
+        assert_eq!(h.atom_count(), 1);
+        assert_eq!(h.multiplicity(), 2);
+    }
+
+    #[test]
+    fn double_bond_consumes_valence() {
+        // Formaldehyde C=O → CH2O, 4 atoms.
+        let m = Molecule::parse("C=O").unwrap();
+        assert_eq!(m.formula(), "CH2O");
+        assert_eq!(m.atom_count(), 4);
+        // The C=O double bond is not in the breakable single-bond census.
+        assert_eq!(m.bond_labels().len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Molecule::parse("").is_err());
+        assert!(Molecule::parse("C(C").is_err());
+        assert!(Molecule::parse("C)").is_err());
+        assert!(Molecule::parse("X").is_err());
+        assert!(Molecule::parse("[Xx]").is_err());
+    }
+
+    #[test]
+    fn bracket_form_is_deterministic() {
+        let m = Molecule::parse("CCO").unwrap();
+        assert_eq!(m.bracket_form(), m.bracket_form());
+        assert!(m.bracket_form().starts_with("[C]"));
+    }
+}

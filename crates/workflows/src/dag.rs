@@ -1,0 +1,493 @@
+//! Workflow DAG definition and execution.
+//!
+//! Workflows are DAGs of named tasks; each task consumes the `generated`
+//! values of its dependencies and produces a new `generated` value. Two
+//! executors are provided: a deterministic sequential one (used by the
+//! evaluation harness so task ordinals and telemetry are reproducible) and
+//! a parallel one (crossbeam scoped threads over a ready-queue) exercising
+//! the HPC path.
+
+use prov_capture::CaptureContext;
+use prov_model::{TaskId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The callable body of one task: dependency outputs (keyed by node name)
+/// plus this node's declared inputs → generated value.
+pub type TaskFn =
+    Arc<dyn Fn(&Value, &HashMap<String, Value>) -> Result<Value, String> + Send + Sync>;
+
+/// One node of the workflow DAG.
+#[derive(Clone)]
+pub struct TaskNode {
+    /// Unique node name within the DAG.
+    pub name: String,
+    /// Activity id recorded in provenance (several nodes may share one).
+    pub activity: String,
+    /// Declared inputs, recorded as `used`.
+    pub used: Value,
+    /// Telemetry intensity hint in `[0,1]`.
+    pub intensity: f64,
+    /// Names of upstream nodes.
+    pub deps: Vec<String>,
+    /// Task body.
+    pub run: TaskFn,
+}
+
+/// A workflow DAG under construction.
+#[derive(Default, Clone)]
+pub struct WorkflowDag {
+    nodes: Vec<TaskNode>,
+}
+
+/// Errors raised by DAG validation/execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Two nodes share a name.
+    DuplicateName(String),
+    /// A dependency references a missing node.
+    UnknownDependency {
+        /// Node declaring the dependency.
+        node: String,
+        /// The missing dependency name.
+        dep: String,
+    },
+    /// The graph contains a cycle.
+    Cycle,
+    /// A task body failed.
+    TaskFailed {
+        /// Failing node name.
+        node: String,
+        /// Error message.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::DuplicateName(n) => write!(f, "duplicate node name '{n}'"),
+            DagError::UnknownDependency { node, dep } => {
+                write!(f, "node '{node}' depends on unknown node '{dep}'")
+            }
+            DagError::Cycle => write!(f, "workflow graph contains a cycle"),
+            DagError::TaskFailed { node, error } => write!(f, "task '{node}' failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Result of executing a DAG: per-node generated values and task ids.
+#[derive(Debug, Clone, Default)]
+pub struct DagRun {
+    /// Node name → generated value.
+    pub outputs: HashMap<String, Value>,
+    /// Node name → provenance task id.
+    pub task_ids: HashMap<String, TaskId>,
+}
+
+impl WorkflowDag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node (builder style).
+    pub fn add(
+        mut self,
+        name: impl Into<String>,
+        activity: impl Into<String>,
+        used: Value,
+        intensity: f64,
+        deps: &[&str],
+        run: TaskFn,
+    ) -> Self {
+        self.nodes.push(TaskNode {
+            name: name.into(),
+            activity: activity.into(),
+            used,
+            intensity,
+            deps: deps.iter().map(|s| s.to_string()).collect(),
+            run,
+        });
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes in insertion order (read-only view; used e.g. to derive a
+    /// prospective plan from the planned structure).
+    pub fn nodes(&self) -> &[TaskNode] {
+        &self.nodes
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validate names/deps and compute a topological order.
+    pub fn topo_order(&self) -> Result<Vec<usize>, DagError> {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if index.insert(n.name.as_str(), i).is_some() {
+                return Err(DagError::DuplicateName(n.name.clone()));
+            }
+        }
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for d in &n.deps {
+                let &j = index.get(d.as_str()).ok_or_else(|| DagError::UnknownDependency {
+                    node: n.name.clone(),
+                    dep: d.clone(),
+                })?;
+                indegree[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        // Stable order: process ready nodes in insertion order.
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut queue = std::collections::VecDeque::from(ready);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &k in &dependents[i] {
+                indegree[k] -= 1;
+                if indegree[k] == 0 {
+                    queue.push_back(k);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(DagError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Execute sequentially in deterministic topological order.
+    pub fn execute(&self, ctx: &CaptureContext) -> Result<DagRun, DagError> {
+        let order = self.topo_order()?;
+        let mut run = DagRun::default();
+        for i in order {
+            let node = &self.nodes[i];
+            let dep_outputs: HashMap<String, Value> = node
+                .deps
+                .iter()
+                .map(|d| (d.clone(), run.outputs.get(d).cloned().unwrap_or(Value::Null)))
+                .collect();
+            let dep_ids: Vec<TaskId> = node
+                .deps
+                .iter()
+                .filter_map(|d| run.task_ids.get(d).cloned())
+                .collect();
+            let body = node.run.clone();
+            let deps = dep_outputs.clone();
+            let captured = ctx.instrument(
+                node.activity.as_str(),
+                node.used.clone(),
+                node.intensity,
+                &dep_ids,
+                move |used| body(used, &deps),
+            );
+            if captured.message.status == prov_model::TaskStatus::Error {
+                let err = captured
+                    .message
+                    .generated
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                return Err(DagError::TaskFailed {
+                    node: node.name.clone(),
+                    error: err,
+                });
+            }
+            run.outputs
+                .insert(node.name.clone(), captured.message.generated.clone());
+            run.task_ids.insert(node.name.clone(), captured.task_id);
+        }
+        ctx.flush();
+        Ok(run)
+    }
+
+    /// Execute with `threads` workers: tasks run as soon as their
+    /// dependencies complete (wave-front parallelism).
+    pub fn execute_parallel(
+        &self,
+        ctx: &CaptureContext,
+        threads: usize,
+    ) -> Result<DagRun, DagError> {
+        let order = self.topo_order()?; // validation only
+        let _ = order;
+        let n = self.nodes.len();
+        let index: HashMap<&str, usize> =
+            self.nodes.iter().enumerate().map(|(i, nd)| (nd.name.as_str(), i)).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree: Vec<usize> = vec![0; n];
+        for (i, nd) in self.nodes.iter().enumerate() {
+            for d in &nd.deps {
+                let j = index[d.as_str()];
+                dependents[j].push(i);
+                indegree[i] += 1;
+            }
+        }
+
+        use parking_lot::Mutex;
+        struct Shared {
+            outputs: Mutex<HashMap<String, Value>>,
+            task_ids: Mutex<HashMap<String, TaskId>>,
+            indegree: Mutex<Vec<usize>>,
+            error: Mutex<Option<DagError>>,
+        }
+        let shared = Shared {
+            outputs: Mutex::new(HashMap::with_capacity(n)),
+            task_ids: Mutex::new(HashMap::with_capacity(n)),
+            indegree: Mutex::new(indegree),
+            error: Mutex::new(None),
+        };
+        let (tx, rx) = crossbeam::channel::unbounded::<Option<usize>>();
+        let mut initial = 0;
+        {
+            let indeg = shared.indegree.lock();
+            for (i, &d) in indeg.iter().enumerate() {
+                if d == 0 {
+                    tx.send(Some(i)).expect("queue open");
+                    initial += 1;
+                }
+            }
+        }
+        if initial == 0 && n > 0 {
+            return Err(DagError::Cycle);
+        }
+        let remaining = std::sync::atomic::AtomicUsize::new(n);
+
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.max(1) {
+                let rx = rx.clone();
+                let tx = tx.clone();
+                let shared = &shared;
+                let nodes = &self.nodes;
+                let dependents = &dependents;
+                let remaining = &remaining;
+                s.spawn(move |_| {
+                    while let Ok(Some(i)) = rx.recv() {
+                        let node = &nodes[i];
+                        let dep_outputs: HashMap<String, Value> = {
+                            let outs = shared.outputs.lock();
+                            node.deps
+                                .iter()
+                                .map(|d| (d.clone(), outs.get(d).cloned().unwrap_or(Value::Null)))
+                                .collect()
+                        };
+                        let dep_ids: Vec<TaskId> = {
+                            let ids = shared.task_ids.lock();
+                            node.deps.iter().filter_map(|d| ids.get(d).cloned()).collect()
+                        };
+                        let body = node.run.clone();
+                        let deps = dep_outputs.clone();
+                        let captured = ctx.instrument(
+                            node.activity.as_str(),
+                            node.used.clone(),
+                            node.intensity,
+                            &dep_ids,
+                            move |used| body(used, &deps),
+                        );
+                        if captured.message.status == prov_model::TaskStatus::Error {
+                            let err = captured
+                                .message
+                                .generated
+                                .get("error")
+                                .and_then(Value::as_str)
+                                .unwrap_or("unknown")
+                                .to_string();
+                            *shared.error.lock() = Some(DagError::TaskFailed {
+                                node: node.name.clone(),
+                                error: err,
+                            });
+                            // Drain: wake all workers to exit.
+                            for _ in 0..threads {
+                                let _ = tx.send(None);
+                            }
+                            return;
+                        }
+                        shared
+                            .outputs
+                            .lock()
+                            .insert(node.name.clone(), captured.message.generated.clone());
+                        shared.task_ids.lock().insert(node.name.clone(), captured.task_id);
+                        for &k in &dependents[i] {
+                            let mut indeg = shared.indegree.lock();
+                            indeg[k] -= 1;
+                            if indeg[k] == 0 {
+                                let _ = tx.send(Some(k));
+                            }
+                        }
+                        if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                            for _ in 0..threads {
+                                let _ = tx.send(None);
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("dag worker panicked");
+
+        if let Some(e) = shared.error.into_inner() {
+            return Err(e);
+        }
+        ctx.flush();
+        Ok(DagRun {
+            outputs: shared.outputs.into_inner(),
+            task_ids: shared.task_ids.into_inner(),
+        })
+    }
+}
+
+/// Convenience: wrap a pure function of the dependency map as a [`TaskFn`].
+pub fn task_fn(
+    f: impl Fn(&Value, &HashMap<String, Value>) -> Result<Value, String> + Send + Sync + 'static,
+) -> TaskFn {
+    Arc::new(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{obj, sim_clock};
+    use prov_stream::StreamingHub;
+
+    fn ctx(hub: &StreamingHub) -> CaptureContext {
+        CaptureContext::new(hub, "camp", "wf", sim_clock(), 7)
+    }
+
+    fn diamond() -> WorkflowDag {
+        WorkflowDag::new()
+            .add("a", "start", obj! {"x" => 2.0}, 0.1, &[], task_fn(|used, _| {
+                Ok(obj! {"v" => used.get("x").unwrap().as_f64().unwrap()})
+            }))
+            .add("b", "double", obj! {}, 0.1, &["a"], task_fn(|_, deps| {
+                let v = deps["a"].get("v").unwrap().as_f64().unwrap();
+                Ok(obj! {"v" => v * 2.0})
+            }))
+            .add("c", "triple", obj! {}, 0.1, &["a"], task_fn(|_, deps| {
+                let v = deps["a"].get("v").unwrap().as_f64().unwrap();
+                Ok(obj! {"v" => v * 3.0})
+            }))
+            .add("d", "sum", obj! {}, 0.1, &["b", "c"], task_fn(|_, deps| {
+                let b = deps["b"].get("v").unwrap().as_f64().unwrap();
+                let c = deps["c"].get("v").unwrap().as_f64().unwrap();
+                Ok(obj! {"v" => b + c})
+            }))
+    }
+
+    #[test]
+    fn sequential_execution_propagates_values() {
+        let hub = StreamingHub::in_memory();
+        let run = diamond().execute(&ctx(&hub)).unwrap();
+        assert_eq!(run.outputs["d"].get("v").unwrap().as_f64(), Some(10.0));
+        assert_eq!(run.task_ids.len(), 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let hub = StreamingHub::in_memory();
+        let seq = diamond().execute(&ctx(&hub)).unwrap();
+        let hub2 = StreamingHub::in_memory();
+        let par = diamond().execute_parallel(&ctx(&hub2), 4).unwrap();
+        assert_eq!(
+            seq.outputs["d"].get("v").unwrap().as_f64(),
+            par.outputs["d"].get("v").unwrap().as_f64()
+        );
+    }
+
+    #[test]
+    fn provenance_messages_carry_lineage() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let run = diamond().execute(&ctx(&hub)).unwrap();
+        let msgs = sub.drain();
+        assert_eq!(msgs.len(), 4);
+        let d_msg = msgs
+            .iter()
+            .find(|m| m.task_id == run.task_ids["d"])
+            .unwrap();
+        assert_eq!(d_msg.depends_on.len(), 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let dag = WorkflowDag::new()
+            .add("a", "a", obj! {}, 0.0, &["b"], task_fn(|_, _| Ok(obj! {})))
+            .add("b", "b", obj! {}, 0.0, &["a"], task_fn(|_, _| Ok(obj! {})));
+        assert_eq!(dag.topo_order(), Err(DagError::Cycle));
+    }
+
+    #[test]
+    fn unknown_dep_detected() {
+        let dag =
+            WorkflowDag::new().add("a", "a", obj! {}, 0.0, &["ghost"], task_fn(|_, _| Ok(obj! {})));
+        assert!(matches!(
+            dag.topo_order(),
+            Err(DagError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_name_detected() {
+        let dag = WorkflowDag::new()
+            .add("a", "a", obj! {}, 0.0, &[], task_fn(|_, _| Ok(obj! {})))
+            .add("a", "a2", obj! {}, 0.0, &[], task_fn(|_, _| Ok(obj! {})));
+        assert!(matches!(dag.topo_order(), Err(DagError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn task_failure_reported() {
+        let hub = StreamingHub::in_memory();
+        let dag = WorkflowDag::new().add(
+            "explode",
+            "explode",
+            obj! {},
+            0.0,
+            &[],
+            task_fn(|_, _| Err("boom".into())),
+        );
+        let err = dag.execute(&ctx(&hub)).unwrap_err();
+        assert!(matches!(err, DagError::TaskFailed { .. }));
+    }
+
+    #[test]
+    fn wide_fanout_parallel_completes() {
+        let hub = StreamingHub::in_memory();
+        let mut dag = WorkflowDag::new().add(
+            "src",
+            "src",
+            obj! {"x" => 1.0},
+            0.1,
+            &[],
+            task_fn(|u, _| Ok(u.clone())),
+        );
+        for i in 0..64 {
+            dag = dag.add(
+                format!("w{i}"),
+                "worker",
+                obj! {},
+                0.1,
+                &["src"],
+                task_fn(move |_, deps| {
+                    let x = deps["src"].get("x").unwrap().as_f64().unwrap();
+                    Ok(obj! {"y" => x + i as f64})
+                }),
+            );
+        }
+        let run = dag.execute_parallel(&ctx(&hub), 8).unwrap();
+        assert_eq!(run.outputs.len(), 65);
+    }
+}

@@ -1,0 +1,32 @@
+//! # workflows
+//!
+//! The paper's two evaluation use cases (§5.1) plus the DAG substrate they
+//! run on:
+//!
+//! * [`dag`] — workflow DAGs with deterministic sequential execution and a
+//!   wave-front parallel executor (crossbeam scoped threads);
+//! * [`synthetic`] — Use Case 1, the fan-out/fan-in mathematical workflow
+//!   of Fig 5A, scalable from 1 to 1000 input configurations;
+//! * [`chem`] — Use Case 2, the Bond Dissociation Energy workflow of
+//!   Fig 5B over a SMILES-lite molecular substrate with simulated DFT;
+//! * [`am`] — Use Case 3 (§5.4), an additive-manufacturing (LPBF metal 3D
+//!   printing) build-and-qualify workflow with melt-pool monitoring;
+//! * [`prospective`] — prospective provenance (planned structure) and
+//!   retrospective-vs-plan conformance checking (Fig 1 "Provenance Type").
+//!
+//! Every task execution is captured through `prov-capture` and streamed to
+//! the hub as Listing-1-shaped provenance messages.
+
+#![warn(missing_docs)]
+
+pub mod am;
+pub mod chem;
+pub mod dag;
+pub mod prospective;
+pub mod synthetic;
+
+pub use am::{build_am_dag, run_am_fleet, run_am_workflow, AmParams, AmRun};
+pub use chem::{run_bde_workflow, BdeRecord, BdeRun};
+pub use dag::{task_fn, DagError, DagRun, TaskFn, TaskNode, WorkflowDag};
+pub use prospective::{ConformanceReport, ProspectivePlan, Violation};
+pub use synthetic::{build_dag as build_synthetic_dag, run_sweep, SyntheticParams, SyntheticRun};

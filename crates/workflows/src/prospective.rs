@@ -1,0 +1,482 @@
+//! Prospective provenance and plan-conformance checking.
+//!
+//! Fig 1's taxonomy includes a "Provenance Type" dimension with two
+//! leaves: **retrospective** (records of actual execution — everything the
+//! evaluation queries) and **prospective** ("defines planned workflow
+//! structure", §2.1, citing Davidson & Freire). The paper's experiments
+//! stay retrospective; this module supplies the prospective half so the
+//! agent can also answer "did the run match the plan?" questions:
+//!
+//! * [`ProspectivePlan`] — the planned structure derived from a
+//!   [`WorkflowDag`] before execution: activities, their multiplicities,
+//!   and activity-level dependency edges;
+//! * [`ProspectivePlan::check`] — conformance of a stream of retrospective
+//!   task messages against the plan, per workflow execution: missing or
+//!   unexpected activities, wrong multiplicities, unsatisfied dependency
+//!   edges, temporal-order violations, and failed tasks.
+
+use crate::dag::WorkflowDag;
+use prov_model::{obj, Map, TaskMessage, TaskStatus, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The planned (prospective) structure of a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProspectivePlan {
+    /// Workflow label the plan describes.
+    pub name: String,
+    /// Activity → planned number of task executions per workflow instance.
+    pub multiplicity: BTreeMap<String, usize>,
+    /// Activity-level dependency edges `(upstream, downstream)`, deduped.
+    pub edges: BTreeSet<(String, String)>,
+}
+
+/// One conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A planned activity never executed in this workflow instance.
+    MissingActivity {
+        /// The workflow instance.
+        workflow_id: String,
+        /// The absent activity.
+        activity: String,
+    },
+    /// An executed activity that the plan does not contain.
+    UnexpectedActivity {
+        /// The workflow instance.
+        workflow_id: String,
+        /// The surplus activity.
+        activity: String,
+    },
+    /// An activity executed a different number of times than planned.
+    WrongMultiplicity {
+        /// The workflow instance.
+        workflow_id: String,
+        /// The activity.
+        activity: String,
+        /// Planned task count.
+        planned: usize,
+        /// Observed task count.
+        observed: usize,
+    },
+    /// A planned dependency edge with no matching task-level `depends_on`.
+    UnsatisfiedEdge {
+        /// The workflow instance.
+        workflow_id: String,
+        /// Planned upstream activity.
+        upstream: String,
+        /// Planned downstream activity.
+        downstream: String,
+    },
+    /// A task started before one of its declared dependencies ended.
+    TemporalOrder {
+        /// The downstream task.
+        task_id: String,
+        /// The dependency it outpaced.
+        dep_id: String,
+    },
+    /// A task finished with error status.
+    FailedTask {
+        /// The failing task.
+        task_id: String,
+        /// Its activity.
+        activity: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingActivity { workflow_id, activity } => {
+                write!(f, "[{workflow_id}] planned activity '{activity}' never ran")
+            }
+            Violation::UnexpectedActivity { workflow_id, activity } => {
+                write!(f, "[{workflow_id}] unplanned activity '{activity}' ran")
+            }
+            Violation::WrongMultiplicity {
+                workflow_id,
+                activity,
+                planned,
+                observed,
+            } => write!(
+                f,
+                "[{workflow_id}] activity '{activity}' ran {observed}× (planned {planned}×)"
+            ),
+            Violation::UnsatisfiedEdge {
+                workflow_id,
+                upstream,
+                downstream,
+            } => write!(
+                f,
+                "[{workflow_id}] no '{downstream}' task records a dependency on '{upstream}'"
+            ),
+            Violation::TemporalOrder { task_id, dep_id } => {
+                write!(f, "task '{task_id}' started before its dependency '{dep_id}' ended")
+            }
+            Violation::FailedTask { task_id, activity } => {
+                write!(f, "task '{task_id}' ({activity}) finished with error status")
+            }
+        }
+    }
+}
+
+/// Result of checking retrospective messages against a plan.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceReport {
+    /// Workflow instances checked.
+    pub workflows_checked: usize,
+    /// Tasks examined.
+    pub tasks_checked: usize,
+    /// All violations found, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl ConformanceReport {
+    /// True when the execution fully matches the plan.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary (used by the agent's conformance tool).
+    pub fn render(&self) -> String {
+        if self.conforms() {
+            return format!(
+                "Execution conforms to the plan: {} workflow instance(s), {} task(s), \
+                 no violations.",
+                self.workflows_checked, self.tasks_checked
+            );
+        }
+        let mut out = format!(
+            "Execution deviates from the plan: {} violation(s) across {} workflow \
+             instance(s) and {} task(s):\n",
+            self.violations.len(),
+            self.workflows_checked,
+            self.tasks_checked
+        );
+        for v in &self.violations {
+            out.push_str("  - ");
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ProspectivePlan {
+    /// Derive the plan from a DAG *before* executing it.
+    pub fn from_dag(name: impl Into<String>, dag: &WorkflowDag) -> Self {
+        let mut multiplicity: BTreeMap<String, usize> = BTreeMap::new();
+        let mut edges = BTreeSet::new();
+        let by_name: HashMap<&str, &str> = dag
+            .nodes()
+            .iter()
+            .map(|n| (n.name.as_str(), n.activity.as_str()))
+            .collect();
+        for node in dag.nodes() {
+            *multiplicity.entry(node.activity.clone()).or_insert(0) += 1;
+            for dep in &node.deps {
+                if let Some(up) = by_name.get(dep.as_str()) {
+                    edges.insert(((*up).to_string(), node.activity.clone()));
+                }
+            }
+        }
+        Self {
+            name: name.into(),
+            multiplicity,
+            edges,
+        }
+    }
+
+    /// Planned activities in deterministic order.
+    pub fn activities(&self) -> Vec<&str> {
+        self.multiplicity.keys().map(String::as_str).collect()
+    }
+
+    /// Serialize the plan as a provenance value (stored in the provenance
+    /// database as prospective provenance, queryable alongside the
+    /// retrospective records).
+    pub fn to_value(&self) -> Value {
+        let mut acts = Map::new();
+        for (a, n) in &self.multiplicity {
+            acts.insert(a.clone(), Value::Int(*n as i64));
+        }
+        let edges: Vec<Value> = self
+            .edges
+            .iter()
+            .map(|(u, d)| obj! {"from" => u.as_str(), "to" => d.as_str()})
+            .collect();
+        obj! {
+            "plan" => self.name.as_str(),
+            "prov_type" => "prospective",
+            "activities" => Value::Object(acts),
+            "edges" => Value::Array(edges),
+        }
+    }
+
+    /// Check retrospective task messages against the plan.
+    ///
+    /// Messages are grouped by `workflow_id`; each instance must contain
+    /// every planned activity with the planned multiplicity, must not run
+    /// unplanned activities, and must realize every planned activity-level
+    /// edge with at least one task-level `depends_on` link. Task-level
+    /// temporal order (`start ≥ dependency start`) and failure statuses are
+    /// checked globally. Non-`Task` messages (agent/tool records) are
+    /// ignored.
+    pub fn check<'a>(&self, messages: impl IntoIterator<Item = &'a TaskMessage>) -> ConformanceReport {
+        let mut by_wf: BTreeMap<&str, Vec<&TaskMessage>> = BTreeMap::new();
+        let mut tasks_checked = 0usize;
+        let mut all: Vec<&TaskMessage> = Vec::new();
+        for m in messages {
+            if m.msg_type != prov_model::MessageType::Task {
+                continue;
+            }
+            tasks_checked += 1;
+            by_wf.entry(m.workflow_id.as_str()).or_default().push(m);
+            all.push(m);
+        }
+        let id_index: HashMap<&str, &TaskMessage> =
+            all.iter().map(|m| (m.task_id.as_str(), *m)).collect();
+
+        let mut violations = Vec::new();
+        for (wf, msgs) in &by_wf {
+            let mut observed: BTreeMap<&str, usize> = BTreeMap::new();
+            for m in msgs {
+                *observed.entry(m.activity_id.as_str()).or_insert(0) += 1;
+            }
+            for (activity, &planned) in &self.multiplicity {
+                match observed.get(activity.as_str()) {
+                    None => violations.push(Violation::MissingActivity {
+                        workflow_id: wf.to_string(),
+                        activity: activity.clone(),
+                    }),
+                    Some(&n) if n != planned => violations.push(Violation::WrongMultiplicity {
+                        workflow_id: wf.to_string(),
+                        activity: activity.clone(),
+                        planned,
+                        observed: n,
+                    }),
+                    _ => {}
+                }
+            }
+            for (&activity, _) in &observed {
+                if !self.multiplicity.contains_key(activity) {
+                    violations.push(Violation::UnexpectedActivity {
+                        workflow_id: wf.to_string(),
+                        activity: activity.to_string(),
+                    });
+                }
+            }
+            // Activity-level edges: at least one downstream task must
+            // record a dependency on an upstream-activity task.
+            for (up, down) in &self.edges {
+                let satisfied = msgs.iter().any(|m| {
+                    m.activity_id.as_str() == down
+                        && m.depends_on.iter().any(|d| {
+                            id_index
+                                .get(d.as_str())
+                                .is_some_and(|dep| dep.activity_id.as_str() == up)
+                        })
+                });
+                let down_ran = observed.contains_key(down.as_str());
+                if down_ran && !satisfied {
+                    violations.push(Violation::UnsatisfiedEdge {
+                        workflow_id: wf.to_string(),
+                        upstream: up.clone(),
+                        downstream: down.clone(),
+                    });
+                }
+            }
+        }
+        // Task-level temporal order and failures.
+        for m in &all {
+            for dep in &m.depends_on {
+                if let Some(d) = id_index.get(dep.as_str()) {
+                    if m.started_at < d.started_at {
+                        violations.push(Violation::TemporalOrder {
+                            task_id: m.task_id.as_str().to_string(),
+                            dep_id: dep.as_str().to_string(),
+                        });
+                    }
+                }
+            }
+            if m.status == TaskStatus::Error {
+                violations.push(Violation::FailedTask {
+                    task_id: m.task_id.as_str().to_string(),
+                    activity: m.activity_id.as_str().to_string(),
+                });
+            }
+        }
+        ConformanceReport {
+            workflows_checked: by_wf.len(),
+            tasks_checked,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{build_dag, SyntheticParams};
+    use prov_model::{sim_clock, TaskMessageBuilder};
+    use prov_stream::StreamingHub;
+
+    fn plan_and_messages() -> (ProspectivePlan, Vec<TaskMessage>) {
+        let dag = build_dag(SyntheticParams::config(0));
+        let plan = ProspectivePlan::from_dag("synthetic", &dag);
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        crate::synthetic::run_sweep(&hub, sim_clock(), 42, 2).unwrap();
+        let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+        (plan, msgs)
+    }
+
+    #[test]
+    fn plan_from_dag_captures_structure() {
+        let dag = build_dag(SyntheticParams::config(0));
+        let plan = ProspectivePlan::from_dag("synthetic", &dag);
+        assert_eq!(plan.multiplicity.len(), 8);
+        assert_eq!(plan.multiplicity["power"], 1);
+        assert!(plan
+            .edges
+            .contains(&("square_and_divide".to_string(), "power".to_string())));
+        // Fan-in: average_results has four upstream activities.
+        assert_eq!(
+            plan.edges.iter().filter(|(_, d)| d == "average_results").count(),
+            4
+        );
+    }
+
+    #[test]
+    fn faithful_execution_conforms() {
+        let (plan, msgs) = plan_and_messages();
+        let report = plan.check(&msgs);
+        assert_eq!(report.workflows_checked, 2);
+        assert_eq!(report.tasks_checked, 16);
+        assert!(report.conforms(), "{}", report.render());
+        assert!(report.render().contains("conforms"));
+    }
+
+    #[test]
+    fn missing_activity_detected() {
+        let (plan, msgs) = plan_and_messages();
+        let pruned: Vec<TaskMessage> = msgs
+            .into_iter()
+            .filter(|m| m.activity_id.as_str() != "power")
+            .collect();
+        let report = plan.check(&pruned);
+        assert!(!report.conforms());
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingActivity { activity, .. } if activity == "power"
+        )));
+        // Dropping 'power' also leaves the square_and_divide→power edge
+        // unsatisfied only if power ran; it did not, so no edge violation
+        // for it, but average_results lost a dependency provider.
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::UnsatisfiedEdge { upstream, .. } if upstream == "power"
+        )));
+    }
+
+    #[test]
+    fn unexpected_activity_detected() {
+        let (plan, mut msgs) = plan_and_messages();
+        let wf = msgs[0].workflow_id.clone();
+        msgs.push(
+            TaskMessageBuilder::new("rogue-1", wf.as_str(), "debug_dump")
+                .span(1.0, 2.0)
+                .build(),
+        );
+        let report = plan.check(&msgs);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::UnexpectedActivity { activity, .. } if activity == "debug_dump"
+        )));
+    }
+
+    #[test]
+    fn wrong_multiplicity_detected() {
+        let (plan, mut msgs) = plan_and_messages();
+        // Duplicate one power task under a fresh id in the same workflow.
+        let mut dup = msgs
+            .iter()
+            .find(|m| m.activity_id.as_str() == "power")
+            .unwrap()
+            .clone();
+        dup.task_id = "power-duplicate".into();
+        msgs.push(dup);
+        let report = plan.check(&msgs);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::WrongMultiplicity { activity, planned: 1, observed: 2, .. }
+                if activity == "power"
+        )));
+    }
+
+    #[test]
+    fn temporal_violation_detected() {
+        let (plan, mut msgs) = plan_and_messages();
+        // Make a dependent task start before its dependency started.
+        let dep_id = {
+            let power = msgs
+                .iter()
+                .find(|m| m.activity_id.as_str() == "power" && !m.depends_on.is_empty())
+                .unwrap();
+            power.depends_on[0].clone()
+        };
+        let dep_start = msgs
+            .iter()
+            .find(|m| m.task_id == dep_id)
+            .unwrap()
+            .started_at;
+        for m in msgs.iter_mut() {
+            if m.activity_id.as_str() == "power" && m.depends_on.contains(&dep_id) {
+                m.started_at = dep_start - 10.0;
+            }
+        }
+        let report = plan.check(&msgs);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TemporalOrder { .. })));
+    }
+
+    #[test]
+    fn failed_task_reported() {
+        let (plan, mut msgs) = plan_and_messages();
+        msgs[3].status = TaskStatus::Error;
+        let report = plan.check(&msgs);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::FailedTask { .. }
+        )));
+        assert!(report.render().contains("error status"));
+    }
+
+    #[test]
+    fn plan_serializes_for_storage() {
+        let dag = build_dag(SyntheticParams::config(0));
+        let plan = ProspectivePlan::from_dag("synthetic", &dag);
+        let v = plan.to_value();
+        assert_eq!(
+            v.get("prov_type").and_then(Value::as_str),
+            Some("prospective")
+        );
+        assert!(v.get("activities").unwrap().get("power").is_some());
+        assert!(!v.get("edges").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn am_workflow_conforms_to_its_plan() {
+        let params = crate::am::AmParams::nominal("p0");
+        let dag = crate::am::build_am_dag(&params, &crate::am::ProcessModel::new(42));
+        let plan = ProspectivePlan::from_dag("am", &dag);
+        assert_eq!(plan.multiplicity["laser_scan"], params.n_layers);
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        crate::am::run_am_workflow(&hub, sim_clock(), 42, &params).unwrap();
+        let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+        let report = plan.check(&msgs);
+        assert!(report.conforms(), "{}", report.render());
+    }
+}

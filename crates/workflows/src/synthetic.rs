@@ -1,0 +1,283 @@
+//! Use Case 1 — the synthetic mathematical workflow (Fig 5A).
+//!
+//! "A small set of chained mathematical transformations forming a
+//! fan-out/fan-in structure that exercises both data dependency tracking
+//! and semantic reasoning over intermediate states" (§5.1). Deterministic,
+//! dependency-free and fast, it is the harness for prompt tuning and for
+//! scaling the number of workflow instances (1 → 1000 inputs).
+
+use crate::dag::{task_fn, DagError, DagRun, WorkflowDag};
+use prov_capture::CaptureContext;
+use prov_model::{obj, SharedClock, Value};
+use prov_stream::StreamingHub;
+
+/// Parameters of one synthetic workflow instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticParams {
+    /// The input value fanned out to the first layer.
+    pub x: f64,
+    /// Scale factor used by several activities.
+    pub scale: f64,
+    /// Shift term used by several activities.
+    pub shift: f64,
+    /// Exponent for the `power` activity.
+    pub exponent: f64,
+}
+
+impl SyntheticParams {
+    /// The i-th input configuration of a sweep (deterministic).
+    pub fn config(i: usize) -> Self {
+        Self {
+            x: 1.0 + i as f64 * 0.5,
+            scale: 2.0 + (i % 5) as f64 * 0.25,
+            shift: 1.0 + (i % 3) as f64,
+            exponent: 2.0 + (i % 2) as f64,
+        }
+    }
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn dep_num(deps: &std::collections::HashMap<String, Value>, node: &str, key: &str) -> f64 {
+    deps.get(node)
+        .and_then(|v| v.get(key))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Build the Fig 5A DAG for one input configuration.
+///
+/// Layer 1 fans `x` out to four transformations; layer 2 chains three more
+/// (`log_and_shift`, `power`, `subtract_and_square`); `average_results`
+/// fans everything back in.
+pub fn build_dag(p: SyntheticParams) -> WorkflowDag {
+    let SyntheticParams {
+        x,
+        scale,
+        shift,
+        exponent,
+    } = p;
+    WorkflowDag::new()
+        .add(
+            "scale_and_shift",
+            "scale_and_shift",
+            obj! {"x" => x, "scale" => scale, "shift" => shift},
+            0.2,
+            &[],
+            task_fn(|u, _| Ok(obj! {"y" => num(u, "x") * num(u, "scale") + num(u, "shift")})),
+        )
+        .add(
+            "square_and_divide",
+            "square_and_divide",
+            obj! {"x" => x, "divisor" => scale},
+            0.2,
+            &[],
+            task_fn(|u, _| {
+                let d = num(u, "divisor");
+                if d == 0.0 {
+                    return Err("division by zero".into());
+                }
+                Ok(obj! {"y" => num(u, "x") * num(u, "x") / d})
+            }),
+        )
+        .add(
+            "scale_and_sqrt",
+            "scale_and_sqrt",
+            obj! {"x" => x, "scale" => scale},
+            0.25,
+            &[],
+            task_fn(|u, _| {
+                let v = num(u, "x") * num(u, "scale");
+                if v < 0.0 {
+                    return Err("sqrt of negative".into());
+                }
+                Ok(obj! {"y" => v.sqrt()})
+            }),
+        )
+        .add(
+            "subtract_and_shift",
+            "subtract_and_shift",
+            obj! {"x" => x, "subtrahend" => scale, "shift" => shift},
+            0.15,
+            &[],
+            task_fn(|u, _| {
+                Ok(obj! {"y" => num(u, "x") - num(u, "subtrahend") + num(u, "shift")})
+            }),
+        )
+        .add(
+            "log_and_shift",
+            "log_and_shift",
+            obj! {"shift" => shift},
+            0.3,
+            &["scale_and_shift"],
+            task_fn(|u, deps| {
+                let y = dep_num(deps, "scale_and_shift", "y");
+                if y <= -1.0 {
+                    return Err("log of non-positive".into());
+                }
+                Ok(obj! {"y" => (y + 1.0).ln() + num(u, "shift")})
+            }),
+        )
+        .add(
+            "power",
+            "power",
+            obj! {"exponent" => exponent},
+            0.5,
+            &["square_and_divide"],
+            task_fn(|u, deps| {
+                let y = dep_num(deps, "square_and_divide", "y");
+                Ok(obj! {"y" => y.powf(num(u, "exponent"))})
+            }),
+        )
+        .add(
+            "subtract_and_square",
+            "subtract_and_square",
+            obj! {"subtrahend" => shift},
+            0.35,
+            &["scale_and_sqrt"],
+            task_fn(|u, deps| {
+                let y = dep_num(deps, "scale_and_sqrt", "y") - num(u, "subtrahend");
+                Ok(obj! {"y" => y * y})
+            }),
+        )
+        .add(
+            "average_results",
+            "average_results",
+            obj! {},
+            0.2,
+            &[
+                "log_and_shift",
+                "power",
+                "subtract_and_square",
+                "subtract_and_shift",
+            ],
+            task_fn(|_, deps| {
+                let vals: Vec<f64> = [
+                    "log_and_shift",
+                    "power",
+                    "subtract_and_square",
+                    "subtract_and_shift",
+                ]
+                .iter()
+                .map(|n| dep_num(deps, n, "y"))
+                .collect();
+                Ok(obj! {"average" => vals.iter().sum::<f64>() / vals.len() as f64, "n_inputs" => vals.len()})
+            }),
+        )
+}
+
+/// The result of a synthetic sweep.
+#[derive(Debug, Clone)]
+pub struct SyntheticRun {
+    /// One [`DagRun`] per input configuration.
+    pub runs: Vec<DagRun>,
+    /// Total tasks executed.
+    pub tasks: usize,
+}
+
+/// Execute `n_inputs` synthetic workflow instances, streaming provenance to
+/// `hub`. Each instance is a separate workflow execution under the same
+/// campaign, as in the paper's 1→1000 input scaling runs.
+pub fn run_sweep(
+    hub: &StreamingHub,
+    clock: SharedClock,
+    seed: u64,
+    n_inputs: usize,
+) -> Result<SyntheticRun, DagError> {
+    let mut runs = Vec::with_capacity(n_inputs);
+    let mut tasks = 0;
+    for i in 0..n_inputs {
+        let ctx = CaptureContext::new(
+            hub,
+            "synthetic-campaign",
+            format!("synthetic-wf-{i}"),
+            clock.clone(),
+            seed.wrapping_add(i as u64),
+        );
+        let dag = build_dag(SyntheticParams::config(i));
+        tasks += dag.len();
+        runs.push(dag.execute(&ctx)?);
+    }
+    Ok(SyntheticRun { runs, tasks })
+}
+
+/// Activities of the synthetic workflow, in layer order.
+pub const ACTIVITIES: &[&str] = &[
+    "scale_and_shift",
+    "square_and_divide",
+    "scale_and_sqrt",
+    "subtract_and_shift",
+    "log_and_shift",
+    "power",
+    "subtract_and_square",
+    "average_results",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::sim_clock;
+
+    #[test]
+    fn dag_shape_matches_figure_5a() {
+        let dag = build_dag(SyntheticParams::config(0));
+        assert_eq!(dag.len(), 8);
+        assert!(dag.topo_order().is_ok());
+    }
+
+    #[test]
+    fn math_is_correct() {
+        let hub = StreamingHub::in_memory();
+        let clock = sim_clock();
+        let p = SyntheticParams {
+            x: 2.0,
+            scale: 3.0,
+            shift: 1.0,
+            exponent: 2.0,
+        };
+        let ctx = CaptureContext::new(&hub, "c", "w", clock, 1);
+        let run = build_dag(p).execute(&ctx).unwrap();
+        // scale_and_shift: 2*3+1 = 7 → log_and_shift: ln(8)+1
+        let lns = run.outputs["log_and_shift"].get("y").unwrap().as_f64().unwrap();
+        assert!((lns - (8.0f64.ln() + 1.0)).abs() < 1e-12);
+        // square_and_divide: 4/3 → power: (4/3)^2
+        let pw = run.outputs["power"].get("y").unwrap().as_f64().unwrap();
+        assert!((pw - (4.0 / 3.0f64).powi(2)).abs() < 1e-12);
+        // average over 4 values
+        let avg = run.outputs["average_results"]
+            .get("average")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(avg.is_finite());
+    }
+
+    #[test]
+    fn sweep_emits_all_tasks() {
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        let run = run_sweep(&hub, sim_clock(), 42, 5).unwrap();
+        assert_eq!(run.tasks, 40);
+        assert_eq!(sub.drain().len(), 40);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let hub1 = StreamingHub::in_memory();
+        let hub2 = StreamingHub::in_memory();
+        let s1 = hub1.subscribe_tasks();
+        let s2 = hub2.subscribe_tasks();
+        run_sweep(&hub1, sim_clock(), 42, 3).unwrap();
+        run_sweep(&hub2, sim_clock(), 42, 3).unwrap();
+        let m1: Vec<String> = s1.drain().iter().map(|m| m.to_json()).collect();
+        let m2: Vec<String> = s2.drain().iter().map(|m| m.to_json()).collect();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn distinct_configs_vary() {
+        assert_ne!(SyntheticParams::config(0), SyntheticParams::config(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! The feedback-driven auto-fixer (§5.4 future work, implemented).
+//!
+//! A weak model (LLaMA 3-8B) under a thin prompt hallucinates field names
+//! like `node` (§5.2). The baseline flow surfaces the error to the user;
+//! with `autofix: true` the agent diagnoses the failure, repairs the
+//! query, re-executes it, and generalizes the repair into a session
+//! guideline so later prompts stop making the mistake.
+//!
+//! ```text
+//! cargo run --example auto_fixer
+//! ```
+
+use provagent::prelude::*;
+use provagent::prov_model::sim_clock;
+
+fn build_context() -> (StreamingHub, std::sync::Arc<ContextManager>) {
+    let hub = StreamingHub::in_memory();
+    let ctx = ContextManager::default_sized();
+    for i in 0..30 {
+        ctx.ingest(
+            TaskMessageBuilder::new(
+                format!("t{i}"),
+                "wf",
+                if i % 2 == 0 { "power" } else { "average_results" },
+            )
+            .generates("y", i as f64)
+            .span(100.0 + i as f64, 101.5 + i as f64)
+            .host(format!("frontier0008{}", i % 3))
+            .build(),
+        );
+    }
+    (hub, ctx)
+}
+
+fn ask(agent: &ProvenanceAgent, question: &str) {
+    let reply = agent.chat(question);
+    println!("user > {question}");
+    if let Some(code) = &reply.code {
+        println!("query> {code}");
+    }
+    if let Some(err) = &reply.error {
+        println!("error> {err}");
+    }
+    println!("agent> {}\n", reply.text);
+}
+
+fn main() {
+    // The thin Baseline prompt (no schema, no guidelines) makes LLaMA 3-8B
+    // hallucinate plausible-but-wrong columns — exactly §5.2's findings.
+    let weak = AgentConfig {
+        strategy: RagStrategy::Baseline,
+        autofix: false,
+        ..AgentConfig::default()
+    };
+    let fixed = AgentConfig {
+        strategy: RagStrategy::Baseline,
+        autofix: true,
+        ..AgentConfig::default()
+    };
+
+    println!("=== baseline flow: the error is shown to the user (§5.4) ===\n");
+    let (hub, ctx) = build_context();
+    let agent = ProvenanceAgent::new(
+        ctx,
+        hub,
+        Box::new(SimLlmServer::new(ModelId::Llama8B)),
+        None,
+        sim_clock(),
+        weak,
+    );
+    ask(&agent, "How many tasks ran on each host?");
+
+    println!("=== auto-fixer flow: diagnose, repair, learn a guideline ===\n");
+    let (hub, ctx) = build_context();
+    let agent = ProvenanceAgent::new(
+        ctx.clone(),
+        hub,
+        Box::new(SimLlmServer::new(ModelId::Llama8B)),
+        None,
+        sim_clock(),
+        fixed,
+    );
+    ask(&agent, "How many tasks ran on each host?");
+
+    println!("session guidelines learned from repairs:");
+    for g in ctx.guidelines.all() {
+        if g.starts_with("use the field") {
+            println!("  - {g}");
+        }
+    }
+}

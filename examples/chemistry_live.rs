@@ -1,0 +1,42 @@
+//! §5.3 live interaction: run the BDE chemistry workflow for ethanol on
+//! the simulated Frontier substrate, then put the paper's ten questions to
+//! a GPT-4-backed provenance agent.
+//!
+//! ```text
+//! cargo run --example chemistry_live
+//! ```
+
+use provagent::eval::{render_demo, run_chem_demo};
+use provagent::prelude::*;
+use provagent::workflows::run_bde_workflow;
+
+fn main() {
+    // First show the workflow itself: ethanol, two conformers.
+    let hub = StreamingHub::in_memory();
+    let run = run_bde_workflow(&hub, sim_clock(), 7, "CCO", 2).expect("workflow runs");
+    println!(
+        "BDE workflow for {} ({} atoms, {} tasks emitted):",
+        run.smiles,
+        run.parent.atom_count(),
+        run.tasks
+    );
+    for record in &run.records {
+        println!(
+            "  {:<7} ΔE = {:6.2}  ΔH = {:6.2}  ΔG = {:6.2} kcal/mol",
+            record.bond_id, record.bd_energy, record.bd_enthalpy, record.bd_free_energy
+        );
+    }
+    println!(
+        "\nHighest ΔG bond: {} (Q1 ground truth)\n",
+        run.highest_free_energy().unwrap().bond_id
+    );
+
+    // Then the live agent interaction, checked against the paper's report.
+    let observations = run_chem_demo(7);
+    println!("{}", render_demo(&observations));
+
+    // Show one chart the way the GUI would (Q7).
+    if let Some(chart) = observations.iter().find_map(|o| o.chart.as_ref()) {
+        println!("{chart}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Drive the agent's MCP surface the way an external MCP client would:
+//! initialize, list tools/prompts/resources, and call tools via
+//! JSON-RPC-shaped messages (§2.2, §4.1).
+//!
+//! ```text
+//! cargo run --example mcp_tools
+//! ```
+
+use provagent::agent_core::{mcp_request, McpServer, ToolContext, ToolRegistry};
+use provagent::prelude::*;
+use provagent::prov_model::{json_to_string, obj};
+use provagent::workflows::run_sweep;
+
+fn main() {
+    // Provenance context fed by the synthetic workflow.
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    run_sweep(&hub, sim_clock(), 42, 10).expect("sweep runs");
+    let ctx = ContextManager::default_sized();
+    for m in sub.drain() {
+        ctx.ingest((*m).clone());
+    }
+
+    let server = McpServer::new(
+        ToolRegistry::with_builtins(),
+        ToolContext {
+            context: ctx,
+            db: None,
+            hub,
+        },
+        "provenance-agent",
+    );
+
+    let exchanges = [
+        mcp_request(1, "initialize", Value::Null),
+        mcp_request(2, "tools/list", Value::Null),
+        mcp_request(3, "prompts/list", Value::Null),
+        mcp_request(
+            4,
+            "tools/call",
+            obj! {
+                "name" => "in_memory_query",
+                "arguments" => obj! {"code" => "df.groupby(\"activity_id\")[\"duration\"].mean()"},
+            },
+        ),
+        mcp_request(
+            5,
+            "tools/call",
+            obj! {"name" => "anomaly_scan", "arguments" => obj! {}},
+        ),
+        mcp_request(6, "resources/read", obj! {"uri" => "context://guidelines"}),
+    ];
+
+    for request in exchanges {
+        println!("--> {}", json_to_string(&request));
+        let response = server.handle(&request);
+        let text = json_to_string(&response);
+        let clipped: String = text.chars().take(400).collect();
+        println!(
+            "<-- {}{}\n",
+            clipped,
+            if text.len() > 400 { " …" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Non-intrusive provenance capture (§2.3): no instrumentation at all —
+//! observability adapters watch foreign sources (a directory of JSON task
+//! files, an MLflow-like tracking feed, a foreign message queue, a
+//! TensorBoard-like scalar stream, a Dask-like scheduler log) and
+//! normalize what they see into the common message schema, which then
+//! flows to the agent like any instrumented provenance.
+//!
+//! ```text
+//! cargo run --example observability_adapters
+//! ```
+
+use provagent::prelude::*;
+use provagent::prov_capture::{
+    pump, DaskLikeAdapter, FileSystemAdapter, MlflowLikeAdapter, ObservabilityAdapter,
+    QueueBridgeAdapter, TensorboardLikeAdapter,
+};
+use provagent::prov_model::obj;
+
+fn main() {
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+
+    // --- adapter 1: file system -------------------------------------
+    let dir = std::env::temp_dir().join(format!("prov-adapter-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for i in 0..3 {
+        let msg = TaskMessageBuilder::new(format!("file-task-{i}"), "legacy-wf", "legacy_step")
+            .uses("input_file", format!("data/part-{i}.nc"))
+            .generates("rows_written", 1000 + i as i64)
+            .span(100.0 + i as f64, 101.0 + i as f64)
+            .build();
+        std::fs::write(dir.join(format!("task{i}.json")), msg.to_json()).expect("write");
+    }
+    let mut fs_adapter = FileSystemAdapter::new(&dir);
+
+    // --- adapter 2: MLflow-like experiment tracker -------------------
+    let mut mlflow = MlflowLikeAdapter::new(
+        "hpo-experiment",
+        (0..3)
+            .map(|i| {
+                obj! {
+                    "run_id" => format!("run-{i}"),
+                    "params" => obj! {"lr" => 0.001 * (i + 1) as f64, "epochs" => 10},
+                    "metrics" => obj! {"loss" => 0.5 / (i + 1) as f64, "accuracy" => 0.90 + 0.02 * i as f64},
+                    "start_time" => 200.0 + i as f64,
+                    "end_time" => 260.0 + i as f64,
+                }
+            })
+            .collect(),
+    );
+
+    // --- adapter 3: bridge from a foreign queue ----------------------
+    let foreign = StreamingHub::in_memory();
+    let mut bridge = QueueBridgeAdapter::new(foreign.subscribe("app.events"));
+    foreign
+        .publish(
+            "app.events",
+            TaskMessageBuilder::new("queue-task-0", "service-wf", "ingest_event")
+                .generates("events", 42)
+                .build(),
+        )
+        .unwrap();
+
+    // --- adapter 4: TensorBoard-like scalar events --------------------
+    let mut tb = TensorboardLikeAdapter::new("train-run");
+    for step in 0..4i64 {
+        tb.add_scalar(step, "loss/train", 1.0 / (step + 1) as f64, 300.0 + step as f64);
+        tb.add_scalar(step, "lr", 0.001, 300.0 + step as f64);
+    }
+
+    // --- adapter 5: Dask-like scheduler transitions --------------------
+    let mut dask = DaskLikeAdapter::new("dask-sched");
+    dask.transition("aggregate_chunks-9f3e", "processing", 400.0);
+    dask.transition("aggregate_chunks-9f3e", "memory", 404.5);
+
+    // Pump all five into the provenance hub.
+    let adapters: Vec<&mut dyn ObservabilityAdapter> =
+        vec![&mut fs_adapter, &mut mlflow, &mut bridge, &mut tb, &mut dask];
+    for adapter in adapters {
+        let n = pump(adapter, &hub);
+        println!("adapter {:<12} observed {n} task(s)", adapter.name());
+    }
+
+    // The agent sees everything uniformly.
+    let ctx = ContextManager::default_sized();
+    for m in sub.drain() {
+        ctx.ingest((*m).clone());
+    }
+    println!(
+        "\ncontext: {} rows from {} distinct activities\n",
+        ctx.len(),
+        ctx.schema().activity_count()
+    );
+
+    let agent = ProvenanceAgent::new(
+        ctx,
+        hub,
+        Box::new(SimLlmServer::new(ModelId::Gpt)),
+        None,
+        sim_clock(),
+        AgentConfig::default(),
+    );
+    for question in [
+        "List the distinct activities executed so far.",
+        "What is the average accuracy of the mlflow_run tasks?",
+    ] {
+        let reply = agent.chat(question);
+        println!("user > {question}");
+        if let Some(code) = &reply.code {
+            println!("query> {code}");
+        }
+        println!("agent> {}\n", reply.text);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,49 @@
+//! Prospective provenance and plan conformance (Fig 1's "Provenance Type"
+//! dimension: retrospective vs. prospective).
+//!
+//! The planned workflow structure is derived from the DAG *before*
+//! execution and stored as prospective provenance; after the run, the
+//! retrospective message stream is checked against the plan — missing or
+//! unplanned activities, wrong multiplicities, unsatisfied dependency
+//! edges, temporal-order violations, failed tasks.
+//!
+//! ```text
+//! cargo run --example plan_conformance
+//! ```
+
+use provagent::prelude::*;
+use provagent::workflows::{build_synthetic_dag, run_sweep, ProspectivePlan, SyntheticParams};
+
+fn main() {
+    // 1. The plan comes from the DAG definition, before any execution.
+    let dag = build_synthetic_dag(SyntheticParams::config(0));
+    let plan = ProspectivePlan::from_dag("synthetic", &dag);
+    println!(
+        "prospective plan '{}': {} activities, {} dependency edges",
+        plan.name,
+        plan.multiplicity.len(),
+        plan.edges.len()
+    );
+    println!("stored as: {}\n", plan.to_value());
+
+    // 2. Execute and capture the retrospective stream.
+    let hub = StreamingHub::in_memory();
+    let sub = hub.subscribe_tasks();
+    run_sweep(&hub, sim_clock(), 42, 3).expect("sweep runs");
+    let mut msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+
+    // 3. A faithful execution conforms.
+    println!("--- faithful execution ---");
+    println!("{}", plan.check(&msgs).render());
+
+    // 4. Inject deviations: drop one activity, add a rogue task.
+    let wf = msgs[0].workflow_id.clone();
+    msgs.retain(|m| !(m.workflow_id == wf && m.activity_id.as_str() == "power"));
+    msgs.push(
+        TaskMessageBuilder::new("rogue-1", wf.as_str(), "debug_dump")
+            .span(1.0, 2.0)
+            .build(),
+    );
+    println!("--- after dropping 'power' and adding 'debug_dump' in {wf} ---");
+    println!("{}", plan.check(&msgs).render());
+}

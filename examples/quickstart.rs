@@ -1,0 +1,73 @@
+//! Quickstart: capture a tiny instrumented workflow and chat with the
+//! provenance agent about it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use provagent::prelude::*;
+use provagent::prov_capture::CaptureContext;
+use provagent::prov_model::obj;
+
+fn main() {
+    // 1. A streaming hub: every provenance message flows through it.
+    let hub = StreamingHub::in_memory();
+
+    // 2. The agent's context manager subscribes before the workflow runs.
+    let ctx = ContextManager::default_sized();
+    let feeder = ContextFeeder::start(&hub, ctx.clone());
+
+    // 3. Run an instrumented "workflow": three squared numbers, captured
+    //    like Flowcept's decorators would (§2.3).
+    let capture = CaptureContext::new(&hub, "quickstart-campaign", "wf-1", sim_clock(), 42);
+    let mut prev = None;
+    for i in 1..=3i64 {
+        let deps: Vec<_> = prev.take().into_iter().collect();
+        let task = capture.instrument(
+            "square",
+            obj! {"x" => i},
+            0.2,
+            &deps,
+            |used| {
+                let x = used.get("x").unwrap().as_i64().unwrap();
+                Ok(obj! {"y" => x * x})
+            },
+        );
+        prev = Some(task.task_id);
+    }
+    capture.flush();
+
+    // Wait for the stream to drain into the context.
+    while ctx.len() < 3 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    drop(feeder);
+
+    // 4. Chat with a GPT-4-backed agent (simulated, deterministic).
+    let agent = ProvenanceAgent::new(
+        ctx,
+        hub,
+        Box::new(SimLlmServer::new(ModelId::Gpt)),
+        None,
+        sim_clock(),
+        AgentConfig::default(),
+    );
+
+    for question in [
+        "Hello!",
+        "How many tasks have finished so far?",
+        "Which task produced the largest output y?",
+        "What is the average duration per activity?",
+    ] {
+        let reply = agent.chat(question);
+        println!("user > {question}");
+        if let Some(code) = &reply.code {
+            println!("query> {code}");
+        }
+        println!("agent> {}", reply.text);
+        if let Some(table) = &reply.table {
+            println!("{}", dataframe::render(table, dataframe::DisplayOptions::default()));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! # provagent
+//!
+//! A Rust reproduction of *"LLM Agents for Interactive Workflow
+//! Provenance: Reference Architecture and Evaluation Methodology"*
+//! (Souza et al., SC Workshops '25): an LLM-powered agent for natural-
+//! language interaction with live workflow provenance, together with every
+//! substrate it runs on — streaming hub, provenance database and keeper,
+//! capture instrumentation, a DataFrame engine, a pandas-style query
+//! language, simulated LLM services and judges, two evaluation workflows,
+//! and the full evaluation methodology.
+//!
+//! ```
+//! use provagent::prelude::*;
+//!
+//! // Stream a workflow's provenance into the agent's live context…
+//! let hub = StreamingHub::in_memory();
+//! let sub = hub.subscribe_tasks();
+//! provagent::workflows::run_sweep(&hub, sim_clock(), 42, 3).unwrap();
+//! let ctx = ContextManager::default_sized();
+//! for m in sub.drain() {
+//!     ctx.ingest((*m).clone());
+//! }
+//!
+//! // …and chat with it.
+//! let agent = ProvenanceAgent::new(
+//!     ctx,
+//!     hub,
+//!     Box::new(SimLlmServer::new(ModelId::Gpt)),
+//!     None,
+//!     sim_clock(),
+//!     AgentConfig::default(),
+//! );
+//! let reply = agent.chat("How many tasks have finished so far?");
+//! assert!(reply.text.contains("24")); // 3 inputs × 8 tasks
+//! ```
+
+pub use agent_core;
+pub use dataframe;
+pub use eval;
+pub use llm_sim;
+pub use prov_capture;
+pub use prov_db;
+pub use prov_keeper;
+pub use prov_model;
+pub use prov_stream;
+pub use provql;
+pub use workflows;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use agent_core::{
+        AgentConfig, AgentReply, ContextFeeder, ContextManager, McpServer, ProvenanceAgent,
+        RagStrategy,
+    };
+    pub use dataframe::{col, lit, AggFunc, DataFrame};
+    pub use llm_sim::{Judge, JudgeId, ModelId, SimLlmServer};
+    pub use prov_db::ProvenanceDatabase;
+    pub use prov_model::{sim_clock, system_clock, TaskMessage, TaskMessageBuilder, Value};
+    pub use prov_stream::{FlushStrategy, StreamingHub};
+    pub use provql::{execute, parse};
+}

@@ -1,0 +1,201 @@
+//! Paper-shape assertions: the evaluation must reproduce the qualitative
+//! findings of §5.2 — who wins, in which direction, and by roughly what
+//! factor (DESIGN.md's calibration targets).
+
+use provagent::agent_core::RagStrategy;
+use provagent::eval::report::{fig6_points, fig8_points, fig9_matrix};
+use provagent::eval::{mean, run_paper_evaluation, DataType, Experiment, Workload};
+use provagent::llm_sim::{JudgeId, ModelId};
+
+fn experiment() -> Experiment {
+    Experiment {
+        seed: 42,
+        n_inputs: 10,
+        runs_per_query: 3,
+    }
+}
+
+#[test]
+fn paper_shapes_hold() {
+    let results = run_paper_evaluation(&experiment());
+
+    // ---- Figure 6 ----------------------------------------------------
+    let points = fig6_points(&results);
+    let score = |judge: JudgeId, model: ModelId| {
+        points
+            .iter()
+            .find(|p| p.judge == judge && p.model == model)
+            .map(|p| p.score)
+            .expect("point exists")
+    };
+    // GPT judge consistently scores higher than the Claude judge.
+    for model in ModelId::all() {
+        assert!(
+            score(JudgeId::Gpt, model) > score(JudgeId::Claude, model),
+            "{model}: GPT judge should score higher"
+        );
+    }
+    // GPT judge: GPT ≈ Claude (a tie within error margins, ~0.97).
+    let gpt_gpt = score(JudgeId::Gpt, ModelId::Gpt);
+    let gpt_claude = score(JudgeId::Gpt, ModelId::Claude);
+    assert!((gpt_gpt - gpt_claude).abs() < 0.02, "{gpt_gpt} vs {gpt_claude}");
+    assert!((0.93..=1.0).contains(&gpt_gpt), "GPT/GPT = {gpt_gpt}");
+    // Claude judge: Claude noticeably above GPT (self-preference).
+    let claude_claude = score(JudgeId::Claude, ModelId::Claude);
+    let claude_gpt = score(JudgeId::Claude, ModelId::Gpt);
+    assert!(
+        claude_claude > claude_gpt + 0.01,
+        "{claude_claude} vs {claude_gpt}"
+    );
+    // Frontier models beat LLaMA 3-8B under both judges.
+    for judge in JudgeId::all() {
+        assert!(score(judge, ModelId::Gpt) > score(judge, ModelId::Llama8B) + 0.04);
+    }
+    // The judge gap is largest for LLaMA 3-8B / Gemini (vs frontier models).
+    let gap = |m: ModelId| score(JudgeId::Gpt, m) - score(JudgeId::Claude, m);
+    assert!(gap(ModelId::Llama8B) > gap(ModelId::Claude));
+    assert!(gap(ModelId::Gemini) > gap(ModelId::Claude));
+
+    // ---- Figure 7 ------------------------------------------------------
+    // OLTP ≥ OLAP (tighter, higher) for the weaker models; near-parity for
+    // the frontier models.
+    for model in [ModelId::Llama8B, ModelId::Gemini] {
+        let olap = mean(&results.scores(|r| {
+            r.model == model
+                && r.judge == JudgeId::Gpt
+                && r.strategy == RagStrategy::Full
+                && r.workload == Workload::Olap
+        }));
+        let oltp = mean(&results.scores(|r| {
+            r.model == model
+                && r.judge == JudgeId::Gpt
+                && r.strategy == RagStrategy::Full
+                && r.workload == Workload::Oltp
+        }));
+        assert!(oltp > olap, "{model}: OLTP {oltp} should beat OLAP {olap}");
+    }
+
+    // ---- Figure 8 ------------------------------------------------------
+    let points = fig8_points(&results);
+    let get = |s: RagStrategy| points.iter().find(|p| p.strategy == s).expect("present");
+    let baseline = get(RagStrategy::Baseline);
+    let fs = get(RagStrategy::BaselineFs);
+    let schema = get(RagStrategy::BaselineFsSchema);
+    let values = get(RagStrategy::BaselineFsSchemaValues);
+    let guidelines = get(RagStrategy::BaselineFsGuidelines);
+    let full = get(RagStrategy::Full);
+    // Scores rise from near-zero to near-perfect.
+    assert!(baseline.score < 0.25, "baseline {}", baseline.score);
+    assert!(full.score > 0.93, "full {}", full.score);
+    assert!(baseline.score < fs.score && fs.score < schema.score);
+    assert!(schema.score <= values.score + 0.02);
+    assert!(values.score < full.score);
+    // Guidelines beat schema+values with a fraction of the tokens
+    // ("the greatest performance boost with lower token cost").
+    assert!(guidelines.score > values.score, "{} vs {}", guidelines.score, values.score);
+    assert!(guidelines.tokens < values.tokens / 2.0);
+    // Token growth: baseline a few hundred, full in the thousands.
+    assert!(baseline.tokens < 700.0, "baseline tokens {}", baseline.tokens);
+    assert!(full.tokens > 3_000.0, "full tokens {}", full.tokens);
+
+    // ---- Figure 9 ------------------------------------------------------
+    let matrix = fig9_matrix(&results);
+    for (dt, row) in &matrix {
+        let first = row.first().unwrap().1;
+        let last = row.last().unwrap().1;
+        assert!(
+            last > first + 0.3,
+            "{dt}: should improve substantially with context ({first} -> {last})"
+        );
+        assert!(last > 0.9, "{dt}: Full score {last}");
+    }
+    // Telemetry starts among the lowest (schema-dependent fields).
+    let start = |d: DataType| {
+        matrix
+            .iter()
+            .find(|(dt, _)| *dt == d)
+            .unwrap()
+            .1
+            .first()
+            .unwrap()
+            .1
+    };
+    assert!(start(DataType::Telemetry) <= start(DataType::Dataflow) + 0.05);
+
+    // ---- Response times --------------------------------------------------
+    // All models stay within the ~2 s interactive bound at full context.
+    for model in ModelId::all() {
+        let lat = mean(
+            &results
+                .filter(|r| {
+                    r.model == model && r.judge == JudgeId::Gpt && r.strategy == RagStrategy::Full
+                })
+                .map(|r| r.median_latency_ms)
+                .collect::<Vec<_>>(),
+        );
+        assert!(lat < 2_000.0, "{model}: latency {lat} ms");
+        assert!(lat > 50.0, "{model}: implausibly fast {lat} ms");
+    }
+}
+
+#[test]
+fn evaluation_is_reproducible() {
+    let e = Experiment {
+        seed: 7,
+        n_inputs: 3,
+        runs_per_query: 2,
+    };
+    let a = run_paper_evaluation(&e);
+    let b = run_paper_evaluation(&e);
+    let scores = |r: &provagent::eval::EvalResults| {
+        r.records.iter().map(|x| x.median_score).collect::<Vec<_>>()
+    };
+    assert_eq!(scores(&a), scores(&b));
+    // A different seed genuinely changes something.
+    let c = run_paper_evaluation(&Experiment {
+        seed: 8,
+        n_inputs: 3,
+        runs_per_query: 2,
+    });
+    assert_ne!(scores(&a), scores(&c));
+}
+
+/// The latency deep-dive claim (§5.4 future work, implemented): response
+/// time is driven by prompt size (prefill), so richer configurations cost
+/// more latency — yet every configuration stays interactive (<2 s).
+#[test]
+fn latency_follows_prompt_tokens_across_configs() {
+    let results = provagent::eval::run_matrix(
+        &experiment(),
+        &[ModelId::Gpt],
+        &[
+            RagStrategy::Baseline,
+            RagStrategy::BaselineFsSchema,
+            RagStrategy::Full,
+        ],
+        &[provagent::llm_sim::Judge::new(JudgeId::Gpt)],
+    );
+    let avg = |s: RagStrategy, f: fn(&provagent::eval::Record) -> f64| {
+        let v: Vec<f64> = results.filter(|r| r.strategy == s).map(f).collect();
+        mean(&v)
+    };
+    let configs = [
+        RagStrategy::Baseline,
+        RagStrategy::BaselineFsSchema,
+        RagStrategy::Full,
+    ];
+    // Tokens rise strictly with richer context…
+    let tokens: Vec<f64> = configs.iter().map(|&s| avg(s, |r| r.median_tokens)).collect();
+    assert!(tokens[0] < tokens[1] && tokens[1] < tokens[2], "{tokens:?}");
+    // …and latency rises with tokens between the schema-bearing configs
+    // (the decode term dominates the baseline, so only the prefill-driven
+    // growth is asserted), staying interactive throughout.
+    let lat: Vec<f64> = configs
+        .iter()
+        .map(|&s| avg(s, |r| r.median_latency_ms))
+        .collect();
+    assert!(lat[1] < lat[2], "schema {} vs full {}", lat[1], lat[2]);
+    for l in &lat {
+        assert!(*l < 2_000.0, "interactive bound violated: {l} ms");
+    }
+}

@@ -1,0 +1,320 @@
+//! Property-based tests over the core data structures and invariants:
+//! JSON round-trips, query language round-trips, DataFrame algebra,
+//! semantic-comparison reflexivity, broker conservation, tokenizer
+//! additivity, and schema boundedness.
+
+use proptest::prelude::*;
+use provagent::dataframe::{col, lit, AggFunc, DataFrame};
+use provagent::llm_sim::count_tokens;
+use provagent::prov_model::{json, Map, TaskMessageBuilder, Value};
+use provagent::provql::{self, Query, Stage};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only; JSON has no NaN/Inf.
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        "[a-zA-Z0-9 _.:/-]{0,24}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z_][a-z0-9_]{0,8}", inner, 0..5)
+                .prop_map(Value::Object),
+        ]
+    })
+}
+
+fn arb_column_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s.to_string())
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        (arb_column_name(), -1000i64..1000).prop_map(|(c, v)| Stage::Filter(col(c).gt(lit(v)))),
+        (arb_column_name(), "[A-Za-z0-9_-]{1,8}")
+            .prop_map(|(c, s)| Stage::Filter(col(c).eq(lit(s.as_str())))),
+        prop::collection::vec(arb_column_name(), 1..3).prop_map(Stage::Select),
+        arb_column_name().prop_map(Stage::Col),
+        prop::collection::vec(arb_column_name(), 1..3).prop_map(Stage::GroupBy),
+        prop_oneof![
+            Just(AggFunc::Mean),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Max),
+            Just(AggFunc::Count)
+        ]
+        .prop_map(Stage::Agg),
+        (arb_column_name(), any::<bool>())
+            .prop_map(|(c, asc)| Stage::SortValues(vec![(c, asc)])),
+        (1usize..20).prop_map(Stage::Head),
+        (1usize..5, arb_column_name()).prop_map(|(n, c)| Stage::NLargest(n, c)),
+        (arb_column_name(), any::<bool>()).prop_map(|(column, max)| Stage::LocIdx {
+            column,
+            max,
+            cell: None
+        }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec(arb_stage(), 0..4).prop_map(Query::pipeline)
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// JSON serialization round-trips every value.
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let text = json::to_string(&v);
+        let back = json::from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Pretty and compact renderings parse identically.
+    #[test]
+    fn json_pretty_equals_compact(v in arb_value()) {
+        let compact = json::from_str(&json::to_string(&v)).unwrap();
+        let pretty = json::from_str(&json::to_string_pretty(&v)).unwrap();
+        prop_assert_eq!(compact, pretty);
+    }
+
+    /// Query rendering round-trips through the parser.
+    #[test]
+    fn provql_roundtrip(q in arb_query()) {
+        let text = provql::render(&q);
+        let back = provql::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+        prop_assert_eq!(back, q);
+    }
+
+    /// Every query is functionally equivalent to itself.
+    #[test]
+    fn compare_is_reflexive(q in arb_query()) {
+        let c = provql::compare(&q, &q, None);
+        prop_assert!(c.score > 0.999, "self-similarity {} for {:?}", c.score, q);
+    }
+
+    /// Filtering never invents rows, and every surviving row satisfies the
+    /// predicate.
+    #[test]
+    fn filter_is_sound(xs in prop::collection::vec(-1000i64..1000, 0..64), threshold in -1000i64..1000) {
+        let frame = DataFrame::from_columns(vec![(
+            "x",
+            xs.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>(),
+        )]).unwrap();
+        let filtered = frame.filter(&col("x").gt(lit(threshold)));
+        prop_assert!(filtered.len() <= frame.len());
+        let expected = xs.iter().filter(|&&v| v > threshold).count();
+        prop_assert_eq!(filtered.len(), expected);
+        for v in filtered.column("x").unwrap().values() {
+            prop_assert!(v.as_i64().unwrap() > threshold);
+        }
+    }
+
+    /// Sorting is a permutation and is ordered.
+    #[test]
+    fn sort_is_an_ordered_permutation(xs in prop::collection::vec(-1000i64..1000, 0..64)) {
+        let frame = DataFrame::from_columns(vec![(
+            "x",
+            xs.iter().map(|&v| Value::Int(v)).collect::<Vec<_>>(),
+        )]).unwrap();
+        let sorted = frame.sort_values(&[("x", true)]).unwrap();
+        prop_assert_eq!(sorted.len(), frame.len());
+        let got: Vec<i64> = sorted.column("x").unwrap().values().iter()
+            .map(|v| v.as_i64().unwrap()).collect();
+        let mut expected = xs.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Group-by sizes partition the frame.
+    #[test]
+    fn groupby_partitions(keys in prop::collection::vec(0u8..5, 1..64)) {
+        let frame = DataFrame::from_columns(vec![(
+            "k",
+            keys.iter().map(|&v| Value::Int(v as i64)).collect::<Vec<_>>(),
+        )]).unwrap();
+        let sizes = frame.groupby(&["k"]).unwrap().size();
+        let total: i64 = sizes.column("size").unwrap().values().iter()
+            .map(|v| v.as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, keys.len());
+    }
+
+    /// Mean lies within [min, max] for non-empty numeric columns.
+    #[test]
+    fn mean_is_bounded(xs in prop::collection::vec(prop::num::f64::NORMAL, 1..64)) {
+        let frame = DataFrame::from_columns(vec![(
+            "x",
+            xs.iter().map(|&v| Value::Float(v)).collect::<Vec<_>>(),
+        )]).unwrap();
+        let mean = frame.agg("x", AggFunc::Mean).unwrap().as_f64().unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-6 && mean <= hi + 1e-6, "{lo} <= {mean} <= {hi}");
+    }
+
+    /// The memory broker delivers exactly subscribers × published messages.
+    #[test]
+    fn broker_conserves_messages(n in 1usize..50, subs in 1usize..4) {
+        let broker = provagent::prov_stream::MemoryBroker::new();
+        use provagent::prov_stream::{topics, Broker};
+        let subscriptions: Vec<_> = (0..subs).map(|_| broker.subscribe(topics::TASKS)).collect();
+        for i in 0..n {
+            broker
+                .publish(topics::TASKS, TaskMessageBuilder::new(format!("t{i}"), "wf", "a").build())
+                .unwrap();
+        }
+        for s in &subscriptions {
+            prop_assert_eq!(s.drain().len(), n);
+        }
+        prop_assert_eq!(broker.stats().delivered, (n * subs) as u64);
+    }
+
+    /// Tokens are additive across a whitespace boundary.
+    #[test]
+    fn tokens_additive_across_space(a in "[a-zA-Z0-9 ]{0,40}", b in "[a-zA-Z0-9 ]{0,40}") {
+        let joined = format!("{a} {b}");
+        prop_assert_eq!(count_tokens(&joined), count_tokens(&a) + count_tokens(&b));
+    }
+
+    /// The dynamic dataflow schema is bounded by activity diversity, not by
+    /// message count (the paper's scale-independence invariant).
+    #[test]
+    fn schema_bounded_by_diversity(n_msgs in 1usize..128, n_activities in 1usize..5) {
+        let mut schema = provagent::agent_core::DynamicDataflowSchema::new();
+        for i in 0..n_msgs {
+            let mut m = Map::new();
+            m.insert("x".into(), Value::Int(i as i64));
+            schema.observe(
+                &TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    "wf",
+                    format!("act{}", i % n_activities),
+                )
+                .uses("x", i as i64)
+                .generates("y", i as i64)
+                .build(),
+            );
+        }
+        prop_assert_eq!(schema.activity_count(), n_activities.min(n_msgs));
+        // Two fields per activity, regardless of message count.
+        prop_assert_eq!(schema.field_count(), 2 * n_activities.min(n_msgs));
+    }
+
+    /// Message JSON round-trips for arbitrary used/generated payloads.
+    #[test]
+    fn task_message_roundtrip(used in arb_value(), generated in arb_value()) {
+        let msg = TaskMessageBuilder::new("t", "wf", "act")
+            .used(used)
+            .generated(generated)
+            .span(1.0, 2.0)
+            .build();
+        let back = provagent::prov_model::TaskMessage::from_json(&msg.to_json()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension invariants: edit distance, chaos conservation, conformance,
+// class prediction.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Levenshtein distance is a metric: identity, symmetry, and the
+    /// triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(
+        a in "[a-z_]{0,12}",
+        b in "[a-z_]{0,12}",
+        c in "[a-z_]{0,12}",
+    ) {
+        use provagent::agent_core::autofix::edit_distance;
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert!(
+            edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c)
+        );
+        // Bounded by the longer string.
+        prop_assert!(edit_distance(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// A duplicate/reorder-only chaos broker conserves the message
+    /// multiset: nothing is lost, every delivered id was published.
+    #[test]
+    fn chaos_without_drops_conserves_messages(
+        n in 1usize..120,
+        dup in 0.0f64..0.5,
+        reorder in 0.0f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        use provagent::prov_stream::{Broker, ChaosBroker, ChaosConfig, MemoryBroker};
+        use std::sync::Arc;
+        let broker = ChaosBroker::new(
+            Arc::new(MemoryBroker::new()),
+            ChaosConfig { drop_p: 0.0, duplicate_p: dup, reorder_p: reorder, seed },
+        );
+        let sub = broker.subscribe("t");
+        for i in 0..n {
+            broker
+                .publish("t", TaskMessageBuilder::new(format!("m{i}"), "wf", "a").build())
+                .unwrap();
+        }
+        broker.flush_held().unwrap();
+        let got = sub.drain();
+        let mut distinct: Vec<&str> = got.iter().map(|m| m.task_id.as_str()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), n, "every published id delivered at least once");
+        prop_assert!(got.len() >= n);
+    }
+
+    /// A faithful execution conforms to its own plan regardless of the
+    /// order messages arrive in (streams have no ordering guarantees).
+    #[test]
+    fn conformance_is_order_independent(perm_seed in 0u64..1000) {
+        use provagent::prov_stream::StreamingHub;
+        use provagent::workflows::{build_synthetic_dag, run_sweep, ProspectivePlan, SyntheticParams};
+        let plan = ProspectivePlan::from_dag(
+            "synthetic",
+            &build_synthetic_dag(SyntheticParams::config(0)),
+        );
+        let hub = StreamingHub::in_memory();
+        let sub = hub.subscribe_tasks();
+        run_sweep(&hub, provagent::prov_model::sim_clock(), 42, 2).unwrap();
+        let mut msgs: Vec<provagent::prov_model::TaskMessage> =
+            sub.drain().iter().map(|m| (**m).clone()).collect();
+        // Deterministic pseudo-shuffle keyed by perm_seed.
+        let len = msgs.len();
+        for i in 0..len {
+            let j = ((perm_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % len;
+            msgs.swap(i, j);
+        }
+        let report = plan.check(&msgs);
+        prop_assert!(report.conforms(), "{}", report.render());
+    }
+
+    /// The class predictor is total and sane: it always returns at least
+    /// one data type, and at most two.
+    #[test]
+    fn predict_class_is_total(q in "[a-zA-Z0-9 _?]{0,80}") {
+        let (_, dts) = provagent::eval::predict_class(&q);
+        prop_assert!(!dts.is_empty());
+        prop_assert!(dts.len() <= 2);
+    }
+}
