@@ -176,7 +176,7 @@ impl Tool for ProvDbQueryTool {
         let docs = db.find(&prov_db::DocQuery::new());
         let msgs: Vec<TaskMessage> = docs
             .iter()
-            .filter_map(TaskMessage::from_value)
+            .filter_map(|d| TaskMessage::from_value(d))
             .collect();
         let frame = DataFrame::from_messages(&msgs);
         let (out, content) = run_code_on(&frame, code)?;
@@ -365,7 +365,7 @@ impl GraphQueryTool {
 
     /// Tokens of the question that name nodes actually present in the
     /// graph, in question order (deduped).
-    fn task_ids_in(question: &str, db: &ProvenanceDatabase) -> Vec<String> {
+    fn task_ids_in(question: &str, graph: &prov_db::GraphStore) -> Vec<String> {
         let mut ids = Vec::new();
         for raw in question.split(|c: char| c.is_whitespace() || c == ',' || c == '?') {
             let token = raw.trim_matches(|c: char| {
@@ -374,7 +374,7 @@ impl GraphQueryTool {
             if token.len() < 2 {
                 continue;
             }
-            if db.graph.node(token).is_some() && !ids.iter().any(|i| i == token) {
+            if graph.node(token).is_some() && !ids.iter().any(|i| i == token) {
                 ids.push(token.to_string());
             }
         }
@@ -401,7 +401,10 @@ impl Tool for GraphQueryTool {
             .and_then(Value::as_i64)
             .map(|d| d.max(1) as usize)
             .unwrap_or(Self::DEFAULT_DEPTH);
-        let ids = Self::task_ids_in(question, db);
+        // One accessor call: `graph()` flushes any pending stream ingest
+        // behind a mutex, so hoist it instead of paying that per token.
+        let graph = db.graph();
+        let ids = Self::task_ids_in(question, graph);
         let first = ids.first().ok_or_else(|| {
             ToolError::Exec(
                 "no task id found in the question; mention a task id recorded in the \
@@ -412,8 +415,7 @@ impl Tool for GraphQueryTool {
         let op = Self::infer_op(question);
 
         let describe = |id: &str| -> Value {
-            let activity = db
-                .graph
+            let activity = graph
                 .node(id)
                 .and_then(|n| n.props.get("activity_id").cloned())
                 .unwrap_or(Value::Null);
@@ -429,10 +431,9 @@ impl Tool for GraphQueryTool {
                 })?;
                 // PROV edges point effect → cause (wasInformedBy), so try
                 // both directions before giving up.
-                let path = db
-                    .graph
+                let path = graph
                     .shortest_path(first, second)
-                    .or_else(|| db.graph.shortest_path(second, first));
+                    .or_else(|| graph.shortest_path(second, first));
                 match path {
                     Some(p) => {
                         let rendered = format!(
@@ -454,9 +455,9 @@ impl Tool for GraphQueryTool {
             }
             GraphOp::Upstream | GraphOp::Downstream => {
                 let hops = if op == GraphOp::Upstream {
-                    db.graph.upstream_lineage(first, depth)
+                    graph.upstream_lineage(first, depth)
                 } else {
-                    db.graph.downstream_impact(first, depth)
+                    graph.downstream_impact(first, depth)
                 };
                 let direction = if op == GraphOp::Upstream {
                     "upstream lineage"
@@ -479,8 +480,7 @@ impl Tool for GraphQueryTool {
                 if !hops.is_empty() {
                     rendered.push('\n');
                     for (id, d) in &hops {
-                        let act = db
-                            .graph
+                        let act = graph
                             .node(id)
                             .and_then(|n| n.props.get("activity_id").cloned())
                             .map(|v| v.display_plain())

@@ -71,7 +71,7 @@ fn bench_graph_traversal(c: &mut Criterion) {
         .map(|(_, id)| id.as_str().to_string())
         .unwrap();
     g.bench_function("upstream_lineage", |b| {
-        b.iter(|| black_box(db.graph.upstream_lineage(&leaf, 16)))
+        b.iter(|| black_box(db.graph().upstream_lineage(&leaf, 16)))
     });
     let root = bde
         .run
@@ -81,7 +81,7 @@ fn bench_graph_traversal(c: &mut Criterion) {
         .map(|(_, id)| id.as_str().to_string())
         .unwrap();
     g.bench_function("shortest_path", |b| {
-        b.iter(|| black_box(db.graph.shortest_path(&leaf, &root)))
+        b.iter(|| black_box(db.graph().shortest_path(&leaf, &root)))
     });
     g.finish();
 }

@@ -1,0 +1,126 @@
+//! `prov_db` bench group: the sharded, clone-free engine vs the seed
+//! baseline on the three hot paths the ISSUE names — batch ingest,
+//! indexed point find, and group-by aggregation.
+
+use bench::baseline::BaselineDatabase;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_db::{AggOp, Aggregate, DocQuery, GroupSpec, Op, ProvenanceDatabase};
+use prov_model::{TaskMessage, TaskMessageBuilder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn msg(i: usize) -> TaskMessage {
+    TaskMessageBuilder::new(
+        format!("t{i}"),
+        format!("wf-{}", i % 50),
+        format!("act{}", i % 8),
+    )
+    .host(format!("node{:03}", i % 64))
+    .uses("x", i as f64)
+    .generates("y", (i * 2) as f64)
+    .span(i as f64, i as f64 + 1.0)
+    .build()
+}
+
+fn corpus(n: usize) -> Vec<TaskMessage> {
+    (0..n).map(msg).collect()
+}
+
+/// Batch ingest of task messages through the full three-backend fan-out:
+/// the seed's per-message loop, the new eager batch path, the streaming
+/// accept path (keeper-style `Arc` handover), and accept + materialize.
+fn bench_batch_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provdb_batch_ingest");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    const N: usize = 20_000;
+    let msgs = corpus(N);
+    let shared: Vec<std::sync::Arc<TaskMessage>> =
+        msgs.iter().cloned().map(std::sync::Arc::new).collect();
+    g.bench_with_input(BenchmarkId::new("baseline", N), &msgs, |b, msgs| {
+        b.iter(|| {
+            let db = BaselineDatabase::new();
+            black_box(db.insert_batch(msgs))
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sharded_eager", N), &msgs, |b, msgs| {
+        b.iter(|| {
+            let db = ProvenanceDatabase::new();
+            black_box(db.insert_batch(msgs))
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sharded_accept", N), &shared, |b, shared| {
+        b.iter(|| {
+            let db = ProvenanceDatabase::new();
+            black_box(db.insert_batch_shared(shared.iter().cloned()))
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::new("sharded_accept_materialize", N),
+        &shared,
+        |b, shared| {
+            b.iter(|| {
+                let db = ProvenanceDatabase::new();
+                db.insert_batch_shared(shared.iter().cloned());
+                db.flush_views();
+                black_box(db.insert_count())
+            })
+        },
+    );
+    g.finish();
+}
+
+/// Indexed equality find (p50-style repeated probe on a hot field).
+fn bench_indexed_find(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provdb_indexed_find");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    const N: usize = 100_000;
+    let msgs = corpus(N);
+    let baseline = BaselineDatabase::new();
+    baseline.insert_batch(&msgs);
+    let sharded = ProvenanceDatabase::new();
+    sharded.insert_batch(&msgs);
+    let query = DocQuery::new().filter("workflow_id", Op::Eq, "wf-7");
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(baseline.documents.find(&query).len()))
+    });
+    g.bench_function("sharded", |b| {
+        b.iter(|| black_box(sharded.find(&query).len()))
+    });
+    g.finish();
+}
+
+/// Group-by aggregation over 100k documents.
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provdb_aggregate_100k");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    const N: usize = 100_000;
+    let msgs = corpus(N);
+    let baseline = BaselineDatabase::new();
+    baseline.insert_batch(&msgs);
+    let sharded = ProvenanceDatabase::new();
+    sharded.insert_batch(&msgs);
+    let group = GroupSpec {
+        key: "activity_id".into(),
+        aggs: vec![
+            Aggregate {
+                path: "generated.y".into(),
+                op: AggOp::Mean,
+            },
+            Aggregate {
+                path: "generated.y".into(),
+                op: AggOp::Count,
+            },
+        ],
+    };
+    let query = DocQuery::new();
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(baseline.documents.aggregate(&query, &group).len()))
+    });
+    g.bench_function("sharded", |b| {
+        b.iter(|| black_box(sharded.aggregate(&query, &group).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(prov_db, bench_batch_ingest, bench_indexed_find, bench_aggregate);
+criterion_main!(prov_db);

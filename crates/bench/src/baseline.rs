@@ -1,0 +1,237 @@
+//! The pre-refactor provenance-database hot path, preserved verbatim so the
+//! sharded engine's speedups are measured against the real thing rather
+//! than a strawman. This is the exact design the seed shipped:
+//!
+//! * one `RwLock<Vec<Value>>` serializing all writers;
+//! * `String` index keys built with `display_plain()` (one allocation per
+//!   index probe and per indexed insert);
+//! * `find` deep-cloning every matching document;
+//! * `candidates` returning the **first** index hit, never intersecting;
+//! * `aggregate` materializing a full clone of every matching document and
+//!   doing O(n·groups) linear bucket search;
+//! * per-message fan-out: 3 lock round-trips per message on the batch path.
+
+use parking_lot::RwLock;
+use prov_db::{Condition, DocQuery, GroupSpec, Op};
+use prov_model::{Map, ProvRelation, TaskMessage, Value};
+use std::collections::HashMap;
+
+/// Single-lock, clone-on-read document store (the seed implementation).
+#[derive(Default)]
+pub struct BaselineDocumentStore {
+    docs: RwLock<Vec<Value>>,
+    /// field path → (value text → doc indices)
+    indexes: RwLock<HashMap<String, HashMap<String, Vec<usize>>>>,
+}
+
+impl BaselineDocumentStore {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert one document; returns its index.
+    pub fn insert(&self, doc: Value) -> usize {
+        let mut docs = self.docs.write();
+        let idx = docs.len();
+        let mut indexes = self.indexes.write();
+        for (path, index) in indexes.iter_mut() {
+            if let Some(v) = doc.get_path(path) {
+                index.entry(v.display_plain()).or_default().push(idx);
+            }
+        }
+        docs.push(doc);
+        idx
+    }
+
+    /// Bulk insert: loops the per-document lock round-trip (seed behavior).
+    pub fn insert_many(&self, batch: Vec<Value>) -> usize {
+        let n = batch.len();
+        for d in batch {
+            self.insert(d);
+        }
+        n
+    }
+
+    /// Create a hash index over a dotted field path.
+    pub fn create_index(&self, path: &str) {
+        let mut indexes = self.indexes.write();
+        if indexes.contains_key(path) {
+            return;
+        }
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, d) in self.docs.read().iter().enumerate() {
+            if let Some(v) = d.get_path(path) {
+                index.entry(v.display_plain()).or_default().push(i);
+            }
+        }
+        indexes.insert(path.to_string(), index);
+    }
+
+    /// Run a query, deep-cloning every matching document.
+    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
+        let docs = self.docs.read();
+        let mut hits: Vec<usize> = match self.candidates(&query.conditions) {
+            Some(c) => c
+                .into_iter()
+                .filter(|&i| query.matches(&docs[i]))
+                .collect(),
+            None => (0..docs.len()).filter(|&i| query.matches(&docs[i])).collect(),
+        };
+        if let Some((path, ascending)) = &query.sort {
+            hits.sort_by(|&a, &b| {
+                let va = docs[a].get_path(path).cloned().unwrap_or(Value::Null);
+                let vb = docs[b].get_path(path).cloned().unwrap_or(Value::Null);
+                let o = va.compare(&vb);
+                if *ascending {
+                    o
+                } else {
+                    o.reverse()
+                }
+            });
+        }
+        if let Some(n) = query.limit {
+            hits.truncate(n);
+        }
+        hits.into_iter()
+            .map(|i| project(&docs[i], &query.projection))
+            .collect()
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, query: &DocQuery) -> usize {
+        let docs = self.docs.read();
+        match self.candidates(&query.conditions) {
+            Some(c) => c.into_iter().filter(|&i| query.matches(&docs[i])).count(),
+            None => docs.iter().filter(|d| query.matches(d)).count(),
+        }
+    }
+
+    /// First-index-hit candidate selection (seed behavior: no smallest-set
+    /// choice, no intersection, one `display_plain` String per probe).
+    fn candidates(&self, conditions: &[Condition]) -> Option<Vec<usize>> {
+        let indexes = self.indexes.read();
+        for c in conditions {
+            if c.op == Op::Eq {
+                if let Some(index) = indexes.get(&c.path) {
+                    return Some(index.get(&c.value.display_plain()).cloned().unwrap_or_default());
+                }
+            }
+        }
+        None
+    }
+
+    /// Group-and-aggregate via a full clone of the matching documents and a
+    /// linear bucket scan per document (seed behavior).
+    pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
+        let docs = self.find(&DocQuery {
+            conditions: query.conditions.clone(),
+            projection: Vec::new(),
+            sort: None,
+            limit: None,
+        });
+        let mut buckets: Vec<(Value, Vec<&Value>)> = Vec::new();
+        for d in &docs {
+            let key = d.get_path(&group.key).cloned().unwrap_or(Value::Null);
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, items)) => items.push(d),
+                None => buckets.push((key, vec![d])),
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(key, items)| {
+                let mut out = Map::new();
+                out.insert("_id".into(), key);
+                for agg in &group.aggs {
+                    let vals: Vec<Value> = items
+                        .iter()
+                        .filter_map(|d| d.get_path(&agg.path))
+                        .cloned()
+                        .collect();
+                    out.insert(agg.output_name(), agg.apply(&vals));
+                }
+                Value::Object(out)
+            })
+            .collect()
+    }
+}
+
+fn project(doc: &Value, projection: &[String]) -> Value {
+    if projection.is_empty() {
+        return doc.clone();
+    }
+    let mut out = Map::new();
+    for p in projection {
+        if let Some(v) = doc.get_path(p) {
+            out.insert(p.clone(), v.clone());
+        }
+    }
+    Value::Object(out)
+}
+
+/// Seed-shaped unified database: per-message fan-out to document, KV, and
+/// graph backends with one lock round-trip each (no batch path).
+#[derive(Default)]
+pub struct BaselineDatabase {
+    /// Document collection.
+    pub documents: BaselineDocumentStore,
+    kv: RwLock<std::collections::BTreeMap<String, Value>>,
+    graph_nodes: RwLock<HashMap<String, (String, Map)>>,
+    graph_edges: RwLock<Vec<(String, String, String)>>,
+}
+
+impl BaselineDatabase {
+    /// Fresh database with the seed's hot-field indexes.
+    pub fn new() -> Self {
+        let db = Self::default();
+        db.documents.create_index("task_id");
+        db.documents.create_index("activity_id");
+        db.documents.create_index("workflow_id");
+        db
+    }
+
+    /// Insert one message: deep-clones the document for the KV row and
+    /// takes one write lock per backend touched (seed behavior).
+    pub fn insert(&self, msg: &TaskMessage) {
+        let doc = msg.to_value();
+        self.documents.insert(doc.clone());
+        self.kv
+            .write()
+            .insert(format!("task/{}", msg.task_id.as_str()), doc);
+        let mut props = Map::new();
+        props.insert("activity_id".into(), Value::from(msg.activity_id.as_str()));
+        props.insert("hostname".into(), Value::from(msg.hostname.as_str()));
+        props.insert("status".into(), Value::from(msg.status.as_str()));
+        self.graph_nodes
+            .write()
+            .insert(msg.task_id.as_str().to_string(), ("prov:Activity".into(), props));
+        for dep in &msg.depends_on {
+            self.graph_edges.write().push((
+                msg.task_id.as_str().to_string(),
+                dep.as_str().to_string(),
+                ProvRelation::WasInformedBy.as_str().to_string(),
+            ));
+        }
+    }
+
+    /// Bulk insert = a loop of single inserts (seed behavior).
+    pub fn insert_batch<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
+        let mut n = 0;
+        for m in msgs {
+            self.insert(m);
+            n += 1;
+        }
+        n
+    }
+}

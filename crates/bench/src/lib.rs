@@ -1,0 +1,7 @@
+//! Benchmark support library: the pre-refactor (single-lock, clone-heavy)
+//! provenance-database baseline that `repro --provdb` and the `prov_db`
+//! criterion group measure the sharded engine against.
+
+#![warn(missing_docs)]
+
+pub mod baseline;

@@ -1,58 +1,250 @@
 //! Document store — the MongoDB-shaped backend ("filtering and
-//! aggregation", §2.3). Stores JSON documents, supports dotted-path
-//! filters, projections, sorts, limits, group-by aggregation, and hash
-//! indexes on hot fields.
+//! aggregation", §2.3), rebuilt as a sharded, clone-free engine.
+//!
+//! Documents live as [`Arc<Value>`] in N independently locked shards, so
+//! concurrent writers no longer serialize on one `RwLock<Vec<Value>>` and
+//! `find`/`get` hand back shared handles instead of deep clones. Index keys
+//! are content hashes ([`Value::stable_hash`]) rather than rendered
+//! `String`s, so neither inserts nor probes allocate; equality conditions
+//! intersect every available index (smallest set first), and range
+//! predicates (`Gt`/`Gte`/`Lt`/`Lte`) can be served from a sorted numeric
+//! index on hot fields such as `started_at`.
+//!
+//! Document ids interleave across shards: the document in shard `s` at
+//! slot `k` has id `k * nshards + s`. Ids assigned by a single thread are
+//! dense and ascending, and every query sorts its hits by id, so results
+//! keep insertion order exactly as the single-lock engine did.
 
 use crate::query::{Condition, DocQuery, GroupSpec, Op};
 use parking_lot::RwLock;
 use prov_model::{Map, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// An in-memory JSON document collection.
+/// Stable document id: `slot * nshards + shard`.
+pub type DocId = usize;
+
+/// Pass-through hasher for maps keyed by an already-mixed
+/// [`Value::stable_hash`]: re-hashing a good 64-bit hash through SipHash
+/// would only burn ingest cycles.
 #[derive(Default)]
+struct PrehashedKey(u64);
+
+impl Hasher for PrehashedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Not used for u64 keys; keep a real hash as a safety net.
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+type PrehashedMap<V> = HashMap<u64, V, BuildHasherDefault<PrehashedKey>>;
+
+/// Posting list that avoids a heap `Vec` for unique keys — on a store
+/// indexed by `task_id`, every key is unique, so the old
+/// one-`Vec`-per-key layout paid one allocation per ingested document.
+enum IdList {
+    One(DocId),
+    Many(Vec<DocId>),
+}
+
+impl IdList {
+    fn push(&mut self, id: DocId) {
+        match self {
+            IdList::One(first) => *self = IdList::Many(vec![*first, id]),
+            IdList::Many(v) => v.push(id),
+        }
+    }
+
+    fn to_vec(&self) -> Vec<DocId> {
+        match self {
+            IdList::One(id) => vec![*id],
+            IdList::Many(v) => v.clone(),
+        }
+    }
+}
+
+/// Log-structured sorted numeric index: appends are O(1) on the ingest
+/// path; the first range probe after a write burst merges the pending run
+/// into the sorted run (amortized, like an LSM memtable flush).
+#[derive(Default)]
+struct RangeLog {
+    /// `(order-encoded f64, doc id)`, sorted by key.
+    sorted: Vec<(u64, DocId)>,
+    /// Unmerged appends in arrival order.
+    pending: Vec<(u64, DocId)>,
+}
+
+impl RangeLog {
+    fn push(&mut self, key: u64, id: DocId) {
+        self.pending.push((key, id));
+    }
+
+    fn merge(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.sorted.append(&mut self.pending);
+        // pdqsort is near-linear on the mostly-sorted runs ingest produces.
+        self.sorted.sort_unstable();
+    }
+
+    /// Ids with key satisfying `op bound` (callers merged `pending` first).
+    fn probe(&self, op: Op, bound: u64, out: &mut Vec<DocId>) {
+        let range = match op {
+            Op::Gte => self.sorted.partition_point(|(k, _)| *k < bound)..self.sorted.len(),
+            Op::Gt => self.sorted.partition_point(|(k, _)| *k <= bound)..self.sorted.len(),
+            Op::Lte => 0..self.sorted.partition_point(|(k, _)| *k <= bound),
+            Op::Lt => 0..self.sorted.partition_point(|(k, _)| *k < bound),
+            _ => unreachable!("probe is only called for range operators"),
+        };
+        out.extend(self.sorted[range].iter().map(|(_, id)| *id));
+    }
+}
+
+/// Indexes for one dotted field path.
+#[derive(Default)]
+struct FieldIndex {
+    /// `stable_hash(value)` → ids of docs holding that value at the path.
+    /// Hash collisions are harmless: every candidate is still checked with
+    /// `DocQuery::matches` before it can reach a result set.
+    eq: PrehashedMap<IdList>,
+    /// Sorted numeric index (present only after `create_range_index`).
+    range: Option<RangeLog>,
+    /// Docs whose value at this path is non-numeric; unioned into every
+    /// range-index candidate set because mixed-kind comparisons can still
+    /// satisfy range operators (kind-tag ordering in `Value::compare`).
+    non_numeric: Vec<DocId>,
+}
+
+/// Order-preserving encoding of an `f64` into sortable `u64` bits.
+/// `-0.0` canonicalizes to `+0.0` first — `Value::compare` treats them as
+/// equal, so they must share a key or range probes on a zero bound would
+/// drop documents an unindexed scan returns. NaN never reaches this
+/// function (NaN-valued docs go to the `non_numeric` catch-all instead).
+fn range_key(f: f64) -> u64 {
+    let f = if f == 0.0 { 0.0 } else { f };
+    let bits = f.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// An in-memory JSON document collection, sharded for write concurrency.
 pub struct DocumentStore {
-    docs: RwLock<Vec<Value>>,
-    /// field path → (value text → doc indices)
-    indexes: RwLock<HashMap<String, HashMap<String, Vec<usize>>>>,
+    shards: Box<[RwLock<Vec<Arc<Value>>>]>,
+    /// Round-robin distribution counter (not an id source: ids derive from
+    /// the slot a document actually lands in).
+    router: AtomicUsize,
+    indexes: RwLock<HashMap<String, FieldIndex>>,
+}
+
+impl Default for DocumentStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DocumentStore {
-    /// Empty collection.
+    /// Empty collection with one shard per available core (capped at 16).
     pub fn new() -> Self {
-        Self::default()
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+            .clamp(1, 16);
+        Self::with_shards(n)
+    }
+
+    /// Empty collection with an explicit shard count (≥ 1). Query results
+    /// are shard-count-invariant; the count only tunes write concurrency.
+    pub fn with_shards(nshards: usize) -> Self {
+        let nshards = nshards.max(1);
+        Self {
+            shards: (0..nshards).map(|_| RwLock::new(Vec::new())).collect(),
+            router: AtomicUsize::new(0),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of documents.
     pub fn len(&self) -> usize {
-        self.docs.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no documents are stored.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Insert one document; returns its index.
-    pub fn insert(&self, doc: Value) -> usize {
-        let mut docs = self.docs.write();
-        let idx = docs.len();
-        let mut indexes = self.indexes.write();
-        for (path, index) in indexes.iter_mut() {
-            if let Some(v) = doc.get_path(path) {
-                index.entry(v.display_plain()).or_default().push(idx);
-            }
-        }
-        docs.push(doc);
-        idx
+    /// Insert one document; returns its id.
+    pub fn insert(&self, doc: impl Into<Arc<Value>>) -> DocId {
+        self.insert_many_shared(vec![doc.into()])
+            .expect("one doc inserted")
     }
 
-    /// Bulk insert; returns how many were stored.
+    /// Bulk insert of owned documents; returns how many were stored.
     pub fn insert_many(&self, batch: Vec<Value>) -> usize {
         let n = batch.len();
-        for d in batch {
-            self.insert(d);
-        }
+        self.insert_many_shared(batch.into_iter().map(Arc::new).collect());
         n
+    }
+
+    /// The true batch path: distribute a batch round-robin over the shards,
+    /// taking each shard's write lock **once**, then update every index
+    /// under a single index-lock acquisition. Returns the id of the first
+    /// inserted document (`None` for an empty batch).
+    ///
+    /// Lock order is indexes → shards, matching the readers, so an indexed
+    /// probe never observes a document that is missing its index entries.
+    pub fn insert_many_shared(&self, batch: Vec<Arc<Value>>) -> Option<DocId> {
+        if batch.is_empty() {
+            return None;
+        }
+        let nshards = self.shards.len();
+        let base = self.router.fetch_add(batch.len(), Ordering::Relaxed);
+
+        // Partition round-robin, preserving batch order within each shard.
+        let mut per_shard: Vec<Vec<Arc<Value>>> = vec![Vec::new(); nshards];
+        for (i, doc) in batch.into_iter().enumerate() {
+            per_shard[(base + i) % nshards].push(doc);
+        }
+
+        let mut indexes = self.indexes.write();
+        let mut first: Option<DocId> = None;
+        for (s, docs) in per_shard.into_iter().enumerate() {
+            if docs.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            for doc in docs {
+                let id = shard.len() * nshards + s;
+                first = Some(first.map_or(id, |f| f.min(id)));
+                for (path, index) in indexes.iter_mut() {
+                    if let Some(v) = doc.get_path(path) {
+                        index_insert(index, id, v);
+                    }
+                }
+                shard.push(doc);
+            }
+        }
+        first
     }
 
     /// Create a hash index over a dotted field path (idempotent).
@@ -61,35 +253,66 @@ impl DocumentStore {
         if indexes.contains_key(path) {
             return;
         }
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (i, d) in self.docs.read().iter().enumerate() {
-            if let Some(v) = d.get_path(path) {
-                index.entry(v.display_plain()).or_default().push(i);
+        let mut index = FieldIndex::default();
+        self.for_each_doc(|id, doc| {
+            if let Some(v) = doc.get_path(path) {
+                index_insert(&mut index, id, v);
             }
-        }
+        });
         indexes.insert(path.to_string(), index);
     }
 
-    /// Fetch a document by index.
-    pub fn get(&self, idx: usize) -> Option<Value> {
-        self.docs.read().get(idx).cloned()
+    /// Add a sorted numeric index over a dotted field path so range
+    /// predicates (`Gt`/`Gte`/`Lt`/`Lte`) become index probes instead of
+    /// full scans. Implies the hash index; idempotent.
+    pub fn create_range_index(&self, path: &str) {
+        let mut indexes = self.indexes.write();
+        let index = indexes.entry(path.to_string()).or_default();
+        if index.range.is_some() {
+            return;
+        }
+        // Rebuild from scratch: existing docs need range entries even if the
+        // hash side of the index already covered them.
+        let mut rebuilt = FieldIndex {
+            range: Some(RangeLog::default()),
+            ..FieldIndex::default()
+        };
+        self.for_each_doc(|id, doc| {
+            if let Some(v) = doc.get_path(path) {
+                index_insert(&mut rebuilt, id, v);
+            }
+        });
+        indexes.insert(path.to_string(), rebuilt);
     }
 
-    /// Run a query: filter → sort → limit → project.
-    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
-        let docs = self.docs.read();
-        let mut hits: Vec<usize> = match self.candidates(&docs, &query.conditions) {
-            Some(c) => c
-                .into_iter()
-                .filter(|&i| query.matches(&docs[i]))
-                .collect(),
-            None => (0..docs.len()).filter(|&i| query.matches(&docs[i])).collect(),
-        };
+    /// Visit every document as `(id, &doc)` in shard order (used for index
+    /// builds; callers hold the index write lock, honoring lock order).
+    fn for_each_doc(&self, mut f: impl FnMut(DocId, &Arc<Value>)) {
+        let nshards = self.shards.len();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (slot, doc) in shard.read().iter().enumerate() {
+                f(slot * nshards + s, doc);
+            }
+        }
+    }
+
+    /// Fetch a document by id as a shared handle (no clone of the payload).
+    pub fn get(&self, id: DocId) -> Option<Arc<Value>> {
+        let nshards = self.shards.len();
+        self.shards[id % nshards].read().get(id / nshards).cloned()
+    }
+
+    /// Run a query: filter → sort → limit → project. Results are shared
+    /// handles; only projections materialize new documents.
+    pub fn find(&self, query: &DocQuery) -> Vec<Arc<Value>> {
+        let mut hits = self.matching(query);
         if let Some((path, ascending)) = &query.sort {
-            hits.sort_by(|&a, &b| {
-                let va = docs[a].get_path(path).cloned().unwrap_or(Value::Null);
-                let vb = docs[b].get_path(path).cloned().unwrap_or(Value::Null);
-                let o = va.compare(&vb);
+            // Stable sort over id-ordered hits: ties keep insertion order,
+            // exactly like the single-lock engine.
+            hits.sort_by(|(_, a), (_, b)| {
+                let va = a.get_path(path).unwrap_or(&Value::Null);
+                let vb = b.get_path(path).unwrap_or(&Value::Null);
+                let o = va.compare(vb);
                 if *ascending {
                     o
                 } else {
@@ -101,78 +324,238 @@ impl DocumentStore {
             hits.truncate(n);
         }
         hits.into_iter()
-            .map(|i| project(&docs[i], &query.projection))
+            .map(|(_, doc)| project(doc, &query.projection))
             .collect()
     }
 
     /// Count matching documents without materializing them.
     pub fn count(&self, query: &DocQuery) -> usize {
-        let docs = self.docs.read();
-        match self.candidates(&docs, &query.conditions) {
-            Some(c) => c.into_iter().filter(|&i| query.matches(&docs[i])).count(),
-            None => docs.iter().filter(|d| query.matches(d)).count(),
+        match self.candidates(&query.conditions) {
+            Some(ids) => {
+                let nshards = self.shards.len();
+                let mut n = 0;
+                let mut ids = ids;
+                ids.sort_unstable();
+                let mut i = 0;
+                while i < ids.len() {
+                    let s = ids[i] % nshards;
+                    let shard = self.shards[s].read();
+                    while i < ids.len() && ids[i] % nshards == s {
+                        if let Some(doc) = shard.get(ids[i] / nshards) {
+                            if query.matches(doc) {
+                                n += 1;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                n
+            }
+            None => {
+                let mut n = 0;
+                for shard in self.shards.iter() {
+                    n += shard.read().iter().filter(|d| query.matches(d)).count();
+                }
+                n
+            }
         }
     }
 
-    /// Equality-indexed candidate set, when an index covers a condition.
-    fn candidates(&self, _docs: &[Value], conditions: &[Condition]) -> Option<Vec<usize>> {
-        let indexes = self.indexes.read();
-        for c in conditions {
-            if c.op == Op::Eq {
-                if let Some(index) = indexes.get(&c.path) {
-                    return Some(index.get(&c.value.display_plain()).cloned().unwrap_or_default());
+    /// Matching `(id, doc)` pairs in id (= insertion) order.
+    fn matching(&self, query: &DocQuery) -> Vec<(DocId, Arc<Value>)> {
+        let nshards = self.shards.len();
+        let mut hits: Vec<(DocId, Arc<Value>)> = Vec::new();
+        match self.candidates(&query.conditions) {
+            Some(mut ids) => {
+                // Group by shard so each shard lock is taken at most once.
+                ids.sort_unstable();
+                ids.dedup();
+                let mut i = 0;
+                while i < ids.len() {
+                    let s = ids[i] % nshards;
+                    let shard = self.shards[s].read();
+                    while i < ids.len() && ids[i] % nshards == s {
+                        if let Some(doc) = shard.get(ids[i] / nshards) {
+                            if query.matches(doc) {
+                                hits.push((ids[i], doc.clone()));
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            None => {
+                for (s, shard) in self.shards.iter().enumerate() {
+                    let shard = shard.read();
+                    for (slot, doc) in shard.iter().enumerate() {
+                        if query.matches(doc) {
+                            hits.push((slot * nshards + s, doc.clone()));
+                        }
+                    }
                 }
             }
         }
-        None
+        hits.sort_unstable_by_key(|(id, _)| *id);
+        hits
+    }
+
+    /// Index-driven candidate ids, or `None` when no condition is indexed.
+    ///
+    /// Every indexed `Eq` condition contributes a set (hash probe, zero
+    /// allocation), and every range condition with a sorted index
+    /// contributes one; the smallest set seeds the scan and the rest are
+    /// intersected — the old engine took the *first* index hit only.
+    fn candidates(&self, conditions: &[Condition]) -> Option<Vec<DocId>> {
+        // Range probes read the sorted run, so any pending appends must be
+        // merged first — that needs the write lock, taken only when a write
+        // burst actually left unmerged entries (LSM-style amortization).
+        let is_range = |op: Op| matches!(op, Op::Gt | Op::Gte | Op::Lt | Op::Lte);
+        let indexes = self.indexes.read();
+        let needs_merge = conditions.iter().any(|c| {
+            is_range(c.op)
+                && indexes
+                    .get(&c.path)
+                    .and_then(|i| i.range.as_ref())
+                    .is_some_and(|r| !r.pending.is_empty())
+        });
+        let indexes = if needs_merge {
+            drop(indexes);
+            let mut w = self.indexes.write();
+            for c in conditions {
+                if is_range(c.op) {
+                    if let Some(range) = w.get_mut(&c.path).and_then(|i| i.range.as_mut()) {
+                        range.merge();
+                    }
+                }
+            }
+            drop(w);
+            self.indexes.read()
+        } else {
+            indexes
+        };
+
+        let mut sets: Vec<Vec<DocId>> = Vec::new();
+        for c in conditions {
+            let Some(index) = indexes.get(&c.path) else {
+                continue;
+            };
+            match c.op {
+                Op::Eq => {
+                    sets.push(
+                        index
+                            .eq
+                            .get(&c.value.stable_hash())
+                            .map(IdList::to_vec)
+                            .unwrap_or_default(),
+                    );
+                }
+                Op::Gt | Op::Gte | Op::Lt | Op::Lte => {
+                    let (Some(range), Some(bound)) = (&index.range, c.value.as_f64()) else {
+                        continue;
+                    };
+                    // A NaN bound compares Equal to every number under
+                    // `Value::compare`; the sorted run cannot express that,
+                    // so leave this condition to the scan filter.
+                    if bound.is_nan() {
+                        continue;
+                    }
+                    let mut ids: Vec<DocId> = Vec::new();
+                    range.probe(c.op, range_key(bound), &mut ids);
+                    // Non-numeric values compare by kind tag and may still
+                    // satisfy the operator; keep them as candidates.
+                    ids.extend_from_slice(&index.non_numeric);
+                    sets.push(ids);
+                }
+                _ => {}
+            }
+        }
+        if sets.is_empty() {
+            return None;
+        }
+        // Smallest set first, then intersect the rest into it.
+        sets.sort_by_key(Vec::len);
+        let mut iter = sets.into_iter();
+        let mut smallest = iter.next().expect("non-empty");
+        for other in iter {
+            let other: HashSet<DocId> = other.into_iter().collect();
+            smallest.retain(|id| other.contains(id));
+            if smallest.is_empty() {
+                break;
+            }
+        }
+        Some(smallest)
     }
 
     /// Group matching documents by a key path and aggregate value paths.
+    ///
+    /// Hash-grouped over the shard read guards: no full-document clones and
+    /// no O(n·groups) linear bucket search — only the group keys and the
+    /// aggregated leaf values are copied out. Groups keep first-seen order.
     pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
-        let docs = self.find(&DocQuery {
+        struct Bucket {
+            key: Value,
+            values: Vec<Vec<Value>>, // one list per aggregate
+        }
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for (_, doc) in self.matching(&DocQuery {
             conditions: query.conditions.clone(),
             projection: Vec::new(),
             sort: None,
             limit: None,
-        });
-        let mut buckets: Vec<(Value, Vec<&Value>)> = Vec::new();
-        for d in &docs {
-            let key = d.get_path(&group.key).cloned().unwrap_or(Value::Null);
-            match buckets.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, items)) => items.push(d),
-                None => buckets.push((key, vec![d])),
+        }) {
+            let key = doc.get_path(&group.key).unwrap_or(&Value::Null);
+            let h = key.stable_hash();
+            let slot = by_hash.entry(h).or_default();
+            let idx = match slot.iter().find(|&&i| buckets[i].key == *key) {
+                Some(&i) => i,
+                None => {
+                    buckets.push(Bucket {
+                        key: key.clone(),
+                        values: vec![Vec::new(); group.aggs.len()],
+                    });
+                    slot.push(buckets.len() - 1);
+                    buckets.len() - 1
+                }
+            };
+            for (a, agg) in group.aggs.iter().enumerate() {
+                if let Some(v) = doc.get_path(&agg.path) {
+                    buckets[idx].values[a].push(v.clone());
+                }
             }
         }
+
         buckets
             .into_iter()
-            .map(|(key, items)| {
+            .map(|b| {
                 let mut out = Map::new();
-                out.insert("_id".into(), key);
-                for agg in &group.aggs {
-                    let vals: Vec<Value> = items
-                        .iter()
-                        .filter_map(|d| d.get_path(&agg.path))
-                        .cloned()
-                        .collect();
-                    out.insert(agg.output_name(), agg.apply(&vals));
+                out.insert("_id".into(), b.key);
+                for (agg, vals) in group.aggs.iter().zip(&b.values) {
+                    out.insert(agg.output_name(), agg.apply(vals));
                 }
                 Value::Object(out)
             })
             .collect()
     }
 
-    /// Distinct values of a path among matching documents.
+    /// Distinct values of a path among matching documents, in first-seen
+    /// order. Hash-set deduplication (the old engine was O(n²)
+    /// `Vec::contains`).
     pub fn distinct(&self, query: &DocQuery, path: &str) -> Vec<Value> {
         let mut out: Vec<Value> = Vec::new();
-        for d in self.find(&DocQuery {
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (_, doc) in self.matching(&DocQuery {
             conditions: query.conditions.clone(),
             projection: Vec::new(),
             sort: None,
             limit: None,
         }) {
-            if let Some(v) = d.get_path(path) {
-                if !out.contains(v) {
+            if let Some(v) = doc.get_path(path) {
+                let slot = by_hash.entry(v.stable_hash()).or_default();
+                if !slot.iter().any(|&i| out[i] == *v) {
                     out.push(v.clone());
+                    slot.push(out.len() - 1);
                 }
             }
         }
@@ -180,9 +563,27 @@ impl DocumentStore {
     }
 }
 
-fn project(doc: &Value, projection: &[String]) -> Value {
+fn index_insert(index: &mut FieldIndex, id: DocId, value: &Value) {
+    match index.eq.entry(value.stable_hash()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(IdList::One(id));
+        }
+    }
+    if let Some(range) = &mut index.range {
+        match value.as_f64() {
+            // NaN has no place in a total order (`Value::compare` calls
+            // mixed NaN comparisons Equal, so a NaN doc satisfies Lte AND
+            // Gte); park it with the non-numeric catch-all candidates.
+            Some(f) if !f.is_nan() => range.push(range_key(f), id),
+            _ => index.non_numeric.push(id),
+        }
+    }
+}
+
+fn project(doc: Arc<Value>, projection: &[String]) -> Arc<Value> {
     if projection.is_empty() {
-        return doc.clone();
+        return doc;
     }
     let mut out = Map::new();
     for p in projection {
@@ -190,7 +591,7 @@ fn project(doc: &Value, projection: &[String]) -> Value {
             out.insert(p.clone(), v.clone());
         }
     }
-    Value::Object(out)
+    Arc::new(Value::Object(out))
 }
 
 #[cfg(test)]
@@ -270,6 +671,90 @@ mod tests {
     }
 
     #[test]
+    fn multiple_indexed_eq_conditions_intersect() {
+        let s = store();
+        s.create_index("hostname");
+        s.create_index("activity_id");
+        let q = DocQuery::new()
+            .filter("activity_id", Op::Eq, "run_dft")
+            .filter("hostname", Op::Eq, "n0");
+        assert_eq!(s.count(&q), 1);
+        let hits = s.find(&q);
+        assert_eq!(hits[0].get("task_id").and_then(Value::as_str), Some("t0"));
+    }
+
+    #[test]
+    fn range_index_serves_range_predicates() {
+        let s = store();
+        s.create_range_index("generated.duration");
+        for (op, expect) in [(Op::Gte, 3), (Op::Gt, 2), (Op::Lte, 2), (Op::Lt, 1)] {
+            let q = DocQuery::new().filter("generated.duration", op, 3.0);
+            assert_eq!(s.count(&q), expect, "{op:?}");
+        }
+        // Inserts after creation keep the sorted index live.
+        s.insert(obj! {"generated" => obj! {"duration" => 9.5}});
+        assert_eq!(
+            s.count(&DocQuery::new().filter("generated.duration", Op::Gt, 7.0)),
+            1
+        );
+        // Mixed-kind values are not lost to the numeric index.
+        s.insert(obj! {"generated" => obj! {"duration" => "n/a"}});
+        assert_eq!(
+            s.count(&DocQuery::new().filter("generated.duration", Op::Gt, 7.0)),
+            2 // 9.5 and the string (Str kind sorts above Float)
+        );
+    }
+
+    #[test]
+    fn range_index_handles_nan_and_signed_zero() {
+        let indexed = DocumentStore::new();
+        indexed.create_range_index("y");
+        let plain = DocumentStore::new();
+        for v in [Value::Float(f64::NAN), Value::Float(-0.0), Value::Int(0), Value::Float(1.5)] {
+            let mut m = Map::new();
+            m.insert("y".into(), v);
+            indexed.insert(Value::Object(m.clone()));
+            plain.insert(Value::Object(m));
+        }
+        // Indexed and unindexed stores must agree for every operator and
+        // for zero / NaN bounds (compare() calls NaN comparisons Equal).
+        for op in [Op::Gte, Op::Gt, Op::Lte, Op::Lt] {
+            for bound in [Value::Float(0.0), Value::Float(-0.0), Value::Float(f64::NAN)] {
+                let q = DocQuery::new().filter("y", op, bound.clone());
+                assert_eq!(indexed.count(&q), plain.count(&q), "{op:?} {bound:?}");
+                // Compare rendered docs: NaN != NaN under PartialEq, but
+                // both stores must return the same documents.
+                assert_eq!(
+                    format!("{:?}", indexed.find(&q)),
+                    format!("{:?}", plain.find(&q)),
+                    "{op:?} {bound:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_returns_shared_handles() {
+        let s = store();
+        let a = s.find(&DocQuery::new().filter("task_id", Op::Eq, "t0"));
+        let b = s.find(&DocQuery::new().filter("task_id", Op::Eq, "t0"));
+        // Same allocation, not a deep clone.
+        assert!(Arc::ptr_eq(&a[0], &b[0]));
+    }
+
+    #[test]
+    fn ids_preserve_insertion_order_across_shards() {
+        let s = DocumentStore::with_shards(4);
+        for i in 0..10 {
+            s.insert(obj! {"i" => i});
+        }
+        let out = s.find(&DocQuery::new());
+        let got: Vec<i64> = out.iter().filter_map(|d| d.get("i")?.as_i64()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.get(7).unwrap().get("i").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
     fn aggregation_pipeline() {
         let s = store();
         let out = s.aggregate(
@@ -308,5 +793,15 @@ mod tests {
         let s = store();
         let hosts = s.distinct(&DocQuery::new(), "hostname");
         assert_eq!(hosts.len(), 2);
+    }
+
+    #[test]
+    fn batch_insert_takes_one_pass() {
+        let s = DocumentStore::with_shards(3);
+        s.create_index("k");
+        let batch: Vec<Value> = (0..100).map(|i| obj! {"k" => i % 5}).collect();
+        assert_eq!(s.insert_many(batch), 100);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.count(&DocQuery::new().filter("k", Op::Eq, 3)), 20);
     }
 }

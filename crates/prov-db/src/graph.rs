@@ -5,6 +5,7 @@
 use parking_lot::RwLock;
 use prov_model::{Map, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A node in the property graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,8 +14,17 @@ pub struct GraphNode {
     pub id: String,
     /// Label, e.g. `prov:Activity`.
     pub label: String,
-    /// Arbitrary properties.
-    pub props: Map,
+    /// Arbitrary properties as a shared object value: the ingest path hands
+    /// the graph the *same* `Arc` the document store holds, so node
+    /// properties cost no per-node map construction.
+    pub props: Arc<Value>,
+}
+
+impl GraphNode {
+    /// Property lookup (`None` for absent keys or non-object props).
+    pub fn prop(&self, key: &str) -> Option<&Value> {
+        self.props.get(key)
+    }
 }
 
 /// A directed, typed edge.
@@ -36,6 +46,61 @@ struct Inner {
     edge_count: usize,
 }
 
+/// A batch of node upserts and edge inserts applied under one lock
+/// acquisition (see [`GraphStore::apply_batch`]). Build it lock-free on the
+/// producer side, then apply in one shot.
+#[derive(Default)]
+pub struct GraphBatch {
+    nodes: Vec<GraphNode>,
+    edges: Vec<GraphEdge>,
+}
+
+impl GraphBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a node insert-or-replace.
+    pub fn upsert_node(&mut self, id: impl Into<String>, label: impl Into<String>, props: Map) {
+        self.upsert_node_shared(id, label, Arc::new(Value::Object(props)));
+    }
+
+    /// Queue a node insert-or-replace with an already-shared property
+    /// object (the zero-copy ingest path: pass the document itself).
+    pub fn upsert_node_shared(
+        &mut self,
+        id: impl Into<String>,
+        label: impl Into<String>,
+        props: Arc<Value>,
+    ) {
+        self.nodes.push(GraphNode {
+            id: id.into(),
+            label: label.into(),
+            props,
+        });
+    }
+
+    /// Queue a directed edge.
+    pub fn add_edge(&mut self, from: impl Into<String>, to: impl Into<String>, rel: impl Into<String>) {
+        self.edges.push(GraphEdge {
+            from: from.into(),
+            to: to.into(),
+            rel: rel.into(),
+        });
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Queued node + edge count.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.edges.len()
+    }
+}
+
 /// Thread-safe property graph with traversal queries.
 #[derive(Default)]
 pub struct GraphStore {
@@ -54,7 +119,7 @@ impl GraphStore {
         let node = GraphNode {
             id: id.clone(),
             label: label.into(),
-            props,
+            props: Arc::new(Value::Object(props)),
         };
         self.inner.write().nodes.insert(id, node);
     }
@@ -70,6 +135,26 @@ impl GraphStore {
         g.out_edges.entry(e.from.clone()).or_default().push(e.clone());
         g.in_edges.entry(e.to.clone()).or_default().push(e);
         g.edge_count += 1;
+    }
+
+    /// Apply a pre-built batch of upserts and edges under a **single**
+    /// write-lock acquisition, in queued order. The per-message ingest path
+    /// used to take one lock per node plus one per edge; a keeper flushing a
+    /// 64-message batch now locks the graph once instead of ~192 times.
+    pub fn apply_batch(&self, batch: GraphBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut g = self.inner.write();
+        g.nodes.reserve(batch.nodes.len());
+        for node in batch.nodes {
+            g.nodes.insert(node.id.clone(), node);
+        }
+        for e in batch.edges {
+            g.out_edges.entry(e.from.clone()).or_default().push(e.clone());
+            g.in_edges.entry(e.to.clone()).or_default().push(e);
+            g.edge_count += 1;
+        }
     }
 
     /// Node count.
@@ -278,6 +363,28 @@ mod tests {
         assert_eq!(
             g.nodes_with_prop("hostname", &Value::from("n7"))[0].id,
             "agent-1"
+        );
+    }
+
+    #[test]
+    fn batch_apply_matches_incremental() {
+        let g = chain();
+        let batched = GraphStore::new();
+        let mut batch = GraphBatch::new();
+        for id in ["a", "b", "c", "d", "e"] {
+            batch.upsert_node(id, "prov:Activity", Map::new());
+        }
+        batch.add_edge("b", "a", "prov:wasInformedBy");
+        batch.add_edge("c", "b", "prov:wasInformedBy");
+        batch.add_edge("d", "c", "prov:wasInformedBy");
+        batch.add_edge("e", "b", "prov:wasInformedBy");
+        assert_eq!(batch.len(), 9);
+        batched.apply_batch(batch);
+        assert_eq!(batched.node_count(), g.node_count());
+        assert_eq!(batched.edge_count(), g.edge_count());
+        assert_eq!(
+            batched.upstream_lineage("d", 10),
+            g.upstream_lineage("d", 10)
         );
     }
 

@@ -1,16 +1,20 @@
 //! Ordered key–value store — the LMDB-shaped backend ("high-frequency
 //! key–value inserts", §2.3). A `BTreeMap` under an `RwLock` gives ordered
-//! range scans and prefix queries; writes batch under one lock acquisition.
+//! range scans and prefix queries; writes batch under one lock acquisition,
+//! and values are stored and returned as [`Arc<Value>`] so gets and scans
+//! never deep-clone documents — the batch insert path shares the same
+//! allocation the document store holds.
 
 use parking_lot::RwLock;
 use prov_model::Value;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
-/// Ordered KV store with range and prefix scans.
+/// Ordered KV store with range and prefix scans over shared values.
 #[derive(Default)]
 pub struct KvStore {
-    map: RwLock<BTreeMap<String, Value>>,
+    map: RwLock<BTreeMap<String, Arc<Value>>>,
 }
 
 impl KvStore {
@@ -20,28 +24,39 @@ impl KvStore {
     }
 
     /// Insert or replace; returns the previous value if any.
-    pub fn put(&self, key: impl Into<String>, value: Value) -> Option<Value> {
-        self.map.write().insert(key.into(), value)
+    pub fn put(&self, key: impl Into<String>, value: impl Into<Arc<Value>>) -> Option<Arc<Value>> {
+        self.map.write().insert(key.into(), value.into())
     }
 
     /// Bulk insert under a single lock acquisition (the high-frequency
-    /// insert path the paper assigns to LMDB-class stores).
-    pub fn put_batch(&self, batch: Vec<(String, Value)>) -> usize {
+    /// insert path the paper assigns to LMDB-class stores). Loading into an
+    /// empty store sorts the batch and bulk-builds the tree in one pass
+    /// instead of paying per-key rebalancing inserts.
+    pub fn put_batch<V: Into<Arc<Value>>>(&self, batch: Vec<(String, V)>) -> usize {
         let n = batch.len();
         let mut map = self.map.write();
-        for (k, v) in batch {
-            map.insert(k, v);
+        if map.is_empty() {
+            let mut rows: Vec<(String, Arc<Value>)> =
+                batch.into_iter().map(|(k, v)| (k, v.into())).collect();
+            // Stable sort + FromIterator (which keeps the last of equal
+            // keys) reproduces sequential-insert semantics exactly.
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            *map = rows.into_iter().collect();
+        } else {
+            for (k, v) in batch {
+                map.insert(k, v.into());
+            }
         }
         n
     }
 
-    /// Fetch by key.
-    pub fn get(&self, key: &str) -> Option<Value> {
+    /// Fetch by key (shared handle, no clone of the payload).
+    pub fn get(&self, key: &str) -> Option<Arc<Value>> {
         self.map.read().get(key).cloned()
     }
 
     /// Remove by key; returns the removed value.
-    pub fn delete(&self, key: &str) -> Option<Value> {
+    pub fn delete(&self, key: &str) -> Option<Arc<Value>> {
         self.map.write().remove(key)
     }
 
@@ -56,7 +71,7 @@ impl KvStore {
     }
 
     /// Inclusive-start, exclusive-end ordered range scan.
-    pub fn range(&self, start: &str, end: &str) -> Vec<(String, Value)> {
+    pub fn range(&self, start: &str, end: &str) -> Vec<(String, Arc<Value>)> {
         self.map
             .read()
             .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
@@ -65,7 +80,7 @@ impl KvStore {
     }
 
     /// All entries whose key starts with `prefix`, in key order.
-    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Value)> {
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Arc<Value>)> {
         self.map
             .read()
             .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
@@ -75,7 +90,7 @@ impl KvStore {
     }
 
     /// First entry at or after `key`.
-    pub fn seek(&self, key: &str) -> Option<(String, Value)> {
+    pub fn seek(&self, key: &str) -> Option<(String, Arc<Value>)> {
         self.map
             .read()
             .range::<str, _>((Bound::Included(key), Bound::Unbounded))
@@ -97,6 +112,14 @@ mod tests {
         assert_eq!(kv.get("task/t1").unwrap().get("a").unwrap().as_i64(), Some(2));
         assert!(kv.delete("task/t1").is_some());
         assert!(kv.get("task/t1").is_none());
+    }
+
+    #[test]
+    fn gets_share_the_stored_allocation() {
+        let kv = KvStore::new();
+        let doc = Arc::new(obj! {"a" => 1});
+        kv.put("k", doc.clone());
+        assert!(Arc::ptr_eq(&kv.get("k").unwrap(), &doc));
     }
 
     #[test]

@@ -1,16 +1,61 @@
 //! # prov-db
 //!
 //! The backend-agnostic provenance database of the reference architecture
-//! (§2.3), with three backends mirroring the paper's options:
+//! (§2.3), with three backends mirroring the paper's options, rebuilt as a
+//! sharded, clone-free engine for ingest-heavy workloads:
 //!
 //! * [`DocumentStore`] — MongoDB-shaped: JSON documents, dotted-path
-//!   filters, projections, aggregation, hash indexes;
+//!   filters, projections, aggregation, hash + sorted-numeric indexes;
 //! * [`KvStore`] — LMDB-shaped: ordered keys, batch puts, range/prefix scans;
 //! * [`GraphStore`] — Neo4j-shaped: PROV property graph with lineage and
-//!   path traversals;
+//!   path traversals and a single-lock [`GraphBatch`] apply path;
 //!
 //! unified behind [`ProvenanceDatabase`], which fans each task message out
 //! to all three and exposes the Query API the agent's offline tools use.
+//!
+//! ## Sharding and shared handles
+//!
+//! The document store splits its collection across N independently locked
+//! shards (N defaults to the core count, capped at 16); writers contend per
+//! shard instead of serializing on one global `RwLock<Vec<_>>`. Documents
+//! are stored as `Arc<Value>`: `find`/`get` return shared handles, never
+//! deep clones, and the KV backend holds the *same* allocation the document
+//! store does — one serialization per ingested message, shared everywhere.
+//!
+//! A document's id encodes its location (`slot * nshards + shard`), ids
+//! assigned by a single thread are dense and ascending, and queries sort
+//! hits by id, so results are insertion-ordered and **shard-count
+//! invariant**: any query answers identically on a 1-shard and a 16-shard
+//! store (a property test in `tests/proptests.rs` pins this down).
+//!
+//! ## Index design
+//!
+//! Index keys are content hashes ([`prov_model::Value::stable_hash`]), so
+//! neither inserts nor probes allocate (the previous engine rendered every
+//! key to a `String` via `display_plain()` on both paths). Hash collisions
+//! are harmless: candidates are always re-checked against the full query.
+//! Equality conditions intersect **all** available indexes, starting from
+//! the smallest candidate set; range predicates over hot numeric fields
+//! (e.g. `started_at`) are served by a sorted index built with
+//! [`DocumentStore::create_range_index`].
+//!
+//! ## Batch ingest (write-optimized, LSM-style)
+//!
+//! The streaming fast path, [`ProvenanceDatabase::insert_batch_shared`],
+//! accepts the broker's own `Arc<TaskMessage>` handles by appending them to
+//! a pending log — one pointer per message, no serialization, no index
+//! maintenance. The next query (or backend accessor) materializes the
+//! whole pending run in one batched pass: each message is serialized
+//! exactly once, the resulting `Arc<Value>` is shared by all three views,
+//! and each backend applies its batch under a single lock acquisition
+//! ([`DocumentStore::insert_many_shared`], [`KvStore::put_batch`],
+//! [`GraphStore::apply_batch`]). A keeper flushing a 64-message batch thus
+//! blocks on one mutex append instead of ~192 lock round-trips, and bursts
+//! are absorbed at pointer-append speed. The eager path
+//! ([`ProvenanceDatabase::insert_batch`]) materializes immediately for
+//! callers holding owned messages. `crates/bench` tracks both the accept
+//! and the fully-materialized ingest cost against the preserved
+//! pre-refactor baseline in `BENCH_provdb.json` (see `repro --provdb`).
 
 #![warn(missing_docs)]
 
@@ -20,8 +65,8 @@ pub mod kv;
 pub mod query;
 pub mod store;
 
-pub use document::DocumentStore;
-pub use graph::{GraphEdge, GraphNode, GraphStore};
+pub use document::{DocId, DocumentStore};
+pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};
 pub use store::ProvenanceDatabase;

@@ -4,37 +4,67 @@
 //! including MongoDB for filtering and aggregation, LMDB for high-frequency
 //! key–value inserts, and Neo4j for graph traversal queries." This facade
 //! fans one insert out to all three backends and exposes a single Query API.
+//!
+//! The ingest hot path is write-optimized, LSM-style:
+//!
+//! * [`ProvenanceDatabase::insert_batch_shared`] — the streaming fast path —
+//!   appends the broker's own `Arc<TaskMessage>` handles to a pending log
+//!   and returns; no serialization, no index maintenance, no per-backend
+//!   work. This is what a keeper thread calls with each flush batch.
+//! * The first query (or any backend accessor) **materializes** the pending
+//!   log into all three views in one batched pass: each message is
+//!   serialized exactly once and that single `Arc<Value>` is shared by the
+//!   document store, the KV store, and the graph node's properties; each
+//!   backend is updated under a single lock acquisition per batch.
+//! * [`ProvenanceDatabase::insert_batch`] is the eager path for callers
+//!   holding plain `&TaskMessage`s: it materializes immediately (after
+//!   draining any pending log, so arrival order is preserved).
 
 use crate::document::DocumentStore;
-use crate::graph::GraphStore;
+use crate::graph::{GraphBatch, GraphStore};
 use crate::kv::KvStore;
 use crate::query::{DocQuery, GroupSpec, Op};
+use parking_lot::Mutex;
 use prov_model::{Map, ProvRelation, TaskMessage, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Unified provenance database over document + KV + graph backends.
+///
+/// The backends are reached through [`ProvenanceDatabase::documents`],
+/// [`ProvenanceDatabase::kv`], and [`ProvenanceDatabase::graph`], which
+/// first materialize any pending stream ingest so readers always observe
+/// every accepted message.
 pub struct ProvenanceDatabase {
-    /// Document collection of raw task messages.
-    pub documents: DocumentStore,
-    /// KV store keyed `task/<task_id>` (plus `workflow/<id>` rollups).
-    pub kv: KvStore,
-    /// PROV property graph.
-    pub graph: GraphStore,
+    documents: DocumentStore,
+    kv: KvStore,
+    graph: GraphStore,
+    /// Accepted-but-not-yet-materialized stream messages (the write-ahead
+    /// portion of the LSM-style ingest path). Held as the broker's own
+    /// `Arc`s: accepting a message is one pointer append. Never held
+    /// during materialization, so accepts stay non-blocking.
+    pending: Mutex<Vec<Arc<TaskMessage>>>,
+    /// Serializes materialization passes. Lock order: `flusher` before
+    /// `pending`; accept takes only `pending`.
+    flusher: Mutex<()>,
     inserts: AtomicU64,
 }
 
 impl ProvenanceDatabase {
-    /// Fresh empty database with indexes on the hot common fields.
+    /// Fresh empty database with hash indexes on the hot equality fields
+    /// and a sorted numeric index on `started_at` for time-range queries.
     pub fn new() -> Self {
         let documents = DocumentStore::new();
         documents.create_index("task_id");
         documents.create_index("activity_id");
         documents.create_index("workflow_id");
+        documents.create_range_index("started_at");
         Self {
             documents,
             kv: KvStore::new(),
             graph: GraphStore::new(),
+            pending: Mutex::new(Vec::new()),
+            flusher: Mutex::new(()),
             inserts: AtomicU64::new(0),
         }
     }
@@ -44,86 +74,151 @@ impl ProvenanceDatabase {
         Arc::new(Self::new())
     }
 
-    /// Insert one task message into all three backends.
-    pub fn insert(&self, msg: &TaskMessage) {
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        let doc = msg.to_value();
-        self.documents.insert(doc.clone());
-        self.kv.put(format!("task/{}", msg.task_id.as_str()), doc);
-
-        // Graph: task activity node + lineage/association edges.
-        let mut props = Map::new();
-        props.insert(
-            "activity_id".into(),
-            Value::from(msg.activity_id.as_str()),
-        );
-        props.insert("hostname".into(), Value::from(msg.hostname.as_str()));
-        props.insert("status".into(), Value::from(msg.status.as_str()));
-        self.graph
-            .upsert_node(msg.task_id.as_str(), "prov:Activity", props);
-        for dep in &msg.depends_on {
-            self.graph.add_edge(
-                msg.task_id.as_str(),
-                dep.as_str(),
-                ProvRelation::WasInformedBy.as_str(),
-            );
-        }
-        if let Some(agent) = &msg.agent_id {
-            self.graph
-                .upsert_node(agent.as_str(), "prov:Agent", Map::new());
-            self.graph.add_edge(
-                msg.task_id.as_str(),
-                agent.as_str(),
-                ProvRelation::WasAssociatedWith.as_str(),
-            );
-        }
+    /// The document backend, with pending ingest materialized.
+    pub fn documents(&self) -> &DocumentStore {
+        self.flush_views();
+        &self.documents
     }
 
-    /// Bulk insert.
-    pub fn insert_batch<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
-        let mut n = 0;
-        for m in msgs {
-            self.insert(m);
-            n += 1;
-        }
+    /// The KV backend, with pending ingest materialized.
+    pub fn kv(&self) -> &KvStore {
+        self.flush_views();
+        &self.kv
+    }
+
+    /// The graph backend, with pending ingest materialized.
+    pub fn graph(&self) -> &GraphStore {
+        self.flush_views();
+        &self.graph
+    }
+
+    /// Streaming ingest fast path: accept already-shared messages (the
+    /// broker's deliveries) by appending their handles to the pending log.
+    /// Costs one `Arc` clone per message; all view maintenance is deferred
+    /// to the next query and then done batched.
+    pub fn insert_batch_shared(&self, msgs: impl IntoIterator<Item = Arc<TaskMessage>>) -> usize {
+        let mut pending = self.pending.lock();
+        let before = pending.len();
+        pending.extend(msgs);
+        let n = pending.len() - before;
+        self.inserts.fetch_add(n as u64, Ordering::Relaxed);
         n
     }
 
-    /// Total inserts performed.
+    /// Materialize every pending stream message into the three views.
+    /// Queries and backend accessors call this automatically; it is public
+    /// so ingest-heavy callers can choose their own flush points.
+    ///
+    /// Two-phase: the pending log is swapped out under its own short-lived
+    /// lock (so concurrent accepts never wait on materialization), while a
+    /// separate flusher lock serializes materialization passes — a reader
+    /// that raced an in-progress flush blocks here until that flush's
+    /// messages are fully visible, preserving read-your-accepts.
+    pub fn flush_views(&self) {
+        let _flush = self.flusher.lock();
+        let batch = std::mem::take(&mut *self.pending.lock());
+        if batch.is_empty() {
+            return;
+        }
+        self.materialize(batch.iter().map(|m| m.as_ref()));
+    }
+
+    /// Insert one task message into all three backends (eager path).
+    pub fn insert(&self, msg: &TaskMessage) {
+        self.insert_batch(std::iter::once(msg));
+    }
+
+    /// Eager bulk insert for callers holding owned messages: one
+    /// serialization per message, one batch per backend. Drains the pending
+    /// log first so view order matches arrival order.
+    pub fn insert_batch<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
+        self.flush_views();
+        let n = self.materialize(msgs);
+        self.inserts.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Build one batch per backend and apply each under a single lock
+    /// acquisition. Returns how many messages were materialized.
+    fn materialize<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
+        let mut docs: Vec<Arc<Value>> = Vec::new();
+        let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
+        let mut graph = GraphBatch::new();
+        // Agent nodes carry no properties of their own; share one object.
+        let empty_props = Arc::new(Value::Object(Map::new()));
+        for msg in msgs {
+            // One serialization, shared by the document, KV, and graph
+            // backends: the activity node's properties *are* the document
+            // (a superset of the {activity_id, hostname, status} projection
+            // the per-message path used to copy out), so property-graph
+            // ingest costs no map construction at all.
+            let doc = Arc::new(msg.to_value());
+            kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
+            graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
+            docs.push(doc);
+
+            for dep in &msg.depends_on {
+                graph.add_edge(
+                    msg.task_id.as_str(),
+                    dep.as_str(),
+                    ProvRelation::WasInformedBy.as_str(),
+                );
+            }
+            if let Some(agent) = &msg.agent_id {
+                graph.upsert_node_shared(agent.as_str(), "prov:Agent", empty_props.clone());
+                graph.add_edge(
+                    msg.task_id.as_str(),
+                    agent.as_str(),
+                    ProvRelation::WasAssociatedWith.as_str(),
+                );
+            }
+        }
+        let n = docs.len();
+        if n == 0 {
+            return 0;
+        }
+        self.documents.insert_many_shared(docs);
+        self.kv.put_batch(kv_rows);
+        self.graph.apply_batch(graph);
+        n
+    }
+
+    /// Total messages accepted (materialized or still pending).
     pub fn insert_count(&self) -> u64 {
         self.inserts.load(Ordering::Relaxed)
     }
 
     /// Point lookup by task id (KV fast path).
     pub fn get_task(&self, task_id: &str) -> Option<TaskMessage> {
-        self.kv
+        self.kv()
             .get(&format!("task/{task_id}"))
             .and_then(|v| TaskMessage::from_value(&v))
     }
 
-    /// Filter/sort/limit query against the document backend.
-    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
-        self.documents.find(query)
+    /// Filter/sort/limit query against the document backend. Results are
+    /// shared handles into the store — no deep clones.
+    pub fn find(&self, query: &DocQuery) -> Vec<Arc<Value>> {
+        self.documents().find(query)
     }
 
     /// Count matching documents.
     pub fn count(&self, query: &DocQuery) -> usize {
-        self.documents.count(query)
+        self.documents().count(query)
     }
 
     /// Group-and-aggregate against the document backend.
     pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
-        self.documents.aggregate(query, group)
+        self.documents().aggregate(query, group)
     }
 
     /// All tasks of one workflow execution.
-    pub fn workflow_tasks(&self, workflow_id: &str) -> Vec<Value> {
+    pub fn workflow_tasks(&self, workflow_id: &str) -> Vec<Arc<Value>> {
         self.find(&DocQuery::new().filter("workflow_id", Op::Eq, workflow_id))
     }
 
     /// Multi-hop upstream lineage (graph fast path).
     pub fn lineage(&self, task_id: &str, max_depth: usize) -> Vec<(String, usize)> {
-        self.graph.upstream_lineage(task_id, max_depth)
+        self.graph().upstream_lineage(task_id, max_depth)
     }
 }
 
@@ -163,9 +258,9 @@ mod tests {
         let db = ProvenanceDatabase::new();
         db.insert_batch(&msgs());
         assert_eq!(db.insert_count(), 3);
-        assert_eq!(db.documents.len(), 3);
-        assert_eq!(db.kv.len(), 3);
-        assert!(db.graph.node_count() >= 3);
+        assert_eq!(db.documents().len(), 3);
+        assert_eq!(db.kv().len(), 3);
+        assert!(db.graph().node_count() >= 3);
     }
 
     #[test]
@@ -192,6 +287,41 @@ mod tests {
     }
 
     #[test]
+    fn streaming_accept_is_visible_at_next_query() {
+        let db = ProvenanceDatabase::new();
+        let shared: Vec<Arc<TaskMessage>> = msgs().into_iter().map(Arc::new).collect();
+        assert_eq!(db.insert_batch_shared(shared.iter().cloned()), 3);
+        // Accepted immediately…
+        assert_eq!(db.insert_count(), 3);
+        // …and every read path materializes the views first.
+        assert_eq!(db.count(&DocQuery::new()), 3);
+        assert_eq!(db.documents().len(), 3);
+        assert_eq!(db.kv().len(), 3);
+        assert!(db.graph().node_count() >= 3);
+        assert_eq!(db.get_task("t1").unwrap().activity_id.as_str(), "run_dft");
+        // Mixed eager + streaming ingest preserves arrival order.
+        db.insert(&TaskMessageBuilder::new("t3", "wf-1", "tail").build());
+        db.insert_batch_shared(std::iter::once(Arc::new(
+            TaskMessageBuilder::new("t4", "wf-1", "tail2").build(),
+        )));
+        let out = db.find(&DocQuery::new().project(&["task_id"]));
+        let ids: Vec<&str> = out
+            .iter()
+            .filter_map(|d| d.get("task_id").and_then(Value::as_str))
+            .collect();
+        assert_eq!(ids, vec!["t0", "t1", "t2", "t3", "t4"]);
+    }
+
+    #[test]
+    fn document_and_kv_share_one_allocation() {
+        let db = ProvenanceDatabase::new();
+        db.insert_batch(&msgs());
+        let from_docs = db.find(&DocQuery::new().filter("task_id", Op::Eq, "t1"));
+        let from_kv = db.kv().get("task/t1").unwrap();
+        assert!(Arc::ptr_eq(&from_docs[0], &from_kv));
+    }
+
+    #[test]
     fn lineage_traverses_graph() {
         let db = ProvenanceDatabase::new();
         db.insert_batch(&msgs());
@@ -204,9 +334,9 @@ mod tests {
     fn agent_association_recorded() {
         let db = ProvenanceDatabase::new();
         db.insert_batch(&msgs());
-        assert!(db.graph.node("prov-agent").is_some());
+        assert!(db.graph().node("prov-agent").is_some());
         assert_eq!(
-            db.graph
+            db.graph()
                 .neighbors_out("t2", "prov:wasAssociatedWith"),
             vec!["prov-agent".to_string()]
         );

@@ -167,15 +167,15 @@ fn index_does_not_change_results() {
     // (ProvenanceDatabase::new indexes task_id/activity_id/workflow_id).
     let indexed = seeded_db();
     let plain = prov_db::DocumentStore::new();
-    for i in 0..indexed.documents.len() {
-        plain.insert(indexed.documents.get(i).unwrap());
+    for i in 0..indexed.documents().len() {
+        plain.insert(indexed.documents().get(i).unwrap());
     }
     for q in [
         DocQuery::new().filter("activity_id", Op::Eq, "run_individual_bde"),
         DocQuery::new().filter("task_id", Op::Eq, "bde-3"),
         DocQuery::new().filter("workflow_id", Op::Eq, "chem-wf").limit(4),
     ] {
-        assert_eq!(indexed.documents.find(&q), plain.find(&q));
+        assert_eq!(indexed.documents().find(&q), plain.find(&q));
     }
 }
 
@@ -183,24 +183,24 @@ fn index_does_not_change_results() {
 fn kv_point_range_and_prefix() {
     let db = seeded_db();
     // Point get through the task/<id> keyspace.
-    let doc = db.kv.get("task/bde-0").expect("kv row");
+    let doc = db.kv().get("task/bde-0").expect("kv row");
     assert_eq!(
         doc.get_path("generated.bond_id").and_then(Value::as_str),
         Some("C-H_1")
     );
     // Prefix scan covers all tasks.
-    assert_eq!(db.kv.scan_prefix("task/").len(), 10);
-    assert_eq!(db.kv.scan_prefix("task/bde-").len(), 8);
+    assert_eq!(db.kv().scan_prefix("task/").len(), 10);
+    assert_eq!(db.kv().scan_prefix("task/bde-").len(), 8);
     // Lexicographic range.
-    let range = db.kv.range("task/bde-0", "task/bde-4");
+    let range = db.kv().range("task/bde-0", "task/bde-4");
     assert_eq!(range.len(), 4); // bde-0..bde-3 (end exclusive)
     assert!(range.windows(2).all(|w| w[0].0 < w[1].0));
     // Seek to the first key at or after a probe: "task/bde-3a" sorts
     // between bde-3 and bde-4.
-    let (k, _) = db.kv.seek("task/bde-3a").expect("seek");
+    let (k, _) = db.kv().seek("task/bde-3a").expect("seek");
     assert_eq!(k, "task/bde-4".to_string());
     // Past the last bde key the next keyspace entry answers.
-    let (k, _) = db.kv.seek("task/bde-9").expect("seek");
+    let (k, _) = db.kv().seek("task/bde-9").expect("seek");
     assert_eq!(k, "task/conf-0".to_string());
 }
 
@@ -208,23 +208,23 @@ fn kv_point_range_and_prefix() {
 fn graph_traversals_bound_depth_and_direction() {
     let db = seeded_db();
     // bde-0 ← min-0 ← conf-0 (upstream chain).
-    let up = db.graph.upstream_lineage("bde-0", 10);
+    let up = db.graph().upstream_lineage("bde-0", 10);
     let ids: Vec<&str> = up.iter().map(|(id, _)| id.as_str()).collect();
     assert_eq!(ids, ["min-0", "conf-0"]);
     assert_eq!(up[0].1, 1);
     assert_eq!(up[1].1, 2);
     // Depth bound trims the chain.
-    assert_eq!(db.graph.upstream_lineage("bde-0", 1).len(), 1);
+    assert_eq!(db.graph().upstream_lineage("bde-0", 1).len(), 1);
     // Downstream impact of the conformer reaches every bond task.
-    let down = db.graph.downstream_impact("conf-0", 10);
+    let down = db.graph().downstream_impact("conf-0", 10);
     assert_eq!(down.len(), 9); // min-0 + 8 bde tasks
     // Directed shortest path and its absence in the other direction.
-    let path = db.graph.shortest_path("bde-7", "conf-0").expect("path");
+    let path = db.graph().shortest_path("bde-7", "conf-0").expect("path");
     assert_eq!(path.len(), 3);
-    assert!(db.graph.shortest_path("bde-0", "bde-7").is_none());
+    assert!(db.graph().shortest_path("bde-0", "bde-7").is_none());
     // Property lookup (Neo4j-style).
     let on_host = db
-        .graph
+        .graph()
         .nodes_with_prop("hostname", &Value::from("frontier00001"));
     assert!(on_host.len() >= 2);
 }
@@ -233,11 +233,11 @@ fn graph_traversals_bound_depth_and_direction() {
 fn unified_facade_counts_and_lineage_agree_with_backends() {
     let db = seeded_db();
     assert_eq!(db.insert_count(), 10);
-    assert_eq!(db.documents.len(), 10);
-    assert_eq!(db.kv.len(), 10);
-    assert_eq!(db.graph.node_count(), 10);
+    assert_eq!(db.documents().len(), 10);
+    assert_eq!(db.kv().len(), 10);
+    assert_eq!(db.graph().node_count(), 10);
     // store::lineage delegates to the graph.
-    assert_eq!(db.lineage("bde-0", 10), db.graph.upstream_lineage("bde-0", 10));
+    assert_eq!(db.lineage("bde-0", 10), db.graph().upstream_lineage("bde-0", 10));
     // workflow_tasks pulls everything for the workflow.
     assert_eq!(db.workflow_tasks("chem-wf").len(), 10);
 }

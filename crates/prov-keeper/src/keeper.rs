@@ -179,10 +179,13 @@ fn persist(
     if batch.is_empty() {
         return;
     }
+    // Streaming fast path: hand the database the broker's own `Arc`
+    // handles — view materialization is deferred and batched (one lock
+    // acquisition per backend when it happens).
+    db.insert_batch_shared(batch.iter().cloned());
     {
         let mut doc = prov.lock();
         for m in batch.iter() {
-            db.insert(m);
             doc.ingest(m);
         }
     }
@@ -207,10 +210,7 @@ pub fn drain_partitioned(
         if batch.is_empty() {
             return total;
         }
-        for m in &batch {
-            db.insert(m);
-        }
-        total += batch.len();
+        total += db.insert_batch_shared(batch);
     }
 }
 
@@ -236,7 +236,7 @@ mod tests {
         }
         assert!(keeper.wait_for(50, Duration::from_secs(5)));
         keeper.stop();
-        assert_eq!(db.documents.len(), 50);
+        assert_eq!(db.documents().len(), 50);
         assert!(db.get_task("t42").is_some());
     }
 
@@ -264,7 +264,7 @@ mod tests {
         emitter.flush().unwrap();
         assert!(keeper.wait_for(100, Duration::from_secs(5)));
         keeper.stop();
-        assert_eq!(db.documents.len(), 100);
+        assert_eq!(db.documents().len(), 100);
     }
 
     #[test]
@@ -295,7 +295,7 @@ mod tests {
         let (_, duplicated, _) = chaos.fault_counts();
         assert!(duplicated > 20, "chaos should have duplicated messages");
         assert_eq!(
-            db.documents.len(),
+            db.documents().len(),
             100,
             "dedup keeper must persist each message exactly once"
         );
@@ -321,9 +321,9 @@ mod tests {
         assert!(keeper.wait_for(100 + duplicated, Duration::from_secs(5)));
         keeper.stop();
         assert!(
-            db.documents.len() > 100,
+            db.documents().len() > 100,
             "without dedup, redeliveries appear twice ({} docs)",
-            db.documents.len()
+            db.documents().len()
         );
         // The KV layer keys by task id, so it stays deduplicated either way.
         assert!(db.get_task("t42").is_some());
@@ -355,7 +355,7 @@ mod tests {
         hub.publish_task(running).unwrap();
         assert!(keeper.wait_for(2, Duration::from_secs(5)));
         keeper.stop();
-        assert_eq!(db.documents.len(), 2);
+        assert_eq!(db.documents().len(), 2);
     }
 
     #[test]
@@ -367,7 +367,7 @@ mod tests {
         let db = ProvenanceDatabase::new();
         let n = drain_partitioned(&broker, "keepers", topics::TASKS, &db, 8);
         assert_eq!(n, 30);
-        assert_eq!(db.documents.len(), 30);
+        assert_eq!(db.documents().len(), 30);
         // Second drain of the same group sees nothing new.
         assert_eq!(
             drain_partitioned(&broker, "keepers", topics::TASKS, &db, 8),
@@ -389,7 +389,7 @@ mod tests {
         assert!(k2.wait_for(10, Duration::from_secs(5)));
         k1.stop();
         k2.stop();
-        assert_eq!(db1.documents.len(), 10);
-        assert_eq!(db2.documents.len(), 10);
+        assert_eq!(db1.documents().len(), 10);
+        assert_eq!(db2.documents().len(), 10);
     }
 }

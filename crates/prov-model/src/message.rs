@@ -4,7 +4,7 @@
 use crate::ids::{ActivityId, AgentId, CampaignId, TaskId, WorkflowId};
 use crate::telemetry::Telemetry;
 use crate::value::{Map, Value};
-use crate::{json, obj};
+use crate::json;
 
 /// Lifecycle status of a task execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -159,31 +159,20 @@ impl TaskMessage {
     }
 
     /// Encode to the Listing 1 JSON shape.
+    ///
+    /// Pushes the fields in key order and bulk-builds the map, instead of
+    /// issuing one rebalancing `BTreeMap::insert` per field — this is the
+    /// per-message serialization on the database ingest hot path.
     pub fn to_value(&self) -> Value {
-        let mut v = obj! {
-            "task_id" => self.task_id.as_str(),
-            "campaign_id" => self.campaign_id.as_str(),
-            "workflow_id" => self.workflow_id.as_str(),
-            "activity_id" => self.activity_id.as_str(),
-            "used" => self.used.clone(),
-            "generated" => self.generated.clone(),
-            "started_at" => self.started_at,
-            "ended_at" => self.ended_at,
-            "hostname" => self.hostname.as_str(),
-            "status" => self.status.as_str(),
-            "type" => self.msg_type.as_str(),
-        };
-        if let Some(t) = &self.telemetry_at_start {
-            v.insert("telemetry_at_start", t.to_value());
-        }
-        if let Some(t) = &self.telemetry_at_end {
-            v.insert("telemetry_at_end", t.to_value());
-        }
+        let mut pairs: Vec<(String, Value)> = Vec::with_capacity(16);
+        let mut push = |k: &str, v: Value| pairs.push((k.to_string(), v));
+        push("activity_id", Value::from(self.activity_id.as_str()));
         if let Some(a) = &self.agent_id {
-            v.insert("agent_id", a.as_str());
+            push("agent_id", Value::from(a.as_str()));
         }
+        push("campaign_id", Value::from(self.campaign_id.as_str()));
         if !self.depends_on.is_empty() {
-            v.insert(
+            push(
                 "depends_on",
                 Value::Array(
                     self.depends_on
@@ -193,10 +182,26 @@ impl TaskMessage {
                 ),
             );
         }
+        push("ended_at", Value::from(self.ended_at));
+        push("generated", self.generated.clone());
+        push("hostname", Value::from(self.hostname.as_str()));
+        push("started_at", Value::from(self.started_at));
+        push("status", Value::from(self.status.as_str()));
         if !self.tags.is_empty() {
-            v.insert("tags", Value::Object(self.tags.clone()));
+            push("tags", Value::Object(self.tags.clone()));
         }
-        v
+        push("task_id", Value::from(self.task_id.as_str()));
+        if let Some(t) = &self.telemetry_at_end {
+            push("telemetry_at_end", t.to_value());
+        }
+        if let Some(t) = &self.telemetry_at_start {
+            push("telemetry_at_start", t.to_value());
+        }
+        push("type", Value::from(self.msg_type.as_str()));
+        push("used", self.used.clone());
+        push("workflow_id", Value::from(self.workflow_id.as_str()));
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
+        Value::Object(Map::from_iter(pairs))
     }
 
     /// Decode from the Listing 1 JSON shape.
@@ -361,7 +366,7 @@ impl TaskMessageBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arr;
+    use crate::{arr, obj};
 
     fn chem_message() -> TaskMessage {
         TaskMessageBuilder::new("1753457858.952133_0_3_973", "wf-1", "run_individual_bde")

@@ -250,6 +250,69 @@ impl Value {
         }
     }
 
+    /// Content hash with the same coercion rules as query equality: an
+    /// `Int` and a `Float` holding the same integral value hash identically
+    /// (because `Condition::matches` treats them as equal). Used by the
+    /// document store's hash indexes and hash aggregation so that probing
+    /// never allocates — the old design rendered every value to a `String`
+    /// key via `display_plain()` on each insert *and* each probe.
+    ///
+    /// The hash is deterministic across runs (FNV-1a, no randomized state),
+    /// which keeps index layouts and test behavior reproducible.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        self.stable_hash_into(&mut h);
+        h
+    }
+
+    fn stable_hash_into(&self, h: &mut u64) {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        match self {
+            Value::Null => mix(h, &[0x00]),
+            Value::Bool(b) => mix(h, &[0x01, *b as u8]),
+            // Numbers canonicalize through `f64` with `-0.0` folded into
+            // `+0.0`. Query equality (`Condition::matches`) compares
+            // `Int(a)` to `Float(b)` via the lossy `a as f64 == b`, so the
+            // hash must unify exactly the values that comparison unifies —
+            // including above 2^53, where distinct ints share an `f64` (a
+            // shared bucket there is only a false positive, which every
+            // consumer filters with a real equality check).
+            Value::Int(i) => {
+                mix(h, &[0x02]);
+                mix(h, &canonical_f64_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                mix(h, &[0x02]);
+                mix(h, &canonical_f64_bits(*f));
+            }
+            Value::Str(s) => {
+                mix(h, &[0x04]);
+                mix(h, s.as_bytes());
+            }
+            Value::Array(a) => {
+                mix(h, &[0x05]);
+                mix(h, &(a.len() as u64).to_le_bytes());
+                for v in a {
+                    v.stable_hash_into(h);
+                }
+            }
+            Value::Object(m) => {
+                mix(h, &[0x06]);
+                mix(h, &(m.len() as u64).to_le_bytes());
+                for (k, v) in m {
+                    mix(h, k.as_bytes());
+                    mix(h, &[0xff]);
+                    v.stable_hash_into(h);
+                }
+            }
+        }
+    }
+
     /// Partial ordering with numeric coercion: ints and floats compare by
     /// numeric value, strings lexicographically; mismatched kinds compare by
     /// kind tag so sorts are total and deterministic.
@@ -275,6 +338,14 @@ impl Value {
             (a, b) => a.kind().cmp(&b.kind()),
         }
     }
+}
+
+/// Bit pattern used by [`Value::stable_hash`] for numbers: `-0.0` and
+/// `+0.0` are equal everywhere in the query layer, so they must share one
+/// encoding. (NaN keeps its bits; `Eq` never matches NaN anyway.)
+fn canonical_f64_bits(f: f64) -> [u8; 8] {
+    let f = if f == 0.0 { 0.0 } else { f };
+    f.to_bits().to_le_bytes()
 }
 
 impl fmt::Display for Value {
@@ -431,6 +502,30 @@ mod tests {
         let mut v = Value::Null;
         v.insert("a", 1);
         assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn stable_hash_coerces_like_query_equality() {
+        // Int/Float with equal integral value share a hash (index buckets).
+        assert_eq!(Value::Int(2).stable_hash(), Value::Float(2.0).stable_hash());
+        assert_ne!(Value::Int(2).stable_hash(), Value::Float(2.5).stable_hash());
+        // Kind still separates otherwise-identical byte patterns.
+        assert_ne!(Value::Str("2".into()).stable_hash(), Value::Int(2).stable_hash());
+        assert_ne!(Value::Null.stable_hash(), Value::Bool(false).stable_hash());
+        // Structural values hash by content, deterministically.
+        let a = obj! {"x" => arr![1, 2.0, "s"]};
+        let b = obj! {"x" => arr![1, 2, "s"]};
+        assert_eq!(a.stable_hash(), b.stable_hash()); // 2.0 canonicalizes to 2
+        assert_eq!(a.stable_hash(), a.stable_hash());
+        // Signed zero unifies (query equality treats -0.0 == 0 == 0.0).
+        assert_eq!(Value::Float(-0.0).stable_hash(), Value::Int(0).stable_hash());
+        // Above 2^53 the hash follows the query layer's lossy `as f64`
+        // equality: values it calls equal must share a bucket.
+        let big = (1i64 << 53) + 1;
+        assert_eq!(
+            Value::Int(big).stable_hash(),
+            Value::Float((1i64 << 53) as f64).stable_hash()
+        );
     }
 
     #[test]

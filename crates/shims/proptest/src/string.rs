@@ -1,0 +1,181 @@
+//! Regex-lite string generation.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. The
+//! workspace's patterns all have the shape
+//! `[class]{n,m} [class] literal …` — sequences of character classes with
+//! optional `{n}` / `{n,m}` counts, plus literal characters — so that is
+//! what this parser supports. Unsupported syntax panics loudly rather than
+//! generating non-matching strings.
+
+use crate::test_runner::TestRng;
+
+enum Piece {
+    /// One char drawn uniformly from the class, repeated `min..=max` times.
+    Class { chars: Vec<char>, min: usize, max: usize },
+    /// A literal char (repetition folded in for `x{3}`-style patterns).
+    Literal { ch: char, min: usize, max: usize },
+}
+
+/// Generate a string matching the regex-lite `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        match piece {
+            Piece::Class { chars, min, max } => {
+                let n = rng.usize_in(*min..(*max + 1));
+                for _ in 0..n {
+                    out.push(chars[rng.usize_in(0..chars.len())]);
+                }
+            }
+            Piece::Literal { ch, min, max } => {
+                let n = rng.usize_in(*min..(*max + 1));
+                for _ in 0..n {
+                    out.push(*ch);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                let (min, max, next) = parse_count(&chars, i, pattern);
+                i = next;
+                pieces.push(Piece::Class {
+                    chars: class,
+                    min,
+                    max,
+                });
+            }
+            '\\' => {
+                let ch = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash"));
+                i += 2;
+                let (min, max, next) = parse_count(&chars, i, pattern);
+                i = next;
+                pieces.push(Piece::Literal { ch, min, max });
+            }
+            c if "(){}*+?|^$.".contains(c) => {
+                unsupported(pattern, "only [class]{n,m} sequences and literals")
+            }
+            c => {
+                i += 1;
+                let (min, max, next) = parse_count(&chars, i, pattern);
+                i = next;
+                pieces.push(Piece::Literal { ch: c, min, max });
+            }
+        }
+    }
+    pieces
+}
+
+/// Parse the inside of `[...]` starting at `start`; returns the expanded
+/// character set and the index after the closing `]`.
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut i = start;
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        if c == '\\' {
+            set.push(
+                *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| unsupported(pattern, "trailing backslash in class")),
+            );
+            i += 2;
+            continue;
+        }
+        // `a-z` range (a `-` immediately before `]` is a literal dash).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (c as u32, chars[i + 2] as u32);
+            if lo > hi {
+                unsupported(pattern, "inverted class range");
+            }
+            for cp in lo..=hi {
+                if let Some(ch) = char::from_u32(cp) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        unsupported(pattern, "unterminated character class");
+    }
+    if set.is_empty() {
+        unsupported(pattern, "empty character class");
+    }
+    (set, i + 1) // skip ']'
+}
+
+/// Parse an optional `{n}` / `{n,m}` count at `i`; defaults to `{1}`.
+fn parse_count(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if chars.get(i) != Some(&'{') {
+        return (1, 1, i);
+    }
+    let close = (i + 1..chars.len())
+        .find(|&j| chars[j] == '}')
+        .unwrap_or_else(|| unsupported(pattern, "unterminated count"));
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse().unwrap_or_else(|_| unsupported(pattern, "bad count")),
+            b.trim().parse().unwrap_or_else(|_| unsupported(pattern, "bad count")),
+        ),
+        None => {
+            let n = body
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| unsupported(pattern, "bad count"));
+            (n, n)
+        }
+    };
+    (min, max, close + 1)
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!("proptest shim: unsupported regex `{pattern}` ({what})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_ranges_and_counts() {
+        let mut rng = TestRng::deterministic("string-shim");
+        for _ in 0..500 {
+            let s = generate_matching("[a-zA-Z0-9 _.:/-]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.:/-".contains(c)));
+        }
+        let s = generate_matching("[a-z]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn literal_dash_at_class_end() {
+        let mut rng = TestRng::deterministic("dash");
+        for _ in 0..200 {
+            let s = generate_matching("[A-Za-z0-9_-]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)));
+        }
+    }
+}

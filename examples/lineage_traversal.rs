@@ -26,9 +26,9 @@ fn main() {
     keeper.stop();
     println!(
         "persisted {} tasks; PROV graph: {} nodes, {} edges\n",
-        db.documents.len(),
-        db.graph.node_count(),
-        db.graph.edge_count()
+        db.documents().len(),
+        db.graph().node_count(),
+        db.graph().edge_count()
     );
 
     // Pick a leaf (a BDE postprocess task) and the root conformer task.

@@ -47,7 +47,7 @@ fn main() {
         "context: {} rows, {} activities; database: {} documents\n",
         ctx.len(),
         ctx.schema().activity_count(),
-        db.documents.len()
+        db.documents().len()
     );
 
     // The Grafana-style dashboard over the same live context (Fig 2).
@@ -95,11 +95,19 @@ fn main() {
         println!("agent> {}\n", reply.text);
     }
 
-    // The agent's own activity became provenance too (§4.2).
-    let agent_tasks = db.find(
-        &provagent::prov_db::DocQuery::new()
-            .filter("type", provagent::prov_db::Op::Eq, "llm_interaction"),
+    // The agent's own activity became provenance too (§4.2). The keeper
+    // flushes partial batches on a 20ms poll timeout, so give it a moment
+    // to drain the interactions the chats just published.
+    let agent_query = provagent::prov_db::DocQuery::new().filter(
+        "type",
+        provagent::prov_db::Op::Eq,
+        "llm_interaction",
     );
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while db.count(&agent_query) == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let agent_tasks = db.find(&agent_query);
     println!(
         "agent self-provenance: {} LLM interactions persisted (first: {})",
         agent_tasks.len(),

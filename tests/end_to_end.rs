@@ -27,7 +27,7 @@ fn synthetic_pipeline_end_to_end() {
     }
     drop(feeder);
     assert_eq!(ctx.len(), 80);
-    assert_eq!(db.documents.len(), 80);
+    assert_eq!(db.documents().len(), 80);
 
     // The database answers a point lookup and lineage traversal.
     let some_task = db.find(&provagent::prov_db::DocQuery::new().limit(1));
@@ -266,7 +266,7 @@ fn chaotic_transport_with_dedup_keeper_is_exactly_once() {
     assert_eq!(dropped, 0);
     assert!(duplicated + reordered > 0, "chaos must have fired");
     assert_eq!(
-        db.documents.len(),
+        db.documents().len(),
         sweep.tasks,
         "exactly-once persistence despite {duplicated} duplicates"
     );

@@ -318,3 +318,107 @@ proptest! {
         prop_assert!(dts.len() <= 2);
     }
 }
+
+// ---------------------------------------------------------------------
+// Sharded provenance-database invariants: query results are independent
+// of the shard count (the sharding only tunes write concurrency).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `find`, `count`, `aggregate`, and `distinct` answer identically on a
+    /// 1-shard store and on arbitrarily sharded stores holding the same
+    /// corpus in the same insertion order — including result order.
+    #[test]
+    fn provdb_queries_are_shard_count_invariant(
+        rows in prop::collection::vec((0u8..5, -100i64..100, any::<bool>()), 0..80),
+        nshards in 2usize..9,
+        threshold in -100i64..100,
+    ) {
+        use provagent::prov_db::{AggOp, Aggregate, DocQuery, DocumentStore, GroupSpec, Op};
+
+        let sharded = DocumentStore::with_shards(nshards);
+        let single = DocumentStore::with_shards(1);
+        for store in [&sharded, &single] {
+            store.create_index("act");
+            store.create_range_index("y");
+        }
+        for (i, (act, y, in_batch)) in rows.iter().enumerate() {
+            let doc = provagent::prov_model::obj! {
+                "seq" => i,
+                "act" => format!("act{act}"),
+                "y" => *y,
+                "nested" => provagent::prov_model::obj! { "y2" => (*y as f64) * 0.5 },
+            };
+            // Exercise both the single-insert and the batch lock path.
+            if *in_batch {
+                sharded.insert_many(vec![doc.clone()]);
+            } else {
+                sharded.insert(doc.clone());
+            }
+            single.insert(doc);
+        }
+
+        let queries = [
+            DocQuery::new(),
+            DocQuery::new().filter("act", Op::Eq, "act2"),
+            DocQuery::new().filter("y", Op::Gte, threshold),
+            DocQuery::new().filter("y", Op::Lt, threshold).filter("act", Op::Eq, "act0"),
+            DocQuery::new().sort_by("y", true).limit(9),
+            DocQuery::new().filter("act", Op::Eq, "act1").project(&["seq", "nested.y2"]),
+        ];
+        for q in &queries {
+            prop_assert_eq!(sharded.find(q), single.find(q), "find disagrees for {:?}", q);
+            prop_assert_eq!(sharded.count(q), single.count(q), "count disagrees for {:?}", q);
+        }
+
+        let group = GroupSpec {
+            key: "act".into(),
+            aggs: vec![
+                Aggregate { path: "y".into(), op: AggOp::Sum },
+                Aggregate { path: "nested.y2".into(), op: AggOp::Mean },
+                Aggregate { path: "y".into(), op: AggOp::Count },
+            ],
+        };
+        prop_assert_eq!(
+            sharded.aggregate(&DocQuery::new(), &group),
+            single.aggregate(&DocQuery::new(), &group)
+        );
+        prop_assert_eq!(
+            sharded.distinct(&DocQuery::new(), "act"),
+            single.distinct(&DocQuery::new(), "act")
+        );
+    }
+
+    /// An indexed store and an index-free store agree on every operator
+    /// (indexes are an acceleration, never a semantics change).
+    #[test]
+    fn provdb_indexes_never_change_results(
+        rows in prop::collection::vec((0u8..4, -50i64..50), 0..60),
+        threshold in -50i64..50,
+    ) {
+        use provagent::prov_db::{DocQuery, DocumentStore, Op};
+
+        let indexed = DocumentStore::with_shards(4);
+        indexed.create_index("act");
+        indexed.create_index("y");
+        indexed.create_range_index("y");
+        let plain = DocumentStore::with_shards(4);
+        for (i, (act, y)) in rows.iter().enumerate() {
+            let doc = provagent::prov_model::obj! {
+                "seq" => i,
+                "act" => format!("act{act}"),
+                "y" => *y,
+            };
+            indexed.insert(doc.clone());
+            plain.insert(doc);
+        }
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Lte, Op::Gt, Op::Gte] {
+            let q = DocQuery::new().filter("y", op, threshold);
+            prop_assert_eq!(indexed.find(&q), plain.find(&q), "op {:?}", op);
+        }
+        let q = DocQuery::new().filter("act", Op::Eq, "act3").filter("y", Op::Eq, threshold);
+        prop_assert_eq!(indexed.find(&q), plain.find(&q));
+    }
+}
