@@ -12,9 +12,7 @@ use crate::tools::{args, ToolContext, ToolRegistry};
 use dataframe::DataFrame;
 use llm_sim::{classify, ChatRequest, IntentKind, LlmServer, Route};
 use prov_db::ProvenanceDatabase;
-use prov_model::{
-    obj, MessageType, SharedClock, TaskMessageBuilder, Value,
-};
+use prov_model::{obj, MessageType, SharedClock, TaskMessageBuilder, Value};
 use prov_stream::{topics, StreamingHub};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -170,7 +168,10 @@ impl ProvenanceAgent {
     /// traversals over persistent provenance databases").
     fn graph_flow(&self, user: &str) -> AgentReply {
         let tool_args = args(&[("question", Value::from(user))]);
-        match self.registry.call("graph_query", &tool_args, &self.tool_ctx) {
+        match self
+            .registry
+            .call("graph_query", &tool_args, &self.tool_ctx)
+        {
             Ok(out) => {
                 self.record_tool_execution("graph_query", user, &out.rendered, None);
                 AgentReply {
@@ -241,7 +242,12 @@ impl ProvenanceAgent {
         ]);
         match self.registry.call(tool, &tool_args, &self.tool_ctx) {
             Ok(out) => {
-                self.record_tool_execution(tool, &response.text, &out.rendered, llm_task_id.as_deref());
+                self.record_tool_execution(
+                    tool,
+                    &response.text,
+                    &out.rendered,
+                    llm_task_id.as_deref(),
+                );
                 let text = summarize(user, response.intent, &out.content, out.chart.is_some());
                 AgentReply {
                     route,
@@ -257,16 +263,16 @@ impl ProvenanceAgent {
             Err(e) => {
                 // §5.4: the GUI shows the generated code and the runtime
                 // error so the user can correct it or add a guideline.
-                self.record_tool_execution(tool, &response.text, &e.to_string(), llm_task_id.as_deref());
+                self.record_tool_execution(
+                    tool,
+                    &response.text,
+                    &e.to_string(),
+                    llm_task_id.as_deref(),
+                );
                 if self.config.autofix {
-                    if let Some(reply) = self.autofix_flow(
-                        user,
-                        route,
-                        tool,
-                        &response,
-                        &e,
-                        llm_task_id.as_deref(),
-                    ) {
+                    if let Some(reply) =
+                        self.autofix_flow(user, route, tool, &response, &e, llm_task_id.as_deref())
+                    {
                         return reply;
                     }
                 }
@@ -402,17 +408,13 @@ impl ProvenanceAgent {
         }
         let n = self.interactions.fetch_add(1, Ordering::Relaxed);
         let now = self.clock.now();
-        let mut builder = TaskMessageBuilder::new(
-            format!("agent-tool-{n}"),
-            "agent-session",
-            tool,
-        )
-        .msg_type(MessageType::ToolExecution)
-        .agent(self.config.agent_id.as_str())
-        .used(obj! {"input" => input})
-        .generated(obj! {"output" => output.chars().take(500).collect::<String>()})
-        .span(now, now + 0.002)
-        .host("agent-node");
+        let mut builder = TaskMessageBuilder::new(format!("agent-tool-{n}"), "agent-session", tool)
+            .msg_type(MessageType::ToolExecution)
+            .agent(self.config.agent_id.as_str())
+            .used(obj! {"input" => input})
+            .generated(obj! {"output" => output.chars().take(500).collect::<String>()})
+            .span(now, now + 0.002)
+            .host("agent-node");
         if let Some(llm_id) = informed_by {
             builder = builder.depends_on(llm_id);
         }
@@ -552,7 +554,11 @@ mod tests {
                 TaskMessageBuilder::new(
                     format!("t{i}"),
                     "wf",
-                    if i % 2 == 0 { "power" } else { "average_results" },
+                    if i % 2 == 0 {
+                        "power"
+                    } else {
+                        "average_results"
+                    },
                 )
                 .uses("exponent", 2.0)
                 .generates("y", i as f64)
@@ -683,10 +689,13 @@ mod tests {
     #[test]
     fn autofix_repairs_hallucinated_column_and_learns_guideline() {
         // `node` is the §5.2 hallucination; `hostname` is the real column.
-        let agent =
-            agent_with_fixed_code(r#"df.groupby("node")["duration"].mean()"#, true);
+        let agent = agent_with_fixed_code(r#"df.groupby("node")["duration"].mean()"#, true);
         let reply = agent.chat("What is the average duration per host?");
-        assert!(reply.error.is_none(), "autofix should recover: {:?}", reply.error);
+        assert!(
+            reply.error.is_none(),
+            "autofix should recover: {:?}",
+            reply.error
+        );
         let code = reply.code.expect("fixed code");
         assert!(code.contains("\"hostname\""), "{code}");
         assert!(reply.text.contains("auto-fixed"), "{}", reply.text);
@@ -702,8 +711,7 @@ mod tests {
 
     #[test]
     fn autofix_disabled_surfaces_error() {
-        let agent =
-            agent_with_fixed_code(r#"df.groupby("node")["duration"].mean()"#, false);
+        let agent = agent_with_fixed_code(r#"df.groupby("node")["duration"].mean()"#, false);
         let reply = agent.chat("What is the average duration per host?");
         assert!(reply.error.is_some());
         assert!(reply.text.contains("failed to run"));
@@ -867,7 +875,10 @@ mod tests {
         let reply = agent.chat("How many tasks ran on each host?");
         if let Some(err) = reply.error {
             assert!(reply.code.is_some());
-            assert!(err.contains("unknown column") || err.contains("parse"), "{err}");
+            assert!(
+                err.contains("unknown column") || err.contains("parse"),
+                "{err}"
+            );
         }
     }
 }

@@ -198,9 +198,7 @@ impl AutoFixer {
         } else {
             code.lines()
                 .map(str::trim)
-                .find(|l| {
-                    l.starts_with("df") || l.starts_with("len(") || l.starts_with("(df")
-                })
+                .find(|l| l.starts_with("df") || l.starts_with("len(") || l.starts_with("(df"))
                 .map(str::to_string)
         }?;
         if extracted.is_empty() || extracted == code.trim() {
@@ -392,10 +390,18 @@ mod tests {
         let f = AutoFixer::new();
         let chatty = "Sure! You can answer that with:\n```python\ndf['duration'].mean()\n```\nHope that helps.";
         let p = f
-            .propose(chatty, "query parse error: unexpected character '!'", &schema())
+            .propose(
+                chatty,
+                "query parse error: unexpected character '!'",
+                &schema(),
+            )
             .expect("extraction");
         assert_eq!(p.fixed_code, "df['duration'].mean()");
-        assert!(p.guideline.as_deref().unwrap().contains("single pandas expression"));
+        assert!(p
+            .guideline
+            .as_deref()
+            .unwrap()
+            .contains("single pandas expression"));
     }
 
     #[test]

@@ -143,14 +143,7 @@ impl ContextManager {
     /// The most recent `n` messages (for the context monitor).
     pub fn recent(&self, n: usize) -> Vec<TaskMessage> {
         let inner = self.inner.read();
-        inner
-            .messages
-            .iter()
-            .rev()
-            .take(n)
-            .rev()
-            .cloned()
-            .collect()
+        inner.messages.iter().rev().take(n).rev().cloned().collect()
     }
 }
 

@@ -86,7 +86,11 @@ pub fn sparkline(series: &[f64], width: usize) -> String {
         let start = i as usize;
         let end = ((i + bucket) as usize).min(series.len()).max(start + 1);
         let mean = series[start..end].iter().sum::<f64>() / (end - start) as f64;
-        let t = if hi > lo { (mean - lo) / (hi - lo) } else { 0.5 };
+        let t = if hi > lo {
+            (mean - lo) / (hi - lo)
+        } else {
+            0.5
+        };
         let idx = ((t * (SPARKS.len() - 1) as f64).round() as usize).min(SPARKS.len() - 1);
         out.push(SPARKS[idx]);
         i += bucket;
@@ -108,12 +112,11 @@ impl Dashboard {
     }
 
     /// Compute a snapshot from raw messages.
-    pub fn snapshot_from(
-        &self,
-        msgs: &[TaskMessage],
-        anomalies: &[Anomaly],
-    ) -> DashboardSnapshot {
-        let mut per: BTreeMap<&str, (Vec<f64>, Vec<f64>, usize, usize, usize)> = BTreeMap::new();
+    pub fn snapshot_from(&self, msgs: &[TaskMessage], anomalies: &[Anomaly]) -> DashboardSnapshot {
+        // Per-activity accumulator: durations, CPU means, and
+        // finished/error/total counters.
+        type ActivityAcc = (Vec<f64>, Vec<f64>, usize, usize, usize);
+        let mut per: BTreeMap<&str, ActivityAcc> = BTreeMap::new();
         let mut workflows: Vec<&str> = Vec::new();
         let mut hosts: Vec<&str> = Vec::new();
         let mut cpu_series = Vec::with_capacity(msgs.len());
@@ -248,7 +251,11 @@ mod tests {
                 TaskMessageBuilder::new(
                     format!("t{i}"),
                     format!("wf-{}", i % 2),
-                    if i % 3 == 0 { "laser_scan" } else { "monitor_melt_pool" },
+                    if i % 3 == 0 {
+                        "laser_scan"
+                    } else {
+                        "monitor_melt_pool"
+                    },
                 )
                 .span(i as f64, i as f64 + 1.0 + (i % 4) as f64 * 0.5)
                 .host(format!("frontier0008{}", i % 3))

@@ -63,7 +63,7 @@ impl McpServer {
                         }
                     })
                     .collect();
-                ok_response(id, obj! {"tools" => Value::Array(tools)})
+                ok_response(id, obj! {"tools" => Value::array(tools)})
             }
             "tools/call" => {
                 let Some(name) = params.get("name").and_then(Value::as_str) else {
@@ -74,7 +74,7 @@ impl McpServer {
                     Ok(out) => ok_response(
                         id,
                         obj! {
-                            "content" => Value::Array(vec![obj! {"type" => "text", "text" => out.rendered.as_str()}]),
+                            "content" => Value::array(vec![obj! {"type" => "text", "text" => out.rendered.as_str()}]),
                             "structuredContent" => out.content,
                             "isError" => false,
                         },
@@ -82,7 +82,7 @@ impl McpServer {
                     Err(e) => ok_response(
                         id,
                         obj! {
-                            "content" => Value::Array(vec![obj! {"type" => "text", "text" => e.to_string()}]),
+                            "content" => Value::array(vec![obj! {"type" => "text", "text" => e.to_string()}]),
                             "isError" => true,
                         },
                     ),
@@ -98,12 +98,12 @@ impl McpServer {
                         }
                     })
                     .collect();
-                ok_response(id, obj! {"prompts" => Value::Array(prompts)})
+                ok_response(id, obj! {"prompts" => Value::array(prompts)})
             }
             "resources/list" => ok_response(
                 id,
                 obj! {
-                    "resources" => Value::Array(vec![
+                    "resources" => Value::array(vec![
                         obj! {"uri" => "context://schema", "name" => "Dynamic dataflow schema"},
                         obj! {"uri" => "context://values", "name" => "Representative domain values"},
                         obj! {"uri" => "context://guidelines", "name" => "Query guidelines"},
@@ -122,7 +122,7 @@ impl McpServer {
                 };
                 ok_response(
                     id,
-                    obj! {"contents" => Value::Array(vec![obj! {"uri" => uri, "text" => text.as_str()}])},
+                    obj! {"contents" => Value::array(vec![obj! {"uri" => uri, "text" => text.as_str()}])},
                 )
             }
             _ => error_response(id, -32601, "method not found"),
@@ -147,7 +147,7 @@ pub fn request(id: i64, method: &str, params: Value) -> Value {
     if !params.is_null() {
         m.insert("params".into(), params);
     }
-    Value::Object(m)
+    Value::object(m)
 }
 
 #[cfg(test)]
@@ -182,7 +182,8 @@ mod tests {
         let s = server();
         let resp = s.handle(&request(1, "initialize", Value::Null));
         assert_eq!(
-            resp.get_path("result.protocolVersion").and_then(Value::as_str),
+            resp.get_path("result.protocolVersion")
+                .and_then(Value::as_str),
             Some(PROTOCOL_VERSION)
         );
         assert!(resp.get_path("result.capabilities.tools").is_some());
@@ -192,7 +193,10 @@ mod tests {
     fn tools_list_and_call() {
         let s = server();
         let resp = s.handle(&request(2, "tools/list", Value::Null));
-        let tools = resp.get_path("result.tools").and_then(Value::as_array).unwrap();
+        let tools = resp
+            .get_path("result.tools")
+            .and_then(Value::as_array)
+            .unwrap();
         assert!(tools.len() >= 6);
         // Every built-in — including the graph-traversal tool — is listed.
         let names: Vec<&str> = tools
@@ -216,7 +220,8 @@ mod tests {
             obj! {"name" => "in_memory_query", "arguments" => obj! {"code" => "len(df)"}},
         ));
         assert_eq!(
-            resp.get_path("result.structuredContent").and_then(Value::as_i64),
+            resp.get_path("result.structuredContent")
+                .and_then(Value::as_i64),
             Some(10)
         );
         assert_eq!(
@@ -244,7 +249,9 @@ mod tests {
         let s = server();
         let resp = s.handle(&request(5, "prompts/list", Value::Null));
         assert_eq!(
-            resp.get_path("result.prompts").and_then(Value::as_array).map(|a| a.len()),
+            resp.get_path("result.prompts")
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
             Some(7)
         );
         let resp = s.handle(&request(

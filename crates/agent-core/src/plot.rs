@@ -26,11 +26,9 @@ impl BarChart {
                 .column(n)
                 .is_some_and(|c| matches!(c.dtype(), dataframe::DType::Str))
         })?;
-        let value_col = names.iter().find(|n| {
-            frame
-                .column(n)
-                .is_some_and(|c| c.dtype().is_numeric())
-        })?;
+        let value_col = names
+            .iter()
+            .find(|n| frame.column(n).is_some_and(|c| c.dtype().is_numeric()))?;
         let labels: Vec<String> = frame
             .column(label_col)
             .expect("found above")
@@ -137,10 +135,7 @@ mod tests {
         let text = c.render_ascii(40);
         assert!(text.contains("BDE by bond"));
         let lines: Vec<&str> = text.lines().skip(1).collect();
-        let bars: Vec<usize> = lines
-            .iter()
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();
         // O-H (largest value) has the longest bar.
         assert!(bars[2] >= bars[1] && bars[1] >= bars[0]);
         assert_eq!(bars[2], 40);
@@ -159,8 +154,7 @@ mod tests {
 
     #[test]
     fn non_plottable_frame_returns_none() {
-        let numeric_only =
-            DataFrame::from_columns(vec![("x", vec![Value::Int(1)])]).unwrap();
+        let numeric_only = DataFrame::from_columns(vec![("x", vec![Value::Int(1)])]).unwrap();
         assert!(BarChart::from_frame("t", &numeric_only).is_none());
     }
 }

@@ -155,7 +155,11 @@ impl DynamicDataflowSchema {
             format!(
                 "application dataflow field generated by {}{}",
                 producers.join(", "),
-                if consumed { "; also consumed downstream" } else { "" }
+                if consumed {
+                    "; also consumed downstream"
+                } else {
+                    ""
+                }
             )
         } else if consumed {
             "application dataflow input parameter".to_string()
@@ -273,8 +277,12 @@ mod tests {
     #[test]
     fn dtype_unification_across_messages() {
         let mut s = DynamicDataflowSchema::new();
-        let int_msg = TaskMessageBuilder::new("t1", "wf", "a").uses("v", 1).build();
-        let float_msg = TaskMessageBuilder::new("t2", "wf", "a").uses("v", 1.5).build();
+        let int_msg = TaskMessageBuilder::new("t1", "wf", "a")
+            .uses("v", 1)
+            .build();
+        let float_msg = TaskMessageBuilder::new("t2", "wf", "a")
+            .uses("v", 1.5)
+            .build();
         s.observe(&int_msg);
         s.observe(&float_msg);
         let (_, act) = s.activities().next().unwrap();

@@ -105,18 +105,14 @@ fn run_code_on(frame: &DataFrame, code: &str) -> Result<(QueryOutput, Value), To
 fn output_to_value(out: &QueryOutput) -> Value {
     match out {
         QueryOutput::Scalar(v) => v.clone(),
-        QueryOutput::Row(m) => Value::Object(m.clone()),
+        QueryOutput::Row(m) => Value::object(m.clone()),
         QueryOutput::Series { name, values } => obj! {
             "series" => name.as_str(),
-            "values" => Value::Array(values.iter().take(100).cloned().collect()),
+            "values" => Value::array(values.iter().take(100).cloned().collect()),
         },
         QueryOutput::Frame(f) => {
-            let rows: Vec<Value> = f
-                .iter_rows()
-                .take(100)
-                .map(Value::Object)
-                .collect();
-            obj! {"rows" => Value::Array(rows), "row_count" => f.len()}
+            let rows: Vec<Value> = f.iter_rows().take(100).map(Value::object).collect();
+            obj! {"rows" => Value::array(rows), "row_count" => f.len()}
         }
     }
 }
@@ -225,7 +221,9 @@ impl Tool for PlotTool {
             QueryOutput::Series { name, values } => DataFrame::from_columns(vec![
                 (
                     "label".to_string(),
-                    (0..values.len()).map(|i| Value::from(format!("{name}[{i}]"))).collect(),
+                    (0..values.len())
+                        .map(|i| Value::from(format!("{name}[{i}]")))
+                        .collect(),
                 ),
                 ("value".to_string(), values.clone()),
             ])
@@ -236,8 +234,11 @@ impl Tool for PlotTool {
                     .filter(|(_, v)| v.is_number())
                     .map(|(k, v)| (Value::from(k.as_str()), v.clone()))
                     .unzip();
-                DataFrame::from_columns(vec![("label".to_string(), labels), ("value".to_string(), values)])
-                    .map_err(|e| ToolError::Exec(e.to_string()))?
+                DataFrame::from_columns(vec![
+                    ("label".to_string(), labels),
+                    ("value".to_string(), values),
+                ])
+                .map_err(|e| ToolError::Exec(e.to_string()))?
             }
         };
         let chart = BarChart::from_frame(title, &chart_frame)
@@ -298,7 +299,7 @@ impl Tool for AnomalyScanTool {
             s
         };
         Ok(ToolOutput::text(
-            obj! {"anomalies" => Value::Array(rows)},
+            obj! {"anomalies" => Value::array(rows)},
             rendered,
         ))
     }
@@ -443,12 +444,12 @@ impl Tool for GraphQueryTool {
                         );
                         let nodes: Vec<Value> = p.iter().map(|id| describe(id)).collect();
                         Ok(ToolOutput::text(
-                            obj! {"op" => "path", "path" => Value::Array(nodes)},
+                            obj! {"op" => "path", "path" => Value::array(nodes)},
                             rendered,
                         ))
                     }
                     None => Ok(ToolOutput::text(
-                        obj! {"op" => "path", "path" => Value::Array(vec![])},
+                        obj! {"op" => "path", "path" => Value::array(vec![])},
                         format!("No dependency path connects {first} and {second}."),
                     )),
                 }
@@ -492,7 +493,7 @@ impl Tool for GraphQueryTool {
                     obj! {
                         "op" => if op == GraphOp::Upstream { "upstream" } else { "downstream" },
                         "root" => first.as_str(),
-                        "tasks" => Value::Array(rows),
+                        "tasks" => Value::array(rows),
                     },
                     rendered,
                 ))
@@ -566,9 +567,9 @@ impl ToolRegistry {
 pub fn args(pairs: &[(&str, Value)]) -> Value {
     let mut m = Map::new();
     for (k, v) in pairs {
-        m.insert(k.to_string(), v.clone());
+        m.insert(prov_model::Sym::from(*k), v.clone());
     }
-    Value::Object(m)
+    Value::object(m)
 }
 
 #[cfg(test)]
@@ -652,7 +653,10 @@ mod tests {
             .call(
                 "plot",
                 &args(&[
-                    ("code", Value::from(r#"df.groupby("activity_id")["v"].mean()"#)),
+                    (
+                        "code",
+                        Value::from(r#"df.groupby("activity_id")["v"].mean()"#),
+                    ),
                     ("title", Value::from("mean v per activity")),
                 ]),
                 &ctx,
@@ -670,7 +674,10 @@ mod tests {
         registry
             .call(
                 "add_guideline",
-                &args(&[("text", Value::from("use the field lr to filter learning rates"))]),
+                &args(&[(
+                    "text",
+                    Value::from("use the field lr to filter learning rates"),
+                )]),
                 &ctx,
             )
             .unwrap();
@@ -681,9 +688,15 @@ mod tests {
     fn anomaly_tool_needs_no_llm() {
         let registry = ToolRegistry::with_builtins();
         let listing = registry.list();
-        let anomaly = listing.iter().find(|(n, _, _)| *n == "anomaly_scan").unwrap();
+        let anomaly = listing
+            .iter()
+            .find(|(n, _, _)| *n == "anomaly_scan")
+            .unwrap();
         assert!(!anomaly.2);
-        let query = listing.iter().find(|(n, _, _)| *n == "in_memory_query").unwrap();
+        let query = listing
+            .iter()
+            .find(|(n, _, _)| *n == "in_memory_query")
+            .unwrap();
         assert!(query.2);
     }
 

@@ -167,10 +167,7 @@ fn bench_chaos_overhead(c: &mut Criterion) {
         b.iter(|| broker.publish("x", black_box(msg.clone())).unwrap())
     });
     g.bench_function("publish_at_least_once", |b| {
-        let broker = ChaosBroker::new(
-            Arc::new(MemoryBroker::new()),
-            ChaosConfig::at_least_once(7),
-        );
+        let broker = ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::at_least_once(7));
         let _sub = broker.subscribe("x");
         b.iter(|| broker.publish("x", black_box(msg.clone())).unwrap())
     });

@@ -8,8 +8,8 @@
 use agent_core::RagStrategy;
 use criterion::{criterion_group, criterion_main, Criterion};
 use eval::{
-    fig6, fig7, fig8, fig9, latency_report, render_demo, run_chem_demo, run_matrix, table1,
-    table2, Experiment,
+    fig6, fig7, fig8, fig9, latency_report, render_demo, run_chem_demo, run_matrix, table1, table2,
+    Experiment,
 };
 use llm_sim::{Judge, ModelId};
 use std::hint::black_box;

@@ -48,12 +48,16 @@ fn bench_batch_ingest(c: &mut Criterion) {
             black_box(db.insert_batch(msgs))
         })
     });
-    g.bench_with_input(BenchmarkId::new("sharded_accept", N), &shared, |b, shared| {
-        b.iter(|| {
-            let db = ProvenanceDatabase::new();
-            black_box(db.insert_batch_shared(shared.iter().cloned()))
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("sharded_accept", N),
+        &shared,
+        |b, shared| {
+            b.iter(|| {
+                let db = ProvenanceDatabase::new();
+                black_box(db.insert_batch_shared(shared.iter().cloned()))
+            })
+        },
+    );
     g.bench_with_input(
         BenchmarkId::new("sharded_accept_materialize", N),
         &shared,
@@ -122,5 +126,10 @@ fn bench_aggregate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(prov_db, bench_batch_ingest, bench_indexed_find, bench_aggregate);
+criterion_group!(
+    prov_db,
+    bench_batch_ingest,
+    bench_indexed_find,
+    bench_aggregate
+);
 criterion_main!(prov_db);

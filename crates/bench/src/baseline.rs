@@ -2,7 +2,11 @@
 //! sharded engine's speedups are measured against the real thing rather
 //! than a strawman. This is the exact design the seed shipped:
 //!
-//! * one `RwLock<Vec<Value>>` serializing all writers;
+//! * the seed's value layout ([`SeedValue`]: owned `String` keys and
+//!   containers, deep `Clone`) — preserved separately because today's
+//!   `prov_model::Value` shares strings and containers and would silently
+//!   gift the baseline the very wins this module exists to measure;
+//! * one `RwLock<Vec<SeedValue>>` serializing all writers;
 //! * `String` index keys built with `display_plain()` (one allocation per
 //!   index probe and per indexed insert);
 //! * `find` deep-cloning every matching document;
@@ -10,16 +14,113 @@
 //! * `aggregate` materializing a full clone of every matching document and
 //!   doing O(n·groups) linear bucket search;
 //! * per-message fan-out: 3 lock round-trips per message on the batch path.
+//!
+//! Queries still arrive as `prov_db::DocQuery` (so `repro --provdb` issues
+//! one query object to both engines); condition bounds are converted to
+//! `SeedValue` once per query, which is what the seed's query layer held
+//! anyway.
 
+use crate::seed_value::{seed_to_value, SeedMap, SeedValue};
 use parking_lot::RwLock;
-use prov_db::{Condition, DocQuery, GroupSpec, Op};
-use prov_model::{Map, ProvRelation, TaskMessage, Value};
+use prov_db::{AggOp, Condition, DocQuery, GroupSpec, Op};
+use prov_model::{ProvRelation, TaskMessage};
 use std::collections::HashMap;
+
+/// The seed's `Condition::matches`, over the preserved value layout.
+fn condition_matches(op: Op, bound: &SeedValue, doc: &SeedValue, path: &str) -> bool {
+    let field = doc.get_path(path);
+    match op {
+        Op::Exists => field.is_some(),
+        Op::Contains => match (field.and_then(SeedValue::as_str), bound.as_str()) {
+            (Some(s), Some(pat)) => s.contains(pat),
+            _ => false,
+        },
+        op => {
+            let Some(v) = field else { return op == Op::Ne };
+            let equal = match (v, bound) {
+                (SeedValue::Int(a), SeedValue::Float(b)) => *a as f64 == *b,
+                (SeedValue::Float(a), SeedValue::Int(b)) => *a == *b as f64,
+                (a, b) => a == b,
+            };
+            let ord = v.compare(bound);
+            match op {
+                Op::Eq => equal,
+                Op::Ne => !equal,
+                Op::Lt => ord == std::cmp::Ordering::Less,
+                Op::Lte => ord != std::cmp::Ordering::Greater,
+                Op::Gt => ord == std::cmp::Ordering::Greater,
+                Op::Gte => ord != std::cmp::Ordering::Less,
+                Op::Contains | Op::Exists => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Query conditions with bounds converted to the seed layout (once per
+/// query, as the seed's own query objects held them).
+struct SeedConditions(Vec<(String, Op, SeedValue)>);
+
+impl SeedConditions {
+    fn new(conditions: &[Condition]) -> Self {
+        Self(
+            conditions
+                .iter()
+                .map(|c| (c.path.clone(), c.op, SeedValue::from(&c.value)))
+                .collect(),
+        )
+    }
+
+    fn matches(&self, doc: &SeedValue) -> bool {
+        self.0
+            .iter()
+            .all(|(path, op, bound)| condition_matches(*op, bound, doc, path))
+    }
+}
+
+/// The seed's aggregation operator application.
+fn apply_agg(op: AggOp, values: &[SeedValue]) -> SeedValue {
+    match op {
+        AggOp::Count => SeedValue::Int(values.len() as i64),
+        AggOp::Sum => SeedValue::Float(values.iter().filter_map(SeedValue::as_f64).sum()),
+        AggOp::Mean => {
+            let nums: Vec<f64> = values.iter().filter_map(SeedValue::as_f64).collect();
+            if nums.is_empty() {
+                SeedValue::Null
+            } else {
+                SeedValue::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggOp::Min | AggOp::Max => {
+            let mut best: Option<&SeedValue> = None;
+            for v in values {
+                if v.is_null() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(v),
+                    Some(b) => {
+                        let take = if op == AggOp::Min {
+                            v.compare(b) == std::cmp::Ordering::Less
+                        } else {
+                            v.compare(b) == std::cmp::Ordering::Greater
+                        };
+                        if take {
+                            Some(v)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            best.cloned().unwrap_or(SeedValue::Null)
+        }
+    }
+}
 
 /// Single-lock, clone-on-read document store (the seed implementation).
 #[derive(Default)]
 pub struct BaselineDocumentStore {
-    docs: RwLock<Vec<Value>>,
+    docs: RwLock<Vec<SeedValue>>,
     /// field path → (value text → doc indices)
     indexes: RwLock<HashMap<String, HashMap<String, Vec<usize>>>>,
 }
@@ -41,7 +142,7 @@ impl BaselineDocumentStore {
     }
 
     /// Insert one document; returns its index.
-    pub fn insert(&self, doc: Value) -> usize {
+    pub fn insert(&self, doc: SeedValue) -> usize {
         let mut docs = self.docs.write();
         let idx = docs.len();
         let mut indexes = self.indexes.write();
@@ -55,7 +156,7 @@ impl BaselineDocumentStore {
     }
 
     /// Bulk insert: loops the per-document lock round-trip (seed behavior).
-    pub fn insert_many(&self, batch: Vec<Value>) -> usize {
+    pub fn insert_many(&self, batch: Vec<SeedValue>) -> usize {
         let n = batch.len();
         for d in batch {
             self.insert(d);
@@ -79,19 +180,22 @@ impl BaselineDocumentStore {
     }
 
     /// Run a query, deep-cloning every matching document.
-    pub fn find(&self, query: &DocQuery) -> Vec<Value> {
+    pub fn find(&self, query: &DocQuery) -> Vec<SeedValue> {
+        let conditions = SeedConditions::new(&query.conditions);
         let docs = self.docs.read();
-        let mut hits: Vec<usize> = match self.candidates(&query.conditions) {
+        let mut hits: Vec<usize> = match self.candidates(&conditions) {
             Some(c) => c
                 .into_iter()
-                .filter(|&i| query.matches(&docs[i]))
+                .filter(|&i| conditions.matches(&docs[i]))
                 .collect(),
-            None => (0..docs.len()).filter(|&i| query.matches(&docs[i])).collect(),
+            None => (0..docs.len())
+                .filter(|&i| conditions.matches(&docs[i]))
+                .collect(),
         };
         if let Some((path, ascending)) = &query.sort {
             hits.sort_by(|&a, &b| {
-                let va = docs[a].get_path(path).cloned().unwrap_or(Value::Null);
-                let vb = docs[b].get_path(path).cloned().unwrap_or(Value::Null);
+                let va = docs[a].get_path(path).cloned().unwrap_or(SeedValue::Null);
+                let vb = docs[b].get_path(path).cloned().unwrap_or(SeedValue::Null);
                 let o = va.compare(&vb);
                 if *ascending {
                     o
@@ -110,21 +214,30 @@ impl BaselineDocumentStore {
 
     /// Count matching documents.
     pub fn count(&self, query: &DocQuery) -> usize {
+        let conditions = SeedConditions::new(&query.conditions);
         let docs = self.docs.read();
-        match self.candidates(&query.conditions) {
-            Some(c) => c.into_iter().filter(|&i| query.matches(&docs[i])).count(),
-            None => docs.iter().filter(|d| query.matches(d)).count(),
+        match self.candidates(&conditions) {
+            Some(c) => c
+                .into_iter()
+                .filter(|&i| conditions.matches(&docs[i]))
+                .count(),
+            None => docs.iter().filter(|d| conditions.matches(d)).count(),
         }
     }
 
     /// First-index-hit candidate selection (seed behavior: no smallest-set
     /// choice, no intersection, one `display_plain` String per probe).
-    fn candidates(&self, conditions: &[Condition]) -> Option<Vec<usize>> {
+    fn candidates(&self, conditions: &SeedConditions) -> Option<Vec<usize>> {
         let indexes = self.indexes.read();
-        for c in conditions {
-            if c.op == Op::Eq {
-                if let Some(index) = indexes.get(&c.path) {
-                    return Some(index.get(&c.value.display_plain()).cloned().unwrap_or_default());
+        for (path, op, bound) in &conditions.0 {
+            if *op == Op::Eq {
+                if let Some(index) = indexes.get(path) {
+                    return Some(
+                        index
+                            .get(&bound.display_plain())
+                            .cloned()
+                            .unwrap_or_default(),
+                    );
                 }
             }
         }
@@ -133,16 +246,16 @@ impl BaselineDocumentStore {
 
     /// Group-and-aggregate via a full clone of the matching documents and a
     /// linear bucket scan per document (seed behavior).
-    pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
+    pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<SeedValue> {
         let docs = self.find(&DocQuery {
             conditions: query.conditions.clone(),
             projection: Vec::new(),
             sort: None,
             limit: None,
         });
-        let mut buckets: Vec<(Value, Vec<&Value>)> = Vec::new();
+        let mut buckets: Vec<(SeedValue, Vec<&SeedValue>)> = Vec::new();
         for d in &docs {
-            let key = d.get_path(&group.key).cloned().unwrap_or(Value::Null);
+            let key = d.get_path(&group.key).cloned().unwrap_or(SeedValue::Null);
             match buckets.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, items)) => items.push(d),
                 None => buckets.push((key, vec![d])),
@@ -151,33 +264,33 @@ impl BaselineDocumentStore {
         buckets
             .into_iter()
             .map(|(key, items)| {
-                let mut out = Map::new();
-                out.insert("_id".into(), key);
+                let mut out = SeedMap::new();
+                out.insert("_id".to_string(), key);
                 for agg in &group.aggs {
-                    let vals: Vec<Value> = items
+                    let vals: Vec<SeedValue> = items
                         .iter()
                         .filter_map(|d| d.get_path(&agg.path))
                         .cloned()
                         .collect();
-                    out.insert(agg.output_name(), agg.apply(&vals));
+                    out.insert(agg.output_name(), apply_agg(agg.op, &vals));
                 }
-                Value::Object(out)
+                SeedValue::Object(out)
             })
             .collect()
     }
 }
 
-fn project(doc: &Value, projection: &[String]) -> Value {
+fn project(doc: &SeedValue, projection: &[String]) -> SeedValue {
     if projection.is_empty() {
         return doc.clone();
     }
-    let mut out = Map::new();
+    let mut out = SeedMap::new();
     for p in projection {
         if let Some(v) = doc.get_path(p) {
             out.insert(p.clone(), v.clone());
         }
     }
-    Value::Object(out)
+    SeedValue::Object(out)
 }
 
 /// Seed-shaped unified database: per-message fan-out to document, KV, and
@@ -186,8 +299,8 @@ fn project(doc: &Value, projection: &[String]) -> Value {
 pub struct BaselineDatabase {
     /// Document collection.
     pub documents: BaselineDocumentStore,
-    kv: RwLock<std::collections::BTreeMap<String, Value>>,
-    graph_nodes: RwLock<HashMap<String, (String, Map)>>,
+    kv: RwLock<std::collections::BTreeMap<String, SeedValue>>,
+    graph_nodes: RwLock<HashMap<String, (String, SeedMap)>>,
     graph_edges: RwLock<Vec<(String, String, String)>>,
 }
 
@@ -201,21 +314,29 @@ impl BaselineDatabase {
         db
     }
 
-    /// Insert one message: deep-clones the document for the KV row and
-    /// takes one write lock per backend touched (seed behavior).
+    /// Insert one message: serializes with the seed's `String`-per-key
+    /// encoder, deep-clones the document for the KV row and takes one
+    /// write lock per backend touched (seed behavior).
     pub fn insert(&self, msg: &TaskMessage) {
-        let doc = msg.to_value();
+        let doc = seed_to_value(msg);
         self.documents.insert(doc.clone());
         self.kv
             .write()
             .insert(format!("task/{}", msg.task_id.as_str()), doc);
-        let mut props = Map::new();
-        props.insert("activity_id".into(), Value::from(msg.activity_id.as_str()));
-        props.insert("hostname".into(), Value::from(msg.hostname.as_str()));
-        props.insert("status".into(), Value::from(msg.status.as_str()));
-        self.graph_nodes
-            .write()
-            .insert(msg.task_id.as_str().to_string(), ("prov:Activity".into(), props));
+        let mut props = SeedMap::new();
+        props.insert(
+            "activity_id".to_string(),
+            SeedValue::Str(msg.activity_id.as_str().to_string()),
+        );
+        props.insert("hostname".to_string(), SeedValue::Str(msg.hostname.clone()));
+        props.insert(
+            "status".to_string(),
+            SeedValue::Str(msg.status.as_str().to_string()),
+        );
+        self.graph_nodes.write().insert(
+            msg.task_id.as_str().to_string(),
+            ("prov:Activity".into(), props),
+        );
         for dep in &msg.depends_on {
             self.graph_edges.write().push((
                 msg.task_id.as_str().to_string(),

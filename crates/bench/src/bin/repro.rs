@@ -30,6 +30,24 @@ fn main() {
         return;
     }
 
+    // Bench-regression gate: `repro --check-bench <committed.json>
+    // <fresh.json> [tolerance]` exits non-zero when any speedup in the
+    // fresh report falls more than `tolerance` (default 0.20) below the
+    // committed one. CI runs this after regenerating `BENCH_provdb.json`.
+    if let Some(pos) = args.iter().position(|a| a == "--check-bench") {
+        let committed = args
+            .get(pos + 1)
+            .expect("--check-bench <committed> <fresh>");
+        let fresh = args
+            .get(pos + 2)
+            .expect("--check-bench <committed> <fresh>");
+        let tolerance = args
+            .get(pos + 3)
+            .and_then(|t| t.parse::<f64>().ok())
+            .unwrap_or(0.20);
+        std::process::exit(check_bench_regression(committed, fresh, tolerance));
+    }
+
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
 
     let experiment = Experiment::default();
@@ -128,6 +146,72 @@ fn main() {
     }
 }
 
+/// Compare two `BENCH_provdb.json` reports: exit code 0 when every
+/// speedup in `fresh` is at least `(1 - tolerance) ×` the committed one,
+/// 1 on regression, 2 on unreadable/malformed input. The tolerance absorbs
+/// runner noise; the committed file is the floor the perf work locked in.
+fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64) -> i32 {
+    use prov_model::{json, Value};
+
+    fn load(path: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| eprintln!("check-bench: cannot read {path}: {e}"))
+            .ok()?;
+        json::from_str(&text)
+            .map_err(|e| eprintln!("check-bench: cannot parse {path}: {e}"))
+            .ok()
+    }
+
+    let (Some(committed), Some(fresh)) = (load(committed_path), load(fresh_path)) else {
+        return 2;
+    };
+    let Some(committed) = committed.as_object() else {
+        eprintln!("check-bench: {committed_path} is not a JSON object");
+        return 2;
+    };
+
+    let mut checked = 0;
+    let mut failures = 0;
+    for (metric, entry) in committed {
+        let Some(want) = entry.get("speedup").and_then(Value::as_f64) else {
+            continue; // metadata keys (generated_by, notes, …)
+        };
+        let got = fresh
+            .get_path(&format!("{metric}.speedup"))
+            .and_then(Value::as_f64);
+        checked += 1;
+        match got {
+            Some(got) if got >= want * (1.0 - tolerance) => {
+                println!(
+                    "check-bench: ok   {metric}: {got:.1}x (floor {:.1}x)",
+                    want * (1.0 - tolerance)
+                );
+            }
+            Some(got) => {
+                eprintln!(
+                    "check-bench: FAIL {metric}: fresh {got:.2}x is more than {:.0}% below committed {want:.2}x",
+                    tolerance * 100.0
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!("check-bench: FAIL {metric}: missing from {fresh_path}");
+                failures += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("check-bench: no speedup metrics found in {committed_path}");
+        return 2;
+    }
+    if failures > 0 {
+        1
+    } else {
+        println!("check-bench: {checked} metrics within tolerance");
+        0
+    }
+}
+
 /// One measured hot path: the seed baseline vs the sharded engine.
 struct ProvDbMeasurement {
     name: &'static str,
@@ -163,7 +247,12 @@ impl ProvDbReport {
         for m in &self.measurements {
             out.push_str(&format!(
                 "{:<28} {:>11.3} {} {:>11.3} {} {:>8.1}x\n",
-                m.name, m.baseline, m.unit, m.sharded, m.unit, m.speedup()
+                m.name,
+                m.baseline,
+                m.unit,
+                m.sharded,
+                m.unit,
+                m.speedup()
             ));
         }
         out
@@ -206,7 +295,7 @@ impl ProvDbReport {
                 },
             );
         }
-        json::to_string_pretty(&Value::Object(root))
+        json::to_string_pretty(&Value::object(root))
     }
 }
 
@@ -281,16 +370,18 @@ fn provdb_measure(which: &str) -> f64 {
 
     let msgs = provdb_corpus();
     match which {
-        "ingest-baseline" => best_of(3, || {
+        "ingest-baseline" => best_of(5, || {
             let db = BaselineDatabase::new();
             std::hint::black_box(db.insert_batch(&msgs));
         }),
         // The streaming ingest path: accept the broker's shared handles
-        // (what a keeper holds when its flush fires).
+        // (what a keeper holds when its flush fires). Milliseconds per
+        // run, so take the best of many — the CI regression gate compares
+        // against this number and must not ride scheduler noise.
         "ingest-sharded" => {
             let shared: Vec<std::sync::Arc<prov_model::TaskMessage>> =
                 msgs.iter().cloned().map(std::sync::Arc::new).collect();
-            best_of(3, || {
+            best_of(10, || {
                 let db = ProvenanceDatabase::new();
                 std::hint::black_box(db.insert_batch_shared(shared.iter().cloned()));
             })
@@ -300,7 +391,7 @@ fn provdb_measure(which: &str) -> f64 {
         "ingest-sharded-materialized" => {
             let shared: Vec<std::sync::Arc<prov_model::TaskMessage>> =
                 msgs.iter().cloned().map(std::sync::Arc::new).collect();
-            best_of(3, || {
+            best_of(5, || {
                 let db = ProvenanceDatabase::new();
                 db.insert_batch_shared(shared.iter().cloned());
                 db.flush_views();
@@ -323,7 +414,7 @@ fn provdb_measure(which: &str) -> f64 {
             let db = BaselineDatabase::new();
             db.insert_batch(&msgs);
             let g = provdb_group();
-            best_of(3, || {
+            best_of(5, || {
                 std::hint::black_box(db.documents.aggregate(&DocQuery::new(), &g).len());
             })
         }
@@ -331,7 +422,7 @@ fn provdb_measure(which: &str) -> f64 {
             let db = ProvenanceDatabase::new();
             db.insert_batch(&msgs);
             let g = provdb_group();
-            best_of(3, || {
+            best_of(5, || {
                 std::hint::black_box(db.aggregate(&DocQuery::new(), &g).len());
             })
         }
@@ -350,7 +441,11 @@ fn provdb_measure_isolated(which: &str) -> f64 {
         if !out.status.success() {
             return None;
         }
-        String::from_utf8(out.stdout).ok()?.trim().parse::<f64>().ok()
+        String::from_utf8(out.stdout)
+            .ok()?
+            .trim()
+            .parse::<f64>()
+            .ok()
     });
     child.unwrap_or_else(|| provdb_measure(which))
 }

@@ -5,3 +5,4 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod seed_value;

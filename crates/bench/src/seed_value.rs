@@ -1,0 +1,278 @@
+//! The seed's value representation, preserved for honest benchmarking.
+//!
+//! The interned-`Sym` refactor rebuilt `prov_model::Value` around shared
+//! strings and `Arc`'d containers, which makes `Clone` a refcount bump and
+//! key construction allocation-free. The pre-refactor engine in
+//! [`crate::baseline`] exists to measure those wins — so it must keep
+//! paying the pre-refactor costs. [`SeedValue`] is the exact data layout
+//! the seed shipped (`String` keys, owned `Vec`/`BTreeMap` containers,
+//! deep `Clone`), together with ports of the lookup/compare/render helpers
+//! the baseline store uses. Nothing outside the bench crate touches this.
+
+use prov_model::{TaskMessage, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Map type the seed used for JSON objects: owned `String` keys.
+pub type SeedMap = BTreeMap<String, SeedValue>;
+
+/// The seed's JSON-like value: owned strings and containers, so `Clone`
+/// copies every node — the cost profile the sharded engine is measured
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedValue {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Owned UTF-8 string.
+    Str(String),
+    /// Owned array.
+    Array(Vec<SeedValue>),
+    /// Owned `String`-keyed object.
+    Object(SeedMap),
+}
+
+impl SeedValue {
+    /// Dotted-path lookup (port of the seed's `Value::get_path`).
+    pub fn get_path(&self, path: &str) -> Option<&SeedValue> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                SeedValue::Object(m) => m.get(seg)?,
+                SeedValue::Array(a) => a.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&SeedValue> {
+        match self {
+            SeedValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            SeedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SeedValue::Int(i) => Some(*i as f64),
+            SeedValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// True if `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, SeedValue::Null)
+    }
+
+    fn kind_tag(&self) -> u8 {
+        match self {
+            SeedValue::Null => 0,
+            SeedValue::Bool(_) => 1,
+            SeedValue::Int(_) => 2,
+            SeedValue::Float(_) => 3,
+            SeedValue::Str(_) => 4,
+            SeedValue::Array(_) => 5,
+            SeedValue::Object(_) => 6,
+        }
+    }
+
+    /// Total deterministic ordering with numeric coercion (port of the
+    /// seed's `Value::compare`).
+    pub fn compare(&self, other: &SeedValue) -> Ordering {
+        use SeedValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Null, Null) => Ordering::Equal,
+            (Array(a), Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.compare(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => a.kind_tag().cmp(&b.kind_tag()),
+        }
+    }
+
+    /// Render without quotes around strings — the seed's index-key builder
+    /// (one `String` allocation per indexed insert and per probe).
+    pub fn display_plain(&self) -> String {
+        match self {
+            SeedValue::Str(s) => s.clone(),
+            SeedValue::Null => "null".to_string(),
+            SeedValue::Bool(b) => b.to_string(),
+            SeedValue::Int(i) => i.to_string(),
+            SeedValue::Float(f) => f.to_string(),
+            SeedValue::Array(a) => format!(
+                "[{}]",
+                a.iter()
+                    .map(SeedValue::display_plain)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            SeedValue::Object(m) => format!(
+                "{{{}}}",
+                m.iter()
+                    .map(|(k, v)| format!("{k}:{}", v.display_plain()))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        }
+    }
+}
+
+impl From<&Value> for SeedValue {
+    /// Node-by-node conversion from the shared representation: every key
+    /// and string re-allocates as an owned `String` — exactly what the
+    /// seed's deep `Clone` of a document paid.
+    fn from(v: &Value) -> SeedValue {
+        match v {
+            Value::Null => SeedValue::Null,
+            Value::Bool(b) => SeedValue::Bool(*b),
+            Value::Int(i) => SeedValue::Int(*i),
+            Value::Float(f) => SeedValue::Float(*f),
+            Value::Str(s) => SeedValue::Str(s.as_str().to_string()),
+            Value::Array(a) => SeedValue::Array(a.iter().map(SeedValue::from).collect()),
+            Value::Object(m) => SeedValue::Object(
+                m.iter()
+                    .map(|(k, val)| (k.as_str().to_string(), SeedValue::from(val)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// The seed's `TaskMessage::to_value`: one fresh `String` per key, owned
+/// string payloads, and a deep copy of the `used`/`generated`/`tags`
+/// payloads — the per-message serialization cost on the seed ingest path.
+pub fn seed_to_value(msg: &TaskMessage) -> SeedValue {
+    // Key-ordered pushes + bulk map build, matching the pre-`Sym` encoder
+    // this baseline was first benchmarked with (PR 1's `to_value`).
+    let mut pairs: Vec<(String, SeedValue)> = Vec::with_capacity(16);
+    let mut put = |k: &str, v: SeedValue| pairs.push((k.to_string(), v));
+    put(
+        "activity_id",
+        SeedValue::Str(msg.activity_id.as_str().to_string()),
+    );
+    if let Some(a) = &msg.agent_id {
+        put("agent_id", SeedValue::Str(a.as_str().to_string()));
+    }
+    put(
+        "campaign_id",
+        SeedValue::Str(msg.campaign_id.as_str().to_string()),
+    );
+    if !msg.depends_on.is_empty() {
+        put(
+            "depends_on",
+            SeedValue::Array(
+                msg.depends_on
+                    .iter()
+                    .map(|t| SeedValue::Str(t.as_str().to_string()))
+                    .collect(),
+            ),
+        );
+    }
+    put("ended_at", SeedValue::Float(msg.ended_at));
+    put("generated", SeedValue::from(&msg.generated));
+    put("hostname", SeedValue::Str(msg.hostname.clone()));
+    put("started_at", SeedValue::Float(msg.started_at));
+    put("status", SeedValue::Str(msg.status.as_str().to_string()));
+    if !msg.tags.is_empty() {
+        put(
+            "tags",
+            SeedValue::Object(
+                msg.tags
+                    .iter()
+                    .map(|(k, v)| (k.as_str().to_string(), SeedValue::from(v)))
+                    .collect(),
+            ),
+        );
+    }
+    put("task_id", SeedValue::Str(msg.task_id.as_str().to_string()));
+    if let Some(t) = &msg.telemetry_at_end {
+        put("telemetry_at_end", SeedValue::from(&t.to_value()));
+    }
+    if let Some(t) = &msg.telemetry_at_start {
+        put("telemetry_at_start", SeedValue::from(&t.to_value()));
+    }
+    put("type", SeedValue::Str(msg.msg_type.as_str().to_string()));
+    put("used", SeedValue::from(&msg.used));
+    put(
+        "workflow_id",
+        SeedValue::Str(msg.workflow_id.as_str().to_string()),
+    );
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
+    SeedValue::Object(SeedMap::from_iter(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{obj, TaskMessageBuilder};
+
+    #[test]
+    fn conversion_preserves_structure() {
+        let v = obj! {
+            "task_id" => "t1",
+            "used" => obj! {"x" => 1, "frags" => obj!{"label" => "C-H_3"}},
+            "list" => prov_model::arr![1, 2.5, "s"],
+        };
+        let s = SeedValue::from(&v);
+        assert_eq!(
+            s.get_path("used.frags.label").and_then(SeedValue::as_str),
+            Some("C-H_3")
+        );
+        assert_eq!(s.get_path("list.1").and_then(SeedValue::as_f64), Some(2.5));
+        assert_eq!(s.get("task_id").and_then(SeedValue::as_str), Some("t1"));
+    }
+
+    #[test]
+    fn seed_encoder_matches_shared_encoder_shape() {
+        let msg = TaskMessageBuilder::new("t1", "wf", "act")
+            .uses("x", 1.5)
+            .generates("y", 2)
+            .span(1.0, 2.0)
+            .build();
+        // Same document content, independent representations.
+        let seed = seed_to_value(&msg);
+        let shared = SeedValue::from(&msg.to_value());
+        assert_eq!(seed, shared);
+    }
+
+    #[test]
+    fn compare_ports_seed_semantics() {
+        assert_eq!(
+            SeedValue::Int(2).compare(&SeedValue::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            SeedValue::Str("b".into()).compare(&SeedValue::Str("a".into())),
+            Ordering::Greater
+        );
+        let _ = SeedValue::Null.compare(&SeedValue::Str("x".into()));
+    }
+}

@@ -131,7 +131,10 @@ impl AggFunc {
                 let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
                 if nums.is_empty() {
                     Value::Int(0)
-                } else if values.iter().all(|v| matches!(v, Value::Int(_) | Value::Null)) {
+                } else if values
+                    .iter()
+                    .all(|v| matches!(v, Value::Int(_) | Value::Null))
+                {
                     Value::Int(nums.iter().sum::<f64>() as i64)
                 } else {
                     Value::Float(nums.iter().sum())

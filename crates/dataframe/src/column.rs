@@ -159,12 +159,7 @@ mod tests {
     fn col() -> Column {
         Column::new(
             "x",
-            vec![
-                Value::Int(3),
-                Value::Null,
-                Value::Float(1.5),
-                Value::Int(7),
-            ],
+            vec![Value::Int(3), Value::Null, Value::Float(1.5), Value::Int(7)],
         )
     }
 

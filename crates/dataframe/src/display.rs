@@ -59,7 +59,13 @@ pub fn render(frame: &DataFrame, opts: DisplayOptions) -> String {
     }
 
     let widths: Vec<usize> = (0..names.len())
-        .map(|c| cells.iter().map(|r| r[c].chars().count()).max().unwrap_or(1))
+        .map(|c| {
+            cells
+                .iter()
+                .map(|r| r[c].chars().count())
+                .max()
+                .unwrap_or(1)
+        })
         .collect();
 
     let mut out = String::new();
@@ -142,11 +148,8 @@ mod tests {
 
     #[test]
     fn clips_wide_cells() {
-        let df = DataFrame::from_columns(vec![(
-            "s",
-            vec![Value::from("a".repeat(100).as_str())],
-        )])
-        .unwrap();
+        let df = DataFrame::from_columns(vec![("s", vec![Value::from("a".repeat(100).as_str())])])
+            .unwrap();
         let text = render(&df, DisplayOptions::default());
         assert!(text.lines().all(|l| l.chars().count() < 120));
     }

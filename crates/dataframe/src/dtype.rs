@@ -94,9 +94,9 @@ mod tests {
 
     #[test]
     fn infer_sequences() {
-        let vals = vec![Value::Int(1), Value::Float(2.5), Value::Null];
+        let vals = [Value::Int(1), Value::Float(2.5), Value::Null];
         assert_eq!(DType::infer(vals.iter()), DType::Float);
-        let vals = vec![Value::Str("a".into()), Value::Null];
+        let vals = [Value::Str("a".into()), Value::Null];
         assert_eq!(DType::infer(vals.iter()), DType::Str);
         assert_eq!(DType::infer(std::iter::empty()), DType::Null);
     }

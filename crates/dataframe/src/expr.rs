@@ -186,19 +186,24 @@ impl Expr {
     pub fn not_null(self) -> Expr {
         Expr::NotNull(Box::new(self))
     }
-    /// Arithmetic sum.
+    /// Arithmetic sum. (Named like the pandas expression builder this API
+    /// mirrors, intentionally shadowing the `std::ops` method names.)
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
     }
     /// Arithmetic difference.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
     }
     /// Arithmetic product.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
     }
     /// Arithmetic quotient.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
     }

@@ -9,7 +9,7 @@ use crate::column::Column;
 use crate::dtype::DType;
 use crate::expr::Expr;
 use crate::groupby::GroupBy;
-use prov_model::{Map, TaskMessage, Value};
+use prov_model::{Map, Sym, TaskMessage, Value};
 use std::collections::HashMap;
 
 /// Errors raised by DataFrame operations.
@@ -77,9 +77,7 @@ impl DataFrame {
     }
 
     /// Build from `(name, values)` pairs; all lengths must agree.
-    pub fn from_columns(
-        cols: Vec<(impl Into<String>, Vec<Value>)>,
-    ) -> FrameResult<Self> {
+    pub fn from_columns(cols: Vec<(impl Into<String>, Vec<Value>)>) -> FrameResult<Self> {
         let mut df = DataFrame::new();
         let mut expected = None;
         for (name, values) in cols {
@@ -135,61 +133,53 @@ impl DataFrame {
     ///
     /// [`from_messages`]: DataFrame::from_messages
     pub fn push_message(&mut self, m: &TaskMessage) {
+        use prov_model::keys;
         let mut row = Map::new();
-        row.insert("task_id".into(), Value::Str(m.task_id.as_str().into()));
-        row.insert(
-            "campaign_id".into(),
-            Value::Str(m.campaign_id.as_str().into()),
-        );
-        row.insert(
-            "workflow_id".into(),
-            Value::Str(m.workflow_id.as_str().into()),
-        );
-        row.insert(
-            "activity_id".into(),
-            Value::Str(m.activity_id.as_str().into()),
-        );
-        row.insert("started_at".into(), Value::Float(m.started_at));
-        row.insert("ended_at".into(), Value::Float(m.ended_at));
-        row.insert("duration".into(), Value::Float(m.duration()));
-        row.insert("hostname".into(), Value::Str(m.hostname.clone()));
-        row.insert("status".into(), Value::Str(m.status.as_str().into()));
-        row.insert("type".into(), Value::Str(m.msg_type.as_str().into()));
+        row.insert(keys::task_id(), Value::from(m.task_id.as_str()));
+        row.insert(keys::campaign_id(), Value::from(m.campaign_id.as_str()));
+        row.insert(keys::workflow_id(), Value::from(m.workflow_id.as_str()));
+        row.insert(keys::activity_id(), Value::from(m.activity_id.as_str()));
+        row.insert(keys::started_at(), Value::Float(m.started_at));
+        row.insert(keys::ended_at(), Value::Float(m.ended_at));
+        row.insert(keys::duration(), Value::Float(m.duration()));
+        row.insert(keys::hostname(), Value::from(m.hostname.as_str()));
+        row.insert(keys::status(), Value::Str(m.status.sym()));
+        row.insert(keys::msg_type(), Value::Str(m.msg_type.sym()));
         if !m.depends_on.is_empty() {
             row.insert(
-                "depends_on".into(),
-                Value::Array(
+                keys::depends_on(),
+                Value::array(
                     m.depends_on
                         .iter()
-                        .map(|t| Value::Str(t.as_str().into()))
+                        .map(|t| Value::from(t.as_str()))
                         .collect(),
                 ),
             );
         }
         for (key, value) in m.used.flatten() {
             let name = self.dataflow_column_name(&key, "used", &row);
-            row.insert(name, value);
+            row.insert(Sym::from(name), value);
         }
         for (key, value) in m.generated.flatten() {
             let name = self.dataflow_column_name(&key, "generated", &row);
-            row.insert(name, value);
+            row.insert(Sym::from(name), value);
         }
         if let Some(t) = &m.telemetry_at_start {
             for (key, value) in t.to_value().flatten() {
-                row.insert(format!("telemetry_at_start.{key}"), value);
+                row.insert(Sym::from(format!("telemetry_at_start.{key}")), value);
             }
             row.insert("cpu_percent_start".into(), Value::Float(t.cpu_mean()));
         }
         if let Some(t) = &m.telemetry_at_end {
             for (key, value) in t.to_value().flatten() {
-                row.insert(format!("telemetry_at_end.{key}"), value);
+                row.insert(Sym::from(format!("telemetry_at_end.{key}")), value);
             }
             row.insert("cpu_percent_end".into(), Value::Float(t.cpu_mean()));
             row.insert("gpu_percent_end".into(), Value::Float(t.gpu_mean()));
             row.insert("mem_used_mb_end".into(), Value::Float(t.mem_used_mb));
         }
         for (k, v) in &m.tags {
-            row.insert(format!("tags.{k}"), v.clone());
+            row.insert(Sym::from(format!("tags.{k}")), v.clone());
         }
         self.push_row(&row);
     }
@@ -210,8 +200,8 @@ impl DataFrame {
     /// Append one row map; unseen keys create new null-backfilled columns.
     pub fn push_row(&mut self, row: &Map) {
         for key in row.keys() {
-            if !self.index.contains_key(key) {
-                self.insert_column(Column::new(key.clone(), vec![Value::Null; self.rows]));
+            if !self.index.contains_key(key.as_str()) {
+                self.insert_column(Column::new(key.as_str(), vec![Value::Null; self.rows]));
             }
         }
         for c in &mut self.columns {
@@ -222,7 +212,8 @@ impl DataFrame {
     }
 
     fn insert_column(&mut self, col: Column) {
-        self.index.insert(col.name().to_string(), self.columns.len());
+        self.index
+            .insert(col.name().to_string(), self.columns.len());
         self.columns.push(col);
     }
 
@@ -432,7 +423,10 @@ impl DataFrame {
         }
         let mut m = Map::new();
         for c in &self.columns {
-            m.insert(c.name().to_string(), c.get(idx).cloned().unwrap_or(Value::Null));
+            m.insert(
+                Sym::from(c.name()),
+                c.get(idx).cloned().unwrap_or(Value::Null),
+            );
         }
         Some(m)
     }
@@ -509,7 +503,10 @@ mod tests {
                 .generates("energy", -155.0 - i as f64)
                 .span(100.0 + i as f64, 101.5 + i as f64)
                 .host(format!("frontier0008{}", i % 3))
-                .telemetry(synth.snapshot(i as u64, 0, 0.6), synth.snapshot(i as u64, 1, 0.6))
+                .telemetry(
+                    synth.snapshot(i as u64, 0, 0.6),
+                    synth.snapshot(i as u64, 1, 0.6),
+                )
                 .build()
             })
             .collect()

@@ -46,9 +46,8 @@ pub struct AgreementReport {
 impl AgreementReport {
     /// Mean score per method `(rule, judge, result, hybrid)`.
     pub fn means(&self) -> (f64, f64, f64, f64) {
-        let col = |f: fn(&ScoredGeneration) -> f64| -> Vec<f64> {
-            self.rows.iter().map(f).collect()
-        };
+        let col =
+            |f: fn(&ScoredGeneration) -> f64| -> Vec<f64> { self.rows.iter().map(f).collect() };
         (
             mean(&col(|r| r.rule)),
             mean(&col(|r| r.judge)),
@@ -97,10 +96,7 @@ impl AgreementReport {
             self.model,
             self.judge.name()
         );
-        out.push_str(&format!(
-            "{:<22} {:>10}\n",
-            "method", "mean score"
-        ));
+        out.push_str(&format!("{:<22} {:>10}\n", "method", "mean score"));
         out.push_str(&format!("{:<22} {:>10.3}\n", "rule-based", rule));
         out.push_str(&format!("{:<22} {:>10.3}\n", "LLM-as-a-judge", judge));
         out.push_str(&format!("{:<22} {:>10.3}\n", "result-based", result));

@@ -167,9 +167,11 @@ pub fn run_am_demo(seed: u64, n_parts: usize) -> Vec<AmObservation> {
 fn check(q: &AmQuery, reply: &agent_core::AgentReply, truth: &Truth) -> (bool, String) {
     match q.id {
         "A1" => {
-            let ok =
-                reply.error.is_none() && reply.text.contains(&truth.scan_tasks.to_string());
-            (ok, format!("counted the {} laser_scan tasks: {ok}", truth.scan_tasks))
+            let ok = reply.error.is_none() && reply.text.contains(&truth.scan_tasks.to_string());
+            (
+                ok,
+                format!("counted the {} laser_scan tasks: {ok}", truth.scan_tasks),
+            )
         }
         "A2" => {
             let code_ok = reply
@@ -177,7 +179,10 @@ fn check(q: &AmQuery, reply: &agent_core::AgentReply, truth: &Truth) -> (bool, S
                 .as_deref()
                 .is_some_and(|c| c.contains("energy_density_j_mm3") && c.contains("laser_scan"));
             let ok = code_ok && reply.error.is_none() && reply.text.contains("J/mm³");
-            (ok, format!("field + activity resolved, unit from suffix: {ok}"))
+            (
+                ok,
+                format!("field + activity resolved, unit from suffix: {ok}"),
+            )
         }
         "A3" => {
             let ok = reply
@@ -185,17 +190,19 @@ fn check(q: &AmQuery, reply: &agent_core::AgentReply, truth: &Truth) -> (bool, S
                 .as_deref()
                 .is_some_and(|c| c.contains(r#"df["melt_pool_temp_c"].idxmax()"#))
                 && reply.error.is_none();
-            (ok, format!("extreme-row retrieval on the named field: {ok}"))
+            (
+                ok,
+                format!("extreme-row retrieval on the named field: {ok}"),
+            )
         }
         "A4" => {
-            let ok = reply
-                .code
-                .as_deref()
-                .is_some_and(|c| {
-                    c.contains(r#"groupby("activity_id")"#) && c.contains("melt_pool_width_um")
-                })
-                && reply.error.is_none();
-            (ok, format!("per-activity aggregate over the named field: {ok}"))
+            let ok = reply.code.as_deref().is_some_and(|c| {
+                c.contains(r#"groupby("activity_id")"#) && c.contains("melt_pool_width_um")
+            }) && reply.error.is_none();
+            (
+                ok,
+                format!("per-activity aggregate over the named field: {ok}"),
+            )
         }
         "A5" => {
             // The documented failure: it counts all tasks, not parts.
@@ -225,7 +232,10 @@ fn check(q: &AmQuery, reply: &agent_core::AgentReply, truth: &Truth) -> (bool, S
                 .code
                 .as_deref()
                 .is_some_and(|c| c.contains(r#"groupby("activity_id")"#) && !c.contains("layer\""));
-            (grouped_wrong, format!("grouped by activity instead of layer: {grouped_wrong}"))
+            (
+                grouped_wrong,
+                format!("grouped by activity instead of layer: {grouped_wrong}"),
+            )
         }
         "A8" => {
             let ok = reply
@@ -262,7 +272,10 @@ pub fn render_am_demo(observations: &[AmObservation]) -> String {
     );
     for o in observations {
         out.push_str(&format!("{}: {}\n", o.id, o.question));
-        out.push_str(&format!("  expected      : {}\n", expected_text(&o.expected)));
+        out.push_str(&format!(
+            "  expected      : {}\n",
+            expected_text(&o.expected)
+        ));
         if let Some(code) = &o.code {
             out.push_str(&format!("  generated     : {code}\n"));
         }

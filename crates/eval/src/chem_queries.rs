@@ -174,13 +174,19 @@ fn check(q: &ChemQuery, reply: &agent_core::AgentReply) -> (bool, String) {
                 .table
                 .as_ref()
                 .is_some_and(|t| t.len() > 1 && t.has_column("functional"));
-            (table_ok, format!("B3LYP table with repeated rows: {table_ok}"))
+            (
+                table_ok,
+                format!("B3LYP table with repeated rows: {table_ok}"),
+            )
         }
         // Q3: correct value, but unit mislabeled kJ/mol and no bond id.
         "Q3" => {
             let unit_slip = reply.text.contains("kJ/mol");
             let no_bond = !reply.text.contains("C-C");
-            (unit_slip && no_bond, format!("kJ/mol slip: {unit_slip}, bond id omitted: {no_bond}"))
+            (
+                unit_slip && no_bond,
+                format!("kJ/mol slip: {unit_slip}, bond id omitted: {no_bond}"),
+            )
         }
         // Q4: per-molecule atom counts in a table.
         "Q4" => {
@@ -212,7 +218,10 @@ fn check(q: &ChemQuery, reply: &agent_core::AgentReply) -> (bool, String) {
                 Some(c) => c.len() != 4,
                 None => true,
             };
-            (wrong, format!("failed to average C-H before plotting: {wrong}"))
+            (
+                wrong,
+                format!("failed to average C-H before plotting: {wrong}"),
+            )
         }
         // Q9: the average over the five C-H bonds, ~98-102 kcal/mol.
         "Q9" => {
@@ -227,7 +236,10 @@ fn check(q: &ChemQuery, reply: &agent_core::AgentReply) -> (bool, String) {
         "Q10" => {
             let ok = reply.error.is_none()
                 && !reply.text.contains("singlet")
-                && reply.code.as_deref().is_some_and(|c| c.contains("fragment"));
+                && reply
+                    .code
+                    .as_deref()
+                    .is_some_and(|c| c.contains("fragment"));
             (ok, format!("fragment spin/charge without enrichment: {ok}"))
         }
         _ => (false, "unknown question".to_string()),
@@ -250,7 +262,10 @@ pub fn render_demo(observations: &[ChemObservation]) -> String {
         if let Some(code) = &o.code {
             out.push_str(&format!("  generated     : {code}\n"));
         }
-        out.push_str(&format!("  agent answer  : {}\n", o.answer.lines().next().unwrap_or("")));
+        out.push_str(&format!(
+            "  agent answer  : {}\n",
+            o.answer.lines().next().unwrap_or("")
+        ));
         out.push_str(&format!(
             "  reproduces paper behaviour: {}  ({})\n\n",
             if o.matches_paper { "yes" } else { "NO" },

@@ -21,14 +21,18 @@ pub mod taxonomy;
 
 pub use agreement::{scoring_agreement, AgreementReport, ScoredGeneration};
 pub use am_queries::{am_queries, render_am_demo, run_am_demo, AmObservation, AmQuery};
-pub use chem_queries::{chem_queries, render_demo, run_chem_demo, ChemObservation, ChemQuery, Expected};
+pub use chem_queries::{
+    chem_queries, render_demo, run_chem_demo, ChemObservation, ChemQuery, Expected,
+};
 pub use queryset::{distribution, golden_queries, GoldenQuery};
-pub use report::{fig6, fig7, fig8, fig9, latency_deep_dive, latency_report, table1, table2, to_csv};
+pub use report::{
+    fig6, fig7, fig8, fig9, latency_deep_dive, latency_report, table1, table2, to_csv,
+};
 pub use routing::{evaluate_routing, predict_class, RoutingOutcome, RoutingPolicy};
-pub use scoring::{hybrid, result_based, rule_based, MethodScore};
 pub use runner::{
     build_synthetic_context, run_matrix, run_matrix_on, run_paper_evaluation, EvalResults,
     Experiment, Record,
 };
+pub use scoring::{hybrid, result_based, rule_based, MethodScore};
 pub use stats::{mean, median, pearson, std_dev, BoxStats};
 pub use taxonomy::{Actor, DataType, Mode, ProvType, QueryClass, QueryScope, Workload};

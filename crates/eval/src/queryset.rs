@@ -209,7 +209,10 @@ mod tests {
     fn twenty_queries_even_split() {
         let qs = golden_queries();
         assert_eq!(qs.len(), 20);
-        let olap = qs.iter().filter(|q| q.class.workload == Workload::Olap).count();
+        let olap = qs
+            .iter()
+            .filter(|q| q.class.workload == Workload::Olap)
+            .count();
         assert_eq!(olap, 10, "evenly split between OLAP and OLTP");
         // Unique ids.
         let mut ids: Vec<&str> = qs.iter().map(|q| q.id).collect();

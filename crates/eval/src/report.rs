@@ -12,15 +12,32 @@ use std::fmt::Write as _;
 pub fn table1() -> String {
     let mut out = String::new();
     out.push_str("Table 1: Distribution of queries by data type and workload.\n");
-    out.push_str(&format!("{:<14} {:>5} {:>5} {:>6}\n", "Data Type", "OLAP", "OLTP", "Total"));
+    out.push_str(&format!(
+        "{:<14} {:>5} {:>5} {:>6}\n",
+        "Data Type", "OLAP", "OLTP", "Total"
+    ));
     let mut t_olap = 0;
     let mut t_oltp = 0;
     for (dt, olap, oltp) in crate::queryset::distribution() {
-        let _ = writeln!(out, "{:<14} {:>5} {:>5} {:>6}", dt.name(), olap, oltp, olap + oltp);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>5} {:>6}",
+            dt.name(),
+            olap,
+            oltp,
+            olap + oltp
+        );
         t_olap += olap;
         t_oltp += oltp;
     }
-    let _ = writeln!(out, "{:<14} {:>5} {:>5} {:>6}", "Total", t_olap, t_oltp, t_olap + t_oltp);
+    let _ = writeln!(
+        out,
+        "{:<14} {:>5} {:>5} {:>6}",
+        "Total",
+        t_olap,
+        t_oltp,
+        t_olap + t_oltp
+    );
     out
 }
 
@@ -28,7 +45,7 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut out = String::new();
     out.push_str("Table 2: Prompt + RAG configurations used for evaluation.\n");
-    let _ = writeln!(out, "{:<28} {}", "Label", "Context (Prompt+RAG strategy)");
+    let _ = writeln!(out, "{:<28} Context (Prompt+RAG strategy)", "Label");
     for s in RagStrategy::all() {
         let _ = writeln!(out, "{:<28} {}", s.label(), s.description());
     }
@@ -72,7 +89,11 @@ pub fn fig6(results: &EvalResults) -> String {
     let points = fig6_points(results);
     let mut out = String::new();
     out.push_str("Figure 6: Scores assigned by two different judges (Full context).\n");
-    let _ = writeln!(out, "{:<14} {:>10} {:>13}", "Model", "GPT Score", "Claude Score");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>13}",
+        "Model", "GPT Score", "Claude Score"
+    );
     for model in ModelId::all() {
         let get = |j: JudgeId| {
             points
@@ -225,7 +246,11 @@ pub fn fig8(results: &EvalResults) -> String {
         "Figure 8: Impact of contextual components on performance and token consumption\n\
          (GPT model, GPT judge; mean of per-query medians ± std).\n",
     );
-    let _ = writeln!(out, "{:<28} {:>7} {:>7} {:>9}", "Context", "Score", "±Std", "Tokens");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>7} {:>9}",
+        "Context", "Score", "±Std", "Tokens"
+    );
     for p in fig8_points(results) {
         let _ = writeln!(
             out,
@@ -299,7 +324,11 @@ fn short_label(s: RagStrategy) -> &'static str {
 pub fn latency_report(results: &EvalResults) -> String {
     let mut out = String::new();
     out.push_str("Response times (mean of per-query median latencies, ms; Full context).\n");
-    let _ = writeln!(out, "{:<14} {:>9} {:>9} {:>12}", "Model", "OLAP", "OLTP", "Interactive?");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>12}",
+        "Model", "OLAP", "OLTP", "Interactive?"
+    );
     for model in ModelId::all() {
         let lat = |w: Workload| {
             let v: Vec<f64> = results
@@ -337,7 +366,11 @@ pub fn latency_deep_dive(results: &EvalResults) -> String {
     let mut out = String::new();
     out.push_str("Latency deep-dive (GPT model, GPT judge).\n\n");
     out.push_str("(a) by data type at Full context:\n");
-    let _ = writeln!(out, "    {:<14} {:>12} {:>10}", "Data type", "latency ms", "queries");
+    let _ = writeln!(
+        out,
+        "    {:<14} {:>12} {:>10}",
+        "Data type", "latency ms", "queries"
+    );
     for dt in DataType::all() {
         let v: Vec<f64> = results
             .filter(|r| {
@@ -348,7 +381,13 @@ pub fn latency_deep_dive(results: &EvalResults) -> String {
             })
             .map(|r| r.median_latency_ms)
             .collect();
-        let _ = writeln!(out, "    {:<14} {:>12.0} {:>10}", dt.name(), mean(&v), v.len());
+        let _ = writeln!(
+            out,
+            "    {:<14} {:>12.0} {:>10}",
+            dt.name(),
+            mean(&v),
+            v.len()
+        );
     }
     out.push_str("\n(b) by prompt configuration (all classes):\n");
     let _ = writeln!(
@@ -476,8 +515,14 @@ mod tests {
         let results = tiny_results();
         let points = fig8_points(&results);
         assert_eq!(points.len(), 2); // Baseline + Full present
-        let base = points.iter().find(|p| p.strategy == RagStrategy::Baseline).unwrap();
-        let full = points.iter().find(|p| p.strategy == RagStrategy::Full).unwrap();
+        let base = points
+            .iter()
+            .find(|p| p.strategy == RagStrategy::Baseline)
+            .unwrap();
+        let full = points
+            .iter()
+            .find(|p| p.strategy == RagStrategy::Full)
+            .unwrap();
         assert!(full.tokens > base.tokens);
         assert!(full.score > base.score);
     }

@@ -37,21 +37,44 @@ pub fn predict_class(question: &str) -> (Workload, Vec<DataType>) {
     // ---- workload ------------------------------------------------------
     let mut olap = 0i32;
     let mut oltp = 0i32;
-    for marker in [" per ", "each ", "average duration", "average memory", "mean ", "total ",
-        "slowest", "distribution", "rank", "overall", "span of the workflow"]
-    {
+    for marker in [
+        " per ",
+        "each ",
+        "average duration",
+        "average memory",
+        "mean ",
+        "total ",
+        "slowest",
+        "distribution",
+        "rank",
+        "overall",
+        "span of the workflow",
+    ] {
         if has(marker) {
             olap += 2;
         }
     }
-    for marker in ["average", "how many tasks consumed", "largest", "highest total"] {
+    for marker in [
+        "average",
+        "how many tasks consumed",
+        "largest",
+        "highest total",
+    ] {
         if has(marker) {
             olap += 1;
         }
     }
-    for marker in ["which task ", "what exponent", "show the tasks", "on which host did",
-        "which tasks started", "what was the", "did the task", "have finished", "failed"]
-    {
+    for marker in [
+        "which task ",
+        "what exponent",
+        "show the tasks",
+        "on which host did",
+        "which tasks started",
+        "what was the",
+        "did the task",
+        "have finished",
+        "failed",
+    ] {
         if has(marker) {
             oltp += 2;
         }
@@ -61,35 +84,67 @@ pub fn predict_class(question: &str) -> (Workload, Vec<DataType>) {
             oltp += 1;
         }
     }
-    let workload = if olap > oltp { Workload::Olap } else { Workload::Oltp };
+    let workload = if olap > oltp {
+        Workload::Olap
+    } else {
+        Workload::Oltp
+    };
 
     // ---- data types ------------------------------------------------------
     let mut votes: BTreeMap<DataType, i32> = BTreeMap::new();
     let mut vote = |dt: DataType, n: i32| *votes.entry(dt).or_insert(0) += n;
-    for marker in ["cpu", "gpu", "memory", "utilization", "duration", "slowest",
-        "how long", "take?", "usage"]
-    {
+    for marker in [
+        "cpu",
+        "gpu",
+        "memory",
+        "utilization",
+        "duration",
+        "slowest",
+        "how long",
+        "take?",
+        "usage",
+    ] {
         if has(marker) {
             vote(DataType::Telemetry, 2);
         }
     }
-    for marker in ["host", "ran on", "where", "node", "started after", "time span",
-        "started", "ended"]
-    {
+    for marker in [
+        "host",
+        "ran on",
+        "where",
+        "node",
+        "started after",
+        "time span",
+        "started",
+        "ended",
+    ] {
         if has(marker) {
             vote(DataType::Scheduling, 2);
         }
     }
-    for marker in ["output", "produced", "exponent", "value", "input", "parameter",
-        "consumed", "field"]
-    {
+    for marker in [
+        "output",
+        "produced",
+        "exponent",
+        "value",
+        "input",
+        "parameter",
+        "consumed",
+        "field",
+    ] {
         if has(marker) {
             vote(DataType::Dataflow, 2);
         }
     }
-    for marker in ["finished", "failed", "how many tasks", "workflow run", "distinct activities",
-        "depends", "order"]
-    {
+    for marker in [
+        "finished",
+        "failed",
+        "how many tasks",
+        "workflow run",
+        "distinct activities",
+        "depends",
+        "order",
+    ] {
         if has(marker) {
             vote(DataType::ControlFlow, 2);
         }
@@ -135,7 +190,10 @@ impl RoutingPolicy {
         }
         let mut cell_scores: BTreeMap<(Workload, DataType), Vec<(ModelId, f64)>> = BTreeMap::new();
         for ((w, dt, m), scores) in acc {
-            cell_scores.entry((w, dt)).or_default().push((m, mean(&scores)));
+            cell_scores
+                .entry((w, dt))
+                .or_default()
+                .push((m, mean(&scores)));
         }
         for models in cell_scores.values_mut() {
             models.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -186,10 +244,7 @@ impl RoutingPolicy {
             self.global_best
         );
         for ((w, dt), models) in &self.cell_scores {
-            let ranked: Vec<String> = models
-                .iter()
-                .map(|(m, s)| format!("{m} {s:.3}"))
-                .collect();
+            let ranked: Vec<String> = models.iter().map(|(m, s)| format!("{m} {s:.3}")).collect();
             out.push_str(&format!("  {w} / {dt}: {}\n", ranked.join(" > ")));
         }
         out
@@ -224,15 +279,20 @@ impl RoutingOutcome {
 
     /// Render the §5.4-style routing comparison table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Adaptive LLM routing (train seed != test seed, Full context):\n\n",
-        );
+        let mut out =
+            String::from("Adaptive LLM routing (train seed != test seed, Full context):\n\n");
         out.push_str(&format!("{:<24} {:>12}\n", "deployment", "mean score"));
         for (m, s) in &self.fixed {
             out.push_str(&format!("{:<24} {:>12.3}\n", format!("fixed: {m}"), s));
         }
-        out.push_str(&format!("{:<24} {:>12.3}\n", "routed (per class)", self.routed));
-        out.push_str(&format!("{:<24} {:>12.3}\n", "oracle (per query)", self.oracle));
+        out.push_str(&format!(
+            "{:<24} {:>12.3}\n",
+            "routed (per class)", self.routed
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>12.3}\n",
+            "oracle (per query)", self.oracle
+        ));
         let (bm, bs) = self.best_fixed();
         out.push_str(&format!(
             "\nrouted - best fixed ({bm}): {:+.3}; oracle headroom: {:+.3}\n",
@@ -243,10 +303,7 @@ impl RoutingOutcome {
         for (_, m) in &self.assignments {
             *counts.entry(*m).or_insert(0) += 1;
         }
-        let mix: Vec<String> = counts
-            .iter()
-            .map(|(m, n)| format!("{m} x{n}"))
-            .collect();
+        let mix: Vec<String> = counts.iter().map(|(m, n)| format!("{m} x{n}")).collect();
         out.push_str(&format!("assignment mix: {}\n", mix.join(", ")));
         out
     }
@@ -362,10 +419,7 @@ mod tests {
             "frontier models should win most cells: {picks:?}"
         );
         // Unknown class falls back to the global best.
-        assert!(matches!(
-            policy.global_best,
-            ModelId::Gpt | ModelId::Claude
-        ));
+        assert!(matches!(policy.global_best, ModelId::Gpt | ModelId::Claude));
     }
 
     #[test]

@@ -104,7 +104,14 @@ pub fn run_matrix(
     judges: &[Judge],
 ) -> EvalResults {
     let ctx = build_synthetic_context(experiment);
-    run_matrix_on(experiment, &ctx, models, strategies, judges, &golden_queries())
+    run_matrix_on(
+        experiment,
+        &ctx,
+        models,
+        strategies,
+        judges,
+        &golden_queries(),
+    )
 }
 
 /// Run the matrix against an existing context and query set (used by the
@@ -270,8 +277,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let e = small_experiment();
-        let a = run_matrix(&e, &[ModelId::Gemini], &[RagStrategy::Full], &Judge::panel());
-        let b = run_matrix(&e, &[ModelId::Gemini], &[RagStrategy::Full], &Judge::panel());
+        let a = run_matrix(
+            &e,
+            &[ModelId::Gemini],
+            &[RagStrategy::Full],
+            &Judge::panel(),
+        );
+        let b = run_matrix(
+            &e,
+            &[ModelId::Gemini],
+            &[RagStrategy::Full],
+            &Judge::panel(),
+        );
         let sa: Vec<f64> = a.records.iter().map(|r| r.median_score).collect();
         let sb: Vec<f64> = b.records.iter().map(|r| r.median_score).collect();
         assert_eq!(sa, sb);

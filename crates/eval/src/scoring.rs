@@ -113,14 +113,10 @@ mod tests {
     fn frame() -> DataFrame {
         let msgs: Vec<prov_model::TaskMessage> = (0..10)
             .map(|i| {
-                TaskMessageBuilder::new(
-                    format!("t{i}"),
-                    "wf",
-                    if i % 2 == 0 { "a" } else { "b" },
-                )
-                .generates("v", i as f64)
-                .span(i as f64, i as f64 + 1.0)
-                .build()
+                TaskMessageBuilder::new(format!("t{i}"), "wf", if i % 2 == 0 { "a" } else { "b" })
+                    .generates("v", i as f64)
+                    .span(i as f64, i as f64 + 1.0)
+                    .build()
             })
             .collect();
         DataFrame::from_messages(&msgs)
@@ -144,11 +140,7 @@ mod tests {
         let f = frame();
         // Different structure, same result (count of activity-a rows = 5):
         // shape[0] vs len().
-        let equivalent = result_based(
-            r#"df[df["activity_id"] == "a"].shape[0]"#,
-            GOLD,
-            &f,
-        );
+        let equivalent = result_based(r#"df[df["activity_id"] == "a"].shape[0]"#, GOLD, &f);
         assert_eq!(equivalent.score, 1.0);
         // Wrong filter → different count → partial numeric similarity.
         let wrong = result_based(r#"len(df)"#, GOLD, &f);

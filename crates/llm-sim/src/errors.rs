@@ -175,7 +175,15 @@ fn pick_mode(profile: &ModelProfile, sections: &PromptSections, key: Key) -> Mod
         (Mode::GroupLogic, e.group_logic),
         (Mode::TimeLogic, e.time_logic * guideline_shield.max(0.3)),
         (Mode::FilterLogic, e.filter_logic),
-        (Mode::Syntax, e.syntax * if sections.few_shot_examples > 0 { 0.3 } else { 1.0 }),
+        (
+            Mode::Syntax,
+            e.syntax
+                * if sections.few_shot_examples > 0 {
+                    0.3
+                } else {
+                    1.0
+                },
+        ),
     ];
     let total: f64 = weights.iter().map(|(_, w)| w).sum();
     let mut draw = key.with_str("which-mode").unit() * total;
@@ -229,10 +237,8 @@ fn rename_in_pipeline(p: &mut Pipeline, from: &str, to: &str) {
                     }
                 }
             }
-            Stage::Col(c) => {
-                if c == from {
-                    *c = to.to_string();
-                }
+            Stage::Col(c) if c == from => {
+                *c = to.to_string();
             }
             Stage::AggMap(specs) => {
                 for (c, _) in specs {
@@ -248,10 +254,8 @@ fn rename_in_pipeline(p: &mut Pipeline, from: &str, to: &str) {
                     }
                 }
             }
-            Stage::NLargest(_, c) | Stage::NSmallest(_, c) => {
-                if c == from {
-                    *c = to.to_string();
-                }
+            Stage::NLargest(_, c) | Stage::NSmallest(_, c) if c == from => {
+                *c = to.to_string();
             }
             Stage::LocIdx { column, cell, .. } => {
                 if column == from {
@@ -364,9 +368,9 @@ fn corrupt_literal(e: &mut Expr, key: Key) -> bool {
                 match v {
                     prov_model::Value::Str(s) => {
                         *s = match s.as_str() {
-                            "ERROR" => "RUNNING".to_string(),
-                            "FINISHED" => "COMPLETED".to_string(),
-                            other => format!("{other}_"),
+                            "ERROR" => prov_model::Sym::new("RUNNING"),
+                            "FINISHED" => prov_model::Sym::new("COMPLETED"),
+                            other => prov_model::Sym::new(format!("{other}_")),
                         };
                         return true;
                     }
@@ -375,7 +379,11 @@ fn corrupt_literal(e: &mut Expr, key: Key) -> bool {
                         return true;
                     }
                     prov_model::Value::Float(f) => {
-                        *f *= if key.with_str("float").unit() < 0.5 { 10.0 } else { 0.1 };
+                        *f *= if key.with_str("float").unit() < 0.5 {
+                            10.0
+                        } else {
+                            0.1
+                        };
                         return true;
                     }
                     _ => {}
@@ -498,7 +506,14 @@ mod tests {
         let s = full_sections();
         let q = parse(r#"df.groupby("activity_id")["duration"].mean()"#).unwrap();
         let profile = ModelProfile::of(ModelId::Llama70B);
-        let a = degrade(q.clone(), IntentKind::GroupAgg, &profile, &s, 3000, Key::new(5));
+        let a = degrade(
+            q.clone(),
+            IntentKind::GroupAgg,
+            &profile,
+            &s,
+            3000,
+            Key::new(5),
+        );
         let b = degrade(q, IntentKind::GroupAgg, &profile, &s, 3000, Key::new(5));
         assert_eq!(a, b);
     }

@@ -222,9 +222,7 @@ mod tests {
         let mut claude_total = 0.0;
         for i in 0..50 {
             let k = Key::new(i);
-            gpt_total += gpt
-                .judge_query(GOLD, GOLD, None, ModelId::Llama8B, k)
-                .score;
+            gpt_total += gpt.judge_query(GOLD, GOLD, None, ModelId::Llama8B, k).score;
             claude_total += claude
                 .judge_query(GOLD, GOLD, None, ModelId::Llama8B, k)
                 .score;

@@ -96,10 +96,8 @@ impl PromptSections {
                 continue;
             }
             match current {
-                Some("few_shot") => {
-                    if trimmed.starts_with("Q:") {
-                        out.few_shot_examples += 1;
-                    }
+                Some("few_shot") if trimmed.starts_with("Q:") => {
+                    out.few_shot_examples += 1;
                 }
                 Some("schema") => {
                     // "- column_name (dtype): description"
@@ -112,12 +110,8 @@ impl PromptSections {
                     } else if let Some(rest) = trimmed.strip_prefix("* ") {
                         // "* activity [n tasks]: uses(a, b) -> generates(c)"
                         if let Some((head, tail)) = rest.split_once(':') {
-                            let activity = head
-                                .split('[')
-                                .next()
-                                .unwrap_or(head)
-                                .trim()
-                                .to_string();
+                            let activity =
+                                head.split('[').next().unwrap_or(head).trim().to_string();
                             let generates = tail
                                 .split("generates(")
                                 .nth(1)
@@ -290,7 +284,10 @@ mod tests {
     #[test]
     fn convention_parser_shapes() {
         assert_eq!(
-            parse_convention("For CPU usage, use the column cpu_percent_end.", "use the column"),
+            parse_convention(
+                "For CPU usage, use the column cpu_percent_end.",
+                "use the column"
+            ),
             Some(("cpu usage".to_string(), "cpu_percent_end".to_string()))
         );
         assert_eq!(

@@ -96,10 +96,7 @@ mod tests {
     #[test]
     fn unit_is_uniform_ish() {
         let n = 10_000;
-        let mean: f64 = (0..n)
-            .map(|i| Key::new(1).with_u64(i).unit())
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|i| Key::new(1).with_u64(i).unit()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 

@@ -121,7 +121,10 @@ mod tests {
             classify("How many DFT tasks ran in the previous campaign?"),
             Route::HistoricalQuery
         );
-        assert_eq!(classify("Show all campaigns from last week"), Route::HistoricalQuery);
+        assert_eq!(
+            classify("Show all campaigns from last week"),
+            Route::HistoricalQuery
+        );
     }
 
     #[test]
@@ -143,15 +146,15 @@ mod tests {
             classify("Guideline: sort durations descending by default"),
             Route::GuidelineAddition
         );
-        assert_eq!(classify("Always report energies in kcal/mol"), Route::GuidelineAddition);
+        assert_eq!(
+            classify("Always report energies in kcal/mol"),
+            Route::GuidelineAddition
+        );
     }
 
     #[test]
     fn graph_traversals() {
-        assert_eq!(
-            classify("Trace the lineage of task t42"),
-            Route::GraphQuery
-        );
+        assert_eq!(classify("Trace the lineage of task t42"), Route::GraphQuery);
         assert_eq!(
             classify("What is the downstream impact of task t7?"),
             Route::GraphQuery
@@ -166,10 +169,7 @@ mod tests {
             Route::GraphQuery
         );
         // A plain bar-graph request still routes to the plot tool.
-        assert_eq!(
-            classify("Plot a bar graph of durations"),
-            Route::Plot
-        );
+        assert_eq!(classify("Plot a bar graph of durations"), Route::Plot);
     }
 
     #[test]

@@ -193,7 +193,10 @@ impl<'a> Resolver<'a> {
             }
         }
         if let Some(values) = self.sections.example_values.get("status") {
-            if let Some(v) = values.iter().find(|v| v.contains("ERROR") || v.contains("FAIL")) {
+            if let Some(v) = values
+                .iter()
+                .find(|v| v.contains("ERROR") || v.contains("FAIL"))
+            {
                 return v.clone();
             }
         }
@@ -208,7 +211,10 @@ impl<'a> Resolver<'a> {
             }
         }
         if let Some(values) = self.sections.example_values.get("status") {
-            if let Some(v) = values.iter().find(|v| v.contains("FINISH") || v.contains("DONE")) {
+            if let Some(v) = values
+                .iter()
+                .find(|v| v.contains("FINISH") || v.contains("DONE"))
+            {
                 return v.clone();
             }
         }
@@ -273,8 +279,20 @@ impl<'a> Resolver<'a> {
     /// duration" keeps flowing through the duration convention.
     pub fn verbatim_metric(&self, text: &str) -> Option<String> {
         const AGG_WORDS: &[&str] = &[
-            "average", "mean", "total", "sum", "count", "median", "highest", "largest",
-            "lowest", "smallest", "maximum", "minimum", "standard", "deviation",
+            "average",
+            "mean",
+            "total",
+            "sum",
+            "count",
+            "median",
+            "highest",
+            "largest",
+            "lowest",
+            "smallest",
+            "maximum",
+            "minimum",
+            "standard",
+            "deviation",
         ];
         text.split(|c: char| !(c.is_alphanumeric() || c == '_'))
             .filter(|w| w.len() >= 4)
@@ -333,8 +351,23 @@ fn phrases_overlap(a: &str, b: &str) -> bool {
 fn is_generic_word(w: &str) -> bool {
     matches!(
         w.to_lowercase().as_str(),
-        "task" | "tasks" | "question" | "questions" | "when" | "about" | "asked" | "something"
-            | "took" | "the" | "and" | "for" | "column" | "field" | "value" | "values" | "ranges"
+        "task"
+            | "tasks"
+            | "question"
+            | "questions"
+            | "when"
+            | "about"
+            | "asked"
+            | "something"
+            | "took"
+            | "the"
+            | "and"
+            | "for"
+            | "column"
+            | "field"
+            | "value"
+            | "values"
+            | "ranges"
             | "placement"
     )
 }
@@ -383,9 +416,35 @@ fn fuzzy_candidates(phrase: &str, columns: &[String]) -> Vec<String> {
 fn is_stopword(w: &str) -> bool {
     matches!(
         w,
-        "the" | "a" | "an" | "of" | "in" | "on" | "at" | "did" | "do" | "is" | "was" | "what"
-            | "which" | "that" | "this" | "for" | "with" | "and" | "or" | "to" | "use" | "used"
-            | "by" | "per" | "each" | "value" | "values" | "utilization" | "usage"
+        "the"
+            | "a"
+            | "an"
+            | "of"
+            | "in"
+            | "on"
+            | "at"
+            | "did"
+            | "do"
+            | "is"
+            | "was"
+            | "what"
+            | "which"
+            | "that"
+            | "this"
+            | "for"
+            | "with"
+            | "and"
+            | "or"
+            | "to"
+            | "use"
+            | "used"
+            | "by"
+            | "per"
+            | "each"
+            | "value"
+            | "values"
+            | "utilization"
+            | "usage"
     )
 }
 
@@ -521,10 +580,30 @@ impl Slots {
                     // grammatical filler.
                     if !matches!(
                         prev.as_str(),
-                        "the" | "a" | "any" | "each" | "which" | "that" | "slowest" | "fastest"
-                            | "many" | "other" | "all" | "recent" | "running" | "failed"
-                            | "finished" | "this" | "these" | "those" | "per" | "their" | "its"
-                            | "and" | "or" | "of"
+                        "the"
+                            | "a"
+                            | "any"
+                            | "each"
+                            | "which"
+                            | "that"
+                            | "slowest"
+                            | "fastest"
+                            | "many"
+                            | "other"
+                            | "all"
+                            | "recent"
+                            | "running"
+                            | "failed"
+                            | "finished"
+                            | "this"
+                            | "these"
+                            | "those"
+                            | "per"
+                            | "their"
+                            | "its"
+                            | "and"
+                            | "or"
+                            | "of"
                     ) && !prev.is_empty()
                     {
                         // Snap to a known activity value when the mention is
@@ -594,8 +673,10 @@ pub fn translate(question: &str, sections: &PromptSections, key: Key) -> Transla
 
 fn is_greeting(text: &str) -> bool {
     let t = text.trim().trim_end_matches(['!', '.', '?']);
-    matches!(t, "hi" | "hello" | "hey" | "thanks" | "thank you" | "good morning")
-        || (t.starts_with("hello") && t.len() < 20)
+    matches!(
+        t,
+        "hi" | "hello" | "hey" | "thanks" | "thank you" | "good morning"
+    ) || (t.starts_with("hello") && t.len() < 20)
         || (t.starts_with("hi ") && t.len() < 15)
 }
 
@@ -714,17 +795,23 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
         let q = if fields.len() == 1 {
             Query::pipeline(vec![Stage::Col(fields.pop().expect("one")), Stage::Unique])
         } else {
-            Query::pipeline(vec![
-                Stage::Select(fields),
-                Stage::DropDuplicates(vec![]),
-            ])
+            Query::pipeline(vec![Stage::Select(fields), Stage::DropDuplicates(vec![])])
         };
         return (q, IntentKind::Distinct);
     }
 
     // ---- group aggregations ----
     let agg_word = agg_from_text(t);
-    let grouped = slots.mentions(&["per ", "for each", "by activity", "by host", "across activities", "each bond", "per bond", "for each bond"]);
+    let grouped = slots.mentions(&[
+        "per ",
+        "for each",
+        "by activity",
+        "by host",
+        "across activities",
+        "each bond",
+        "per bond",
+        "for each bond",
+    ]);
     if let (Some(agg), true) = (agg_word, grouped) {
         let group = group_field(slots, r);
         let value = value_field(slots, r);
@@ -732,11 +819,19 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
         // the category in the question". Without that guideline some
         // generations aggregate the whole column and lose the grouping.
         let stages = if r.convention("group-agg-scope") {
-            vec![Stage::GroupBy(vec![group]), Stage::Col(value), Stage::Agg(agg)]
+            vec![
+                Stage::GroupBy(vec![group]),
+                Stage::Col(value),
+                Stage::Agg(agg),
+            ]
         } else {
             vec![Stage::Col(value), Stage::Agg(agg)]
         };
-        let intent = if plot { IntentKind::Plot } else { IntentKind::GroupAgg };
+        let intent = if plot {
+            IntentKind::Plot
+        } else {
+            IntentKind::GroupAgg
+        };
         return (Query::Pipeline(provql::Pipeline { stages }), intent);
     }
     // "Which activity has the highest mean CPU…" / "Which workflow run had
@@ -752,13 +847,17 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
         let desc = !slots.mentions(&["lowest", "least", "smallest"]);
         // Sort-direction convention ("sort descending when asked for the
         // highest") — a coin flip without guidelines.
-        let desc = if r.convention("sort-direction") { desc } else { !desc };
+        let desc = if r.convention("sort-direction") {
+            desc
+        } else {
+            !desc
+        };
         let q = Query::pipeline(vec![
             Stage::GroupBy(vec![group]),
             Stage::Col(value.clone()),
             Stage::Agg(agg),
             Stage::ResetIndex,
-            Stage::SortValues(vec![(value, !desc == false && desc)]),
+            Stage::SortValues(vec![(value, desc)]),
             Stage::Head(1),
         ]);
         // sort descending when looking for the highest
@@ -788,7 +887,11 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
             .unwrap_or(1);
         let dur = r.duration_field();
         let desc = !slots.mentions(&["fastest", "quickest"]);
-        let desc = if r.convention("sort-direction") { desc } else { !desc };
+        let desc = if r.convention("sort-direction") {
+            desc
+        } else {
+            !desc
+        };
         let mut proj = vec![r.field("task", "task_id")];
         if slots.mentions(&["activity", "activities"]) {
             proj.push(r.field("activity", "activity_id"));
@@ -831,7 +934,11 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
             // Q3 behavior: correct number, missing bond id).
             let q = Query::pipeline(vec![
                 Stage::Col(target),
-                Stage::Agg(if wants_max { AggFunc::Max } else { AggFunc::Min }),
+                Stage::Agg(if wants_max {
+                    AggFunc::Max
+                } else {
+                    AggFunc::Min
+                }),
             ]);
             return (q, IntentKind::ExtremeValue);
         }
@@ -865,7 +972,11 @@ fn build_query(slots: &Slots, r: &Resolver, _sections: &PromptSections) -> (Quer
         }
         stages.push(Stage::Col(value));
         stages.push(Stage::Agg(agg));
-        let intent = if plot { IntentKind::Plot } else { IntentKind::ScalarAgg };
+        let intent = if plot {
+            IntentKind::Plot
+        } else {
+            IntentKind::ScalarAgg
+        };
         return (Query::pipeline(stages), intent);
     }
 
@@ -1224,10 +1335,8 @@ mod tests {
         );
         // Without the taught mapping the model falls back to a duration
         // aggregate — the pre-teaching ambiguity the paper describes.
-        let untaught = PromptSections::parse(&text.replace(
-            "- For learning rates, use the column lr.\n",
-            "",
-        ));
+        let untaught =
+            PromptSections::parse(&text.replace("- For learning rates, use the column lr.\n", ""));
         let c = code("What is the average learning rate per activity?", &untaught);
         assert!(!c.contains("\"lr\""), "{c}");
     }
@@ -1324,7 +1433,10 @@ mod tests {
     fn extreme_row_with_cell() {
         let p = full_prompt();
         assert_eq!(
-            code("On which host did the task with the highest GPU utilization run?", &p),
+            code(
+                "On which host did the task with the highest GPU utilization run?",
+                &p
+            ),
             r#"df.loc[df["gpu_percent_end"].idxmax(), "hostname"]"#
         );
     }
@@ -1333,7 +1445,10 @@ mod tests {
     fn topn_slowest() {
         let p = full_prompt();
         let c = code("Show the 3 slowest tasks with their activity and host.", &p);
-        assert!(c.contains(r#"sort_values("duration", ascending=False)"#), "{c}");
+        assert!(
+            c.contains(r#"sort_values("duration", ascending=False)"#),
+            "{c}"
+        );
         assert!(c.contains(".head(3)"), "{c}");
     }
 
@@ -1401,7 +1516,10 @@ mod tests {
     fn chem_q1_highest_free_energy() {
         let chem = chem_prompt();
         assert_eq!(
-            code("Which bond has the highest dissociation free energy?", &chem),
+            code(
+                "Which bond has the highest dissociation free energy?",
+                &chem
+            ),
             r#"df.loc[df["bd_free_energy"].idxmax(), "bond_id"]"#
         );
     }

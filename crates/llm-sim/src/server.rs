@@ -125,11 +125,7 @@ impl LlmServer for SimLlmServer {
         // guidelines) are what gets cut — parse only the surviving prefix.
         let system_view: String = if truncated {
             let keep_chars = request.system.len() * window / input_tokens.max(1);
-            request
-                .system
-                .chars()
-                .take(keep_chars)
-                .collect()
+            request.system.chars().take(keep_chars).collect()
         } else {
             request.system.clone()
         };
@@ -146,14 +142,7 @@ impl LlmServer for SimLlmServer {
             Translation::Prose { text, intent } => (text, false, intent),
             Translation::Code { query, intent } => {
                 let query = apply_quirks(query, intent, self.profile.id, &request.user);
-                match degrade(
-                    query,
-                    intent,
-                    &self.profile,
-                    &sections,
-                    input_tokens,
-                    key,
-                ) {
+                match degrade(query, intent, &self.profile, &sections, input_tokens, key) {
                     Degraded::Query(q, _applied) => {
                         let code = style_render(&q, self.profile.id, key);
                         // Without few-shot examples, models rarely emit a
@@ -184,10 +173,11 @@ impl LlmServer for SimLlmServer {
         };
 
         let output_tokens = count_tokens(&text).max(1);
-        let latency_ms = self
-            .profile
-            .latency
-            .sample(input_tokens.min(window), output_tokens, key.with_str("lat"));
+        let latency_ms = self.profile.latency.sample(
+            input_tokens.min(window),
+            output_tokens,
+            key.with_str("lat"),
+        );
         ChatResponse {
             text,
             is_code,
@@ -311,7 +301,11 @@ mod tests {
             resp = server.chat(&req);
         }
         if resp.is_code && resp.text.contains("status") {
-            assert!(!resp.text.contains('"'), "expected single quotes: {}", resp.text);
+            assert!(
+                !resp.text.contains('"'),
+                "expected single quotes: {}",
+                resp.text
+            );
         }
     }
 
@@ -346,7 +340,11 @@ mod tests {
             chem_prompt,
             "What is the number of atoms in the parent molecule?",
         ));
-        assert!(resp.text.contains("sum"), "expected the Q5 trap: {}", resp.text);
+        assert!(
+            resp.text.contains("sum"),
+            "expected the Q5 trap: {}",
+            resp.text
+        );
     }
 
     #[test]

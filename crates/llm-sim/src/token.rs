@@ -51,7 +51,10 @@ mod tests {
     #[test]
     fn long_identifiers_split() {
         // 19 chars → ceil(19/4) = 5
-        assert_eq!(count_tokens("bond_dissociation_e".replace('_', "x").as_str()), 5);
+        assert_eq!(
+            count_tokens("bond_dissociation_e".replace('_', "x").as_str()),
+            5
+        );
     }
 
     #[test]

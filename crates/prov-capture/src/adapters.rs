@@ -171,7 +171,8 @@ impl ObservabilityAdapter for QueueBridgeAdapter {
             .into_iter()
             .map(|arc| (*arc).clone())
             .collect();
-        self.forwarded.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        self.forwarded
+            .fetch_add(msgs.len() as u64, Ordering::Relaxed);
         msgs
     }
 }
@@ -211,7 +212,8 @@ impl ObservabilityAdapter for TensorboardLikeAdapter {
     fn poll(&mut self) -> Vec<TaskMessage> {
         // A step is complete once an event for a *later* step exists; the
         // trailing step stays buffered until then.
-        let mut by_step: Vec<(i64, Vec<(String, f64, f64)>)> = Vec::new();
+        type StepEvents = Vec<(String, f64, f64)>;
+        let mut by_step: Vec<(i64, StepEvents)> = Vec::new();
         for (step, tag, value, t) in &self.events[self.cursor..] {
             match by_step.iter_mut().find(|(s, _)| s == step) {
                 Some((_, v)) => v.push((tag.clone(), *value, *t)),
@@ -232,7 +234,10 @@ impl ObservabilityAdapter for TensorboardLikeAdapter {
             let mut generated = prov_model::Map::new();
             let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
             for (tag, value, t) in &tags {
-                generated.insert(tag.replace('/', "."), Value::Float(*value));
+                generated.insert(
+                    prov_model::Sym::from(tag.replace('/', ".")),
+                    Value::Float(*value),
+                );
                 t_min = t_min.min(*t);
                 t_max = t_max.max(*t);
             }
@@ -243,7 +248,7 @@ impl ObservabilityAdapter for TensorboardLikeAdapter {
                     "training_step",
                 )
                 .uses("step", step)
-                .generated(Value::Object(generated))
+                .generated(Value::object(generated))
                 .span(t_min, t_max)
                 .build(),
             );
@@ -320,15 +325,11 @@ impl ObservabilityAdapter for DaskLikeAdapter {
             // Dask keys look like "name-hash"; the name is the activity.
             let activity = key.rsplit_once('-').map(|(n, _)| n).unwrap_or(&key);
             out.push(
-                TaskMessageBuilder::new(
-                    format!("dask-{key}"),
-                    self.scheduler_id.clone(),
-                    activity,
-                )
-                .uses("dask_key", key.as_str())
-                .span(started, terminal.2)
-                .status(status)
-                .build(),
+                TaskMessageBuilder::new(format!("dask-{key}"), self.scheduler_id.clone(), activity)
+                    .uses("dask_key", key.as_str())
+                    .span(started, terminal.2)
+                    .status(status)
+                    .build(),
             );
             self.emitted.push(key);
         }
@@ -483,7 +484,11 @@ mod tests {
 
     #[test]
     fn jsonl_parsing_skips_garbage() {
-        let text = format!("{}\nnot json\n\n{}\n", msg("a").to_json(), msg("b").to_json());
+        let text = format!(
+            "{}\nnot json\n\n{}\n",
+            msg("a").to_json(),
+            msg("b").to_json()
+        );
         let got = parse_jsonl(&text);
         assert_eq!(got.len(), 2);
     }
@@ -500,8 +505,14 @@ mod tests {
         let m = &got[0];
         assert_eq!(m.activity_id.as_str(), "training_step");
         assert_eq!(m.used.get("step").and_then(Value::as_i64), Some(0));
-        assert_eq!(m.generated.get("loss.train").and_then(Value::as_f64), Some(1.2));
-        assert_eq!(m.generated.get("accuracy").and_then(Value::as_f64), Some(0.4));
+        assert_eq!(
+            m.generated.get("loss.train").and_then(Value::as_f64),
+            Some(1.2)
+        );
+        assert_eq!(
+            m.generated.get("accuracy").and_then(Value::as_f64),
+            Some(0.4)
+        );
         // Nothing new until a later step arrives.
         assert!(tb.poll().is_empty());
         tb.add_scalar(2, "loss/train", 0.7, 102.0);

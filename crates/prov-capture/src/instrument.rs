@@ -118,18 +118,15 @@ impl CaptureContext {
             }
         };
 
-        let mut builder = TaskMessageBuilder::new(
-            task_id.clone(),
-            self.workflow_id.clone(),
-            activity,
-        )
-        .campaign(self.campaign_id.clone())
-        .used(used)
-        .generated(generated)
-        .span(started_at, ended_at)
-        .host(host.clone())
-        .telemetry(tel_start, tel_end)
-        .status(status);
+        let mut builder =
+            TaskMessageBuilder::new(task_id.clone(), self.workflow_id.clone(), activity)
+                .campaign(self.campaign_id.clone())
+                .used(used)
+                .generated(generated)
+                .span(started_at, ended_at)
+                .host(host.clone())
+                .telemetry(tel_start, tel_end)
+                .status(status);
         for dep in depends_on {
             builder = builder.depends_on(dep.clone());
         }
@@ -207,7 +204,7 @@ mod tests {
         let hub = StreamingHub::in_memory();
         let ctx = context(&hub);
         let a = ctx.instrument("a", obj! {}, 0.1, &[], |_| Ok(obj! {"v" => 1}));
-        let b = ctx.instrument("b", obj! {}, 0.1, &[a.task_id.clone()], |_| {
+        let b = ctx.instrument("b", obj! {}, 0.1, std::slice::from_ref(&a.task_id), |_| {
             Ok(obj! {"v" => 2})
         });
         assert_eq!(b.message.depends_on, vec![a.task_id]);

@@ -532,9 +532,9 @@ impl DocumentStore {
                 let mut out = Map::new();
                 out.insert("_id".into(), b.key);
                 for (agg, vals) in group.aggs.iter().zip(&b.values) {
-                    out.insert(agg.output_name(), agg.apply(vals));
+                    out.insert(prov_model::Sym::from(agg.output_name()), agg.apply(vals));
                 }
-                Value::Object(out)
+                Value::object(out)
             })
             .collect()
     }
@@ -588,10 +588,10 @@ fn project(doc: Arc<Value>, projection: &[String]) -> Arc<Value> {
     let mut out = Map::new();
     for p in projection {
         if let Some(v) = doc.get_path(p) {
-            out.insert(p.clone(), v.clone());
+            out.insert(prov_model::Sym::from(p.as_str()), v.clone());
         }
     }
-    Arc::new(Value::Object(out))
+    Arc::new(Value::object(out))
 }
 
 #[cfg(test)]
@@ -710,16 +710,25 @@ mod tests {
         let indexed = DocumentStore::new();
         indexed.create_range_index("y");
         let plain = DocumentStore::new();
-        for v in [Value::Float(f64::NAN), Value::Float(-0.0), Value::Int(0), Value::Float(1.5)] {
+        for v in [
+            Value::Float(f64::NAN),
+            Value::Float(-0.0),
+            Value::Int(0),
+            Value::Float(1.5),
+        ] {
             let mut m = Map::new();
             m.insert("y".into(), v);
-            indexed.insert(Value::Object(m.clone()));
-            plain.insert(Value::Object(m));
+            indexed.insert(Value::object(m.clone()));
+            plain.insert(Value::object(m));
         }
         // Indexed and unindexed stores must agree for every operator and
         // for zero / NaN bounds (compare() calls NaN comparisons Equal).
         for op in [Op::Gte, Op::Gt, Op::Lte, Op::Lt] {
-            for bound in [Value::Float(0.0), Value::Float(-0.0), Value::Float(f64::NAN)] {
+            for bound in [
+                Value::Float(0.0),
+                Value::Float(-0.0),
+                Value::Float(f64::NAN),
+            ] {
                 let q = DocQuery::new().filter("y", op, bound.clone());
                 assert_eq!(indexed.count(&q), plain.count(&q), "{op:?} {bound:?}");
                 // Compare rendered docs: NaN != NaN under PartialEq, but

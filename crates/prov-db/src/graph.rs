@@ -63,7 +63,7 @@ impl GraphBatch {
 
     /// Queue a node insert-or-replace.
     pub fn upsert_node(&mut self, id: impl Into<String>, label: impl Into<String>, props: Map) {
-        self.upsert_node_shared(id, label, Arc::new(Value::Object(props)));
+        self.upsert_node_shared(id, label, Arc::new(Value::object(props)));
     }
 
     /// Queue a node insert-or-replace with an already-shared property
@@ -82,7 +82,12 @@ impl GraphBatch {
     }
 
     /// Queue a directed edge.
-    pub fn add_edge(&mut self, from: impl Into<String>, to: impl Into<String>, rel: impl Into<String>) {
+    pub fn add_edge(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        rel: impl Into<String>,
+    ) {
         self.edges.push(GraphEdge {
             from: from.into(),
             to: to.into(),
@@ -119,7 +124,7 @@ impl GraphStore {
         let node = GraphNode {
             id: id.clone(),
             label: label.into(),
-            props: Arc::new(Value::Object(props)),
+            props: Arc::new(Value::object(props)),
         };
         self.inner.write().nodes.insert(id, node);
     }
@@ -132,7 +137,10 @@ impl GraphStore {
             rel: rel.into(),
         };
         let mut g = self.inner.write();
-        g.out_edges.entry(e.from.clone()).or_default().push(e.clone());
+        g.out_edges
+            .entry(e.from.clone())
+            .or_default()
+            .push(e.clone());
         g.in_edges.entry(e.to.clone()).or_default().push(e);
         g.edge_count += 1;
     }
@@ -151,7 +159,10 @@ impl GraphStore {
             g.nodes.insert(node.id.clone(), node);
         }
         for e in batch.edges {
-            g.out_edges.entry(e.from.clone()).or_default().push(e.clone());
+            g.out_edges
+                .entry(e.from.clone())
+                .or_default()
+                .push(e.clone());
             g.in_edges.entry(e.to.clone()).or_default().push(e);
             g.edge_count += 1;
         }
@@ -330,7 +341,7 @@ mod tests {
         let ids: Vec<&str> = up.iter().map(|(id, _)| id.as_str()).collect();
         assert_eq!(ids, vec!["c", "b", "a"]);
         assert_eq!(up[2].1, 3); // a is 3 hops up
-        // Depth-limited traversal stops early.
+                                // Depth-limited traversal stops early.
         assert_eq!(g.upstream_lineage("d", 1).len(), 1);
     }
 
@@ -345,10 +356,7 @@ mod tests {
     #[test]
     fn shortest_path_found_and_missing() {
         let g = chain();
-        assert_eq!(
-            g.shortest_path("d", "a").unwrap(),
-            vec!["d", "c", "b", "a"]
-        );
+        assert_eq!(g.shortest_path("d", "a").unwrap(), vec!["d", "c", "b", "a"]);
         assert!(g.shortest_path("a", "d").is_none()); // edges are directed
         assert_eq!(g.shortest_path("a", "a").unwrap(), vec!["a"]);
     }

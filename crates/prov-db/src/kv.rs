@@ -109,7 +109,10 @@ mod tests {
         let kv = KvStore::new();
         assert!(kv.put("task/t1", obj! {"a" => 1}).is_none());
         assert!(kv.put("task/t1", obj! {"a" => 2}).is_some());
-        assert_eq!(kv.get("task/t1").unwrap().get("a").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            kv.get("task/t1").unwrap().get("a").unwrap().as_i64(),
+            Some(2)
+        );
         assert!(kv.delete("task/t1").is_some());
         assert!(kv.get("task/t1").is_none());
     }
@@ -150,8 +153,9 @@ mod tests {
     #[test]
     fn batch_insert_and_seek() {
         let kv = KvStore::new();
-        let batch: Vec<(String, Value)> =
-            (0..100).map(|i| (format!("t{i:03}"), Value::Int(i))).collect();
+        let batch: Vec<(String, Value)> = (0..100)
+            .map(|i| (format!("t{i:03}"), Value::Int(i)))
+            .collect();
         assert_eq!(kv.put_batch(batch), 100);
         assert_eq!(kv.len(), 100);
         assert_eq!(kv.seek("t05").unwrap().0, "t050");

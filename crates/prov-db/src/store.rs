@@ -145,7 +145,7 @@ impl ProvenanceDatabase {
         let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
         let mut graph = GraphBatch::new();
         // Agent nodes carry no properties of their own; share one object.
-        let empty_props = Arc::new(Value::Object(Map::new()));
+        let empty_props = Arc::new(Value::object(Map::new()));
         for msg in msgs {
             // One serialization, shared by the document, KV, and graph
             // backends: the activity node's properties *are* the document
@@ -283,7 +283,10 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert_eq!(db.workflow_tasks("wf-1").len(), 3);
-        assert_eq!(db.count(&DocQuery::new().filter("started_at", Op::Gte, 11.0)), 2);
+        assert_eq!(
+            db.count(&DocQuery::new().filter("started_at", Op::Gte, 11.0)),
+            2
+        );
     }
 
     #[test]
@@ -336,8 +339,7 @@ mod tests {
         db.insert_batch(&msgs());
         assert!(db.graph().node("prov-agent").is_some());
         assert_eq!(
-            db.graph()
-                .neighbors_out("t2", "prov:wasAssociatedWith"),
+            db.graph().neighbors_out("t2", "prov:wasAssociatedWith"),
             vec!["prov-agent".to_string()]
         );
     }

@@ -25,8 +25,14 @@ fn seeded_db() -> ProvenanceDatabase {
             .build(),
     );
     let bonds = [
-        ("C-H_1", 98.2), ("C-H_2", 98.9), ("C-H_3", 98.6), ("C-H_4", 99.4),
-        ("C-H_5", 99.1), ("C-C_1", 87.3), ("C-O_1", 94.2), ("O-H_1", 105.1),
+        ("C-H_1", 98.2),
+        ("C-H_2", 98.9),
+        ("C-H_3", 98.6),
+        ("C-H_4", 99.4),
+        ("C-H_5", 99.1),
+        ("C-C_1", 87.3),
+        ("C-O_1", 94.2),
+        ("O-H_1", 105.1),
     ];
     for (i, (bond, e)) in bonds.iter().enumerate() {
         db.insert(
@@ -173,7 +179,9 @@ fn index_does_not_change_results() {
     for q in [
         DocQuery::new().filter("activity_id", Op::Eq, "run_individual_bde"),
         DocQuery::new().filter("task_id", Op::Eq, "bde-3"),
-        DocQuery::new().filter("workflow_id", Op::Eq, "chem-wf").limit(4),
+        DocQuery::new()
+            .filter("workflow_id", Op::Eq, "chem-wf")
+            .limit(4),
     ] {
         assert_eq!(indexed.documents().find(&q), plain.find(&q));
     }
@@ -218,7 +226,7 @@ fn graph_traversals_bound_depth_and_direction() {
     // Downstream impact of the conformer reaches every bond task.
     let down = db.graph().downstream_impact("conf-0", 10);
     assert_eq!(down.len(), 9); // min-0 + 8 bde tasks
-    // Directed shortest path and its absence in the other direction.
+                               // Directed shortest path and its absence in the other direction.
     let path = db.graph().shortest_path("bde-7", "conf-0").expect("path");
     assert_eq!(path.len(), 3);
     assert!(db.graph().shortest_path("bde-0", "bde-7").is_none());
@@ -237,7 +245,10 @@ fn unified_facade_counts_and_lineage_agree_with_backends() {
     assert_eq!(db.kv().len(), 10);
     assert_eq!(db.graph().node_count(), 10);
     // store::lineage delegates to the graph.
-    assert_eq!(db.lineage("bde-0", 10), db.graph().upstream_lineage("bde-0", 10));
+    assert_eq!(
+        db.lineage("bde-0", 10),
+        db.graph().upstream_lineage("bde-0", 10)
+    );
     // workflow_tasks pulls everything for the workflow.
     assert_eq!(db.workflow_tasks("chem-wf").len(), 10);
 }

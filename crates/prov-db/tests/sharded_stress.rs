@@ -131,7 +131,12 @@ fn concurrent_ingest_and_query_match_single_shard_reference() {
             },
         ],
     };
-    let key_of = |v: &Value| v.get("_id").and_then(Value::as_str).unwrap_or("").to_string();
+    let key_of = |v: &Value| {
+        v.get("_id")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
     let mut got = store.aggregate(&DocQuery::new(), &group);
     let mut want = reference.aggregate(&DocQuery::new(), &group);
     got.sort_by_key(key_of);
@@ -157,12 +162,16 @@ fn sharded_results_equal_single_shard_in_order() {
     let queries = [
         DocQuery::new(),
         DocQuery::new().filter("activity_id", Op::Eq, "act2"),
-        DocQuery::new().filter("seq", Op::Gte, 100).filter("seq", Op::Lt, 200),
+        DocQuery::new()
+            .filter("seq", Op::Gte, 100)
+            .filter("seq", Op::Lt, 200),
         DocQuery::new()
             .filter("activity_id", Op::Eq, "act1")
             .sort_by("generated.y", false)
             .limit(17),
-        DocQuery::new().filter("task_id", Op::Contains, "w2").project(&["task_id", "seq"]),
+        DocQuery::new()
+            .filter("task_id", Op::Contains, "w2")
+            .project(&["task_id", "seq"]),
     ];
     for q in &queries {
         assert_eq!(sharded.find(q), single.find(q), "query {q:?}");
@@ -240,7 +249,10 @@ fn facade_concurrent_batch_ingest_converges() {
     assert_eq!(db.kv().len(), total);
     assert_eq!(db.graph().node_count(), total);
     for t in 0..THREADS {
-        assert_eq!(db.workflow_tasks(&format!("wf-{t}")).len(), BATCHES * PER_BATCH);
+        assert_eq!(
+            db.workflow_tasks(&format!("wf-{t}")).len(),
+            BATCHES * PER_BATCH
+        );
     }
     // Range index on started_at answers under the post-ingest state.
     assert_eq!(

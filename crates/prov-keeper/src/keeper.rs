@@ -7,10 +7,10 @@
 
 use crossbeam::channel::RecvTimeoutError;
 use parking_lot::Mutex;
-use std::collections::HashSet;
 use prov_db::ProvenanceDatabase;
 use prov_model::ProvDocument;
 use prov_stream::{topics, PartitionedBroker, StreamingHub};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -99,7 +99,11 @@ impl Drop for KeeperHandle {
 }
 
 /// Start a keeper: one worker thread per subscribed topic.
-pub fn start(hub: &StreamingHub, db: Arc<ProvenanceDatabase>, config: KeeperConfig) -> KeeperHandle {
+pub fn start(
+    hub: &StreamingHub,
+    db: Arc<ProvenanceDatabase>,
+    config: KeeperConfig,
+) -> KeeperHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let processed = Arc::new(AtomicU64::new(0));
     let prov = Arc::new(Mutex::new(ProvDocument::new()));
@@ -111,7 +115,11 @@ pub fn start(hub: &StreamingHub, db: Arc<ProvenanceDatabase>, config: KeeperConf
         let processed = processed.clone();
         let db = db.clone();
         let prov = prov.clone();
-        let seen = if config.dedup { Some(seen.clone()) } else { None };
+        let seen = if config.dedup {
+            Some(seen.clone())
+        } else {
+            None
+        };
         let batch_size = config.batch_size.max(1);
         let poll_timeout = config.poll_timeout;
         let name = format!("keeper-{topic}");

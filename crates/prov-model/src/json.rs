@@ -4,7 +4,7 @@
 //! messages are the lingua franca of every component and the whole stack
 //! needs exactly one canonical, deterministic rendering.
 
-use crate::value::{Map, Value};
+use crate::value::{Map, Sym, Value};
 use std::fmt::Write as _;
 
 /// Error raised while parsing JSON text.
@@ -192,7 +192,9 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some(b'{') => self.parse_object(),
             Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            // Payload strings are unbounded-cardinality; keep them out of
+            // the interner (keys intern in `parse_object` instead).
+            Some(b'"') => Ok(Value::Str(Sym::new(self.parse_string()?))),
             Some(b't') => self.parse_keyword("true", Value::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
             Some(b'n') => self.parse_keyword("null", Value::Null),
@@ -217,7 +219,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Object(map));
+            return Ok(Value::object(map));
         }
         loop {
             self.skip_ws();
@@ -226,11 +228,13 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let val = self.parse_value()?;
-            map.insert(key, val);
+            // Keys are the repeated vocabulary interning exists for; the
+            // interner's capacity bound contains pathological inputs.
+            map.insert(Sym::intern(&key), val);
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(map)),
+                Some(b'}') => return Ok(Value::object(map)),
                 _ => return Err(self.err("expected ',' or '}' in object")),
             }
         }
@@ -242,7 +246,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Array(items));
+            return Ok(Value::array(items));
         }
         loop {
             self.skip_ws();
@@ -250,7 +254,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => return Ok(Value::array(items)),
                 _ => return Err(self.err("expected ',' or ']' in array")),
             }
         }
@@ -311,7 +315,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, JsonError> {
         let mut cp = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;

@@ -17,6 +17,7 @@ pub mod json;
 pub mod message;
 pub mod prov;
 pub mod schema;
+pub mod sym;
 pub mod telemetry;
 pub mod value;
 
@@ -25,5 +26,6 @@ pub use ids::{ActivityId, AgentId, CampaignId, IdGenerator, TaskId, WorkflowId};
 pub use json::{from_str as json_from_str, to_string as json_to_string, JsonError};
 pub use message::{MessageType, TaskMessage, TaskMessageBuilder, TaskStatus};
 pub use prov::{ProvDocument, ProvEdge, ProvNode, ProvNodeKind, ProvRelation};
+pub use sym::{keys, Sym};
 pub use telemetry::{Telemetry, TelemetrySynth};
 pub use value::{Map, Value, ValueKind};

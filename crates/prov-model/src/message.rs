@@ -2,9 +2,9 @@
 //! keeper, database and agent component exchanges (paper Listing 1).
 
 use crate::ids::{ActivityId, AgentId, CampaignId, TaskId, WorkflowId};
-use crate::telemetry::Telemetry;
-use crate::value::{Map, Value};
 use crate::json;
+use crate::telemetry::Telemetry;
+use crate::value::{keys, Map, Sym, Value};
 
 /// Lifecycle status of a task execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,6 +40,16 @@ impl TaskStatus {
             "ERROR" => Some(TaskStatus::Error),
             _ => None,
         }
+    }
+
+    /// Canonical wire string as a shared interned symbol (the serialization
+    /// hot path emits this without hashing or allocating).
+    pub fn sym(self) -> Sym {
+        static CELLS: [std::sync::OnceLock<Sym>; 4] = [const { std::sync::OnceLock::new() }; 4];
+        let idx = self as usize;
+        CELLS[idx]
+            .get_or_init(|| Sym::intern(self.as_str()))
+            .clone()
     }
 }
 
@@ -81,6 +91,16 @@ impl MessageType {
             "anomaly_tag" => Some(MessageType::AnomalyTag),
             _ => None,
         }
+    }
+
+    /// Canonical wire string as a shared interned symbol (the serialization
+    /// hot path emits this without hashing or allocating).
+    pub fn sym(self) -> Sym {
+        static CELLS: [std::sync::OnceLock<Sym>; 5] = [const { std::sync::OnceLock::new() }; 5];
+        let idx = self as usize;
+        CELLS[idx]
+            .get_or_init(|| Sym::intern(self.as_str()))
+            .clone()
     }
 }
 
@@ -138,8 +158,8 @@ impl TaskMessage {
             campaign_id: CampaignId::new("default-campaign"),
             workflow_id: workflow_id.into(),
             activity_id: activity_id.into(),
-            used: Value::Object(Map::new()),
-            generated: Value::Object(Map::new()),
+            used: Value::object(Map::new()),
+            generated: Value::object(Map::new()),
             started_at: 0.0,
             ended_at: 0.0,
             hostname: "localhost".to_string(),
@@ -162,46 +182,49 @@ impl TaskMessage {
     ///
     /// Pushes the fields in key order and bulk-builds the map, instead of
     /// issuing one rebalancing `BTreeMap::insert` per field — this is the
-    /// per-message serialization on the database ingest hot path.
+    /// per-message serialization on the database ingest hot path. Every key
+    /// is a pre-seeded hot symbol ([`keys`]) and `used`/`generated` clones
+    /// are shared-handle refcount bumps, so the only per-call allocations
+    /// are the variable id/host strings and the map nodes themselves.
     pub fn to_value(&self) -> Value {
-        let mut pairs: Vec<(String, Value)> = Vec::with_capacity(16);
-        let mut push = |k: &str, v: Value| pairs.push((k.to_string(), v));
-        push("activity_id", Value::from(self.activity_id.as_str()));
+        let mut pairs: Vec<(Sym, Value)> = Vec::with_capacity(16);
+        let mut push = |k: Sym, v: Value| pairs.push((k, v));
+        push(keys::activity_id(), Value::from(self.activity_id.as_str()));
         if let Some(a) = &self.agent_id {
-            push("agent_id", Value::from(a.as_str()));
+            push(keys::agent_id(), Value::from(a.as_str()));
         }
-        push("campaign_id", Value::from(self.campaign_id.as_str()));
+        push(keys::campaign_id(), Value::from(self.campaign_id.as_str()));
         if !self.depends_on.is_empty() {
             push(
-                "depends_on",
-                Value::Array(
+                keys::depends_on(),
+                Value::array(
                     self.depends_on
                         .iter()
-                        .map(|t| Value::Str(t.as_str().to_string()))
+                        .map(|t| Value::from(t.as_str()))
                         .collect(),
                 ),
             );
         }
-        push("ended_at", Value::from(self.ended_at));
-        push("generated", self.generated.clone());
-        push("hostname", Value::from(self.hostname.as_str()));
-        push("started_at", Value::from(self.started_at));
-        push("status", Value::from(self.status.as_str()));
+        push(keys::ended_at(), Value::from(self.ended_at));
+        push(keys::generated(), self.generated.clone());
+        push(keys::hostname(), Value::from(self.hostname.as_str()));
+        push(keys::started_at(), Value::from(self.started_at));
+        push(keys::status(), Value::Str(self.status.sym()));
         if !self.tags.is_empty() {
-            push("tags", Value::Object(self.tags.clone()));
+            push(keys::tags(), Value::object(self.tags.clone()));
         }
-        push("task_id", Value::from(self.task_id.as_str()));
+        push(keys::task_id(), Value::from(self.task_id.as_str()));
         if let Some(t) = &self.telemetry_at_end {
-            push("telemetry_at_end", t.to_value());
+            push(keys::telemetry_at_end(), t.to_value());
         }
         if let Some(t) = &self.telemetry_at_start {
-            push("telemetry_at_start", t.to_value());
+            push(keys::telemetry_at_start(), t.to_value());
         }
-        push("type", Value::from(self.msg_type.as_str()));
-        push("used", self.used.clone());
-        push("workflow_id", Value::from(self.workflow_id.as_str()));
+        push(keys::msg_type(), Value::Str(self.msg_type.sym()));
+        push(keys::used(), self.used.clone());
+        push(keys::workflow_id(), Value::from(self.workflow_id.as_str()));
         debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
-        Value::Object(Map::from_iter(pairs))
+        Value::object(Map::from_iter(pairs))
     }
 
     /// Decode from the Listing 1 JSON shape.
@@ -241,7 +264,7 @@ impl TaskMessage {
                 .map(TaskId::new)
                 .collect();
         }
-        if let Some(Value::Object(tags)) = v.get("tags") {
+        if let Some(tags) = v.get("tags").and_then(Value::as_object) {
             msg.tags = tags.clone();
         }
         Some(msg)
@@ -259,7 +282,7 @@ impl TaskMessage {
 
     /// Tag this message (e.g. `anomaly` → description), as the anomaly
     /// detector does before republishing (§4.2).
-    pub fn with_tag(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn with_tag(mut self, key: impl Into<Sym>, value: impl Into<Value>) -> Self {
         self.tags.insert(key.into(), value.into());
         self
     }
@@ -290,13 +313,13 @@ impl TaskMessageBuilder {
     }
 
     /// Add an input field under `used`.
-    pub fn uses(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn uses(mut self, key: impl Into<Sym>, value: impl Into<Value>) -> Self {
         self.msg.used.insert(key, value);
         self
     }
 
     /// Add an output field under `generated`.
-    pub fn generates(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn generates(mut self, key: impl Into<Sym>, value: impl Into<Value>) -> Self {
         self.msg.generated.insert(key, value);
         self
     }
@@ -433,7 +456,10 @@ mod tests {
         let msg = chem_message().with_tag("anomaly", obj! {"metric" => "cpu", "z" => 4.2});
         let back = TaskMessage::from_json(&msg.to_json()).unwrap();
         assert_eq!(
-            back.tags.get("anomaly").and_then(|v| v.get("metric")).and_then(Value::as_str),
+            back.tags
+                .get("anomaly")
+                .and_then(|v| v.get("metric"))
+                .and_then(Value::as_str),
             Some("cpu")
         );
     }

@@ -9,8 +9,8 @@
 
 use crate::ids::AgentId;
 use crate::message::{MessageType, TaskMessage};
-use crate::value::{Map, Value};
 use crate::obj;
+use crate::value::{Map, Value};
 
 /// PROV node types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -220,7 +220,7 @@ impl ProvDocument {
 
     /// Encode the document as a JSON value (for persistence/inspection).
     pub fn to_value(&self) -> Value {
-        Value::Array(
+        Value::array(
             self.nodes
                 .iter()
                 .map(|n| {
@@ -228,7 +228,7 @@ impl ProvDocument {
                         "id" => n.id.as_str(),
                         "kind" => n.kind.as_str(),
                         "subtype" => n.subtype.as_str(),
-                        "attributes" => Value::Object(n.attributes.clone()),
+                        "attributes" => Value::object(n.attributes.clone()),
                     }
                 })
                 .chain(self.edges.iter().map(|e| {
@@ -244,30 +244,23 @@ impl ProvDocument {
 }
 
 fn activity_attributes(msg: &TaskMessage) -> Map {
+    use crate::value::keys;
     let mut m = Map::new();
-    m.insert(
-        "activity_id".into(),
-        Value::Str(msg.activity_id.as_str().into()),
-    );
-    m.insert(
-        "workflow_id".into(),
-        Value::Str(msg.workflow_id.as_str().into()),
-    );
-    m.insert(
-        "campaign_id".into(),
-        Value::Str(msg.campaign_id.as_str().into()),
-    );
-    m.insert("started_at".into(), Value::Float(msg.started_at));
-    m.insert("ended_at".into(), Value::Float(msg.ended_at));
-    m.insert("hostname".into(), Value::Str(msg.hostname.clone()));
-    m.insert("status".into(), Value::Str(msg.status.as_str().into()));
+    m.insert(keys::activity_id(), Value::from(msg.activity_id.as_str()));
+    m.insert(keys::workflow_id(), Value::from(msg.workflow_id.as_str()));
+    m.insert(keys::campaign_id(), Value::from(msg.campaign_id.as_str()));
+    m.insert(keys::started_at(), Value::Float(msg.started_at));
+    m.insert(keys::ended_at(), Value::Float(msg.ended_at));
+    m.insert(keys::hostname(), Value::from(msg.hostname.as_str()));
+    m.insert(keys::status(), Value::Str(msg.status.sym()));
     m
 }
 
 fn entity_attributes(field: &str, value: &Value) -> Map {
+    use crate::value::keys;
     let mut m = Map::new();
-    m.insert("field".into(), Value::Str(field.to_string()));
-    m.insert("value".into(), value.clone());
+    m.insert(keys::field(), Value::from(field));
+    m.insert(keys::value(), value.clone());
     m
 }
 

@@ -5,7 +5,6 @@
 //! synthesizer generates plausible node telemetry for simulated runs.
 
 use crate::value::Value;
-use crate::obj;
 
 /// One telemetry snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,14 +56,54 @@ impl Telemetry {
     }
 
     /// Encode as the JSON shape used in provenance messages.
+    ///
+    /// Every key comes from the pre-seeded hot-symbol accessors
+    /// ([`crate::sym::keys`]): on the ingest hot path this runs with zero
+    /// interner lookups and zero key allocations, like
+    /// `TaskMessage::to_value`.
     pub fn to_value(&self) -> Value {
-        obj! {
-            "cpu" => obj! { "percent" => self.cpu_percent.clone() },
-            "memory" => obj! { "used_mb" => self.mem_used_mb, "total_mb" => self.mem_total_mb },
-            "gpu" => obj! { "percent" => self.gpu_percent.clone() },
-            "disk" => obj! { "read_bytes" => self.disk_read_bytes as i64, "write_bytes" => self.disk_write_bytes as i64 },
-            "network" => obj! { "sent_bytes" => self.net_sent_bytes as i64, "recv_bytes" => self.net_recv_bytes as i64 },
-        }
+        use crate::value::{keys, Map, Sym};
+        let section = |pairs: [(Sym, Value); 2]| Value::object(Map::from_iter(pairs));
+        let mut m = Map::new();
+        m.insert(
+            keys::cpu(),
+            Value::object(Map::from_iter([(
+                keys::percent(),
+                Value::from(self.cpu_percent.clone()),
+            )])),
+        );
+        m.insert(
+            keys::disk(),
+            section([
+                (keys::read_bytes(), Value::Int(self.disk_read_bytes as i64)),
+                (
+                    keys::write_bytes(),
+                    Value::Int(self.disk_write_bytes as i64),
+                ),
+            ]),
+        );
+        m.insert(
+            keys::gpu(),
+            Value::object(Map::from_iter([(
+                keys::percent(),
+                Value::from(self.gpu_percent.clone()),
+            )])),
+        );
+        m.insert(
+            keys::memory(),
+            section([
+                (keys::total_mb(), Value::Float(self.mem_total_mb)),
+                (keys::used_mb(), Value::Float(self.mem_used_mb)),
+            ]),
+        );
+        m.insert(
+            keys::network(),
+            section([
+                (keys::recv_bytes(), Value::Int(self.net_recv_bytes as i64)),
+                (keys::sent_bytes(), Value::Int(self.net_sent_bytes as i64)),
+            ]),
+        );
+        Value::object(m)
     }
 
     /// Decode from the JSON shape; missing sections default to zero.

@@ -1,22 +1,63 @@
-//! Dynamically typed JSON-like values.
+//! Dynamically typed JSON-like values over interned, shared strings.
 //!
 //! Provenance messages (see [`crate::message`]) carry arbitrary,
 //! application-specific `used`/`generated` payloads, so the whole stack is
 //! built on a self-describing [`Value`] type with deterministic object
 //! ordering ([`BTreeMap`]) to keep serialization, schema inference and tests
 //! reproducible.
+//!
+//! # Interning design
+//!
+//! Agent and workflow traces are dominated by a small vocabulary of
+//! repeated strings — the Listing-1 field names, telemetry sections, and
+//! enum-like payloads — so the string representation is [`Sym`]: an
+//! `Arc<str>` plus a cached FNV-1a content hash (see [`crate::sym`]).
+//! Three structural choices follow from it:
+//!
+//! * **Object keys are symbols.** [`Map`] is `BTreeMap<Sym, Value>`; key
+//!   construction goes through the bounded, lock-sharded global interner
+//!   (every `From<&str>`/`From<String>` conversion to `Sym` interns), and
+//!   the ~30 hot provenance keys are pre-seeded with zero-lookup static
+//!   accessors in [`crate::sym::keys`]. Serializing a `TaskMessage`
+//!   therefore allocates no key strings at all.
+//! * **Containers are shared.** `Array` and `Object` hold their payloads
+//!   behind `Arc`, so cloning any `Value` tree — a whole document — is a
+//!   refcount bump, never a deep copy. Mutation goes through
+//!   [`Value::insert`]/[`Value::as_object_mut`], which copy-on-write via
+//!   `Arc::make_mut`.
+//! * **Hashes are cached.** [`Value::stable_hash`] folds in each `Sym`'s
+//!   pre-computed digest instead of re-walking string bytes, so index
+//!   probes hash symbol digests, not strings.
+//!
+//! # Ordering guarantee under symbol keys
+//!
+//! `Sym`'s `Ord` is the byte order of its content (with a pointer-equality
+//! fast path), identical to `String`'s, and `Borrow<str>` is implemented
+//! consistently with it. A `BTreeMap<Sym, Value>` therefore iterates in
+//! exactly the order `BTreeMap<String, Value>` did, `map.get("key")` works
+//! allocation-free, and JSON output is byte-for-byte independent of
+//! whether the tree's strings are interned, uninterned, or a mix — an
+//! invariant pinned by the `interned_and_uninterned_serialize_identically`
+//! property test.
 
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
-/// Map type used for JSON objects. `BTreeMap` keeps key order deterministic,
-/// which matters for snapshot-style tests and stable prompt construction.
-pub type Map = BTreeMap<String, Value>;
+pub use crate::sym::{keys, Sym};
 
-/// A JSON-like dynamically typed value.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Map type used for JSON objects. `BTreeMap` keeps key order deterministic
+/// (byte order of the key text — see the module docs), which matters for
+/// snapshot-style tests and stable prompt construction.
+pub type Map = BTreeMap<Sym, Value>;
+
+/// A JSON-like dynamically typed value with shared strings and containers.
+///
+/// `Clone` is O(1) for every variant: strings, arrays and objects bump a
+/// refcount. Equality compares content, with pointer fast paths.
+#[derive(Debug, Clone, Default)]
 pub enum Value {
     /// JSON `null`.
     #[default]
@@ -27,12 +68,14 @@ pub enum Value {
     Int(i64),
     /// Floating-point number.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
-    /// Ordered array.
-    Array(Vec<Value>),
-    /// String-keyed object with deterministic iteration order.
-    Object(Map),
+    /// UTF-8 string (shared; interned when built from a key-position
+    /// conversion, plain `Arc` otherwise — semantically identical).
+    Str(Sym),
+    /// Ordered array behind a shared handle.
+    Array(Arc<Vec<Value>>),
+    /// String-keyed object with deterministic iteration order, behind a
+    /// shared handle.
+    Object(Arc<Map>),
 }
 
 /// Coarse type tag of a [`Value`], used by dtype inference.
@@ -69,7 +112,33 @@ impl ValueKind {
     }
 }
 
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Shared containers: identical handles are equal without a walk.
+            (Value::Array(a), Value::Array(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Object(a), Value::Object(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Value {
+    /// Wrap an owned vector as an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Arc::new(items))
+    }
+
+    /// Wrap an owned map as an object value.
+    pub fn object(map: Map) -> Value {
+        Value::Object(Arc::new(map))
+    }
+
     /// The coarse type of this value.
     pub fn kind(&self) -> ValueKind {
         match self {
@@ -122,6 +191,14 @@ impl Value {
     /// String payload, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// String payload as a shared symbol, if this is a `Str`.
+    pub fn as_sym(&self) -> Option<&Sym> {
+        match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
@@ -143,10 +220,21 @@ impl Value {
         }
     }
 
-    /// Mutable object payload, if this is an `Object`.
+    /// Mutable object payload, if this is an `Object`. Copy-on-write: a
+    /// shared handle is split before mutation (`Arc::make_mut`), so other
+    /// holders of the same document never observe the change.
     pub fn as_object_mut(&mut self) -> Option<&mut Map> {
         match self {
-            Value::Object(m) => Some(m),
+            Value::Object(m) => Some(Arc::make_mut(m)),
+            _ => None,
+        }
+    }
+
+    /// Mutable array payload, if this is an `Array` (copy-on-write, like
+    /// [`Value::as_object_mut`]).
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(Arc::make_mut(a)),
             _ => None,
         }
     }
@@ -176,13 +264,14 @@ impl Value {
     }
 
     /// Insert into an object, converting `self` to an empty object first if
-    /// it is `Null`. Returns the previous value if any.
-    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+    /// it is `Null`. Returns the previous value if any. Copy-on-write when
+    /// the object handle is shared.
+    pub fn insert(&mut self, key: impl Into<Sym>, value: impl Into<Value>) -> Option<Value> {
         if self.is_null() {
-            *self = Value::Object(Map::new());
+            *self = Value::object(Map::new());
         }
         match self {
-            Value::Object(m) => m.insert(key.into(), value.into()),
+            Value::Object(m) => Arc::make_mut(m).insert(key.into(), value.into()),
             _ => None,
         }
     }
@@ -191,7 +280,7 @@ impl Value {
     /// (used when embedding example values in prompts and tables).
     pub fn display_plain(&self) -> String {
         match self {
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.as_str().to_string(),
             other => other.to_string(),
         }
     }
@@ -214,9 +303,9 @@ impl Value {
                     out.push((prefix.to_string(), self.clone()));
                     return;
                 }
-                for (k, v) in m {
+                for (k, v) in m.iter() {
                     let key: Cow<str> = if prefix.is_empty() {
-                        Cow::Borrowed(k)
+                        Cow::Borrowed(k.as_str())
                     } else {
                         Cow::Owned(format!("{prefix}.{k}"))
                     };
@@ -254,11 +343,13 @@ impl Value {
     /// `Int` and a `Float` holding the same integral value hash identically
     /// (because `Condition::matches` treats them as equal). Used by the
     /// document store's hash indexes and hash aggregation so that probing
-    /// never allocates — the old design rendered every value to a `String`
-    /// key via `display_plain()` on each insert *and* each probe.
+    /// never allocates — and, since every [`Sym`] caches its own FNV-1a
+    /// digest, hashing a string or an object key folds in 8 pre-computed
+    /// bytes instead of re-walking the text.
     ///
-    /// The hash is deterministic across runs (FNV-1a, no randomized state),
-    /// which keeps index layouts and test behavior reproducible.
+    /// The hash is deterministic across runs (FNV-1a composition, no
+    /// randomized state), which keeps index layouts and test behavior
+    /// reproducible, and it is independent of whether strings are interned.
     pub fn stable_hash(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         self.stable_hash_into(&mut h);
@@ -292,20 +383,20 @@ impl Value {
             }
             Value::Str(s) => {
                 mix(h, &[0x04]);
-                mix(h, s.as_bytes());
+                mix(h, &s.hash_u64().to_le_bytes());
             }
             Value::Array(a) => {
                 mix(h, &[0x05]);
                 mix(h, &(a.len() as u64).to_le_bytes());
-                for v in a {
+                for v in a.iter() {
                     v.stable_hash_into(h);
                 }
             }
             Value::Object(m) => {
                 mix(h, &[0x06]);
                 mix(h, &(m.len() as u64).to_le_bytes());
-                for (k, v) in m {
-                    mix(h, k.as_bytes());
+                for (k, v) in m.iter() {
+                    mix(h, &k.hash_u64().to_le_bytes());
                     mix(h, &[0xff]);
                     v.stable_hash_into(h);
                 }
@@ -391,18 +482,30 @@ impl From<f32> for Value {
     }
 }
 impl From<&str> for Value {
+    /// String *values* stay uninterned ([`Sym::new`]): payload strings are
+    /// unbounded-cardinality data; only key-position conversions intern.
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Sym::new(s))
     }
 }
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Sym::new(s))
+    }
+}
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::Str(Sym::new(s))
+    }
+}
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
         Value::Str(s)
     }
 }
 impl<T: Into<Value>> From<Vec<T>> for Value {
     fn from(v: Vec<T>) -> Self {
-        Value::Array(v.into_iter().map(Into::into).collect())
+        Value::array(v.into_iter().map(Into::into).collect())
     }
 }
 impl<T: Into<Value>> From<Option<T>> for Value {
@@ -412,27 +515,28 @@ impl<T: Into<Value>> From<Option<T>> for Value {
 }
 impl From<Map> for Value {
     fn from(m: Map) -> Self {
-        Value::Object(m)
+        Value::object(m)
     }
 }
 
 /// Build a [`Value::Object`] literal: `obj! { "a" => 1, "b" => "x" }`.
+/// Keys are interned symbols; values convert via `Value::from`.
 #[macro_export]
 macro_rules! obj {
-    () => { $crate::value::Value::Object($crate::value::Map::new()) };
+    () => { $crate::value::Value::object($crate::value::Map::new()) };
     ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
         let mut m = $crate::value::Map::new();
-        $( m.insert($k.to_string(), $crate::value::Value::from($v)); )+
-        $crate::value::Value::Object(m)
+        $( m.insert($crate::value::Sym::from($k), $crate::value::Value::from($v)); )+
+        $crate::value::Value::object(m)
     }};
 }
 
 /// Build a [`Value::Array`] literal: `arr![1, 2.5, "x"]`.
 #[macro_export]
 macro_rules! arr {
-    () => { $crate::value::Value::Array(Vec::new()) };
+    () => { $crate::value::Value::array(Vec::new()) };
     ( $( $v:expr ),+ $(,)? ) => {
-        $crate::value::Value::Array(vec![ $( $crate::value::Value::from($v) ),+ ])
+        $crate::value::Value::array(vec![ $( $crate::value::Value::from($v) ),+ ])
     };
 }
 
@@ -456,7 +560,7 @@ mod tests {
         assert_eq!(Value::Float(3.0).as_i64(), Some(3));
         assert_eq!(Value::Float(3.5).as_i64(), None);
         assert!(Value::Int(1).is_number());
-        assert!(!Value::Str("1".into()).is_number());
+        assert!(!Value::from("1").is_number());
     }
 
     #[test]
@@ -490,11 +594,11 @@ mod tests {
         assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Ordering::Less);
         assert_eq!(
-            Value::Str("b".into()).compare(&Value::Str("a".into())),
+            Value::from("b").compare(&Value::from("a")),
             Ordering::Greater
         );
         // Mismatched kinds fall back to kind ordering, never panic.
-        let _ = Value::Null.compare(&Value::Str("x".into()));
+        let _ = Value::Null.compare(&Value::from("x"));
     }
 
     #[test]
@@ -505,12 +609,42 @@ mod tests {
     }
 
     #[test]
+    fn clone_is_a_refcount_bump() {
+        let doc = obj! {"used" => obj! {"x" => 1}, "tags" => arr!["a", "b"]};
+        let copy = doc.clone();
+        let (Value::Object(a), Value::Object(b)) = (&doc, &copy) else {
+            panic!("objects expected");
+        };
+        assert!(Arc::ptr_eq(a, b));
+        assert_eq!(doc, copy);
+    }
+
+    #[test]
+    fn mutation_is_copy_on_write() {
+        let doc = obj! {"a" => 1};
+        let mut copy = doc.clone();
+        copy.insert("b", 2);
+        assert!(doc.get("b").is_none(), "original must not see the write");
+        assert_eq!(copy.get("b").and_then(Value::as_i64), Some(2));
+        assert_eq!(doc.get("a").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn interning_does_not_change_equality_or_hash() {
+        let interned = Value::Str(Sym::intern("FINISHED"));
+        let plain = Value::from("FINISHED");
+        assert_eq!(interned, plain);
+        assert_eq!(interned.stable_hash(), plain.stable_hash());
+        assert_eq!(interned.compare(&plain), Ordering::Equal);
+    }
+
+    #[test]
     fn stable_hash_coerces_like_query_equality() {
         // Int/Float with equal integral value share a hash (index buckets).
         assert_eq!(Value::Int(2).stable_hash(), Value::Float(2.0).stable_hash());
         assert_ne!(Value::Int(2).stable_hash(), Value::Float(2.5).stable_hash());
         // Kind still separates otherwise-identical byte patterns.
-        assert_ne!(Value::Str("2".into()).stable_hash(), Value::Int(2).stable_hash());
+        assert_ne!(Value::from("2").stable_hash(), Value::Int(2).stable_hash());
         assert_ne!(Value::Null.stable_hash(), Value::Bool(false).stable_hash());
         // Structural values hash by content, deterministically.
         let a = obj! {"x" => arr![1, 2.0, "s"]};
@@ -518,7 +652,10 @@ mod tests {
         assert_eq!(a.stable_hash(), b.stable_hash()); // 2.0 canonicalizes to 2
         assert_eq!(a.stable_hash(), a.stable_hash());
         // Signed zero unifies (query equality treats -0.0 == 0 == 0.0).
-        assert_eq!(Value::Float(-0.0).stable_hash(), Value::Int(0).stable_hash());
+        assert_eq!(
+            Value::Float(-0.0).stable_hash(),
+            Value::Int(0).stable_hash()
+        );
         // Above 2^53 the hash follows the query layer's lossy `as f64`
         // equality: values it calls equal must share a bucket.
         let big = (1i64 << 53) + 1;

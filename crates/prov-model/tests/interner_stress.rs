@@ -1,0 +1,128 @@
+//! Concurrency and correctness stress tests for the global string
+//! interner: many threads interning overlapping key sets must agree on
+//! identity, content, and hashes, and the pre-seeded hot keys must stay
+//! pointer-stable throughout.
+
+use prov_model::{keys, Map, Sym, Value};
+use std::collections::BTreeMap;
+use std::sync::Barrier;
+
+/// The overlapping vocabulary the worker threads fight over: every thread
+/// interns every key, so each distinct string is raced by all threads.
+fn vocabulary() -> Vec<String> {
+    let mut v: Vec<String> = keys::HOT_KEYS.iter().map(|k| k.to_string()).collect();
+    v.extend((0..64).map(|i| format!("stress_key_{i}")));
+    v.extend((0..16).map(|i| format!("payload.field_{i}.leaf")));
+    v
+}
+
+#[test]
+fn concurrent_interning_overlapping_keys() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+
+    let vocab = vocabulary();
+    let barrier = Barrier::new(THREADS);
+    let per_thread: Vec<Vec<Sym>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let vocab = &vocab;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut out = Vec::with_capacity(ROUNDS * vocab.len());
+                    for round in 0..ROUNDS {
+                        // Each thread walks the vocabulary at a different
+                        // stride so lock acquisition orders differ.
+                        for i in 0..vocab.len() {
+                            let k = &vocab[(i * (t + 1) + round) % vocab.len()];
+                            out.push(Sym::intern(k));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every thread's copy of a given string is the same symbol — same
+    // content, same cached hash, same allocation.
+    let canonical: BTreeMap<&str, &Sym> = per_thread[0].iter().map(|s| (s.as_str(), s)).collect();
+    assert_eq!(canonical.len(), vocab.len());
+    for thread_syms in &per_thread {
+        for sym in thread_syms {
+            let reference = canonical[sym.as_str()];
+            assert_eq!(sym, reference);
+            assert_eq!(sym.hash_u64(), reference.hash_u64());
+            assert!(
+                Sym::ptr_eq(sym, reference),
+                "interned copies of {:?} do not share an allocation",
+                sym.as_str()
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_keys_stay_pointer_stable_under_contention() {
+    let before = keys::task_id();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    let k = Sym::intern("task_id");
+                    assert!(Sym::ptr_eq(&k, &keys::task_id()));
+                }
+            });
+        }
+    });
+    assert!(Sym::ptr_eq(&before, &keys::task_id()));
+}
+
+#[test]
+fn interner_capacity_degrades_gracefully() {
+    // Far fewer than MAX_INTERNED, but enough to prove the counter moves
+    // and that symbols behave identically whether or not they were
+    // deduplicated.
+    let start = Sym::interned_count();
+    let syms: Vec<Sym> = (0..512)
+        .map(|i| Sym::intern(&format!("cap_probe_{i}")))
+        .collect();
+    assert!(Sym::interned_count() >= start);
+    for (i, s) in syms.iter().enumerate() {
+        assert_eq!(s.as_str(), format!("cap_probe_{i}"));
+        assert_eq!(s, &Sym::new(format!("cap_probe_{i}")));
+    }
+}
+
+#[test]
+fn maps_built_from_racing_threads_agree() {
+    // Interning concurrently and then using the symbols as BTreeMap keys
+    // must yield identical, deterministically ordered documents.
+    let docs: Vec<Value> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut m = Map::new();
+                    for i in (0..32).rev() {
+                        m.insert(
+                            Sym::intern(&format!("field_{i:02}")),
+                            Value::from(i as i64 + t),
+                        );
+                    }
+                    Value::object(m)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, doc) in docs.iter().enumerate() {
+        let m = doc.as_object().unwrap();
+        let keys: Vec<&str> = m.keys().map(Sym::as_str).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "BTreeMap iteration must follow byte order");
+        assert_eq!(doc.get("field_00").and_then(Value::as_i64), Some(t as i64));
+    }
+}

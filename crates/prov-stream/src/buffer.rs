@@ -84,7 +84,11 @@ struct Buffered {
 impl BufferedEmitter {
     /// Create an emitter; if the strategy has an interval, a background
     /// flusher thread is started (stopped on drop).
-    pub fn new(broker: Arc<dyn Broker>, topic: impl Into<String>, strategy: FlushStrategy) -> Arc<Self> {
+    pub fn new(
+        broker: Arc<dyn Broker>,
+        topic: impl Into<String>,
+        strategy: FlushStrategy,
+    ) -> Arc<Self> {
         let emitter = Arc::new(Self {
             broker,
             topic: topic.into(),
@@ -107,7 +111,9 @@ impl BufferedEmitter {
                 .spawn(move || {
                     // Tick at a fraction of the interval so a quiet buffer is
                     // flushed within ~interval of its oldest message.
-                    let tick = interval.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                    let tick = interval
+                        .min(Duration::from_millis(50))
+                        .max(Duration::from_millis(1));
                     while !stop.load(Ordering::Relaxed) {
                         std::thread::sleep(tick);
                         let Some(e) = weak.upgrade() else { break };
@@ -133,10 +139,7 @@ impl BufferedEmitter {
             b.bytes += msg.to_value().approx_size();
             b.msgs.push(msg);
             self.emitted.fetch_add(1, Ordering::Relaxed);
-            let count_hit = self
-                .strategy
-                .max_count
-                .is_some_and(|n| b.msgs.len() >= n);
+            let count_hit = self.strategy.max_count.is_some_and(|n| b.msgs.len() >= n);
             let bytes_hit = self.strategy.max_bytes.is_some_and(|n| b.bytes >= n);
             count_hit || bytes_hit
         };

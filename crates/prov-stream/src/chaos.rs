@@ -78,7 +78,8 @@ pub struct ChaosStats {
 }
 
 fn unit(seed: u64, salt: u64, n: u64) -> f64 {
-    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z =
+        seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -213,15 +214,18 @@ mod tests {
     #[test]
     fn drops_lose_messages_deterministically() {
         let run = || {
-            let broker =
-                ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::lossy(7));
+            let broker = ChaosBroker::new(Arc::new(MemoryBroker::new()), ChaosConfig::lossy(7));
             publish_n(&broker, 200)
         };
         let a = run();
         let b = run();
         assert_eq!(a, b, "fault stream must be deterministic");
         assert!(a.len() < 200, "some messages must drop");
-        assert!(a.len() > 150, "roughly 10% drop rate, got {}", 200 - a.len());
+        assert!(
+            a.len() > 150,
+            "roughly 10% drop rate, got {}",
+            200 - a.len()
+        );
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl FederatedHub {
     pub fn route(mut self, prefix: impl Into<String>, hub: StreamingHub) -> Self {
         self.routes.push((prefix.into(), hub));
         // Longest prefix first so overlapping prefixes resolve specifically.
-        self.routes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self.routes.sort_by_key(|r| std::cmp::Reverse(r.0.len()));
         self
     }
 

@@ -14,10 +14,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Per-topic subscriber list: `(subscription id, delivery channel)` pairs.
+type Subscribers = Vec<(u64, Sender<Delivery>)>;
+
 /// Redis-like in-process pub/sub broker.
 #[derive(Default)]
 pub struct MemoryBroker {
-    topics: RwLock<HashMap<String, Vec<(u64, Sender<Delivery>)>>>,
+    topics: RwLock<HashMap<String, Subscribers>>,
     next_sub_id: AtomicU64,
     counters: Counters,
 }

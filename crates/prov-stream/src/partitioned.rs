@@ -29,17 +29,23 @@ struct Topic {
 impl Topic {
     fn new(partitions: usize) -> Self {
         Self {
-            partitions: (0..partitions.max(1)).map(|_| Partition::default()).collect(),
+            partitions: (0..partitions.max(1))
+                .map(|_| Partition::default())
+                .collect(),
             live: RwLock::new(Vec::new()),
         }
     }
 }
 
+/// One consumer group's committed offsets: `(topic, partition)` → next
+/// offset to read.
+type GroupOffsets = HashMap<(String, usize), usize>;
+
 /// Kafka-like partitioned broker with retained logs and consumer groups.
 pub struct PartitionedBroker {
     partitions_per_topic: usize,
     topics: RwLock<HashMap<String, Arc<Topic>>>,
-    groups: Mutex<HashMap<String, HashMap<(String, usize), usize>>>,
+    groups: Mutex<HashMap<String, GroupOffsets>>,
     next_sub_id: AtomicU64,
     counters: Counters,
 }
@@ -148,7 +154,8 @@ impl PartitionedBroker {
 
     /// Consumer lag: retained minus committed.
     pub fn lag(&self, group: &str, topic: &str) -> usize {
-        self.retained(topic).saturating_sub(self.committed(group, topic))
+        self.retained(topic)
+            .saturating_sub(self.committed(group, topic))
     }
 }
 

@@ -52,10 +52,13 @@ impl TransportProfile {
     }
 }
 
+/// Per-topic subscriber list: `(subscription id, delivery channel)` pairs.
+type Subscribers = Vec<(u64, Sender<Delivery>)>;
+
 /// Mofka-like broker: in-memory fan-out plus a transport cost accumulator.
 pub struct RdmaBroker {
     profile: TransportProfile,
-    topics: RwLock<HashMap<String, Vec<(u64, Sender<Delivery>)>>>,
+    topics: RwLock<HashMap<String, Subscribers>>,
     next_sub_id: AtomicU64,
     counters: Counters,
     /// Total simulated transport nanoseconds.
@@ -133,10 +136,8 @@ impl Broker for RdmaBroker {
         validate_topic(topic)?;
         let bytes = msg.to_value().approx_size();
         self.counters.record_publish(1, bytes as u64);
-        self.sim_ns.fetch_add(
-            self.profile.cost_ns(1, bytes) as u64,
-            Ordering::Relaxed,
-        );
+        self.sim_ns
+            .fetch_add(self.profile.cost_ns(1, bytes) as u64, Ordering::Relaxed);
         self.deliver_all(topic, &[Arc::new(msg)]);
         Ok(())
     }
@@ -155,10 +156,8 @@ impl Broker for RdmaBroker {
             .collect();
         self.counters.record_publish(n as u64, bytes as u64);
         // One setup cost for the whole batch — the RDMA advantage.
-        self.sim_ns.fetch_add(
-            self.profile.cost_ns(n, bytes) as u64,
-            Ordering::Relaxed,
-        );
+        self.sim_ns
+            .fetch_add(self.profile.cost_ns(n, bytes) as u64, Ordering::Relaxed);
         self.deliver_all(topic, &deliveries);
         Ok(n)
     }
@@ -206,7 +205,9 @@ mod tests {
         let _s1 = per_message.subscribe(topics::TASKS);
         let _s2 = batched.subscribe(topics::TASKS);
         for i in 0..100 {
-            per_message.publish(topics::TASKS, msg(&format!("m{i}"))).unwrap();
+            per_message
+                .publish(topics::TASKS, msg(&format!("m{i}")))
+                .unwrap();
         }
         let batch: Vec<TaskMessage> = (0..100).map(|i| msg(&format!("m{i}"))).collect();
         batched.publish_batch(topics::TASKS, batch).unwrap();

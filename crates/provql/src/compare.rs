@@ -61,7 +61,12 @@ pub fn compare(generated: &Query, gold: &Query, schema_columns: Option<&[String]
         "filter",
         &mut notes,
     );
-    let group = set_similarity(&gen_sum.group_keys, &gold_sum.group_keys, "group", &mut notes);
+    let group = set_similarity(
+        &gen_sum.group_keys,
+        &gold_sum.group_keys,
+        "group",
+        &mut notes,
+    );
     let agg = agg_similarity(&gen_sum.aggs, &gold_sum.aggs, &mut notes);
     let order = order_similarity(&gen_sum, &gold_sum, &mut notes);
 
@@ -115,7 +120,12 @@ impl ResultShape {
         use ResultShape::*;
         matches!(
             (self, other),
-            (Scalar, Row) | (Row, Scalar) | (Series, Table) | (Table, Series) | (Row, Table) | (Table, Row)
+            (Scalar, Row)
+                | (Row, Scalar)
+                | (Series, Table)
+                | (Table, Series)
+                | (Row, Table)
+                | (Table, Row)
         )
     }
 }
@@ -350,12 +360,7 @@ fn expr_text(e: &Expr) -> String {
     s
 }
 
-fn set_similarity(
-    gen: &[String],
-    gold: &[String],
-    facet: &str,
-    notes: &mut Vec<String>,
-) -> f64 {
+fn set_similarity(gen: &[String], gold: &[String], facet: &str, notes: &mut Vec<String>) -> f64 {
     if gen.is_empty() && gold.is_empty() {
         return 1.0;
     }
@@ -524,11 +529,7 @@ mod tests {
     fn hallucinated_column_halves_score() {
         let schema = ["cpu", "host", "dur"];
         let good = cmp_schema(r#"df[df["cpu"] > 1]"#, r#"df[df["cpu"] > 1]"#, &schema);
-        let bad = cmp_schema(
-            r#"df[df["node"] > 1]"#,
-            r#"df[df["cpu"] > 1]"#,
-            &schema,
-        );
+        let bad = cmp_schema(r#"df[df["node"] > 1]"#, r#"df[df["cpu"] > 1]"#, &schema);
         assert!(good > 0.99);
         assert!(bad < good * 0.55, "bad={bad} good={good}");
     }

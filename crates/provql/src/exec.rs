@@ -247,7 +247,14 @@ fn apply_stage(state: State, stage: &Stage) -> Result<State, ExecError> {
             })
         }
         (State::Series(c), Stage::Agg(f)) => Ok(State::Scalar(c.agg(*f))),
-        (State::GroupedSeries { frame, keys, column }, Stage::Agg(f)) => {
+        (
+            State::GroupedSeries {
+                frame,
+                keys,
+                column,
+            },
+            Stage::Agg(f),
+        ) => {
             let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
             let g = frame.groupby(&key_refs)?;
             Ok(State::Frame(g.agg(&[(column.as_str(), *f)])?))
@@ -336,7 +343,12 @@ fn apply_stage(state: State, stage: &Stage) -> Result<State, ExecError> {
 }
 
 fn series_sorted(c: &Column, ascending: bool, n: usize) -> Column {
-    let mut vals: Vec<Value> = c.values().iter().filter(|v| !v.is_null()).cloned().collect();
+    let mut vals: Vec<Value> = c
+        .values()
+        .iter()
+        .filter(|v| !v.is_null())
+        .cloned()
+        .collect();
     vals.sort_by(|a, b| {
         let o = a.compare(b);
         if ascending {

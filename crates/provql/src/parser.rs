@@ -27,7 +27,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at token {}: {}", self.token_index, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.token_index, self.message
+        )
     }
 }
 
@@ -48,10 +52,7 @@ pub fn parse(input: &str) -> Result<Query, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
     let q = p.parse_additive()?;
     if p.pos != p.tokens.len() {
-        return Err(p.err(format!(
-            "unexpected trailing token '{}'",
-            p.tokens[p.pos]
-        )));
+        return Err(p.err(format!("unexpected trailing token '{}'", p.tokens[p.pos])));
     }
     Ok(q)
 }
@@ -204,7 +205,9 @@ impl Parser {
                 continue;
             }
             if self.peek().is_some_and(|t| t.is_punct("."))
-                && self.peek_at(1).is_some_and(|t| matches!(t, Token::Ident(_)))
+                && self
+                    .peek_at(1)
+                    .is_some_and(|t| matches!(t, Token::Ident(_)))
             {
                 self.pos += 1; // '.'
                 let name = match self.bump() {
@@ -509,7 +512,9 @@ impl Parser {
         let lhs = self.parse_operand()?;
         // method-style predicates: .str.contains, .isin, .isna, .notna
         if self.peek().is_some_and(|t| t.is_punct("."))
-            && self.peek_at(1).is_some_and(|t| matches!(t, Token::Ident(_)))
+            && self
+                .peek_at(1)
+                .is_some_and(|t| matches!(t, Token::Ident(_)))
         {
             let save = self.pos;
             self.pos += 1;
@@ -650,7 +655,7 @@ impl Parser {
 
     fn parse_literal(&mut self) -> Result<Value, ParseError> {
         match self.bump() {
-            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Str(s)) => Ok(Value::from(s)),
             Some(Token::Int(i)) => Ok(Value::Int(i)),
             Some(Token::Float(f)) => Ok(Value::Float(f)),
             Some(Token::Punct("-")) => match self.bump() {
@@ -692,10 +697,7 @@ mod tests {
     #[test]
     fn filter_comparison() {
         let s = stages(r#"df[df["cpu_percent_end"] > 50]"#);
-        assert_eq!(
-            s,
-            vec![Stage::Filter(col("cpu_percent_end").gt(lit(50)))]
-        );
+        assert_eq!(s, vec![Stage::Filter(col("cpu_percent_end").gt(lit(50)))]);
     }
 
     #[test]
@@ -730,7 +732,10 @@ mod tests {
             stages(r#"df[["task_id", "duration"]]"#),
             vec![Stage::Select(vec!["task_id".into(), "duration".into()])]
         );
-        assert_eq!(stages(r#"df["duration"]"#), vec![Stage::Col("duration".into())]);
+        assert_eq!(
+            stages(r#"df["duration"]"#),
+            vec![Stage::Col("duration".into())]
+        );
     }
 
     #[test]
@@ -749,7 +754,10 @@ mod tests {
             s,
             vec![
                 Stage::GroupBy(vec!["a".into(), "b".into()]),
-                Stage::AggMap(vec![("x".into(), AggFunc::Mean), ("y".into(), AggFunc::Max)]),
+                Stage::AggMap(vec![
+                    ("x".into(), AggFunc::Mean),
+                    ("y".into(), AggFunc::Max)
+                ]),
             ]
         );
     }

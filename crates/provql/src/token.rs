@@ -130,10 +130,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 // Raw UTF-8 passthrough.
                 let ch_len = utf8_len(c);
-                let chunk = std::str::from_utf8(&bytes[pos..pos + ch_len]).map_err(|_| LexError {
-                    offset: pos,
-                    message: "invalid UTF-8 in string".into(),
-                })?;
+                let chunk =
+                    std::str::from_utf8(&bytes[pos..pos + ch_len]).map_err(|_| LexError {
+                        offset: pos,
+                        message: "invalid UTF-8 in string".into(),
+                    })?;
                 s.push_str(chunk);
                 pos += ch_len;
             }

@@ -249,8 +249,7 @@ mod tests {
             filter: None,
         };
         let mut g = c.benchmark_group("shim");
-        g.sample_size(5)
-            .measurement_time(Duration::from_millis(50));
+        g.sample_size(5).measurement_time(Duration::from_millis(50));
         let mut ran = 0u64;
         g.bench_function("spin", |b| {
             b.iter(|| {

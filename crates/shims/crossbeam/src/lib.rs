@@ -147,11 +147,7 @@ pub mod channel {
                 if self.0.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .0
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -325,7 +321,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_stack() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = super::thread::scope(|s| {
             let h = s.spawn(|_| data.iter().sum::<u64>());
             h.join().unwrap()

@@ -11,7 +11,11 @@ use crate::test_runner::TestRng;
 
 enum Piece {
     /// One char drawn uniformly from the class, repeated `min..=max` times.
-    Class { chars: Vec<char>, min: usize, max: usize },
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
     /// A literal char (repetition folded in for `x{3}`-style patterns).
     Literal { ch: char, min: usize, max: usize },
 }
@@ -132,8 +136,12 @@ fn parse_count(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize)
     let body: String = chars[i + 1..close].iter().collect();
     let (min, max) = match body.split_once(',') {
         Some((a, b)) => (
-            a.trim().parse().unwrap_or_else(|_| unsupported(pattern, "bad count")),
-            b.trim().parse().unwrap_or_else(|_| unsupported(pattern, "bad count")),
+            a.trim()
+                .parse()
+                .unwrap_or_else(|_| unsupported(pattern, "bad count")),
+            b.trim()
+                .parse()
+                .unwrap_or_else(|_| unsupported(pattern, "bad count")),
         ),
         None => {
             let n = body
@@ -175,7 +183,9 @@ mod tests {
         for _ in 0..200 {
             let s = generate_matching("[A-Za-z0-9_-]{1,8}", &mut rng);
             assert!((1..=8).contains(&s.len()));
-            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_-".contains(c)));
         }
     }
 }

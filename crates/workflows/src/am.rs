@@ -72,11 +72,11 @@ impl AmParams {
         p.n_layers = 10 + (i % 4) * 2;
         p.laser_power_w += (i % 3) as f64 * 5.0;
         p.scan_speed_mm_s += (i % 4) as f64 * 20.0;
-        if i > 0 && i % 5 == 0 {
+        if i > 0 && i.is_multiple_of(5) {
             // Starved: E drops well below the lack-of-fusion threshold.
             p.laser_power_w = 150.0;
             p.scan_speed_mm_s = 1250.0;
-        } else if i > 0 && i % 7 == 0 {
+        } else if i > 0 && i.is_multiple_of(7) {
             // Overdriven: E rises past the keyhole threshold.
             p.laser_power_w = 370.0;
             p.scan_speed_mm_s = 520.0;
@@ -136,15 +136,18 @@ impl ProcessModel {
 
     fn layer(&self, p: &AmParams, layer: usize) -> LayerPhysics {
         let e = p.energy_density();
-        let noise = |salt: u64| splitmix(self.seed ^ salt ^ (layer as u64).wrapping_mul(0xA5A5)) - 0.5;
+        let noise =
+            |salt: u64| splitmix(self.seed ^ salt ^ (layer as u64).wrapping_mul(0xA5A5)) - 0.5;
         // Peak melt-pool temperature: monotone in energy density, anchored
         // so the nominal window lands near 316L melt-pool observations
         // (~1900–2200 °C), with small per-layer thermal noise.
         let melt_pool_temp_c =
             p.preheat_c + 1950.0 * (e / 60.0).powf(0.65) * (1.0 + 0.02 * noise(0x11));
         // Melt-pool width grows with P/v (Rosenthal-style scaling).
-        let melt_pool_width_um =
-            1000.0 * 0.36 * (p.laser_power_w / p.scan_speed_mm_s).sqrt() * (1.0 + 0.03 * noise(0x22));
+        let melt_pool_width_um = 1000.0
+            * 0.36
+            * (p.laser_power_w / p.scan_speed_mm_s).sqrt()
+            * (1.0 + 0.03 * noise(0x22));
         // Spatter: rare in-window, frequent when keyholing.
         let keyhole_excess = (e - KEYHOLE_THRESHOLD).max(0.0);
         let spatter_events = (keyhole_excess * 0.4 + 1.5 * (noise(0x33) + 0.5)) as i64;
@@ -155,12 +158,12 @@ impl ProcessModel {
         // more slowly above it; in-window floor of ~0.03 %.
         let porosity_contribution_pct =
             0.03 + 0.09 * lof_deficit + 0.05 * keyhole_excess + 0.01 * (noise(0x44) + 0.5);
-        let thermal_deviation_c = (melt_pool_temp_c - (p.preheat_c + 1950.0)).abs() / 20.0
-            + 14.0 * (noise(0x55) + 0.5);
+        let thermal_deviation_c =
+            (melt_pool_temp_c - (p.preheat_c + 1950.0)).abs() / 20.0 + 14.0 * (noise(0x55) + 0.5);
         // In-situ anomaly score in [0, 1]: out-of-window layers stand out.
-        let anomaly_score = (0.05 + 0.04 * lof_deficit + 0.025 * keyhole_excess
-            + 0.05 * (noise(0x66) + 0.5))
-            .min(1.0);
+        let anomaly_score =
+            (0.05 + 0.04 * lof_deficit + 0.025 * keyhole_excess + 0.05 * (noise(0x66) + 0.5))
+                .min(1.0);
         LayerPhysics {
             energy_density: e,
             melt_pool_temp_c,
@@ -244,11 +247,10 @@ pub fn build_am_dag(params: &AmParams, model: &ProcessModel) -> WorkflowDag {
         );
 
     let mut monitor_names: Vec<String> = Vec::with_capacity(p.n_layers);
-    for layer in 0..p.n_layers {
+    for (layer, &ph) in physics.iter().enumerate().take(p.n_layers) {
         let hatch_name = format!("generate_hatch_{layer}");
         let scan_name = format!("laser_scan_{layer}");
         let monitor_name = format!("monitor_melt_pool_{layer}");
-        let ph = physics[layer];
         let rotation_deg = (layer as f64 * 67.0) % 180.0;
         let scan_length_mm = 1_400.0 / p.hatch_spacing_mm / 10.0;
         let n_vectors = (36.0 / p.hatch_spacing_mm) as i64;
@@ -397,7 +399,10 @@ pub fn run_am_workflow(
         n_layers: params.n_layers,
         energy_density: params.energy_density(),
         porosity_pct,
-        density_pct: qual.get("density_pct").and_then(Value::as_f64).unwrap_or(0.0),
+        density_pct: qual
+            .get("density_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0),
         qualified: qual
             .get("qualified")
             .and_then(Value::as_bool)
@@ -470,8 +475,7 @@ mod tests {
     #[test]
     fn nominal_part_qualifies() {
         let hub = StreamingHub::in_memory();
-        let run =
-            run_am_workflow(&hub, sim_clock(), 42, &AmParams::nominal("good")).unwrap();
+        let run = run_am_workflow(&hub, sim_clock(), 42, &AmParams::nominal("good")).unwrap();
         assert!(run.qualified, "porosity {}", run.porosity_pct);
         assert_eq!(run.lof_layers, 0);
         assert_eq!(run.keyhole_layers, 0);

@@ -279,11 +279,7 @@ pub fn run_bde_workflow(
                 "run_individual_bde",
                 used,
                 0.3,
-                &[
-                    "postprocess_parent",
-                    f1_post.as_str(),
-                    f2_post.as_str(),
-                ],
+                &["postprocess_parent", f1_post.as_str(), f2_post.as_str()],
                 task_fn(move |_, _| {
                     Ok(obj! {
                         "bond_id" => l.as_str(),
@@ -314,7 +310,10 @@ pub fn run_bde_workflow(
             BdeRecord {
                 bond_id: label.clone(),
                 bd_energy: out.get("bd_energy").and_then(Value::as_f64).unwrap_or(0.0),
-                bd_enthalpy: out.get("bd_enthalpy").and_then(Value::as_f64).unwrap_or(0.0),
+                bd_enthalpy: out
+                    .get("bd_enthalpy")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
                 bd_free_energy: out
                     .get("bd_free_energy")
                     .and_then(Value::as_f64)
@@ -362,7 +361,9 @@ fn add_dft_chain(
             },
             0.1,
             &[structure_node],
-            task_fn(move |u, _| Ok(obj! {"input_file" => format!("bde_calc/{label}.inp"), "config" => u.clone()})),
+            task_fn(move |u, _| {
+                Ok(obj! {"input_file" => format!("bde_calc/{label}.inp"), "config" => u.clone()})
+            }),
         )
         .add(
             dft_name.clone(),
@@ -410,14 +411,22 @@ mod tests {
         let (run, msgs) = run_ethanol();
         assert_eq!(run.records.len(), 8);
         assert_eq!(msgs.len(), run.tasks);
-        assert!(run.tasks > 60, "expected a realistic task count, got {}", run.tasks);
+        assert!(
+            run.tasks > 60,
+            "expected a realistic task count, got {}",
+            run.tasks
+        );
     }
 
     #[test]
     fn q1_q3_ground_truths() {
         let (run, _) = run_ethanol();
         // Q1: highest dissociation free energy is the O-H bond.
-        assert!(run.highest_free_energy().unwrap().bond_id.starts_with("O-H"));
+        assert!(run
+            .highest_free_energy()
+            .unwrap()
+            .bond_id
+            .starts_with("O-H"));
         // Q3: lowest bond enthalpy is the C-C bond.
         assert!(run.lowest_enthalpy().unwrap().bond_id.starts_with("C-C"));
         // Q9: mean C-H enthalpy over the five C-H bonds.
@@ -460,9 +469,7 @@ mod tests {
         assert_eq!(total, 81);
         let parent_atoms: Vec<i64> = msgs
             .iter()
-            .filter(|m| {
-                m.generated.get("molecule_label").and_then(Value::as_str) == Some("parent")
-            })
+            .filter(|m| m.generated.get("molecule_label").and_then(Value::as_str) == Some("parent"))
             .filter_map(|m| m.generated.get("n_atoms").and_then(Value::as_i64))
             .collect();
         assert_eq!(parent_atoms, vec![9]);
@@ -476,9 +483,9 @@ mod tests {
             .filter(|m| m.activity_id.as_str() == "run_dft")
             .collect();
         assert_eq!(dft_msgs.len(), 17); // parent + 16 fragments
-        assert!(dft_msgs.iter().all(|m| {
-            m.used.get("functional").and_then(Value::as_str) == Some("B3LYP")
-        }));
+        assert!(dft_msgs
+            .iter()
+            .all(|m| { m.used.get("functional").and_then(Value::as_str) == Some("B3LYP") }));
     }
 
     #[test]
@@ -495,7 +502,10 @@ mod tests {
             parent.generated.get("multiplicity").and_then(Value::as_i64),
             Some(1)
         );
-        assert_eq!(parent.generated.get("charge").and_then(Value::as_i64), Some(0));
+        assert_eq!(
+            parent.generated.get("charge").and_then(Value::as_i64),
+            Some(0)
+        );
         // All fragments are neutral doublets.
         let frag = msgs
             .iter()

@@ -150,9 +150,9 @@ impl Molecule {
                     let inner = &smiles[i + 1..close];
                     let element = parse_element(inner.trim_matches(|c: char| !c.is_alphabetic()))
                         .ok_or(SmilesError {
-                            offset: i,
-                            message: format!("unknown bracket atom '{inner}'"),
-                        })?;
+                        offset: i,
+                        message: format!("unknown bracket atom '{inner}'"),
+                    })?;
                     let idx = atoms.len();
                     atoms.push(Atom { element });
                     if let Some(p) = prev {
@@ -283,7 +283,7 @@ impl Molecule {
             .map(|a| a.element.valence_electrons())
             .sum::<u32>()
             .wrapping_add_signed(-self.charge);
-        if electrons % 2 == 0 {
+        if electrons.is_multiple_of(2) {
             1
         } else {
             2
@@ -299,10 +299,7 @@ impl Molecule {
             if bond.order != 1 {
                 continue;
             }
-            let (x, y) = (
-                self.atoms[bond.a].element,
-                self.atoms[bond.b].element,
-            );
+            let (x, y) = (self.atoms[bond.a].element, self.atoms[bond.b].element);
             let (first, second) = if x <= y { (x, y) } else { (y, x) };
             let ty = format!("{}-{}", first.symbol(), second.symbol());
             let n = counts.entry(ty.clone()).or_insert(0);

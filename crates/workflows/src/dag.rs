@@ -142,15 +142,19 @@ impl WorkflowDag {
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
         for (i, n) in self.nodes.iter().enumerate() {
             for d in &n.deps {
-                let &j = index.get(d.as_str()).ok_or_else(|| DagError::UnknownDependency {
-                    node: n.name.clone(),
-                    dep: d.clone(),
-                })?;
+                let &j = index
+                    .get(d.as_str())
+                    .ok_or_else(|| DagError::UnknownDependency {
+                        node: n.name.clone(),
+                        dep: d.clone(),
+                    })?;
                 indegree[i] += 1;
                 dependents[j].push(i);
             }
         }
-        let mut ready: Vec<usize> = (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         // Stable order: process ready nodes in insertion order.
         ready.sort_unstable();
         let mut order = Vec::with_capacity(self.nodes.len());
@@ -179,7 +183,12 @@ impl WorkflowDag {
             let dep_outputs: HashMap<String, Value> = node
                 .deps
                 .iter()
-                .map(|d| (d.clone(), run.outputs.get(d).cloned().unwrap_or(Value::Null)))
+                .map(|d| {
+                    (
+                        d.clone(),
+                        run.outputs.get(d).cloned().unwrap_or(Value::Null),
+                    )
+                })
                 .collect();
             let dep_ids: Vec<TaskId> = node
                 .deps
@@ -226,8 +235,12 @@ impl WorkflowDag {
         let order = self.topo_order()?; // validation only
         let _ = order;
         let n = self.nodes.len();
-        let index: HashMap<&str, usize> =
-            self.nodes.iter().enumerate().map(|(i, nd)| (nd.name.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| (nd.name.as_str(), i))
+            .collect();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indegree: Vec<usize> = vec![0; n];
         for (i, nd) in self.nodes.iter().enumerate() {
@@ -287,7 +300,10 @@ impl WorkflowDag {
                         };
                         let dep_ids: Vec<TaskId> = {
                             let ids = shared.task_ids.lock();
-                            node.deps.iter().filter_map(|d| ids.get(d).cloned()).collect()
+                            node.deps
+                                .iter()
+                                .filter_map(|d| ids.get(d).cloned())
+                                .collect()
                         };
                         let body = node.run.clone();
                         let deps = dep_outputs.clone();
@@ -320,7 +336,10 @@ impl WorkflowDag {
                             .outputs
                             .lock()
                             .insert(node.name.clone(), captured.message.generated.clone());
-                        shared.task_ids.lock().insert(node.name.clone(), captured.task_id);
+                        shared
+                            .task_ids
+                            .lock()
+                            .insert(node.name.clone(), captured.task_id);
                         for &k in &dependents[i] {
                             let mut indeg = shared.indegree.lock();
                             indeg[k] -= 1;
@@ -370,22 +389,48 @@ mod tests {
 
     fn diamond() -> WorkflowDag {
         WorkflowDag::new()
-            .add("a", "start", obj! {"x" => 2.0}, 0.1, &[], task_fn(|used, _| {
-                Ok(obj! {"v" => used.get("x").unwrap().as_f64().unwrap()})
-            }))
-            .add("b", "double", obj! {}, 0.1, &["a"], task_fn(|_, deps| {
-                let v = deps["a"].get("v").unwrap().as_f64().unwrap();
-                Ok(obj! {"v" => v * 2.0})
-            }))
-            .add("c", "triple", obj! {}, 0.1, &["a"], task_fn(|_, deps| {
-                let v = deps["a"].get("v").unwrap().as_f64().unwrap();
-                Ok(obj! {"v" => v * 3.0})
-            }))
-            .add("d", "sum", obj! {}, 0.1, &["b", "c"], task_fn(|_, deps| {
-                let b = deps["b"].get("v").unwrap().as_f64().unwrap();
-                let c = deps["c"].get("v").unwrap().as_f64().unwrap();
-                Ok(obj! {"v" => b + c})
-            }))
+            .add(
+                "a",
+                "start",
+                obj! {"x" => 2.0},
+                0.1,
+                &[],
+                task_fn(|used, _| Ok(obj! {"v" => used.get("x").unwrap().as_f64().unwrap()})),
+            )
+            .add(
+                "b",
+                "double",
+                obj! {},
+                0.1,
+                &["a"],
+                task_fn(|_, deps| {
+                    let v = deps["a"].get("v").unwrap().as_f64().unwrap();
+                    Ok(obj! {"v" => v * 2.0})
+                }),
+            )
+            .add(
+                "c",
+                "triple",
+                obj! {},
+                0.1,
+                &["a"],
+                task_fn(|_, deps| {
+                    let v = deps["a"].get("v").unwrap().as_f64().unwrap();
+                    Ok(obj! {"v" => v * 3.0})
+                }),
+            )
+            .add(
+                "d",
+                "sum",
+                obj! {},
+                0.1,
+                &["b", "c"],
+                task_fn(|_, deps| {
+                    let b = deps["b"].get("v").unwrap().as_f64().unwrap();
+                    let c = deps["c"].get("v").unwrap().as_f64().unwrap();
+                    Ok(obj! {"v" => b + c})
+                }),
+            )
     }
 
     #[test]
@@ -432,8 +477,14 @@ mod tests {
 
     #[test]
     fn unknown_dep_detected() {
-        let dag =
-            WorkflowDag::new().add("a", "a", obj! {}, 0.0, &["ghost"], task_fn(|_, _| Ok(obj! {})));
+        let dag = WorkflowDag::new().add(
+            "a",
+            "a",
+            obj! {},
+            0.0,
+            &["ghost"],
+            task_fn(|_, _| Ok(obj! {})),
+        );
         assert!(matches!(
             dag.topo_order(),
             Err(DagError::UnknownDependency { .. })

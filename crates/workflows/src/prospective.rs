@@ -86,10 +86,16 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::MissingActivity { workflow_id, activity } => {
+            Violation::MissingActivity {
+                workflow_id,
+                activity,
+            } => {
                 write!(f, "[{workflow_id}] planned activity '{activity}' never ran")
             }
-            Violation::UnexpectedActivity { workflow_id, activity } => {
+            Violation::UnexpectedActivity {
+                workflow_id,
+                activity,
+            } => {
                 write!(f, "[{workflow_id}] unplanned activity '{activity}' ran")
             }
             Violation::WrongMultiplicity {
@@ -110,10 +116,16 @@ impl std::fmt::Display for Violation {
                 "[{workflow_id}] no '{downstream}' task records a dependency on '{upstream}'"
             ),
             Violation::TemporalOrder { task_id, dep_id } => {
-                write!(f, "task '{task_id}' started before its dependency '{dep_id}' ended")
+                write!(
+                    f,
+                    "task '{task_id}' started before its dependency '{dep_id}' ended"
+                )
             }
             Violation::FailedTask { task_id, activity } => {
-                write!(f, "task '{task_id}' ({activity}) finished with error status")
+                write!(
+                    f,
+                    "task '{task_id}' ({activity}) finished with error status"
+                )
             }
         }
     }
@@ -197,7 +209,7 @@ impl ProspectivePlan {
     pub fn to_value(&self) -> Value {
         let mut acts = Map::new();
         for (a, n) in &self.multiplicity {
-            acts.insert(a.clone(), Value::Int(*n as i64));
+            acts.insert(prov_model::Sym::from(a.as_str()), Value::Int(*n as i64));
         }
         let edges: Vec<Value> = self
             .edges
@@ -207,8 +219,8 @@ impl ProspectivePlan {
         obj! {
             "plan" => self.name.as_str(),
             "prov_type" => "prospective",
-            "activities" => Value::Object(acts),
-            "edges" => Value::Array(edges),
+            "activities" => Value::object(acts),
+            "edges" => Value::array(edges),
         }
     }
 
@@ -221,7 +233,10 @@ impl ProspectivePlan {
     /// temporal order (`start ≥ dependency start`) and failure statuses are
     /// checked globally. Non-`Task` messages (agent/tool records) are
     /// ignored.
-    pub fn check<'a>(&self, messages: impl IntoIterator<Item = &'a TaskMessage>) -> ConformanceReport {
+    pub fn check<'a>(
+        &self,
+        messages: impl IntoIterator<Item = &'a TaskMessage>,
+    ) -> ConformanceReport {
         let mut by_wf: BTreeMap<&str, Vec<&TaskMessage>> = BTreeMap::new();
         let mut tasks_checked = 0usize;
         let mut all: Vec<&TaskMessage> = Vec::new();
@@ -257,7 +272,7 @@ impl ProspectivePlan {
                     _ => {}
                 }
             }
-            for (&activity, _) in &observed {
+            for &activity in observed.keys() {
                 if !self.multiplicity.contains_key(activity) {
                     violations.push(Violation::UnexpectedActivity {
                         workflow_id: wf.to_string(),
@@ -341,7 +356,10 @@ mod tests {
             .contains(&("square_and_divide".to_string(), "power".to_string())));
         // Fan-in: average_results has four upstream activities.
         assert_eq!(
-            plan.edges.iter().filter(|(_, d)| d == "average_results").count(),
+            plan.edges
+                .iter()
+                .filter(|(_, d)| d == "average_results")
+                .count(),
             4
         );
     }
@@ -446,10 +464,10 @@ mod tests {
         let (plan, mut msgs) = plan_and_messages();
         msgs[3].status = TaskStatus::Error;
         let report = plan.check(&msgs);
-        assert!(report.violations.iter().any(|v| matches!(
-            v,
-            Violation::FailedTask { .. }
-        )));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::FailedTask { .. })));
         assert!(report.render().contains("error status"));
     }
 

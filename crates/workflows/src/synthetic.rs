@@ -240,7 +240,11 @@ mod tests {
         let ctx = CaptureContext::new(&hub, "c", "w", clock, 1);
         let run = build_dag(p).execute(&ctx).unwrap();
         // scale_and_shift: 2*3+1 = 7 → log_and_shift: ln(8)+1
-        let lns = run.outputs["log_and_shift"].get("y").unwrap().as_f64().unwrap();
+        let lns = run.outputs["log_and_shift"]
+            .get("y")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!((lns - (8.0f64.ln() + 1.0)).abs() < 1e-12);
         // square_and_divide: 4/3 → power: (4/3)^2
         let pw = run.outputs["power"].get("y").unwrap().as_f64().unwrap();

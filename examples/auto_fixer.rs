@@ -21,7 +21,11 @@ fn build_context() -> (StreamingHub, std::sync::Arc<ContextManager>) {
             TaskMessageBuilder::new(
                 format!("t{i}"),
                 "wf",
-                if i % 2 == 0 { "power" } else { "average_results" },
+                if i % 2 == 0 {
+                    "power"
+                } else {
+                    "average_results"
+                },
             )
             .generates("y", i as f64)
             .span(100.0 + i as f64, 101.5 + i as f64)

@@ -39,7 +39,10 @@ fn main() {
         println!("  [{w} / {}] {q}", types.join("+"));
     }
 
-    println!("\ntraining on seed {} / evaluating on seed {} …\n", train.seed, test.seed);
+    println!(
+        "\ntraining on seed {} / evaluating on seed {} …\n",
+        train.seed, test.seed
+    );
     let outcome = evaluate_routing(&train, &test, JudgeId::Gpt);
 
     println!("{}", outcome.policy.render());

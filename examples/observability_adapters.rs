@@ -64,7 +64,12 @@ fn main() {
     // --- adapter 4: TensorBoard-like scalar events --------------------
     let mut tb = TensorboardLikeAdapter::new("train-run");
     for step in 0..4i64 {
-        tb.add_scalar(step, "loss/train", 1.0 / (step + 1) as f64, 300.0 + step as f64);
+        tb.add_scalar(
+            step,
+            "loss/train",
+            1.0 / (step + 1) as f64,
+            300.0 + step as f64,
+        );
         tb.add_scalar(step, "lr", 0.001, 300.0 + step as f64);
     }
 
@@ -74,8 +79,13 @@ fn main() {
     dask.transition("aggregate_chunks-9f3e", "memory", 404.5);
 
     // Pump all five into the provenance hub.
-    let adapters: Vec<&mut dyn ObservabilityAdapter> =
-        vec![&mut fs_adapter, &mut mlflow, &mut bridge, &mut tb, &mut dask];
+    let adapters: Vec<&mut dyn ObservabilityAdapter> = vec![
+        &mut fs_adapter,
+        &mut mlflow,
+        &mut bridge,
+        &mut tb,
+        &mut dask,
+    ];
     for adapter in adapters {
         let n = pump(adapter, &hub);
         println!("adapter {:<12} observed {n} task(s)", adapter.name());

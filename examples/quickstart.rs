@@ -23,16 +23,10 @@ fn main() {
     let mut prev = None;
     for i in 1..=3i64 {
         let deps: Vec<_> = prev.take().into_iter().collect();
-        let task = capture.instrument(
-            "square",
-            obj! {"x" => i},
-            0.2,
-            &deps,
-            |used| {
-                let x = used.get("x").unwrap().as_i64().unwrap();
-                Ok(obj! {"y" => x * x})
-            },
-        );
+        let task = capture.instrument("square", obj! {"x" => i}, 0.2, &deps, |used| {
+            let x = used.get("x").unwrap().as_i64().unwrap();
+            Ok(obj! {"y" => x * x})
+        });
         prev = Some(task.task_id);
     }
     capture.flush();
@@ -66,7 +60,10 @@ fn main() {
         }
         println!("agent> {}", reply.text);
         if let Some(table) = &reply.table {
-            println!("{}", dataframe::render(table, dataframe::DisplayOptions::default()));
+            println!(
+                "{}",
+                dataframe::render(table, dataframe::DisplayOptions::default())
+            );
         }
         println!();
     }

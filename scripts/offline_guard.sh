@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Offline-build guard: the container and CI have no crates.io access, so
+# every dependency of every workspace crate must resolve to a local path.
+#
+# Enforced rules:
+#   1. [workspace.dependencies] in the root Cargo.toml are all `path = …`
+#      entries (the shims under crates/shims/ stand in for registry names).
+#   2. Every dependency of every crate manifest — inline entry or
+#      `[dependencies.<name>]` table — uses `workspace = true` or a
+#      `path = …` spec, never a bare registry version requirement.
+#   3. Cargo.lock registers no registry or git source.
+#
+# Pure bash/awk so it runs in the offline build container and in CI without
+# compiling anything. Exit 0 = clean, 1 = violation.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_manifest() {
+    local manifest="$1"
+    local bad
+    bad=$(awk '
+        function flush_table() {
+            if (table != "" && !table_local) {
+                print FILENAME ": [" table "] has no path/workspace source"
+            }
+            table = ""
+            table_local = 0
+        }
+        /^\[/ {
+            flush_table()
+            in_deps = ($0 ~ /^\[(target\.[^]]*\.)?(workspace\.)?(dev-|build-)?dependencies\]/)
+            if ($0 ~ /^\[(target\.[^]]*\.)?(workspace\.)?(dev-|build-)?dependencies\./) {
+                table = $0
+                gsub(/[\[\]]/, "", table)
+            }
+            next
+        }
+        table != "" {
+            line = $0
+            sub(/#.*/, "", line)
+            if (line ~ /workspace[[:space:]]*=[[:space:]]*true/) table_local = 1
+            if (line ~ /^[[:space:]]*path[[:space:]]*=/) table_local = 1
+            next
+        }
+        in_deps && /^[[:space:]]*["A-Za-z0-9_-]+["]?[[:space:]]*=/ {
+            line = $0
+            sub(/#.*/, "", line)                  # strip comments
+            if (line ~ /workspace[[:space:]]*=[[:space:]]*true/) next
+            if (line ~ /path[[:space:]]*=/) next
+            print FILENAME ": " line
+        }
+        END { flush_table() }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "offline-guard: registry-style dependency in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+}
+
+for manifest in Cargo.toml crates/*/Cargo.toml crates/shims/*/Cargo.toml; do
+    [ -f "$manifest" ] || continue
+    check_manifest "$manifest"
+done
+
+# The lockfile is ground truth for resolved sources: any registry/git
+# source means the build would touch the network.
+if grep -E '^source = "(registry|git)' Cargo.lock >/dev/null 2>&1; then
+    echo "offline-guard: Cargo.lock references a registry/git source:" >&2
+    grep -nE '^source = "(registry|git)' Cargo.lock >&2
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    n=$(ls Cargo.toml crates/*/Cargo.toml crates/shims/*/Cargo.toml 2>/dev/null | wc -l)
+    echo "offline-guard: $n manifests clean — all dependencies are local paths"
+fi
+exit "$fail"

@@ -40,7 +40,10 @@ fn synthetic_pipeline_end_to_end() {
     );
     let avg_id = avg_docs[0].get("task_id").unwrap().display_plain();
     let lineage = db.lineage(&avg_id, 10);
-    assert!(lineage.len() >= 7, "fan-in lineage spans the whole instance");
+    assert!(
+        lineage.len() >= 7,
+        "fan-in lineage spans the whole instance"
+    );
 
     // Live agent over the same context.
     let agent = ProvenanceAgent::new(
@@ -151,8 +154,11 @@ fn federated_hub_separates_agent_traffic() {
         TaskMessageBuilder::new("tool-0", "agent-session", "in_memory_query").build(),
     )
     .unwrap();
-    fed.publish(topics::TASKS, TaskMessageBuilder::new("t0", "wf", "a").build())
-        .unwrap();
+    fed.publish(
+        topics::TASKS,
+        TaskMessageBuilder::new("t0", "wf", "a").build(),
+    )
+    .unwrap();
     assert_eq!(agent_hub.stats().published, 1);
     assert_eq!(tasks_hub.stats().published, 1);
 }
@@ -211,7 +217,11 @@ fn am_pipeline_generalizes_without_domain_tuning() {
     let reply = agent.chat("Which task produced the largest melt_pool_temp_c?");
     assert!(reply.error.is_none(), "{:?}", reply.error);
     assert!(
-        reply.code.as_deref().unwrap_or("").contains("melt_pool_temp_c"),
+        reply
+            .code
+            .as_deref()
+            .unwrap_or("")
+            .contains("melt_pool_temp_c"),
         "{:?}",
         reply.code
     );

@@ -38,7 +38,10 @@ fn paper_shapes_hold() {
     // GPT judge: GPT ≈ Claude (a tie within error margins, ~0.97).
     let gpt_gpt = score(JudgeId::Gpt, ModelId::Gpt);
     let gpt_claude = score(JudgeId::Gpt, ModelId::Claude);
-    assert!((gpt_gpt - gpt_claude).abs() < 0.02, "{gpt_gpt} vs {gpt_claude}");
+    assert!(
+        (gpt_gpt - gpt_claude).abs() < 0.02,
+        "{gpt_gpt} vs {gpt_claude}"
+    );
     assert!((0.93..=1.0).contains(&gpt_gpt), "GPT/GPT = {gpt_gpt}");
     // Claude judge: Claude noticeably above GPT (self-preference).
     let claude_claude = score(JudgeId::Claude, ModelId::Claude);
@@ -92,10 +95,19 @@ fn paper_shapes_hold() {
     assert!(values.score < full.score);
     // Guidelines beat schema+values with a fraction of the tokens
     // ("the greatest performance boost with lower token cost").
-    assert!(guidelines.score > values.score, "{} vs {}", guidelines.score, values.score);
+    assert!(
+        guidelines.score > values.score,
+        "{} vs {}",
+        guidelines.score,
+        values.score
+    );
     assert!(guidelines.tokens < values.tokens / 2.0);
     // Token growth: baseline a few hundred, full in the thousands.
-    assert!(baseline.tokens < 700.0, "baseline tokens {}", baseline.tokens);
+    assert!(
+        baseline.tokens < 700.0,
+        "baseline tokens {}",
+        baseline.tokens
+    );
     assert!(full.tokens > 3_000.0, "full tokens {}", full.tokens);
 
     // ---- Figure 9 ------------------------------------------------------
@@ -185,7 +197,10 @@ fn latency_follows_prompt_tokens_across_configs() {
         RagStrategy::Full,
     ];
     // Tokens rise strictly with richer context…
-    let tokens: Vec<f64> = configs.iter().map(|&s| avg(s, |r| r.median_tokens)).collect();
+    let tokens: Vec<f64> = configs
+        .iter()
+        .map(|&s| avg(s, |r| r.median_tokens))
+        .collect();
     assert!(tokens[0] < tokens[1] && tokens[1] < tokens[2], "{tokens:?}");
     // …and latency rises with tokens between the schema-bearing configs
     // (the decode term dominates the baseline, so only the prefill-driven

@@ -20,16 +20,21 @@ fn arb_scalar() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         // Finite floats only; JSON has no NaN/Inf.
         prop::num::f64::NORMAL.prop_map(Value::Float),
-        "[a-zA-Z0-9 _.:/-]{0,24}".prop_map(Value::Str),
+        "[a-zA-Z0-9 _.:/-]{0,24}".prop_map(Value::from),
     ]
 }
 
 fn arb_value() -> impl Strategy<Value = Value> {
     arb_scalar().prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
-            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
-            prop::collection::btree_map("[a-z_][a-z0-9_]{0,8}", inner, 0..5)
-                .prop_map(Value::Object),
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::array),
+            prop::collection::btree_map("[a-z_][a-z0-9_]{0,8}", inner, 0..5).prop_map(|m| {
+                Value::object(
+                    m.into_iter()
+                        .map(|(k, v)| (provagent::prov_model::Sym::new(k), v))
+                        .collect(),
+                )
+            }),
         ]
     })
 }
@@ -53,8 +58,7 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
             Just(AggFunc::Count)
         ]
         .prop_map(Stage::Agg),
-        (arb_column_name(), any::<bool>())
-            .prop_map(|(c, asc)| Stage::SortValues(vec![(c, asc)])),
+        (arb_column_name(), any::<bool>()).prop_map(|(c, asc)| Stage::SortValues(vec![(c, asc)])),
         (1usize..20).prop_map(Stage::Head),
         (1usize..5, arb_column_name()).prop_map(|(n, c)| Stage::NLargest(n, c)),
         (arb_column_name(), any::<bool>()).prop_map(|(column, max)| Stage::LocIdx {
@@ -90,6 +94,38 @@ proptest! {
         let compact = json::from_str(&json::to_string(&v)).unwrap();
         let pretty = json::from_str(&json::to_string_pretty(&v)).unwrap();
         prop_assert_eq!(compact, pretty);
+    }
+
+    /// Interning is transparent: a tree whose strings/keys all go through
+    /// the global interner and a tree built from fresh uninterned symbols
+    /// serialize to byte-identical JSON, compare equal, and share a
+    /// `stable_hash` — i.e. interning is purely an allocation optimization.
+    #[test]
+    fn interned_and_uninterned_serialize_identically(v in arb_value()) {
+        use provagent::prov_model::Sym;
+
+        fn rebuild(v: &Value, mk: &dyn Fn(&str) -> Sym) -> Value {
+            match v {
+                Value::Str(s) => Value::Str(mk(s.as_str())),
+                Value::Array(a) => Value::array(a.iter().map(|x| rebuild(x, mk)).collect()),
+                Value::Object(m) => Value::object(
+                    m.iter().map(|(k, x)| (mk(k.as_str()), rebuild(x, mk))).collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+
+        let interned = rebuild(&v, &|s: &str| Sym::intern(s));
+        let uninterned = rebuild(&v, &|s: &str| Sym::new(s));
+        prop_assert_eq!(json::to_string(&interned), json::to_string(&uninterned));
+        prop_assert_eq!(
+            json::to_string_pretty(&interned),
+            json::to_string_pretty(&uninterned)
+        );
+        prop_assert_eq!(&interned, &uninterned);
+        prop_assert_eq!(&interned, &v);
+        prop_assert_eq!(interned.stable_hash(), uninterned.stable_hash());
+        prop_assert_eq!(interned.stable_hash(), v.stable_hash());
     }
 
     /// Query rendering round-trips through the parser.
