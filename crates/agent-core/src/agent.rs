@@ -233,6 +233,10 @@ impl ProvenanceAgent {
 
         let tool = match route {
             Route::Plot => "plot",
+            // Historical questions go to the persistent database, where
+            // the query is planned and pushed into the store's indexes
+            // (`provql::plan` + `prov_db::try_execute`) instead of
+            // re-materializing the whole corpus per question.
             Route::HistoricalQuery => "provdb_query",
             _ => "in_memory_query",
         };

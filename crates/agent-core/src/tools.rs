@@ -10,10 +10,11 @@ use crate::anomaly::{AnomalyConfig, AnomalyDetector};
 use crate::context::ContextManager;
 use crate::plot::BarChart;
 use dataframe::DataFrame;
+use parking_lot::Mutex;
 use prov_db::ProvenanceDatabase;
-use prov_model::{obj, Map, TaskMessage, Value};
+use prov_model::{obj, Map, Value};
 use prov_stream::StreamingHub;
-use provql::{execute, parse, QueryOutput};
+use provql::{execute, parse, Query, QueryOutput};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -149,9 +150,95 @@ impl Tool for InMemoryQueryTool {
 }
 
 /// Executes generated queries against the persistent provenance database
-/// (the offline/post-hoc path): documents are materialized into a frame
-/// first.
-pub struct ProvDbQueryTool;
+/// (the offline/post-hoc path).
+///
+/// Plan-then-push: the query is lowered into a logical plan
+/// ([`provql::plan`]) and, when the plan is *selective* (every pipeline
+/// pushes an index-servable conjunct or a row limit), served by the
+/// store's pushdown executor ([`prov_db::execute_plan`]) — equality
+/// conjuncts probe the hash indexes, time ranges hit the sorted index,
+/// and only the surviving documents' referenced columns are materialized
+/// into a frame. Everything else — whole-width outputs, columns only the
+/// corpus-wide union can vouch for, and unselective scans that would
+/// decode the entire corpus anyway — runs against the full-materialize
+/// oracle, whose frame is cached per store
+/// [generation](ProvenanceDatabase::generation) so non-pushable queries
+/// stop rebuilding it on every call.
+#[derive(Default)]
+pub struct ProvDbQueryTool {
+    /// `(db identity, generation)` → fully materialized frame.
+    cache: Mutex<Option<FrameCache>>,
+}
+
+struct FrameCache {
+    /// Identity of the database the frame was built from. Holding a
+    /// `Weak` pins the allocation (the control block outlives the data),
+    /// so pointer equality cannot be spoofed by allocator address reuse
+    /// after the original database is dropped.
+    db: std::sync::Weak<ProvenanceDatabase>,
+    /// Store generation at build time.
+    generation: u64,
+    frame: Arc<DataFrame>,
+}
+
+impl ProvDbQueryTool {
+    /// Fresh tool with an empty frame cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full-materialize oracle frame, rebuilt only when the store
+    /// generation moved since the last build (or the tool is pointed at a
+    /// different database).
+    fn full_frame(&self, db: &Arc<ProvenanceDatabase>) -> Arc<DataFrame> {
+        let generation = db.generation();
+        let mut cache = self.cache.lock();
+        // A cached frame for a database that has since been dropped is
+        // dead weight (and pins the dead allocation via the Weak); free
+        // it at the first opportunity.
+        if cache.as_ref().is_some_and(|c| c.db.strong_count() == 0) {
+            *cache = None;
+        }
+        if let Some(c) = cache.as_ref() {
+            if std::ptr::eq(c.db.as_ptr(), Arc::as_ptr(db)) && c.generation == generation {
+                return c.frame.clone();
+            }
+        }
+        let frame = Arc::new(prov_db::full_frame(db));
+        *cache = Some(FrameCache {
+            db: Arc::downgrade(db),
+            generation,
+            frame: frame.clone(),
+        });
+        frame
+    }
+
+    /// Execute a parsed query: selective plans go through pushdown, the
+    /// rest (including pushdown fallbacks) run on the cached oracle frame.
+    fn run(
+        &self,
+        db: &Arc<ProvenanceDatabase>,
+        query: &Query,
+    ) -> Result<QueryOutput, provql::ExecError> {
+        let plan = provql::plan(query, db.as_ref());
+        // An unselective scan decodes the whole corpus per call; the
+        // cached frame amortizes that to one build per store generation,
+        // so pushdown must earn its keep with pushed conjuncts or limits
+        // on every pipeline. Vacuously true for pipeline-free scalar
+        // queries (bare arithmetic), which execute_plan answers without
+        // touching the store at all.
+        let selective = plan
+            .pipelines()
+            .iter()
+            .all(|p| p.has_pushdown() || p.scan.limit.is_some());
+        if selective {
+            if let prov_db::Pushdown::Executed(res) = prov_db::execute_plan(db, &plan) {
+                return res;
+            }
+        }
+        execute(query, &self.full_frame(db))
+    }
+}
 
 impl Tool for ProvDbQueryTool {
     fn name(&self) -> &'static str {
@@ -169,13 +256,11 @@ impl Tool for ProvDbQueryTool {
             .db
             .as_ref()
             .ok_or_else(|| ToolError::Exec("no provenance database attached".to_string()))?;
-        let docs = db.find(&prov_db::DocQuery::new());
-        let msgs: Vec<TaskMessage> = docs
-            .iter()
-            .filter_map(|d| TaskMessage::from_value(d))
-            .collect();
-        let frame = DataFrame::from_messages(&msgs);
-        let (out, content) = run_code_on(&frame, code)?;
+        let query = parse(code).map_err(|e| ToolError::Exec(format!("query parse error: {e}")))?;
+        let out = self
+            .run(db, &query)
+            .map_err(|e| ToolError::Exec(e.to_string()))?;
+        let content = output_to_value(&out);
         let table = match &out {
             QueryOutput::Frame(f) => Some(f.clone()),
             _ => None,
@@ -211,36 +296,9 @@ impl Tool for PlotTool {
             .to_string();
         let frame = ctx.context.frame();
         let (out, content) = run_code_on(&frame, code)?;
-        let chart_frame = match &out {
-            QueryOutput::Frame(f) => f.clone(),
-            QueryOutput::Scalar(v) => DataFrame::from_columns(vec![
-                ("label", vec![Value::from("value")]),
-                ("value", vec![v.clone()]),
-            ])
-            .map_err(|e| ToolError::Exec(e.to_string()))?,
-            QueryOutput::Series { name, values } => DataFrame::from_columns(vec![
-                (
-                    "label".to_string(),
-                    (0..values.len())
-                        .map(|i| Value::from(format!("{name}[{i}]")))
-                        .collect(),
-                ),
-                ("value".to_string(), values.clone()),
-            ])
-            .map_err(|e| ToolError::Exec(e.to_string()))?,
-            QueryOutput::Row(m) => {
-                let (labels, values): (Vec<Value>, Vec<Value>) = m
-                    .iter()
-                    .filter(|(_, v)| v.is_number())
-                    .map(|(k, v)| (Value::from(k.as_str()), v.clone()))
-                    .unzip();
-                DataFrame::from_columns(vec![
-                    ("label".to_string(), labels),
-                    ("value".to_string(), values),
-                ])
-                .map_err(|e| ToolError::Exec(e.to_string()))?
-            }
-        };
+        let chart_frame = out
+            .into_frame()
+            .map_err(|e| ToolError::Exec(e.to_string()))?;
         let chart = BarChart::from_frame(title, &chart_frame)
             .ok_or_else(|| ToolError::Exec("result is not plottable".to_string()))?;
         Ok(ToolOutput {
@@ -518,7 +576,7 @@ impl ToolRegistry {
     pub fn with_builtins() -> Self {
         let mut r = Self::new();
         r.register(Box::new(InMemoryQueryTool));
-        r.register(Box::new(ProvDbQueryTool));
+        r.register(Box::new(ProvDbQueryTool::new()));
         r.register(Box::new(PlotTool));
         r.register(Box::new(AnomalyScanTool));
         r.register(Box::new(GuidelineTool));
@@ -643,6 +701,50 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.content, Value::Int(5)); // db rows, not buffer rows
+    }
+
+    #[test]
+    fn provdb_tool_pushes_selective_queries() {
+        let ctx = tool_ctx();
+        let registry = ToolRegistry::with_builtins();
+        let code = r#"df[df["task_id"] == "h3"]["v"].sum()"#;
+        // The query must actually be servable by the pushdown executor —
+        // if planning regresses, this query would silently fall back to
+        // the oracle and the assertion below would stop meaning anything.
+        let db = ctx.db.as_ref().unwrap();
+        let query = parse(code).unwrap();
+        let plan = provql::plan(&query, db.as_ref());
+        assert!(plan.pipelines().iter().all(|p| p.has_pushdown()));
+        assert!(matches!(
+            prov_db::execute_plan(db, &plan),
+            prov_db::Pushdown::Executed(Ok(_))
+        ));
+        // Selective equality served straight from the store; the answer
+        // must match the oracle's.
+        let out = registry
+            .call("provdb_query", &args(&[("code", Value::from(code))]), &ctx)
+            .unwrap();
+        assert_eq!(out.content, Value::Float(3.0));
+    }
+
+    #[test]
+    fn provdb_frame_cache_tracks_generation() {
+        let ctx = tool_ctx();
+        let db = ctx.db.as_ref().unwrap();
+        let tool = ProvDbQueryTool::new();
+        let before = tool.full_frame(db);
+        // Same generation: the very same frame allocation comes back.
+        assert!(Arc::ptr_eq(&before, &tool.full_frame(db)));
+        // An insert bumps the generation and invalidates the cache.
+        db.insert(&TaskMessageBuilder::new("h9", "old-wf", "historical").build());
+        let after = tool.full_frame(db);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.len(), before.len() + 1);
+        // And the tool sees the new row through its query path.
+        let out = tool
+            .call(&args(&[("code", Value::from("len(df)"))]), &ctx)
+            .unwrap();
+        assert_eq!(out.content, Value::Int(6));
     }
 
     #[test]

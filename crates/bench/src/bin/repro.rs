@@ -281,7 +281,12 @@ impl ProvDbReport {
                  views materialize lazily, batched, at the next query). \
                  batch_ingest_100k_materialized_ms additionally includes flush_views(), \
                  i.e. the full deferred cost of building all three views. \
-                 indexed_find_p50_us probes a 100k-doc store after materialization.",
+                 indexed_find_p50_us probes a 100k-doc store after materialization. \
+                 query_pushdown_vs_scan compares the agent's provdb_query paths on the \
+                 current engine: full-materialize-then-row-scan (a selective find plus a \
+                 filtered group-by aggregate, whole corpus rebuilt into a DataFrame per \
+                 query) vs plan-then-push (hash-index probes, projected frame over the \
+                 surviving documents only).",
             ),
         );
         for m in &self.measurements {
@@ -322,6 +327,22 @@ fn provdb_corpus() -> Vec<prov_model::TaskMessage> {
 fn provdb_find_query() -> prov_db::DocQuery {
     use prov_db::Op;
     prov_db::DocQuery::new().filter("workflow_id", Op::Eq, "wf-7")
+}
+
+/// The selective agent queries behind `query_pushdown_vs_scan`: a
+/// filtered find with a projection, and a filtered group-by aggregate —
+/// the §5.2 interactive shapes. Both are plannable (equality conjunct on
+/// the indexed `workflow_id`, bounded output columns), so the pushdown
+/// path touches ~2k of the 100k documents where the scan path
+/// materializes every one into a frame per query.
+fn pushdown_queries() -> Vec<provql::Query> {
+    [
+        r#"df[df["workflow_id"] == "wf-7"][["task_id", "y"]]"#,
+        r#"df[df["workflow_id"] == "wf-7"].groupby("activity_id")["y"].mean()"#,
+    ]
+    .iter()
+    .map(|t| provql::parse(t).expect("bench query parses"))
+    .collect()
 }
 
 fn provdb_group() -> prov_db::GroupSpec {
@@ -410,6 +431,41 @@ fn provdb_measure(which: &str) -> f64 {
             let q = provdb_find_query();
             p50(|| db.find(&q).len())
         }
+        // The pre-pushdown agent path: every query materializes the whole
+        // corpus into a DataFrame (docs → TaskMessages → from_messages)
+        // and row-scans it. This is what `provdb_query` did before plans.
+        "query-scan" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let queries = pushdown_queries();
+            // Same rep count as query-pushdown: best-of-N favors the side
+            // with more samples, so an asymmetric N would bias the ratio.
+            best_of(5, || {
+                for q in &queries {
+                    let frame = prov_db::full_frame(&db);
+                    std::hint::black_box(provql::execute(q, &frame).expect("query runs"));
+                }
+            })
+        }
+        // Plan-then-push: equality conjuncts probe the hash indexes and
+        // only the surviving documents' referenced columns become a frame.
+        "query-pushdown" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let queries = pushdown_queries();
+            best_of(5, || {
+                for q in &queries {
+                    match prov_db::try_execute(&db, q) {
+                        prov_db::Pushdown::Executed(out) => {
+                            std::hint::black_box(out.expect("query runs"));
+                        }
+                        prov_db::Pushdown::NeedsFullFrame(reason) => {
+                            panic!("bench query was not pushed: {reason}")
+                        }
+                    }
+                }
+            })
+        }
         "aggregate-baseline" => {
             let db = BaselineDatabase::new();
             db.insert_batch(&msgs);
@@ -478,6 +534,15 @@ fn provdb_benchmark() -> ProvDbReport {
             unit: "ms",
             baseline: provdb_measure_isolated("aggregate-baseline") * 1e3,
             sharded: provdb_measure_isolated("aggregate-sharded") * 1e3,
+        },
+        // Unlike the rows above, both sides here run on the *current*
+        // engine: the contrast is the agent's query path (materialize the
+        // whole corpus per query vs plan-then-push into the indexes).
+        ProvDbMeasurement {
+            name: "query_pushdown_vs_scan",
+            unit: "ms",
+            baseline: provdb_measure_isolated("query-scan") * 1e3,
+            sharded: provdb_measure_isolated("query-pushdown") * 1e3,
         },
     ];
     ProvDbReport {

@@ -133,68 +133,33 @@ impl DataFrame {
     ///
     /// [`from_messages`]: DataFrame::from_messages
     pub fn push_message(&mut self, m: &TaskMessage) {
-        use prov_model::keys;
-        let mut row = Map::new();
-        row.insert(keys::task_id(), Value::from(m.task_id.as_str()));
-        row.insert(keys::campaign_id(), Value::from(m.campaign_id.as_str()));
-        row.insert(keys::workflow_id(), Value::from(m.workflow_id.as_str()));
-        row.insert(keys::activity_id(), Value::from(m.activity_id.as_str()));
-        row.insert(keys::started_at(), Value::Float(m.started_at));
-        row.insert(keys::ended_at(), Value::Float(m.ended_at));
-        row.insert(keys::duration(), Value::Float(m.duration()));
-        row.insert(keys::hostname(), Value::from(m.hostname.as_str()));
-        row.insert(keys::status(), Value::Str(m.status.sym()));
-        row.insert(keys::msg_type(), Value::Str(m.msg_type.sym()));
-        if !m.depends_on.is_empty() {
-            row.insert(
-                keys::depends_on(),
-                Value::array(
-                    m.depends_on
-                        .iter()
-                        .map(|t| Value::from(t.as_str()))
-                        .collect(),
-                ),
-            );
-        }
-        for (key, value) in m.used.flatten() {
-            let name = self.dataflow_column_name(&key, "used", &row);
-            row.insert(Sym::from(name), value);
-        }
-        for (key, value) in m.generated.flatten() {
-            let name = self.dataflow_column_name(&key, "generated", &row);
-            row.insert(Sym::from(name), value);
-        }
-        if let Some(t) = &m.telemetry_at_start {
-            for (key, value) in t.to_value().flatten() {
-                row.insert(Sym::from(format!("telemetry_at_start.{key}")), value);
-            }
-            row.insert("cpu_percent_start".into(), Value::Float(t.cpu_mean()));
-        }
-        if let Some(t) = &m.telemetry_at_end {
-            for (key, value) in t.to_value().flatten() {
-                row.insert(Sym::from(format!("telemetry_at_end.{key}")), value);
-            }
-            row.insert("cpu_percent_end".into(), Value::Float(t.cpu_mean()));
-            row.insert("gpu_percent_end".into(), Value::Float(t.gpu_mean()));
-            row.insert("mem_used_mb_end".into(), Value::Float(t.mem_used_mb));
-        }
-        for (k, v) in &m.tags {
-            row.insert(Sym::from(format!("tags.{k}")), v.clone());
-        }
-        self.push_row(&row);
+        self.push_row(&message_row(m));
     }
 
-    fn dataflow_column_name(&self, key: &str, section: &str, row: &Map) -> String {
-        // Bare name unless it clashes with a common field or a column this
-        // same row already set (e.g. `used.x` and `generated.x`).
-        let clashes = prov_model::schema::common_field(key).is_some()
-            || row.contains_key(key)
-            || matches!(key, "duration" | "cpu_percent_start" | "cpu_percent_end");
-        if clashes {
-            format!("{section}.{key}")
-        } else {
-            key.to_string()
+    /// Build a frame containing only the named columns of each message —
+    /// the projected-scan constructor behind index pushdown: the store
+    /// hands over the surviving documents and the referenced column
+    /// subset, and only that subset is materialized. Flattening and
+    /// naming policy are exactly [`from_messages`]' (the rows are built by
+    /// the same code and then pruned), so a projected frame agrees
+    /// value-for-value with the corresponding columns of a full frame.
+    ///
+    /// A requested column that no message provides is absent from the
+    /// result (as in [`from_messages`]); callers needing corpus-wide
+    /// column-existence semantics must check `has_column` and fall back.
+    ///
+    /// [`from_messages`]: DataFrame::from_messages
+    pub fn from_messages_projected<'a>(
+        messages: impl IntoIterator<Item = &'a TaskMessage>,
+        columns: &[String],
+    ) -> Self {
+        let mut df = DataFrame::new();
+        for m in messages {
+            let mut row = message_row(m);
+            row.retain(|k, _| columns.iter().any(|c| c == k.as_str()));
+            df.push_row(&row);
         }
+        df
     }
 
     /// Append one row map; unseen keys create new null-backfilled columns.
@@ -483,6 +448,74 @@ impl DataFrame {
     }
 }
 
+/// Flatten one task message into its row map — the single source of the
+/// column layout documented on [`DataFrame::from_messages`], shared by the
+/// full and projected constructors.
+fn message_row(m: &TaskMessage) -> Map {
+    use prov_model::keys;
+    let mut row = Map::new();
+    row.insert(keys::task_id(), Value::from(m.task_id.as_str()));
+    row.insert(keys::campaign_id(), Value::from(m.campaign_id.as_str()));
+    row.insert(keys::workflow_id(), Value::from(m.workflow_id.as_str()));
+    row.insert(keys::activity_id(), Value::from(m.activity_id.as_str()));
+    row.insert(keys::started_at(), Value::Float(m.started_at));
+    row.insert(keys::ended_at(), Value::Float(m.ended_at));
+    row.insert(keys::duration(), Value::Float(m.duration()));
+    row.insert(keys::hostname(), Value::from(m.hostname.as_str()));
+    row.insert(keys::status(), Value::Str(m.status.sym()));
+    row.insert(keys::msg_type(), Value::Str(m.msg_type.sym()));
+    if !m.depends_on.is_empty() {
+        row.insert(
+            keys::depends_on(),
+            Value::array(
+                m.depends_on
+                    .iter()
+                    .map(|t| Value::from(t.as_str()))
+                    .collect(),
+            ),
+        );
+    }
+    for (key, value) in m.used.flatten() {
+        let name = dataflow_column_name(&key, "used", &row);
+        row.insert(Sym::from(name), value);
+    }
+    for (key, value) in m.generated.flatten() {
+        let name = dataflow_column_name(&key, "generated", &row);
+        row.insert(Sym::from(name), value);
+    }
+    if let Some(t) = &m.telemetry_at_start {
+        for (key, value) in t.to_value().flatten() {
+            row.insert(Sym::from(format!("telemetry_at_start.{key}")), value);
+        }
+        row.insert("cpu_percent_start".into(), Value::Float(t.cpu_mean()));
+    }
+    if let Some(t) = &m.telemetry_at_end {
+        for (key, value) in t.to_value().flatten() {
+            row.insert(Sym::from(format!("telemetry_at_end.{key}")), value);
+        }
+        row.insert("cpu_percent_end".into(), Value::Float(t.cpu_mean()));
+        row.insert("gpu_percent_end".into(), Value::Float(t.gpu_mean()));
+        row.insert("mem_used_mb_end".into(), Value::Float(t.mem_used_mb));
+    }
+    for (k, v) in &m.tags {
+        row.insert(Sym::from(format!("tags.{k}")), v.clone());
+    }
+    row
+}
+
+/// Bare name unless it clashes with a common field or a column this same
+/// row already set (e.g. `used.x` and `generated.x`).
+fn dataflow_column_name(key: &str, section: &str, row: &Map) -> String {
+    let clashes = prov_model::schema::common_field(key).is_some()
+        || row.contains_key(key)
+        || matches!(key, "duration" | "cpu_percent_start" | "cpu_percent_end");
+    if clashes {
+        format!("{section}.{key}")
+    } else {
+        key.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -685,6 +718,36 @@ mod tests {
             df2.column("energy").unwrap().values(),
             df.column("energy").unwrap().values()
         );
+    }
+
+    #[test]
+    fn projected_construction_agrees_with_full() {
+        let msgs = messages();
+        let full = DataFrame::from_messages(&msgs);
+        let cols = vec![
+            "task_id".to_string(),
+            "duration".into(),
+            "energy".into(),
+            "cpu_percent_end".into(),
+        ];
+        let projected = DataFrame::from_messages_projected(&msgs, &cols);
+        assert_eq!(projected.len(), full.len());
+        assert_eq!(projected.width(), cols.len());
+        for c in &cols {
+            assert_eq!(
+                projected.column(c).unwrap().values(),
+                full.column(c).unwrap().values(),
+                "column {c}"
+            );
+        }
+        // A column nobody provides stays absent; rows are still counted.
+        let none = DataFrame::from_messages_projected(&msgs, &["nope".to_string()]);
+        assert_eq!(none.len(), msgs.len());
+        assert!(!none.has_column("nope"));
+        // Empty projection: right row count, zero width (len(df) pushdown).
+        let empty = DataFrame::from_messages_projected(&msgs, &[]);
+        assert_eq!(empty.len(), msgs.len());
+        assert_eq!(empty.width(), 0);
     }
 
     #[test]

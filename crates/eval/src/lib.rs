@@ -30,8 +30,8 @@ pub use report::{
 };
 pub use routing::{evaluate_routing, predict_class, RoutingOutcome, RoutingPolicy};
 pub use runner::{
-    build_synthetic_context, run_matrix, run_matrix_on, run_paper_evaluation, EvalResults,
-    Experiment, Record,
+    build_synthetic_context, build_synthetic_db, run_matrix, run_matrix_on, run_paper_evaluation,
+    synthetic_messages, EvalResults, Experiment, Record,
 };
 pub use scoring::{hybrid, result_based, rule_based, MethodScore};
 pub use stats::{mean, median, pearson, std_dev, BoxStats};

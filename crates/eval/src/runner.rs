@@ -83,17 +83,32 @@ impl EvalResults {
     }
 }
 
-/// Build the evaluation context: run the synthetic sweep and ingest its
-/// provenance into a fresh context manager.
-pub fn build_synthetic_context(experiment: &Experiment) -> Arc<ContextManager> {
+/// Provenance messages of one synthetic sweep (the corpus behind the
+/// evaluation context, the persistent database, and the pushdown
+/// differential tests).
+pub fn synthetic_messages(experiment: &Experiment) -> Vec<TaskMessage> {
     let hub = StreamingHub::in_memory();
     let sub = hub.subscribe_tasks();
     workflows::run_sweep(&hub, sim_clock(), experiment.seed, experiment.n_inputs)
         .expect("synthetic workflow executes");
-    let msgs: Vec<TaskMessage> = sub.drain().iter().map(|m| (**m).clone()).collect();
+    sub.drain().iter().map(|m| (**m).clone()).collect()
+}
+
+/// Build the evaluation context: run the synthetic sweep and ingest its
+/// provenance into a fresh context manager.
+pub fn build_synthetic_context(experiment: &Experiment) -> Arc<ContextManager> {
     let ctx = ContextManager::default_sized();
-    ctx.ingest_all(&msgs);
+    ctx.ingest_all(&synthetic_messages(experiment));
     ctx
+}
+
+/// Build the persistent provenance database for the same sweep — the
+/// historical-query backend the agent's `provdb_query` tool plans
+/// against.
+pub fn build_synthetic_db(experiment: &Experiment) -> Arc<prov_db::ProvenanceDatabase> {
+    let db = prov_db::ProvenanceDatabase::shared();
+    db.insert_batch(&synthetic_messages(experiment));
+    db
 }
 
 /// Run the full matrix.

@@ -1,0 +1,359 @@
+//! Plan-based pushdown executor: serve provql query plans directly from
+//! the document store's indexes instead of materializing the whole corpus
+//! into a frame per query.
+//!
+//! [`try_execute`] lowers the query with [`provql::plan`] (this module
+//! implements [`PushdownCapability`] for [`ProvenanceDatabase`]), turns
+//! each scan's pushed conjuncts into a [`DocQuery`] — equality conjuncts
+//! become hash-index probes, `started_at` ranges hit the sorted numeric
+//! index, and the store intersects candidate sets
+//! smallest-first — then builds a *projected* frame containing only the
+//! referenced columns of the surviving documents and finishes the
+//! pipeline through the ordinary stage machine. Pushdown therefore never
+//! reimplements query semantics; it only shrinks how many documents reach
+//! the frame.
+//!
+//! When a plan is not servable ([`Pushdown::NeedsFullFrame`]) the caller
+//! runs the classic full-materialize oracle instead. That happens when:
+//!
+//! * a pipeline's output exposes the whole frame width (no projection,
+//!   whole-row `loc`, `describe`, subset-less `drop_duplicates`) — only
+//!   the corpus-wide column union can answer those;
+//! * a referenced column is absent from every surviving document — the
+//!   oracle decides whether that is an all-null column or an unknown-column
+//!   error, and its error message carries the full available-column list.
+//!
+//! Because the fallback is the oracle itself, pushdown is transparent:
+//! both paths return identical [`QueryOutput`]s (asserted per eval query
+//! set by the differential tests in `eval`).
+
+use crate::query::{Condition, DocQuery, Op};
+use crate::store::ProvenanceDatabase;
+use dataframe::DataFrame;
+use prov_model::TaskMessage;
+use provql::plan::{PipelinePlan, PushOp, PushdownCapability, QueryPlan};
+use provql::{ExecError, Pipeline, Query, QueryOutput, Stage};
+
+/// Outcome of attempting a plan-based execution.
+#[derive(Debug)]
+pub enum Pushdown {
+    /// The plan was served from the store (result may still be a query
+    /// error, e.g. an invalid stage combination — identical to what the
+    /// full-materialize path would raise).
+    Executed(Result<QueryOutput, ExecError>),
+    /// The plan is not servable by a projected scan; run the
+    /// full-materialize oracle. Carries a diagnostic reason.
+    NeedsFullFrame(&'static str),
+}
+
+/// The columns whose equality conjuncts are index-servable: exactly the
+/// fields [`ProvenanceDatabase::new`] builds hash indexes for (their
+/// frame column is the document path of the same name, byte-for-byte
+/// equal in both representations). A pushed conjunct must earn an index
+/// probe — advertising unindexed columns would classify full-scan
+/// queries as "selective" and make callers bypass the cached frame they
+/// built precisely to amortize repeated corpus-wide work.
+const PUSHABLE_EQ: &[&str] = &["task_id", "activity_id", "workflow_id", "started_at"];
+
+/// Fields a range conjunct can be pushed on: the sorted numeric index
+/// maintained on `started_at`.
+const PUSHABLE_RANGE: &[&str] = &["started_at"];
+
+impl PushdownCapability for ProvenanceDatabase {
+    fn pushable_eq(&self, column: &str) -> bool {
+        PUSHABLE_EQ.contains(&column)
+    }
+    fn pushable_range(&self, column: &str) -> bool {
+        PUSHABLE_RANGE.contains(&column)
+    }
+}
+
+/// Plan a query against this database and execute it via projected,
+/// index-pushed scans where possible.
+pub fn try_execute(db: &ProvenanceDatabase, query: &Query) -> Pushdown {
+    execute_plan(db, &provql::plan(query, db))
+}
+
+/// The full-materialize oracle: every stored document decoded back into a
+/// task message and flattened into one corpus-wide frame. This is the
+/// frame the pre-plan agent tool built per query; it remains the
+/// reference semantics pushdown is differentially tested against, the
+/// fallback for plans the store cannot serve, and the scan-path side of
+/// the `query_pushdown_vs_scan` benchmark — all through this one helper,
+/// so the oracle under test is always the oracle in production.
+pub fn full_frame(db: &ProvenanceDatabase) -> DataFrame {
+    let docs = db.find(&DocQuery::new());
+    let msgs: Vec<TaskMessage> = docs
+        .iter()
+        .filter_map(|d| TaskMessage::from_value(d))
+        .collect();
+    DataFrame::from_messages(&msgs)
+}
+
+/// Execute an already-lowered plan (callers that inspect the plan first —
+/// e.g. to route unselective queries to a cached frame instead — avoid
+/// planning twice).
+pub fn execute_plan(db: &ProvenanceDatabase, plan: &QueryPlan) -> Pushdown {
+    match plan {
+        QueryPlan::Pipeline(p) => exec_pipeline(db, p),
+        QueryPlan::Len(inner) => match execute_plan(db, inner) {
+            Pushdown::Executed(Ok(out)) => Pushdown::Executed(Ok(QueryOutput::Scalar(
+                prov_model::Value::Int(out.len() as i64),
+            ))),
+            other => other,
+        },
+        QueryPlan::Binary(a, op, b) => {
+            // Strict left-to-right evaluation, matching the frame
+            // executor: the left side is executed AND validated as a
+            // scalar before the right side runs, so both paths surface
+            // the same error for the same query.
+            let left = match execute_plan(db, a) {
+                Pushdown::Executed(Ok(out)) => out,
+                other => return other,
+            };
+            let left = match provql::scalar_operand(left) {
+                Ok(v) => v,
+                Err(e) => return Pushdown::Executed(Err(e)),
+            };
+            let right = match execute_plan(db, b) {
+                Pushdown::Executed(Ok(out)) => out,
+                other => return other,
+            };
+            let right = match provql::scalar_operand(right) {
+                Ok(v) => v,
+                Err(e) => return Pushdown::Executed(Err(e)),
+            };
+            Pushdown::Executed(provql::arith_scalars(left, *op, right))
+        }
+        QueryPlan::Number(n) => {
+            Pushdown::Executed(Ok(QueryOutput::Scalar(prov_model::Value::Float(*n))))
+        }
+    }
+}
+
+fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan) -> Pushdown {
+    let Some(columns) = &p.scan.columns else {
+        return Pushdown::NeedsFullFrame("output exposes the whole frame width");
+    };
+
+    let mut doc_query = DocQuery::new();
+    for f in &p.scan.pushed {
+        doc_query.conditions.push(Condition {
+            // The planner only pushes columns this database advertised,
+            // and for all of them the document path is the column name.
+            path: f.column.clone(),
+            op: match f.op {
+                PushOp::Eq => Op::Eq,
+                PushOp::Lt => Op::Lt,
+                PushOp::Le => Op::Lte,
+                PushOp::Gt => Op::Gt,
+                PushOp::Ge => Op::Gte,
+            },
+            value: f.value.clone(),
+        });
+    }
+    // Safe because the planner only sets a limit when nothing between the
+    // scan and the head() filters or reorders rows, and every stored
+    // document is a Listing-1 task message (decodes 1:1 into a row).
+    doc_query.limit = p.scan.limit;
+
+    let docs = db.find(&doc_query);
+    let msgs: Vec<TaskMessage> = docs
+        .iter()
+        .filter_map(|d| TaskMessage::from_value(d))
+        .collect();
+    let frame = DataFrame::from_messages_projected(&msgs, columns);
+
+    // Column-existence semantics are corpus-wide, but the scan only saw
+    // the survivors: a referenced column they never set could still exist
+    // (all-null there) elsewhere, or not at all (an unknown-column error
+    // listing every available column). Only the oracle can tell — so fall
+    // back when such a column is required. Filters are exempt: a missing
+    // column evaluates per-row as null (never an error), exactly like an
+    // all-null column, so filter-only references stay servable even when
+    // zero documents survive the pushed conjuncts.
+    let checked = Pipeline {
+        stages: p
+            .ops
+            .iter()
+            .map(|op| op.to_stage())
+            .filter(|s| !matches!(s, Stage::Filter(_)))
+            .collect(),
+    };
+    if checked
+        .referenced_columns()
+        .iter()
+        .any(|c| !frame.has_column(c))
+    {
+        return Pushdown::NeedsFullFrame("required column absent from scan survivors");
+    }
+
+    let mut stages: Vec<Stage> = Vec::with_capacity(p.ops.len() + 1);
+    if let Some(residual) = &p.scan.residual {
+        stages.push(Stage::Filter(residual.clone()));
+    }
+    stages.extend(p.ops.iter().map(|op| op.to_stage()));
+    Pushdown::Executed(provql::execute_stages(&stages, &frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{TaskMessageBuilder, Value};
+    use provql::parse;
+
+    fn seeded_db() -> ProvenanceDatabase {
+        let db = ProvenanceDatabase::new();
+        let msgs: Vec<TaskMessage> = (0..40)
+            .map(|i| {
+                TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    format!("wf-{}", i % 4),
+                    if i % 2 == 0 { "run_dft" } else { "postprocess" },
+                )
+                .host(format!("node{}", i % 3))
+                .uses("x", i as f64)
+                .generates("y", (i * 2) as f64)
+                .span(i as f64, i as f64 + 1.0 + (i % 5) as f64)
+                .build()
+            })
+            .collect();
+        db.insert_batch(&msgs);
+        db
+    }
+
+    /// The full-materialize oracle, as the agent tool runs it.
+    fn oracle_frame(db: &ProvenanceDatabase) -> DataFrame {
+        full_frame(db)
+    }
+
+    fn assert_differential(db: &ProvenanceDatabase, text: &str, expect_pushed: bool) {
+        let query = parse(text).unwrap();
+        let oracle = provql::execute(&query, &oracle_frame(db));
+        match try_execute(db, &query) {
+            Pushdown::Executed(got) => {
+                assert!(expect_pushed, "{text}: expected fallback, got execution");
+                assert_eq!(got, oracle, "{text}");
+            }
+            Pushdown::NeedsFullFrame(reason) => {
+                assert!(!expect_pushed, "{text}: unexpected fallback ({reason})");
+            }
+        }
+    }
+
+    #[test]
+    fn pushed_queries_match_oracle() {
+        let db = seeded_db();
+        for text in [
+            r#"len(df[df["activity_id"] == "run_dft"])"#,
+            r#"df[df["workflow_id"] == "wf-1"][["task_id", "y"]]"#,
+            r#"df[df["workflow_id"] == "wf-1"].groupby("activity_id")["y"].mean()"#,
+            r#"df[df["started_at"] > 20]["y"].sum()"#,
+            r#"df[(df["activity_id"] == "run_dft") & (df["y"] > 30)]["y"].mean()"#,
+            r#"df[df["hostname"] == "node1"][["task_id"]].head(3)"#,
+            r#"df["ended_at"].max() - df["started_at"].min()"#,
+            r#"df.groupby("activity_id")["duration"].mean()"#,
+            r#"df["hostname"].value_counts()"#,
+            r#"df.loc[df["y"].idxmax(), "task_id"]"#,
+            r#"len(df[df["duration"] > 3])"#,
+            r#"df[df["task_id"] == "t7"][["x", "y"]]"#,
+            r#"len(df[df["status"] == "ERROR"])"#,
+            r#"df.sort_values("duration", ascending=False)[["task_id", "duration"]].head(3)"#,
+            // Null comparisons: residual (never pushed), and the residual
+            // filter must reproduce the frame executor's null-to-false
+            // short-circuit, not the store's kind-tag ordering.
+            r#"len(df[df["started_at"] > None])"#,
+            r#"len(df[df["started_at"] == None])"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+    }
+
+    #[test]
+    fn unbounded_outputs_fall_back() {
+        let db = seeded_db();
+        for text in [
+            r#"df[df["activity_id"] == "run_dft"]"#, // whole-width frame
+            r#"df.loc[df["y"].idxmax()]"#,           // whole row
+            r#"df.describe()"#,
+            r#"df.drop_duplicates()"#,
+        ] {
+            assert_differential(&db, text, false);
+        }
+    }
+
+    #[test]
+    fn missing_checked_column_falls_back_to_oracle() {
+        let db = seeded_db();
+        // Unknown column in a projection: the oracle owns the
+        // unknown-column error (with its available-column listing).
+        for text in [
+            r#"df[["nope"]]"#,
+            // Zero survivors: `task_id` exists corpus-wide but no scanned
+            // document proves it — only the oracle can distinguish that
+            // from a truly unknown column.
+            r#"df[df["workflow_id"] == "wf-nonexistent"][["task_id"]]"#,
+        ] {
+            let query = parse(text).unwrap();
+            match try_execute(&db, &query) {
+                Pushdown::NeedsFullFrame(_) => {}
+                Pushdown::Executed(out) => panic!("{text}: expected fallback, got {out:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn filter_only_columns_never_force_fallback() {
+        let db = seeded_db();
+        // `nope` is filter-referenced only: missing column ≡ all-null
+        // column under Expr semantics, so the scan path stays servable
+        // and agrees with the oracle (empty result, not an error).
+        assert_differential(&db, r#"df[df["nope"] > 1]["y"].mean()"#, true);
+        // Zero survivors on a pushed filter with a count: still servable.
+        assert_differential(
+            &db,
+            r#"len(df[df["workflow_id"] == "wf-nonexistent"])"#,
+            true,
+        );
+    }
+
+    #[test]
+    fn query_errors_are_identical_through_both_paths() {
+        let db = seeded_db();
+        // Bare groupby: invalid through either executor.
+        let query = parse(r#"df.groupby("activity_id")"#).unwrap();
+        let oracle = provql::execute(&query, &oracle_frame(&db));
+        match try_execute(&db, &query) {
+            Pushdown::Executed(got) => assert_eq!(got, oracle),
+            Pushdown::NeedsFullFrame(r) => panic!("unexpected fallback: {r}"),
+        }
+        assert!(oracle.is_err());
+    }
+
+    #[test]
+    fn pushed_limit_matches_head() {
+        let db = seeded_db();
+        let query = parse(r#"df[df["workflow_id"] == "wf-2"][["task_id"]].head(2)"#).unwrap();
+        let Pushdown::Executed(Ok(QueryOutput::Frame(f))) = try_execute(&db, &query) else {
+            panic!("expected pushed frame")
+        };
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.column("task_id").unwrap().get(0),
+            Some(&Value::from("t2"))
+        );
+    }
+
+    #[test]
+    fn streaming_ingest_is_visible_to_pushdown() {
+        let db = seeded_db();
+        db.insert_batch_shared(std::iter::once(std::sync::Arc::new(
+            TaskMessageBuilder::new("fresh", "wf-9", "run_dft").build(),
+        )));
+        let query = parse(r#"df[df["workflow_id"] == "wf-9"][["task_id"]]"#).unwrap();
+        let Pushdown::Executed(Ok(QueryOutput::Frame(f))) = try_execute(&db, &query) else {
+            panic!("expected pushed frame")
+        };
+        assert_eq!(f.len(), 1);
+    }
+}

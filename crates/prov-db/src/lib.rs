@@ -60,12 +60,14 @@
 #![warn(missing_docs)]
 
 pub mod document;
+pub mod exec;
 pub mod graph;
 pub mod kv;
 pub mod query;
 pub mod store;
 
 pub use document::{DocId, DocumentStore};
+pub use exec::{execute_plan, full_frame, try_execute, Pushdown};
 pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};

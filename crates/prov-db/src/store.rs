@@ -188,6 +188,18 @@ impl ProvenanceDatabase {
         self.inserts.load(Ordering::Relaxed)
     }
 
+    /// Store generation: bumps on every accepted insert. Callers caching
+    /// anything derived from the store's contents (e.g. a fully
+    /// materialized query frame) key the cache on this and rebuild only
+    /// when it moves. Currently an alias of [`insert_count`]; a future
+    /// delete/compact path must keep bumping the generation even where it
+    /// leaves the insert count alone.
+    ///
+    /// [`insert_count`]: ProvenanceDatabase::insert_count
+    pub fn generation(&self) -> u64 {
+        self.insert_count()
+    }
+
     /// Point lookup by task id (KV fast path).
     pub fn get_task(&self, task_id: &str) -> Option<TaskMessage> {
         self.kv()

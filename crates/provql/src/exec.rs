@@ -53,6 +53,42 @@ impl QueryOutput {
         self.len() == 0
     }
 
+    /// Convert any output shape into a plottable frame.
+    ///
+    /// Frames pass through; scalars, series, and rows become two-column
+    /// `label`/`value` tables (rows keep only their numeric entries) — the
+    /// shape bar-chart renderers consume. This is the single home of the
+    /// conversions the agent's plot tool used to hand-roll.
+    pub fn into_frame(self) -> Result<DataFrame, FrameError> {
+        match self {
+            QueryOutput::Frame(f) => Ok(f),
+            QueryOutput::Scalar(v) => DataFrame::from_columns(vec![
+                ("label", vec![Value::from("value")]),
+                ("value", vec![v]),
+            ]),
+            QueryOutput::Series { name, values } => DataFrame::from_columns(vec![
+                (
+                    "label".to_string(),
+                    (0..values.len())
+                        .map(|i| Value::from(format!("{name}[{i}]")))
+                        .collect(),
+                ),
+                ("value".to_string(), values),
+            ]),
+            QueryOutput::Row(m) => {
+                let (labels, values): (Vec<Value>, Vec<Value>) = m
+                    .iter()
+                    .filter(|(_, v)| v.is_number())
+                    .map(|(k, v)| (Value::from(k.as_str()), v.clone()))
+                    .unzip();
+                DataFrame::from_columns(vec![
+                    ("label".to_string(), labels),
+                    ("value".to_string(), values),
+                ])
+            }
+        }
+    }
+
     /// Human-readable rendering (what the agent displays).
     pub fn render(&self) -> String {
         match self {
@@ -136,34 +172,46 @@ pub fn execute(query: &Query, df: &DataFrame) -> Result<QueryOutput, ExecError> 
             Ok(QueryOutput::Scalar(Value::Int(out.len() as i64)))
         }
         Query::Binary(a, op, b) => {
-            let left = scalar_of(execute(a, df)?)?;
-            let right = scalar_of(execute(b, df)?)?;
-            let (Some(x), Some(y)) = (left.as_f64(), right.as_f64()) else {
-                return Err(ExecError::NonScalarArithmetic);
-            };
-            let r = match op {
-                ArithOp::Add => x + y,
-                ArithOp::Sub => x - y,
-                ArithOp::Mul => x * y,
-                ArithOp::Div => {
-                    if y == 0.0 {
-                        return Err(ExecError::EmptyInput);
-                    }
-                    x / y
-                }
-            };
-            Ok(QueryOutput::Scalar(Value::Float(r)))
+            // The left operand is validated before the right side runs, so
+            // a non-scalar left reports NonScalarArithmetic without paying
+            // for (or surfacing errors from) the right pipeline.
+            let left = scalar_operand(execute(a, df)?)?;
+            let right = scalar_operand(execute(b, df)?)?;
+            arith_scalars(left, *op, right)
         }
         Query::Number(n) => Ok(QueryOutput::Scalar(Value::Float(*n))),
     }
 }
 
-fn scalar_of(out: QueryOutput) -> Result<Value, ExecError> {
+/// Coerce one arithmetic operand to its scalar (the `Query::Binary`
+/// operand rule, shared with plan-based executors — which must apply it
+/// in the same left-then-right order to report identical errors).
+pub fn scalar_operand(out: QueryOutput) -> Result<Value, ExecError> {
     match out {
         QueryOutput::Scalar(v) => Ok(v),
         QueryOutput::Series { values, .. } if values.len() == 1 => Ok(values[0].clone()),
         _ => Err(ExecError::NonScalarArithmetic),
     }
+}
+
+/// Scalar arithmetic on two validated operands (the `Query::Binary`
+/// combination rule, shared with plan-based executors).
+pub fn arith_scalars(left: Value, op: ArithOp, right: Value) -> Result<QueryOutput, ExecError> {
+    let (Some(x), Some(y)) = (left.as_f64(), right.as_f64()) else {
+        return Err(ExecError::NonScalarArithmetic);
+    };
+    let r = match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => {
+            if y == 0.0 {
+                return Err(ExecError::EmptyInput);
+            }
+            x / y
+        }
+    };
+    Ok(QueryOutput::Scalar(Value::Float(r)))
 }
 
 /// Intermediate execution state.
@@ -197,8 +245,14 @@ impl State {
 }
 
 fn execute_pipeline(p: &Pipeline, df: &DataFrame) -> Result<QueryOutput, ExecError> {
+    execute_stages(&p.stages, df)
+}
+
+/// Execute a bare stage sequence against a frame — the stage machine the
+/// pipeline executor and the plan-based pushdown executors share.
+pub fn execute_stages(stages: &[Stage], df: &DataFrame) -> Result<QueryOutput, ExecError> {
     let mut state = State::Frame(df.clone());
-    for stage in &p.stages {
+    for stage in stages {
         state = apply_stage(state, stage)?;
     }
     match state {

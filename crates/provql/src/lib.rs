@@ -7,6 +7,8 @@
 //! * [`parser`] — parses the pandas syntax the (simulated) LLMs emit;
 //! * [`render`] — canonical pretty-printer (`parse ∘ render = id`);
 //! * [`exec`] — executes queries against a DataFrame;
+//! * [`plan`] — logical query plans with index-aware filter/projection
+//!   pushdown, interpreted by store-side executors (`prov_db::exec`);
 //! * [`compare`] — semantic similarity scoring used by judges.
 //!
 //! ```
@@ -29,11 +31,15 @@ pub mod ast;
 pub mod compare;
 pub mod exec;
 pub mod parser;
+pub mod plan;
 pub mod render;
 pub mod token;
 
 pub use ast::{Pipeline, Query, Stage};
 pub use compare::{compare, Comparison, ResultShape};
-pub use exec::{execute, ExecError, QueryOutput};
+pub use exec::{arith_scalars, execute, execute_stages, scalar_operand, ExecError, QueryOutput};
 pub use parser::{parse, ParseError};
+pub use plan::{
+    plan, PipelinePlan, PlanNode, PushOp, PushdownCapability, PushedFilter, QueryPlan, ScanNode,
+};
 pub use render::render;

@@ -534,6 +534,12 @@ impl Parser {
                             )))
                         }
                     };
+                    // Validate before consuming arguments, so the error
+                    // names the method instead of whatever token its
+                    // argument list happens to start with.
+                    if !matches!(m.as_str(), "contains" | "startswith") {
+                        return Err(self.err(format!("unsupported str method '{m}'")));
+                    }
                     self.eat_punct("(")?;
                     let pat = self.expect_string()?;
                     let mut case_insensitive = false;
@@ -555,7 +561,7 @@ impl Parser {
                             }
                         }
                         "startswith" => lhs.starts_with(pat),
-                        other => return Err(self.err(format!("unsupported str method '{other}'"))),
+                        _ => unreachable!("method name validated above"),
                     });
                 }
                 "isin" => {

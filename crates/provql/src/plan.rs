@@ -1,0 +1,593 @@
+//! Logical query plans with index-aware pushdown.
+//!
+//! [`plan`] lowers a parsed [`Query`] into a tree of [`PipelinePlan`]s, one
+//! per pipeline, each rooted at a [`ScanNode`]. The lowering is a rule
+//! pass over the pipeline's leading filters: every conjunct the backing
+//! store can serve from an index (equality on a pushable column, numeric
+//! range on a range-indexed column — the store advertises both through
+//! [`PushdownCapability`]) is split off into [`ScanNode::pushed`], and
+//! whatever remains is recombined into [`ScanNode::residual`]. The scan
+//! also carries a projection ([`ScanNode::columns`]: the column subset the
+//! rest of the pipeline references) and, when the stage shape allows it, a
+//! row limit.
+//!
+//! The planner is deliberately engine-agnostic: it knows nothing about
+//! document paths, hash indexes, or shards. An executor (see
+//! `prov_db::exec`) interprets the scan against its store and runs the
+//! remaining [`PlanNode`]s through the ordinary stage machine
+//! ([`crate::exec::execute_stages`]), so pushdown can never change query
+//! semantics — only how many documents are materialized into a frame.
+
+use crate::ast::{Pipeline, Query, Stage};
+use dataframe::{ArithOp, CmpOp, Expr};
+use prov_model::Value;
+
+/// What a store can answer about its pushdown support, per column.
+///
+/// Implemented by storage engines (e.g. `prov_db::ProvenanceDatabase`).
+/// The planner only pushes a conjunct when the capability says the column
+/// is servable; everything else stays in the residual filter.
+pub trait PushdownCapability {
+    /// Can an equality conjunct on this column be pushed into the scan?
+    fn pushable_eq(&self, column: &str) -> bool;
+    /// Can a range conjunct (`<`, `<=`, `>`, `>=`) on this column be
+    /// pushed into the scan?
+    fn pushable_range(&self, column: &str) -> bool;
+}
+
+/// Push everything structurally pushable (used by tests and by callers
+/// that apply their own capability check later).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PushAll;
+
+impl PushdownCapability for PushAll {
+    fn pushable_eq(&self, _column: &str) -> bool {
+        true
+    }
+    fn pushable_range(&self, _column: &str) -> bool {
+        true
+    }
+}
+
+/// Comparison operator of a pushed filter (the index-servable subset of
+/// [`CmpOp`]: no `!=`, which a hash probe cannot answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOp {
+    /// Equality — servable from a hash index.
+    Eq,
+    /// Strictly less than — servable from a sorted numeric index.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl PushOp {
+    fn from_cmp(op: CmpOp) -> Option<PushOp> {
+        match op {
+            CmpOp::Eq => Some(PushOp::Eq),
+            CmpOp::Lt => Some(PushOp::Lt),
+            CmpOp::Le => Some(PushOp::Le),
+            CmpOp::Gt => Some(PushOp::Gt),
+            CmpOp::Ge => Some(PushOp::Ge),
+            CmpOp::Ne => None,
+        }
+    }
+}
+
+/// One conjunct pushed into the scan: `column op value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushedFilter {
+    /// Frame column name (the executor maps it to its storage path).
+    pub column: String,
+    /// Comparison operator.
+    pub op: PushOp,
+    /// Literal comparand.
+    pub value: Value,
+}
+
+/// The leaf of every pipeline plan: which documents to touch and which
+/// columns to materialize from them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanNode {
+    /// Index-servable conjuncts of the pipeline's leading filters.
+    pub pushed: Vec<PushedFilter>,
+    /// Conjuncts the store cannot serve, recombined in original order;
+    /// applied as an ordinary row filter on the scanned frame.
+    pub residual: Option<Expr>,
+    /// Projection pushdown: the column subset the pipeline references.
+    /// `None` means the pipeline's output exposes the whole frame width,
+    /// which only the full corpus-wide column union can answer — such
+    /// plans are not servable by a projected scan.
+    pub columns: Option<Vec<String>>,
+    /// Row-limit pushdown, set only when no residual filter and no
+    /// reordering stage precedes the `head` that produced it.
+    pub limit: Option<usize>,
+}
+
+/// A relational operator applied after the scan, in order.
+///
+/// `Filter`/`Project`/`Sort`/`Limit` are the classic shapes; everything
+/// the IR has no dedicated node for (group-by, series ops, computed
+/// expressions) rides along as [`PlanNode::Residual`] and is executed by
+/// the stage machine unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Row filter (a non-leading filter, or one following other stages).
+    Filter(Expr),
+    /// Column projection.
+    Project(Vec<String>),
+    /// Multi-key sort (`(column, ascending)` pairs).
+    Sort(Vec<(String, bool)>),
+    /// First-n row limit.
+    Limit(usize),
+    /// Any stage without a dedicated node shape.
+    Residual(Stage),
+}
+
+impl PlanNode {
+    /// The stage this node executes as (plans never change semantics, so
+    /// every node maps back onto the stage machine).
+    pub fn to_stage(&self) -> Stage {
+        match self {
+            PlanNode::Filter(e) => Stage::Filter(e.clone()),
+            PlanNode::Project(cols) => Stage::Select(cols.clone()),
+            PlanNode::Sort(keys) => Stage::SortValues(keys.clone()),
+            PlanNode::Limit(n) => Stage::Head(*n),
+            PlanNode::Residual(s) => s.clone(),
+        }
+    }
+
+    fn from_stage(stage: &Stage) -> PlanNode {
+        match stage {
+            Stage::Filter(e) => PlanNode::Filter(e.clone()),
+            Stage::Select(cols) => PlanNode::Project(cols.clone()),
+            Stage::SortValues(keys) => PlanNode::Sort(keys.clone()),
+            Stage::Head(n) => PlanNode::Limit(*n),
+            other => PlanNode::Residual(other.clone()),
+        }
+    }
+}
+
+/// Plan of one pipeline: a scan followed by the remaining operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePlan {
+    /// The scan leaf.
+    pub scan: ScanNode,
+    /// Operators applied to the scanned frame, in order.
+    pub ops: Vec<PlanNode>,
+}
+
+impl PipelinePlan {
+    /// True when the scan pushes at least one filter — i.e. planning
+    /// found index-servable work (used by diagnostics and benchmarks).
+    pub fn has_pushdown(&self) -> bool {
+        !self.scan.pushed.is_empty()
+    }
+}
+
+/// Plan of a whole query; mirrors the [`Query`] tree shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPlan {
+    /// A planned pipeline.
+    Pipeline(PipelinePlan),
+    /// `len(<plan>)`.
+    Len(Box<QueryPlan>),
+    /// Scalar arithmetic between two plans.
+    Binary(Box<QueryPlan>, ArithOp, Box<QueryPlan>),
+    /// Bare numeric literal.
+    Number(f64),
+}
+
+impl QueryPlan {
+    /// All pipeline plans in the tree (for inspection and tests).
+    pub fn pipelines(&self) -> Vec<&PipelinePlan> {
+        match self {
+            QueryPlan::Pipeline(p) => vec![p],
+            QueryPlan::Len(q) => q.pipelines(),
+            QueryPlan::Binary(a, _, b) => {
+                let mut v = a.pipelines();
+                v.extend(b.pipelines());
+                v
+            }
+            QueryPlan::Number(_) => Vec::new(),
+        }
+    }
+
+    /// True when every pipeline in the tree has a bounded column set,
+    /// i.e. the whole query is servable by projected scans.
+    pub fn fully_projected(&self) -> bool {
+        self.pipelines().iter().all(|p| p.scan.columns.is_some())
+    }
+}
+
+/// Lower a query into its logical plan, splitting filters against the
+/// given store capability.
+pub fn plan(query: &Query, caps: &dyn PushdownCapability) -> QueryPlan {
+    match query {
+        Query::Pipeline(p) => QueryPlan::Pipeline(plan_pipeline(p, caps, false)),
+        Query::Len(q) => {
+            // Inside `len(...)` only the row count of the result matters,
+            // so an unbounded frame output can still be projected down to
+            // the columns its stages read (unless a stage's row count
+            // depends on the full width, e.g. drop_duplicates()).
+            let inner = match q.as_ref() {
+                Query::Pipeline(p) => QueryPlan::Pipeline(plan_pipeline(p, caps, true)),
+                other => plan(other, caps),
+            };
+            QueryPlan::Len(Box::new(inner))
+        }
+        Query::Binary(a, op, b) => {
+            QueryPlan::Binary(Box::new(plan(a, caps)), *op, Box::new(plan(b, caps)))
+        }
+        Query::Number(n) => QueryPlan::Number(*n),
+    }
+}
+
+fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) -> PipelinePlan {
+    let mut scan = ScanNode::default();
+
+    // Split the leading run of filters into pushed and residual conjuncts.
+    let mut rest = p.stages.as_slice();
+    let mut residuals: Vec<Expr> = Vec::new();
+    while let Some((Stage::Filter(e), tail)) = rest.split_first() {
+        split_filter(e, caps, &mut scan.pushed, &mut residuals);
+        rest = tail;
+    }
+    scan.residual = residuals.into_iter().reduce(Expr::and);
+
+    // Projection pushdown: whether the output is column-bounded is a
+    // property of the original stage shape, but the column *set* is
+    // recomputed after the filter split — a conjunct the store serves
+    // shouldn't drag its column into the materialized frame.
+    if projection(p, count_only).is_some() {
+        let mut remaining: Vec<Stage> = Vec::with_capacity(rest.len() + 1);
+        if let Some(r) = &scan.residual {
+            remaining.push(Stage::Filter(r.clone()));
+        }
+        remaining.extend(rest.iter().cloned());
+        scan.columns = Some(Pipeline { stages: remaining }.referenced_columns());
+    }
+
+    let ops: Vec<PlanNode> = rest.iter().map(PlanNode::from_stage).collect();
+
+    // Limit pushdown: a head() reached through column-preserving,
+    // order-preserving stages only, with no residual filter in front,
+    // sees exactly the first n scanned rows — let the store stop there.
+    // The Limit node is kept (head is idempotent), so the pushed limit is
+    // an upper bound, never a semantic change.
+    if scan.residual.is_none() {
+        for op in &ops {
+            match op {
+                PlanNode::Project(_) | PlanNode::Residual(Stage::ResetIndex) => continue,
+                PlanNode::Limit(n) => {
+                    scan.limit = Some(*n);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    PipelinePlan { scan, ops }
+}
+
+/// Recursively split a filter expression: `And` nodes are walked, every
+/// `column op literal` conjunct the capability can serve is pushed, and
+/// anything else lands in `residuals` (original left-to-right order).
+fn split_filter(
+    e: &Expr,
+    caps: &dyn PushdownCapability,
+    pushed: &mut Vec<PushedFilter>,
+    residuals: &mut Vec<Expr>,
+) {
+    match e {
+        Expr::And(a, b) => {
+            split_filter(a, caps, pushed, residuals);
+            split_filter(b, caps, pushed, residuals);
+        }
+        Expr::Cmp(a, op, b) => {
+            // `col op lit` or the flipped `lit op col`. Null literals are
+            // never pushed: the frame executor short-circuits any null
+            // comparison to false, while a store compares a present value
+            // against Null by kind-tag ordering — opposite answers.
+            let normalized = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) if !v.is_null() => Some((c, *op, v)),
+                (Expr::Lit(v), Expr::Col(c)) if !v.is_null() => Some((c, op.flipped(), v)),
+                _ => None,
+            };
+            let servable = normalized.and_then(|(c, op, v)| {
+                let push_op = PushOp::from_cmp(op)?;
+                let ok = match push_op {
+                    PushOp::Eq => caps.pushable_eq(c),
+                    _ => caps.pushable_range(c),
+                };
+                ok.then(|| PushedFilter {
+                    column: c.clone(),
+                    op: push_op,
+                    value: v.clone(),
+                })
+            });
+            match servable {
+                Some(f) => pushed.push(f),
+                None => residuals.push(e.clone()),
+            }
+        }
+        other => residuals.push(other.clone()),
+    }
+}
+
+/// The projection a pipeline's output needs, or `None` when it exposes
+/// the whole frame width.
+///
+/// Walking the stages in order, the first stage that *bounds* the output
+/// to named columns (projection, series selection, group-by, scalar
+/// count, single-cell loc) settles the answer at the pipeline's
+/// referenced-column set; the first stage whose semantics *consume* the
+/// full width (whole-row loc, describe, subset-less drop_duplicates)
+/// settles it at `None`. Column-preserving stages (filter, sort,
+/// head/tail, …) keep walking. `count_only` relaxes the frame-width
+/// requirement for `len(...)`-wrapped pipelines, where only the row count
+/// of the output survives — except for stages whose row count itself
+/// depends on the full width.
+fn projection(p: &Pipeline, count_only: bool) -> Option<Vec<String>> {
+    for stage in &p.stages {
+        match stage {
+            Stage::Select(_)
+            | Stage::Col(_)
+            | Stage::GroupBy(_)
+            | Stage::Count
+            | Stage::LocIdx { cell: Some(_), .. } => return Some(p.referenced_columns()),
+            Stage::LocIdx { cell: None, .. } | Stage::Describe => {
+                return count_only.then(|| p.referenced_columns())
+            }
+            Stage::DropDuplicates(subset) if subset.is_empty() => return None,
+            _ => {}
+        }
+    }
+    // No bounding stage: the output is the (possibly filtered/sorted)
+    // full-width frame — unless only its row count is observed.
+    count_only.then(|| p.referenced_columns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use dataframe::{col, lit};
+
+    /// Test capability with a broad pushable set (the common Listing-1
+    /// scalar fields for equality, timestamps for ranges) — planner
+    /// mechanics are capability-agnostic; engines advertise narrower
+    /// sets matching their actual indexes.
+    struct CommonFields;
+
+    impl PushdownCapability for CommonFields {
+        fn pushable_eq(&self, column: &str) -> bool {
+            matches!(
+                column,
+                "task_id"
+                    | "campaign_id"
+                    | "workflow_id"
+                    | "activity_id"
+                    | "hostname"
+                    | "status"
+                    | "type"
+                    | "started_at"
+                    | "ended_at"
+            )
+        }
+        fn pushable_range(&self, column: &str) -> bool {
+            matches!(column, "started_at" | "ended_at")
+        }
+    }
+
+    fn plan_text(text: &str) -> QueryPlan {
+        plan(&parse(text).unwrap(), &CommonFields)
+    }
+
+    #[test]
+    fn eq_conjunct_is_pushed_and_removed_from_residual() {
+        let p = plan_text(r#"df[df["activity_id"] == "power"][["task_id", "y"]]"#);
+        let QueryPlan::Pipeline(p) = p else {
+            panic!("pipeline")
+        };
+        assert_eq!(
+            p.scan.pushed,
+            vec![PushedFilter {
+                column: "activity_id".into(),
+                op: PushOp::Eq,
+                value: Value::from("power"),
+            }]
+        );
+        assert_eq!(p.scan.residual, None);
+        // The pushed conjunct's column is served by the store, so it is
+        // not materialized into the projected frame.
+        assert_eq!(
+            p.scan.columns.as_deref(),
+            Some(&["task_id".to_string(), "y".into()][..])
+        );
+        assert_eq!(
+            p.ops,
+            vec![PlanNode::Project(vec!["task_id".into(), "y".into()])]
+        );
+    }
+
+    #[test]
+    fn mixed_conjunction_splits() {
+        let p = plan_text(r#"df[(df["started_at"] > 10) & (df["y"] > 3)]["y"].mean()"#);
+        let QueryPlan::Pipeline(p) = p else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.pushed.len(), 1);
+        assert_eq!(p.scan.pushed[0].op, PushOp::Gt);
+        assert_eq!(p.scan.residual, Some(col("y").gt(lit(3))));
+    }
+
+    #[test]
+    fn flipped_comparison_normalizes() {
+        let q = Query::pipeline(vec![
+            Stage::Filter(lit(5).lt(col("started_at"))),
+            Stage::Count,
+        ]);
+        let QueryPlan::Pipeline(p) = plan(&q, &CommonFields) else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.pushed[0].op, PushOp::Gt);
+        assert_eq!(p.scan.pushed[0].column, "started_at");
+    }
+
+    #[test]
+    fn or_not_ne_and_contains_stay_residual() {
+        for text in [
+            r#"df[(df["activity_id"] == "a") | (df["activity_id"] == "b")].shape[0]"#,
+            r#"df[df["activity_id"] != "a"].shape[0]"#,
+            r#"df[~(df["activity_id"] == "a")].shape[0]"#,
+            r#"df[df["hostname"].str.contains("n0")].shape[0]"#,
+        ] {
+            let QueryPlan::Pipeline(p) = plan_text(text) else {
+                panic!("pipeline")
+            };
+            assert!(p.scan.pushed.is_empty(), "{text}");
+            assert!(p.scan.residual.is_some(), "{text}");
+        }
+    }
+
+    #[test]
+    fn null_literals_are_never_pushed() {
+        // A store compares present values against Null by kind-tag
+        // ordering; the frame executor short-circuits to false. Pushing
+        // would flip the answer, so Null conjuncts must stay residual.
+        for text in [
+            r#"df[df["started_at"] > None].shape[0]"#,
+            r#"df[df["started_at"] == None].shape[0]"#,
+            r#"df[df["activity_id"] == None].shape[0]"#,
+        ] {
+            let QueryPlan::Pipeline(p) = plan_text(text) else {
+                panic!("pipeline")
+            };
+            assert!(p.scan.pushed.is_empty(), "{text}");
+            assert!(p.scan.residual.is_some(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unpushable_column_stays_residual() {
+        // `duration` is computed at frame-build time; no store path.
+        let QueryPlan::Pipeline(p) = plan_text(r#"df[df["duration"] > 1.0].shape[0]"#) else {
+            panic!("pipeline")
+        };
+        assert!(p.scan.pushed.is_empty());
+        assert_eq!(p.scan.residual, Some(col("duration").gt(lit(1.0))));
+    }
+
+    #[test]
+    fn whole_frame_output_is_unbounded() {
+        let QueryPlan::Pipeline(p) = plan_text(r#"df[df["activity_id"] == "a"]"#) else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.columns, None);
+        // But the filter is still pushed: an executor with full-width
+        // materialization could use it.
+        assert!(p.has_pushdown());
+    }
+
+    #[test]
+    fn len_wrapping_tightens_projection() {
+        let p = plan_text(r#"len(df[df["status"] == "FINISHED"])"#);
+        let QueryPlan::Len(inner) = p else {
+            panic!("len")
+        };
+        let QueryPlan::Pipeline(p) = *inner else {
+            panic!("pipeline")
+        };
+        // The status conjunct is pushed; only the row count is observed,
+        // so the scan materializes no columns at all.
+        assert_eq!(p.scan.columns, Some(Vec::new()));
+    }
+
+    #[test]
+    fn len_of_subsetless_dedup_stays_unbounded() {
+        let p = plan_text(r#"len(df.drop_duplicates())"#);
+        let QueryPlan::Len(inner) = p else {
+            panic!("len")
+        };
+        let QueryPlan::Pipeline(p) = *inner else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.columns, None, "full-width dedup changes row count");
+    }
+
+    #[test]
+    fn groupby_and_loc_cell_bound_the_columns() {
+        let QueryPlan::Pipeline(p) = plan_text(r#"df.groupby("activity_id")["duration"].mean()"#)
+        else {
+            panic!("pipeline")
+        };
+        assert_eq!(
+            p.scan.columns.as_deref(),
+            Some(&["activity_id".to_string(), "duration".into()][..])
+        );
+        let QueryPlan::Pipeline(p) = plan_text(r#"df.loc[df["y"].idxmax(), "task_id"]"#) else {
+            panic!("pipeline")
+        };
+        assert_eq!(
+            p.scan.columns.as_deref(),
+            Some(&["y".to_string(), "task_id".into()][..])
+        );
+        // Whole-row loc needs every column.
+        let QueryPlan::Pipeline(p) = plan_text(r#"df.loc[df["y"].idxmax()]"#) else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.columns, None);
+    }
+
+    #[test]
+    fn limit_pushdown_requires_clean_prefix() {
+        let QueryPlan::Pipeline(p) =
+            plan_text(r#"df[df["workflow_id"] == "wf-1"][["task_id"]].head(3)"#)
+        else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.limit, Some(3));
+        // A sort in front blocks the limit; a residual filter does too.
+        let QueryPlan::Pipeline(p) =
+            plan_text(r#"df.sort_values("started_at")[["task_id"]].head(3)"#)
+        else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.limit, None);
+        let QueryPlan::Pipeline(p) = plan_text(r#"df[df["y"] > 1][["task_id"]].head(3)"#) else {
+            panic!("pipeline")
+        };
+        assert_eq!(p.scan.limit, None);
+    }
+
+    #[test]
+    fn binary_query_plans_both_sides() {
+        let p = plan_text(r#"df["ended_at"].max() - df["started_at"].min()"#);
+        assert_eq!(p.pipelines().len(), 2);
+        assert!(p.fully_projected());
+    }
+
+    #[test]
+    fn nodes_round_trip_to_stages() {
+        let QueryPlan::Pipeline(p) = plan_text(
+            r#"df[df["y"] > 1].sort_values("y", ascending=False)[["task_id", "y"]].head(2)"#,
+        ) else {
+            panic!("pipeline")
+        };
+        let stages: Vec<Stage> = p.ops.iter().map(PlanNode::to_stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::SortValues(vec![("y".into(), false)]),
+                Stage::Select(vec!["task_id".into(), "y".into()]),
+                Stage::Head(2),
+            ]
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Parser error-path coverage (malformed stage names, unclosed strings,
+//! truncated method calls) and a `parse(render(q)) == q` property over a
+//! generator that exercises every stage variant — a wider net than the
+//! workspace-level round-trip property, which draws from a smaller stage
+//! pool.
+
+use dataframe::{col, lit, AggFunc, CmpOp, Expr};
+use proptest::prelude::*;
+use prov_model::Value;
+use provql::{parse, render, Query, Stage};
+
+// ---------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_stage_names_are_rejected_with_context() {
+    for (text, needle) in [
+        ("df.frobnicate()", "unsupported method"),
+        ("df.explode()", "unsupported method"),
+        (r#"df.groupby("a").pivot()"#, "unsupported method"),
+        (r#"df[df["a"].str.upper()]"#, "unsupported str method"),
+        (r#"df.agg({"x": "frobnicate"})"#, "unknown aggregation"),
+        ("df.shape[1]", "only .shape[0]"),
+        (r#"df.loc[df["a"].median()]"#, "idxmax or idxmin"),
+    ] {
+        let err = parse(text).expect_err(text).to_string();
+        assert!(err.contains(needle), "{text}: `{err}` lacks `{needle}`");
+    }
+}
+
+#[test]
+fn unclosed_strings_are_lex_errors() {
+    for text in [
+        r#"df["abc"#,
+        r#"df[df["a"] == "x]"#,
+        r#"df.groupby("k"#,
+        r#"df['mixed"]"#,
+    ] {
+        let err = parse(text).expect_err(text).to_string();
+        assert!(
+            err.contains("unterminated") || err.contains("expected"),
+            "{text}: unexpected message `{err}`"
+        );
+    }
+}
+
+#[test]
+fn truncated_and_trailing_input_is_rejected() {
+    for text in [
+        "df.",
+        "df[",
+        "df[[",
+        r#"df[["a","#,
+        "df.head(",
+        "df.sort_values()",
+        r#"df.loc["#,
+        "len(df",
+        "len(df))",
+        "df df",
+        "3 +",
+        "",
+        "   ",
+        r#"df[df["a"] =="#,
+        r#"df[df["a"]]"#, // bare column reference is not a boolean filter
+    ] {
+        assert!(parse(text).is_err(), "{text:?} should not parse");
+    }
+}
+
+#[test]
+fn error_positions_point_into_the_token_stream() {
+    let err = parse(r#"df[df["a"] == ] "#).expect_err("incomplete comparison");
+    // The missing literal is deep in the stream, not reported at token 0.
+    assert!(err.token_index >= 7, "index {} too early", err.token_index);
+    assert!(err.to_string().contains("expected literal"), "{err}");
+    let err = parse("df.nlargest(, \"x\")").expect_err("missing count");
+    assert!(err.to_string().contains("expected integer"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// parse(render(q)) == q over generated pipelines
+// ---------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,10}".prop_map(|s| s.to_string())
+}
+
+fn arb_literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
+        "[A-Za-z0-9_. -]{0,12}".prop_map(Value::from),
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// One comparison-level predicate (the unit the boolean grammar composes).
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (arb_name(), arb_cmp_op(), arb_literal()).prop_map(|(c, op, v)| Expr::Cmp(
+            Box::new(col(c)),
+            op,
+            Box::new(lit(v))
+        )),
+        // Arithmetic operand on the left: df["a"] * 2 > 3.
+        (arb_name(), -100i64..100, arb_cmp_op(), arb_literal()).prop_map(|(c, k, op, v)| {
+            Expr::Cmp(Box::new(col(c).mul(lit(k))), op, Box::new(lit(v)))
+        }),
+        (arb_name(), "[A-Za-z0-9_-]{1,8}").prop_map(|(c, p)| col(c).contains(p)),
+        (arb_name(), "[A-Za-z0-9_-]{1,8}").prop_map(|(c, p)| col(c).icontains(p)),
+        (arb_name(), "[A-Za-z0-9_-]{1,8}").prop_map(|(c, p)| col(c).starts_with(p)),
+        (arb_name(), prop::collection::vec(arb_literal(), 1..4))
+            .prop_map(|(c, vs)| col(c).isin(vs)),
+        arb_name().prop_map(|c| col(c).is_null()),
+        arb_name().prop_map(|c| col(c).not_null()),
+        // Negation binds one predicate: ~(a == b).
+        (arb_name(), arb_literal()).prop_map(|(c, v)| col(c).eq(lit(v)).negate()),
+    ]
+}
+
+/// Filters in the canonical left-associated or-of-ands shape the renderer
+/// emits (the grammar has no parentheses-preserving AST, so only this
+/// shape round-trips — which is also the only shape `parse` produces).
+fn arb_filter_expr() -> impl Strategy<Value = Expr> {
+    prop::collection::vec(prop::collection::vec(arb_predicate(), 1..3), 1..3).prop_map(|groups| {
+        groups
+            .into_iter()
+            .map(|g| g.into_iter().reduce(Expr::and).expect("non-empty"))
+            .reduce(Expr::or)
+            .expect("non-empty")
+    })
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Mean),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+        Just(AggFunc::Count),
+        Just(AggFunc::Std),
+        Just(AggFunc::Median),
+    ]
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        arb_filter_expr().prop_map(Stage::Filter),
+        prop::collection::vec(arb_name(), 1..4).prop_map(Stage::Select),
+        arb_name().prop_map(Stage::Col),
+        prop::collection::vec(arb_name(), 1..3).prop_map(Stage::GroupBy),
+        arb_agg().prop_map(Stage::Agg),
+        prop::collection::vec((arb_name(), arb_agg()), 1..3).prop_map(Stage::AggMap),
+        Just(Stage::Size),
+        prop::collection::vec((arb_name(), any::<bool>()), 1..3).prop_map(Stage::SortValues),
+        (1usize..50).prop_map(Stage::Head),
+        (1usize..50).prop_map(Stage::Tail),
+        Just(Stage::Unique),
+        Just(Stage::ValueCounts),
+        (1usize..10, arb_name()).prop_map(|(n, c)| Stage::NLargest(n, c)),
+        (1usize..10, arb_name()).prop_map(|(n, c)| Stage::NSmallest(n, c)),
+        prop::collection::vec(arb_name(), 0..3).prop_map(Stage::DropDuplicates),
+        Just(Stage::Describe),
+        (arb_name(), any::<bool>()).prop_map(|(column, max)| Stage::LocIdx {
+            column,
+            max,
+            cell: None
+        }),
+        (arb_name(), any::<bool>(), arb_name()).prop_map(|(column, max, cell)| Stage::LocIdx {
+            column,
+            max,
+            cell: Some(cell)
+        }),
+        any::<bool>().prop_map(|max| Stage::Idx { max }),
+        Just(Stage::ResetIndex),
+        (0usize..6).prop_map(Stage::Round),
+        Just(Stage::Count),
+    ]
+}
+
+fn arb_pipeline_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec(arb_stage(), 0..5).prop_map(Query::pipeline)
+}
+
+/// Full query shapes: pipelines, len-wrapping, and left-associated scalar
+/// arithmetic chains between pipelines and numbers.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let leaf = prop_oneof![
+        arb_pipeline_query(),
+        arb_pipeline_query().prop_map(|q| Query::Len(Box::new(q))),
+        (0i64..1000).prop_map(|n| Query::Number(n as f64)),
+    ];
+    prop::collection::vec((leaf, 0usize..4), 1..3).prop_map(|terms| {
+        let mut terms = terms.into_iter();
+        let (first, _) = terms.next().expect("non-empty");
+        terms.fold(first, |acc, (rhs, op)| {
+            let op = match op {
+                0 => dataframe::ArithOp::Add,
+                1 => dataframe::ArithOp::Sub,
+                2 => dataframe::ArithOp::Mul,
+                _ => dataframe::ArithOp::Div,
+            };
+            Query::Binary(Box::new(acc), op, Box::new(rhs))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_roundtrip(q in arb_query()) {
+        let text = render(&q);
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+        prop_assert_eq!(back, q);
+    }
+}
