@@ -154,12 +154,15 @@ impl Tool for InMemoryQueryTool {
 ///
 /// Plan-then-push: the query is lowered into a logical plan
 /// ([`provql::plan`]) and, when the plan is *selective* (every pipeline
-/// pushes an index-servable conjunct or a row limit), served by the
+/// pushes an index-servable conjunct, a row limit, or a column set the
+/// columnar sidecar serves without decoding documents), served by the
 /// store's pushdown executor ([`prov_db::execute_plan`]) — equality
 /// conjuncts probe the hash indexes, time ranges hit the sorted index,
-/// and only the surviving documents' referenced columns are materialized
-/// into a frame. Everything else — whole-width outputs, columns only the
-/// corpus-wide union can vouch for, and unselective scans that would
+/// residual `col op lit` filters on hot fields evaluate over the columnar
+/// vectors, and referenced columnar columns materialize straight from
+/// those vectors (including corpus-wide group-by aggregates, which used to
+/// be oracle-only). Everything else — whole-width outputs, columns only
+/// the corpus-wide union can vouch for, and unselective scans that would
 /// decode the entire corpus anyway — runs against the full-materialize
 /// oracle, whose frame is cached per store
 /// [generation](ProvenanceDatabase::generation) so non-pushable queries
@@ -213,24 +216,28 @@ impl ProvDbQueryTool {
         frame
     }
 
-    /// Execute a parsed query: selective plans go through pushdown, the
-    /// rest (including pushdown fallbacks) run on the cached oracle frame.
+    /// Execute a parsed query: selective and columnar-servable plans go
+    /// through pushdown, the rest (including pushdown fallbacks) run on
+    /// the cached oracle frame.
     fn run(
         &self,
         db: &Arc<ProvenanceDatabase>,
         query: &Query,
     ) -> Result<QueryOutput, provql::ExecError> {
         let plan = provql::plan(query, db.as_ref());
-        // An unselective scan decodes the whole corpus per call; the
-        // cached frame amortizes that to one build per store generation,
-        // so pushdown must earn its keep with pushed conjuncts or limits
-        // on every pipeline. Vacuously true for pipeline-free scalar
-        // queries (bare arithmetic), which execute_plan answers without
-        // touching the store at all.
+        // An unselective scan that must *decode* the corpus per call is
+        // worse than the cached frame (one build per store generation), so
+        // pushdown must earn its keep on every pipeline: a pushed
+        // conjunct, a row limit, or a column set the columnar sidecar
+        // serves without decoding a single document (`columnar_only` —
+        // this is what lets corpus-wide aggregates skip the oracle).
+        // Vacuously true for pipeline-free scalar queries (bare
+        // arithmetic), which execute_plan answers without touching the
+        // store at all.
         let selective = plan
             .pipelines()
             .iter()
-            .all(|p| p.has_pushdown() || p.scan.limit.is_some());
+            .all(|p| p.has_pushdown() || p.scan.limit.is_some() || p.scan.columnar_only);
         if selective {
             if let prov_db::Pushdown::Executed(res) = prov_db::execute_plan(db, &plan) {
                 return res;
@@ -725,6 +732,37 @@ mod tests {
             .call("provdb_query", &args(&[("code", Value::from(code))]), &ctx)
             .unwrap();
         assert_eq!(out.content, Value::Float(3.0));
+    }
+
+    #[test]
+    fn provdb_tool_serves_columnar_aggregates_without_the_oracle() {
+        let ctx = tool_ctx();
+        let db = ctx.db.as_ref().unwrap();
+        let tool = ProvDbQueryTool::new();
+        // A corpus-wide group-by over columnar fields: no pushed conjunct,
+        // no limit — pre-columnar this rebuilt (then cached) the oracle
+        // frame; now the scan serves it from the column vectors.
+        let out = tool
+            .call(
+                &args(&[(
+                    "code",
+                    Value::from(r#"df.groupby("activity_id")["duration"].mean()"#),
+                )]),
+                &ctx,
+            )
+            .unwrap();
+        assert!(out.table.is_some());
+        assert!(
+            tool.cache.lock().is_none(),
+            "columnar-servable aggregate should not build the oracle frame"
+        );
+        // And the answer matches the oracle's.
+        let oracle = execute(
+            &parse(r#"df.groupby("activity_id")["duration"].mean()"#).unwrap(),
+            &tool.full_frame(db),
+        )
+        .unwrap();
+        assert_eq!(out.table.unwrap(), *oracle.as_frame().unwrap());
     }
 
     #[test]

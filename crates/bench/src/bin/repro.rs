@@ -31,9 +31,12 @@ fn main() {
     }
 
     // Bench-regression gate: `repro --check-bench <committed.json>
-    // <fresh.json> [tolerance]` exits non-zero when any speedup in the
-    // fresh report falls more than `tolerance` (default 0.20) below the
-    // committed one. CI runs this after regenerating `BENCH_provdb.json`.
+    // <fresh.json> [tolerance] [--summary]` exits non-zero when any
+    // speedup in the fresh report falls more than `tolerance` (default
+    // 0.20) below the committed one. CI runs this after regenerating
+    // `BENCH_provdb.json`; with `--summary` the comparison is printed as
+    // a markdown table (appended to `$GITHUB_STEP_SUMMARY` by the bench
+    // job, so regressions are readable without downloading the artifact).
     if let Some(pos) = args.iter().position(|a| a == "--check-bench") {
         let committed = args
             .get(pos + 1)
@@ -45,7 +48,8 @@ fn main() {
             .get(pos + 3)
             .and_then(|t| t.parse::<f64>().ok())
             .unwrap_or(0.20);
-        std::process::exit(check_bench_regression(committed, fresh, tolerance));
+        let summary = args.iter().any(|a| a == "--summary");
+        std::process::exit(check_bench_regression(committed, fresh, tolerance, summary));
     }
 
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
@@ -150,7 +154,14 @@ fn main() {
 /// speedup in `fresh` is at least `(1 - tolerance) ×` the committed one,
 /// 1 on regression, 2 on unreadable/malformed input. The tolerance absorbs
 /// runner noise; the committed file is the floor the perf work locked in.
-fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64) -> i32 {
+/// With `summary` the comparison is rendered as a markdown table (for CI
+/// step summaries) instead of plain log lines.
+fn check_bench_regression(
+    committed_path: &str,
+    fresh_path: &str,
+    tolerance: f64,
+    summary: bool,
+) -> i32 {
     use prov_model::{json, Value};
 
     fn load(path: &str) -> Option<Value> {
@@ -170,6 +181,14 @@ fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64
         return 2;
     };
 
+    if summary {
+        println!(
+            "### prov-db bench: committed vs fresh (tolerance {:.0}%)\n",
+            tolerance * 100.0
+        );
+        println!("| metric | committed | fresh | floor | status |");
+        println!("|---|---:|---:|---:|:---:|");
+    }
     let mut checked = 0;
     let mut failures = 0;
     for (metric, entry) in committed {
@@ -180,14 +199,19 @@ fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64
             .get_path(&format!("{metric}.speedup"))
             .and_then(Value::as_f64);
         checked += 1;
+        let floor = want * (1.0 - tolerance);
         match got {
-            Some(got) if got >= want * (1.0 - tolerance) => {
-                println!(
-                    "check-bench: ok   {metric}: {got:.1}x (floor {:.1}x)",
-                    want * (1.0 - tolerance)
-                );
+            Some(got) if got >= floor => {
+                if summary {
+                    println!("| {metric} | {want:.1}x | {got:.1}x | {floor:.1}x | ok |");
+                } else {
+                    println!("check-bench: ok   {metric}: {got:.1}x (floor {floor:.1}x)");
+                }
             }
             Some(got) => {
+                if summary {
+                    println!("| {metric} | {want:.1}x | {got:.1}x | {floor:.1}x | **REGRESSED** |");
+                }
                 eprintln!(
                     "check-bench: FAIL {metric}: fresh {got:.2}x is more than {:.0}% below committed {want:.2}x",
                     tolerance * 100.0
@@ -195,6 +219,9 @@ fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64
                 failures += 1;
             }
             None => {
+                if summary {
+                    println!("| {metric} | {want:.1}x | — | {floor:.1}x | **MISSING** |");
+                }
                 eprintln!("check-bench: FAIL {metric}: missing from {fresh_path}");
                 failures += 1;
             }
@@ -203,6 +230,9 @@ fn check_bench_regression(committed_path: &str, fresh_path: &str, tolerance: f64
     if checked == 0 {
         eprintln!("check-bench: no speedup metrics found in {committed_path}");
         return 2;
+    }
+    if summary {
+        println!();
     }
     if failures > 0 {
         1
@@ -286,7 +316,12 @@ impl ProvDbReport {
                  current engine: full-materialize-then-row-scan (a selective find plus a \
                  filtered group-by aggregate, whole corpus rebuilt into a DataFrame per \
                  query) vs plan-then-push (hash-index probes, projected frame over the \
-                 surviving documents only).",
+                 surviving documents only). columnar_find and columnar_aggregate compare \
+                 the two scan paths of the current engine: decode-based projected scan \
+                 (every surviving document decoded back into a task message) vs the \
+                 columnar sidecar (filters evaluated over typed column vectors, frame \
+                 built straight from them; columnar_find is a selective two-column find, \
+                 columnar_aggregate an unselective corpus-wide group-by).",
             ),
         );
         for m in &self.measurements {
@@ -343,6 +378,35 @@ fn pushdown_queries() -> Vec<provql::Query> {
     .iter()
     .map(|t| provql::parse(t).expect("bench query parses"))
     .collect()
+}
+
+/// The queries behind `columnar_find` and `columnar_aggregate`: a
+/// selective projected find over columnar columns only, and an unselective
+/// corpus-wide group-by aggregate over columnar columns. Both are measured
+/// through `try_execute_with` on the *current* engine — decode-based
+/// projected scan (`use_columnar = false`, the PR 3 path that decodes
+/// every surviving document) vs the columnar scan (`use_columnar = true`,
+/// which materializes the frame straight from the column vectors).
+fn columnar_queries() -> (provql::Query, provql::Query) {
+    (
+        provql::parse(r#"df[df["workflow_id"] == "wf-7"][["task_id", "duration"]]"#)
+            .expect("bench query parses"),
+        provql::parse(r#"df.groupby("activity_id")["duration"].mean()"#)
+            .expect("bench query parses"),
+    )
+}
+
+fn run_columnar_query(
+    db: &prov_db::ProvenanceDatabase,
+    q: &provql::Query,
+    use_columnar: bool,
+) -> usize {
+    match prov_db::try_execute_with(db, q, use_columnar) {
+        prov_db::Pushdown::Executed(out) => out.expect("query runs").len(),
+        prov_db::Pushdown::NeedsFullFrame(reason) => {
+            panic!("bench query was not served by the scan: {reason}")
+        }
+    }
 }
 
 fn provdb_group() -> prov_db::GroupSpec {
@@ -466,6 +530,41 @@ fn provdb_measure(which: &str) -> f64 {
                 }
             })
         }
+        // Selective find through both scan paths of the current engine:
+        // index probe + decode ~2k surviving docs into a projected frame
+        // vs index probe + column-vector gather (no decode at all).
+        "columnar-find-scan" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let (find, _) = columnar_queries();
+            p50(|| run_columnar_query(&db, &find, false))
+        }
+        "columnar-find" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let (find, _) = columnar_queries();
+            p50(|| run_columnar_query(&db, &find, true))
+        }
+        // Unselective corpus-wide aggregate: decode all 100k docs into a
+        // projected frame vs building the two referenced columns straight
+        // from the vectors. This is the shape that used to be servable
+        // only by the cached oracle.
+        "columnar-agg-scan" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let (_, agg) = columnar_queries();
+            best_of(5, || {
+                std::hint::black_box(run_columnar_query(&db, &agg, false));
+            })
+        }
+        "columnar-agg" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let (_, agg) = columnar_queries();
+            best_of(5, || {
+                std::hint::black_box(run_columnar_query(&db, &agg, true));
+            })
+        }
         "aggregate-baseline" => {
             let db = BaselineDatabase::new();
             db.insert_batch(&msgs);
@@ -543,6 +642,21 @@ fn provdb_benchmark() -> ProvDbReport {
             unit: "ms",
             baseline: provdb_measure_isolated("query-scan") * 1e3,
             sharded: provdb_measure_isolated("query-pushdown") * 1e3,
+        },
+        // Current engine on both sides again: the decode-based projected
+        // scan vs the columnar scan, on a selective find and on an
+        // unselective corpus-wide aggregate.
+        ProvDbMeasurement {
+            name: "columnar_find",
+            unit: "\u{b5}s",
+            baseline: provdb_measure_isolated("columnar-find-scan") * 1e6,
+            sharded: provdb_measure_isolated("columnar-find") * 1e6,
+        },
+        ProvDbMeasurement {
+            name: "columnar_aggregate",
+            unit: "ms",
+            baseline: provdb_measure_isolated("columnar-agg-scan") * 1e3,
+            sharded: provdb_measure_isolated("columnar-agg") * 1e3,
         },
     ];
     ProvDbReport {

@@ -218,14 +218,7 @@ impl Expr {
                 .unwrap_or(Value::Null),
             Expr::Lit(v) => v.clone(),
             Expr::Cmp(a, op, b) => {
-                let av = a.eval(frame, row);
-                let bv = b.eval(frame, row);
-                if av.is_null() || bv.is_null() {
-                    // Null comparisons are false, pandas-style.
-                    return Value::Bool(matches!(op, CmpOp::Ne) && !(av.is_null() && bv.is_null()));
-                }
-                let equal = values_equal(&av, &bv);
-                Value::Bool(op.test(av.compare(&bv), equal))
+                Value::Bool(cmp_matches(&a.eval(frame, row), *op, &b.eval(frame, row)))
             }
             Expr::Arith(a, op, b) => {
                 let (Some(x), Some(y)) = (a.eval(frame, row).as_f64(), b.eval(frame, row).as_f64())
@@ -316,6 +309,19 @@ impl Expr {
             | Expr::NotNull(a) => a.collect_columns(out),
         }
     }
+}
+
+/// The `Expr::Cmp` comparison rule on two already-evaluated values:
+/// null operands are false (pandas-style; `!=` is true unless both sides
+/// are null), equality coerces Int/Float, and ordering follows
+/// [`Value::compare`]. Public so storage engines evaluating `col op lit`
+/// filters outside a frame (e.g. over columnar vectors) apply byte-for-byte
+/// the same semantics as a frame filter.
+pub fn cmp_matches(lhs: &Value, op: CmpOp, rhs: &Value) -> bool {
+    if lhs.is_null() || rhs.is_null() {
+        return matches!(op, CmpOp::Ne) && !(lhs.is_null() && rhs.is_null());
+    }
+    op.test(lhs.compare(rhs), values_equal(lhs, rhs))
 }
 
 /// Value equality with Int/Float coercion (`2 == 2.0`).

@@ -78,8 +78,29 @@ impl DataFrame {
 
     /// Build from `(name, values)` pairs; all lengths must agree.
     pub fn from_columns(cols: Vec<(impl Into<String>, Vec<Value>)>) -> FrameResult<Self> {
+        Self::build_from_columns(cols, None)
+    }
+
+    /// Build from `(name, values)` pairs with an explicit row count.
+    ///
+    /// Unlike [`from_columns`], a zero-width frame keeps `rows` rows — the
+    /// shape a projected scan needs when a pipeline observes only the row
+    /// count (`len(df[...])`) and no column has to be materialized at all.
+    ///
+    /// [`from_columns`]: DataFrame::from_columns
+    pub fn from_columns_with_rows(
+        cols: Vec<(impl Into<String>, Vec<Value>)>,
+        rows: usize,
+    ) -> FrameResult<Self> {
+        Self::build_from_columns(cols, Some(rows))
+    }
+
+    fn build_from_columns(
+        cols: Vec<(impl Into<String>, Vec<Value>)>,
+        rows: Option<usize>,
+    ) -> FrameResult<Self> {
         let mut df = DataFrame::new();
-        let mut expected = None;
+        let mut expected = rows;
         for (name, values) in cols {
             let name = name.into();
             let n = values.len();

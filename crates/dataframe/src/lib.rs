@@ -37,6 +37,6 @@ pub use agg::AggFunc;
 pub use column::Column;
 pub use display::{render, DisplayOptions};
 pub use dtype::DType;
-pub use expr::{col, lit, values_equal, ArithOp, CmpOp, Expr};
+pub use expr::{cmp_matches, col, lit, values_equal, ArithOp, CmpOp, Expr};
 pub use frame::{DataFrame, FrameError, FrameResult};
 pub use groupby::GroupBy;

@@ -130,6 +130,12 @@ fn arb_filter() -> impl Strategy<Value = Stage> {
         (arb_column(), -10.0f64..2e9).prop_map(|(c, v)| Stage::Filter(col(c).gt(lit(v)))),
         (arb_column(), "[a-z0-9_-]{1,10}")
             .prop_map(|(c, s)| Stage::Filter(col(c).eq(lit(s.as_str())))),
+        // `!=` and unindexed-Eq conjuncts: residual pre-columnar, now
+        // evaluated over the column vectors.
+        (arb_column(), "[a-z0-9_-]{1,10}")
+            .prop_map(|(c, s)| Stage::Filter(col(c).ne(lit(s.as_str())))),
+        Just(Stage::Filter(col("status").eq(lit("ERROR")))),
+        Just(Stage::Filter(col("hostname").ne(lit("h0")))),
         Just(Stage::Filter(col("activity_id").eq(lit("power")))),
         Just(Stage::Filter(
             col("activity_id")
@@ -201,9 +207,50 @@ proptest! {
             (db, frame)
         });
         let oracle = execute(&q, frame);
+        // Both scan paths — columnar vectors and document decoding — must
+        // reproduce the oracle exactly (outputs *and* errors).
         match prov_db::try_execute(db, &q) {
+            Pushdown::Executed(got) => prop_assert_eq!(got, oracle.clone()),
+            Pushdown::NeedsFullFrame(_) => {}
+        }
+        match prov_db::try_execute_with(db, &q, false) {
             Pushdown::Executed(got) => prop_assert_eq!(got, oracle),
             Pushdown::NeedsFullFrame(_) => {}
+        }
+    }
+}
+
+#[test]
+fn columnar_scan_serves_previously_oracle_only_queries() {
+    let experiment = eval::Experiment {
+        seed: 42,
+        n_inputs: 10,
+        runs_per_query: 1,
+    };
+    let db = eval::build_synthetic_db(&experiment);
+    let frame = oracle_frame(&db);
+    // Unselective aggregates over hot fields and residual `col op lit`
+    // filters: the decode-based scan deferred these to the oracle; the
+    // columnar scan serves them (identically).
+    for text in [
+        r#"df.groupby("activity_id")["duration"].mean()"#,
+        r#"df["hostname"].value_counts()"#,
+        r#"len(df[df["status"] != "FINISHED"])"#,
+        r#"df[df["hostname"] == "h1"]["duration"].sum()"#,
+    ] {
+        let query = parse(text).expect("query parses");
+        assert!(
+            check_query(&db, &frame, &query, text),
+            "{text}: columnar scan should serve this"
+        );
+        // The agent tool's routing rule: no pushed conjunct, no limit —
+        // pre-columnar these pipelines were sent to the cached oracle;
+        // `columnar_only` is what routes them through the scan now.
+        let plan = provql::plan(&query, db.as_ref());
+        for p in plan.pipelines() {
+            assert!(!p.has_pushdown(), "{text}: no index conjunct expected");
+            assert_eq!(p.scan.limit, None, "{text}");
+            assert!(p.scan.columnar_only, "{text}: should be columnar-servable");
         }
     }
 }

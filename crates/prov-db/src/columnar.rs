@@ -1,0 +1,559 @@
+//! Columnar sidecar for the document store — per-shard, append-only typed
+//! column vectors of the hot scalar fields.
+//!
+//! PROV-AGENT-shaped corpora are queried over and over on a small set of
+//! scalar fields (ids, status, timestamps, derived telemetry means). The
+//! sidecar stores those fields *as the query frame sees them*: each vector
+//! entry is the value `DataFrame::from_messages` would put in the
+//! corresponding frame cell for that document — i.e. the value obtained by
+//! decoding the document with `TaskMessage::from_value` and flattening it
+//! with the frame's row policy (defaults applied, `duration` derived,
+//! telemetry means computed). The executor (`crate::exec`) can therefore
+//! evaluate `col op lit` filters and build projected frames straight from
+//! the vectors, with *frame* comparison semantics
+//! ([`dataframe::cmp_matches`]), and only decode a surviving document when
+//! a referenced column is not columnar.
+//!
+//! ## Exactness contract
+//!
+//! For every document and every columnar field, [`ColumnarShard::value`]
+//! must equal the cell `from_messages` produces (`Value::Null` standing in
+//! for "the row does not provide the column"), and a document is marked
+//! decodable exactly when `TaskMessage::from_value` succeeds — the oracle
+//! drops undecodable documents, so the columnar path must too. A proptest
+//! in `tests/columnar_differential.rs` pins this equivalence down over
+//! random documents, including ones with missing or ill-typed hot fields.
+//!
+//! Two escape hatches keep the contract honest on adversarial data:
+//!
+//! * **Poisoning** — the frame's flatten policy lets a `used`/`generated`
+//!   key shadow the bare column name of the non-protected telemetry means
+//!   (`gpu_percent_end`, `mem_used_mb_end`). When such a key is ever
+//!   ingested, the affected column is *poisoned*: it stops advertising as
+//!   columnar and queries referencing it fall back to document decoding
+//!   (always correct, merely slower).
+//! * **Irregularity** — index probes operate on raw document values, while
+//!   the frame sees decoded values. For well-formed corpora these agree,
+//!   so index candidate sets are valid supersets; when a decodable
+//!   document's raw field had to be defaulted or canonicalized during
+//!   decoding (`status: "finished"` → `"FINISHED"`, a string
+//!   `started_at` → `0.0`), the field is marked *irregular* and index
+//!   hints on it are disabled — the scan then evaluates the conjunct over
+//!   the full column vector instead, which is exact by construction.
+//!
+//! Consistency with the document store is structural: the vectors live
+//! inside each shard, are appended under the same shard write lock as the
+//! document itself, and are backfilled under that lock when the sidecar is
+//! enabled on a non-empty store; the facade's `generation()` counter keys
+//! caches built on top (the agent tool's oracle frame), not the sidecar.
+
+use dataframe::{cmp_matches, CmpOp};
+use prov_model::{MessageType, Sym, TaskStatus, Value};
+
+/// String-typed hot columns, in vector order. All are frame "common
+/// fields", so the flatten policy protects their bare names from
+/// `used`/`generated` key clashes.
+pub(crate) const STR_FIELDS: [&str; 7] = [
+    "task_id",
+    "campaign_id",
+    "workflow_id",
+    "activity_id",
+    "hostname",
+    "status",
+    "type",
+];
+
+/// Float-typed hot columns, in vector order: the Listing-1 timestamps, the
+/// derived `duration`, and the derived scalar telemetry means.
+pub(crate) const F64_FIELDS: [&str; 7] = [
+    "started_at",
+    "ended_at",
+    "duration",
+    "cpu_percent_start",
+    "cpu_percent_end",
+    "gpu_percent_end",
+    "mem_used_mb_end",
+];
+
+/// Columns whose bare frame name is *not* protected against a
+/// `used`/`generated` key of the same name (see module docs): ingesting
+/// such a key poisons the column.
+pub(crate) const POISONABLE: [&str; 2] = ["gpu_percent_end", "mem_used_mb_end"];
+
+/// Fields whose raw document value can back an index probe when regular
+/// (pass-through fields; derived columns like `duration` have no document
+/// path and never hint).
+const HINTABLE: [&str; 9] = [
+    "task_id",
+    "campaign_id",
+    "workflow_id",
+    "activity_id",
+    "hostname",
+    "status",
+    "type",
+    "started_at",
+    "ended_at",
+];
+
+/// Handle to one columnar field: kind + index into its typed vector array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ColField {
+    /// `STR_FIELDS[i]`.
+    Str(usize),
+    /// `F64_FIELDS[i]`.
+    F64(usize),
+}
+
+/// Resolve a frame column name to its columnar field, if it has one.
+pub(crate) fn lookup(name: &str) -> Option<ColField> {
+    if let Some(i) = STR_FIELDS.iter().position(|f| *f == name) {
+        return Some(ColField::Str(i));
+    }
+    F64_FIELDS
+        .iter()
+        .position(|f| *f == name)
+        .map(ColField::F64)
+}
+
+/// The field's name.
+pub(crate) fn field_name(f: ColField) -> &'static str {
+    match f {
+        ColField::Str(i) => STR_FIELDS[i],
+        ColField::F64(i) => F64_FIELDS[i],
+    }
+}
+
+/// Bit of a field in the store-level irregular/poison masks.
+pub(crate) fn field_bit(f: ColField) -> u16 {
+    match f {
+        ColField::Str(i) => 1 << i,
+        ColField::F64(i) => 1 << (STR_FIELDS.len() + i),
+    }
+}
+
+/// True when index probes on this field's document path are a valid
+/// superset of frame matches (pass-through field, no irregular doc seen).
+pub(crate) fn hint_safe(f: ColField, irregular_mask: u16) -> bool {
+    HINTABLE.contains(&field_name(f)) && irregular_mask & field_bit(f) == 0
+}
+
+/// What one appended document did to the store-level masks.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PushReport {
+    /// Fields whose raw value was defaulted/canonicalized during decode.
+    pub irregular: u16,
+    /// Poisonable columns shadowed by a dataflow key in this document.
+    pub poison: u16,
+}
+
+fn default_campaign() -> Sym {
+    static CELL: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| Sym::from("default-campaign")).clone()
+}
+
+fn default_hostname() -> Sym {
+    static CELL: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| Sym::from("localhost")).clone()
+}
+
+/// Mean of the numeric entries of the array at `path` (0.0 when absent or
+/// empty) — exactly `Telemetry::from_value` + `cpu_mean`/`gpu_mean`.
+fn telemetry_mean(telemetry: &Value, path: &str) -> f64 {
+    let Some(a) = telemetry.get_path(path).and_then(Value::as_array) else {
+        return 0.0;
+    };
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in a.iter() {
+        if let Some(x) = v.as_f64() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Column vectors of one document-store shard, slot-aligned with the
+/// shard's document vector.
+#[derive(Default)]
+pub(crate) struct ColumnarShard {
+    /// Whether `TaskMessage::from_value` succeeds on the slot's document.
+    decodable: Vec<bool>,
+    strs: [Vec<Option<Sym>>; STR_FIELDS.len()],
+    floats: [Vec<Option<f64>>; F64_FIELDS.len()],
+    /// Non-absent entries per field (`strs` first, then `floats`) —
+    /// answers corpus-wide column existence without a scan.
+    present: [usize; STR_FIELDS.len() + F64_FIELDS.len()],
+}
+
+impl ColumnarShard {
+    /// Rows covered (equals the shard's document count while in sync).
+    pub(crate) fn len(&self) -> usize {
+        self.decodable.len()
+    }
+
+    /// Whether the slot's document decodes into a task message.
+    pub(crate) fn is_decodable(&self, slot: usize) -> bool {
+        self.decodable.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Non-absent entries of a field in this shard.
+    pub(crate) fn present(&self, f: ColField) -> usize {
+        match f {
+            ColField::Str(i) => self.present[i],
+            ColField::F64(i) => self.present[STR_FIELDS.len() + i],
+        }
+    }
+
+    /// The frame cell for `(slot, field)`; `Null` when the row does not
+    /// provide the column (or the document is undecodable).
+    pub(crate) fn value(&self, slot: usize, f: ColField) -> Value {
+        match f {
+            ColField::Str(i) => self.strs[i]
+                .get(slot)
+                .and_then(Clone::clone)
+                .map(Value::Str)
+                .unwrap_or(Value::Null),
+            ColField::F64(i) => self.floats[i]
+                .get(slot)
+                .and_then(|v| *v)
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Evaluate `value(slot, f) op lit` with frame semantics.
+    pub(crate) fn matches(&self, slot: usize, f: ColField, op: CmpOp, lit: &Value) -> bool {
+        cmp_matches(&self.value(slot, f), op, lit)
+    }
+
+    fn push_str(&mut self, i: usize, v: Option<Sym>) {
+        if v.is_some() {
+            self.present[i] += 1;
+        }
+        self.strs[i].push(v);
+    }
+
+    fn push_f64(&mut self, i: usize, v: Option<f64>) {
+        if v.is_some() {
+            self.present[STR_FIELDS.len() + i] += 1;
+        }
+        self.floats[i].push(v);
+    }
+
+    /// Append one pre-extracted row (must be called exactly once per
+    /// document, in slot order, under the shard's write lock — extraction
+    /// itself is pure and can run before any lock is taken).
+    pub(crate) fn push_row(&mut self, row: ExtractedRow) -> PushReport {
+        self.decodable.push(row.decodable);
+        for (i, v) in row.strs.into_iter().enumerate() {
+            self.push_str(i, v);
+        }
+        for (i, v) in row.floats.into_iter().enumerate() {
+            self.push_f64(i, v);
+        }
+        row.report
+    }
+
+    /// Extract-and-append in one step (backfill path, tests).
+    pub(crate) fn push_doc(&mut self, doc: &Value) -> PushReport {
+        self.push_row(extract(doc))
+    }
+}
+
+/// One document's hot fields, decoded to frame cells but not yet appended
+/// to a shard — the pure half of ingest-time population, computable
+/// outside every lock.
+pub(crate) struct ExtractedRow {
+    decodable: bool,
+    strs: [Option<Sym>; STR_FIELDS.len()],
+    floats: [Option<f64>; F64_FIELDS.len()],
+    report: PushReport,
+}
+
+/// Decode one document's hot fields into an [`ExtractedRow`] (see the
+/// module docs for the exactness contract with `TaskMessage::from_value`
+/// and the frame's row policy).
+pub(crate) fn extract(doc: &Value) -> ExtractedRow {
+    let mut report = PushReport::default();
+    let get_str = |k: &str| match doc.get(k) {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    // `TaskMessage::from_value` requires these three as strings; a
+    // document missing any of them never reaches the oracle frame.
+    let task_id = get_str("task_id");
+    let workflow_id = get_str("workflow_id");
+    let activity_id = get_str("activity_id");
+    let decodable = task_id.is_some() && workflow_id.is_some() && activity_id.is_some();
+    if !decodable {
+        return ExtractedRow {
+            decodable,
+            strs: Default::default(),
+            floats: Default::default(),
+            report,
+        };
+    }
+
+    let mut irregular = |name: &str| {
+        report.irregular |= field_bit(lookup(name).expect("known field"));
+    };
+
+    // Pass-through strings with decode defaults.
+    let campaign = get_str("campaign_id").unwrap_or_else(|| {
+        irregular("campaign_id");
+        default_campaign()
+    });
+    let hostname = get_str("hostname").unwrap_or_else(|| {
+        irregular("hostname");
+        default_hostname()
+    });
+    // Canonicalized enums: the decode parses (case-insensitively for
+    // status) and falls back to the default; the frame cell is the
+    // canonical wire symbol. Irregular whenever canonical != raw.
+    let status = match get_str("status") {
+        Some(raw) => {
+            let parsed = TaskStatus::parse(raw.as_str()).unwrap_or_default();
+            if parsed.sym().as_str() != raw.as_str() {
+                irregular("status");
+            }
+            parsed.sym()
+        }
+        None => {
+            irregular("status");
+            TaskStatus::default().sym()
+        }
+    };
+    let msg_type = match get_str("type") {
+        Some(raw) => {
+            let parsed = MessageType::parse(raw.as_str()).unwrap_or_default();
+            if parsed.sym().as_str() != raw.as_str() {
+                irregular("type");
+            }
+            parsed.sym()
+        }
+        None => {
+            irregular("type");
+            MessageType::default().sym()
+        }
+    };
+
+    // Timestamps: decode coerces to f64 with a 0.0 default; a raw
+    // value an index cannot coerce the same way is irregular.
+    let started_at = doc
+        .get("started_at")
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| {
+            irregular("started_at");
+            0.0
+        });
+    let ended_at = doc
+        .get("ended_at")
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| {
+            irregular("ended_at");
+            0.0
+        });
+    let duration = (ended_at - started_at).max(0.0);
+
+    // Derived telemetry means: present exactly when the section key
+    // is present (however malformed — decode defaults shine through).
+    let tele_start = doc.get("telemetry_at_start");
+    let tele_end = doc.get("telemetry_at_end");
+    let cpu_start = tele_start.map(|t| telemetry_mean(t, "cpu.percent"));
+    let cpu_end = tele_end.map(|t| telemetry_mean(t, "cpu.percent"));
+    let gpu_end = tele_end.map(|t| telemetry_mean(t, "gpu.percent"));
+    let mem_end = tele_end.map(|t| {
+        t.get_path("memory.used_mb")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    });
+
+    // Dataflow keys shadowing a non-protected bare column name poison
+    // that column store-wide (a nested object would flatten to dotted
+    // names, but an empty object or scalar takes the bare name — the
+    // top-level check over-approximates on the safe side).
+    for section in ["used", "generated"] {
+        if let Some(Value::Object(m)) = doc.get(section) {
+            for name in POISONABLE {
+                if m.contains_key(name) {
+                    report.poison |= field_bit(lookup(name).expect("poisonable field"));
+                }
+            }
+        }
+    }
+
+    ExtractedRow {
+        decodable,
+        strs: [
+            task_id,
+            Some(campaign),
+            workflow_id,
+            activity_id,
+            Some(hostname),
+            Some(status),
+            Some(msg_type),
+        ],
+        floats: [
+            Some(started_at),
+            Some(ended_at),
+            Some(duration),
+            cpu_start,
+            cpu_end,
+            gpu_end,
+            mem_end,
+        ],
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::obj;
+
+    #[test]
+    fn lookup_covers_all_fields_and_nothing_else() {
+        for (i, name) in STR_FIELDS.iter().enumerate() {
+            assert_eq!(lookup(name), Some(ColField::Str(i)));
+        }
+        for (i, name) in F64_FIELDS.iter().enumerate() {
+            assert_eq!(lookup(name), Some(ColField::F64(i)));
+        }
+        assert_eq!(lookup("y"), None);
+        assert_eq!(lookup("used.status"), None);
+    }
+
+    #[test]
+    fn field_bits_are_distinct() {
+        let mut seen = 0u16;
+        for name in STR_FIELDS.iter().chain(F64_FIELDS.iter()) {
+            let bit = field_bit(lookup(name).unwrap());
+            assert_eq!(seen & bit, 0, "{name}");
+            seen |= bit;
+        }
+    }
+
+    #[test]
+    fn well_formed_doc_extracts_regular() {
+        let mut shard = ColumnarShard::default();
+        let doc = prov_model::TaskMessageBuilder::new("t0", "wf", "act")
+            .span(5.0, 8.5)
+            .host("n0")
+            .build()
+            .to_value();
+        let report = shard.push_doc(&doc);
+        assert_eq!(report.irregular, 0);
+        assert_eq!(report.poison, 0);
+        assert!(shard.is_decodable(0));
+        assert_eq!(
+            shard.value(0, lookup("task_id").unwrap()),
+            Value::from("t0")
+        );
+        assert_eq!(
+            shard.value(0, lookup("duration").unwrap()),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            shard.value(0, lookup("status").unwrap()),
+            Value::from("FINISHED")
+        );
+        // No telemetry: the derived means are absent, not zero.
+        assert_eq!(
+            shard.value(0, lookup("cpu_percent_end").unwrap()),
+            Value::Null
+        );
+        assert_eq!(shard.present(lookup("cpu_percent_end").unwrap()), 0);
+    }
+
+    #[test]
+    fn defaults_and_canonicalization_mark_irregular() {
+        let mut shard = ColumnarShard::default();
+        let doc = obj! {
+            "task_id" => "t", "workflow_id" => "wf", "activity_id" => "a",
+            "status" => "finished", "started_at" => "not-a-number",
+        };
+        let report = shard.push_doc(&doc);
+        assert!(shard.is_decodable(0));
+        assert_eq!(
+            shard.value(0, lookup("status").unwrap()),
+            Value::from("FINISHED")
+        );
+        assert_eq!(
+            shard.value(0, lookup("started_at").unwrap()),
+            Value::Float(0.0)
+        );
+        for name in [
+            "status",
+            "started_at",
+            "campaign_id",
+            "hostname",
+            "type",
+            "ended_at",
+        ] {
+            let bit = field_bit(lookup(name).unwrap());
+            assert_ne!(report.irregular & bit, 0, "{name} should be irregular");
+        }
+        assert!(!hint_safe(lookup("status").unwrap(), report.irregular));
+        assert!(hint_safe(lookup("task_id").unwrap(), report.irregular));
+        // Derived fields never back an index hint, regular or not.
+        assert!(!hint_safe(lookup("duration").unwrap(), 0));
+    }
+
+    #[test]
+    fn undecodable_doc_is_all_absent() {
+        let mut shard = ColumnarShard::default();
+        shard.push_doc(&obj! {"task_id" => "t-only"});
+        assert!(!shard.is_decodable(0));
+        assert_eq!(shard.value(0, lookup("task_id").unwrap()), Value::Null);
+        assert_eq!(shard.present(lookup("task_id").unwrap()), 0);
+    }
+
+    #[test]
+    fn dataflow_shadow_poisons_unprotected_columns() {
+        let mut shard = ColumnarShard::default();
+        let doc = obj! {
+            "task_id" => "t", "workflow_id" => "wf", "activity_id" => "a",
+            "generated" => obj! {"gpu_percent_end" => 99.0},
+        };
+        let report = shard.push_doc(&doc);
+        assert_ne!(
+            report.poison & field_bit(lookup("gpu_percent_end").unwrap()),
+            0
+        );
+        assert_eq!(
+            report.poison & field_bit(lookup("mem_used_mb_end").unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn telemetry_means_match_decode() {
+        use prov_model::TaskMessage;
+        let synth = prov_model::TelemetrySynth::frontier(3);
+        let msg = prov_model::TaskMessageBuilder::new("t", "wf", "a")
+            .telemetry(synth.snapshot(1, 0, 0.4), synth.snapshot(1, 1, 0.4))
+            .build();
+        let doc = msg.to_value();
+        let mut shard = ColumnarShard::default();
+        shard.push_doc(&doc);
+        let back = TaskMessage::from_value(&doc).unwrap();
+        let end = back.telemetry_at_end.unwrap();
+        assert_eq!(
+            shard.value(0, lookup("cpu_percent_end").unwrap()),
+            Value::Float(end.cpu_mean())
+        );
+        assert_eq!(
+            shard.value(0, lookup("gpu_percent_end").unwrap()),
+            Value::Float(end.gpu_mean())
+        );
+        assert_eq!(
+            shard.value(0, lookup("mem_used_mb_end").unwrap()),
+            Value::Float(end.mem_used_mb)
+        );
+    }
+}

@@ -15,12 +15,14 @@
 //! dense and ascending, and every query sorts its hits by id, so results
 //! keep insertion order exactly as the single-lock engine did.
 
+use crate::columnar::{self, ColField, ColumnarShard};
 use crate::query::{Condition, DocQuery, GroupSpec, Op};
+use dataframe::CmpOp;
 use parking_lot::RwLock;
 use prov_model::{Map, Value};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Stable document id: `slot * nshards + shard`.
@@ -142,13 +144,38 @@ fn range_key(f: f64) -> u64 {
     }
 }
 
+/// One shard: its documents plus the slot-aligned columnar sidecar (the
+/// sidecar stays empty until [`DocumentStore::enable_columnar`]).
+#[derive(Default)]
+struct Shard {
+    docs: Vec<Arc<Value>>,
+    cols: ColumnarShard,
+}
+
+/// Parse the `PROVDB_SHARDS` override: a positive integer, capped at 16
+/// like the auto-tuned count. `None` leaves auto-tuning in effect.
+fn shard_override(raw: Option<&str>) -> Option<usize> {
+    raw?.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .map(|n| n.min(16))
+}
+
 /// An in-memory JSON document collection, sharded for write concurrency.
 pub struct DocumentStore {
-    shards: Box<[RwLock<Vec<Arc<Value>>>]>,
+    shards: Box<[RwLock<Shard>]>,
     /// Round-robin distribution counter (not an id source: ids derive from
     /// the slot a document actually lands in).
     router: AtomicUsize,
     indexes: RwLock<HashMap<String, FieldIndex>>,
+    /// Whether the columnar sidecar is populated (see `crate::columnar`).
+    columnar: AtomicBool,
+    /// Columnar fields whose raw document values diverged from their
+    /// decoded frame values (index hints disabled; see `crate::columnar`).
+    col_irregular: AtomicU16,
+    /// Columnar fields shadowed by a dataflow key (no longer servable).
+    col_poison: AtomicU16,
 }
 
 impl Default for DocumentStore {
@@ -159,11 +186,17 @@ impl Default for DocumentStore {
 
 impl DocumentStore {
     /// Empty collection with one shard per available core (capped at 16).
+    /// The `PROVDB_SHARDS` environment variable overrides the auto-tuned
+    /// count (CI's shard-matrix leg forces 1 and 16 so shard-count-
+    /// sensitive paths are exercised on single-core runners).
     pub fn new() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(8)
-            .clamp(1, 16);
+        let shards = std::env::var("PROVDB_SHARDS").ok();
+        let n = shard_override(shards.as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8)
+                .clamp(1, 16)
+        });
         Self::with_shards(n)
     }
 
@@ -172,9 +205,14 @@ impl DocumentStore {
     pub fn with_shards(nshards: usize) -> Self {
         let nshards = nshards.max(1);
         Self {
-            shards: (0..nshards).map(|_| RwLock::new(Vec::new())).collect(),
+            shards: (0..nshards)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
             router: AtomicUsize::new(0),
             indexes: RwLock::new(HashMap::new()),
+            columnar: AtomicBool::new(false),
+            col_irregular: AtomicU16::new(0),
+            col_poison: AtomicU16::new(0),
         }
     }
 
@@ -185,12 +223,12 @@ impl DocumentStore {
 
     /// Number of documents.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().docs.len()).sum()
     }
 
     /// True when no documents are stored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.shards.iter().all(|s| s.read().docs.is_empty())
     }
 
     /// Insert one document; returns its id.
@@ -221,9 +259,18 @@ impl DocumentStore {
         let base = self.router.fetch_add(batch.len(), Ordering::Relaxed);
 
         // Partition round-robin, preserving batch order within each shard.
-        let mut per_shard: Vec<Vec<Arc<Value>>> = vec![Vec::new(); nshards];
+        // Columnar extraction is pure, so it runs here, before any lock is
+        // taken — the global index lock below must not serialize ingest on
+        // per-document decode work. The flag read is only a hint: the
+        // authoritative check happens under each shard's write lock (see
+        // `enable_columnar`), and a batch that raced an enable extracts
+        // the few unprepared rows inline there.
+        let columnar_hint = self.columnar.load(Ordering::Acquire);
+        type Prepared = (Arc<Value>, Option<columnar::ExtractedRow>);
+        let mut per_shard: Vec<Vec<Prepared>> = (0..nshards).map(|_| Vec::new()).collect();
         for (i, doc) in batch.into_iter().enumerate() {
-            per_shard[(base + i) % nshards].push(doc);
+            let row = columnar_hint.then(|| columnar::extract(&doc));
+            per_shard[(base + i) % nshards].push((doc, row));
         }
 
         let mut indexes = self.indexes.write();
@@ -233,18 +280,33 @@ impl DocumentStore {
                 continue;
             }
             let mut shard = self.shards[s].write();
-            for doc in docs {
-                let id = shard.len() * nshards + s;
+            let columnar = self.columnar.load(Ordering::Acquire);
+            for (doc, row) in docs {
+                let id = shard.docs.len() * nshards + s;
                 first = Some(first.map_or(id, |f| f.min(id)));
                 for (path, index) in indexes.iter_mut() {
                     if let Some(v) = doc.get_path(path) {
                         index_insert(index, id, v);
                     }
                 }
-                shard.push(doc);
+                if columnar {
+                    let row = row.unwrap_or_else(|| columnar::extract(&doc));
+                    self.apply_columnar_report(shard.cols.push_row(row));
+                }
+                shard.docs.push(doc);
             }
         }
         first
+    }
+
+    fn apply_columnar_report(&self, report: columnar::PushReport) {
+        if report.irregular != 0 {
+            self.col_irregular
+                .fetch_or(report.irregular, Ordering::Release);
+        }
+        if report.poison != 0 {
+            self.col_poison.fetch_or(report.poison, Ordering::Release);
+        }
     }
 
     /// Create a hash index over a dotted field path (idempotent).
@@ -290,7 +352,7 @@ impl DocumentStore {
     fn for_each_doc(&self, mut f: impl FnMut(DocId, &Arc<Value>)) {
         let nshards = self.shards.len();
         for (s, shard) in self.shards.iter().enumerate() {
-            for (slot, doc) in shard.read().iter().enumerate() {
+            for (slot, doc) in shard.read().docs.iter().enumerate() {
                 f(slot * nshards + s, doc);
             }
         }
@@ -299,7 +361,11 @@ impl DocumentStore {
     /// Fetch a document by id as a shared handle (no clone of the payload).
     pub fn get(&self, id: DocId) -> Option<Arc<Value>> {
         let nshards = self.shards.len();
-        self.shards[id % nshards].read().get(id / nshards).cloned()
+        self.shards[id % nshards]
+            .read()
+            .docs
+            .get(id / nshards)
+            .cloned()
     }
 
     /// Run a query: filter → sort → limit → project. Results are shared
@@ -341,7 +407,7 @@ impl DocumentStore {
                     let s = ids[i] % nshards;
                     let shard = self.shards[s].read();
                     while i < ids.len() && ids[i] % nshards == s {
-                        if let Some(doc) = shard.get(ids[i] / nshards) {
+                        if let Some(doc) = shard.docs.get(ids[i] / nshards) {
                             if query.matches(doc) {
                                 n += 1;
                             }
@@ -354,7 +420,12 @@ impl DocumentStore {
             None => {
                 let mut n = 0;
                 for shard in self.shards.iter() {
-                    n += shard.read().iter().filter(|d| query.matches(d)).count();
+                    n += shard
+                        .read()
+                        .docs
+                        .iter()
+                        .filter(|d| query.matches(d))
+                        .count();
                 }
                 n
             }
@@ -375,7 +446,7 @@ impl DocumentStore {
                     let s = ids[i] % nshards;
                     let shard = self.shards[s].read();
                     while i < ids.len() && ids[i] % nshards == s {
-                        if let Some(doc) = shard.get(ids[i] / nshards) {
+                        if let Some(doc) = shard.docs.get(ids[i] / nshards) {
                             if query.matches(doc) {
                                 hits.push((ids[i], doc.clone()));
                             }
@@ -387,7 +458,7 @@ impl DocumentStore {
             None => {
                 for (s, shard) in self.shards.iter().enumerate() {
                     let shard = shard.read();
-                    for (slot, doc) in shard.iter().enumerate() {
+                    for (slot, doc) in shard.docs.iter().enumerate() {
                         if query.matches(doc) {
                             hits.push((slot * nshards + s, doc.clone()));
                         }
@@ -560,6 +631,188 @@ impl DocumentStore {
             }
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar sidecar (see `crate::columnar` for the design and the
+    // exactness contract).
+    // ------------------------------------------------------------------
+
+    /// Populate the columnar sidecar: hot scalar fields of every current
+    /// and future document are kept as per-shard typed column vectors
+    /// (idempotent; existing documents are backfilled under the shard
+    /// write locks).
+    pub fn enable_columnar(&self) {
+        // Every shard write lock is held across the flag flip AND the
+        // backfill, so a concurrent batch insert either fully precedes
+        // this (its documents are backfilled here) or fully follows it
+        // (it re-reads the flag under the shard lock and appends aligned
+        // columnar rows) — no interleaving can misalign slots.
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        if self.columnar.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for shard in guards.iter_mut() {
+            let shard = &mut **shard;
+            for slot in shard.cols.len()..shard.docs.len() {
+                let report = shard.cols.push_doc(&shard.docs[slot]);
+                self.apply_columnar_report(report);
+            }
+        }
+    }
+
+    /// Whether the columnar sidecar is populated.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar.load(Ordering::Acquire)
+    }
+
+    /// Whether a frame column can currently be served from the sidecar:
+    /// the sidecar is enabled, the column is a hot field, and no ingested
+    /// dataflow key has poisoned it.
+    pub fn columnar_servable(&self, column: &str) -> bool {
+        self.columnar_field(column).is_some()
+    }
+
+    fn columnar_field(&self, column: &str) -> Option<ColField> {
+        if !self.columnar_enabled() {
+            return None;
+        }
+        let f = columnar::lookup(column)?;
+        (self.col_poison.load(Ordering::Acquire) & columnar::field_bit(f) == 0).then_some(f)
+    }
+
+    /// Corpus-wide presence of a servable column: how many decodable
+    /// documents provide it (`None` when the column is not servable).
+    /// Answers frame column *existence* without touching a document.
+    pub fn columnar_presence(&self, column: &str) -> Option<usize> {
+        let f = self.columnar_field(column)?;
+        Some(self.shards.iter().map(|s| s.read().cols.present(f)).sum())
+    }
+
+    /// Evaluate a conjunction of `column op literal` filters over the
+    /// column vectors and return the surviving decodable document ids in
+    /// id (= insertion) order, truncated to `limit`.
+    ///
+    /// Semantics are the *frame* comparison rules ([`dataframe::cmp_matches`])
+    /// on the decoded cell values, so survivors match exactly the rows a
+    /// full-frame filter would keep. Index probes are used as candidate
+    /// pre-filters when safe (equality/range conjuncts on regular
+    /// pass-through fields), intersected smallest-first by the index layer;
+    /// every candidate is still verified against the vectors. Returns
+    /// `None` when any filter column is not servable.
+    pub fn columnar_scan(
+        &self,
+        filters: &[(&str, CmpOp, &Value)],
+        limit: Option<usize>,
+    ) -> Option<Vec<DocId>> {
+        let fields: Vec<(ColField, CmpOp, &Value)> = filters
+            .iter()
+            .map(|(col, op, lit)| Some((self.columnar_field(col)?, *op, *lit)))
+            .collect::<Option<_>>()?;
+        if !self.columnar_enabled() {
+            return None; // zero-filter scans still need the sidecar
+        }
+
+        // Index hints: conjuncts whose raw document values agree with
+        // their decoded frame values can seed the scan from the hash /
+        // sorted indexes (the index layer skips non-indexed paths and
+        // intersects the rest smallest-first). `!=` can never hint.
+        let irregular = self.col_irregular.load(Ordering::Acquire);
+        let hints: Vec<Condition> = fields
+            .iter()
+            .filter(|(f, _, _)| columnar::hint_safe(*f, irregular))
+            .filter_map(|(f, op, lit)| {
+                let op = match op {
+                    CmpOp::Eq => Op::Eq,
+                    CmpOp::Lt => Op::Lt,
+                    CmpOp::Le => Op::Lte,
+                    CmpOp::Gt => Op::Gt,
+                    CmpOp::Ge => Op::Gte,
+                    CmpOp::Ne => return None,
+                };
+                Some(Condition {
+                    path: columnar::field_name(*f).to_string(),
+                    op,
+                    value: (*lit).clone(),
+                })
+            })
+            .collect();
+        // Candidate generation may take the index write lock (range-log
+        // merge); do it before the shard guards to respect lock order.
+        let cand = self.candidates(&hints);
+
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let survives = |shard: &Shard, slot: usize| {
+            shard.cols.is_decodable(slot)
+                && fields
+                    .iter()
+                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
+        };
+        let mut out: Vec<DocId> = Vec::new();
+        let full = |out: &Vec<DocId>| limit.is_some_and(|n| out.len() >= n);
+        match cand {
+            Some(mut ids) => {
+                ids.sort_unstable();
+                ids.dedup();
+                for id in ids {
+                    let shard = &guards[id % nshards];
+                    if survives(shard, id / nshards) {
+                        out.push(id);
+                        if full(&out) {
+                            break;
+                        }
+                    }
+                }
+            }
+            None => {
+                // Slot-major over the shards: ids are `slot * n + shard`,
+                // so this order is globally ascending and a pushed limit
+                // can stop the scan early.
+                let max_slots = guards.iter().map(|g| g.cols.len()).max().unwrap_or(0);
+                'scan: for slot in 0..max_slots {
+                    for (s, g) in guards.iter().enumerate() {
+                        if slot < g.cols.len() && survives(g, slot) {
+                            out.push(slot * nshards + s);
+                            if full(&out) {
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The frame cells of a servable column for the given document ids, in
+    /// order (`Null` where a row does not provide the column). `None` when
+    /// the column is not servable.
+    pub fn columnar_gather(&self, ids: &[DocId], column: &str) -> Option<Vec<Value>> {
+        let f = self.columnar_field(column)?;
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        Some(
+            ids.iter()
+                .map(|id| guards[id % nshards].cols.value(id / nshards, f))
+                .collect(),
+        )
+    }
+
+    /// Fetch documents by id, preserving order. Ids must come from a scan
+    /// of this (append-only) store, so every id resolves.
+    pub fn docs_for_ids(&self, ids: &[DocId]) -> Vec<Arc<Value>> {
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        ids.iter()
+            .map(|id| {
+                guards[id % nshards]
+                    .docs
+                    .get(id / nshards)
+                    .cloned()
+                    .expect("scanned id resolves in an append-only store")
+            })
+            .collect()
     }
 }
 
@@ -802,6 +1055,108 @@ mod tests {
         let s = store();
         let hosts = s.distinct(&DocQuery::new(), "hostname");
         assert_eq!(hosts.len(), 2);
+    }
+
+    #[test]
+    fn shard_override_parses_and_caps() {
+        assert_eq!(shard_override(None), None);
+        assert_eq!(shard_override(Some("4")), Some(4));
+        assert_eq!(shard_override(Some(" 16 ")), Some(16));
+        assert_eq!(
+            shard_override(Some("64")),
+            Some(16),
+            "capped like auto-tuning"
+        );
+        assert_eq!(shard_override(Some("0")), None);
+        assert_eq!(shard_override(Some("-2")), None);
+        assert_eq!(shard_override(Some("lots")), None);
+    }
+
+    fn task_docs(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| {
+                prov_model::TaskMessageBuilder::new(format!("t{i}"), format!("wf-{}", i % 2), "act")
+                    .status(if i % 3 == 0 {
+                        prov_model::TaskStatus::Error
+                    } else {
+                        prov_model::TaskStatus::Finished
+                    })
+                    .span(i as f64, i as f64 + 1.0)
+                    .build()
+                    .to_value()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columnar_scan_filters_in_id_order_with_limit() {
+        let s = DocumentStore::with_shards(3);
+        s.enable_columnar();
+        s.insert_many(task_docs(12));
+        let err = Value::from("ERROR");
+        let ids = s
+            .columnar_scan(&[("status", CmpOp::Eq, &err)], None)
+            .unwrap();
+        assert_eq!(ids, vec![0, 3, 6, 9]);
+        let ids = s
+            .columnar_scan(&[("status", CmpOp::Eq, &err)], Some(2))
+            .unwrap();
+        assert_eq!(ids, vec![0, 3]);
+        // Gather returns the frame cells for those ids, in order.
+        let vals = s.columnar_gather(&ids, "task_id").unwrap();
+        assert_eq!(vals, vec![Value::from("t0"), Value::from("t3")]);
+        // Non-columnar columns are not servable.
+        assert!(s.columnar_scan(&[("y", CmpOp::Eq, &err)], None).is_none());
+        assert!(s.columnar_gather(&ids, "y").is_none());
+    }
+
+    #[test]
+    fn columnar_backfill_equals_ingest_population() {
+        let docs = task_docs(10);
+        let eager = DocumentStore::with_shards(4);
+        eager.enable_columnar();
+        eager.insert_many(docs.clone());
+        let late = DocumentStore::with_shards(4);
+        late.insert_many(docs);
+        late.enable_columnar(); // backfills under the shard locks
+        for col in ["task_id", "status", "started_at", "duration"] {
+            assert_eq!(
+                eager.columnar_presence(col),
+                late.columnar_presence(col),
+                "{col}"
+            );
+        }
+        let fin = Value::from("FINISHED");
+        assert_eq!(
+            eager.columnar_scan(&[("status", CmpOp::Eq, &fin)], None),
+            late.columnar_scan(&[("status", CmpOp::Eq, &fin)], None),
+        );
+    }
+
+    #[test]
+    fn columnar_scan_uses_index_candidates_when_safe() {
+        let s = DocumentStore::with_shards(2);
+        s.create_index("workflow_id");
+        s.enable_columnar();
+        s.insert_many(task_docs(8));
+        let wf = Value::from("wf-1");
+        let ids = s
+            .columnar_scan(&[("workflow_id", CmpOp::Eq, &wf)], None)
+            .unwrap();
+        assert_eq!(ids, vec![1, 3, 5, 7]);
+        // Combined with an unindexed conjunct: the probe seeds, the
+        // vectors verify.
+        let bound = Value::Float(4.0);
+        let ids = s
+            .columnar_scan(
+                &[
+                    ("workflow_id", CmpOp::Eq, &wf),
+                    ("started_at", CmpOp::Gt, &bound),
+                ],
+                None,
+            )
+            .unwrap();
+        assert_eq!(ids, vec![5, 7]);
     }
 
     #[test]

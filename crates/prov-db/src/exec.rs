@@ -27,10 +27,11 @@
 //! both paths return identical [`QueryOutput`]s (asserted per eval query
 //! set by the differential tests in `eval`).
 
+use crate::document::DocumentStore;
 use crate::query::{Condition, DocQuery, Op};
 use crate::store::ProvenanceDatabase;
-use dataframe::DataFrame;
-use prov_model::TaskMessage;
+use dataframe::{CmpOp, DataFrame};
+use prov_model::{TaskMessage, Value};
 use provql::plan::{PipelinePlan, PushOp, PushdownCapability, QueryPlan};
 use provql::{ExecError, Pipeline, Query, QueryOutput, Stage};
 
@@ -66,12 +67,45 @@ impl PushdownCapability for ProvenanceDatabase {
     fn pushable_range(&self, column: &str) -> bool {
         PUSHABLE_RANGE.contains(&column)
     }
+    fn pushable_columnar(&self, column: &str) -> bool {
+        // Metadata-only probe; pending stream ingest cannot un-poison a
+        // column, so planning never pays a flush.
+        self.documents_unflushed().columnar_servable(column)
+    }
+}
+
+/// Capability wrapper that hides the columnar layer: plans made through it
+/// split filters exactly as the pre-columnar planner did, which keeps the
+/// decode-based scan path callable on its own (benchmarks, differential
+/// tests).
+struct IndexOnly<'a>(&'a ProvenanceDatabase);
+
+impl PushdownCapability for IndexOnly<'_> {
+    fn pushable_eq(&self, column: &str) -> bool {
+        self.0.pushable_eq(column)
+    }
+    fn pushable_range(&self, column: &str) -> bool {
+        self.0.pushable_range(column)
+    }
 }
 
 /// Plan a query against this database and execute it via projected,
 /// index-pushed scans where possible.
 pub fn try_execute(db: &ProvenanceDatabase, query: &Query) -> Pushdown {
-    execute_plan(db, &provql::plan(query, db))
+    try_execute_with(db, query, true)
+}
+
+/// [`try_execute`] with the columnar layer switchable: `use_columnar =
+/// false` plans with index-only capability and scans by decoding surviving
+/// documents — the pre-columnar behavior, kept callable so the
+/// `columnar_find`/`columnar_aggregate` benchmarks and the differential
+/// tests can compare both scan paths on the same store.
+pub fn try_execute_with(db: &ProvenanceDatabase, query: &Query, use_columnar: bool) -> Pushdown {
+    if use_columnar {
+        execute_plan(db, &provql::plan(query, db))
+    } else {
+        execute_plan_with(db, &provql::plan(query, &IndexOnly(db)), false)
+    }
 }
 
 /// The full-materialize oracle: every stored document decoded back into a
@@ -94,9 +128,21 @@ pub fn full_frame(db: &ProvenanceDatabase) -> DataFrame {
 /// e.g. to route unselective queries to a cached frame instead — avoid
 /// planning twice).
 pub fn execute_plan(db: &ProvenanceDatabase, plan: &QueryPlan) -> Pushdown {
+    execute_plan_with(db, plan, true)
+}
+
+/// [`execute_plan`] with the columnar layer switchable (see
+/// [`try_execute_with`]). A plan carrying columnar conjuncts must be
+/// executed with the layer on — without it the conjuncts have nowhere to
+/// run, so such pipelines defer to the oracle.
+pub fn execute_plan_with(
+    db: &ProvenanceDatabase,
+    plan: &QueryPlan,
+    use_columnar: bool,
+) -> Pushdown {
     match plan {
-        QueryPlan::Pipeline(p) => exec_pipeline(db, p),
-        QueryPlan::Len(inner) => match execute_plan(db, inner) {
+        QueryPlan::Pipeline(p) => exec_pipeline(db, p, use_columnar),
+        QueryPlan::Len(inner) => match execute_plan_with(db, inner, use_columnar) {
             Pushdown::Executed(Ok(out)) => Pushdown::Executed(Ok(QueryOutput::Scalar(
                 prov_model::Value::Int(out.len() as i64),
             ))),
@@ -107,7 +153,7 @@ pub fn execute_plan(db: &ProvenanceDatabase, plan: &QueryPlan) -> Pushdown {
             // executor: the left side is executed AND validated as a
             // scalar before the right side runs, so both paths surface
             // the same error for the same query.
-            let left = match execute_plan(db, a) {
+            let left = match execute_plan_with(db, a, use_columnar) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -115,7 +161,7 @@ pub fn execute_plan(db: &ProvenanceDatabase, plan: &QueryPlan) -> Pushdown {
                 Ok(v) => v,
                 Err(e) => return Pushdown::Executed(Err(e)),
             };
-            let right = match execute_plan(db, b) {
+            let right = match execute_plan_with(db, b, use_columnar) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -131,11 +177,68 @@ pub fn execute_plan(db: &ProvenanceDatabase, plan: &QueryPlan) -> Pushdown {
     }
 }
 
-fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan) -> Pushdown {
+fn push_to_cmp(op: PushOp) -> CmpOp {
+    match op {
+        PushOp::Eq => CmpOp::Eq,
+        PushOp::Lt => CmpOp::Lt,
+        PushOp::Le => CmpOp::Le,
+        PushOp::Gt => CmpOp::Gt,
+        PushOp::Ge => CmpOp::Ge,
+    }
+}
+
+/// The columns a pipeline's non-filter stages require to exist. Filters
+/// are exempt: a missing column evaluates per-row as null (never an
+/// error), exactly like an all-null column, so filter-only references stay
+/// servable even when zero documents survive the scan.
+fn checked_columns(p: &PipelinePlan) -> Vec<String> {
+    Pipeline {
+        stages: p
+            .ops
+            .iter()
+            .map(|op| op.to_stage())
+            .filter(|s| !matches!(s, Stage::Filter(_)))
+            .collect(),
+    }
+    .referenced_columns()
+}
+
+fn finish_stages(p: &PipelinePlan, frame: &DataFrame) -> Pushdown {
+    let mut stages: Vec<Stage> = Vec::with_capacity(p.ops.len() + 1);
+    if let Some(residual) = &p.scan.residual {
+        stages.push(Stage::Filter(residual.clone()));
+    }
+    stages.extend(p.ops.iter().map(|op| op.to_stage()));
+    Pushdown::Executed(provql::execute_stages(&stages, frame))
+}
+
+fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) -> Pushdown {
     let Some(columns) = &p.scan.columns else {
         return Pushdown::NeedsFullFrame("output exposes the whole frame width");
     };
+    let store = db.documents();
+    if use_columnar && store.columnar_enabled() {
+        if let Some(result) = exec_pipeline_columnar(store, p, columns) {
+            return result;
+        }
+        // A filter column stopped being servable between planning and
+        // execution (dataflow-key poisoning raced in); the conjuncts the
+        // planner split out have nowhere to run but the oracle.
+        return Pushdown::NeedsFullFrame("columnar layer no longer serves a planned conjunct");
+    }
+    if !p.scan.columnar.is_empty() {
+        return Pushdown::NeedsFullFrame("columnar conjuncts without a columnar layer");
+    }
+    exec_pipeline_decoded(store, p, columns)
+}
 
+/// The decode-based projected scan: pushed conjuncts become a [`DocQuery`]
+/// (index probes with the store's raw-value matching), surviving documents
+/// are decoded back into task messages, and only the referenced columns
+/// are materialized. This is the pre-columnar scan path; it remains the
+/// executor for stores without a sidecar and the baseline side of the
+/// columnar benchmarks.
+fn exec_pipeline_decoded(store: &DocumentStore, p: &PipelinePlan, columns: &[String]) -> Pushdown {
     let mut doc_query = DocQuery::new();
     for f in &p.scan.pushed {
         doc_query.conditions.push(Condition {
@@ -157,7 +260,7 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan) -> Pushdown {
     // document is a Listing-1 task message (decodes 1:1 into a row).
     doc_query.limit = p.scan.limit;
 
-    let docs = db.find(&doc_query);
+    let docs = store.find(&doc_query);
     let msgs: Vec<TaskMessage> = docs
         .iter()
         .filter_map(|d| TaskMessage::from_value(d))
@@ -168,32 +271,88 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan) -> Pushdown {
     // the survivors: a referenced column they never set could still exist
     // (all-null there) elsewhere, or not at all (an unknown-column error
     // listing every available column). Only the oracle can tell — so fall
-    // back when such a column is required. Filters are exempt: a missing
-    // column evaluates per-row as null (never an error), exactly like an
-    // all-null column, so filter-only references stay servable even when
-    // zero documents survive the pushed conjuncts.
-    let checked = Pipeline {
-        stages: p
-            .ops
-            .iter()
-            .map(|op| op.to_stage())
-            .filter(|s| !matches!(s, Stage::Filter(_)))
-            .collect(),
-    };
-    if checked
-        .referenced_columns()
-        .iter()
-        .any(|c| !frame.has_column(c))
-    {
+    // back when such a column is required.
+    if checked_columns(p).iter().any(|c| !frame.has_column(c)) {
         return Pushdown::NeedsFullFrame("required column absent from scan survivors");
     }
+    finish_stages(p, &frame)
+}
 
-    let mut stages: Vec<Stage> = Vec::with_capacity(p.ops.len() + 1);
-    if let Some(residual) = &p.scan.residual {
-        stages.push(Stage::Filter(residual.clone()));
+/// The columnar scan: pushed *and* planner-split residual `col op lit`
+/// conjuncts all evaluate over the sidecar's column vectors with frame
+/// semantics (index probes pre-filter candidates when safe), and every
+/// referenced columnar column is materialized straight from the vectors —
+/// surviving documents are decoded only for columns the sidecar does not
+/// hold. Because the sidecar knows corpus-wide column presence, a checked
+/// columnar column that exists corpus-wide never forces the oracle, even
+/// when no survivor provides it (it materializes all-null, exactly as the
+/// filtered oracle frame would show it).
+///
+/// Returns `None` when a filter column is not servable (caller falls back).
+fn exec_pipeline_columnar(
+    store: &DocumentStore,
+    p: &PipelinePlan,
+    columns: &[String],
+) -> Option<Pushdown> {
+    let mut filters: Vec<(&str, CmpOp, &Value)> =
+        Vec::with_capacity(p.scan.pushed.len() + p.scan.columnar.len());
+    for f in &p.scan.pushed {
+        // Pushed conjuncts are re-verified against the decoded cell values
+        // so index/frame coercion differences can never leak a row the
+        // oracle would not produce.
+        filters.push((f.column.as_str(), push_to_cmp(f.op), &f.value));
     }
-    stages.extend(p.ops.iter().map(|op| op.to_stage()));
-    Pushdown::Executed(provql::execute_stages(&stages, &frame))
+    for f in &p.scan.columnar {
+        filters.push((f.column.as_str(), f.op, &f.value));
+    }
+    let survivors = store.columnar_scan(&filters, p.scan.limit)?;
+
+    let checked = checked_columns(p);
+    let decode_cols: Vec<String> = columns
+        .iter()
+        .filter(|c| !store.columnar_servable(c))
+        .cloned()
+        .collect();
+    let decoded: Option<DataFrame> = if decode_cols.is_empty() {
+        None
+    } else {
+        let docs = store.docs_for_ids(&survivors);
+        let msgs: Vec<TaskMessage> = docs
+            .iter()
+            .filter_map(|d| TaskMessage::from_value(d))
+            .collect();
+        Some(DataFrame::from_messages_projected(&msgs, &decode_cols))
+    };
+
+    let mut cols_out: Vec<(String, Vec<Value>)> = Vec::with_capacity(columns.len());
+    for c in columns {
+        if let Some(presence) = store.columnar_presence(c) {
+            if presence > 0 {
+                cols_out.push((c.clone(), store.columnar_gather(&survivors, c)?));
+            } else if checked.iter().any(|k| k == c) {
+                // No decodable document provides the column anywhere: the
+                // oracle owns the unknown-column error (its message lists
+                // the full corpus-wide column set).
+                return Some(Pushdown::NeedsFullFrame(
+                    "required column absent corpus-wide",
+                ));
+            }
+            // filter-only + absent: missing ≡ all-null under Expr rules.
+        } else {
+            match decoded.as_ref().and_then(|f| f.column(c)) {
+                Some(col) => cols_out.push((c.clone(), col.values().to_vec())),
+                None if checked.iter().any(|k| k == c) => {
+                    return Some(Pushdown::NeedsFullFrame(
+                        "required column absent from scan survivors",
+                    ));
+                }
+                None => {}
+            }
+        }
+    }
+    let frame = DataFrame::from_columns_with_rows(cols_out, survivors.len())
+        .expect("scan columns share the survivor count");
+    Some(finish_stages(p, &frame))
 }
 
 #[cfg(test)]
@@ -287,19 +446,25 @@ mod tests {
         let db = seeded_db();
         // Unknown column in a projection: the oracle owns the
         // unknown-column error (with its available-column listing).
-        for text in [
-            r#"df[["nope"]]"#,
-            // Zero survivors: `task_id` exists corpus-wide but no scanned
-            // document proves it — only the oracle can distinguish that
-            // from a truly unknown column.
-            r#"df[df["workflow_id"] == "wf-nonexistent"][["task_id"]]"#,
-        ] {
-            let query = parse(text).unwrap();
-            match try_execute(&db, &query) {
-                Pushdown::NeedsFullFrame(_) => {}
-                Pushdown::Executed(out) => panic!("{text}: expected fallback, got {out:?}"),
-            }
+        let query = parse(r#"df[["nope"]]"#).unwrap();
+        match try_execute(&db, &query) {
+            Pushdown::NeedsFullFrame(_) => {}
+            Pushdown::Executed(out) => panic!("expected fallback, got {out:?}"),
         }
+        // The decode-based scan cannot tell a zero-survivor columnar
+        // column from an unknown one and must defer; the columnar scan
+        // knows corpus-wide presence and serves it (asserted equal to the
+        // oracle in `filter_only_columns_never_force_fallback`).
+        let query = parse(r#"df[df["workflow_id"] == "wf-nonexistent"][["task_id"]]"#).unwrap();
+        match try_execute_with(&db, &query, false) {
+            Pushdown::NeedsFullFrame(_) => {}
+            Pushdown::Executed(out) => panic!("expected decoded-path fallback, got {out:?}"),
+        }
+        assert_differential(
+            &db,
+            r#"df[df["workflow_id"] == "wf-nonexistent"][["task_id"]]"#,
+            true,
+        );
     }
 
     #[test]
@@ -328,6 +493,91 @@ mod tests {
             Pushdown::NeedsFullFrame(r) => panic!("unexpected fallback: {r}"),
         }
         assert!(oracle.is_err());
+    }
+
+    #[test]
+    fn columnar_filters_and_aggregates_match_oracle() {
+        let db = seeded_db();
+        for text in [
+            // Ne / unindexed-Eq / derived-range conjuncts: residual
+            // pre-columnar, now evaluated over the column vectors.
+            r#"len(df[df["status"] != "ERROR"])"#,
+            r#"df[df["hostname"] == "node1"]["duration"].sum()"#,
+            r#"df[df["duration"] > 3].groupby("activity_id")["duration"].mean()"#,
+            r#"df[df["status"] != "PENDING"][["task_id"]].head(3)"#,
+            // Unselective but fully columnar: served without decoding a
+            // single document (and without the oracle).
+            r#"df.groupby("activity_id")["duration"].mean()"#,
+            r#"df[["task_id", "started_at"]].head(4)"#,
+            r#"df["ended_at"].max() - df["started_at"].min()"#,
+            // Mixed: status filters columnar, y decodes from survivors.
+            r#"df[df["status"] == "FINISHED"][["task_id", "y"]].head(2)"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+    }
+
+    #[test]
+    fn decoded_and_columnar_paths_agree() {
+        let db = seeded_db();
+        for text in [
+            r#"len(df[df["activity_id"] == "run_dft"])"#,
+            r#"df[df["workflow_id"] == "wf-1"][["task_id", "y"]]"#,
+            r#"df[df["started_at"] > 20]["y"].sum()"#,
+        ] {
+            let query = parse(text).unwrap();
+            let columnar = try_execute_with(&db, &query, true);
+            let decoded = try_execute_with(&db, &query, false);
+            let (Pushdown::Executed(a), Pushdown::Executed(b)) = (columnar, decoded) else {
+                panic!("{text}: both paths should execute");
+            };
+            assert_eq!(a, b, "{text}");
+        }
+    }
+
+    #[test]
+    fn dataflow_shadowed_telemetry_column_is_poisoned_not_wrong() {
+        let db = ProvenanceDatabase::new();
+        let msgs: Vec<TaskMessage> = (0..5)
+            .map(|i| {
+                let b = TaskMessageBuilder::new(format!("t{i}"), "wf", "a").span(0.0, 1.0);
+                // One message's dataflow key shadows the bare frame name
+                // of the telemetry-derived column.
+                if i == 3 {
+                    b.generates("gpu_percent_end", 42.0).build()
+                } else {
+                    b.build()
+                }
+            })
+            .collect();
+        db.insert_batch(&msgs);
+        assert!(!db.documents().columnar_servable("gpu_percent_end"));
+        assert!(db.documents().columnar_servable("mem_used_mb_end"));
+        // The poisoned column decodes from survivors and still matches
+        // the oracle (which sees the dataflow value).
+        assert_differential(
+            &db,
+            r#"df[df["task_id"] == "t3"]["gpu_percent_end"].sum()"#,
+            true,
+        );
+    }
+
+    #[test]
+    fn irregular_raw_fields_disable_hints_but_stay_exact() {
+        let db = seeded_db();
+        // A raw document missing `started_at` decodes with the 0.0
+        // default: an index probe would never surface it for
+        // `started_at == 0`, so ingesting it must flip the field to
+        // full-vector evaluation.
+        db.documents().insert(prov_model::obj! {
+            "task_id" => "raw0", "workflow_id" => "wf-raw", "activity_id" => "x",
+        });
+        assert_differential(&db, r#"df[df["started_at"] == 0][["task_id"]]"#, true);
+        assert_differential(&db, r#"len(df[df["started_at"] < 1])"#, true);
+        // And an undecodable document stays invisible to both paths.
+        db.documents()
+            .insert(prov_model::obj! {"task_id" => "orphan"});
+        assert_differential(&db, r#"len(df[df["started_at"] >= 0])"#, true);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod columnar;
 pub mod document;
 pub mod exec;
 pub mod graph;
@@ -67,7 +68,9 @@ pub mod query;
 pub mod store;
 
 pub use document::{DocId, DocumentStore};
-pub use exec::{execute_plan, full_frame, try_execute, Pushdown};
+pub use exec::{
+    execute_plan, execute_plan_with, full_frame, try_execute, try_execute_with, Pushdown,
+};
 pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};

@@ -59,6 +59,7 @@ impl ProvenanceDatabase {
         documents.create_index("activity_id");
         documents.create_index("workflow_id");
         documents.create_range_index("started_at");
+        documents.enable_columnar();
         Self {
             documents,
             kv: KvStore::new(),
@@ -77,6 +78,13 @@ impl ProvenanceDatabase {
     /// The document backend, with pending ingest materialized.
     pub fn documents(&self) -> &DocumentStore {
         self.flush_views();
+        &self.documents
+    }
+
+    /// The document backend *without* flushing pending ingest — for
+    /// metadata-only probes (e.g. pushdown capability checks during query
+    /// planning) that must not pay a materialization.
+    pub(crate) fn documents_unflushed(&self) -> &DocumentStore {
         &self.documents
     }
 

@@ -33,6 +33,14 @@ pub trait PushdownCapability {
     /// Can a range conjunct (`<`, `<=`, `>`, `>=`) on this column be
     /// pushed into the scan?
     fn pushable_range(&self, column: &str) -> bool;
+    /// Is this column stored columnar, so the executor can evaluate a
+    /// residual `col op lit` conjunct (any comparison operator, including
+    /// `!=`) directly over its column vector, and materialize the column
+    /// into a frame without decoding documents? Defaults to `false` for
+    /// engines without a columnar layer.
+    fn pushable_columnar(&self, _column: &str) -> bool {
+        false
+    }
 }
 
 /// Push everything structurally pushable (used by tests and by callers
@@ -45,6 +53,9 @@ impl PushdownCapability for PushAll {
         true
     }
     fn pushable_range(&self, _column: &str) -> bool {
+        true
+    }
+    fn pushable_columnar(&self, _column: &str) -> bool {
         true
     }
 }
@@ -89,12 +100,31 @@ pub struct PushedFilter {
     pub value: Value,
 }
 
+/// One conjunct evaluable over a column vector: `column op value`, with
+/// the full comparison-operator set (unlike [`PushedFilter`], `!=` is
+/// allowed — a vector scan, unlike a hash probe, can answer it). The
+/// executor must apply the *frame* comparison semantics
+/// (`dataframe::cmp_matches`): null-to-false, Int/Float coercion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarFilter {
+    /// Frame column name (also the columnar vector's name).
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal comparand (never Null; null literals stay residual).
+    pub value: Value,
+}
+
 /// The leaf of every pipeline plan: which documents to touch and which
 /// columns to materialize from them.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScanNode {
     /// Index-servable conjuncts of the pipeline's leading filters.
     pub pushed: Vec<PushedFilter>,
+    /// Conjuncts with no index but a columnar vector: evaluated by the
+    /// scan over the column vectors (bitset survivors), never materialized
+    /// into the frame.
+    pub columnar: Vec<ColumnarFilter>,
     /// Conjuncts the store cannot serve, recombined in original order;
     /// applied as an ordinary row filter on the scanned frame.
     pub residual: Option<Expr>,
@@ -103,8 +133,17 @@ pub struct ScanNode {
     /// which only the full corpus-wide column union can answer — such
     /// plans are not servable by a projected scan.
     pub columns: Option<Vec<String>>,
+    /// True when every column in [`columns`] is columnar-capable: the
+    /// executor can answer the scan entirely from column vectors, without
+    /// decoding a single document — which also makes *unselective*
+    /// pipelines (no pushed conjunct at all, e.g. a corpus-wide group-by)
+    /// cheaper through the scan than through a cached full frame rebuild.
+    ///
+    /// [`columns`]: ScanNode::columns
+    pub columnar_only: bool,
     /// Row-limit pushdown, set only when no residual filter and no
-    /// reordering stage precedes the `head` that produced it.
+    /// reordering stage precedes the `head` that produced it (columnar
+    /// conjuncts do not block it: the scan applies them before counting).
     pub limit: Option<usize>,
 }
 
@@ -230,11 +269,12 @@ pub fn plan(query: &Query, caps: &dyn PushdownCapability) -> QueryPlan {
 fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) -> PipelinePlan {
     let mut scan = ScanNode::default();
 
-    // Split the leading run of filters into pushed and residual conjuncts.
+    // Split the leading run of filters into pushed, columnar, and residual
+    // conjuncts.
     let mut rest = p.stages.as_slice();
     let mut residuals: Vec<Expr> = Vec::new();
     while let Some((Stage::Filter(e), tail)) = rest.split_first() {
-        split_filter(e, caps, &mut scan.pushed, &mut residuals);
+        split_filter(e, caps, &mut scan, &mut residuals);
         rest = tail;
     }
     scan.residual = residuals.into_iter().reduce(Expr::and);
@@ -251,6 +291,10 @@ fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) 
         remaining.extend(rest.iter().cloned());
         scan.columns = Some(Pipeline { stages: remaining }.referenced_columns());
     }
+    scan.columnar_only = scan
+        .columns
+        .as_ref()
+        .is_some_and(|cols| cols.iter().all(|c| caps.pushable_columnar(c)));
 
     let ops: Vec<PlanNode> = rest.iter().map(PlanNode::from_stage).collect();
 
@@ -276,18 +320,20 @@ fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) 
 }
 
 /// Recursively split a filter expression: `And` nodes are walked, every
-/// `column op literal` conjunct the capability can serve is pushed, and
-/// anything else lands in `residuals` (original left-to-right order).
+/// `column op literal` conjunct the capability can serve from an index is
+/// pushed, every remaining `column op literal` conjunct on a columnar
+/// column becomes a [`ColumnarFilter`], and anything else lands in
+/// `residuals` (original left-to-right order).
 fn split_filter(
     e: &Expr,
     caps: &dyn PushdownCapability,
-    pushed: &mut Vec<PushedFilter>,
+    scan: &mut ScanNode,
     residuals: &mut Vec<Expr>,
 ) {
     match e {
         Expr::And(a, b) => {
-            split_filter(a, caps, pushed, residuals);
-            split_filter(b, caps, pushed, residuals);
+            split_filter(a, caps, scan, residuals);
+            split_filter(b, caps, scan, residuals);
         }
         Expr::Cmp(a, op, b) => {
             // `col op lit` or the flipped `lit op col`. Null literals are
@@ -311,10 +357,23 @@ fn split_filter(
                     value: v.clone(),
                 })
             });
-            match servable {
-                Some(f) => pushed.push(f),
-                None => residuals.push(e.clone()),
+            if let Some(f) = servable {
+                scan.pushed.push(f);
+                return;
             }
+            // No index, but a column vector: the scan can still evaluate
+            // the conjunct without materializing the column into the frame.
+            if let Some((c, op, v)) = normalized {
+                if caps.pushable_columnar(c) {
+                    scan.columnar.push(ColumnarFilter {
+                        column: c.clone(),
+                        op,
+                        value: v.clone(),
+                    });
+                    return;
+                }
+            }
+            residuals.push(e.clone());
         }
         other => residuals.push(other.clone()),
     }
@@ -387,6 +446,43 @@ mod tests {
 
     fn plan_text(text: &str) -> QueryPlan {
         plan(&parse(text).unwrap(), &CommonFields)
+    }
+
+    /// [`CommonFields`] plus a columnar layer over the hot scalar set
+    /// (mirroring `prov_db`'s sidecar advertisement).
+    struct ColumnarFields;
+
+    impl PushdownCapability for ColumnarFields {
+        fn pushable_eq(&self, column: &str) -> bool {
+            CommonFields.pushable_eq(column)
+        }
+        fn pushable_range(&self, column: &str) -> bool {
+            CommonFields.pushable_range(column)
+        }
+        fn pushable_columnar(&self, column: &str) -> bool {
+            matches!(
+                column,
+                "task_id"
+                    | "workflow_id"
+                    | "activity_id"
+                    | "hostname"
+                    | "status"
+                    | "started_at"
+                    | "ended_at"
+                    | "duration"
+            )
+        }
+    }
+
+    fn plan_columnar(text: &str) -> PipelinePlan {
+        match plan(&parse(text).unwrap(), &ColumnarFields) {
+            QueryPlan::Pipeline(p) => p,
+            QueryPlan::Len(inner) => match *inner {
+                QueryPlan::Pipeline(p) => p,
+                other => panic!("expected pipeline, got {other:?}"),
+            },
+            other => panic!("expected pipeline, got {other:?}"),
+        }
     }
 
     #[test]
@@ -564,6 +660,70 @@ mod tests {
             panic!("pipeline")
         };
         assert_eq!(p.scan.limit, None);
+    }
+
+    #[test]
+    fn unindexed_and_ne_conjuncts_go_columnar() {
+        // `duration` has no index (derived at decode time) and `!=` can
+        // never probe a hash index; with a columnar layer both become
+        // scan-evaluated conjuncts instead of residual frame filters.
+        let p = plan_columnar(
+            r#"df[(df["duration"] > 1.0) & (df["status"] != "ERROR")]["duration"].mean()"#,
+        );
+        assert!(p.scan.pushed.is_empty());
+        assert_eq!(
+            p.scan.columnar,
+            vec![
+                ColumnarFilter {
+                    column: "duration".into(),
+                    op: CmpOp::Gt,
+                    value: Value::Float(1.0),
+                },
+                ColumnarFilter {
+                    column: "status".into(),
+                    op: CmpOp::Ne,
+                    value: Value::from("ERROR"),
+                },
+            ]
+        );
+        assert_eq!(p.scan.residual, None);
+        // Columnar conjuncts are evaluated pre-frame: their columns are
+        // not dragged into the projection (status is absent).
+        assert_eq!(
+            p.scan.columns.as_deref(),
+            Some(&["duration".to_string()][..])
+        );
+        assert!(p.scan.columnar_only);
+    }
+
+    #[test]
+    fn columnar_only_requires_every_referenced_column() {
+        let p = plan_columnar(r#"df.groupby("activity_id")["duration"].mean()"#);
+        assert!(p.scan.columnar_only, "all-columnar aggregate");
+        let p = plan_columnar(r#"df.groupby("activity_id")["y"].mean()"#);
+        assert!(!p.scan.columnar_only, "y has no column vector");
+        let p = plan_columnar(r#"df[df["status"] == "ERROR"]"#);
+        assert!(!p.scan.columnar_only, "whole-width output");
+    }
+
+    #[test]
+    fn columnar_conjuncts_do_not_block_limit_pushdown() {
+        // Scan-evaluated conjuncts filter before the limit counts, unlike
+        // a residual frame filter.
+        let p = plan_columnar(r#"df[df["status"] != "PENDING"][["task_id"]].head(3)"#);
+        assert!(p.scan.residual.is_none());
+        assert_eq!(p.scan.columnar.len(), 1);
+        assert_eq!(p.scan.limit, Some(3));
+        // A genuinely residual filter still blocks it.
+        let p = plan_columnar(r#"df[df["y"] > 1][["task_id"]].head(3)"#);
+        assert_eq!(p.scan.limit, None);
+    }
+
+    #[test]
+    fn null_literals_stay_residual_even_with_columnar() {
+        let p = plan_columnar(r#"df[df["status"] == None].shape[0]"#);
+        assert!(p.scan.columnar.is_empty());
+        assert!(p.scan.residual.is_some());
     }
 
     #[test]

@@ -9,6 +9,12 @@
 #      `[dependencies.<name>]` table — uses `workspace = true` or a
 #      `path = …` spec, never a bare registry version requirement.
 #   3. Cargo.lock registers no registry or git source.
+#   4. CI workflows (.github/workflows/*.yml) contain no network-touching
+#      steps: no `cargo install`, no curl/wget/git-clone, no crates.io or
+#      registry URLs, and CARGO_NET_OFFLINE is never switched off — so the
+#      offline invariant covers CI itself, not just the build. (`rustup
+#      toolchain install` is the one allowed network step: hosted runners
+#      need a toolchain before anything can run.)
 #
 # Pure bash/awk so it runs in the offline build container and in CI without
 # compiling anything. Exit 0 = clean, 1 = violation.
@@ -66,6 +72,40 @@ for manifest in Cargo.toml crates/*/Cargo.toml crates/shims/*/Cargo.toml; do
     check_manifest "$manifest"
 done
 
+# CI workflows must honor the same invariant: a step that installs crates,
+# fetches URLs, or re-enables cargo's network would make CI green depend on
+# registry access the build container does not have.
+check_workflow() {
+    local wf="$1"
+    local bad
+    bad=$(awk '
+        {
+            line = $0
+            sub(/#.*/, "", line)          # strip YAML comments
+        }
+        line ~ /cargo[[:space:]]+install/ ||
+        line ~ /(^|[^A-Za-z0-9_.-])curl([[:space:]]|$)/ ||
+        line ~ /(^|[^A-Za-z0-9_.-])wget([[:space:]]|$)/ ||
+        line ~ /git[[:space:]]+clone[[:space:]]+http/ ||
+        line ~ /crates\.io/ ||
+        line ~ /static\.crates/ ||
+        line ~ /registry[[:space:]]*\+[[:space:]]*https/ ||
+        line ~ /CARGO_NET_OFFLINE[^=:]*[:=][[:space:]]*"?(false|0)/ {
+            print FILENAME ":" FNR ": " $0
+        }
+    ' "$wf")
+    if [ -n "$bad" ]; then
+        echo "offline-guard: network-touching step in $wf:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+}
+
+for wf in .github/workflows/*.yml .github/workflows/*.yaml; do
+    [ -f "$wf" ] || continue
+    check_workflow "$wf"
+done
+
 # The lockfile is ground truth for resolved sources: any registry/git
 # source means the build would touch the network.
 if grep -E '^source = "(registry|git)' Cargo.lock >/dev/null 2>&1; then
@@ -76,6 +116,7 @@ fi
 
 if [ "$fail" -eq 0 ]; then
     n=$(ls Cargo.toml crates/*/Cargo.toml crates/shims/*/Cargo.toml 2>/dev/null | wc -l)
-    echo "offline-guard: $n manifests clean — all dependencies are local paths"
+    w=$(ls .github/workflows/*.yml .github/workflows/*.yaml 2>/dev/null | wc -l)
+    echo "offline-guard: $n manifests and $w workflows clean — no registry dependencies, no network steps"
 fi
 exit "$fail"
