@@ -159,12 +159,16 @@ impl Tool for InMemoryQueryTool {
 /// store's pushdown executor ([`prov_db::execute_plan`]) — equality
 /// conjuncts probe the hash indexes, time ranges hit the sorted index,
 /// residual `col op lit` filters on hot fields evaluate over the columnar
-/// vectors, and referenced columnar columns materialize straight from
-/// those vectors (including corpus-wide group-by aggregates, which used to
-/// be oracle-only). Everything else — whole-width outputs, columns only
-/// the corpus-wide union can vouch for, and unselective scans that would
-/// decode the entire corpus anyway — runs against the full-materialize
-/// oracle, whose frame is cached per store
+/// vectors, a leading `sort_values(...).head(k)` over orderable columns
+/// executes as a streaming top-k scan (the "latest/slowest N tasks"
+/// shape: the pushed sort no longer blocks the limit, so these queries
+/// stop sorting the whole materialized frame), and referenced columnar
+/// columns materialize straight from those vectors (including corpus-wide
+/// group-by aggregates, which used to be oracle-only). Everything else —
+/// whole-width outputs, columns only the corpus-wide union can vouch for,
+/// NaN sort keys (whose order only the oracle's stable sort defines), and
+/// unselective scans that would decode the entire corpus anyway — runs
+/// against the full-materialize oracle, whose frame is cached per store
 /// [generation](ProvenanceDatabase::generation) so non-pushable queries
 /// stop rebuilding it on every call.
 #[derive(Default)]
@@ -228,12 +232,13 @@ impl ProvDbQueryTool {
         // An unselective scan that must *decode* the corpus per call is
         // worse than the cached frame (one build per store generation), so
         // pushdown must earn its keep on every pipeline: a pushed
-        // conjunct, a row limit, or a column set the columnar sidecar
-        // serves without decoding a single document (`columnar_only` —
-        // this is what lets corpus-wide aggregates skip the oracle).
-        // Vacuously true for pipeline-free scalar queries (bare
-        // arithmetic), which execute_plan answers without touching the
-        // store at all.
+        // conjunct, a row limit (including one a pushed sort turned into
+        // a top-k: at most k rows reach the frame), or a column set the
+        // columnar sidecar serves without decoding a single document
+        // (`columnar_only` — this is what lets corpus-wide aggregates and
+        // bare pushed sorts skip the oracle). Vacuously true for
+        // pipeline-free scalar queries (bare arithmetic), which
+        // execute_plan answers without touching the store at all.
         let selective = plan
             .pipelines()
             .iter()
@@ -762,6 +767,34 @@ mod tests {
             &tool.full_frame(db),
         )
         .unwrap();
+        assert_eq!(out.table.unwrap(), *oracle.as_frame().unwrap());
+    }
+
+    #[test]
+    fn provdb_tool_serves_topk_without_the_oracle() {
+        let ctx = tool_ctx();
+        let db = ctx.db.as_ref().unwrap();
+        let tool = ProvDbQueryTool::new();
+        // "latest N tasks": a leading sort over an orderable key plus a
+        // head — pre-PR5 the sort blocked limit pushdown and this rebuilt
+        // (then sorted) the whole oracle frame; now it executes as a
+        // streaming top-k scan.
+        let code =
+            r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(2)"#;
+        let query = parse(code).unwrap();
+        let plan = provql::plan(&query, db.as_ref());
+        for p in plan.pipelines() {
+            assert!(!p.scan.sort.is_empty(), "sort should push");
+            assert_eq!(p.scan.limit, Some(2), "head should push through the sort");
+        }
+        let out = tool
+            .call(&args(&[("code", Value::from(code))]), &ctx)
+            .unwrap();
+        assert!(
+            tool.cache.lock().is_none(),
+            "top-k should not build the oracle frame"
+        );
+        let oracle = execute(&query, &tool.full_frame(db)).unwrap();
         assert_eq!(out.table.unwrap(), *oracle.as_frame().unwrap());
     }
 

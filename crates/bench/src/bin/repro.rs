@@ -173,19 +173,48 @@ fn check_bench_regression(
             .ok()
     }
 
-    let (Some(committed), Some(fresh)) = (load(committed_path), load(fresh_path)) else {
+    let (Some(committed_report), Some(fresh)) = (load(committed_path), load(fresh_path)) else {
         return 2;
     };
-    let Some(committed) = committed.as_object() else {
+    let Some(committed) = committed_report.as_object() else {
         eprintln!("check-bench: {committed_path} is not a JSON object");
         return 2;
     };
+
+    // Speedups are only comparable between like runners: a committed
+    // 1-core number replayed on a multi-core class (or vice versa) shifts
+    // every parallel-sensitive ratio, so say what each run saw.
+    fn runner_line(report: &Value) -> String {
+        let Some(r) = report.get("runner") else {
+            return "unrecorded (pre-PR5 report)".to_string();
+        };
+        let count = |key: &str| {
+            r.get(key)
+                .and_then(Value::as_i64)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "?".to_string())
+        };
+        let with_override = |key: &str| match r.get(key).and_then(Value::as_str) {
+            Some(v) => format!(" (override {v})"),
+            None => String::new(),
+        };
+        format!(
+            "{} core(s), {} shard(s){}, {} scan thread(s){}",
+            count("cores_detected"),
+            count("document_store_shards"),
+            with_override("shards_override"),
+            count("scan_threads"),
+            with_override("threads_override"),
+        )
+    }
 
     if summary {
         println!(
             "### prov-db bench: committed vs fresh (tolerance {:.0}%)\n",
             tolerance * 100.0
         );
+        println!("- committed runner: {}", runner_line(&committed_report));
+        println!("- fresh runner: {}\n", runner_line(&fresh));
         println!("| metric | committed | fresh | floor | status |");
         println!("|---|---:|---:|---:|:---:|");
     }
@@ -264,15 +293,37 @@ impl ProvDbMeasurement {
 struct ProvDbReport {
     messages: usize,
     shards: usize,
+    /// Scan-worker count the stores auto-tuned to (or were forced to).
+    threads: usize,
+    /// Cores the runner actually reported — committed numbers from a
+    /// 1-core container and a multi-core rerun must be distinguishable,
+    /// not silently compared.
+    cores: usize,
+    shards_override: Option<String>,
+    threads_override: Option<String>,
     measurements: Vec<ProvDbMeasurement>,
 }
 
 impl ProvDbReport {
     fn render(&self) -> String {
+        let override_note = |raw: &Option<String>| match raw {
+            Some(v) => format!(" (override {v})"),
+            None => String::new(),
+        };
         let mut out = format!(
             "Provenance DB: sharded clone-free engine vs seed baseline \
-             ({} task messages, {} shards).\n{:<28} {:>14} {:>14} {:>9}\n",
-            self.messages, self.shards, "hot path", "baseline", "sharded", "speedup"
+             ({} task messages, {} shards).\nrunner: {} core(s), {} shard(s){}, {} scan thread(s){}\n{:<28} {:>14} {:>14} {:>9}\n",
+            self.messages,
+            self.shards,
+            self.cores,
+            self.shards,
+            override_note(&self.shards_override),
+            self.threads,
+            override_note(&self.threads_override),
+            "hot path",
+            "baseline",
+            "sharded",
+            "speedup"
         );
         for m in &self.measurements {
             out.push_str(&format!(
@@ -294,6 +345,25 @@ impl ProvDbReport {
         root.insert("generated_by".into(), Value::from("repro --provdb"));
         root.insert("corpus_messages".into(), Value::from(self.messages));
         root.insert("document_store_shards".into(), Value::from(self.shards));
+        let mut runner = Map::new();
+        runner.insert("cores_detected".into(), Value::from(self.cores));
+        runner.insert("document_store_shards".into(), Value::from(self.shards));
+        runner.insert("scan_threads".into(), Value::from(self.threads));
+        runner.insert(
+            "shards_override".into(),
+            self.shards_override
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        );
+        runner.insert(
+            "threads_override".into(),
+            self.threads_override
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        );
+        root.insert("runner".into(), Value::object(runner));
         root.insert(
             "baseline".into(),
             Value::from(
@@ -321,7 +391,17 @@ impl ProvDbReport {
                  (every surviving document decoded back into a task message) vs the \
                  columnar sidecar (filters evaluated over typed column vectors, frame \
                  built straight from them; columnar_find is a selective two-column find, \
-                 columnar_aggregate an unselective corpus-wide group-by).",
+                 columnar_aggregate an unselective corpus-wide group-by). topk_find \
+                 compares the agent paths for a sort_values(...).head(5) \"latest N \
+                 tasks\" query on the current engine: sort the whole pre-built frame \
+                 per call (the cached-oracle path this shape used before sort/limit \
+                 pushdown) vs the pushed top-k scan (sorted-index cursor / bounded \
+                 per-shard selection over the column vectors, zero document decodes). \
+                 parallel_scan compares the forced-sequential (PROVDB_THREADS=1) and \
+                 auto-tuned shard-parallel columnar scan on one pinned 8-shard store \
+                 over an unselective filter; on a 1-core runner both sides coincide \
+                 (~1.0x) — see the runner object for the detected core count, shard \
+                 count, and any PROVDB_SHARDS/PROVDB_THREADS overrides in effect.",
             ),
         );
         for m in &self.measurements {
@@ -394,6 +474,31 @@ fn columnar_queries() -> (provql::Query, provql::Query) {
         provql::parse(r#"df.groupby("activity_id")["duration"].mean()"#)
             .expect("bench query parses"),
     )
+}
+
+/// The query behind `topk_find`: "latest N tasks" — the interactive
+/// drill-down shape the paper's agent answers over and over. Pre-PR5 the
+/// leading sort blocked limit pushdown, so the agent sorted the whole
+/// materialized frame per call; now the pair executes as a streaming
+/// top-k scan (sorted-index cursor / bounded per-shard selection), with
+/// zero document decodes.
+fn topk_query() -> provql::Query {
+    provql::parse(
+        r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(5)"#,
+    )
+    .expect("bench query parses")
+}
+
+/// The store behind `parallel_scan`: the benchmark corpus in a pinned
+/// 8-shard document store (shard count never changes scan results; pinning
+/// it keeps the two sides comparable across runner classes), scanned with
+/// an unselective columnar filter so the whole 100k-row vector set is
+/// evaluated per probe.
+fn parallel_scan_store() -> prov_db::DocumentStore {
+    let store = prov_db::DocumentStore::with_shards(8);
+    store.enable_columnar();
+    store.insert_many(provdb_corpus().iter().map(|m| m.to_value()).collect());
+    store
 }
 
 fn run_columnar_query(
@@ -565,6 +670,45 @@ fn provdb_measure(which: &str) -> f64 {
                 std::hint::black_box(run_columnar_query(&db, &agg, true));
             })
         }
+        // Top-k through both agent paths on the current engine: sort the
+        // whole (pre-built, cached-oracle-style) frame per query vs the
+        // pushed sort+limit scan. The frame side is what `provdb_query`
+        // did for this shape before sort pushdown existed.
+        "topk-frame" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let frame = prov_db::full_frame(&db);
+            let q = topk_query();
+            p50(|| provql::execute(&q, &frame).expect("query runs").len())
+        }
+        "topk-push" => {
+            let db = ProvenanceDatabase::new();
+            db.insert_batch(&msgs);
+            let q = topk_query();
+            p50(|| run_columnar_query(&db, &q, true))
+        }
+        // The shard-parallel columnar scan vs the forced-sequential path
+        // (PROVDB_THREADS=1 semantics) on the same 8-shard store. On a
+        // 1-core runner the auto-tuned worker count is 1 and the two
+        // sides coincide (~1.0x) — the committed number records that, and
+        // the runner metadata in the JSON says how many cores were seen.
+        "parallel-scan-seq" | "parallel-scan-par" => {
+            let store = parallel_scan_store();
+            let threads = if which.ends_with("par") {
+                prov_db::DocumentStore::new().scan_threads()
+            } else {
+                1
+            };
+            store.set_scan_threads(threads);
+            let bound = prov_model::Value::Float(0.5);
+            use dataframe::CmpOp;
+            p50(|| {
+                store
+                    .columnar_scan(&[("duration", CmpOp::Gt, &bound)], None)
+                    .expect("columnar scan servable")
+                    .len()
+            })
+        }
         "aggregate-baseline" => {
             let db = BaselineDatabase::new();
             db.insert_batch(&msgs);
@@ -658,10 +802,31 @@ fn provdb_benchmark() -> ProvDbReport {
             baseline: provdb_measure_isolated("columnar-agg-scan") * 1e3,
             sharded: provdb_measure_isolated("columnar-agg") * 1e3,
         },
+        // Current engine on both sides: sort-the-full-frame vs the pushed
+        // top-k scan, and sequential vs shard-parallel columnar scans.
+        ProvDbMeasurement {
+            name: "topk_find",
+            unit: "ms",
+            baseline: provdb_measure_isolated("topk-frame") * 1e3,
+            sharded: provdb_measure_isolated("topk-push") * 1e3,
+        },
+        ProvDbMeasurement {
+            name: "parallel_scan",
+            unit: "ms",
+            baseline: provdb_measure_isolated("parallel-scan-seq") * 1e3,
+            sharded: provdb_measure_isolated("parallel-scan-par") * 1e3,
+        },
     ];
+    let probe = prov_db::DocumentStore::new();
     ProvDbReport {
         messages: 100_000,
-        shards: prov_db::DocumentStore::new().shard_count(),
+        shards: probe.shard_count(),
+        threads: probe.scan_threads(),
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        shards_override: std::env::var("PROVDB_SHARDS").ok(),
+        threads_override: std::env::var("PROVDB_THREADS").ok(),
         measurements,
     }
 }

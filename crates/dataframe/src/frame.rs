@@ -301,20 +301,7 @@ impl DataFrame {
                 let c = self.column(kname).expect("validated above");
                 let va = c.get(a).expect("row in range");
                 let vb = c.get(b).expect("row in range");
-                // Nulls sort last regardless of direction (pandas default).
-                let ord = match (va.is_null(), vb.is_null()) {
-                    (true, true) => std::cmp::Ordering::Equal,
-                    (true, false) => std::cmp::Ordering::Greater,
-                    (false, true) => std::cmp::Ordering::Less,
-                    (false, false) => {
-                        let o = va.compare(vb);
-                        if *asc {
-                            o
-                        } else {
-                            o.reverse()
-                        }
-                    }
-                };
+                let ord = sort_cell_cmp(va, vb, *asc);
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -466,6 +453,33 @@ impl DataFrame {
             ));
         }
         DataFrame::from_columns(cols).expect("equal lengths by construction")
+    }
+}
+
+/// The sort-key ordering of one cell pair under [`DataFrame::sort_values`]:
+/// nulls sort last regardless of direction (pandas default), non-null cells
+/// by [`Value::compare`] with the requested direction.
+///
+/// Exposed so storage engines pushing `sort_values(...).head(k)` into their
+/// scans (prov-db's top-k executor) order candidates by *exactly* the frame
+/// rule instead of re-deriving it. Note this is a strict weak order only
+/// when no `NaN` is among the compared cells — `Value::compare` calls mixed
+/// NaN comparisons `Equal`, so engines must not build ordered structures
+/// over NaN keys (the frame's own stable sort is the only definition of
+/// that order).
+pub fn sort_cell_cmp(a: &Value, b: &Value, ascending: bool) -> std::cmp::Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => {
+            let o = a.compare(b);
+            if ascending {
+                o
+            } else {
+                o.reverse()
+            }
+        }
     }
 }
 

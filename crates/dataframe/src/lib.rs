@@ -38,5 +38,5 @@ pub use column::Column;
 pub use display::{render, DisplayOptions};
 pub use dtype::DType;
 pub use expr::{cmp_matches, col, lit, values_equal, ArithOp, CmpOp, Expr};
-pub use frame::{DataFrame, FrameError, FrameResult};
+pub use frame::{sort_cell_cmp, DataFrame, FrameError, FrameResult};
 pub use groupby::GroupBy;

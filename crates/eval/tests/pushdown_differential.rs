@@ -168,7 +168,8 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
         ]
         .prop_map(Stage::Agg),
         (arb_column(), any::<bool>()).prop_map(|(c, asc)| Stage::SortValues(vec![(c, asc)])),
-        (1usize..6).prop_map(Stage::Head),
+        // 0 included: a pushed `sort → head(0)` top-k must stay exact.
+        (0usize..6).prop_map(Stage::Head),
         (1usize..6).prop_map(Stage::Tail),
         Just(Stage::Unique),
         Just(Stage::ValueCounts),
@@ -216,6 +217,54 @@ proptest! {
         match prov_db::try_execute_with(db, &q, false) {
             Pushdown::Executed(got) => prop_assert_eq!(got, oracle),
             Pushdown::NeedsFullFrame(_) => {}
+        }
+    }
+}
+
+#[test]
+fn topk_pushdown_identical_through_both_paths() {
+    let experiment = eval::Experiment {
+        seed: 42,
+        n_inputs: 10,
+        runs_per_query: 1,
+    };
+    let db = eval::build_synthetic_db(&experiment);
+    let frame = oracle_frame(&db);
+    // "latest/slowest N" shapes: a leading sort over an orderable key no
+    // longer blocks limit pushdown — the pair executes as a top-k scan.
+    // Ties, descending order, k = 0, k > corpus, and filtered variants
+    // must all match the oracle exactly, through the columnar scan *and*
+    // the decode-based scan (where the sort stays frame-side).
+    for text in [
+        r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(5)"#,
+        r#"df.sort_values("duration")[["task_id", "duration"]].head(7)"#,
+        r#"df.sort_values("status")[["task_id"]].head(6)"#, // heavy ties
+        r#"df.sort_values("started_at")[["task_id"]].head(0)"#,
+        r#"df.sort_values("started_at", ascending=False)[["task_id"]].head(100000)"#,
+        r#"df[df["status"] != "FINISHED"].sort_values("duration", ascending=False)[["task_id"]].head(4)"#,
+        r#"df[df["activity_id"] == "power"].sort_values("started_at")[["task_id"]].head(3)"#,
+        r#"len(df.sort_values("duration").head(9))"#,
+    ] {
+        let query = parse(text).expect("query parses");
+        assert!(
+            check_query(&db, &frame, &query, text),
+            "{text}: top-k should be served by the pushdown executor"
+        );
+        match prov_db::try_execute_with(&db, &query, false) {
+            Pushdown::Executed(got) => {
+                assert_eq!(got, execute(&query, &frame), "{text} (decode path)")
+            }
+            Pushdown::NeedsFullFrame(_) => {}
+        }
+        // The plan shape: sort and limit both pushed into the scan.
+        let plan = provql::plan(&query, db.as_ref());
+        for p in plan.pipelines() {
+            assert!(!p.scan.sort.is_empty(), "{text}: sort should push");
+            assert_eq!(
+                p.scan.limit.is_some(),
+                text.contains(".head("),
+                "{text}: head should push through the sort"
+            );
         }
     }
 }

@@ -152,15 +152,34 @@ struct Shard {
     cols: ColumnarShard,
 }
 
-/// Parse the `PROVDB_SHARDS` override: a positive integer, capped at 16
-/// like the auto-tuned count. `None` leaves auto-tuning in effect.
-fn shard_override(raw: Option<&str>) -> Option<usize> {
+/// Parse a capped-count env override (`PROVDB_SHARDS`, `PROVDB_THREADS`):
+/// a positive integer, capped at 16 like the auto-tuned counts. `None`
+/// leaves auto-tuning in effect.
+fn cap_override(raw: Option<&str>) -> Option<usize> {
     raw?.trim()
         .parse::<usize>()
         .ok()
         .filter(|n| *n >= 1)
         .map(|n| n.min(16))
 }
+
+/// Scan-thread count: the `PROVDB_THREADS` env override when set (capped
+/// at 16, like `PROVDB_SHARDS`), otherwise one per available core (capped
+/// at 16). `1` — forced or detected — selects the exact sequential scan
+/// path; parallel shard scans only engage above it.
+fn resolve_threads() -> usize {
+    let threads = std::env::var("PROVDB_THREADS").ok();
+    cap_override(threads.as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 16)
+    })
+}
+
+/// Row count below which parallel shard scans stay sequential (thread
+/// startup would dominate) — the same threshold the frame kernels use.
+const PARALLEL_SCAN_THRESHOLD: usize = dataframe::parallel::PARALLEL_THRESHOLD;
 
 /// An in-memory JSON document collection, sharded for write concurrency.
 pub struct DocumentStore {
@@ -176,6 +195,9 @@ pub struct DocumentStore {
     col_irregular: AtomicU16,
     /// Columnar fields shadowed by a dataflow key (no longer servable).
     col_poison: AtomicU16,
+    /// Worker count for shard-parallel scans (see [`resolve_threads`]);
+    /// `1` takes the exact sequential path.
+    scan_threads: AtomicUsize,
 }
 
 impl Default for DocumentStore {
@@ -188,10 +210,13 @@ impl DocumentStore {
     /// Empty collection with one shard per available core (capped at 16).
     /// The `PROVDB_SHARDS` environment variable overrides the auto-tuned
     /// count (CI's shard-matrix leg forces 1 and 16 so shard-count-
-    /// sensitive paths are exercised on single-core runners).
+    /// sensitive paths are exercised on single-core runners), and
+    /// `PROVDB_THREADS` likewise overrides the scan-worker count (CI's
+    /// thread-matrix leg forces 1 and 8 so both the sequential fallback
+    /// and the parallel shard scan run on every PR).
     pub fn new() -> Self {
         let shards = std::env::var("PROVDB_SHARDS").ok();
-        let n = shard_override(shards.as_deref()).unwrap_or_else(|| {
+        let n = cap_override(shards.as_deref()).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(8)
@@ -202,6 +227,7 @@ impl DocumentStore {
 
     /// Empty collection with an explicit shard count (≥ 1). Query results
     /// are shard-count-invariant; the count only tunes write concurrency.
+    /// The scan-thread count is still auto-resolved (env override honored).
     pub fn with_shards(nshards: usize) -> Self {
         let nshards = nshards.max(1);
         Self {
@@ -213,12 +239,27 @@ impl DocumentStore {
             columnar: AtomicBool::new(false),
             col_irregular: AtomicU16::new(0),
             col_poison: AtomicU16::new(0),
+            scan_threads: AtomicUsize::new(resolve_threads()),
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Worker count shard-parallel scans use (`1` = sequential path).
+    pub fn scan_threads(&self) -> usize {
+        self.scan_threads.load(Ordering::Relaxed)
+    }
+
+    /// Pin the scan-worker count (clamped to 1..=16), overriding the
+    /// auto-detected / `PROVDB_THREADS` value — scan results are
+    /// thread-count-invariant, so this only tunes read concurrency
+    /// (benchmarks and tests pin exact configurations with it).
+    pub fn set_scan_threads(&self, threads: usize) {
+        self.scan_threads
+            .store(threads.clamp(1, 16), Ordering::Relaxed);
     }
 
     /// Number of documents.
@@ -712,34 +753,16 @@ impl DocumentStore {
         if !self.columnar_enabled() {
             return None; // zero-filter scans still need the sidecar
         }
+        // The push-then-check loops below assume a limit of at least one;
+        // answering 0 here also keeps every path (sequential, candidate,
+        // parallel) trivially thread-count invariant.
+        if limit == Some(0) {
+            return Some(Vec::new());
+        }
 
-        // Index hints: conjuncts whose raw document values agree with
-        // their decoded frame values can seed the scan from the hash /
-        // sorted indexes (the index layer skips non-indexed paths and
-        // intersects the rest smallest-first). `!=` can never hint.
-        let irregular = self.col_irregular.load(Ordering::Acquire);
-        let hints: Vec<Condition> = fields
-            .iter()
-            .filter(|(f, _, _)| columnar::hint_safe(*f, irregular))
-            .filter_map(|(f, op, lit)| {
-                let op = match op {
-                    CmpOp::Eq => Op::Eq,
-                    CmpOp::Lt => Op::Lt,
-                    CmpOp::Le => Op::Lte,
-                    CmpOp::Gt => Op::Gt,
-                    CmpOp::Ge => Op::Gte,
-                    CmpOp::Ne => return None,
-                };
-                Some(Condition {
-                    path: columnar::field_name(*f).to_string(),
-                    op,
-                    value: (*lit).clone(),
-                })
-            })
-            .collect();
         // Candidate generation may take the index write lock (range-log
         // merge); do it before the shard guards to respect lock order.
-        let cand = self.candidates(&hints);
+        let cand = self.candidates(&self.columnar_hints(&fields));
 
         let nshards = self.shards.len();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
@@ -766,17 +789,335 @@ impl DocumentStore {
                 }
             }
             None => {
-                // Slot-major over the shards: ids are `slot * n + shard`,
-                // so this order is globally ascending and a pushed limit
-                // can stop the scan early.
-                let max_slots = guards.iter().map(|g| g.cols.len()).max().unwrap_or(0);
-                'scan: for slot in 0..max_slots {
-                    for (s, g) in guards.iter().enumerate() {
-                        if slot < g.cols.len() && survives(g, slot) {
-                            out.push(slot * nshards + s);
-                            if full(&out) {
-                                break 'scan;
+                let total: usize = guards.iter().map(|g| g.cols.len()).sum();
+                let workers = self.scan_threads().min(nshards);
+                if workers > 1 && total >= PARALLEL_SCAN_THRESHOLD {
+                    // Shard-parallel: exactly `workers` scoped threads,
+                    // each evaluating a contiguous chunk of shards (a
+                    // shard's survivors are slot-ascending, so each shard
+                    // contributes at most the first `limit` of them); the
+                    // merge re-establishes global id order.
+                    let shards: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                    let chunk = nshards.div_ceil(workers);
+                    let merged = crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = shards
+                            .chunks(chunk)
+                            .enumerate()
+                            .map(|(w, group)| {
+                                let survives = &survives;
+                                scope.spawn(move |_| {
+                                    let mut ids: Vec<DocId> = Vec::new();
+                                    for (i, &shard) in group.iter().enumerate() {
+                                        let s = w * chunk + i;
+                                        let mut kept = 0usize;
+                                        for slot in 0..shard.cols.len() {
+                                            if survives(shard, slot) {
+                                                ids.push(slot * nshards + s);
+                                                kept += 1;
+                                                if limit.is_some_and(|n| kept >= n) {
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    ids
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("scan worker panicked"))
+                            .collect::<Vec<DocId>>()
+                    })
+                    .expect("scan scope failed");
+                    out = merged;
+                    out.sort_unstable();
+                    if let Some(n) = limit {
+                        out.truncate(n);
+                    }
+                } else {
+                    // Slot-major over the shards: ids are `slot * n +
+                    // shard`, so this order is globally ascending and a
+                    // pushed limit can stop the scan early.
+                    let max_slots = guards.iter().map(|g| g.cols.len()).max().unwrap_or(0);
+                    'scan: for slot in 0..max_slots {
+                        for (s, g) in guards.iter().enumerate() {
+                            if slot < g.cols.len() && survives(g, slot) {
+                                out.push(slot * nshards + s);
+                                if full(&out) {
+                                    break 'scan;
+                                }
                             }
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Index hints for a set of columnar conjuncts: conjuncts whose raw
+    /// document values agree with their decoded frame values can seed a
+    /// scan from the hash / sorted indexes (the index layer skips
+    /// non-indexed paths and intersects the rest smallest-first). `!=`
+    /// can never hint.
+    fn columnar_hints(&self, fields: &[(ColField, CmpOp, &Value)]) -> Vec<Condition> {
+        let irregular = self.col_irregular.load(Ordering::Acquire);
+        fields
+            .iter()
+            .filter(|(f, _, _)| columnar::hint_safe(*f, irregular))
+            .filter_map(|(f, op, lit)| {
+                let op = match op {
+                    CmpOp::Eq => Op::Eq,
+                    CmpOp::Lt => Op::Lt,
+                    CmpOp::Le => Op::Lte,
+                    CmpOp::Gt => Op::Gt,
+                    CmpOp::Ge => Op::Gte,
+                    CmpOp::Ne => return None,
+                };
+                Some(Condition {
+                    path: columnar::field_name(*f).to_string(),
+                    op,
+                    value: (*lit).clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Top-k scan: evaluate the filter conjunction over the column vectors
+    /// (exactly like [`columnar_scan`]) and return the surviving document
+    /// ids ordered by the *frame's* sort rule for `sort` — nulls last,
+    /// [`dataframe::sort_cell_cmp`] per key, ties by id (= insertion)
+    /// order, which is what a stable frame sort of id-ordered rows
+    /// produces — truncated to `limit`.
+    ///
+    /// Served two ways: a sorted-index cursor when the single sort key has
+    /// a sorted numeric index whose raw values provably equal the decoded
+    /// cells (ids stream out in key order and the scan stops after `k`
+    /// accepted survivors), or bounded per-shard selection buffers over
+    /// the vectors — run shard-parallel on crossbeam scoped threads above
+    /// [`PARALLEL_SCAN_THRESHOLD`] rows when [`scan_threads`] > 1 — merged
+    /// into the global top-k.
+    ///
+    /// NaN sort-key cells abort to [`TopkScan::NanSortKey`]:
+    /// `Value::compare` calls mixed NaN comparisons `Equal`, which is not
+    /// a strict weak order, so only the oracle's own stable sort defines
+    /// the answer there.
+    ///
+    /// [`columnar_scan`]: DocumentStore::columnar_scan
+    /// [`scan_threads`]: DocumentStore::scan_threads
+    pub fn columnar_topk(
+        &self,
+        filters: &[(&str, CmpOp, &Value)],
+        sort: &[(&str, bool)],
+        limit: Option<usize>,
+    ) -> TopkScan {
+        if sort.is_empty() {
+            return match self.columnar_scan(filters, limit) {
+                Some(ids) => TopkScan::Served(ids),
+                None => TopkScan::NotServable,
+            };
+        }
+        let fields: Option<Vec<(ColField, CmpOp, &Value)>> = filters
+            .iter()
+            .map(|(col, op, lit)| Some((self.columnar_field(col)?, *op, *lit)))
+            .collect();
+        let keys: Option<Vec<(ColField, bool)>> = sort
+            .iter()
+            .map(|(col, asc)| Some((self.columnar_field(col)?, *asc)))
+            .collect();
+        let (Some(fields), Some(keys)) = (fields, keys) else {
+            return TopkScan::NotServable;
+        };
+        if !self.columnar_enabled() {
+            return TopkScan::NotServable;
+        }
+        if limit == Some(0) {
+            return TopkScan::Served(Vec::new());
+        }
+
+        // Sorted-index cursor: stream ids in key order, stop at k.
+        if let (Some(k), [key]) = (limit, keys.as_slice()) {
+            if let Some(ids) = self.topk_sorted_cursor(&fields, *key, k) {
+                return TopkScan::Served(ids);
+            }
+        }
+
+        let cand = self.candidates(&self.columnar_hints(&fields));
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let survives = |shard: &Shard, slot: usize| {
+            shard.cols.is_decodable(slot)
+                && fields
+                    .iter()
+                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
+        };
+        let gather = |shard: &Shard, slot: usize| -> Vec<Value> {
+            keys.iter()
+                .map(|(f, _)| shard.cols.value(slot, *f))
+                .collect()
+        };
+
+        let selected: Result<Vec<TopkEntry>, NanSortKey> = match cand {
+            Some(mut ids) => {
+                // Index-seeded candidate sets are small by construction;
+                // select sequentially.
+                ids.sort_unstable();
+                ids.dedup();
+                let mut buf = TopkBuf::new(&keys, limit);
+                let mut selected = Ok(());
+                for id in ids {
+                    let shard = &*guards[id % nshards];
+                    let slot = id / nshards;
+                    if survives(shard, slot) {
+                        if let Err(e) = buf.push((gather(shard, slot), id)) {
+                            selected = Err(e);
+                            break;
+                        }
+                    }
+                }
+                selected.map(|()| buf.finish())
+            }
+            None => {
+                let total: usize = guards.iter().map(|g| g.cols.len()).sum();
+                let workers = self.scan_threads().min(nshards);
+                let select_shards =
+                    |base: usize, group: &[&Shard]| -> Result<Vec<TopkEntry>, NanSortKey> {
+                        let mut buf = TopkBuf::new(&keys, limit);
+                        for (i, shard) in group.iter().enumerate() {
+                            let s = base + i;
+                            for slot in 0..shard.cols.len() {
+                                if survives(shard, slot) {
+                                    buf.push((gather(shard, slot), slot * nshards + s))?;
+                                }
+                            }
+                        }
+                        Ok(buf.finish())
+                    };
+                let shards: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                let merged: Result<Vec<Vec<TopkEntry>>, NanSortKey> =
+                    if workers > 1 && total >= PARALLEL_SCAN_THRESHOLD {
+                        // Bounded selection on exactly `workers` scoped
+                        // threads, each owning a contiguous shard chunk:
+                        // a worker's local top-k is a superset of its
+                        // contribution to the global top-k.
+                        let chunk = nshards.div_ceil(workers);
+                        crossbeam::thread::scope(|scope| {
+                            let handles: Vec<_> = shards
+                                .chunks(chunk)
+                                .enumerate()
+                                .map(|(w, group)| {
+                                    let select_shards = &select_shards;
+                                    scope.spawn(move |_| select_shards(w * chunk, group))
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("top-k worker panicked"))
+                                .collect()
+                        })
+                        .expect("top-k scope failed")
+                    } else {
+                        select_shards(0, &shards).map(|entries| vec![entries])
+                    };
+                merged.map(|per_shard| {
+                    let mut all: Vec<TopkEntry> = per_shard.into_iter().flatten().collect();
+                    all.sort_unstable_by(|a, b| topk_cmp(&keys, a, b));
+                    if let Some(k) = limit {
+                        all.truncate(k);
+                    }
+                    all
+                })
+            }
+        };
+        match selected {
+            Ok(entries) => TopkScan::Served(entries.into_iter().map(|(_, id)| id).collect()),
+            Err(NanSortKey) => TopkScan::NanSortKey,
+        }
+    }
+
+    /// The sorted-index fast path of [`columnar_topk`]: when the single
+    /// sort key is backed by a sorted numeric index whose entries provably
+    /// mirror the decoded frame cells (pass-through field, no irregular
+    /// doc, no NaN/non-numeric value parked outside the run), the globally
+    /// sorted run *is* the frame's sort order — ascending ties are
+    /// id-ascending by construction (`(key, id)` tuples), descending
+    /// iteration walks tie groups from the top emitting each group in id
+    /// order — so the scan just streams ids, verifies the filters against
+    /// the vectors, and stops after `k` accepted survivors. Returns `None`
+    /// when the preconditions do not hold (caller falls back to the
+    /// bounded-selection scan).
+    ///
+    /// [`columnar_topk`]: DocumentStore::columnar_topk
+    fn topk_sorted_cursor(
+        &self,
+        fields: &[(ColField, CmpOp, &Value)],
+        key: (ColField, bool),
+        k: usize,
+    ) -> Option<Vec<DocId>> {
+        let (field, ascending) = key;
+        // Irregular raw values (defaulted/coerced during decode) or
+        // derived fields: the index cannot speak for the cells.
+        if !columnar::hint_safe(field, self.col_irregular.load(Ordering::Acquire)) {
+            return None;
+        }
+        let path = columnar::field_name(field);
+        // Merge any pending appends first (needs the write lock; taken
+        // before the shard guards to respect lock order).
+        {
+            let indexes = self.indexes.read();
+            let range = indexes.get(path)?.range.as_ref()?;
+            if !range.pending.is_empty() {
+                drop(indexes);
+                let mut w = self.indexes.write();
+                if let Some(range) = w.get_mut(path).and_then(|i| i.range.as_mut()) {
+                    range.merge();
+                }
+            }
+        }
+        let indexes = self.indexes.read();
+        let idx = indexes.get(path)?;
+        let range = idx.range.as_ref()?;
+        // NaN and non-numeric values live outside the sorted run, where
+        // no cursor order is defined; a write racing in behind the merge
+        // above re-pends — both disqualify the cursor, not the query.
+        if !idx.non_numeric.is_empty() || !range.pending.is_empty() {
+            return None;
+        }
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let survives = |id: DocId| {
+            let shard = &*guards[id % nshards];
+            let slot = id / nshards;
+            shard.cols.is_decodable(slot)
+                && fields
+                    .iter()
+                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
+        };
+        let run = &range.sorted;
+        let mut out: Vec<DocId> = Vec::with_capacity(k.min(run.len()));
+        if ascending {
+            for &(_, id) in run.iter() {
+                if survives(id) {
+                    out.push(id);
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        } else {
+            let mut i = run.len();
+            'groups: while i > 0 {
+                let hi = i;
+                let bits = run[i - 1].0;
+                while i > 0 && run[i - 1].0 == bits {
+                    i -= 1;
+                }
+                for &(_, id) in &run[i..hi] {
+                    if survives(id) {
+                        out.push(id);
+                        if out.len() == k {
+                            break 'groups;
                         }
                     }
                 }
@@ -813,6 +1154,105 @@ impl DocumentStore {
                     .expect("scanned id resolves in an append-only store")
             })
             .collect()
+    }
+}
+
+/// Outcome of a [`DocumentStore::columnar_topk`] scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopkScan {
+    /// Surviving ids in the frame's sort order, truncated to the limit.
+    Served(Vec<DocId>),
+    /// A filter or sort column is not columnar-servable here.
+    NotServable,
+    /// A NaN sort-key cell survived the filters; the frame comparator is
+    /// not a strict weak order over NaN, so the caller must let the
+    /// oracle's own stable sort define the answer.
+    NanSortKey,
+}
+
+/// One top-k candidate: its sort-key cells plus its document id.
+type TopkEntry = (Vec<Value>, DocId);
+
+/// Marker error: a NaN sort-key cell was observed (see [`TopkScan`]).
+struct NanSortKey;
+
+/// The frame's sort order over top-k entries: [`dataframe::sort_cell_cmp`]
+/// per key (nulls last, direction applied), ties by id — a total order
+/// (ids are unique) provided no cell is NaN, which [`TopkBuf::push`]
+/// rejects before any entry is ordered.
+fn topk_cmp(keys: &[(ColField, bool)], a: &TopkEntry, b: &TopkEntry) -> std::cmp::Ordering {
+    for (i, (_, ascending)) in keys.iter().enumerate() {
+        let ord = dataframe::sort_cell_cmp(&a.0[i], &b.0[i], *ascending);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.1.cmp(&b.1)
+}
+
+/// Bounded top-k selection buffer: entries accumulate and are periodically
+/// compacted (sort + truncate to k), after which the k-th entry becomes a
+/// rejection bound for later pushes — O(n log k) total, O(k) live memory,
+/// no ordered structure ever built over a NaN key (pushes reject them
+/// first). With no limit it simply collects and sorts everything.
+struct TopkBuf<'k> {
+    keys: &'k [(ColField, bool)],
+    /// `usize::MAX` when unbounded (bare pushed sort).
+    k: usize,
+    entries: Vec<TopkEntry>,
+    /// Current k-th best, once k entries have been seen.
+    bound: Option<TopkEntry>,
+}
+
+impl<'k> TopkBuf<'k> {
+    fn new(keys: &'k [(ColField, bool)], limit: Option<usize>) -> Self {
+        Self {
+            keys,
+            k: limit.unwrap_or(usize::MAX),
+            entries: Vec::new(),
+            bound: None,
+        }
+    }
+
+    fn push(&mut self, entry: TopkEntry) -> Result<(), NanSortKey> {
+        if entry
+            .0
+            .iter()
+            .any(|v| matches!(v, Value::Float(f) if f.is_nan()))
+        {
+            return Err(NanSortKey);
+        }
+        if self.k == 0 {
+            return Ok(());
+        }
+        if let Some(bound) = &self.bound {
+            if topk_cmp(self.keys, &entry, bound) != std::cmp::Ordering::Less {
+                return Ok(());
+            }
+        }
+        self.entries.push(entry);
+        if self.k < usize::MAX / 4 && self.entries.len() >= self.k * 2 + 64 {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    fn compact(&mut self) {
+        let keys = self.keys;
+        self.entries.sort_unstable_by(|a, b| topk_cmp(keys, a, b));
+        self.entries.truncate(self.k);
+        if self.entries.len() == self.k {
+            self.bound = self.entries.last().cloned();
+        }
+    }
+
+    fn finish(mut self) -> Vec<TopkEntry> {
+        let keys = self.keys;
+        self.entries.sort_unstable_by(|a, b| topk_cmp(keys, a, b));
+        if self.k != usize::MAX {
+            self.entries.truncate(self.k);
+        }
+        self.entries
     }
 }
 
@@ -1058,18 +1498,24 @@ mod tests {
     }
 
     #[test]
-    fn shard_override_parses_and_caps() {
-        assert_eq!(shard_override(None), None);
-        assert_eq!(shard_override(Some("4")), Some(4));
-        assert_eq!(shard_override(Some(" 16 ")), Some(16));
+    fn shard_and_thread_overrides_parse_and_cap() {
+        assert_eq!(cap_override(None), None);
+        assert_eq!(cap_override(Some("4")), Some(4));
+        assert_eq!(cap_override(Some(" 16 ")), Some(16));
         assert_eq!(
-            shard_override(Some("64")),
+            cap_override(Some("64")),
             Some(16),
             "capped like auto-tuning"
         );
-        assert_eq!(shard_override(Some("0")), None);
-        assert_eq!(shard_override(Some("-2")), None);
-        assert_eq!(shard_override(Some("lots")), None);
+        assert_eq!(cap_override(Some("0")), None);
+        assert_eq!(cap_override(Some("-2")), None);
+        assert_eq!(cap_override(Some("lots")), None);
+        // The setter clamps the same way.
+        let s = DocumentStore::with_shards(2);
+        s.set_scan_threads(0);
+        assert_eq!(s.scan_threads(), 1);
+        s.set_scan_threads(64);
+        assert_eq!(s.scan_threads(), 16);
     }
 
     fn task_docs(n: usize) -> Vec<Value> {
@@ -1102,6 +1548,13 @@ mod tests {
             .columnar_scan(&[("status", CmpOp::Eq, &err)], Some(2))
             .unwrap();
         assert_eq!(ids, vec![0, 3]);
+        // limit 0 returns nothing on every path (the parallel merge
+        // truncates to 0; the sequential loops must agree).
+        assert_eq!(
+            s.columnar_scan(&[("status", CmpOp::Eq, &err)], Some(0))
+                .unwrap(),
+            Vec::<DocId>::new()
+        );
         // Gather returns the frame cells for those ids, in order.
         let vals = s.columnar_gather(&ids, "task_id").unwrap();
         assert_eq!(vals, vec![Value::from("t0"), Value::from("t3")]);
@@ -1157,6 +1610,146 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ids, vec![5, 7]);
+    }
+
+    #[test]
+    fn columnar_topk_orders_like_the_frame() {
+        let s = DocumentStore::with_shards(3);
+        s.enable_columnar();
+        s.insert_many(task_docs(12)); // duration 1.0 everywhere: all ties
+        let ids = |scan: TopkScan| match scan {
+            TopkScan::Served(ids) => ids,
+            other => panic!("expected Served, got {other:?}"),
+        };
+        // started_at = i: strictly increasing, so descending top-3 is the
+        // last three ids; ascending is the first three.
+        let desc = ids(s.columnar_topk(&[], &[("started_at", false)], Some(3)));
+        assert_eq!(desc, vec![11, 10, 9]);
+        let asc = ids(s.columnar_topk(&[], &[("started_at", true)], Some(3)));
+        assert_eq!(asc, vec![0, 1, 2]);
+        // All-tie key: insertion order breaks ties, both directions.
+        let ties = ids(s.columnar_topk(&[], &[("duration", false)], Some(4)));
+        assert_eq!(ties, vec![0, 1, 2, 3]);
+        // Filter + sort compose; k larger than the survivor count is fine.
+        let err = Value::from("ERROR");
+        let filtered = ids(s.columnar_topk(
+            &[("status", CmpOp::Eq, &err)],
+            &[("started_at", false)],
+            Some(100),
+        ));
+        assert_eq!(filtered, vec![9, 6, 3, 0]);
+        // k = 0 and bare (unlimited) sorts.
+        assert_eq!(
+            ids(s.columnar_topk(&[], &[("started_at", true)], Some(0))),
+            Vec::<DocId>::new()
+        );
+        let all = ids(s.columnar_topk(&[], &[("started_at", false)], None));
+        assert_eq!(all, (0..12).rev().collect::<Vec<_>>());
+        // Multi-key: tie on duration, then started_at descending.
+        let multi =
+            ids(s.columnar_topk(&[], &[("duration", true), ("started_at", false)], Some(3)));
+        assert_eq!(multi, vec![11, 10, 9]);
+    }
+
+    #[test]
+    fn columnar_topk_rejects_unservable_and_nan() {
+        let s = DocumentStore::with_shards(2);
+        s.enable_columnar();
+        s.insert_many(task_docs(6));
+        assert_eq!(
+            s.columnar_topk(&[], &[("y", true)], Some(2)),
+            TopkScan::NotServable
+        );
+        let v = Value::Int(1);
+        assert_eq!(
+            s.columnar_topk(&[("y", CmpOp::Eq, &v)], &[("started_at", true)], Some(2)),
+            TopkScan::NotServable
+        );
+        // A NaN sort-key cell among the survivors aborts.
+        s.insert(obj! {
+            "task_id" => "nan", "workflow_id" => "wf", "activity_id" => "a",
+            "started_at" => f64::NAN, "ended_at" => 1.0,
+        });
+        assert_eq!(
+            s.columnar_topk(&[], &[("started_at", true)], Some(3)),
+            TopkScan::NanSortKey
+        );
+        // …but filters that drop the NaN row keep the scan servable.
+        let wf = Value::from("wf-0");
+        assert!(matches!(
+            s.columnar_topk(
+                &[("workflow_id", CmpOp::Eq, &wf)],
+                &[("started_at", true)],
+                Some(3)
+            ),
+            TopkScan::Served(_)
+        ));
+    }
+
+    #[test]
+    fn topk_cursor_and_buffer_paths_agree() {
+        // Same corpus, one store with the started_at range index (cursor
+        // eligible — ProvenanceDatabase always builds it) and one without
+        // (bounded-buffer path only): identical answers either way.
+        let docs = task_docs(30);
+        let indexed = DocumentStore::with_shards(4);
+        indexed.create_range_index("started_at");
+        indexed.enable_columnar();
+        indexed.insert_many(docs.clone());
+        let plain = DocumentStore::with_shards(4);
+        plain.enable_columnar();
+        plain.insert_many(docs);
+        let fin = Value::from("FINISHED");
+        for (filters, k) in [
+            (vec![], Some(5)),
+            (vec![("status", CmpOp::Eq, &fin)], Some(7)),
+            (vec![], Some(100)),
+            (vec![], None),
+        ] {
+            for asc in [true, false] {
+                assert_eq!(
+                    indexed.columnar_topk(&filters, &[("started_at", asc)], k),
+                    plain.columnar_topk(&filters, &[("started_at", asc)], k),
+                    "asc={asc} k={k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_scans_agree() {
+        // Above the parallel threshold so the threaded path actually runs.
+        let docs = task_docs(PARALLEL_SCAN_THRESHOLD + 500);
+        let s = DocumentStore::with_shards(4);
+        s.enable_columnar();
+        s.insert_many(docs);
+        let bound = Value::Float(0.5);
+        let fin = Value::from("FINISHED");
+        s.set_scan_threads(1);
+        let seq_scan = s.columnar_scan(&[("duration", CmpOp::Gt, &bound)], None);
+        let seq_lim = s.columnar_scan(&[("status", CmpOp::Eq, &fin)], Some(97));
+        let seq_topk = s.columnar_topk(
+            &[("status", CmpOp::Eq, &fin)],
+            &[("duration", false), ("started_at", true)],
+            Some(9),
+        );
+        s.set_scan_threads(4);
+        assert_eq!(
+            s.columnar_scan(&[("duration", CmpOp::Gt, &bound)], None),
+            seq_scan
+        );
+        assert_eq!(
+            s.columnar_scan(&[("status", CmpOp::Eq, &fin)], Some(97)),
+            seq_lim
+        );
+        assert_eq!(
+            s.columnar_topk(
+                &[("status", CmpOp::Eq, &fin)],
+                &[("duration", false), ("started_at", true)],
+                Some(9),
+            ),
+            seq_topk
+        );
     }
 
     #[test]

@@ -72,6 +72,13 @@ impl PushdownCapability for ProvenanceDatabase {
         // column, so planning never pays a flush.
         self.documents_unflushed().columnar_servable(column)
     }
+    fn pushable_sort(&self, column: &str) -> bool {
+        // Exactly the columnar set: the top-k executor orders rows by
+        // comparing column-vector cells (or streaming `started_at`'s
+        // sorted index, which is itself columnar), so whatever lives
+        // columnar can be ordered without materializing a frame.
+        self.documents_unflushed().columnar_servable(column)
+    }
 }
 
 /// Capability wrapper that hides the columnar layer: plans made through it
@@ -229,6 +236,12 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) 
     if !p.scan.columnar.is_empty() {
         return Pushdown::NeedsFullFrame("columnar conjuncts without a columnar layer");
     }
+    if !p.scan.sort.is_empty() {
+        // A pushed sort promises ordered rows, which only the columnar
+        // top-k executor delivers; without it the decoded scan would
+        // apply the pushed limit to *unsorted* rows.
+        return Pushdown::NeedsFullFrame("pushed sort without a columnar layer");
+    }
     exec_pipeline_decoded(store, p, columns)
 }
 
@@ -280,13 +293,19 @@ fn exec_pipeline_decoded(store: &DocumentStore, p: &PipelinePlan, columns: &[Str
 
 /// The columnar scan: pushed *and* planner-split residual `col op lit`
 /// conjuncts all evaluate over the sidecar's column vectors with frame
-/// semantics (index probes pre-filter candidates when safe), and every
+/// semantics (index probes pre-filter candidates when safe), a pushed
+/// sort routes through the streaming top-k executor
+/// ([`DocumentStore::columnar_topk`]: per-shard bounded selection over
+/// the vectors, or a sorted-index cursor, survivors ordered by the exact
+/// frame sort rule before any pushed limit truncates), and every
 /// referenced columnar column is materialized straight from the vectors —
 /// surviving documents are decoded only for columns the sidecar does not
-/// hold. Because the sidecar knows corpus-wide column presence, a checked
-/// columnar column that exists corpus-wide never forces the oracle, even
-/// when no survivor provides it (it materializes all-null, exactly as the
-/// filtered oracle frame would show it).
+/// hold (for a sorted+limited pipeline that means at most `k` decodes,
+/// and zero when the pipeline is fully columnar). Because the sidecar
+/// knows corpus-wide column presence, a checked columnar column that
+/// exists corpus-wide never forces the oracle, even when no survivor
+/// provides it (it materializes all-null, exactly as the filtered oracle
+/// frame would show it).
 ///
 /// Returns `None` when a filter column is not servable (caller falls back).
 fn exec_pipeline_columnar(
@@ -305,7 +324,31 @@ fn exec_pipeline_columnar(
     for f in &p.scan.columnar {
         filters.push((f.column.as_str(), f.op, &f.value));
     }
-    let survivors = store.columnar_scan(&filters, p.scan.limit)?;
+    let survivors = if p.scan.sort.is_empty() {
+        store.columnar_scan(&filters, p.scan.limit)?
+    } else {
+        // Top-k: the scan orders survivors by the frame's sort rule
+        // before the limit truncates, so the frame below is built in
+        // final order — the kept Sort node downstream is a stable re-sort
+        // of already-ordered rows, i.e. the identity (guaranteed because
+        // NaN keys, the one case where the comparator is not a strict
+        // weak order, abort to the oracle here).
+        let keys: Vec<(&str, bool)> = p
+            .scan
+            .sort
+            .iter()
+            .map(|(c, asc)| (c.as_str(), *asc))
+            .collect();
+        match store.columnar_topk(&filters, &keys, p.scan.limit) {
+            crate::document::TopkScan::Served(ids) => ids,
+            crate::document::TopkScan::NotServable => return None,
+            crate::document::TopkScan::NanSortKey => {
+                return Some(Pushdown::NeedsFullFrame(
+                    "NaN sort key: only the oracle's stable sort defines that order",
+                ))
+            }
+        }
+    };
 
     let checked = checked_columns(p);
     let decode_cols: Vec<String> = columns
@@ -578,6 +621,106 @@ mod tests {
         db.documents()
             .insert(prov_model::obj! {"task_id" => "orphan"});
         assert_differential(&db, r#"len(df[df["started_at"] >= 0])"#, true);
+    }
+
+    #[test]
+    fn topk_sort_limit_matches_oracle() {
+        let db = seeded_db();
+        for text in [
+            // "latest/slowest N tasks" — the interactive shapes the top-k
+            // executor exists for (started_at distinct; duration is full
+            // of ties, broken by insertion order like the frame does).
+            r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(3)"#,
+            r#"df.sort_values("duration", ascending=False)[["task_id", "duration"]].head(5)"#,
+            r#"df.sort_values("duration")[["task_id"]].head(5)"#,
+            r#"df.sort_values(["duration", "started_at"])[["task_id"]].head(4)"#,
+            r#"df.sort_values("hostname")[["task_id"]].head(4)"#,
+            // Filters compose: pushed-index, columnar, and both.
+            r#"df[df["workflow_id"] == "wf-1"].sort_values("started_at")[["task_id"]].head(2)"#,
+            r#"df[df["status"] != "ERROR"].sort_values("duration", ascending=False)[["task_id"]].head(3)"#,
+            r#"df[(df["activity_id"] == "run_dft") & (df["duration"] > 2)].sort_values("started_at", ascending=False)[["task_id"]].head(3)"#,
+            // Edge k: zero, and larger than the corpus.
+            r#"df.sort_values("started_at")[["task_id"]].head(0)"#,
+            r#"df.sort_values("started_at", ascending=False)[["task_id"]].head(500)"#,
+            // Bare pushed sort (no limit), and len() over a sorted head.
+            r#"df.sort_values("started_at", ascending=False)[["task_id"]]"#,
+            r#"len(df.sort_values("started_at").head(7))"#,
+            // Mixed projection: sort key columnar, `y` decoded from the
+            // k survivors only.
+            r#"df.sort_values("started_at", ascending=False)[["task_id", "y"]].head(3)"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+        // And the shape actually pushes sort + limit (no silent oracle).
+        let query =
+            parse(r#"df.sort_values("started_at", ascending=False)[["task_id"]].head(3)"#).unwrap();
+        let plan = provql::plan(&query, &db);
+        let p = &plan.pipelines()[0];
+        assert_eq!(p.scan.sort, vec![("started_at".to_string(), false)]);
+        assert_eq!(p.scan.limit, Some(3));
+    }
+
+    #[test]
+    fn topk_null_keys_sort_last_like_the_frame() {
+        let db = seeded_db();
+        // One message with telemetry: cpu_percent_end exists corpus-wide
+        // but is null on every other row — nulls sort last either
+        // direction, ties by insertion order.
+        let synth = prov_model::TelemetrySynth::frontier(1);
+        let msg = TaskMessageBuilder::new("tele", "wf-9", "run_dft")
+            .telemetry(synth.snapshot(1, 0, 0.4), synth.snapshot(1, 1, 0.4))
+            .span(100.0, 101.0)
+            .build();
+        db.insert_batch(std::iter::once(&msg));
+        for text in [
+            r#"df.sort_values("cpu_percent_end")[["task_id", "cpu_percent_end"]].head(4)"#,
+            r#"df.sort_values("cpu_percent_end", ascending=False)[["task_id"]].head(4)"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+    }
+
+    #[test]
+    fn nan_sort_keys_defer_to_the_oracle() {
+        let db = seeded_db();
+        db.documents().insert(prov_model::obj! {
+            "task_id" => "nan0", "workflow_id" => "wf-raw", "activity_id" => "x",
+            "started_at" => f64::NAN, "ended_at" => 1.0,
+        });
+        // `Value::compare` calls mixed NaN comparisons Equal — not a
+        // strict weak order — so the pushed path must refuse and let the
+        // oracle's own stable sort define the (algorithm-defined) order.
+        let query = parse(r#"df.sort_values("started_at")[["task_id"]].head(3)"#).unwrap();
+        match try_execute(&db, &query) {
+            Pushdown::NeedsFullFrame(_) => {}
+            Pushdown::Executed(out) => panic!("NaN sort key must not be served: {out:?}"),
+        }
+        // A filter that drops the NaN row keeps top-k servable and exact.
+        assert_differential(
+            &db,
+            r#"df[df["workflow_id"] == "wf-1"].sort_values("started_at")[["task_id"]].head(3)"#,
+            true,
+        );
+    }
+
+    #[test]
+    fn topk_agrees_across_thread_counts() {
+        let db = seeded_db();
+        let texts = [
+            r#"df.sort_values("duration", ascending=False)[["task_id", "duration"]].head(5)"#,
+            r#"df[df["status"] != "ERROR"].sort_values("started_at")[["task_id"]].head(4)"#,
+        ];
+        let run = |threads: usize, text: &str| {
+            db.documents().set_scan_threads(threads);
+            match try_execute(&db, &parse(text).unwrap()) {
+                Pushdown::Executed(out) => out,
+                Pushdown::NeedsFullFrame(r) => panic!("{text}: unexpected fallback ({r})"),
+            }
+        };
+        for text in texts {
+            assert_eq!(run(1, text), run(4, text), "{text}");
+        }
+        db.documents().set_scan_threads(1);
     }
 
     #[test]

@@ -16,11 +16,20 @@
 //! ## Sharding and shared handles
 //!
 //! The document store splits its collection across N independently locked
-//! shards (N defaults to the core count, capped at 16); writers contend per
-//! shard instead of serializing on one global `RwLock<Vec<_>>`. Documents
-//! are stored as `Arc<Value>`: `find`/`get` return shared handles, never
-//! deep clones, and the KV backend holds the *same* allocation the document
-//! store does — one serialization per ingested message, shared everywhere.
+//! shards (N defaults to the core count, capped at 16; the `PROVDB_SHARDS`
+//! env var overrides it); writers contend per shard instead of serializing
+//! on one global `RwLock<Vec<_>>`. Documents are stored as `Arc<Value>`:
+//! `find`/`get` return shared handles, never deep clones, and the KV
+//! backend holds the *same* allocation the document store does — one
+//! serialization per ingested message, shared everywhere.
+//!
+//! Reads fan out too: columnar scans and top-k selections run
+//! shard-parallel on crossbeam scoped threads once the store is large
+//! enough, with the worker count auto-tuned to the core count and
+//! overridden by `PROVDB_THREADS` (capped at 16, exactly like
+//! `PROVDB_SHARDS`; `=1` forces the exact sequential path — CI's
+//! thread-matrix leg runs the suite both ways). Scan results are
+//! thread-count invariant.
 //!
 //! A document's id encodes its location (`slot * nshards + shard`), ids
 //! assigned by a single thread are dense and ascending, and queries sort
@@ -67,7 +76,7 @@ pub mod kv;
 pub mod query;
 pub mod store;
 
-pub use document::{DocId, DocumentStore};
+pub use document::{DocId, DocumentStore, TopkScan};
 pub use exec::{
     execute_plan, execute_plan_with, full_frame, try_execute, try_execute_with, Pushdown,
 };

@@ -53,8 +53,23 @@ pub struct ProvenanceDatabase {
 impl ProvenanceDatabase {
     /// Fresh empty database with hash indexes on the hot equality fields
     /// and a sorted numeric index on `started_at` for time-range queries.
+    /// The document store's shard and scan-thread counts auto-tune to the
+    /// core count (`PROVDB_SHARDS` / `PROVDB_THREADS` override them).
     pub fn new() -> Self {
-        let documents = DocumentStore::new();
+        Self::with_store(DocumentStore::new())
+    }
+
+    /// [`new`] with an explicit document-store shard count (query results
+    /// are shard-count invariant; the count only tunes concurrency).
+    /// Benchmarks and tests use this to exercise multi-shard paths —
+    /// notably the shard-parallel scans — on single-core machines.
+    ///
+    /// [`new`]: ProvenanceDatabase::new
+    pub fn with_shards(nshards: usize) -> Self {
+        Self::with_store(DocumentStore::with_shards(nshards))
+    }
+
+    fn with_store(documents: DocumentStore) -> Self {
         documents.create_index("task_id");
         documents.create_index("activity_id");
         documents.create_index("workflow_id");

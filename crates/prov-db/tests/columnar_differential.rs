@@ -8,7 +8,7 @@ use dataframe::{col, lit, AggFunc, CmpOp, DataFrame, Expr};
 use proptest::prelude::*;
 use prov_db::{ProvenanceDatabase, Pushdown};
 use prov_model::{obj, TaskMessageBuilder, TaskStatus, Value};
-use provql::{execute, Query, Stage};
+use provql::{execute, ExecError, Query, QueryOutput, Stage};
 
 /// Columns mixing columnar hot fields, decode-only payload fields, and a
 /// name no document ever sets.
@@ -76,7 +76,11 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
         arb_column().prop_map(|c| Stage::GroupBy(vec![c])),
         agg.prop_map(Stage::Agg),
         (arb_column(), any::<bool>()).prop_map(|(c, a)| Stage::SortValues(vec![(c, a)])),
-        (1usize..5).prop_map(Stage::Head),
+        // Multi-key sorts: pushed only when every key is orderable.
+        (arb_column(), any::<bool>(), arb_column(), any::<bool>())
+            .prop_map(|(c1, a1, c2, a2)| Stage::SortValues(vec![(c1, a1), (c2, a2)])),
+        // 0 included: a pushed top-k with k = 0 must stay exact.
+        (0usize..5).prop_map(Stage::Head),
         Just(Stage::Count),
         Just(Stage::ValueCounts),
     ]
@@ -155,6 +159,10 @@ fn arb_raw_doc() -> impl Strategy<Value = Value> {
         (-2.0f64..20.0).prop_map(Value::Float),
         (0i64..20).prop_map(Value::Int),
         Just(Value::from("not-a-number")),
+        // NaN decodes into a NaN frame cell: a top-k sorting on it must
+        // refuse (compare() is not a strict weak order over NaN) and any
+        // other pipeline must still match the oracle cell-for-cell.
+        Just(Value::Float(f64::NAN)),
         Just(Value::Null),
     ];
     (
@@ -188,15 +196,138 @@ fn arb_raw_doc() -> impl Strategy<Value = Value> {
         })
 }
 
+/// Value equality with NaN ≡ NaN: `PartialEq` calls NaN unequal to
+/// itself, but a scan that reproduces the oracle's NaN cells bit-for-bit
+/// is exact, not divergent.
+fn val_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => (x.is_nan() && y.is_nan()) || x == y,
+        (Value::Array(x), Value::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(p, q)| val_eq(p, q))
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && val_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+fn frame_eq(a: &DataFrame, b: &DataFrame) -> bool {
+    a.len() == b.len()
+        && a.column_names() == b.column_names()
+        && a.column_names().iter().all(|n| {
+            let x = a.column(n).expect("listed").values();
+            let y = b.column(n).expect("listed").values();
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(p, q)| val_eq(p, q))
+        })
+}
+
+fn out_eq(a: &Result<QueryOutput, ExecError>, b: &Result<QueryOutput, ExecError>) -> bool {
+    match (a, b) {
+        (Ok(QueryOutput::Frame(f)), Ok(QueryOutput::Frame(g))) => frame_eq(f, g),
+        (
+            Ok(QueryOutput::Series {
+                name: n1,
+                values: v1,
+            }),
+            Ok(QueryOutput::Series {
+                name: n2,
+                values: v2,
+            }),
+        ) => {
+            n1 == n2 && v1.len() == v2.len() && v1.iter().zip(v2.iter()).all(|(p, q)| val_eq(p, q))
+        }
+        (Ok(QueryOutput::Scalar(x)), Ok(QueryOutput::Scalar(y))) => val_eq(x, y),
+        (Ok(QueryOutput::Row(m1)), Ok(QueryOutput::Row(m2))) => {
+            m1.len() == m2.len()
+                && m1
+                    .iter()
+                    .zip(m2.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && val_eq(va, vb))
+        }
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
 fn check(db: &ProvenanceDatabase, frame: &DataFrame, q: &Query, use_columnar: bool) {
-    let oracle = execute(q, frame);
     match prov_db::try_execute_with(db, q, use_columnar) {
         Pushdown::Executed(got) => {
-            assert_eq!(got, oracle, "use_columnar={use_columnar}, query={q:?}")
+            // The oracle only runs when the pushed path claims exactness:
+            // for NaN sort keys the scan refuses instead (NeedsFullFrame),
+            // because the oracle's own stable sort is the only definition
+            // of that order.
+            let oracle = execute(q, frame);
+            assert!(
+                out_eq(&got, &oracle),
+                "use_columnar={use_columnar}, query={q:?}\n got: {got:?}\nwant: {oracle:?}"
+            );
         }
         // The fallback path *is* the oracle — trivially identical.
         Pushdown::NeedsFullFrame(_) => {}
     }
+}
+
+/// The shard-parallel scan above [`PARALLEL_SCAN_THRESHOLD`] must stay an
+/// exact oracle match — same queries, sequential (`threads = 1`, the
+/// forced-`PROVDB_THREADS=1` path) and parallel (`threads = 4` over 4
+/// shards), on a corpus big enough that the threaded path actually runs.
+#[test]
+fn parallel_scan_differential_above_threshold() {
+    let db = ProvenanceDatabase::with_shards(4);
+    let msgs: Vec<prov_model::TaskMessage> = (0..6000)
+        .map(|i| {
+            TaskMessageBuilder::new(
+                format!("t{i}"),
+                format!("wf-{}", i % 5),
+                format!("a{}", i % 3),
+            )
+            .host(format!("n{}", i % 4))
+            .status(if i % 7 == 0 {
+                TaskStatus::Error
+            } else {
+                TaskStatus::Finished
+            })
+            .span(i as f64, i as f64 + 1.0 + (i % 9) as f64)
+            .uses("y", i as f64)
+            .build()
+        })
+        .collect();
+    db.insert_batch(&msgs);
+    let frame = prov_db::full_frame(&db);
+    let queries = [
+        // Unselective columnar filter: full vector scan, shard-parallel.
+        r#"len(df[df["duration"] > 4])"#,
+        r#"df[df["status"] != "ERROR"]["duration"].sum()"#,
+        // Top-k through the bounded per-shard buffers (duration has no
+        // sorted index, so the cursor cannot serve it) and through the
+        // sorted-index cursor (started_at).
+        r#"df.sort_values("duration", ascending=False)[["task_id", "duration"]].head(9)"#,
+        r#"df[df["status"] != "ERROR"].sort_values("duration")[["task_id"]].head(6)"#,
+        r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(7)"#,
+    ];
+    for threads in [1usize, 4] {
+        db.documents().set_scan_threads(threads);
+        for text in queries {
+            let q = provql::parse(text).expect("query parses");
+            match prov_db::try_execute(&db, &q) {
+                Pushdown::Executed(got) => {
+                    let oracle = execute(&q, &frame);
+                    assert!(
+                        out_eq(&got, &oracle),
+                        "threads={threads}, query={text}\n got: {got:?}\nwant: {oracle:?}"
+                    );
+                }
+                Pushdown::NeedsFullFrame(r) => {
+                    panic!("threads={threads}, query={text}: unexpected fallback ({r})")
+                }
+            }
+        }
+    }
+    db.documents().set_scan_threads(1);
 }
 
 proptest! {

@@ -9,7 +9,9 @@
 //! whatever remains is recombined into [`ScanNode::residual`]. The scan
 //! also carries a projection ([`ScanNode::columns`]: the column subset the
 //! rest of the pipeline references) and, when the stage shape allows it, a
-//! row limit.
+//! sort spec ([`ScanNode::sort`]: a leading `sort_values` over keys the
+//! store can order) and a row limit — a pushed `Sort→Limit` pair is a
+//! top-k request served without materializing (or sorting) the corpus.
 //!
 //! The planner is deliberately engine-agnostic: it knows nothing about
 //! document paths, hash indexes, or shards. An executor (see
@@ -41,6 +43,14 @@ pub trait PushdownCapability {
     fn pushable_columnar(&self, _column: &str) -> bool {
         false
     }
+    /// Can the scan return its rows ordered by this column — i.e. can a
+    /// leading `sort_values` key (and a `head` behind it) be pushed into
+    /// the scan as a top-k request? Engines answer `true` for columns they
+    /// can order without materializing a frame: sorted-index keys and
+    /// columnar-resident scalar fields. Defaults to `false`.
+    fn pushable_sort(&self, _column: &str) -> bool {
+        false
+    }
 }
 
 /// Push everything structurally pushable (used by tests and by callers
@@ -56,6 +66,9 @@ impl PushdownCapability for PushAll {
         true
     }
     fn pushable_columnar(&self, _column: &str) -> bool {
+        true
+    }
+    fn pushable_sort(&self, _column: &str) -> bool {
         true
     }
 }
@@ -141,9 +154,21 @@ pub struct ScanNode {
     ///
     /// [`columns`]: ScanNode::columns
     pub columnar_only: bool,
+    /// Sort pushdown: the keys of a leading `sort_values` whose columns
+    /// the store can all order ([`PushdownCapability::pushable_sort`]),
+    /// reached with no residual filter in front. The executor must return
+    /// rows in the *frame's* sort order for these keys (nulls last, ties
+    /// by insertion order, `Value::compare` semantics); the original
+    /// [`PlanNode::Sort`] is kept downstream as a safety net — a stable
+    /// re-sort of already-ordered rows is the identity whenever the key
+    /// comparator is a strict weak order, and executors must fall back to
+    /// the oracle in the one case it is not (NaN keys).
+    pub sort: Vec<(String, bool)>,
     /// Row-limit pushdown, set only when no residual filter and no
-    /// reordering stage precedes the `head` that produced it (columnar
-    /// conjuncts do not block it: the scan applies them before counting).
+    /// *unpushed* reordering stage precedes the `head` that produced it
+    /// (columnar conjuncts do not block it: the scan applies them before
+    /// counting; a pushed sort does not block it: the scan orders before
+    /// it truncates — that pairing is exactly a top-k scan).
     pub limit: Option<usize>,
 }
 
@@ -298,20 +323,43 @@ fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) 
 
     let ops: Vec<PlanNode> = rest.iter().map(PlanNode::from_stage).collect();
 
-    // Limit pushdown: a head() reached through column-preserving,
-    // order-preserving stages only, with no residual filter in front,
-    // sees exactly the first n scanned rows — let the store stop there.
-    // The Limit node is kept (head is idempotent), so the pushed limit is
-    // an upper bound, never a semantic change.
+    // Sort/limit pushdown: walking through column-preserving,
+    // order-preserving stages only, with no residual filter in front —
+    // a sort_values whose keys the store can all order becomes the scan's
+    // sort spec (one sort only: a second sort re-orders and stops the
+    // walk), and a head() behind it becomes the scan's limit. Together
+    // they turn the scan into a top-k request; a head() with no pushed
+    // sort in front still sees exactly the first n scanned rows, as
+    // before. The Sort and Limit nodes are kept downstream (a stable
+    // re-sort of ordered rows is the identity for strict-weak key
+    // comparators, and head is idempotent), so pushdown remains an upper
+    // bound, never a semantic change.
     if scan.residual.is_none() {
         for op in &ops {
             match op {
                 PlanNode::Project(_) | PlanNode::Residual(Stage::ResetIndex) => continue,
+                PlanNode::Sort(keys)
+                    if scan.sort.is_empty() && keys.iter().all(|(c, _)| caps.pushable_sort(c)) =>
+                {
+                    scan.sort = keys.clone();
+                }
                 PlanNode::Limit(n) => {
                     scan.limit = Some(*n);
                     break;
                 }
-                _ => break,
+                other => {
+                    // A later (unpushed or second) sort re-orders every
+                    // row: an already-pushed ordering would be computed
+                    // only to be thrown away, so retract it and leave the
+                    // scan a plain filter scan. Any other stage keeps it —
+                    // order-sensitive stages (group-by first-seen order,
+                    // dedup first-occurrence, value_counts ties) observe
+                    // the pushed ordering.
+                    if matches!(other, PlanNode::Sort(_)) {
+                        scan.sort.clear();
+                    }
+                    break;
+                }
             }
         }
     }
@@ -471,6 +519,10 @@ mod tests {
                     | "ended_at"
                     | "duration"
             )
+        }
+        fn pushable_sort(&self, column: &str) -> bool {
+            // Mirrors prov_db: whatever lives columnar can be ordered.
+            self.pushable_columnar(column)
         }
     }
 
@@ -716,6 +768,92 @@ mod tests {
         assert_eq!(p.scan.limit, Some(3));
         // A genuinely residual filter still blocks it.
         let p = plan_columnar(r#"df[df["y"] > 1][["task_id"]].head(3)"#);
+        assert_eq!(p.scan.limit, None);
+    }
+
+    #[test]
+    fn pushed_sort_unblocks_limit_pushdown() {
+        // A leading sort over a pushable key no longer blocks the head():
+        // the pair becomes a top-k scan. Both nodes stay downstream.
+        let p = plan_columnar(
+            r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(3)"#,
+        );
+        assert_eq!(p.scan.sort, vec![("started_at".to_string(), false)]);
+        assert_eq!(p.scan.limit, Some(3));
+        assert!(matches!(p.ops[0], PlanNode::Sort(_)));
+        assert!(matches!(p.ops[2], PlanNode::Limit(3)));
+        // A projection between sort and head is column-preserving and
+        // order-preserving; the walk steps over it.
+        let p = plan_columnar(r#"df.sort_values("duration")[["task_id"]].head(5)"#);
+        assert_eq!(p.scan.sort, vec![("duration".to_string(), true)]);
+        assert_eq!(p.scan.limit, Some(5));
+        // A bare pushable sort (no head) is still pushed.
+        let p = plan_columnar(r#"df.sort_values("started_at")[["task_id", "started_at"]]"#);
+        assert_eq!(p.scan.sort, vec![("started_at".to_string(), true)]);
+        assert_eq!(p.scan.limit, None);
+    }
+
+    #[test]
+    fn unpushable_sort_key_still_blocks_limit() {
+        // `y` has no column vector: the sort stays frame-side and, as
+        // before, blocks the limit behind it.
+        let p = plan_columnar(r#"df.sort_values("y")[["task_id"]].head(3)"#);
+        assert!(p.scan.sort.is_empty());
+        assert_eq!(p.scan.limit, None);
+        // Multi-key sorts push only when *every* key is orderable.
+        let p = plan_columnar(r#"df.sort_values(["duration", "y"])[["task_id"]].head(3)"#);
+        assert!(p.scan.sort.is_empty());
+        assert_eq!(p.scan.limit, None);
+        let p = plan_columnar(r#"df.sort_values(["duration", "started_at"])[["task_id"]].head(3)"#);
+        assert_eq!(
+            p.scan.sort,
+            vec![
+                ("duration".to_string(), true),
+                ("started_at".to_string(), true)
+            ]
+        );
+        assert_eq!(p.scan.limit, Some(3));
+    }
+
+    #[test]
+    fn residual_filter_or_second_sort_blocks_sort_pushdown() {
+        // A residual filter in front drops rows the scan would order.
+        let p = plan_columnar(r#"df[df["y"] > 1].sort_values("started_at")[["task_id"]].head(2)"#);
+        assert!(p.scan.sort.is_empty());
+        assert_eq!(p.scan.limit, None);
+        // Columnar conjuncts are applied by the scan itself, so they do
+        // not block the pair.
+        let p = plan_columnar(
+            r#"df[df["status"] != "ERROR"].sort_values("started_at")[["task_id"]].head(2)"#,
+        );
+        assert_eq!(p.scan.sort.len(), 1);
+        assert_eq!(p.scan.limit, Some(2));
+        // A second sort re-orders: the walk stops, the limit stays put,
+        // and the first sort is retracted — its ordering would be
+        // computed by the scan only to be discarded.
+        let p = plan_columnar(
+            r#"df.sort_values("started_at").sort_values("duration")[["task_id"]].head(2)"#,
+        );
+        assert!(p.scan.sort.is_empty());
+        assert_eq!(p.scan.limit, None);
+        // A pushed sort ahead of an order-sensitive stage is kept: the
+        // group-by's first-seen group order depends on it.
+        let p = plan_columnar(
+            r#"df.sort_values("duration").groupby("activity_id")["duration"].mean()"#,
+        );
+        assert_eq!(p.scan.sort, vec![("duration".to_string(), true)]);
+    }
+
+    #[test]
+    fn sort_pushdown_needs_the_capability() {
+        // CommonFields advertises no sort capability: the PR 3 behavior —
+        // sorts block limits — is exactly preserved.
+        let QueryPlan::Pipeline(p) =
+            plan_text(r#"df.sort_values("started_at")[["task_id"]].head(3)"#)
+        else {
+            panic!("pipeline")
+        };
+        assert!(p.scan.sort.is_empty());
         assert_eq!(p.scan.limit, None);
     }
 
