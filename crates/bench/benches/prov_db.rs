@@ -1,6 +1,8 @@
 //! `prov_db` bench group: the sharded, clone-free engine vs the seed
 //! baseline on the three hot paths the ISSUE names — batch ingest,
-//! indexed point find, and group-by aggregation.
+//! indexed point find, and group-by aggregation — plus the vectorized
+//! kernels (zone-map chunk skipping, code-based group-by) against their
+//! decode- and frame-based equivalents.
 
 use bench::baseline::BaselineDatabase;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -126,10 +128,65 @@ fn bench_aggregate(c: &mut Criterion) {
     g.finish();
 }
 
+fn run_query(db: &ProvenanceDatabase, q: &provql::Query, use_columnar: bool) -> usize {
+    match prov_db::try_execute_with(db, q, use_columnar) {
+        prov_db::Pushdown::Executed(out) => out.expect("query runs").len(),
+        prov_db::Pushdown::NeedsFullFrame(reason) => {
+            panic!("bench query was not served by the scan: {reason}")
+        }
+    }
+}
+
+/// Selective range scan where the per-chunk zone maps do the work:
+/// `started_at` is monotone in the corpus, so a high bound lets the
+/// kernel discard nearly every granule from its min/max alone. The
+/// contrast is the decode path, which rebuilds the corpus into a frame
+/// and filters row by row.
+fn bench_chunk_skip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provdb_chunk_skip");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    const N: usize = 100_000;
+    let db = ProvenanceDatabase::new();
+    db.insert_batch(&corpus(N));
+    let q = provql::parse(r#"df[df["started_at"] > 99000.0][["task_id", "started_at"]]"#)
+        .expect("bench query parses");
+    g.bench_function("decode_scan", |b| {
+        b.iter(|| black_box(run_query(&db, &q, false)))
+    });
+    g.bench_function("zone_map_skip", |b| {
+        b.iter(|| black_box(run_query(&db, &q, true)))
+    });
+    g.finish();
+}
+
+/// Single-key grouped aggregate: hash a per-row `Vec<Value>` key over the
+/// cached full frame vs grouping directly over dictionary codes (one
+/// symbol unification per (shard, distinct value), aggregation over
+/// gathered cells).
+fn bench_vectorized_groupby(c: &mut Criterion) {
+    let mut g = c.benchmark_group("provdb_vectorized_groupby");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    const N: usize = 100_000;
+    let db = ProvenanceDatabase::new();
+    db.insert_batch(&corpus(N));
+    let frame = prov_db::full_frame(&db);
+    let q =
+        provql::parse(r#"df.groupby("hostname")["duration"].mean()"#).expect("bench query parses");
+    g.bench_function("frame_hash_keys", |b| {
+        b.iter(|| black_box(provql::execute(&q, &frame).expect("query runs")))
+    });
+    g.bench_function("dictionary_codes", |b| {
+        b.iter(|| black_box(run_query(&db, &q, true)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     prov_db,
     bench_batch_ingest,
     bench_indexed_find,
-    bench_aggregate
+    bench_aggregate,
+    bench_chunk_skip,
+    bench_vectorized_groupby
 );
 criterion_main!(prov_db);

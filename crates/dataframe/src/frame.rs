@@ -366,14 +366,22 @@ impl DataFrame {
     /// Value counts of a column, descending, as a `(value, count)` frame.
     pub fn value_counts(&self, column: &str) -> FrameResult<DataFrame> {
         let c = self.column_checked(column)?;
+        // Hash-bucketed counting (equality-confirmed, like group-by): the
+        // stable hash unifies Int/Float of equal value where `Value`
+        // equality does not, so buckets may hold several distinct values.
         let mut counts: Vec<(Value, i64)> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for v in c.values() {
             if v.is_null() {
                 continue;
             }
-            match counts.iter_mut().find(|(k, _)| k == v) {
-                Some((_, n)) => *n += 1,
-                None => counts.push((v.clone(), 1)),
+            let bucket = buckets.entry(v.stable_hash()).or_default();
+            match bucket.iter().find(|&&i| &counts[i].0 == v) {
+                Some(&i) => counts[i].1 += 1,
+                None => {
+                    bucket.push(counts.len());
+                    counts.push((v.clone(), 1));
+                }
             }
         }
         counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.compare(&b.0)));
@@ -486,21 +494,26 @@ pub fn sort_cell_cmp(a: &Value, b: &Value, ascending: bool) -> std::cmp::Orderin
 /// Flatten one task message into its row map — the single source of the
 /// column layout documented on [`DataFrame::from_messages`], shared by the
 /// full and projected constructors.
+///
+/// Accumulates `(key, value)` pairs in one flat vector and bulk-builds the
+/// map at the end (later pairs overwrite earlier ones, exactly like
+/// repeated inserts) — this is the per-document cost of decode and
+/// materialize, so it avoids per-field map restructuring.
 fn message_row(m: &TaskMessage) -> Map {
     use prov_model::keys;
-    let mut row = Map::new();
-    row.insert(keys::task_id(), Value::from(m.task_id.as_str()));
-    row.insert(keys::campaign_id(), Value::from(m.campaign_id.as_str()));
-    row.insert(keys::workflow_id(), Value::from(m.workflow_id.as_str()));
-    row.insert(keys::activity_id(), Value::from(m.activity_id.as_str()));
-    row.insert(keys::started_at(), Value::Float(m.started_at));
-    row.insert(keys::ended_at(), Value::Float(m.ended_at));
-    row.insert(keys::duration(), Value::Float(m.duration()));
-    row.insert(keys::hostname(), Value::from(m.hostname.as_str()));
-    row.insert(keys::status(), Value::Str(m.status.sym()));
-    row.insert(keys::msg_type(), Value::Str(m.msg_type.sym()));
+    let mut pairs: Vec<(Sym, Value)> = Vec::with_capacity(24);
+    pairs.push((keys::task_id(), Value::from(m.task_id.as_str())));
+    pairs.push((keys::campaign_id(), Value::from(m.campaign_id.as_str())));
+    pairs.push((keys::workflow_id(), Value::from(m.workflow_id.as_str())));
+    pairs.push((keys::activity_id(), Value::from(m.activity_id.as_str())));
+    pairs.push((keys::started_at(), Value::Float(m.started_at)));
+    pairs.push((keys::ended_at(), Value::Float(m.ended_at)));
+    pairs.push((keys::duration(), Value::Float(m.duration())));
+    pairs.push((keys::hostname(), Value::from(m.hostname.as_str())));
+    pairs.push((keys::status(), Value::Str(m.status.sym())));
+    pairs.push((keys::msg_type(), Value::Str(m.msg_type.sym())));
     if !m.depends_on.is_empty() {
-        row.insert(
+        pairs.push((
             keys::depends_on(),
             Value::array(
                 m.depends_on
@@ -508,41 +521,41 @@ fn message_row(m: &TaskMessage) -> Map {
                     .map(|t| Value::from(t.as_str()))
                     .collect(),
             ),
-        );
+        ));
     }
     for (key, value) in m.used.flatten() {
-        let name = dataflow_column_name(&key, "used", &row);
-        row.insert(Sym::from(name), value);
+        let name = dataflow_column_name(&key, "used", &pairs);
+        pairs.push((Sym::from(name), value));
     }
     for (key, value) in m.generated.flatten() {
-        let name = dataflow_column_name(&key, "generated", &row);
-        row.insert(Sym::from(name), value);
+        let name = dataflow_column_name(&key, "generated", &pairs);
+        pairs.push((Sym::from(name), value));
     }
     if let Some(t) = &m.telemetry_at_start {
         for (key, value) in t.to_value().flatten() {
-            row.insert(Sym::from(format!("telemetry_at_start.{key}")), value);
+            pairs.push((Sym::from(format!("telemetry_at_start.{key}")), value));
         }
-        row.insert("cpu_percent_start".into(), Value::Float(t.cpu_mean()));
+        pairs.push(("cpu_percent_start".into(), Value::Float(t.cpu_mean())));
     }
     if let Some(t) = &m.telemetry_at_end {
         for (key, value) in t.to_value().flatten() {
-            row.insert(Sym::from(format!("telemetry_at_end.{key}")), value);
+            pairs.push((Sym::from(format!("telemetry_at_end.{key}")), value));
         }
-        row.insert("cpu_percent_end".into(), Value::Float(t.cpu_mean()));
-        row.insert("gpu_percent_end".into(), Value::Float(t.gpu_mean()));
-        row.insert("mem_used_mb_end".into(), Value::Float(t.mem_used_mb));
+        pairs.push(("cpu_percent_end".into(), Value::Float(t.cpu_mean())));
+        pairs.push(("gpu_percent_end".into(), Value::Float(t.gpu_mean())));
+        pairs.push(("mem_used_mb_end".into(), Value::Float(t.mem_used_mb)));
     }
     for (k, v) in &m.tags {
-        row.insert(Sym::from(format!("tags.{k}")), v.clone());
+        pairs.push((Sym::from(format!("tags.{k}")), v.clone()));
     }
-    row
+    Map::from_iter(pairs)
 }
 
 /// Bare name unless it clashes with a common field or a column this same
 /// row already set (e.g. `used.x` and `generated.x`).
-fn dataflow_column_name(key: &str, section: &str, row: &Map) -> String {
+fn dataflow_column_name(key: &str, section: &str, row: &[(Sym, Value)]) -> String {
     let clashes = prov_model::schema::common_field(key).is_some()
-        || row.contains_key(key)
+        || row.iter().any(|(k, _)| k.as_str() == key)
         || matches!(key, "duration" | "cpu_percent_start" | "cpu_percent_end");
     if clashes {
         format!("{section}.{key}")

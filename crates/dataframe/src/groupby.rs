@@ -28,15 +28,30 @@ impl<'f> GroupBy<'f> {
             .iter()
             .map(|k| frame.column_checked(k))
             .collect::<FrameResult<_>>()?;
+        // Hash-bucketed grouping: bucket rows by the combined stable hash
+        // of their key values and confirm with real equality inside the
+        // bucket, so building the groups is O(rows) instead of
+        // O(rows × groups). `stable_hash` unifies Int/Float holding the
+        // same number while `Value` equality does not; such keys share a
+        // bucket but stay distinct groups, exactly as before.
         let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
         for row in 0..frame.len() {
             let key: Vec<Value> = key_cols
                 .iter()
                 .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
                 .collect();
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, rows)) => rows.push(row),
-                None => groups.push((key, vec![row])),
+            let h = key.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, v| {
+                acc.wrapping_mul(0x1000_0000_01b3) ^ v.stable_hash()
+            });
+            let bucket = buckets.entry(h).or_default();
+            match bucket.iter().find(|&&g| groups[g].0 == key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    bucket.push(groups.len());
+                    groups.push((key, vec![row]));
+                }
             }
         }
         Ok(Self {

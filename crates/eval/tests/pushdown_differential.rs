@@ -150,6 +150,27 @@ fn arb_filter() -> impl Strategy<Value = Stage> {
         (arb_column()).prop_map(|c| Stage::Filter(col(c).not_null())),
         // Null literal: both paths must agree on the null-to-false rule.
         (arb_column()).prop_map(|c| Stage::Filter(col(c).gt(lit(prov_model::Value::Null)))),
+        // Membership lists: dictionary-coded scan conjunct when null-free
+        // on a columnar column, residual frame filter otherwise.
+        (arb_column(), prop::collection::vec("[a-z0-9_-]{1,8}", 1..4)).prop_map(|(c, vals)| {
+            Stage::Filter(
+                col(c).isin(
+                    vals.iter()
+                        .map(|s| prov_model::Value::from(s.as_str()))
+                        .collect(),
+                ),
+            )
+        }),
+        Just(Stage::Filter(col("status").isin(vec![
+            prov_model::Value::from("ERROR"),
+            prov_model::Value::Null,
+        ]))),
+        (arb_column(), -5.0f64..2e9).prop_map(|(c, v)| {
+            Stage::Filter(col(c).isin(vec![
+                prov_model::Value::Float(v),
+                prov_model::Value::Int(v as i64),
+            ]))
+        }),
     ]
 }
 
@@ -266,6 +287,73 @@ fn topk_pushdown_identical_through_both_paths() {
                 "{text}: head should push through the sort"
             );
         }
+    }
+}
+
+#[test]
+fn isin_pushdown_identical_through_both_paths() {
+    let experiment = eval::Experiment {
+        seed: 42,
+        n_inputs: 10,
+        runs_per_query: 1,
+    };
+    let db = eval::build_synthetic_db(&experiment);
+    let frame = oracle_frame(&db);
+    // Membership filters the decode-based planner left residual now
+    // compile to dictionary code sets inside the scan.
+    for text in [
+        r#"len(df[df["activity_id"].isin(["power", "material"])])"#,
+        r#"df[df["status"].isin(["ERROR", "FINISHED"])]["duration"].mean()"#,
+        r#"df[df["hostname"].isin(["h0", "h2", "absent"])][["task_id"]].head(4)"#,
+        r#"df[df["workflow_id"].isin(["nope"])][["task_id"]]"#,
+        r#"df[df["activity_id"].isin(["power"])].sort_values("started_at")[["task_id"]].head(3)"#,
+    ] {
+        let query = parse(text).expect("query parses");
+        assert!(
+            check_query(&db, &frame, &query, text),
+            "{text}: isin should be served by the scan"
+        );
+        let plan = provql::plan(&query, db.as_ref());
+        for p in plan.pipelines() {
+            assert!(!p.scan.isin.is_empty(), "{text}: isin should push");
+            assert!(p.scan.residual.is_none(), "{text}: nothing residual");
+        }
+    }
+    // A null element keeps the conjunct residual — and still exact.
+    let query = parse(r#"len(df[df["activity_id"].isin(["power", None])])"#).expect("parses");
+    check_query(&db, &frame, &query, "isin-with-null");
+    let plan = provql::plan(&query, db.as_ref());
+    for p in plan.pipelines() {
+        assert!(p.scan.isin.is_empty());
+        assert!(p.scan.residual.is_some());
+    }
+}
+
+#[test]
+fn vectorized_groupby_identical_through_both_paths() {
+    let experiment = eval::Experiment {
+        seed: 42,
+        n_inputs: 10,
+        runs_per_query: 1,
+    };
+    let db = eval::build_synthetic_db(&experiment);
+    let frame = oracle_frame(&db);
+    // The grouped-aggregation shapes `exec` serves over dictionary codes:
+    // group keys resolved from shard dictionaries, aggregation cells
+    // gathered once, output bit-identical to the frame group-by.
+    for text in [
+        r#"df.groupby("activity_id")["duration"].mean()"#,
+        r#"df.groupby("workflow_id")["started_at"].min()"#,
+        r#"df.groupby("hostname")["duration"].sum()"#,
+        r#"df[df["status"] != "ERROR"].groupby("activity_id")["duration"].max()"#,
+        r#"df[df["started_at"] > 0].groupby("task_id")["duration"].count()"#,
+        r#"df.groupby("activity_id")["duration"].mean().sort_values("duration").head(2)"#,
+    ] {
+        let query = parse(text).expect("query parses");
+        assert!(
+            check_query(&db, &frame, &query, text),
+            "{text}: grouped aggregate should be served"
+        );
     }
 }
 

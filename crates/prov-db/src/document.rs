@@ -32,7 +32,7 @@ pub type DocId = usize;
 /// [`Value::stable_hash`]: re-hashing a good 64-bit hash through SipHash
 /// would only burn ingest cycles.
 #[derive(Default)]
-struct PrehashedKey(u64);
+pub(crate) struct PrehashedKey(u64);
 
 impl Hasher for PrehashedKey {
     fn finish(&self) -> u64 {
@@ -50,7 +50,7 @@ impl Hasher for PrehashedKey {
     }
 }
 
-type PrehashedMap<V> = HashMap<u64, V, BuildHasherDefault<PrehashedKey>>;
+pub(crate) type PrehashedMap<V> = HashMap<u64, V, BuildHasherDefault<PrehashedKey>>;
 
 /// Posting list that avoids a heap `Vec` for unique keys — on a store
 /// indexed by `task_id`, every key is unique, so the old
@@ -604,47 +604,255 @@ impl DocumentStore {
     /// no O(n·groups) linear bucket search — only the group keys and the
     /// aggregated leaf values are copied out. Groups keep first-seen order.
     pub fn aggregate(&self, query: &DocQuery, group: &GroupSpec) -> Vec<Value> {
-        struct Bucket {
-            key: Value,
-            values: Vec<Vec<Value>>, // one list per aggregate
-        }
-        let mut buckets: Vec<Bucket> = Vec::new();
-        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        use crate::query::AggOp;
 
-        for (_, doc) in self.matching(&DocQuery {
-            conditions: query.conditions.clone(),
-            projection: Vec::new(),
-            sort: None,
-            limit: None,
-        }) {
-            let key = doc.get_path(&group.key).unwrap_or(&Value::Null);
-            let h = key.stable_hash();
-            let slot = by_hash.entry(h).or_default();
-            let idx = match slot.iter().find(|&&i| buckets[i].key == *key) {
-                Some(&i) => i,
-                None => {
-                    buckets.push(Bucket {
-                        key: key.clone(),
-                        values: vec![Vec::new(); group.aggs.len()],
-                    });
-                    slot.push(buckets.len() - 1);
-                    buckets.len() - 1
+        // Streaming accumulator per (bucket, aggregate): replicates
+        // `Aggregate::apply` over the same values in the same order
+        // without buffering a clone of every aggregated cell (the old
+        // shape pushed ~rows × aggs `Value` clones before reducing).
+        enum Acc {
+            Count(i64),
+            Sum(f64),
+            Mean { sum: f64, n: u64 },
+            Best { best: Option<Value>, min: bool },
+        }
+        impl Acc {
+            fn new(op: AggOp) -> Self {
+                match op {
+                    AggOp::Count => Acc::Count(0),
+                    AggOp::Sum => Acc::Sum(0.0),
+                    AggOp::Mean => Acc::Mean { sum: 0.0, n: 0 },
+                    AggOp::Min => Acc::Best {
+                        best: None,
+                        min: true,
+                    },
+                    AggOp::Max => Acc::Best {
+                        best: None,
+                        min: false,
+                    },
                 }
-            };
-            for (a, agg) in group.aggs.iter().enumerate() {
-                if let Some(v) = doc.get_path(&agg.path) {
-                    buckets[idx].values[a].push(v.clone());
+            }
+            fn feed(&mut self, v: &Value) {
+                match self {
+                    Acc::Count(n) => *n += 1,
+                    Acc::Sum(s) => {
+                        if let Some(x) = v.as_f64() {
+                            *s += x;
+                        }
+                    }
+                    Acc::Mean { sum, n } => {
+                        if let Some(x) = v.as_f64() {
+                            *sum += x;
+                            *n += 1;
+                        }
+                    }
+                    Acc::Best { best, min } => {
+                        if v.is_null() {
+                            return;
+                        }
+                        let take = match best {
+                            None => true,
+                            Some(b) => {
+                                let ord = v.compare(b);
+                                if *min {
+                                    ord == std::cmp::Ordering::Less
+                                } else {
+                                    ord == std::cmp::Ordering::Greater
+                                }
+                            }
+                        };
+                        if take {
+                            *best = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            fn finish(self) -> Value {
+                match self {
+                    Acc::Count(n) => Value::Int(n),
+                    Acc::Sum(s) => Value::Float(s),
+                    Acc::Mean { sum, n } => {
+                        if n == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(sum / n as f64)
+                        }
+                    }
+                    Acc::Best { best, .. } => best.unwrap_or(Value::Null),
                 }
             }
         }
+
+        struct Bucket {
+            key: Value,
+            accs: Vec<Acc>,
+        }
+
+        // Aggregates often repeat a path (mean + count of the same field);
+        // look each distinct path up once per document.
+        let mut distinct: Vec<&str> = Vec::new();
+        let path_idx: Vec<usize> = group
+            .aggs
+            .iter()
+            .map(|a| match distinct.iter().position(|p| *p == a.path) {
+                Some(i) => i,
+                None => {
+                    distinct.push(&a.path);
+                    distinct.len() - 1
+                }
+            })
+            .collect();
+        let feed = |buckets: &mut Vec<Bucket>, idx: usize, doc: &Value| {
+            for (d, path) in distinct.iter().enumerate() {
+                if let Some(v) = doc.get_path(path) {
+                    for (a, _) in group.aggs.iter().enumerate() {
+                        if path_idx[a] == d {
+                            buckets[idx].accs[a].feed(v);
+                        }
+                    }
+                }
+            }
+        };
+        let new_bucket = |buckets: &mut Vec<Bucket>, key: Value| -> usize {
+            buckets.push(Bucket {
+                key,
+                accs: group.aggs.iter().map(|a| Acc::new(a.op)).collect(),
+            });
+            buckets.len() - 1
+        };
+
+        // Unfiltered group-by over a clean dictionary-encoded column:
+        // resolve each row's group through its shard's code table (one
+        // integer lookup after the first sighting of a code) instead of
+        // hashing a key `Value` per document. Exact only when the sidecar
+        // mirrors the corpus verbatim — every row decodable and the key
+        // column neither poisoned nor irregular — so each frame cell
+        // equals the raw document value.
+        let codes_path = |ci: usize| -> Option<Vec<Bucket>> {
+            let clean = self.col_irregular.load(Ordering::Acquire)
+                & columnar::field_bit(ColField::Str(ci))
+                == 0;
+            if !clean {
+                return None;
+            }
+            let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+            if !guards
+                .iter()
+                .all(|g| g.cols.len() == g.docs.len() && g.cols.all_decodable())
+            {
+                return None;
+            }
+            let mut buckets: Vec<Bucket> = Vec::new();
+            let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+            // Per-shard `code → bucket` caches (dictionaries assign codes
+            // independently per shard); unification is paid once per
+            // `(shard, distinct symbol)` via the cached content hash.
+            let mut code_buckets: Vec<Vec<u32>> = guards
+                .iter()
+                .map(|g| vec![u32::MAX; g.cols.dict(ci).len()])
+                .collect();
+            let max_slots = guards.iter().map(|g| g.docs.len()).max().unwrap_or(0);
+            for slot in 0..max_slots {
+                for (s, g) in guards.iter().enumerate() {
+                    let Some(doc) = g.docs.get(slot) else {
+                        continue;
+                    };
+                    // Decodable rows provide every string field, so the
+                    // code is real (`all_decodable` was checked above).
+                    let code = g.cols.str_codes(ci)[slot] as usize;
+                    let idx = match code_buckets[s][code] {
+                        u32::MAX => {
+                            let sym = &g.cols.dict(ci)[code];
+                            let probe = by_hash.entry(sym.hash_u64()).or_default();
+                            let idx = match probe
+                                .iter()
+                                .find(|&&i| matches!(&buckets[i].key, Value::Str(k) if k == sym))
+                            {
+                                Some(&i) => i,
+                                None => {
+                                    let i = new_bucket(&mut buckets, Value::Str(sym.clone()));
+                                    probe.push(i);
+                                    i
+                                }
+                            };
+                            code_buckets[s][code] = idx as u32;
+                            idx
+                        }
+                        cached => cached as usize,
+                    };
+                    feed(&mut buckets, idx, doc);
+                }
+            }
+            Some(buckets)
+        };
+        let fast = if query.conditions.is_empty() {
+            match self.columnar_field(&group.key) {
+                Some(ColField::Str(ci)) => codes_path(ci),
+                _ => None,
+            }
+        } else {
+            None
+        };
+
+        let buckets = if let Some(buckets) = fast {
+            buckets
+        } else {
+            let mut buckets: Vec<Bucket> = Vec::new();
+            let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+            let mut visit = |doc: &Value| {
+                let key = doc.get_path(&group.key).unwrap_or(&Value::Null);
+                let h = key.stable_hash();
+                let slot = by_hash.entry(h).or_default();
+                let idx = match slot.iter().find(|&&i| buckets[i].key == *key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = new_bucket(&mut buckets, key.clone());
+                        slot.push(i);
+                        i
+                    }
+                };
+                feed(&mut buckets, idx, doc);
+            };
+
+            let stripped = DocQuery {
+                conditions: query.conditions.clone(),
+                projection: Vec::new(),
+                sort: None,
+                limit: None,
+            };
+            if self.candidates(&stripped.conditions).is_some() {
+                // Index-assisted: reuse the candidate machinery (selective,
+                // so the materialized hit list is small).
+                for (_, doc) in self.matching(&stripped) {
+                    visit(&doc);
+                }
+            } else {
+                // Full scan: feed documents straight from the shards in id
+                // order (slot-major, shard-minor — ids are
+                // `slot * nshards + shard`) without materializing an
+                // `Arc`-cloned hit list first.
+                let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+                let max_slots = guards.iter().map(|g| g.docs.len()).max().unwrap_or(0);
+                for slot in 0..max_slots {
+                    for g in &guards {
+                        if let Some(doc) = g.docs.get(slot) {
+                            if stripped.matches(doc) {
+                                visit(doc);
+                            }
+                        }
+                    }
+                }
+            }
+            buckets
+        };
 
         buckets
             .into_iter()
             .map(|b| {
                 let mut out = Map::new();
                 out.insert("_id".into(), b.key);
-                for (agg, vals) in group.aggs.iter().zip(&b.values) {
-                    out.insert(prov_model::Sym::from(agg.output_name()), agg.apply(vals));
+                for (agg, acc) in group.aggs.iter().zip(b.accs) {
+                    out.insert(prov_model::Sym::from(agg.output_name()), acc.finish());
                 }
                 Value::object(out)
             })
@@ -707,6 +915,14 @@ impl DocumentStore {
         self.columnar.load(Ordering::Acquire)
     }
 
+    /// The effective columnar chunk size in rows (the `PROVDB_CHUNK`
+    /// override, clamped, or the default) — what zone maps and kernel
+    /// batches are sized by. Exposed so tests can build corpora that
+    /// straddle chunk boundaries at whatever size the process runs with.
+    pub fn chunk_rows(&self) -> usize {
+        columnar::chunk_rows()
+    }
+
     /// Whether a frame column can currently be served from the sidecar:
     /// the sidecar is enabled, the column is a hot field, and no ingested
     /// dataflow key has poisoned it.
@@ -732,24 +948,45 @@ impl DocumentStore {
 
     /// Evaluate a conjunction of `column op literal` filters over the
     /// column vectors and return the surviving decodable document ids in
-    /// id (= insertion) order, truncated to `limit`.
+    /// id (= insertion) order, truncated to `limit`. Convenience wrapper
+    /// over [`columnar_scan_where`] for comparison-only conjunctions.
     ///
-    /// Semantics are the *frame* comparison rules ([`dataframe::cmp_matches`])
-    /// on the decoded cell values, so survivors match exactly the rows a
-    /// full-frame filter would keep. Index probes are used as candidate
-    /// pre-filters when safe (equality/range conjuncts on regular
-    /// pass-through fields), intersected smallest-first by the index layer;
-    /// every candidate is still verified against the vectors. Returns
-    /// `None` when any filter column is not servable.
+    /// [`columnar_scan_where`]: DocumentStore::columnar_scan_where
     pub fn columnar_scan(
         &self,
         filters: &[(&str, CmpOp, &Value)],
         limit: Option<usize>,
     ) -> Option<Vec<DocId>> {
-        let fields: Vec<(ColField, CmpOp, &Value)> = filters
+        let preds: Vec<ScanPredicate<'_>> = filters
             .iter()
-            .map(|(col, op, lit)| Some((self.columnar_field(col)?, *op, *lit)))
-            .collect::<Option<_>>()?;
+            .map(|(col, op, lit)| ScanPredicate::Cmp(col, *op, lit))
+            .collect();
+        self.columnar_scan_where(&preds, limit)
+    }
+
+    /// Evaluate a conjunction of pushed predicates (comparisons and
+    /// in-lists) over the column vectors and return the surviving
+    /// decodable document ids in id (= insertion) order, truncated to
+    /// `limit`.
+    ///
+    /// Semantics are the *frame* rules ([`dataframe::cmp_matches`], and
+    /// [`dataframe::values_equal`] any-match for in-lists) on the decoded
+    /// cell values, so survivors match exactly the rows a full-frame
+    /// filter would keep. Index probes are used as candidate pre-filters
+    /// when safe (equality/range comparisons on regular pass-through
+    /// fields; in-lists never hint — the index layer intersects condition
+    /// sets and a membership test is a union), and every candidate is
+    /// still verified against the vectors. Full scans compile the
+    /// conjunction once per shard against its dictionaries
+    /// ([`crate::columnar`]) and evaluate chunk by chunk, skipping chunks
+    /// whose zone maps prove no match. Returns `None` when any filter
+    /// column is not servable.
+    pub fn columnar_scan_where(
+        &self,
+        preds: &[ScanPredicate<'_>],
+        limit: Option<usize>,
+    ) -> Option<Vec<DocId>> {
+        let fields = self.resolve_preds(preds)?;
         if !self.columnar_enabled() {
             return None; // zero-filter scans still need the sidecar
         }
@@ -766,21 +1003,20 @@ impl DocumentStore {
 
         let nshards = self.shards.len();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        let survives = |shard: &Shard, slot: usize| {
-            shard.cols.is_decodable(slot)
-                && fields
-                    .iter()
-                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
-        };
         let mut out: Vec<DocId> = Vec::new();
         let full = |out: &Vec<DocId>| limit.is_some_and(|n| out.len() >= n);
         match cand {
             Some(mut ids) => {
+                // Index-seeded candidate sets are small and scattered;
+                // verify per row rather than through the chunk kernels.
                 ids.sort_unstable();
                 ids.dedup();
                 for id in ids {
                     let shard = &guards[id % nshards];
-                    if survives(shard, id / nshards) {
+                    let slot = id / nshards;
+                    if shard.cols.is_decodable(slot)
+                        && fields.iter().all(|p| shard.cols.matches_pred(slot, p))
+                    {
                         out.push(id);
                         if full(&out) {
                             break;
@@ -791,31 +1027,42 @@ impl DocumentStore {
             None => {
                 let total: usize = guards.iter().map(|g| g.cols.len()).sum();
                 let workers = self.scan_threads().min(nshards);
+                // Compile the conjunction once per shard (dictionaries are
+                // shard-local); both scan shapes below run the same
+                // chunk kernels.
+                let compiled: Vec<Vec<columnar::ShardPred>> =
+                    guards.iter().map(|g| g.cols.compile(&fields)).collect();
                 if workers > 1 && total >= PARALLEL_SCAN_THRESHOLD {
                     // Shard-parallel: exactly `workers` scoped threads,
                     // each evaluating a contiguous chunk of shards (a
                     // shard's survivors are slot-ascending, so each shard
-                    // contributes at most the first `limit` of them); the
-                    // merge re-establishes global id order.
-                    let shards: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                    // contributes at most the first `limit` of them, give
+                    // or take one kernel chunk); the merge re-establishes
+                    // global id order.
+                    let shards: Vec<(&Shard, &[columnar::ShardPred])> = guards
+                        .iter()
+                        .zip(compiled.iter())
+                        .map(|(g, c)| (&**g, c.as_slice()))
+                        .collect();
                     let chunk = nshards.div_ceil(workers);
                     let merged = crossbeam::thread::scope(|scope| {
                         let handles: Vec<_> = shards
                             .chunks(chunk)
                             .enumerate()
                             .map(|(w, group)| {
-                                let survives = &survives;
                                 scope.spawn(move |_| {
                                     let mut ids: Vec<DocId> = Vec::new();
-                                    for (i, &shard) in group.iter().enumerate() {
+                                    let mut sel: Vec<u32> = Vec::new();
+                                    for (i, (shard, preds)) in group.iter().enumerate() {
                                         let s = w * chunk + i;
                                         let mut kept = 0usize;
-                                        for slot in 0..shard.cols.len() {
-                                            if survives(shard, slot) {
-                                                ids.push(slot * nshards + s);
+                                        'shard: for c in 0..shard.cols.n_chunks() {
+                                            shard.cols.filter_chunk(preds, c, &mut sel);
+                                            for &slot in &sel {
+                                                ids.push(slot as usize * nshards + s);
                                                 kept += 1;
                                                 if limit.is_some_and(|n| kept >= n) {
-                                                    break;
+                                                    break 'shard;
                                                 }
                                             }
                                         }
@@ -836,18 +1083,27 @@ impl DocumentStore {
                         out.truncate(n);
                     }
                 } else {
-                    // Slot-major over the shards: ids are `slot * n +
-                    // shard`, so this order is globally ascending and a
-                    // pushed limit can stop the scan early.
-                    let max_slots = guards.iter().map(|g| g.cols.len()).max().unwrap_or(0);
-                    'scan: for slot in 0..max_slots {
+                    // Chunk-major over the shards: chunk `c` covers the
+                    // same slot range in every shard, so sorting each
+                    // chunk's combined survivors yields globally ascending
+                    // ids and a pushed limit can stop after any chunk.
+                    let max_chunks = guards.iter().map(|g| g.cols.n_chunks()).max().unwrap_or(0);
+                    let mut sel: Vec<u32> = Vec::new();
+                    let mut chunk_ids: Vec<DocId> = Vec::new();
+                    for c in 0..max_chunks {
+                        chunk_ids.clear();
                         for (s, g) in guards.iter().enumerate() {
-                            if slot < g.cols.len() && survives(g, slot) {
-                                out.push(slot * nshards + s);
-                                if full(&out) {
-                                    break 'scan;
-                                }
+                            if c < g.cols.n_chunks() {
+                                g.cols.filter_chunk(&compiled[s], c, &mut sel);
+                                chunk_ids
+                                    .extend(sel.iter().map(|&slot| slot as usize * nshards + s));
                             }
+                        }
+                        chunk_ids.sort_unstable();
+                        out.extend_from_slice(&chunk_ids);
+                        if full(&out) {
+                            out.truncate(limit.expect("full implies a limit"));
+                            break;
                         }
                     }
                 }
@@ -856,17 +1112,43 @@ impl DocumentStore {
         Some(out)
     }
 
-    /// Index hints for a set of columnar conjuncts: conjuncts whose raw
+    /// Resolve pushed predicates to columnar fields; `None` when any
+    /// referenced column is not servable.
+    fn resolve_preds<'a>(
+        &self,
+        preds: &[ScanPredicate<'a>],
+    ) -> Option<Vec<columnar::ColPredicate<'a>>> {
+        preds
+            .iter()
+            .map(|p| match p {
+                ScanPredicate::Cmp(col, op, lit) => Some(columnar::ColPredicate::Cmp(
+                    self.columnar_field(col)?,
+                    *op,
+                    lit,
+                )),
+                ScanPredicate::In(col, list) => {
+                    Some(columnar::ColPredicate::In(self.columnar_field(col)?, list))
+                }
+            })
+            .collect()
+    }
+
+    /// Index hints for a set of columnar conjuncts: comparisons whose raw
     /// document values agree with their decoded frame values can seed a
     /// scan from the hash / sorted indexes (the index layer skips
     /// non-indexed paths and intersects the rest smallest-first). `!=`
-    /// can never hint.
-    fn columnar_hints(&self, fields: &[(ColField, CmpOp, &Value)]) -> Vec<Condition> {
+    /// and in-lists can never hint.
+    fn columnar_hints(&self, fields: &[columnar::ColPredicate<'_>]) -> Vec<Condition> {
         let irregular = self.col_irregular.load(Ordering::Acquire);
         fields
             .iter()
-            .filter(|(f, _, _)| columnar::hint_safe(*f, irregular))
-            .filter_map(|(f, op, lit)| {
+            .filter_map(|p| {
+                let columnar::ColPredicate::Cmp(f, op, lit) = p else {
+                    return None;
+                };
+                if !columnar::hint_safe(*f, irregular) {
+                    return None;
+                }
                 let op = match op {
                     CmpOp::Eq => Op::Eq,
                     CmpOp::Lt => Op::Lt,
@@ -912,16 +1194,30 @@ impl DocumentStore {
         sort: &[(&str, bool)],
         limit: Option<usize>,
     ) -> TopkScan {
+        let preds: Vec<ScanPredicate<'_>> = filters
+            .iter()
+            .map(|(col, op, lit)| ScanPredicate::Cmp(col, *op, lit))
+            .collect();
+        self.columnar_topk_where(&preds, sort, limit)
+    }
+
+    /// General form of [`columnar_topk`] accepting in-list predicates
+    /// alongside comparisons.
+    ///
+    /// [`columnar_topk`]: DocumentStore::columnar_topk
+    pub fn columnar_topk_where(
+        &self,
+        preds: &[ScanPredicate<'_>],
+        sort: &[(&str, bool)],
+        limit: Option<usize>,
+    ) -> TopkScan {
         if sort.is_empty() {
-            return match self.columnar_scan(filters, limit) {
+            return match self.columnar_scan_where(preds, limit) {
                 Some(ids) => TopkScan::Served(ids),
                 None => TopkScan::NotServable,
             };
         }
-        let fields: Option<Vec<(ColField, CmpOp, &Value)>> = filters
-            .iter()
-            .map(|(col, op, lit)| Some((self.columnar_field(col)?, *op, *lit)))
-            .collect();
+        let fields = self.resolve_preds(preds);
         let keys: Option<Vec<(ColField, bool)>> = sort
             .iter()
             .map(|(col, asc)| Some((self.columnar_field(col)?, *asc)))
@@ -946,12 +1242,6 @@ impl DocumentStore {
         let cand = self.candidates(&self.columnar_hints(&fields));
         let nshards = self.shards.len();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        let survives = |shard: &Shard, slot: usize| {
-            shard.cols.is_decodable(slot)
-                && fields
-                    .iter()
-                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
-        };
         let gather = |shard: &Shard, slot: usize| -> Vec<Value> {
             keys.iter()
                 .map(|(f, _)| shard.cols.value(slot, *f))
@@ -961,7 +1251,7 @@ impl DocumentStore {
         let selected: Result<Vec<TopkEntry>, NanSortKey> = match cand {
             Some(mut ids) => {
                 // Index-seeded candidate sets are small by construction;
-                // select sequentially.
+                // select sequentially, verifying per row.
                 ids.sort_unstable();
                 ids.dedup();
                 let mut buf = TopkBuf::new(&keys, limit);
@@ -969,7 +1259,9 @@ impl DocumentStore {
                 for id in ids {
                     let shard = &*guards[id % nshards];
                     let slot = id / nshards;
-                    if survives(shard, slot) {
+                    if shard.cols.is_decodable(slot)
+                        && fields.iter().all(|p| shard.cols.matches_pred(slot, p))
+                    {
                         if let Err(e) = buf.push((gather(shard, slot), id)) {
                             selected = Err(e);
                             break;
@@ -981,20 +1273,34 @@ impl DocumentStore {
             None => {
                 let total: usize = guards.iter().map(|g| g.cols.len()).sum();
                 let workers = self.scan_threads().min(nshards);
-                let select_shards =
-                    |base: usize, group: &[&Shard]| -> Result<Vec<TopkEntry>, NanSortKey> {
-                        let mut buf = TopkBuf::new(&keys, limit);
-                        for (i, shard) in group.iter().enumerate() {
-                            let s = base + i;
-                            for slot in 0..shard.cols.len() {
-                                if survives(shard, slot) {
-                                    buf.push((gather(shard, slot), slot * nshards + s))?;
-                                }
+                // Same chunk kernels as `columnar_scan_where`: the zone
+                // maps prune on the *filters* (the selection bound is
+                // dynamic, so sort keys cannot prune), then the bounded
+                // buffer selects over the surviving slots.
+                let compiled: Vec<Vec<columnar::ShardPred>> =
+                    guards.iter().map(|g| g.cols.compile(&fields)).collect();
+                let shards: Vec<(&Shard, &[columnar::ShardPred])> = guards
+                    .iter()
+                    .zip(compiled.iter())
+                    .map(|(g, c)| (&**g, c.as_slice()))
+                    .collect();
+                let select_shards = |base: usize,
+                                     group: &[(&Shard, &[columnar::ShardPred])]|
+                 -> Result<Vec<TopkEntry>, NanSortKey> {
+                    let mut buf = TopkBuf::new(&keys, limit);
+                    let mut sel: Vec<u32> = Vec::new();
+                    for (i, (shard, preds)) in group.iter().enumerate() {
+                        let s = base + i;
+                        for c in 0..shard.cols.n_chunks() {
+                            shard.cols.filter_chunk(preds, c, &mut sel);
+                            for &slot in &sel {
+                                let slot = slot as usize;
+                                buf.push((gather(shard, slot), slot * nshards + s))?;
                             }
                         }
-                        Ok(buf.finish())
-                    };
-                let shards: Vec<&Shard> = guards.iter().map(|g| &**g).collect();
+                    }
+                    Ok(buf.finish())
+                };
                 let merged: Result<Vec<Vec<TopkEntry>>, NanSortKey> =
                     if workers > 1 && total >= PARALLEL_SCAN_THRESHOLD {
                         // Bounded selection on exactly `workers` scoped
@@ -1051,7 +1357,7 @@ impl DocumentStore {
     /// [`columnar_topk`]: DocumentStore::columnar_topk
     fn topk_sorted_cursor(
         &self,
-        fields: &[(ColField, CmpOp, &Value)],
+        fields: &[columnar::ColPredicate<'_>],
         key: (ColField, bool),
         k: usize,
     ) -> Option<Vec<DocId>> {
@@ -1089,10 +1395,7 @@ impl DocumentStore {
         let survives = |id: DocId| {
             let shard = &*guards[id % nshards];
             let slot = id / nshards;
-            shard.cols.is_decodable(slot)
-                && fields
-                    .iter()
-                    .all(|(f, op, lit)| shard.cols.matches(slot, *f, *op, lit))
+            shard.cols.is_decodable(slot) && fields.iter().all(|p| shard.cols.matches_pred(slot, p))
         };
         let run = &range.sorted;
         let mut out: Vec<DocId> = Vec::with_capacity(k.min(run.len()));
@@ -1126,6 +1429,77 @@ impl DocumentStore {
         Some(out)
     }
 
+    /// Group document ids by a dictionary-encoded string column without
+    /// materializing the key column: returns the distinct key cells in
+    /// first-appearance order plus each id's group index (parallel to
+    /// `ids`). The grouping runs over per-shard dictionary codes — one
+    /// integer table lookup per row — with the cross-shard symbol
+    /// unification (shard dictionaries assign codes independently) paid
+    /// once per `(shard, distinct symbol)` via the cached content hash,
+    /// instead of hashing and comparing a `Value` key per row the way a
+    /// frame group-by must. `None` when the column is not a servable
+    /// string field.
+    pub fn columnar_group_codes(
+        &self,
+        ids: &[DocId],
+        column: &str,
+    ) -> Option<(Vec<Value>, Vec<u32>)> {
+        let columnar::ColField::Str(ci) = self.columnar_field(column)? else {
+            return None;
+        };
+        let nshards = self.shards.len();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        // Per-shard `code → group` caches, filled lazily.
+        let mut code_maps: Vec<Vec<u32>> = guards
+            .iter()
+            .map(|g| vec![u32::MAX; g.cols.dict(ci).len()])
+            .collect();
+        // Content hash → candidate groups (collisions resolved by real
+        // symbol equality), probed only on each shard's first sighting of
+        // a code.
+        let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut keys: Vec<Value> = Vec::new();
+        let mut null_group = u32::MAX;
+        let mut row_groups: Vec<u32> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let (s, slot) = (id % nshards, id / nshards);
+            let code = guards[s].cols.str_codes(ci)[slot];
+            let g = if code == columnar::NULL_CODE {
+                // Decodable rows always provide every string field, but a
+                // null-key group keeps the kernel total.
+                if null_group == u32::MAX {
+                    null_group = keys.len() as u32;
+                    keys.push(Value::Null);
+                }
+                null_group
+            } else {
+                let cached = code_maps[s][code as usize];
+                if cached != u32::MAX {
+                    cached
+                } else {
+                    let sym = &guards[s].cols.dict(ci)[code as usize];
+                    let bucket = by_hash.entry(sym.hash_u64()).or_default();
+                    let g = match bucket
+                        .iter()
+                        .find(|&&g| matches!(&keys[g as usize], Value::Str(k) if k == sym))
+                    {
+                        Some(&g) => g,
+                        None => {
+                            let g = keys.len() as u32;
+                            bucket.push(g);
+                            keys.push(Value::Str(sym.clone()));
+                            g
+                        }
+                    };
+                    code_maps[s][code as usize] = g;
+                    g
+                }
+            };
+            row_groups.push(g);
+        }
+        Some((keys, row_groups))
+    }
+
     /// The frame cells of a servable column for the given document ids, in
     /// order (`Null` where a row does not provide the column). `None` when
     /// the column is not servable.
@@ -1155,6 +1529,18 @@ impl DocumentStore {
             })
             .collect()
     }
+}
+
+/// One pushed scan conjunct, by frame column name — the public form of
+/// the predicates the columnar scan paths accept.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanPredicate<'a> {
+    /// `column op literal` under frame comparison semantics
+    /// ([`dataframe::cmp_matches`]).
+    Cmp(&'a str, CmpOp, &'a Value),
+    /// `column.isin(list)` membership ([`dataframe::values_equal`]
+    /// any-match).
+    In(&'a str, &'a [Value]),
 }
 
 /// Outcome of a [`DocumentStore::columnar_topk`] scan.

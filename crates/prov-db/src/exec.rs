@@ -27,7 +27,7 @@
 //! both paths return identical [`QueryOutput`]s (asserted per eval query
 //! set by the differential tests in `eval`).
 
-use crate::document::DocumentStore;
+use crate::document::{DocumentStore, ScanPredicate};
 use crate::query::{Condition, DocQuery, Op};
 use crate::store::ProvenanceDatabase;
 use dataframe::{CmpOp, DataFrame};
@@ -233,7 +233,7 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) 
         // planner split out have nowhere to run but the oracle.
         return Pushdown::NeedsFullFrame("columnar layer no longer serves a planned conjunct");
     }
-    if !p.scan.columnar.is_empty() {
+    if !p.scan.columnar.is_empty() || !p.scan.isin.is_empty() {
         return Pushdown::NeedsFullFrame("columnar conjuncts without a columnar layer");
     }
     if !p.scan.sort.is_empty() {
@@ -313,19 +313,29 @@ fn exec_pipeline_columnar(
     p: &PipelinePlan,
     columns: &[String],
 ) -> Option<Pushdown> {
-    let mut filters: Vec<(&str, CmpOp, &Value)> =
-        Vec::with_capacity(p.scan.pushed.len() + p.scan.columnar.len());
+    let mut filters: Vec<ScanPredicate<'_>> =
+        Vec::with_capacity(p.scan.pushed.len() + p.scan.columnar.len() + p.scan.isin.len());
     for f in &p.scan.pushed {
         // Pushed conjuncts are re-verified against the decoded cell values
         // so index/frame coercion differences can never leak a row the
         // oracle would not produce.
-        filters.push((f.column.as_str(), push_to_cmp(f.op), &f.value));
+        filters.push(ScanPredicate::Cmp(
+            f.column.as_str(),
+            push_to_cmp(f.op),
+            &f.value,
+        ));
     }
     for f in &p.scan.columnar {
-        filters.push((f.column.as_str(), f.op, &f.value));
+        filters.push(ScanPredicate::Cmp(f.column.as_str(), f.op, &f.value));
+    }
+    for f in &p.scan.isin {
+        // Membership lists compile to dictionary code sets (or f64 probe
+        // lists) inside the scan kernels; the planner already kept any
+        // null-element list residual.
+        filters.push(ScanPredicate::In(f.column.as_str(), &f.values));
     }
     let survivors = if p.scan.sort.is_empty() {
-        store.columnar_scan(&filters, p.scan.limit)?
+        store.columnar_scan_where(&filters, p.scan.limit)?
     } else {
         // Top-k: the scan orders survivors by the frame's sort rule
         // before the limit truncates, so the frame below is built in
@@ -339,7 +349,7 @@ fn exec_pipeline_columnar(
             .iter()
             .map(|(c, asc)| (c.as_str(), *asc))
             .collect();
-        match store.columnar_topk(&filters, &keys, p.scan.limit) {
+        match store.columnar_topk_where(&filters, &keys, p.scan.limit) {
             crate::document::TopkScan::Served(ids) => ids,
             crate::document::TopkScan::NotServable => return None,
             crate::document::TopkScan::NanSortKey => {
@@ -349,6 +359,10 @@ fn exec_pipeline_columnar(
             }
         }
     };
+
+    if let Some(result) = grouped_agg_over_codes(store, p, &survivors) {
+        return Some(result);
+    }
 
     let checked = checked_columns(p);
     let decode_cols: Vec<String> = columns
@@ -396,6 +410,63 @@ fn exec_pipeline_columnar(
     let frame = DataFrame::from_columns_with_rows(cols_out, survivors.len())
         .expect("scan columns share the survivor count");
     Some(finish_stages(p, &frame))
+}
+
+/// Vectorized group-by: serve the `groupby(key)[col].agg(f)` pipeline
+/// shape by aggregating over dictionary codes
+/// ([`DocumentStore::columnar_group_codes`]) instead of materializing the
+/// key column into a frame and re-hashing a `Value` key per row. Group
+/// order (first appearance), per-group row order (id order), aggregate
+/// arithmetic ([`dataframe::AggFunc::apply`] over the same gathered cells
+/// in the same order), and output frame shape (`[key, col]`, bare names)
+/// are all bit-identical to the frame path; symbols are resolved from the
+/// shard dictionaries only when the per-group output rows are built. Any
+/// stages after the aggregation run through the ordinary stage machine on
+/// the aggregated frame, exactly as the oracle would reach them.
+///
+/// Returns `None` for any other pipeline shape (including non-string or
+/// absent key/value columns and a pushed sort, whose `Sort` node precedes
+/// the group-by), leaving the general scan path to serve or defer it.
+fn grouped_agg_over_codes(
+    store: &DocumentStore,
+    p: &PipelinePlan,
+    survivors: &[crate::document::DocId],
+) -> Option<Pushdown> {
+    use provql::plan::PlanNode;
+    if p.scan.residual.is_some() || p.ops.len() < 3 {
+        return None;
+    }
+    let (
+        PlanNode::Residual(Stage::GroupBy(keys)),
+        PlanNode::Residual(Stage::Col(col)),
+        PlanNode::Residual(Stage::Agg(func)),
+    ) = (&p.ops[0], &p.ops[1], &p.ops[2])
+    else {
+        return None;
+    };
+    let [key] = keys.as_slice() else {
+        return None;
+    };
+    // Both columns must exist corpus-wide (the general path owns the
+    // absent-column fallback), and a self-aggregation's duplicate output
+    // column is an error the frame path should raise verbatim.
+    if key == col
+        || store.columnar_presence(key).is_none_or(|n| n == 0)
+        || store.columnar_presence(col).is_none_or(|n| n == 0)
+    {
+        return None;
+    }
+    let (group_keys, row_groups) = store.columnar_group_codes(survivors, key)?;
+    let cells = store.columnar_gather(survivors, col)?;
+    let mut grouped: Vec<Vec<Value>> = vec![Vec::new(); group_keys.len()];
+    for (&g, v) in row_groups.iter().zip(cells) {
+        grouped[g as usize].push(v);
+    }
+    let aggs: Vec<Value> = grouped.iter().map(|vs| func.apply(vs)).collect();
+    let frame = DataFrame::from_columns(vec![(key.clone(), group_keys), (col.clone(), aggs)])
+        .expect("group keys and aggregates are parallel by construction");
+    let rest: Vec<Stage> = p.ops[3..].iter().map(|op| op.to_stage()).collect();
+    Some(Pushdown::Executed(provql::execute_stages(&rest, &frame)))
 }
 
 #[cfg(test)]
@@ -555,6 +626,98 @@ mod tests {
             r#"df["ended_at"].max() - df["started_at"].min()"#,
             // Mixed: status filters columnar, y decodes from survivors.
             r#"df[df["status"] == "FINISHED"][["task_id", "y"]].head(2)"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+    }
+
+    #[test]
+    fn isin_conjuncts_push_into_the_scan_and_match_oracle() {
+        let db = seeded_db();
+        for text in [
+            r#"len(df[df["activity_id"].isin(["run_dft", "postprocess"])])"#,
+            r#"df[df["workflow_id"].isin(["wf-1", "wf-3"])][["task_id"]]"#,
+            r#"df[df["hostname"].isin(["node0", "node2", "missing"])]["duration"].sum()"#,
+            // Composes with comparisons, limits, and a pushed top-k sort.
+            r#"df[(df["activity_id"].isin(["run_dft"])) & (df["duration"] > 2)]["duration"].mean()"#,
+            r#"df[df["hostname"].isin(["node1"])][["task_id"]].head(3)"#,
+            r#"df[df["workflow_id"].isin(["wf-0", "wf-2"])].sort_values("started_at", ascending=False)[["task_id"]].head(4)"#,
+            // Numeric membership probes the f64 vectors (Int literals
+            // coerce like the frame does), and an empty match is exact.
+            r#"len(df[df["started_at"].isin([3, 7.0, 99.5])])"#,
+            r#"len(df[df["started_at"].isin([123456])])"#,
+            // Non-matching literal kinds in the list never match a cell.
+            r#"len(df[df["activity_id"].isin(["run_dft", 3])])"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+        // The shape really goes through the scan, not the residual filter.
+        let query = parse(r#"df[df["activity_id"].isin(["run_dft"])][["task_id"]]"#).unwrap();
+        let plan = provql::plan(&query, &db);
+        let p = &plan.pipelines()[0];
+        assert_eq!(p.scan.isin.len(), 1);
+        assert!(p.scan.residual.is_none());
+        // A null list element stays residual and still matches the oracle.
+        assert_differential(
+            &db,
+            r#"len(df[df["activity_id"].isin(["run_dft", None])])"#,
+            true,
+        );
+    }
+
+    #[test]
+    fn grouped_aggregation_over_codes_matches_oracle() {
+        let db = seeded_db();
+        for text in [
+            // The vectorized shape itself, across aggregate functions.
+            r#"df.groupby("activity_id")["duration"].mean()"#,
+            r#"df.groupby("workflow_id")["duration"].sum()"#,
+            r#"df.groupby("hostname")["started_at"].max()"#,
+            r#"df.groupby("activity_id")["duration"].count()"#,
+            // String-valued aggregation column (gathered, not decoded).
+            r#"df.groupby("activity_id")["hostname"].count()"#,
+            // Filters in front: the grouping runs over scan survivors.
+            r#"df[df["started_at"] > 10].groupby("activity_id")["duration"].mean()"#,
+            r#"df[df["status"] != "ERROR"].groupby("workflow_id")["duration"].sum()"#,
+            // Stages after the aggregation run on the aggregated frame.
+            r#"df.groupby("workflow_id")["duration"].mean().sort_values("duration", ascending=False).head(2)"#,
+            // Zero survivors: empty groups, empty output, same shape.
+            r#"df[df["workflow_id"] == "nope"].groupby("activity_id")["duration"].mean()"#,
+            // Non-string key and non-columnar value fall back to the
+            // general path, still exact.
+            r#"df.groupby("started_at")["duration"].mean()"#,
+            r#"df.groupby("activity_id")["y"].mean()"#,
+        ] {
+            assert_differential(&db, text, true);
+        }
+    }
+
+    #[test]
+    fn grouped_aggregation_unifies_symbols_across_shards() {
+        // Force several shards so the same activity symbol gets different
+        // shard-local dictionary codes, then group across them.
+        let db = ProvenanceDatabase::with_shards(4);
+        let msgs: Vec<TaskMessage> = (0..100)
+            .map(|i| {
+                TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    format!("wf-{}", i % 3),
+                    match i % 5 {
+                        0 => "alpha",
+                        1 => "beta",
+                        2 => "gamma",
+                        3 => "delta",
+                        _ => "epsilon",
+                    },
+                )
+                .span(i as f64, i as f64 + 1.0)
+                .build()
+            })
+            .collect();
+        db.insert_batch(&msgs);
+        for text in [
+            r#"df.groupby("activity_id")["duration"].mean()"#,
+            r#"df[df["workflow_id"] != "wf-0"].groupby("activity_id")["started_at"].min()"#,
         ] {
             assert_differential(&db, text, true);
         }

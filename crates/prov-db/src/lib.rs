@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod columnar;
+
 pub mod document;
 pub mod exec;
 pub mod graph;
@@ -76,7 +77,7 @@ pub mod kv;
 pub mod query;
 pub mod store;
 
-pub use document::{DocId, DocumentStore, TopkScan};
+pub use document::{DocId, DocumentStore, ScanPredicate, TopkScan};
 pub use exec::{
     execute_plan, execute_plan_with, full_frame, try_execute, try_execute_with, Pushdown,
 };

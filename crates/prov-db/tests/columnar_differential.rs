@@ -60,6 +60,15 @@ fn arb_filter() -> impl Strategy<Value = Stage> {
         .prop_map(|(c, op, v)| Stage::Filter(Expr::Cmp(Box::new(col(c)), op, Box::new(lit(v)))))
 }
 
+/// Membership filters: pushed into the scan (dictionary code sets) when
+/// the list is null-free and the column columnar, residual otherwise —
+/// both paths must match the oracle. Lists deliberately mix kinds and
+/// sometimes contain Null (which keeps the conjunct residual).
+fn arb_isin_filter() -> impl Strategy<Value = Stage> {
+    (arb_column(), prop::collection::vec(arb_lit(), 1..4))
+        .prop_map(|(c, vals)| Stage::Filter(col(c).isin(vals)))
+}
+
 fn arb_stage() -> impl Strategy<Value = Stage> {
     let agg = prop_oneof![
         Just(AggFunc::Mean),
@@ -71,6 +80,7 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
     prop_oneof![
         arb_filter(),
         arb_filter(),
+        arb_isin_filter(),
         prop::collection::vec(arb_column(), 1..3).prop_map(Stage::Select),
         arb_column().prop_map(Stage::Col),
         arb_column().prop_map(|c| Stage::GroupBy(vec![c])),
@@ -328,6 +338,100 @@ fn parallel_scan_differential_above_threshold() {
         }
     }
     db.documents().set_scan_threads(1);
+}
+
+/// Corpora straddling the chunk boundary (one row short of a chunk, an
+/// exact multiple, one row over — 4095/4096/4097 at the default
+/// `PROVDB_CHUNK` of 4096, scaled automatically when the CI matrix leg
+/// shrinks the chunk) on a single shard, so the last chunk is empty-,
+/// full-, and one-row-sized in turn. Every kernel path (selective eq,
+/// range, ne, in-list, top-k, grouped aggregation) must match the oracle
+/// on all three; an undecodable raw document is pinned directly at the
+/// boundary slot to keep the decodable bitmap honest there.
+#[test]
+fn chunk_boundary_corpora_match_oracle() {
+    let chunk = prov_db::DocumentStore::new().chunk_rows();
+    let queries = [
+        r#"len(df[df["workflow_id"] == "wf-1"])"#,
+        r#"len(df[df["started_at"] >= 4090])"#,
+        r#"df[df["status"] != "FINISHED"]["duration"].sum()"#,
+        r#"len(df[df["hostname"].isin(["n0", "n2"])])"#,
+        r#"df.sort_values("started_at", ascending=False)[["task_id"]].head(5)"#,
+        r#"df.groupby("activity_id")["duration"].mean()"#,
+        r#"df[["task_id"]].head(3)"#,
+    ];
+    for n in [chunk - 1, chunk, chunk + 1] {
+        let db = ProvenanceDatabase::with_shards(1);
+        let msgs: Vec<prov_model::TaskMessage> = (0..n)
+            .map(|i| {
+                TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    format!("wf-{}", i % 3),
+                    format!("a{}", i % 2),
+                )
+                .host(format!("n{}", i % 4))
+                .status(if i % 5 == 0 {
+                    TaskStatus::Error
+                } else {
+                    TaskStatus::Finished
+                })
+                .span(i as f64, i as f64 + 1.0)
+                .build()
+            })
+            .collect();
+        // The second-to-last slot holds an undecodable document, so the
+        // boundary chunk's decodable count differs from its length.
+        db.insert_batch(&msgs[..n - 1]);
+        db.documents().insert(obj! {"task_id" => Value::Int(9)});
+        db.insert_batch(std::iter::once(&msgs[n - 1]));
+        let frame = prov_db::full_frame(&db);
+        for text in queries {
+            let q = provql::parse(text).expect("query parses");
+            check(&db, &frame, &q, true);
+        }
+    }
+}
+
+/// Adversarial dictionaries: a one-symbol column (every row the same
+/// hostname — one dictionary entry, every zone map identical), an
+/// all-distinct column (`task_id` unique per row — dictionary as long as
+/// the column), and all-null float columns (telemetry never supplied).
+/// Eq/Ne/In filters and group-bys over each must match the oracle, as
+/// must probes for symbols absent from the dictionary entirely.
+#[test]
+fn adversarial_dictionaries_match_oracle() {
+    let db = ProvenanceDatabase::with_shards(2);
+    let msgs: Vec<prov_model::TaskMessage> = (0..300)
+        .map(|i| {
+            TaskMessageBuilder::new(format!("unique-{i}"), format!("wf-{}", i % 2), "only_act")
+                .host("lonely-host")
+                .span(i as f64, i as f64 + 0.5)
+                .build()
+        })
+        .collect();
+    db.insert_batch(&msgs);
+    let frame = prov_db::full_frame(&db);
+    for text in [
+        // One-symbol dictionary: everything matches, or nothing does.
+        r#"len(df[df["hostname"] == "lonely-host"])"#,
+        r#"len(df[df["hostname"] != "lonely-host"])"#,
+        r#"len(df[df["hostname"] == "absent-host"])"#,
+        r#"len(df[df["hostname"].isin(["lonely-host", "absent-host"])])"#,
+        r#"df.groupby("hostname")["duration"].sum()"#,
+        // All-distinct dictionary: single-row hits, code per row.
+        r#"df[df["task_id"] == "unique-123"][["task_id", "started_at"]]"#,
+        r#"len(df[df["task_id"] != "unique-123"])"#,
+        r#"len(df[df["task_id"].isin(["unique-1", "unique-299", "nope"])])"#,
+        r#"df.groupby("task_id")["duration"].count().head(4)"#,
+        // All-null float columns: no telemetry anywhere.
+        r#"len(df[df["cpu_percent_end"] > 0])"#,
+        r#"len(df[df["cpu_percent_end"] != 0])"#,
+        r#"df.sort_values("mem_used_mb_end")[["task_id"]].head(3)"#,
+    ] {
+        let q = provql::parse(text).expect("query parses");
+        check(&db, &frame, &q, true);
+        check(&db, &frame, &q, false);
+    }
 }
 
 proptest! {

@@ -1,0 +1,348 @@
+//! Flat sorted-vector object map — the storage behind [`Value::Object`].
+//!
+//! Provenance documents are small objects (a Listing-1 message has ~16 top
+//! level keys) that are built once, read many times, and bulk-constructed
+//! on the database decode/materialize hot path. A `BTreeMap` pays node
+//! allocation and rebalancing per insert there; this map instead keeps its
+//! entries in one contiguous `Vec<(Sym, Value)>` sorted by key byte order,
+//! so:
+//!
+//! * iteration order is identical to `BTreeMap<Sym, Value>` (byte order of
+//!   the key text — the deterministic-serialization invariant upstack
+//!   depends on);
+//! * [`Map::from_iter`] of already-sorted pairs (the [`TaskMessage::to_value`]
+//!   and frame-row builders emit keys pre-sorted) is a single allocation
+//!   with no per-key rebalancing — the "arena" behind decode;
+//! * lookups are cache-friendly binary searches over one slab.
+//!
+//! Point inserts shift the tail of the vector, which is O(len) — fine for
+//! the small objects this crate stores (and still competitive with node
+//! churn at those sizes). The API mirrors the `BTreeMap` subset the
+//! workspace uses, including `Borrow`-based `&str` probing.
+//!
+//! [`Value::Object`]: crate::value::Value::Object
+//! [`TaskMessage::to_value`]: crate::message::TaskMessage::to_value
+
+use crate::sym::Sym;
+use crate::value::Value;
+use std::borrow::Borrow;
+use std::fmt;
+
+/// String-keyed object map with deterministic (byte-sorted) iteration
+/// order, stored as one flat sorted vector of `(Sym, Value)` pairs.
+#[derive(Clone, Default)]
+pub struct Map {
+    entries: Vec<(Sym, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty map with room for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build from pairs already sorted strictly ascending by key — the
+    /// one-pass bulk constructor serializers use. Debug-asserts order.
+    pub fn from_sorted_pairs(pairs: Vec<(Sym, Value)>) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted_pairs requires strictly ascending keys"
+        );
+        Self { entries: pairs }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn search<Q>(&self, key: &Q) -> Result<usize, usize>
+    where
+        Sym: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.entries.binary_search_by(|(k, _)| k.borrow().cmp(key))
+    }
+
+    /// Value for `key`, if present. Probes with `&str` are allocation-free.
+    pub fn get<Q>(&self, key: &Q) -> Option<&Value>
+    where
+        Sym: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.search(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable value for `key`, if present.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut Value>
+    where
+        Sym: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        match self.search(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        Sym: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.search(key).is_ok()
+    }
+
+    /// Insert, returning the previous value for the key if any. Appends in
+    /// O(1) when the key sorts after every existing key (sorted build).
+    pub fn insert(&mut self, key: Sym, value: Value) -> Option<Value> {
+        match self.entries.last() {
+            Some((last, _)) if *last < key => {
+                self.entries.push((key, value));
+                None
+            }
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+            _ => match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+                Err(i) => {
+                    self.entries.insert(i, (key, value));
+                    None
+                }
+            },
+        }
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<Value>
+    where
+        Sym: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.search(key).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// Keep only entries for which the predicate returns true.
+    pub fn retain(&mut self, mut f: impl FnMut(&Sym, &mut Value) -> bool) {
+        self.entries.retain_mut(|(k, v)| f(k, v));
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterate `(key, value)` pairs in key order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter(self.entries.iter())
+    }
+
+    /// Iterate with mutable values, in key order.
+    pub fn iter_mut(&mut self) -> IterMut<'_> {
+        IterMut(self.entries.iter_mut())
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl DoubleEndedIterator<Item = &Sym> + ExactSizeIterator {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl DoubleEndedIterator<Item = &Value> + ExactSizeIterator {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl fmt::Debug for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// Borrowed iterator over `(key, value)` pairs.
+pub struct Iter<'a>(std::slice::Iter<'a, (Sym, Value)>);
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = (&'a Sym, &'a Value);
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|(k, v)| (k, v))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for Iter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.0.next_back().map(|(k, v)| (k, v))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+/// Borrowed iterator with mutable values.
+pub struct IterMut<'a>(std::slice::IterMut<'a, (Sym, Value)>);
+
+impl<'a> Iterator for IterMut<'a> {
+    type Item = (&'a Sym, &'a mut Value);
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|(k, v)| (&*k, v))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl ExactSizeIterator for IterMut<'_> {}
+
+impl FromIterator<(Sym, Value)> for Map {
+    /// Bulk-build. Pre-sorted input (the serializer hot path) is taken as
+    /// is; otherwise the pairs are stable-sorted and later occurrences of
+    /// a key overwrite earlier ones, matching repeated `insert` semantics.
+    fn from_iter<T: IntoIterator<Item = (Sym, Value)>>(iter: T) -> Self {
+        let entries: Vec<(Sym, Value)> = iter.into_iter().collect();
+        if entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Self { entries };
+        }
+        let mut sorted = entries;
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out: Vec<(Sym, Value)> = Vec::with_capacity(sorted.len());
+        for e in sorted {
+            match out.last_mut() {
+                Some(last) if last.0 == e.0 => *last = e,
+                _ => out.push(e),
+            }
+        }
+        Self { entries: out }
+    }
+}
+
+impl Extend<(Sym, Value)> for Map {
+    fn extend<T: IntoIterator<Item = (Sym, Value)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (Sym, Value);
+    type IntoIter = std::vec::IntoIter<(Sym, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a Sym, &'a Value);
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Map {
+    type Item = (&'a Sym, &'a mut Value);
+    type IntoIter = IterMut<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, i64)]) -> Map {
+        let mut out = Map::new();
+        for (k, v) in pairs {
+            out.insert(Sym::from(*k), Value::Int(*v));
+        }
+        out
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut map = m(&[("b", 2), ("a", 1)]);
+        assert_eq!(map.get("a"), Some(&Value::Int(1)));
+        assert_eq!(map.insert("a".into(), Value::Int(9)), Some(Value::Int(1)));
+        assert_eq!(map.get("a"), Some(&Value::Int(9)));
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key("b"));
+        assert!(!map.contains_key("c"));
+    }
+
+    #[test]
+    fn iteration_is_key_sorted() {
+        let map = m(&[("z", 1), ("a", 2), ("mm", 3), ("m", 4)]);
+        let keys: Vec<&str> = map.keys().map(Sym::as_str).collect();
+        assert_eq!(keys, vec!["a", "m", "mm", "z"]);
+    }
+
+    #[test]
+    fn from_iter_unsorted_keeps_last_duplicate() {
+        let pairs = vec![
+            (Sym::from("b"), Value::Int(1)),
+            (Sym::from("a"), Value::Int(2)),
+            (Sym::from("b"), Value::Int(3)),
+        ];
+        let map = Map::from_iter(pairs);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get("b"), Some(&Value::Int(3)));
+        // Matches repeated-insert semantics.
+        let mut ins = Map::new();
+        ins.insert("b".into(), Value::Int(1));
+        ins.insert("a".into(), Value::Int(2));
+        ins.insert("b".into(), Value::Int(3));
+        assert_eq!(map, ins);
+    }
+
+    #[test]
+    fn from_iter_sorted_fast_path_identical() {
+        let pairs = vec![
+            (Sym::from("a"), Value::Int(1)),
+            (Sym::from("b"), Value::Int(2)),
+        ];
+        assert_eq!(Map::from_iter(pairs.clone()), Map::from_sorted_pairs(pairs));
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut map = m(&[("a", 1), ("b", 2), ("c", 3)]);
+        assert_eq!(map.remove("b"), Some(Value::Int(2)));
+        assert_eq!(map.remove("b"), None);
+        map.retain(|k, _| k.as_str() != "c");
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key("a"));
+    }
+
+    #[test]
+    fn str_probe_matches_sym_probe() {
+        let map = m(&[("status", 7)]);
+        let sym = Sym::from("status");
+        assert_eq!(map.get(&sym), map.get("status"));
+    }
+}

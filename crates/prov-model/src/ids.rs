@@ -5,40 +5,57 @@
 //! UUIDs. We reproduce both shapes with a deterministic generator so tests
 //! and experiments are stable.
 
+use crate::sym::Sym;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! string_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
+        // Backed by a `Sym` (shared, content-hashed) rather than an owned
+        // `String`: serializing a message into a `Value` then becomes a
+        // refcount bump per id instead of a fresh heap copy — ids are the
+        // bulk of a task message's string fields, and `to_value` sits on
+        // the ingest/materialize hot path. `Sym`'s Eq/Ord/Hash all follow
+        // the text content, so map/sort behavior is unchanged.
         #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-        pub struct $name(pub String);
+        pub struct $name(Sym);
 
         impl $name {
             /// Wrap an existing identifier string.
-            pub fn new(s: impl Into<String>) -> Self {
-                Self(s.into())
+            pub fn new(s: impl AsRef<str>) -> Self {
+                Self(Sym::new(s))
             }
             /// Borrow the identifier text.
             pub fn as_str(&self) -> &str {
-                &self.0
+                self.0.as_str()
+            }
+            /// The shared symbol behind this id (refcount bump, no copy).
+            pub fn sym(&self) -> Sym {
+                self.0.clone()
             }
         }
 
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str(&self.0)
+                f.write_str(self.as_str())
             }
         }
 
         impl From<&str> for $name {
             fn from(s: &str) -> Self {
-                Self(s.to_string())
+                Self(Sym::new(s))
             }
         }
 
         impl From<String> for $name {
             fn from(s: String) -> Self {
+                Self(Sym::new(s))
+            }
+        }
+
+        impl From<Sym> for $name {
+            fn from(s: Sym) -> Self {
                 Self(s)
             }
         }
@@ -114,18 +131,18 @@ impl IdGenerator {
 
     /// A fresh campaign id.
     pub fn campaign(&self) -> CampaignId {
-        CampaignId(self.uuid())
+        CampaignId::new(self.uuid())
     }
 
     /// A fresh workflow id.
     pub fn workflow(&self) -> WorkflowId {
-        WorkflowId(self.uuid())
+        WorkflowId::new(self.uuid())
     }
 
     /// A Listing-1-shaped task id: `"<started_at>_<wf_ordinal>_<act_ordinal>_<seq>"`.
     pub fn task(&self, started_at: f64, wf_ordinal: u32, act_ordinal: u32) -> TaskId {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        TaskId(format!("{started_at:.6}_{wf_ordinal}_{act_ordinal}_{seq}"))
+        TaskId::new(format!("{started_at:.6}_{wf_ordinal}_{act_ordinal}_{seq}"))
     }
 }
 

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod flatmap;
 pub mod ids;
 pub mod json;
 pub mod message;

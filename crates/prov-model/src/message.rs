@@ -180,27 +180,28 @@ impl TaskMessage {
 
     /// Encode to the Listing 1 JSON shape.
     ///
-    /// Pushes the fields in key order and bulk-builds the map, instead of
-    /// issuing one rebalancing `BTreeMap::insert` per field — this is the
-    /// per-message serialization on the database ingest hot path. Every key
+    /// Pushes the fields in key order and bulk-builds the map in one flat
+    /// allocation, instead of issuing one shifting insert per field — this
+    /// is the per-message serialization on the database ingest hot path.
+    /// Every key
     /// is a pre-seeded hot symbol ([`keys`]) and `used`/`generated` clones
     /// are shared-handle refcount bumps, so the only per-call allocations
     /// are the variable id/host strings and the map nodes themselves.
     pub fn to_value(&self) -> Value {
         let mut pairs: Vec<(Sym, Value)> = Vec::with_capacity(16);
         let mut push = |k: Sym, v: Value| pairs.push((k, v));
-        push(keys::activity_id(), Value::from(self.activity_id.as_str()));
+        push(keys::activity_id(), Value::Str(self.activity_id.sym()));
         if let Some(a) = &self.agent_id {
-            push(keys::agent_id(), Value::from(a.as_str()));
+            push(keys::agent_id(), Value::Str(a.sym()));
         }
-        push(keys::campaign_id(), Value::from(self.campaign_id.as_str()));
+        push(keys::campaign_id(), Value::Str(self.campaign_id.sym()));
         if !self.depends_on.is_empty() {
             push(
                 keys::depends_on(),
                 Value::array(
                     self.depends_on
                         .iter()
-                        .map(|t| Value::from(t.as_str()))
+                        .map(|t| Value::Str(t.sym()))
                         .collect(),
                 ),
             );
@@ -213,7 +214,7 @@ impl TaskMessage {
         if !self.tags.is_empty() {
             push(keys::tags(), Value::object(self.tags.clone()));
         }
-        push(keys::task_id(), Value::from(self.task_id.as_str()));
+        push(keys::task_id(), Value::Str(self.task_id.sym()));
         if let Some(t) = &self.telemetry_at_end {
             push(keys::telemetry_at_end(), t.to_value());
         }
@@ -222,20 +223,26 @@ impl TaskMessage {
         }
         push(keys::msg_type(), Value::Str(self.msg_type.sym()));
         push(keys::used(), self.used.clone());
-        push(keys::workflow_id(), Value::from(self.workflow_id.as_str()));
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
-        Value::object(Map::from_iter(pairs))
+        push(keys::workflow_id(), Value::Str(self.workflow_id.sym()));
+        Value::object(Map::from_sorted_pairs(pairs))
     }
 
     /// Decode from the Listing 1 JSON shape.
     ///
     /// Unknown fields are ignored; missing optional fields default.
     pub fn from_value(v: &Value) -> Option<Self> {
+        // Ids come out as `Sym` clones of the document's own symbols —
+        // decode shares the stored allocations instead of copying text.
+        let sym = |k: &str| v.get(k).and_then(Value::as_sym).cloned();
         let s = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
         let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
-        let mut msg = TaskMessage::new(s("task_id")?, s("workflow_id")?, s("activity_id")?);
-        if let Some(c) = s("campaign_id") {
-            msg.campaign_id = CampaignId::new(c);
+        let mut msg = TaskMessage::new(
+            TaskId::from(sym("task_id")?),
+            WorkflowId::from(sym("workflow_id")?),
+            ActivityId::from(sym("activity_id")?),
+        );
+        if let Some(c) = sym("campaign_id") {
+            msg.campaign_id = CampaignId::from(c);
         }
         if let Some(u) = v.get("used") {
             msg.used = u.clone();
@@ -250,18 +257,23 @@ impl TaskMessage {
         }
         msg.telemetry_at_start = v.get("telemetry_at_start").map(Telemetry::from_value);
         msg.telemetry_at_end = v.get("telemetry_at_end").map(Telemetry::from_value);
-        msg.status = s("status")
-            .and_then(|x| TaskStatus::parse(&x))
+        msg.status = v
+            .get("status")
+            .and_then(Value::as_str)
+            .and_then(TaskStatus::parse)
             .unwrap_or_default();
-        msg.msg_type = s("type")
-            .and_then(|x| MessageType::parse(&x))
+        msg.msg_type = v
+            .get("type")
+            .and_then(Value::as_str)
+            .and_then(MessageType::parse)
             .unwrap_or_default();
-        msg.agent_id = s("agent_id").map(AgentId::new);
+        msg.agent_id = sym("agent_id").map(AgentId::from);
         if let Some(deps) = v.get("depends_on").and_then(Value::as_array) {
             msg.depends_on = deps
                 .iter()
-                .filter_map(Value::as_str)
-                .map(TaskId::new)
+                .filter_map(Value::as_sym)
+                .cloned()
+                .map(TaskId::from)
                 .collect();
         }
         if let Some(tags) = v.get("tags").and_then(Value::as_object) {

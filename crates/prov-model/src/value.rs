@@ -3,8 +3,8 @@
 //! Provenance messages (see [`crate::message`]) carry arbitrary,
 //! application-specific `used`/`generated` payloads, so the whole stack is
 //! built on a self-describing [`Value`] type with deterministic object
-//! ordering ([`BTreeMap`]) to keep serialization, schema inference and tests
-//! reproducible.
+//! ordering (the flat sorted [`Map`]) to keep serialization, schema
+//! inference and tests reproducible.
 //!
 //! # Interning design
 //!
@@ -14,7 +14,8 @@
 //! `Arc<str>` plus a cached FNV-1a content hash (see [`crate::sym`]).
 //! Three structural choices follow from it:
 //!
-//! * **Object keys are symbols.** [`Map`] is `BTreeMap<Sym, Value>`; key
+//! * **Object keys are symbols.** [`Map`] is a flat vector of `(Sym,
+//!   Value)` pairs sorted by key (see [`crate::flatmap`]); key
 //!   construction goes through the bounded, lock-sharded global interner
 //!   (every `From<&str>`/`From<String>` conversion to `Sym` interns), and
 //!   the ~30 hot provenance keys are pre-seeded with zero-lookup static
@@ -33,25 +34,20 @@
 //!
 //! `Sym`'s `Ord` is the byte order of its content (with a pointer-equality
 //! fast path), identical to `String`'s, and `Borrow<str>` is implemented
-//! consistently with it. A `BTreeMap<Sym, Value>` therefore iterates in
-//! exactly the order `BTreeMap<String, Value>` did, `map.get("key")` works
-//! allocation-free, and JSON output is byte-for-byte independent of
+//! consistently with it. A [`Map`] over `Sym` keys therefore iterates in
+//! exactly the order a `BTreeMap<String, Value>` would, `map.get("key")`
+//! works allocation-free, and JSON output is byte-for-byte independent of
 //! whether the tree's strings are interned, uninterned, or a mix — an
 //! invariant pinned by the `interned_and_uninterned_serialize_identically`
 //! property test.
 
 use std::borrow::Cow;
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+pub use crate::flatmap::Map;
 pub use crate::sym::{keys, Sym};
-
-/// Map type used for JSON objects. `BTreeMap` keeps key order deterministic
-/// (byte order of the key text — see the module docs), which matters for
-/// snapshot-style tests and stable prompt construction.
-pub type Map = BTreeMap<Sym, Value>;
 
 /// A JSON-like dynamically typed value with shared strings and containers.
 ///

@@ -128,6 +128,23 @@ pub struct ColumnarFilter {
     pub value: Value,
 }
 
+/// One membership conjunct evaluable over a column vector:
+/// `column.isin([...])`. Like [`ColumnarFilter`] it needs no index — the
+/// scan compiles the list once (to a dictionary code set for string
+/// columns, an `f64` probe list for numeric ones) and tests each row's
+/// encoded cell, instead of re-comparing the literal list per row. The
+/// executor must apply the frame's membership semantics: any-match under
+/// `dataframe::values_equal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InListFilter {
+    /// Frame column name (also the columnar vector's name).
+    pub column: String,
+    /// Literal membership list (never contains Null; lists with a null
+    /// element stay residual, mirroring the null-literal rule for
+    /// comparisons).
+    pub values: Vec<Value>,
+}
+
 /// The leaf of every pipeline plan: which documents to touch and which
 /// columns to materialize from them.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -138,6 +155,11 @@ pub struct ScanNode {
     /// scan over the column vectors (bitset survivors), never materialized
     /// into the frame.
     pub columnar: Vec<ColumnarFilter>,
+    /// Membership conjuncts (`col.isin([...])`) over columnar columns:
+    /// evaluated by the scan alongside [`columnar`], never materialized.
+    ///
+    /// [`columnar`]: ScanNode::columnar
+    pub isin: Vec<InListFilter>,
     /// Conjuncts the store cannot serve, recombined in original order;
     /// applied as an ordinary row filter on the scanned frame.
     pub residual: Option<Expr>,
@@ -166,9 +188,9 @@ pub struct ScanNode {
     pub sort: Vec<(String, bool)>,
     /// Row-limit pushdown, set only when no residual filter and no
     /// *unpushed* reordering stage precedes the `head` that produced it
-    /// (columnar conjuncts do not block it: the scan applies them before
-    /// counting; a pushed sort does not block it: the scan orders before
-    /// it truncates — that pairing is exactly a top-k scan).
+    /// (columnar and in-list conjuncts do not block it: the scan applies
+    /// them before counting; a pushed sort does not block it: the scan
+    /// orders before it truncates — that pairing is exactly a top-k scan).
     pub limit: Option<usize>,
 }
 
@@ -370,8 +392,9 @@ fn plan_pipeline(p: &Pipeline, caps: &dyn PushdownCapability, count_only: bool) 
 /// Recursively split a filter expression: `And` nodes are walked, every
 /// `column op literal` conjunct the capability can serve from an index is
 /// pushed, every remaining `column op literal` conjunct on a columnar
-/// column becomes a [`ColumnarFilter`], and anything else lands in
-/// `residuals` (original left-to-right order).
+/// column becomes a [`ColumnarFilter`], `column.isin([...])` with a
+/// null-free list on a columnar column becomes an [`InListFilter`], and
+/// anything else lands in `residuals` (original left-to-right order).
 fn split_filter(
     e: &Expr,
     caps: &dyn PushdownCapability,
@@ -417,6 +440,22 @@ fn split_filter(
                         column: c.clone(),
                         op,
                         value: v.clone(),
+                    });
+                    return;
+                }
+            }
+            residuals.push(e.clone());
+        }
+        Expr::IsIn(a, values) => {
+            // A membership list compiles to a dictionary code set, so a
+            // columnar column serves it with no index. Lists containing
+            // a null element stay residual — same rule as null comparison
+            // literals: a pushed literal value is never Null.
+            if let Expr::Col(c) = a.as_ref() {
+                if caps.pushable_columnar(c) && values.iter().all(|v| !v.is_null()) {
+                    scan.isin.push(InListFilter {
+                        column: c.clone(),
+                        values: values.clone(),
                     });
                     return;
                 }
@@ -862,6 +901,50 @@ mod tests {
         let p = plan_columnar(r#"df[df["status"] == None].shape[0]"#);
         assert!(p.scan.columnar.is_empty());
         assert!(p.scan.residual.is_some());
+    }
+
+    #[test]
+    fn isin_conjunct_goes_to_the_scan() {
+        let p = plan_columnar(r#"df[df["status"].isin(["FINISHED", "ERROR"])]["duration"].mean()"#);
+        assert_eq!(
+            p.scan.isin,
+            vec![InListFilter {
+                column: "status".into(),
+                values: vec![Value::from("FINISHED"), Value::from("ERROR")],
+            }]
+        );
+        assert_eq!(p.scan.residual, None);
+        // The scan serves the membership test over codes; the status
+        // column is not dragged into the materialized frame.
+        assert_eq!(
+            p.scan.columns.as_deref(),
+            Some(&["duration".to_string()][..])
+        );
+        assert!(p.scan.columnar_only);
+    }
+
+    #[test]
+    fn isin_with_null_element_or_unpushable_column_stays_residual() {
+        // A null list element would make the pushed literal set contain
+        // Null; keep the whole conjunct residual, like `== None`.
+        let p = plan_columnar(r#"df[df["status"].isin(["FINISHED", None])].shape[0]"#);
+        assert!(p.scan.isin.is_empty());
+        assert!(p.scan.residual.is_some());
+        // No column vector for `y`: nothing to probe codes against.
+        let p = plan_columnar(r#"df[df["y"].isin([1, 2])].shape[0]"#);
+        assert!(p.scan.isin.is_empty());
+        assert!(p.scan.residual.is_some());
+    }
+
+    #[test]
+    fn isin_does_not_block_limit_or_sort_pushdown() {
+        let p = plan_columnar(
+            r#"df[df["hostname"].isin(["n0", "n1"])].sort_values("started_at")[["task_id"]].head(3)"#,
+        );
+        assert_eq!(p.scan.isin.len(), 1);
+        assert!(p.scan.residual.is_none());
+        assert_eq!(p.scan.sort, vec![("started_at".to_string(), true)]);
+        assert_eq!(p.scan.limit, Some(3));
     }
 
     #[test]
