@@ -11,10 +11,10 @@ use crate::context::ContextManager;
 use crate::plot::BarChart;
 use dataframe::DataFrame;
 use parking_lot::Mutex;
-use prov_db::ProvenanceDatabase;
+use prov_db::{ProvenanceDatabase, StoreSnapshot};
 use prov_model::{obj, Map, Value};
 use prov_stream::StreamingHub;
-use provql::{execute, parse, Query, QueryOutput};
+use provql::{execute, parse, QueryOutput};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -39,6 +39,10 @@ pub struct ToolOutput {
     pub table: Option<DataFrame>,
     /// Chart result, when the tool produced one.
     pub chart: Option<BarChart>,
+    /// Execution metadata (not part of the answer): cache behavior, the
+    /// store generation the answer is exact as of, etc. Eval runs assert
+    /// on this; the GUI may surface it as diagnostics.
+    pub meta: Option<Value>,
 }
 
 impl ToolOutput {
@@ -48,6 +52,7 @@ impl ToolOutput {
             rendered: rendered.into(),
             table: None,
             chart: None,
+            meta: None,
         }
     }
 }
@@ -145,6 +150,7 @@ impl Tool for InMemoryQueryTool {
             content,
             table,
             chart: None,
+            meta: None,
         })
     }
 }
@@ -152,103 +158,46 @@ impl Tool for InMemoryQueryTool {
 /// Executes generated queries against the persistent provenance database
 /// (the offline/post-hoc path).
 ///
-/// Plan-then-push: the query is lowered into a logical plan
-/// ([`provql::plan`]) and, when the plan is *selective* (every pipeline
-/// pushes an index-servable conjunct, a row limit, or a column set the
-/// columnar sidecar serves without decoding documents), served by the
-/// store's pushdown executor ([`prov_db::execute_plan`]) — equality
-/// conjuncts probe the hash indexes, time ranges hit the sorted index,
-/// residual `col op lit` filters on hot fields evaluate over the columnar
-/// vectors, a leading `sort_values(...).head(k)` over orderable columns
-/// executes as a streaming top-k scan (the "latest/slowest N tasks"
-/// shape: the pushed sort no longer blocks the limit, so these queries
-/// stop sorting the whole materialized frame), and referenced columnar
-/// columns materialize straight from those vectors (including corpus-wide
-/// group-by aggregates, which used to be oracle-only). Everything else —
-/// whole-width outputs, columns only the corpus-wide union can vouch for,
-/// NaN sort keys (whose order only the oracle's stable sort defines), and
-/// unselective scans that would decode the entire corpus anyway — runs
-/// against the full-materialize oracle, whose frame is cached per store
-/// [generation](ProvenanceDatabase::generation) so non-pushable queries
-/// stop rebuilding it on every call.
+/// Snapshot-first: the tool pins a [`StoreSnapshot`] and re-pins only
+/// when the store generation moves (or the tool is pointed at a different
+/// database), so a conversation's worth of queries between ingest bursts
+/// never flushes and never waits on the write locks ingest holds. Query
+/// execution itself lives in [`StoreSnapshot::query`]: selective plans
+/// (every pipeline pushes an index-servable conjunct, a row limit, or a
+/// fully-columnar column set) go through the bounded pushdown executor,
+/// everything else runs on the snapshot's shared oracle frame, and both
+/// routes consult the database-wide plan-keyed result cache
+/// ([`prov_db::PlanCache`]) — repeated dashboard queries cost one
+/// execution per store generation, across *all* tools and serve workers
+/// sharing the database. Cache behavior (hit/miss, counters) and the
+/// answer's generation are reported in [`ToolOutput::meta`].
 #[derive(Default)]
 pub struct ProvDbQueryTool {
-    /// `(db identity, generation)` → fully materialized frame.
-    cache: Mutex<Option<FrameCache>>,
-}
-
-struct FrameCache {
-    /// Identity of the database the frame was built from. Holding a
-    /// `Weak` pins the allocation (the control block outlives the data),
-    /// so pointer equality cannot be spoofed by allocator address reuse
-    /// after the original database is dropped.
-    db: std::sync::Weak<ProvenanceDatabase>,
-    /// Store generation at build time.
-    generation: u64,
-    frame: Arc<DataFrame>,
+    /// The pinned snapshot, refreshed when the generation moves.
+    snapshot: Mutex<Option<Arc<StoreSnapshot>>>,
 }
 
 impl ProvDbQueryTool {
-    /// Fresh tool with an empty frame cache.
+    /// Fresh tool with no pinned snapshot.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The full-materialize oracle frame, rebuilt only when the store
-    /// generation moved since the last build (or the tool is pointed at a
-    /// different database).
-    fn full_frame(&self, db: &Arc<ProvenanceDatabase>) -> Arc<DataFrame> {
-        let generation = db.generation();
-        let mut cache = self.cache.lock();
-        // A cached frame for a database that has since been dropped is
-        // dead weight (and pins the dead allocation via the Weak); free
-        // it at the first opportunity.
-        if cache.as_ref().is_some_and(|c| c.db.strong_count() == 0) {
-            *cache = None;
-        }
-        if let Some(c) = cache.as_ref() {
-            if std::ptr::eq(c.db.as_ptr(), Arc::as_ptr(db)) && c.generation == generation {
-                return c.frame.clone();
+    /// The current snapshot of `db`: reuse the pinned one while it is
+    /// fresh (same database, same generation — the generation probe is
+    /// one atomic load), otherwise pin a new one. Pointer identity is
+    /// sound here because the pinned snapshot holds the database `Arc`
+    /// alive: its address cannot be reused while the pin exists.
+    fn snapshot(&self, db: &Arc<ProvenanceDatabase>) -> Arc<StoreSnapshot> {
+        let mut pinned = self.snapshot.lock();
+        if let Some(s) = pinned.as_ref() {
+            if Arc::ptr_eq(s.database(), db) && s.generation() == db.generation() {
+                return s.clone();
             }
         }
-        let frame = Arc::new(prov_db::full_frame(db));
-        *cache = Some(FrameCache {
-            db: Arc::downgrade(db),
-            generation,
-            frame: frame.clone(),
-        });
-        frame
-    }
-
-    /// Execute a parsed query: selective and columnar-servable plans go
-    /// through pushdown, the rest (including pushdown fallbacks) run on
-    /// the cached oracle frame.
-    fn run(
-        &self,
-        db: &Arc<ProvenanceDatabase>,
-        query: &Query,
-    ) -> Result<QueryOutput, provql::ExecError> {
-        let plan = provql::plan(query, db.as_ref());
-        // An unselective scan that must *decode* the corpus per call is
-        // worse than the cached frame (one build per store generation), so
-        // pushdown must earn its keep on every pipeline: a pushed
-        // conjunct, a row limit (including one a pushed sort turned into
-        // a top-k: at most k rows reach the frame), or a column set the
-        // columnar sidecar serves without decoding a single document
-        // (`columnar_only` — this is what lets corpus-wide aggregates and
-        // bare pushed sorts skip the oracle). Vacuously true for
-        // pipeline-free scalar queries (bare arithmetic), which
-        // execute_plan answers without touching the store at all.
-        let selective = plan
-            .pipelines()
-            .iter()
-            .all(|p| p.has_pushdown() || p.scan.limit.is_some() || p.scan.columnar_only);
-        if selective {
-            if let prov_db::Pushdown::Executed(res) = prov_db::execute_plan(db, &plan) {
-                return res;
-            }
-        }
-        execute(query, &self.full_frame(db))
+        let s = db.snapshot();
+        *pinned = Some(s.clone());
+        s
     }
 }
 
@@ -269,19 +218,30 @@ impl Tool for ProvDbQueryTool {
             .as_ref()
             .ok_or_else(|| ToolError::Exec("no provenance database attached".to_string()))?;
         let query = parse(code).map_err(|e| ToolError::Exec(format!("query parse error: {e}")))?;
-        let out = self
-            .run(db, &query)
-            .map_err(|e| ToolError::Exec(e.to_string()))?;
+        let snap = self.snapshot(db);
+        let (result, outcome) = snap.query(&query);
+        let out = result.map_err(|e| ToolError::Exec(e.to_string()))?;
         let content = output_to_value(&out);
-        let table = match &out {
+        let table = match &*out {
             QueryOutput::Frame(f) => Some(f.clone()),
             _ => None,
+        };
+        let stats = db.plan_cache().stats();
+        let meta = obj! {
+            "cache" => outcome.as_str(),
+            "generation" => snap.generation() as i64,
+            "cache_hits" => stats.hits as i64,
+            "cache_misses" => stats.misses as i64,
+            "cache_evictions" => stats.evictions as i64,
+            "cache_entries" => stats.entries as i64,
+            "cache_bytes" => stats.bytes as i64,
         };
         Ok(ToolOutput {
             rendered: out.render(),
             content,
             table,
             chart: None,
+            meta: Some(meta),
         })
     }
 }
@@ -318,6 +278,7 @@ impl Tool for PlotTool {
             content,
             table: Some(chart_frame),
             chart: Some(chart),
+            meta: None,
         })
     }
 }
@@ -472,9 +433,11 @@ impl Tool for GraphQueryTool {
             .and_then(Value::as_i64)
             .map(|d| d.max(1) as usize)
             .unwrap_or(Self::DEFAULT_DEPTH);
-        // One accessor call: `graph()` flushes any pending stream ingest
-        // behind a mutex, so hoist it instead of paying that per token.
-        let graph = db.graph();
+        // One snapshot pin materializes any pending stream ingest exactly
+        // once; every traversal below reads the snapshot's graph view
+        // without ever flushing again.
+        let snap = db.snapshot();
+        let graph = snap.graph();
         let ids = Self::task_ids_in(question, graph);
         let first = ids.first().ok_or_else(|| {
             ToolError::Exec(
@@ -739,6 +702,15 @@ mod tests {
         assert_eq!(out.content, Value::Float(3.0));
     }
 
+    /// The `meta.cache` outcome string of a tool output.
+    fn cache_outcome(out: &ToolOutput) -> &str {
+        out.meta
+            .as_ref()
+            .and_then(|m| m.get("cache"))
+            .and_then(Value::as_str)
+            .expect("provdb tool reports cache metadata")
+    }
+
     #[test]
     fn provdb_tool_serves_columnar_aggregates_without_the_oracle() {
         let ctx = tool_ctx();
@@ -757,14 +729,15 @@ mod tests {
             )
             .unwrap();
         assert!(out.table.is_some());
+        let snap = tool.snapshot(db);
         assert!(
-            tool.cache.lock().is_none(),
+            !snap.oracle_built(),
             "columnar-servable aggregate should not build the oracle frame"
         );
         // And the answer matches the oracle's.
         let oracle = execute(
             &parse(r#"df.groupby("activity_id")["duration"].mean()"#).unwrap(),
-            &tool.full_frame(db),
+            &snap.oracle_frame(),
         )
         .unwrap();
         assert_eq!(out.table.unwrap(), *oracle.as_frame().unwrap());
@@ -790,32 +763,48 @@ mod tests {
         let out = tool
             .call(&args(&[("code", Value::from(code))]), &ctx)
             .unwrap();
+        let snap = tool.snapshot(db);
         assert!(
-            tool.cache.lock().is_none(),
+            !snap.oracle_built(),
             "top-k should not build the oracle frame"
         );
-        let oracle = execute(&query, &tool.full_frame(db)).unwrap();
+        let oracle = execute(&query, &snap.oracle_frame()).unwrap();
         assert_eq!(out.table.unwrap(), *oracle.as_frame().unwrap());
     }
 
     #[test]
-    fn provdb_frame_cache_tracks_generation() {
+    fn provdb_tool_caches_results_per_generation() {
         let ctx = tool_ctx();
         let db = ctx.db.as_ref().unwrap();
         let tool = ProvDbQueryTool::new();
-        let before = tool.full_frame(db);
-        // Same generation: the very same frame allocation comes back.
-        assert!(Arc::ptr_eq(&before, &tool.full_frame(db)));
-        // An insert bumps the generation and invalidates the cache.
+        let run = |code: &str| {
+            tool.call(&args(&[("code", Value::from(code))]), &ctx)
+                .unwrap()
+        };
+        // First execution misses, the identical repeat hits the shared
+        // plan cache — including an equivalent spelling of the same plan
+        // (commuted conjuncts share one canonical key).
+        let first = run(r#"df[(df["v"] >= 1) & (df["task_id"] == "h3")][["v"]]"#);
+        assert_eq!(cache_outcome(&first), "miss");
+        let repeat = run(r#"df[(df["v"] >= 1) & (df["task_id"] == "h3")][["v"]]"#);
+        assert_eq!(cache_outcome(&repeat), "hit");
+        // An equivalent spelling — commuted conjuncts, float literal —
+        // shares the canonical key and hits too.
+        let commuted = run(r#"df[(df["task_id"] == "h3") & (df["v"] >= 1.0)][["v"]]"#);
+        assert_eq!(cache_outcome(&commuted), "hit");
+        assert_eq!(first.content, commuted.content);
+
+        // The pinned snapshot is reused while the generation holds…
+        let before = tool.snapshot(db);
+        assert!(Arc::ptr_eq(&before, &tool.snapshot(db)));
+        // …and an insert bumps the generation: new snapshot, cache miss,
+        // and the new row is visible through the query path.
         db.insert(&TaskMessageBuilder::new("h9", "old-wf", "historical").build());
-        let after = tool.full_frame(db);
-        assert!(!Arc::ptr_eq(&before, &after));
-        assert_eq!(after.len(), before.len() + 1);
-        // And the tool sees the new row through its query path.
-        let out = tool
-            .call(&args(&[("code", Value::from("len(df)"))]), &ctx)
-            .unwrap();
+        let out = run("len(df)");
         assert_eq!(out.content, Value::Int(6));
+        let after = tool.snapshot(db);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(after.generation(), before.generation() + 1);
     }
 
     #[test]

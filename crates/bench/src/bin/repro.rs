@@ -308,6 +308,19 @@ impl ProvDbMeasurement {
     }
 }
 
+/// Observability numbers from one mixed-load run through the serving
+/// stack (committed as the `mixed_load_profile` metadata object — no
+/// `speedup` key, so the regression gate reads past it).
+struct MixedLoadProfile {
+    workers: usize,
+    ingest_msgs_per_s: f64,
+    query_p50_us: f64,
+    query_p99_us: f64,
+    queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
 /// The `--provdb` report backing `BENCH_provdb.json`.
 struct ProvDbReport {
     messages: usize,
@@ -324,6 +337,7 @@ struct ProvDbReport {
     chunk: usize,
     chunk_override: Option<String>,
     measurements: Vec<ProvDbMeasurement>,
+    mixed: MixedLoadProfile,
 }
 
 impl ProvDbReport {
@@ -360,6 +374,17 @@ impl ProvDbReport {
                 m.speedup()
             ));
         }
+        out.push_str(&format!(
+            "mixed-load profile ({} workers): ingest {:.0} msg/s, query p50 {:.0} \u{b5}s, \
+             p99 {:.0} \u{b5}s over {} queries ({} cache hits / {} misses)\n",
+            self.mixed.workers,
+            self.mixed.ingest_msgs_per_s,
+            self.mixed.query_p50_us,
+            self.mixed.query_p99_us,
+            self.mixed.queries,
+            self.mixed.cache_hits,
+            self.mixed.cache_misses,
+        ));
         out
     }
 
@@ -445,9 +470,37 @@ impl ProvDbReport {
                  single-key group-by aggregate (mean duration by hostname) on the \
                  cached full frame (hash per-row Vec<Value> keys) vs the code-based \
                  fast path (group directly over dictionary codes, unify symbols \
-                 across shards by cached content hash, aggregate gathered cells).",
+                 across shards by cached content hash, aggregate gathered cells). \
+                 mixed_load interleaves 12 streaming ingest bursts of 256 messages \
+                 with 48-query dashboard storms cycling a 4-query repeated set, and \
+                 compares the pre-serving agent path (try-pushdown per query, \
+                 otherwise re-execute stages over a generation-keyed whole-frame \
+                 cache, all on one thread) against the serving stack (storms \
+                 submitted to the bounded QueryServer pool, answered from \
+                 generation-pinned snapshots through the plan-keyed result cache). \
+                 mixed_load_profile carries the observability numbers from one \
+                 serving run — ingest throughput, query p50/p99, cache hit/miss \
+                 counts — and has no speedup key, so the regression gate skips it.",
             ),
         );
+        let mut profile = Map::new();
+        profile.insert("workers".into(), Value::from(self.mixed.workers));
+        profile.insert(
+            "ingest_msgs_per_s".into(),
+            Value::from(self.mixed.ingest_msgs_per_s),
+        );
+        profile.insert("query_p50_us".into(), Value::from(self.mixed.query_p50_us));
+        profile.insert("query_p99_us".into(), Value::from(self.mixed.query_p99_us));
+        profile.insert("queries".into(), Value::from(self.mixed.queries as i64));
+        profile.insert(
+            "cache_hits".into(),
+            Value::from(self.mixed.cache_hits as i64),
+        );
+        profile.insert(
+            "cache_misses".into(),
+            Value::from(self.mixed.cache_misses as i64),
+        );
+        root.insert("mixed_load_profile".into(), Value::object(profile));
         for m in &self.measurements {
             let mut entry = Map::new();
             entry.insert("baseline".into(), Value::from(m.baseline));
@@ -554,6 +607,48 @@ fn topk_query() -> provql::Query {
         r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(5)"#,
     )
     .expect("bench query parses")
+}
+
+/// The mixed-load workload shape: a seed corpus, then `MIXED_BURSTS`
+/// ingest bursts of `MIXED_BURST_SIZE` streaming messages, each followed
+/// by a storm of `MIXED_STORM` dashboard queries cycling through a small
+/// repeated set — the §5.2 interactive pattern (ingest never stops,
+/// monitoring queries repeat).
+const MIXED_SEED: usize = 2_048;
+const MIXED_BURSTS: usize = 12;
+const MIXED_BURST_SIZE: usize = 256;
+const MIXED_STORM: usize = 48;
+
+fn mixed_corpus() -> Vec<std::sync::Arc<prov_model::TaskMessage>> {
+    (0..MIXED_SEED + MIXED_BURSTS * MIXED_BURST_SIZE)
+        .map(|i| {
+            std::sync::Arc::new(
+                prov_model::TaskMessageBuilder::new(
+                    format!("t{i}"),
+                    format!("wf-{}", i % 50),
+                    format!("act{}", i % 8),
+                )
+                .host(format!("node{:03}", i % 64))
+                .uses("x", i as f64)
+                .generates("y", (i * 2) as f64)
+                .span(i as f64, i as f64 + 1.0)
+                .build(),
+            )
+        })
+        .collect()
+}
+
+/// The repeated dashboard set: a pushed selective find, a columnar
+/// group-by, a pushed top-k, and a column distinct — the shapes a
+/// monitoring loop reissues verbatim (which is what makes the plan-keyed
+/// result cache earn its keep).
+fn mixed_query_texts() -> [&'static str; 4] {
+    [
+        r#"df[df["workflow_id"] == "wf-7"][["task_id", "y"]].head(20)"#,
+        r#"df.groupby("activity_id")["duration"].mean()"#,
+        r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(5)"#,
+        r#"df["y"].unique()"#,
+    ]
 }
 
 /// The store behind `parallel_scan`: the benchmark corpus in a pinned
@@ -817,6 +912,79 @@ fn provdb_measure(which: &str) -> f64 {
                     .len()
             })
         }
+        // Concurrent ingest bursts interleaved with dashboard query
+        // storms, through the pre-serving agent path: each query tries
+        // pushdown and otherwise re-executes its stages over a
+        // generation-keyed whole-frame cache (exactly what
+        // `provdb_query` did before snapshots + the plan cache), all on
+        // the caller's thread.
+        "mixed-load-baseline" => {
+            let msgs = mixed_corpus();
+            let queries: Vec<provql::Query> = mixed_query_texts()
+                .iter()
+                .map(|t| provql::parse(t).expect("bench query parses"))
+                .collect();
+            best_of(3, || {
+                let db = ProvenanceDatabase::new();
+                let (seed, rest) = msgs.split_at(MIXED_SEED);
+                db.insert_batch_shared(seed.iter().cloned());
+                let mut cached: Option<(u64, dataframe::DataFrame)> = None;
+                for burst in rest.chunks(MIXED_BURST_SIZE) {
+                    db.insert_batch_shared(burst.iter().cloned());
+                    for i in 0..MIXED_STORM {
+                        let q = &queries[i % queries.len()];
+                        match prov_db::try_execute(&db, q) {
+                            prov_db::Pushdown::Executed(out) => {
+                                std::hint::black_box(out.expect("query runs"));
+                            }
+                            prov_db::Pushdown::NeedsFullFrame(_) => {
+                                let generation = db.generation();
+                                if cached.as_ref().map(|(g, _)| *g) != Some(generation) {
+                                    cached = Some((generation, prov_db::full_frame(&db)));
+                                }
+                                let frame = &cached.as_ref().expect("just filled").1;
+                                std::hint::black_box(
+                                    provql::execute(q, frame).expect("query runs"),
+                                );
+                            }
+                        }
+                    }
+                }
+            })
+        }
+        // The same workload through the serving stack: storms submitted
+        // to the bounded worker pool, answered from generation-pinned
+        // snapshots through the plan-keyed result cache.
+        "mixed-load-serve" => {
+            let msgs = mixed_corpus();
+            let texts = mixed_query_texts();
+            best_of(3, || {
+                let db = ProvenanceDatabase::shared();
+                let server = prov_db::QueryServer::start(
+                    db.clone(),
+                    prov_db::ServeConfig {
+                        workers: prov_db::ServeConfig::default().workers,
+                        queue_depth: MIXED_STORM,
+                    },
+                );
+                let (seed, rest) = msgs.split_at(MIXED_SEED);
+                db.insert_batch_shared(seed.iter().cloned());
+                for burst in rest.chunks(MIXED_BURST_SIZE) {
+                    db.insert_batch_shared(burst.iter().cloned());
+                    let pending: Vec<_> = (0..MIXED_STORM)
+                        .map(|i| {
+                            server
+                                .submit(texts[i % texts.len()])
+                                .expect("queue sized for the storm")
+                        })
+                        .collect();
+                    for rx in pending {
+                        let resp = rx.recv().expect("worker replies");
+                        std::hint::black_box(resp.result.expect("query runs"));
+                    }
+                }
+            })
+        }
         "aggregate-baseline" => {
             let db = BaselineDatabase::new();
             db.insert_batch(&msgs);
@@ -951,6 +1119,16 @@ fn provdb_benchmark() -> ProvDbReport {
             sharded: provdb_measure_isolated("vec-groupby-codes") * 1e3,
             parity: false,
         },
+        // Both sides run the same ingest-bursts + query-storms workload
+        // on the current engine: the pre-serving single-threaded agent
+        // path vs the QueryServer pool with snapshots + the plan cache.
+        ProvDbMeasurement {
+            name: "mixed_load",
+            unit: "ms",
+            baseline: provdb_measure_isolated("mixed-load-baseline") * 1e3,
+            sharded: provdb_measure_isolated("mixed-load-serve") * 1e3,
+            parity: false,
+        },
     ];
     let probe = prov_db::DocumentStore::new();
     ProvDbReport {
@@ -965,6 +1143,52 @@ fn provdb_benchmark() -> ProvDbReport {
         chunk: probe.chunk_rows(),
         chunk_override: std::env::var("PROVDB_CHUNK").ok(),
         measurements,
+        mixed: mixed_load_profile(),
+    }
+}
+
+/// One observed mixed-load run through the serving stack, for the
+/// `mixed_load_profile` metadata object: ingest throughput of the burst
+/// path and the serve layer's own latency/cache ledger.
+fn mixed_load_profile() -> MixedLoadProfile {
+    use prov_db::{ProvenanceDatabase, QueryServer, ServeConfig};
+    let msgs = mixed_corpus();
+    let texts = mixed_query_texts();
+    let db = ProvenanceDatabase::shared();
+    let config = ServeConfig {
+        workers: ServeConfig::default().workers,
+        queue_depth: MIXED_STORM,
+    };
+    let workers = config.workers;
+    let server = QueryServer::start(db.clone(), config);
+    let (seed, rest) = msgs.split_at(MIXED_SEED);
+    db.insert_batch_shared(seed.iter().cloned());
+    let mut ingest_secs = 0.0f64;
+    for burst in rest.chunks(MIXED_BURST_SIZE) {
+        let t = std::time::Instant::now();
+        db.insert_batch_shared(burst.iter().cloned());
+        ingest_secs += t.elapsed().as_secs_f64();
+        let pending: Vec<_> = (0..MIXED_STORM)
+            .map(|i| {
+                server
+                    .submit(texts[i % texts.len()])
+                    .expect("queue sized for the storm")
+            })
+            .collect();
+        for rx in pending {
+            let resp = rx.recv().expect("worker replies");
+            std::hint::black_box(resp.result.expect("query runs"));
+        }
+    }
+    let stats = server.stats();
+    MixedLoadProfile {
+        workers,
+        ingest_msgs_per_s: (MIXED_BURSTS * MIXED_BURST_SIZE) as f64 / ingest_secs.max(1e-9),
+        query_p50_us: stats.p50_micros as f64,
+        query_p99_us: stats.p99_micros as f64,
+        queries: stats.completed,
+        cache_hits: stats.cache.hits,
+        cache_misses: stats.cache.misses,
     }
 }
 

@@ -242,6 +242,47 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Cache equivalence on the snapshot read path: for one snapshot,
+    /// `query_with(q, true)` must return exactly what
+    /// `query_with(q, false)` returns — outputs *and* errors — both on
+    /// the first (miss-then-insert) execution and on the repeat that is
+    /// served straight from the plan-keyed cache. All cases share one
+    /// snapshot, so the cache fills up across cases exactly as it would
+    /// under a real dashboard storm.
+    #[test]
+    fn snapshot_cache_on_equals_cache_off(q in arb_query()) {
+        use std::sync::{Arc, OnceLock};
+        use prov_db::{CacheOutcome, StoreSnapshot};
+        static SNAP: OnceLock<Arc<StoreSnapshot>> = OnceLock::new();
+        let snap = SNAP.get_or_init(|| {
+            let experiment = eval::Experiment { seed: 7, n_inputs: 6, runs_per_query: 1 };
+            eval::build_synthetic_db(&experiment).snapshot()
+        });
+        let (uncached, outcome) = snap.query_with(&q, false);
+        prop_assert_eq!(outcome, CacheOutcome::Bypass);
+        let (first, _) = snap.query_with(&q, true);
+        let (second, second_outcome) = snap.query_with(&q, true);
+        match (&uncached, &first, &second) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert_eq!(&**a, &**b, "first cached run diverged");
+                prop_assert_eq!(&**a, &**c, "cache-served repeat diverged");
+                // Successful outputs are cached, so the repeat must have
+                // been a hit (the corpus is far below the cache budget).
+                prop_assert_eq!(second_outcome, CacheOutcome::Hit);
+            }
+            (Err(a), Err(b), Err(c)) => {
+                // Errors are never cached; both arms re-derive them.
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(a, c);
+            }
+            other => prop_assert!(false, "cache arms disagree: {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn topk_pushdown_identical_through_both_paths() {
     let experiment = eval::Experiment {

@@ -470,6 +470,43 @@ impl ColumnarShard {
         }
     }
 
+    /// Non-absent entries of a field among the first `n` slots — the
+    /// snapshot-bounded counterpart of [`present`](Self::present). Sums
+    /// the per-chunk zone counts for whole chunks and scans only the one
+    /// boundary chunk, so the cost is `O(n / chunk + chunk)`.
+    pub(crate) fn present_prefix(&self, f: ColField, n: usize) -> usize {
+        if n >= self.len() {
+            return self.present(f);
+        }
+        let full = n / self.chunk;
+        let boundary = full * self.chunk..n;
+        match f {
+            ColField::Str(i) => {
+                let whole: usize = self.str_zones[i][..full]
+                    .iter()
+                    .map(|z| z.present as usize)
+                    .sum();
+                whole
+                    + self.strs[i].codes[boundary]
+                        .iter()
+                        .filter(|&&c| c != NULL_CODE)
+                        .count()
+            }
+            ColField::F64(i) => {
+                // `Some(NaN)` counts as present, mirroring `push_f64`.
+                let whole: usize = self.f64_zones[i][..full]
+                    .iter()
+                    .map(|z| z.present as usize)
+                    .sum();
+                whole
+                    + self.floats[i][boundary]
+                        .iter()
+                        .filter(|v| v.is_some())
+                        .count()
+            }
+        }
+    }
+
     /// The code vector of string column `i` (slot-aligned; `NULL_CODE`
     /// marks absent cells). Exposed for code-based group-by.
     pub(crate) fn str_codes(&self, i: usize) -> &[u32] {

@@ -473,6 +473,57 @@ impl DocumentStore {
         }
     }
 
+    /// Per-shard row counts, read under the shard locks — the row
+    /// high-water mark a [`StoreSnapshot`](crate::StoreSnapshot) pins.
+    /// Shards are append-only, so ids `slot * nshards + s` with
+    /// `slot < rows[s]` name exactly the documents that existed when the
+    /// counts were taken.
+    pub fn shard_rows(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().docs.len()).collect()
+    }
+
+    /// [`find`](DocumentStore::find) restricted to the documents below a
+    /// per-shard row bound (as captured by [`shard_rows`]). Rows appended
+    /// after the bound was taken are invisible; everything else —
+    /// filter semantics, stable sort, limit, projection — is identical.
+    ///
+    /// [`shard_rows`]: DocumentStore::shard_rows
+    pub fn find_bounded(&self, query: &DocQuery, bound: &[usize]) -> Vec<Arc<Value>> {
+        let nshards = self.shards.len();
+        debug_assert_eq!(bound.len(), nshards);
+        let mut hits = self.matching(query);
+        hits.retain(|(id, _)| id / nshards < bound[id % nshards]);
+        if let Some((path, ascending)) = &query.sort {
+            hits.sort_by(|(_, a), (_, b)| {
+                let va = a.get_path(path).unwrap_or(&Value::Null);
+                let vb = b.get_path(path).unwrap_or(&Value::Null);
+                let o = va.compare(vb);
+                if *ascending {
+                    o
+                } else {
+                    o.reverse()
+                }
+            });
+        }
+        if let Some(n) = query.limit {
+            hits.truncate(n);
+        }
+        hits.into_iter()
+            .map(|(_, doc)| project(doc, &query.projection))
+            .collect()
+    }
+
+    /// [`count`](DocumentStore::count) restricted to the documents below a
+    /// per-shard row bound.
+    pub fn count_bounded(&self, query: &DocQuery, bound: &[usize]) -> usize {
+        let nshards = self.shards.len();
+        debug_assert_eq!(bound.len(), nshards);
+        self.matching(query)
+            .iter()
+            .filter(|(id, _)| id / nshards < bound[id % nshards])
+            .count()
+    }
+
     /// Matching `(id, doc)` pairs in id (= insertion) order.
     fn matching(&self, query: &DocQuery) -> Vec<(DocId, Arc<Value>)> {
         let nshards = self.shards.len();
@@ -944,6 +995,80 @@ impl DocumentStore {
     pub fn columnar_presence(&self, column: &str) -> Option<usize> {
         let f = self.columnar_field(column)?;
         Some(self.shards.iter().map(|s| s.read().cols.present(f)).sum())
+    }
+
+    /// [`columnar_presence`](DocumentStore::columnar_presence) restricted
+    /// to the rows below a per-shard bound: zone-map prefix sums plus one
+    /// boundary-chunk scan per shard, never a full column walk.
+    pub fn columnar_presence_bounded(&self, column: &str, bound: &[usize]) -> Option<usize> {
+        let f = self.columnar_field(column)?;
+        debug_assert_eq!(bound.len(), self.shards.len());
+        Some(
+            self.shards
+                .iter()
+                .zip(bound)
+                .map(|(s, &n)| s.read().cols.present_prefix(f, n))
+                .sum(),
+        )
+    }
+
+    /// [`columnar_scan_where`](DocumentStore::columnar_scan_where)
+    /// restricted to the rows below a per-shard bound.
+    ///
+    /// Runs the unbounded kernel without a limit and post-filters: the
+    /// kernel returns survivors in id order, and dropping the
+    /// above-bound ids preserves that order, so the first `limit`
+    /// visible survivors are exactly what a scan of the bounded corpus
+    /// would return. Rows appended after the bound only ever *add*
+    /// survivors (columns poison/irregular flags are checked by the
+    /// caller via servability, which is monotonic), so filtering them
+    /// out cannot change any visible row's verdict.
+    pub fn columnar_scan_where_bounded(
+        &self,
+        preds: &[ScanPredicate<'_>],
+        limit: Option<usize>,
+        bound: &[usize],
+    ) -> Option<Vec<DocId>> {
+        let nshards = self.shards.len();
+        debug_assert_eq!(bound.len(), nshards);
+        let mut ids = self.columnar_scan_where(preds, None)?;
+        ids.retain(|id| id / nshards < bound[id % nshards]);
+        if let Some(n) = limit {
+            ids.truncate(n);
+        }
+        Some(ids)
+    }
+
+    /// [`columnar_topk_where`](DocumentStore::columnar_topk_where)
+    /// restricted to the rows below a per-shard bound.
+    ///
+    /// Runs the unbounded selection without a limit (a full sort of the
+    /// survivors) and post-filters: the result is totally ordered by the
+    /// sort keys (ties by id), removing entries preserves relative
+    /// order, and the first `limit` visible entries are therefore the
+    /// top-k of the bounded corpus. An above-bound row carrying a NaN
+    /// sort key still aborts the selection ([`TopkScan::NanSortKey`]) —
+    /// conservative, never wrong: the caller falls back to its bounded
+    /// oracle.
+    pub fn columnar_topk_where_bounded(
+        &self,
+        preds: &[ScanPredicate<'_>],
+        sort: &[(&str, bool)],
+        limit: Option<usize>,
+        bound: &[usize],
+    ) -> TopkScan {
+        let nshards = self.shards.len();
+        debug_assert_eq!(bound.len(), nshards);
+        match self.columnar_topk_where(preds, sort, None) {
+            TopkScan::Served(mut ids) => {
+                ids.retain(|id| id / nshards < bound[id % nshards]);
+                if let Some(n) = limit {
+                    ids.truncate(n);
+                }
+                TopkScan::Served(ids)
+            }
+            other => other,
+        }
     }
 
     /// Evaluate a conjunction of `column op literal` filters over the

@@ -29,6 +29,7 @@
 
 use crate::document::{DocumentStore, ScanPredicate};
 use crate::query::{Condition, DocQuery, Op};
+use crate::snapshot::StoreSnapshot;
 use crate::store::ProvenanceDatabase;
 use dataframe::{CmpOp, DataFrame};
 use prov_model::{TaskMessage, Value};
@@ -147,9 +148,30 @@ pub fn execute_plan_with(
     plan: &QueryPlan,
     use_columnar: bool,
 ) -> Pushdown {
+    // Materialize pending ingest once up front (the historical accessor
+    // behavior), then run the bounded machinery with no bound.
+    let store = db.documents();
+    execute_plan_inner(store, plan, use_columnar, None)
+}
+
+/// Execute a plan against a pinned snapshot: same machinery as
+/// [`execute_plan`], but reads go through the bounded kernels (rows above
+/// the snapshot's per-shard high-water mark are invisible) and nothing is
+/// flushed — snapshot creation already materialized everything visible,
+/// so this never touches the flusher lock and never blocks on ingest.
+pub fn execute_plan_snapshot(snap: &StoreSnapshot, plan: &QueryPlan) -> Pushdown {
+    execute_plan_inner(snap.documents(), plan, true, Some(snap.bound()))
+}
+
+fn execute_plan_inner(
+    store: &DocumentStore,
+    plan: &QueryPlan,
+    use_columnar: bool,
+    bound: Option<&[usize]>,
+) -> Pushdown {
     match plan {
-        QueryPlan::Pipeline(p) => exec_pipeline(db, p, use_columnar),
-        QueryPlan::Len(inner) => match execute_plan_with(db, inner, use_columnar) {
+        QueryPlan::Pipeline(p) => exec_pipeline(store, p, use_columnar, bound),
+        QueryPlan::Len(inner) => match execute_plan_inner(store, inner, use_columnar, bound) {
             Pushdown::Executed(Ok(out)) => Pushdown::Executed(Ok(QueryOutput::Scalar(
                 prov_model::Value::Int(out.len() as i64),
             ))),
@@ -160,7 +182,7 @@ pub fn execute_plan_with(
             // executor: the left side is executed AND validated as a
             // scalar before the right side runs, so both paths surface
             // the same error for the same query.
-            let left = match execute_plan_with(db, a, use_columnar) {
+            let left = match execute_plan_inner(store, a, use_columnar, bound) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -168,7 +190,7 @@ pub fn execute_plan_with(
                 Ok(v) => v,
                 Err(e) => return Pushdown::Executed(Err(e)),
             };
-            let right = match execute_plan_with(db, b, use_columnar) {
+            let right = match execute_plan_inner(store, b, use_columnar, bound) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -219,13 +241,17 @@ fn finish_stages(p: &PipelinePlan, frame: &DataFrame) -> Pushdown {
     Pushdown::Executed(provql::execute_stages(&stages, frame))
 }
 
-fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) -> Pushdown {
+fn exec_pipeline(
+    store: &DocumentStore,
+    p: &PipelinePlan,
+    use_columnar: bool,
+    bound: Option<&[usize]>,
+) -> Pushdown {
     let Some(columns) = &p.scan.columns else {
         return Pushdown::NeedsFullFrame("output exposes the whole frame width");
     };
-    let store = db.documents();
     if use_columnar && store.columnar_enabled() {
-        if let Some(result) = exec_pipeline_columnar(store, p, columns) {
+        if let Some(result) = exec_pipeline_columnar(store, p, columns, bound) {
             return result;
         }
         // A filter column stopped being servable between planning and
@@ -242,7 +268,7 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) 
         // apply the pushed limit to *unsorted* rows.
         return Pushdown::NeedsFullFrame("pushed sort without a columnar layer");
     }
-    exec_pipeline_decoded(store, p, columns)
+    exec_pipeline_decoded(store, p, columns, bound)
 }
 
 /// The decode-based projected scan: pushed conjuncts become a [`DocQuery`]
@@ -251,7 +277,12 @@ fn exec_pipeline(db: &ProvenanceDatabase, p: &PipelinePlan, use_columnar: bool) 
 /// are materialized. This is the pre-columnar scan path; it remains the
 /// executor for stores without a sidecar and the baseline side of the
 /// columnar benchmarks.
-fn exec_pipeline_decoded(store: &DocumentStore, p: &PipelinePlan, columns: &[String]) -> Pushdown {
+fn exec_pipeline_decoded(
+    store: &DocumentStore,
+    p: &PipelinePlan,
+    columns: &[String],
+    bound: Option<&[usize]>,
+) -> Pushdown {
     let mut doc_query = DocQuery::new();
     for f in &p.scan.pushed {
         doc_query.conditions.push(Condition {
@@ -273,7 +304,10 @@ fn exec_pipeline_decoded(store: &DocumentStore, p: &PipelinePlan, columns: &[Str
     // document is a Listing-1 task message (decodes 1:1 into a row).
     doc_query.limit = p.scan.limit;
 
-    let docs = store.find(&doc_query);
+    let docs = match bound {
+        Some(b) => store.find_bounded(&doc_query, b),
+        None => store.find(&doc_query),
+    };
     let msgs: Vec<TaskMessage> = docs
         .iter()
         .filter_map(|d| TaskMessage::from_value(d))
@@ -312,6 +346,7 @@ fn exec_pipeline_columnar(
     store: &DocumentStore,
     p: &PipelinePlan,
     columns: &[String],
+    bound: Option<&[usize]>,
 ) -> Option<Pushdown> {
     let mut filters: Vec<ScanPredicate<'_>> =
         Vec::with_capacity(p.scan.pushed.len() + p.scan.columnar.len() + p.scan.isin.len());
@@ -335,7 +370,10 @@ fn exec_pipeline_columnar(
         filters.push(ScanPredicate::In(f.column.as_str(), &f.values));
     }
     let survivors = if p.scan.sort.is_empty() {
-        store.columnar_scan_where(&filters, p.scan.limit)?
+        match bound {
+            Some(b) => store.columnar_scan_where_bounded(&filters, p.scan.limit, b)?,
+            None => store.columnar_scan_where(&filters, p.scan.limit)?,
+        }
     } else {
         // Top-k: the scan orders survivors by the frame's sort rule
         // before the limit truncates, so the frame below is built in
@@ -349,7 +387,11 @@ fn exec_pipeline_columnar(
             .iter()
             .map(|(c, asc)| (c.as_str(), *asc))
             .collect();
-        match store.columnar_topk_where(&filters, &keys, p.scan.limit) {
+        let scan = match bound {
+            Some(b) => store.columnar_topk_where_bounded(&filters, &keys, p.scan.limit, b),
+            None => store.columnar_topk_where(&filters, &keys, p.scan.limit),
+        };
+        match scan {
             crate::document::TopkScan::Served(ids) => ids,
             crate::document::TopkScan::NotServable => return None,
             crate::document::TopkScan::NanSortKey => {
@@ -360,9 +402,16 @@ fn exec_pipeline_columnar(
         }
     };
 
-    if let Some(result) = grouped_agg_over_codes(store, p, &survivors) {
+    if let Some(result) = grouped_agg_over_codes(store, p, &survivors, bound) {
         return Some(result);
     }
+
+    // Column presence is corpus-wide metadata; a snapshot's corpus is the
+    // rows below its bound.
+    let presence = |c: &str| match bound {
+        Some(b) => store.columnar_presence_bounded(c, b),
+        None => store.columnar_presence(c),
+    };
 
     let checked = checked_columns(p);
     let decode_cols: Vec<String> = columns
@@ -383,8 +432,8 @@ fn exec_pipeline_columnar(
 
     let mut cols_out: Vec<(String, Vec<Value>)> = Vec::with_capacity(columns.len());
     for c in columns {
-        if let Some(presence) = store.columnar_presence(c) {
-            if presence > 0 {
+        if let Some(present) = presence(c) {
+            if present > 0 {
                 cols_out.push((c.clone(), store.columnar_gather(&survivors, c)?));
             } else if checked.iter().any(|k| k == c) {
                 // No decodable document provides the column anywhere: the
@@ -431,11 +480,16 @@ fn grouped_agg_over_codes(
     store: &DocumentStore,
     p: &PipelinePlan,
     survivors: &[crate::document::DocId],
+    bound: Option<&[usize]>,
 ) -> Option<Pushdown> {
     use provql::plan::PlanNode;
     if p.scan.residual.is_some() || p.ops.len() < 3 {
         return None;
     }
+    let presence = |c: &str| match bound {
+        Some(b) => store.columnar_presence_bounded(c, b),
+        None => store.columnar_presence(c),
+    };
     let (
         PlanNode::Residual(Stage::GroupBy(keys)),
         PlanNode::Residual(Stage::Col(col)),
@@ -450,10 +504,7 @@ fn grouped_agg_over_codes(
     // Both columns must exist corpus-wide (the general path owns the
     // absent-column fallback), and a self-aggregation's duplicate output
     // column is an error the frame path should raise verbatim.
-    if key == col
-        || store.columnar_presence(key).is_none_or(|n| n == 0)
-        || store.columnar_presence(col).is_none_or(|n| n == 0)
-    {
+    if key == col || presence(key).is_none_or(|n| n == 0) || presence(col).is_none_or(|n| n == 0) {
         return None;
     }
     let (group_keys, row_groups) = store.columnar_group_codes(survivors, key)?;

@@ -65,23 +65,41 @@
 //! callers holding owned messages. `crates/bench` tracks both the accept
 //! and the fully-materialized ingest cost against the preserved
 //! pre-refactor baseline in `BENCH_provdb.json` (see `repro --provdb`).
+//!
+//! ## Concurrent serving (snapshot reads + plan cache)
+//!
+//! Query-side callers read through [`StoreSnapshot`]
+//! ([`ProvenanceDatabase::snapshot`]): a generation-pinned immutable view
+//! — refcount bump plus per-shard row high-water mark — whose reads never
+//! flush and never block on ingest. Snapshot query execution consults a
+//! shared plan-keyed result cache ([`PlanCache`], keyed on
+//! `(canonical plan, generation)` via [`provql::plan::cache_key`]), and
+//! [`serve::QueryServer`] puts a bounded thread-pool front-end with
+//! admission control over the whole read path. See `docs/serving.md`.
 
 #![warn(missing_docs)]
 
 pub(crate) mod columnar;
 
+pub mod cache;
 pub mod document;
 pub mod exec;
 pub mod graph;
 pub mod kv;
 pub mod query;
+pub mod serve;
+pub mod snapshot;
 pub mod store;
 
+pub use cache::{CacheOutcome, CacheStats, PlanCache};
 pub use document::{DocId, DocumentStore, ScanPredicate, TopkScan};
 pub use exec::{
-    execute_plan, execute_plan_with, full_frame, try_execute, try_execute_with, Pushdown,
+    execute_plan, execute_plan_snapshot, execute_plan_with, full_frame, try_execute,
+    try_execute_with, Pushdown,
 };
 pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};
+pub use serve::{QueryServer, ServeConfig, ServeError, ServeStats, SubmitError};
+pub use snapshot::StoreSnapshot;
 pub use store::ProvenanceDatabase;

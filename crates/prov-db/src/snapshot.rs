@@ -1,0 +1,232 @@
+//! Generation-pinned immutable read views.
+//!
+//! [`StoreSnapshot`] is the query-side read API: every query-shaped
+//! caller (the agent tool layer, the serve front-end, tests) reads
+//! through a snapshot instead of the raw flushing accessors on
+//! [`ProvenanceDatabase`], which stay for ingest/admin. That makes
+//! "reads don't block writers" a type-level property — a snapshot method
+//! never takes the flusher lock and never mutates a view, so a query
+//! storm can run entirely in parallel with ingest bursts.
+//!
+//! A snapshot pins `(generation, per-shard row high-water mark)` at
+//! creation ([`ProvenanceDatabase::snapshot`]). The document shards are
+//! append-only, so the rows below the mark are immutable and the bounded
+//! kernels in [`crate::document`] answer any query *as of* that
+//! generation, no matter how much ingest lands afterwards. Query
+//! execution routes through the plan-keyed result cache
+//! ([`crate::cache`]) keyed on the pinned generation.
+
+use crate::document::DocumentStore;
+use crate::graph::GraphStore;
+use crate::kv::KvStore;
+use crate::query::{DocQuery, Op};
+use crate::store::ProvenanceDatabase;
+use crate::{cache::CacheOutcome, exec};
+use dataframe::DataFrame;
+use prov_model::TaskMessage;
+use provql::plan::PushdownCapability;
+use provql::{ExecError, Query, QueryOutput};
+use std::sync::{Arc, OnceLock};
+
+/// An immutable view of one database generation.
+///
+/// Cloneable via `Arc`; holding one costs a refcount on the database plus
+/// one `usize` per shard. The oracle frame — the full materialization of
+/// the visible corpus — is built lazily on first need and shared by every
+/// caller of the same snapshot.
+pub struct StoreSnapshot {
+    db: Arc<ProvenanceDatabase>,
+    generation: u64,
+    /// Per-shard visible row counts ([`DocumentStore::shard_rows`] at
+    /// creation): document id `slot * nshards + s` is visible iff
+    /// `slot < hwm[s]`.
+    hwm: Vec<usize>,
+    oracle: OnceLock<Arc<DataFrame>>,
+}
+
+impl StoreSnapshot {
+    pub(crate) fn new(db: Arc<ProvenanceDatabase>, generation: u64, hwm: Vec<usize>) -> Self {
+        Self {
+            db,
+            generation,
+            hwm,
+            oracle: OnceLock::new(),
+        }
+    }
+
+    /// The pinned store generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The database this snapshot views.
+    pub fn database(&self) -> &Arc<ProvenanceDatabase> {
+        &self.db
+    }
+
+    /// The per-shard row bound (internal: handed to the bounded kernels).
+    pub(crate) fn bound(&self) -> &[usize] {
+        &self.hwm
+    }
+
+    /// The document store, for bounded reads (internal; public callers go
+    /// through [`find`], [`count`], or [`query`]).
+    ///
+    /// [`find`]: StoreSnapshot::find
+    /// [`count`]: StoreSnapshot::count
+    /// [`query`]: StoreSnapshot::query
+    pub(crate) fn documents(&self) -> &DocumentStore {
+        self.db.documents_unflushed()
+    }
+
+    /// Visible documents (the snapshot's corpus size).
+    pub fn len(&self) -> usize {
+        self.hwm.iter().sum()
+    }
+
+    /// Whether the snapshot sees no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Filter/sort/limit query over the visible documents.
+    pub fn find(&self, query: &DocQuery) -> Vec<Arc<prov_model::Value>> {
+        self.documents().find_bounded(query, &self.hwm)
+    }
+
+    /// Count visible matching documents.
+    pub fn count(&self, query: &DocQuery) -> usize {
+        self.documents().count_bounded(query, &self.hwm)
+    }
+
+    /// Point lookup by task id, served from the visible documents (the
+    /// KV view is not used here: a newer version of the task could have
+    /// landed after the snapshot was taken).
+    pub fn get_task(&self, task_id: &str) -> Option<TaskMessage> {
+        let mut q = DocQuery::new().filter("task_id", Op::Eq, task_id);
+        q.limit = Some(1);
+        self.find(&q)
+            .first()
+            .and_then(|d| TaskMessage::from_value(d))
+    }
+
+    /// The graph backend as materialized at snapshot creation.
+    ///
+    /// The graph store has no row high-water mark, so this is a *live*
+    /// view that is guaranteed to contain at least everything accepted up
+    /// to the snapshot's generation and may contain newer nodes/edges.
+    /// Unlike the flushing [`ProvenanceDatabase::graph`] accessor it
+    /// never materializes, so it cannot block on ingest.
+    pub fn graph(&self) -> &GraphStore {
+        self.db.graph_unflushed()
+    }
+
+    /// The KV backend as materialized at snapshot creation (same
+    /// at-least-this-generation caveat as [`graph`]).
+    ///
+    /// [`graph`]: StoreSnapshot::graph
+    pub fn kv(&self) -> &KvStore {
+        self.db.kv_unflushed()
+    }
+
+    /// The full-materialize oracle frame over the visible corpus: every
+    /// visible document decoded into a task message and flattened into
+    /// one frame. Built once per snapshot, shared by all callers — this
+    /// is both the fallback executor for plans the store cannot serve and
+    /// the reference the differential tests compare every answer against.
+    pub fn oracle_frame(&self) -> Arc<DataFrame> {
+        self.oracle
+            .get_or_init(|| {
+                let docs = self.find(&DocQuery::new());
+                let msgs: Vec<TaskMessage> = docs
+                    .iter()
+                    .filter_map(|d| TaskMessage::from_value(d))
+                    .collect();
+                Arc::new(DataFrame::from_messages(&msgs))
+            })
+            .clone()
+    }
+
+    /// Whether the oracle frame has been materialized for this snapshot —
+    /// false means every query so far was served from the store's indexes
+    /// and column vectors (tests assert the pushdown paths stay pushed).
+    pub fn oracle_built(&self) -> bool {
+        self.oracle.get().is_some()
+    }
+
+    /// Execute a provql query against this snapshot, consulting the
+    /// shared plan-keyed result cache. Returns the output (shared — cache
+    /// hits hand out the same allocation) and how the cache was involved.
+    pub fn query(&self, query: &Query) -> (Result<Arc<QueryOutput>, ExecError>, CacheOutcome) {
+        self.query_with(query, true)
+    }
+
+    /// [`query`](StoreSnapshot::query) with the cache switchable —
+    /// `use_cache = false` always executes (the cache-equivalence
+    /// proptest runs both arms on one snapshot).
+    pub fn query_with(
+        &self,
+        query: &Query,
+        use_cache: bool,
+    ) -> (Result<Arc<QueryOutput>, ExecError>, CacheOutcome) {
+        let plan = provql::plan(query, self);
+        if !use_cache {
+            return (self.execute_uncached(query, &plan), CacheOutcome::Bypass);
+        }
+        let key = provql::plan::cache_key(&plan);
+        let cache = self.db.plan_cache();
+        if let Some(out) = cache.get(&key, self.generation) {
+            return (Ok(out), CacheOutcome::Hit);
+        }
+        let res = self.execute_uncached(query, &plan);
+        if let Ok(out) = &res {
+            cache.insert(key, self.generation, out.clone());
+        }
+        (res, CacheOutcome::Miss)
+    }
+
+    /// Execute without the cache: route selective plans — every pipeline
+    /// pushes a conjunct, carries a pushed limit, or runs fully columnar
+    /// — through the bounded pushdown executor, and everything else (or
+    /// any pushdown fallback) through the stage machine on the shared
+    /// oracle frame. The routing rule mirrors the agent tool's historical
+    /// heuristic: unselective corpus-wide queries are exactly the ones
+    /// that amortize the oracle frame.
+    fn execute_uncached(
+        &self,
+        query: &Query,
+        plan: &provql::QueryPlan,
+    ) -> Result<Arc<QueryOutput>, ExecError> {
+        let selective = plan
+            .pipelines()
+            .iter()
+            .all(|p| p.has_pushdown() || p.scan.limit.is_some() || p.scan.columnar_only);
+        if selective {
+            if let exec::Pushdown::Executed(res) = exec::execute_plan_snapshot(self, plan) {
+                return res.map(Arc::new);
+            }
+        }
+        provql::execute(query, &self.oracle_frame()).map(Arc::new)
+    }
+}
+
+/// Planning capability: delegate to the database's advertisement. The
+/// columnar flags are monotonic (a column can be poisoned later but never
+/// un-poisoned), so a plan made against a snapshot can at worst be
+/// *stale-optimistic*; the bounded executor re-checks servability at
+/// execution time and defers to the snapshot's oracle when the layer has
+/// moved underneath the plan.
+impl PushdownCapability for StoreSnapshot {
+    fn pushable_eq(&self, column: &str) -> bool {
+        self.db.pushable_eq(column)
+    }
+    fn pushable_range(&self, column: &str) -> bool {
+        self.db.pushable_range(column)
+    }
+    fn pushable_columnar(&self, column: &str) -> bool {
+        self.db.pushable_columnar(column)
+    }
+    fn pushable_sort(&self, column: &str) -> bool {
+        self.db.pushable_sort(column)
+    }
+}

@@ -20,10 +20,12 @@
 //!   holding plain `&TaskMessage`s: it materializes immediately (after
 //!   draining any pending log, so arrival order is preserved).
 
+use crate::cache::PlanCache;
 use crate::document::DocumentStore;
 use crate::graph::{GraphBatch, GraphStore};
 use crate::kv::KvStore;
 use crate::query::{DocQuery, GroupSpec, Op};
+use crate::snapshot::StoreSnapshot;
 use parking_lot::Mutex;
 use prov_model::{Map, ProvRelation, TaskMessage, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +50,10 @@ pub struct ProvenanceDatabase {
     /// `pending`; accept takes only `pending`.
     flusher: Mutex<()>,
     inserts: AtomicU64,
+    /// Shared plan-keyed result cache, consulted by every
+    /// [`StoreSnapshot`] of this database (entries are keyed on the
+    /// snapshot generation, so one cache serves all generations safely).
+    plan_cache: PlanCache,
 }
 
 impl ProvenanceDatabase {
@@ -82,6 +88,7 @@ impl ProvenanceDatabase {
             pending: Mutex::new(Vec::new()),
             flusher: Mutex::new(()),
             inserts: AtomicU64::new(0),
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -109,10 +116,67 @@ impl ProvenanceDatabase {
         &self.kv
     }
 
+    /// The KV backend without flushing — for snapshot reads, whose
+    /// creation already materialized everything they may observe.
+    pub(crate) fn kv_unflushed(&self) -> &KvStore {
+        &self.kv
+    }
+
     /// The graph backend, with pending ingest materialized.
     pub fn graph(&self) -> &GraphStore {
         self.flush_views();
         &self.graph
+    }
+
+    /// The graph backend without flushing — see [`kv_unflushed`].
+    ///
+    /// [`kv_unflushed`]: ProvenanceDatabase::kv_unflushed
+    pub(crate) fn graph_unflushed(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// The shared plan-keyed result cache (see [`crate::cache`]).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Pin the store's current contents as an immutable read view.
+    ///
+    /// Cheap by construction: one materialization pass for whatever is
+    /// pending (usually empty under a steady query load), then one
+    /// refcount bump plus a per-shard row high-water mark — no data is
+    /// copied. Reads through the returned [`StoreSnapshot`] never flush
+    /// and never wait on ingest again: the shards are append-only, so
+    /// rows below the high-water mark are immutable, and columnar state
+    /// that *can* move later (dictionary growth, poison flags, zone
+    /// widening) only ever moves monotonically — the bounded kernels
+    /// re-check servability at execution time and fall back to the
+    /// snapshot's own oracle frame, never to newer data.
+    ///
+    /// The generation is captured under the pending-log lock — the same
+    /// lock [`insert_batch_shared`] bumps the counter under — and the
+    /// whole capture runs under the flusher lock, so the high-water mark
+    /// covers exactly the first `generation` accepted messages. (Callers
+    /// that bypass the facade and insert into [`documents`] directly are
+    /// outside this accounting, as they already are for [`generation`].)
+    ///
+    /// [`insert_batch_shared`]: ProvenanceDatabase::insert_batch_shared
+    /// [`documents`]: ProvenanceDatabase::documents
+    /// [`generation`]: ProvenanceDatabase::generation
+    pub fn snapshot(self: &Arc<Self>) -> Arc<StoreSnapshot> {
+        let _flush = self.flusher.lock();
+        let (generation, batch) = {
+            let mut pending = self.pending.lock();
+            (
+                self.inserts.load(Ordering::Relaxed),
+                std::mem::take(&mut *pending),
+            )
+        };
+        if !batch.is_empty() {
+            self.materialize(batch.iter().map(|m| m.as_ref()));
+        }
+        let hwm = self.documents.shard_rows();
+        Arc::new(StoreSnapshot::new(Arc::clone(self), generation, hwm))
     }
 
     /// Streaming ingest fast path: accept already-shared messages (the
@@ -154,8 +218,19 @@ impl ProvenanceDatabase {
     /// Eager bulk insert for callers holding owned messages: one
     /// serialization per message, one batch per backend. Drains the pending
     /// log first so view order matches arrival order.
+    ///
+    /// The flusher lock is held across the drain *and* this batch's own
+    /// materialization + count bump, so a concurrent [`snapshot`] can
+    /// never observe the rows of a half-accounted eager batch (its
+    /// high-water mark and generation are captured under the same lock).
+    ///
+    /// [`snapshot`]: ProvenanceDatabase::snapshot
     pub fn insert_batch<'a>(&self, msgs: impl IntoIterator<Item = &'a TaskMessage>) -> usize {
-        self.flush_views();
+        let _flush = self.flusher.lock();
+        let batch = std::mem::take(&mut *self.pending.lock());
+        if !batch.is_empty() {
+            self.materialize(batch.iter().map(|m| m.as_ref()));
+        }
         let n = self.materialize(msgs);
         self.inserts.fetch_add(n as u64, Ordering::Relaxed);
         n

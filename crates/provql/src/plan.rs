@@ -499,6 +499,228 @@ fn projection(p: &Pipeline, count_only: bool) -> Option<Vec<String>> {
     count_only.then(|| p.referenced_columns())
 }
 
+// ---------------------------------------------------------------------
+// Plan normalization: the canonical cache key.
+// ---------------------------------------------------------------------
+
+/// Canonical, collision-free rendering of a plan, used (together with a
+/// store generation) as a result-cache key. Two plans share a key exactly
+/// when they are semantically interchangeable under the stage machine:
+///
+/// * **Commutative conjunct order** — the scan's pushed / columnar /
+///   in-list conjunct lists are each a conjunction, so they are rendered
+///   sorted; a residual `And`/`Or` chain is flattened and its operands
+///   sorted (boolean row filters have no short-circuit side effects).
+/// * **Literal spellings** — in comparison and membership positions the
+///   frame coerces `Int`/`Float` ([`dataframe::cmp_matches`] /
+///   [`dataframe::values_equal`]), so `Int(5)` and `Float(5.0)` render
+///   identically there. Everywhere else (arithmetic, where `5` and `5.0`
+///   can produce differently-typed outputs) literals render exactly.
+/// * **Projection sets** — a scan's column set is rendered sorted: the
+///   output column order of every column-bounded pipeline is fixed by its
+///   downstream ops (projection, series selection, group-by), never by
+///   the scan's materialization order.
+///
+/// Order-sensitive parts — sort keys, op sequences, `Binary` operand
+/// sides — render verbatim. The string is exact (no hashing), so distinct
+/// plans can never alias an entry; [`fingerprint`] derives a compact
+/// 64-bit digest for diagnostics and tests.
+pub fn cache_key(plan: &QueryPlan) -> String {
+    match plan {
+        QueryPlan::Pipeline(p) => {
+            let ops: Vec<String> = p.ops.iter().map(canon_node).collect();
+            format!("p({};[{}])", canon_scan(&p.scan), ops.join(";"))
+        }
+        QueryPlan::Len(q) => format!("len({})", cache_key(q)),
+        QueryPlan::Binary(a, op, b) => {
+            format!("bin({},{:?},{})", cache_key(a), op, cache_key(b))
+        }
+        QueryPlan::Number(n) => format!("num({:016x})", n.to_bits()),
+    }
+}
+
+/// FNV-1a digest of [`cache_key`] — a compact plan identity for tests,
+/// diagnostics, and logs. The cache itself keys on the full string (a
+/// 64-bit hash collision must not be able to alias two results).
+pub fn fingerprint(plan: &QueryPlan) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cache_key(plan).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn canon_scan(s: &ScanNode) -> String {
+    let mut pushed: Vec<String> = s
+        .pushed
+        .iter()
+        .map(|f| format!("{}:{:?}:{}", f.column, f.op, canon_cmp_lit(&f.value)))
+        .collect();
+    pushed.sort_unstable();
+    let mut columnar: Vec<String> = s
+        .columnar
+        .iter()
+        .map(|f| format!("{}:{:?}:{}", f.column, f.op, canon_cmp_lit(&f.value)))
+        .collect();
+    columnar.sort_unstable();
+    let mut isin: Vec<String> = s
+        .isin
+        .iter()
+        .map(|f| {
+            // Membership is any-match: list order and duplicates are
+            // invisible to the filter's verdict.
+            let mut vals: Vec<String> = f.values.iter().map(canon_cmp_lit).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            format!("{}:[{}]", f.column, vals.join(","))
+        })
+        .collect();
+    isin.sort_unstable();
+    let residual = s.residual.as_ref().map(canon_expr).unwrap_or_default();
+    let columns = s.columns.as_ref().map(|cols| {
+        let mut cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+        cols.sort_unstable();
+        cols.join(",")
+    });
+    let sort: Vec<String> = s.sort.iter().map(|(c, asc)| format!("{c}:{asc}")).collect();
+    format!(
+        "push[{}]col[{}]in[{}]res[{residual}]proj[{:?}]sort[{}]lim[{:?}]",
+        pushed.join(","),
+        columnar.join(","),
+        isin.join(","),
+        columns,
+        sort.join(","),
+        s.limit,
+    )
+}
+
+fn canon_node(n: &PlanNode) -> String {
+    match n {
+        PlanNode::Filter(e) => format!("filter({})", canon_expr(e)),
+        PlanNode::Project(cols) => format!("project({})", cols.join(",")),
+        PlanNode::Sort(keys) => {
+            let keys: Vec<String> = keys.iter().map(|(c, asc)| format!("{c}:{asc}")).collect();
+            format!("sort({})", keys.join(","))
+        }
+        PlanNode::Limit(n) => format!("limit({n})"),
+        // Residual stages carry no expressions (`Filter` always maps to
+        // `PlanNode::Filter`), so their derived `Debug` form is already
+        // canonical and collision-free.
+        PlanNode::Residual(s) => format!("stage({s:?})"),
+    }
+}
+
+/// Canonical row-filter expression: `And`/`Or` chains flatten to sorted
+/// operand lists (boolean evaluation is total — no errors, no side
+/// effects — so operand order is unobservable); literals directly under a
+/// comparison or membership test canonicalize numerically; everything
+/// else renders structurally.
+fn canon_expr(e: &Expr) -> String {
+    match e {
+        Expr::And(..) => {
+            let mut ops = Vec::new();
+            flatten_bool(e, true, &mut ops);
+            ops.sort_unstable();
+            format!("and({})", ops.join("&"))
+        }
+        Expr::Or(..) => {
+            let mut ops = Vec::new();
+            flatten_bool(e, false, &mut ops);
+            ops.sort_unstable();
+            format!("or({})", ops.join("|"))
+        }
+        Expr::Cmp(a, op, b) => {
+            format!(
+                "cmp({},{:?},{})",
+                canon_cmp_operand(a),
+                op,
+                canon_cmp_operand(b)
+            )
+        }
+        Expr::Arith(a, op, b) => format!("arith({},{:?},{})", canon_expr(a), op, canon_expr(b)),
+        Expr::Not(x) => format!("not({})", canon_expr(x)),
+        Expr::Col(c) => format!("col({c})"),
+        Expr::Lit(v) => format!("lit({})", exact_lit(v)),
+        Expr::StrContains(x, pat, ci) => {
+            format!("contains({},{pat:?},{ci})", canon_expr(x))
+        }
+        Expr::StrStartsWith(x, p) => format!("starts({},{p:?})", canon_expr(x)),
+        Expr::IsIn(x, list) => {
+            let mut vals: Vec<String> = list.iter().map(canon_cmp_lit).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            format!("isin({},[{}])", canon_expr(x), vals.join(","))
+        }
+        Expr::IsNull(x) => format!("isnull({})", canon_expr(x)),
+        Expr::NotNull(x) => format!("notnull({})", canon_expr(x)),
+    }
+}
+
+fn flatten_bool(e: &Expr, and: bool, out: &mut Vec<String>) {
+    match (e, and) {
+        (Expr::And(a, b), true) | (Expr::Or(a, b), false) => {
+            flatten_bool(a, and, out);
+            flatten_bool(b, and, out);
+        }
+        _ => out.push(canon_expr(e)),
+    }
+}
+
+/// A comparison operand: literals canonicalize (the comparison itself
+/// coerces `Int`/`Float`), sub-expressions render recursively.
+fn canon_cmp_operand(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => format!("lit({})", canon_cmp_lit(v)),
+        other => canon_expr(other),
+    }
+}
+
+/// A literal in a coercing position (comparison comparand or membership
+/// list element): integer-valued floats exactly representable as `i64`
+/// collapse onto the integer spelling — [`dataframe::cmp_matches`] and
+/// [`dataframe::values_equal`] cannot tell `Int(5)` from `Float(5.0)`.
+/// The round-trip guard (`i as f64 == *f`) keeps large integers whose
+/// `f64` image is inexact on their own exact spellings.
+fn canon_cmp_lit(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.is_finite() && f.trunc() == *f => {
+            let i = *f as i64;
+            if i as f64 == *f {
+                format!("n{i}")
+            } else {
+                exact_lit(v)
+            }
+        }
+        Value::Int(n) => format!("n{n}"),
+        other => exact_lit(other),
+    }
+}
+
+/// A literal in a non-coercing position, rendered exactly (collision-free
+/// across kinds: every kind gets its own prefix, strings are
+/// debug-escaped).
+fn exact_lit(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Int(n) => format!("i{n}"),
+        Value::Float(f) => format!("f{:016x}", f.to_bits()),
+        Value::Str(s) => format!("s{:?}", s.as_str()),
+        Value::Array(a) => {
+            let vals: Vec<String> = a.iter().map(exact_lit).collect();
+            format!("[{}]", vals.join(","))
+        }
+        Value::Object(m) => {
+            let vals: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{:?}:{}", k.as_str(), exact_lit(v)))
+                .collect();
+            format!("{{{}}}", vals.join(","))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,5 +1192,91 @@ mod tests {
                 Stage::Head(2),
             ]
         );
+    }
+
+    // ---- cache-key canonicalization ------------------------------------
+
+    fn fp(text: &str) -> u64 {
+        fingerprint(&plan_text(text))
+    }
+
+    #[test]
+    fn fingerprint_ignores_conjunct_order() {
+        // Both conjuncts push down; the scan's pushed list sorts.
+        assert_eq!(
+            fp(r#"df[(df["activity_id"] == "power") & (df["started_at"] > 10)]["y"].mean()"#),
+            fp(r#"df[(df["started_at"] > 10) & (df["activity_id"] == "power")]["y"].mean()"#),
+        );
+        // Neither conjunct pushes; the residual And chain sorts.
+        assert_eq!(
+            fp(r#"df[(df["x"] > 1) & (df["y"] > 2)]["y"].mean()"#),
+            fp(r#"df[(df["y"] > 2) & (df["x"] > 1)]["y"].mean()"#),
+        );
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_numeric_literal_spellings() {
+        // Pushed position.
+        assert_eq!(
+            fp(r#"df[df["started_at"] == 5]["y"].mean()"#),
+            fp(r#"df[df["started_at"] == 5.0]["y"].mean()"#),
+        );
+        // Residual comparison position.
+        assert_eq!(
+            fp(r#"df[df["y"] > 3]["y"].mean()"#),
+            fp(r#"df[df["y"] > 3.0]["y"].mean()"#),
+        );
+        // Inexactly-representable floats keep their own spelling.
+        assert_ne!(
+            fp(r#"df[df["y"] > 3]["y"].mean()"#),
+            fp(r#"df[df["y"] > 3.5]["y"].mean()"#),
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_isin_order_and_duplicates() {
+        assert_eq!(
+            fp(r#"df[df["hostname"].isin(["a", "b"])]["y"].mean()"#),
+            fp(r#"df[df["hostname"].isin(["b", "a", "b"])]["y"].mean()"#),
+        );
+        assert_ne!(
+            fp(r#"df[df["hostname"].isin(["a", "b"])]["y"].mean()"#),
+            fp(r#"df[df["hostname"].isin(["a", "c"])]["y"].mean()"#),
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_semantics() {
+        // Different comparison op.
+        assert_ne!(
+            fp(r#"df[df["y"] > 3]["y"].mean()"#),
+            fp(r#"df[df["y"] >= 3]["y"].mean()"#),
+        );
+        // Different literal.
+        assert_ne!(
+            fp(r#"df[df["y"] > 3]["y"].mean()"#),
+            fp(r#"df[df["y"] > 4]["y"].mean()"#),
+        );
+        // Sort direction and limit are order-sensitive.
+        assert_ne!(
+            fp(r#"df.sort_values("started_at").head(3)"#),
+            fp(r#"df.sort_values("started_at", ascending=False).head(3)"#),
+        );
+        assert_ne!(
+            fp(r#"df.sort_values("started_at").head(3)"#),
+            fp(r#"df.sort_values("started_at").head(4)"#),
+        );
+        // Arithmetic does NOT collapse Int/Float: 5 and 5.0 can yield
+        // differently-typed derived values.
+        assert_ne!(
+            fp(r#"df[df["y"] + 5 > 10]["y"].mean()"#),
+            fp(r#"df[df["y"] + 5.0 > 10]["y"].mean()"#),
+        );
+    }
+
+    #[test]
+    fn cache_key_is_stable_across_reparses() {
+        let text = r#"df[(df["started_at"] > 10) & (df["hostname"] == "n0")]["duration"].mean()"#;
+        assert_eq!(cache_key(&plan_text(text)), cache_key(&plan_text(text)));
     }
 }
