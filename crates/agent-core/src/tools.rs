@@ -364,7 +364,18 @@ impl Tool for GuidelineTool {
 /// from causal keywords, and the result is the `prov:wasInformedBy`
 /// closure (upstream lineage), its inverse (downstream impact), or the
 /// shortest path between two tasks.
-pub struct GraphQueryTool;
+///
+/// Snapshot-first like [`ProvDbQueryTool`]: the tool pins a
+/// [`StoreSnapshot`] per store generation and runs every probe and
+/// traversal on the snapshot's CSR graph compaction
+/// ([`StoreSnapshot::graph_csr`]) — token probing and multi-hop kernels
+/// never take the adjacency `RwLock` and never flush, so lineage
+/// questions run in parallel with ingest bursts.
+#[derive(Default)]
+pub struct GraphQueryTool {
+    /// The pinned snapshot, refreshed when the generation moves.
+    snapshot: Mutex<Option<Arc<StoreSnapshot>>>,
+}
 
 /// Traversal direction understood by [`GraphQueryTool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -377,6 +388,24 @@ enum GraphOp {
 impl GraphQueryTool {
     /// Default traversal depth when the question does not bound it.
     pub const DEFAULT_DEPTH: usize = 16;
+
+    /// Fresh tool with no pinned snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Same pin-while-fresh rule as [`ProvDbQueryTool::snapshot`].
+    fn snapshot(&self, db: &Arc<ProvenanceDatabase>) -> Arc<StoreSnapshot> {
+        let mut pinned = self.snapshot.lock();
+        if let Some(s) = pinned.as_ref() {
+            if Arc::ptr_eq(s.database(), db) && s.generation() == db.generation() {
+                return s.clone();
+            }
+        }
+        let s = db.snapshot();
+        *pinned = Some(s.clone());
+        s
+    }
 
     fn infer_op(question: &str) -> GraphOp {
         let q = question.to_lowercase();
@@ -396,8 +425,10 @@ impl GraphQueryTool {
     }
 
     /// Tokens of the question that name nodes actually present in the
-    /// graph, in question order (deduped).
-    fn task_ids_in(question: &str, graph: &prov_db::GraphStore) -> Vec<String> {
+    /// graph, in question order (deduped). Membership probes the pinned
+    /// CSR compaction — a hash probe against interned ids, no adjacency
+    /// lock, no per-token `GraphNode` clone.
+    fn task_ids_in(question: &str, csr: &prov_db::CsrGraph) -> Vec<String> {
         let mut ids = Vec::new();
         for raw in question.split(|c: char| c.is_whitespace() || c == ',' || c == '?') {
             let token = raw.trim_matches(|c: char| {
@@ -406,7 +437,7 @@ impl GraphQueryTool {
             if token.len() < 2 {
                 continue;
             }
-            if graph.node(token).is_some() && !ids.iter().any(|i| i == token) {
+            if csr.contains_node(token) && !ids.iter().any(|i| i == token) {
                 ids.push(token.to_string());
             }
         }
@@ -433,12 +464,12 @@ impl Tool for GraphQueryTool {
             .and_then(Value::as_i64)
             .map(|d| d.max(1) as usize)
             .unwrap_or(Self::DEFAULT_DEPTH);
-        // One snapshot pin materializes any pending stream ingest exactly
-        // once; every traversal below reads the snapshot's graph view
-        // without ever flushing again.
-        let snap = db.snapshot();
-        let graph = snap.graph();
-        let ids = Self::task_ids_in(question, graph);
+        // One pinned snapshot per store generation; every probe and
+        // traversal below runs on its CSR compaction — no adjacency lock,
+        // no flushing, and repeatable reads across the whole call.
+        let snap = self.snapshot(db);
+        let csr = snap.graph_csr();
+        let ids = Self::task_ids_in(question, csr);
         let first = ids.first().ok_or_else(|| {
             ToolError::Exec(
                 "no task id found in the question; mention a task id recorded in the \
@@ -449,9 +480,9 @@ impl Tool for GraphQueryTool {
         let op = Self::infer_op(question);
 
         let describe = |id: &str| -> Value {
-            let activity = graph
-                .node(id)
-                .and_then(|n| n.props.get("activity_id").cloned())
+            let activity = csr
+                .node_props(id)
+                .and_then(|p| p.get("activity_id").cloned())
                 .unwrap_or(Value::Null);
             obj! {"task_id" => id, "activity_id" => activity}
         };
@@ -464,18 +495,21 @@ impl Tool for GraphQueryTool {
                     )
                 })?;
                 // PROV edges point effect → cause (wasInformedBy), so try
-                // both directions before giving up.
-                let path = graph
+                // both directions before giving up. The exact kernel keeps
+                // the legacy traversal's tie-breaking (BFS discovery
+                // order), so answers are stable across this refactor.
+                let path = csr
                     .shortest_path(first, second)
-                    .or_else(|| graph.shortest_path(second, first));
+                    .or_else(|| csr.shortest_path(second, first));
                 match path {
                     Some(p) => {
+                        let hops: Vec<&str> = p.iter().map(|s| s.as_str()).collect();
                         let rendered = format!(
                             "Dependency path ({} hops): {}",
-                            p.len().saturating_sub(1),
-                            p.join(" -> ")
+                            hops.len().saturating_sub(1),
+                            hops.join(" -> ")
                         );
-                        let nodes: Vec<Value> = p.iter().map(|id| describe(id)).collect();
+                        let nodes: Vec<Value> = hops.iter().map(|id| describe(id)).collect();
                         Ok(ToolOutput::text(
                             obj! {"op" => "path", "path" => Value::array(nodes)},
                             rendered,
@@ -489,9 +523,9 @@ impl Tool for GraphQueryTool {
             }
             GraphOp::Upstream | GraphOp::Downstream => {
                 let hops = if op == GraphOp::Upstream {
-                    graph.upstream_lineage(first, depth)
+                    csr.upstream(first, depth)
                 } else {
-                    graph.downstream_impact(first, depth)
+                    csr.downstream(first, depth)
                 };
                 let direction = if op == GraphOp::Upstream {
                     "upstream lineage"
@@ -514,9 +548,9 @@ impl Tool for GraphQueryTool {
                 if !hops.is_empty() {
                     rendered.push('\n');
                     for (id, d) in &hops {
-                        let act = graph
-                            .node(id)
-                            .and_then(|n| n.props.get("activity_id").cloned())
+                        let act = csr
+                            .node_props(id)
+                            .and_then(|p| p.get("activity_id").cloned())
                             .map(|v| v.display_plain())
                             .unwrap_or_default();
                         rendered.push_str(&format!("  [{d}] {id} ({act})\n"));
@@ -555,7 +589,7 @@ impl ToolRegistry {
         r.register(Box::new(PlotTool));
         r.register(Box::new(AnomalyScanTool));
         r.register(Box::new(GuidelineTool));
-        r.register(Box::new(GraphQueryTool));
+        r.register(Box::new(GraphQueryTool::new()));
         r
     }
 

@@ -480,7 +480,17 @@ impl ProvDbReport {
                  generation-pinned snapshots through the plan-keyed result cache). \
                  mixed_load_profile carries the observability numbers from one \
                  serving run — ingest throughput, query p50/p99, cache hit/miss \
-                 counts — and has no speedup key, so the regression gate skips it.",
+                 counts — and has no speedup key, so the regression gate skips it. \
+                 graph_traverse compares the transitive upstream closure from the \
+                 deepest task of a million-edge layered lineage DAG (250 layers of \
+                 1000 tasks, each prov:wasInformedBy 4 tasks of the previous layer) \
+                 on the locking adjacency-map traversal — kept as the differential \
+                 oracle — vs the CSR kernels (dense u32 adjacency, visited bitset, \
+                 level-synchronous frontiers). graph_khop is the 4-hop any-relation \
+                 neighborhood from a mid-graph task on the same corpus. Both sides \
+                 run on the current engine; the CSR build runs outside the timed \
+                 region because it is paid once per store generation and memoized \
+                 (see docs/lineage.md).",
             ),
         );
         let mut profile = Map::new();
@@ -1001,8 +1011,75 @@ fn provdb_measure(which: &str) -> f64 {
                 std::hint::black_box(db.aggregate(&DocQuery::new(), &g).len());
             })
         }
+        // Million-edge lineage closure through both graph read paths of
+        // the current engine: the locking adjacency-map traversal (the
+        // differential oracle) vs the CSR kernels. The CSR build runs
+        // outside the timed region — it is paid once per store generation
+        // and memoized (see docs/lineage.md).
+        "graph-traverse-oracle" => {
+            let store = graph_lineage_store();
+            best_of(5, || {
+                std::hint::black_box(store.upstream_lineage(GRAPH_DEEP_TASK, usize::MAX).len());
+            })
+        }
+        "graph-traverse-csr" => {
+            let store = graph_lineage_store();
+            let csr = prov_db::CsrGraph::build(&store);
+            best_of(5, || {
+                std::hint::black_box(csr.upstream(GRAPH_DEEP_TASK, usize::MAX).len());
+            })
+        }
+        // 4-hop any-relation neighborhood from a mid-graph task.
+        "graph-khop-oracle" => {
+            let store = graph_lineage_store();
+            best_of(5, || {
+                std::hint::black_box(store.khop(GRAPH_MID_TASK, 4).len());
+            })
+        }
+        "graph-khop-csr" => {
+            let store = graph_lineage_store();
+            let csr = prov_db::CsrGraph::build(&store);
+            best_of(5, || {
+                std::hint::black_box(csr.khop(GRAPH_MID_TASK, 4).len());
+            })
+        }
         other => panic!("unknown provdb measurement `{other}`"),
     }
+}
+
+/// Deepest task of the graph bench corpus (last node of the last layer).
+const GRAPH_DEEP_TASK: &str = "t249999";
+/// A mid-graph task for the k-hop measurement.
+const GRAPH_MID_TASK: &str = "t125000";
+
+/// Million-edge layered lineage DAG for the graph kernels: 250 layers ×
+/// 1000 tasks, each task `prov:wasInformedBy` 4 tasks of the previous
+/// layer (deterministic LCG picks), ids `t{i}`. ~996k edges; the
+/// transitive upstream closure from [`GRAPH_DEEP_TASK`] touches nearly
+/// every layer below it.
+fn graph_lineage_store() -> prov_db::GraphStore {
+    const LAYERS: usize = 250;
+    const WIDTH: usize = 1000;
+    let store = prov_db::GraphStore::new();
+    let mut batch = prov_db::GraphBatch::new();
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    for layer in 0..LAYERS {
+        for j in 0..WIDTH {
+            let id = layer * WIDTH + j;
+            batch.upsert_node(format!("t{id}"), "prov:Activity", prov_model::Map::new());
+            if layer > 0 {
+                for _ in 0..4 {
+                    rng = rng
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    let parent = (layer - 1) * WIDTH + (rng >> 33) as usize % WIDTH;
+                    batch.add_edge(format!("t{id}"), format!("t{parent}"), "prov:wasInformedBy");
+                }
+            }
+        }
+    }
+    store.apply_batch(batch);
+    store
 }
 
 /// Run one measurement in a fresh child process; falls back to in-process
@@ -1127,6 +1204,23 @@ fn provdb_benchmark() -> ProvDbReport {
             unit: "ms",
             baseline: provdb_measure_isolated("mixed-load-baseline") * 1e3,
             sharded: provdb_measure_isolated("mixed-load-serve") * 1e3,
+            parity: false,
+        },
+        // Both sides run on the current engine's graph backend: the
+        // locking adjacency-map traversal (kept as the differential
+        // oracle) vs the CSR kernels, over a million-edge lineage DAG.
+        ProvDbMeasurement {
+            name: "graph_traverse",
+            unit: "ms",
+            baseline: provdb_measure_isolated("graph-traverse-oracle") * 1e3,
+            sharded: provdb_measure_isolated("graph-traverse-csr") * 1e3,
+            parity: false,
+        },
+        ProvDbMeasurement {
+            name: "graph_khop",
+            unit: "ms",
+            baseline: provdb_measure_isolated("graph-khop-oracle") * 1e3,
+            sharded: provdb_measure_isolated("graph-khop-csr") * 1e3,
             parity: false,
         },
     ];

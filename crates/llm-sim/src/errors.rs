@@ -222,7 +222,8 @@ pub fn rename_column(q: &mut Query, from: &str, to: &str) {
             rename_column(a, from, to);
             rename_column(b, from, to);
         }
-        Query::Number(_) => {}
+        // Graph path primitives reference node ids, not frame columns.
+        Query::Number(_) | Query::Graph(_) => {}
     }
 }
 

@@ -167,7 +167,7 @@ fn cap_override(raw: Option<&str>) -> Option<usize> {
 /// at 16, like `PROVDB_SHARDS`), otherwise one per available core (capped
 /// at 16). `1` — forced or detected — selects the exact sequential scan
 /// path; parallel shard scans only engage above it.
-fn resolve_threads() -> usize {
+pub(crate) fn resolve_threads() -> usize {
     let threads = std::env::var("PROVDB_THREADS").ok();
     cap_override(threads.as_deref()).unwrap_or_else(|| {
         std::thread::available_parallelism()

@@ -27,14 +27,16 @@
 //! both paths return identical [`QueryOutput`]s (asserted per eval query
 //! set by the differential tests in `eval`).
 
+use crate::csr::CsrGraph;
 use crate::document::{DocumentStore, ScanPredicate};
 use crate::query::{Condition, DocQuery, Op};
 use crate::snapshot::StoreSnapshot;
 use crate::store::ProvenanceDatabase;
 use dataframe::{CmpOp, DataFrame};
 use prov_model::{TaskMessage, Value};
-use provql::plan::{PipelinePlan, PushOp, PushdownCapability, QueryPlan};
-use provql::{ExecError, Pipeline, Query, QueryOutput, Stage};
+use provql::plan::{GraphPlan, PipelinePlan, PushOp, PushdownCapability, QueryPlan};
+use provql::{ExecError, GraphQuery, Pipeline, Query, QueryOutput, Stage};
+use std::sync::Arc;
 
 /// Outcome of attempting a plan-based execution.
 #[derive(Debug)]
@@ -80,6 +82,13 @@ impl PushdownCapability for ProvenanceDatabase {
         // columnar can be ordered without materializing a frame.
         self.documents_unflushed().columnar_servable(column)
     }
+    fn pushable_graph(&self) -> bool {
+        // Path primitives lower onto the CSR compaction (see
+        // [`crate::csr`]); the locking adjacency-map path stays reachable
+        // through a capability that leaves this at the default `false`
+        // (e.g. [`GraphOracle`]) and serves as the differential reference.
+        true
+    }
 }
 
 /// Capability wrapper that hides the columnar layer: plans made through it
@@ -95,6 +104,29 @@ impl PushdownCapability for IndexOnly<'_> {
     fn pushable_range(&self, column: &str) -> bool {
         self.0.pushable_range(column)
     }
+}
+
+/// Capability wrapper that advertises everything the database does
+/// *except* graph pushdown: plans made through it route path primitives to
+/// the locking adjacency-map traversals instead of the CSR kernels. This
+/// is how the differential suite runs one provql query through both graph
+/// executors on one store.
+pub struct GraphOracle<'a>(pub &'a ProvenanceDatabase);
+
+impl PushdownCapability for GraphOracle<'_> {
+    fn pushable_eq(&self, column: &str) -> bool {
+        self.0.pushable_eq(column)
+    }
+    fn pushable_range(&self, column: &str) -> bool {
+        self.0.pushable_range(column)
+    }
+    fn pushable_columnar(&self, column: &str) -> bool {
+        self.0.pushable_columnar(column)
+    }
+    fn pushable_sort(&self, column: &str) -> bool {
+        self.0.pushable_sort(column)
+    }
+    // pushable_graph: trait default (false) — the point of the wrapper.
 }
 
 /// Plan a query against this database and execute it via projected,
@@ -151,7 +183,7 @@ pub fn execute_plan_with(
     // Materialize pending ingest once up front (the historical accessor
     // behavior), then run the bounded machinery with no bound.
     let store = db.documents();
-    execute_plan_inner(store, plan, use_columnar, None)
+    execute_plan_inner(store, plan, use_columnar, None, GraphSource::Db(db))
 }
 
 /// Execute a plan against a pinned snapshot: same machinery as
@@ -160,7 +192,24 @@ pub fn execute_plan_with(
 /// flushed — snapshot creation already materialized everything visible,
 /// so this never touches the flusher lock and never blocks on ingest.
 pub fn execute_plan_snapshot(snap: &StoreSnapshot, plan: &QueryPlan) -> Pushdown {
-    execute_plan_inner(snap.documents(), plan, true, Some(snap.bound()))
+    execute_plan_inner(
+        snap.documents(),
+        plan,
+        true,
+        Some(snap.bound()),
+        GraphSource::Snap(snap),
+    )
+}
+
+/// Where a plan's graph path primitives execute. Frame-only plans never
+/// touch it; graph plans pick the CSR compaction or the adjacency-map
+/// oracle off it according to their planned `pushable` gate.
+#[derive(Clone, Copy)]
+enum GraphSource<'a> {
+    /// The flushing facade ([`execute_plan`]-level callers).
+    Db(&'a ProvenanceDatabase),
+    /// A pinned snapshot (CSR pinned per snapshot, adjacency view live).
+    Snap(&'a StoreSnapshot),
 }
 
 fn execute_plan_inner(
@@ -168,21 +217,24 @@ fn execute_plan_inner(
     plan: &QueryPlan,
     use_columnar: bool,
     bound: Option<&[usize]>,
+    graph: GraphSource<'_>,
 ) -> Pushdown {
     match plan {
         QueryPlan::Pipeline(p) => exec_pipeline(store, p, use_columnar, bound),
-        QueryPlan::Len(inner) => match execute_plan_inner(store, inner, use_columnar, bound) {
-            Pushdown::Executed(Ok(out)) => Pushdown::Executed(Ok(QueryOutput::Scalar(
-                prov_model::Value::Int(out.len() as i64),
-            ))),
-            other => other,
-        },
+        QueryPlan::Len(inner) => {
+            match execute_plan_inner(store, inner, use_columnar, bound, graph) {
+                Pushdown::Executed(Ok(out)) => Pushdown::Executed(Ok(QueryOutput::Scalar(
+                    prov_model::Value::Int(out.len() as i64),
+                ))),
+                other => other,
+            }
+        }
         QueryPlan::Binary(a, op, b) => {
             // Strict left-to-right evaluation, matching the frame
             // executor: the left side is executed AND validated as a
             // scalar before the right side runs, so both paths surface
             // the same error for the same query.
-            let left = match execute_plan_inner(store, a, use_columnar, bound) {
+            let left = match execute_plan_inner(store, a, use_columnar, bound, graph) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -190,7 +242,7 @@ fn execute_plan_inner(
                 Ok(v) => v,
                 Err(e) => return Pushdown::Executed(Err(e)),
             };
-            let right = match execute_plan_inner(store, b, use_columnar, bound) {
+            let right = match execute_plan_inner(store, b, use_columnar, bound, graph) {
                 Pushdown::Executed(Ok(out)) => out,
                 other => return other,
             };
@@ -203,6 +255,81 @@ fn execute_plan_inner(
         QueryPlan::Number(n) => {
             Pushdown::Executed(Ok(QueryOutput::Scalar(prov_model::Value::Float(*n))))
         }
+        QueryPlan::Graph(g) => Pushdown::Executed(Ok(exec_graph(graph, g))),
+    }
+}
+
+/// Execute one graph path primitive. Traversals answer as a two-column
+/// frame `[task_id, depth]` in BFS emission order; `paths(a, b)` answers
+/// as a series named `path` holding the node sequence (empty when
+/// unreachable). Both executors — the CSR kernels when the plan's
+/// `pushable` gate is set, the locking adjacency-map traversals when it
+/// is not — produce identical shapes, so the plan cache (which keys on
+/// the canonical query text, not the gate) can serve either's result to
+/// both.
+fn exec_graph(src: GraphSource<'_>, g: &GraphPlan) -> QueryOutput {
+    if g.pushable {
+        let csr: Arc<CsrGraph> = match src {
+            GraphSource::Db(db) => db.csr_for(db.generation()),
+            GraphSource::Snap(snap) => Arc::clone(snap.graph_csr()),
+        };
+        match &g.query {
+            GraphQuery::Upstream { node, depth } => lineage_frame(csr.upstream(node, *depth)),
+            GraphQuery::Downstream { node, depth } => lineage_frame(csr.downstream(node, *depth)),
+            GraphQuery::Khop { node, k } => lineage_frame(csr.khop(node, *k)),
+            GraphQuery::Paths { from, to } => path_series(
+                csr.shortest_path_bidi(from, to)
+                    .map(|p| p.into_iter().map(Value::Str).collect()),
+            ),
+        }
+    } else {
+        let graph = match src {
+            GraphSource::Db(db) => db.graph(),
+            GraphSource::Snap(snap) => snap.graph(),
+        };
+        match &g.query {
+            GraphQuery::Upstream { node, depth } => {
+                lineage_frame_owned(graph.upstream_lineage(node, *depth))
+            }
+            GraphQuery::Downstream { node, depth } => {
+                lineage_frame_owned(graph.downstream_impact(node, *depth))
+            }
+            GraphQuery::Khop { node, k } => lineage_frame_owned(graph.khop(node, *k)),
+            GraphQuery::Paths { from, to } => path_series(
+                graph
+                    .shortest_path(from, to)
+                    .map(|p| p.into_iter().map(|id| Value::from(id.as_str())).collect()),
+            ),
+        }
+    }
+}
+
+fn lineage_frame(hits: Vec<(prov_model::Sym, usize)>) -> QueryOutput {
+    let (ids, depths): (Vec<Value>, Vec<Value>) = hits
+        .into_iter()
+        .map(|(id, d)| (Value::Str(id), Value::Int(d as i64)))
+        .unzip();
+    QueryOutput::Frame(
+        DataFrame::from_columns(vec![("task_id", ids), ("depth", depths)])
+            .expect("lineage columns are parallel by construction"),
+    )
+}
+
+fn lineage_frame_owned(hits: Vec<(String, usize)>) -> QueryOutput {
+    let (ids, depths): (Vec<Value>, Vec<Value>) = hits
+        .into_iter()
+        .map(|(id, d)| (Value::from(id.as_str()), Value::Int(d as i64)))
+        .unzip();
+    QueryOutput::Frame(
+        DataFrame::from_columns(vec![("task_id", ids), ("depth", depths)])
+            .expect("lineage columns are parallel by construction"),
+    )
+}
+
+fn path_series(path: Option<Vec<Value>>) -> QueryOutput {
+    QueryOutput::Series {
+        name: "path".to_string(),
+        values: path.unwrap_or_default(),
     }
 }
 

@@ -39,11 +39,11 @@ pub struct GraphEdge {
 }
 
 #[derive(Default)]
-struct Inner {
-    nodes: HashMap<String, GraphNode>,
-    out_edges: HashMap<String, Vec<GraphEdge>>,
-    in_edges: HashMap<String, Vec<GraphEdge>>,
-    edge_count: usize,
+pub(crate) struct Inner {
+    pub(crate) nodes: HashMap<String, GraphNode>,
+    pub(crate) out_edges: HashMap<String, Vec<GraphEdge>>,
+    pub(crate) in_edges: HashMap<String, Vec<GraphEdge>>,
+    pub(crate) edge_count: usize,
 }
 
 /// A batch of node upserts and edge inserts applied under one lock
@@ -213,22 +213,16 @@ impl GraphStore {
 
     /// BFS over outgoing `rel` edges from `start`, up to `max_depth` hops.
     /// Returns reached node ids with their hop distance (start excluded).
+    ///
+    /// Holds the read lock once for the whole walk and works on `&str`
+    /// borrows of the stored edges; the only `String` allocations are the
+    /// final emitted ids (the pre-PR8 version reacquired the lock and
+    /// cloned a `String` per visited node — pathological on large graphs,
+    /// and this method is the differential oracle the CSR kernels are
+    /// tested against).
     pub fn traverse(&self, start: &str, rel: &str, max_depth: usize) -> Vec<(String, usize)> {
-        let mut out = Vec::new();
-        let mut seen: HashSet<String> = HashSet::from([start.to_string()]);
-        let mut queue: VecDeque<(String, usize)> = VecDeque::from([(start.to_string(), 0)]);
-        while let Some((cur, depth)) = queue.pop_front() {
-            if depth == max_depth {
-                continue;
-            }
-            for next in self.neighbors_out(&cur, rel) {
-                if seen.insert(next.clone()) {
-                    out.push((next.clone(), depth + 1));
-                    queue.push_back((next, depth + 1));
-                }
-            }
-        }
-        out
+        let g = self.inner.read();
+        Self::bfs_locked(&g.out_edges, |e| (&e.rel, &e.to), start, rel, max_depth)
     }
 
     /// Multi-hop causal chain: all upstream activities that (transitively)
@@ -239,51 +233,112 @@ impl GraphStore {
 
     /// Downstream impact: activities informed by `task`.
     pub fn downstream_impact(&self, task: &str, max_depth: usize) -> Vec<(String, usize)> {
-        let mut out = Vec::new();
-        let mut seen: HashSet<String> = HashSet::from([task.to_string()]);
-        let mut queue: VecDeque<(String, usize)> = VecDeque::from([(task.to_string(), 0)]);
+        let g = self.inner.read();
+        Self::bfs_locked(
+            &g.in_edges,
+            |e| (&e.rel, &e.from),
+            task,
+            "prov:wasInformedBy",
+            max_depth,
+        )
+    }
+
+    /// One-guard BFS over an adjacency map (`rel` empty = any relation),
+    /// shared by the directed traversals above.
+    fn bfs_locked<'g>(
+        adj: &'g HashMap<String, Vec<GraphEdge>>,
+        endpoint: impl Fn(&'g GraphEdge) -> (&'g String, &'g String),
+        start: &str,
+        rel: &str,
+        max_depth: usize,
+    ) -> Vec<(String, usize)> {
+        let mut out: Vec<(&str, usize)> = Vec::new();
+        let mut seen: HashSet<&str> = HashSet::from([start]);
+        let mut queue: VecDeque<(&str, usize)> = VecDeque::from([(start, 0)]);
         while let Some((cur, depth)) = queue.pop_front() {
             if depth == max_depth {
                 continue;
             }
-            for next in self.neighbors_in(&cur, "prov:wasInformedBy") {
-                if seen.insert(next.clone()) {
-                    out.push((next.clone(), depth + 1));
+            if let Some(es) = adj.get(cur) {
+                for e in es {
+                    let (erel, next) = endpoint(e);
+                    if (rel.is_empty() || erel == rel) && seen.insert(next) {
+                        out.push((next, depth + 1));
+                        queue.push_back((next, depth + 1));
+                    }
+                }
+            }
+        }
+        out.into_iter().map(|(id, d)| (id.to_string(), d)).collect()
+    }
+
+    /// The k-hop neighborhood of `start` over any relation, treating edges
+    /// as undirected: BFS emitting `(id, hop)` with out-neighbors before
+    /// in-neighbors per visited node, start excluded. This is the
+    /// adjacency-map reference the CSR `khop` kernel is tested against.
+    pub fn khop(&self, start: &str, k: usize) -> Vec<(String, usize)> {
+        let g = self.inner.read();
+        let mut out: Vec<(&str, usize)> = Vec::new();
+        let mut seen: HashSet<&str> = HashSet::from([start]);
+        let mut queue: VecDeque<(&str, usize)> = VecDeque::from([(start, 0)]);
+        while let Some((cur, depth)) = queue.pop_front() {
+            if depth == k {
+                continue;
+            }
+            let outs = g.out_edges.get(cur).into_iter().flatten().map(|e| &e.to);
+            let ins = g.in_edges.get(cur).into_iter().flatten().map(|e| &e.from);
+            for next in outs.chain(ins) {
+                if seen.insert(next) {
+                    out.push((next, depth + 1));
                     queue.push_back((next, depth + 1));
                 }
             }
         }
-        out
+        out.into_iter().map(|(id, d)| (id.to_string(), d)).collect()
     }
 
     /// Shortest directed path between two nodes over any relation.
+    ///
+    /// Single-guard forward BFS with `&str` parent links; ties break by
+    /// global BFS discovery order (edge insertion order per node), which
+    /// the CSR forward kernel reproduces exactly.
     pub fn shortest_path(&self, from: &str, to: &str) -> Option<Vec<String>> {
         if from == to {
             return Some(vec![from.to_string()]);
         }
-        let mut prev: HashMap<String, String> = HashMap::new();
-        let mut queue: VecDeque<String> = VecDeque::from([from.to_string()]);
-        let mut seen: HashSet<String> = HashSet::from([from.to_string()]);
+        let g = self.inner.read();
+        let mut prev: HashMap<&str, &str> = HashMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::from([from]);
+        let mut seen: HashSet<&str> = HashSet::from([from]);
         while let Some(cur) = queue.pop_front() {
-            for next in self.neighbors_out(&cur, "") {
-                if !seen.insert(next.clone()) {
-                    continue;
-                }
-                prev.insert(next.clone(), cur.clone());
-                if next == to {
-                    let mut path = vec![to.to_string()];
-                    let mut at = to.to_string();
-                    while let Some(p) = prev.get(&at) {
-                        path.push(p.clone());
-                        at = p.clone();
+            if let Some(es) = g.out_edges.get(cur) {
+                for e in es {
+                    let next = e.to.as_str();
+                    if !seen.insert(next) {
+                        continue;
                     }
-                    path.reverse();
-                    return Some(path);
+                    prev.insert(next, cur);
+                    if next == to {
+                        let mut path = vec![next];
+                        let mut at = next;
+                        while let Some(p) = prev.get(at) {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path.into_iter().map(str::to_string).collect());
+                    }
+                    queue.push_back(next);
                 }
-                queue.push_back(next);
             }
         }
         None
+    }
+
+    /// Read access to the adjacency state under one guard — the CSR
+    /// snapshot builder compacts from here ([`crate::csr`]).
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&Inner) -> R) -> R {
+        f(&self.inner.read())
     }
 
     /// Nodes with a given label.

@@ -82,6 +82,7 @@
 pub(crate) mod columnar;
 
 pub mod cache;
+pub mod csr;
 pub mod document;
 pub mod exec;
 pub mod graph;
@@ -92,10 +93,11 @@ pub mod snapshot;
 pub mod store;
 
 pub use cache::{CacheOutcome, CacheStats, PlanCache};
+pub use csr::{CsrGraph, Direction};
 pub use document::{DocId, DocumentStore, ScanPredicate, TopkScan};
 pub use exec::{
     execute_plan, execute_plan_snapshot, execute_plan_with, full_frame, try_execute,
-    try_execute_with, Pushdown,
+    try_execute_with, GraphOracle, Pushdown,
 };
 pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;

@@ -16,6 +16,7 @@
 //! execution routes through the plan-keyed result cache
 //! ([`crate::cache`]) keyed on the pinned generation.
 
+use crate::csr::CsrGraph;
 use crate::document::DocumentStore;
 use crate::graph::GraphStore;
 use crate::kv::KvStore;
@@ -42,6 +43,9 @@ pub struct StoreSnapshot {
     /// `slot < hwm[s]`.
     hwm: Vec<usize>,
     oracle: OnceLock<Arc<DataFrame>>,
+    /// The CSR graph compaction this snapshot's graph reads run against
+    /// (lazy, usually shared with sibling snapshots via the store memo).
+    csr: OnceLock<Arc<CsrGraph>>,
 }
 
 impl StoreSnapshot {
@@ -51,6 +55,7 @@ impl StoreSnapshot {
             generation,
             hwm,
             oracle: OnceLock::new(),
+            csr: OnceLock::new(),
         }
     }
 
@@ -119,6 +124,18 @@ impl StoreSnapshot {
     /// never materializes, so it cannot block on ingest.
     pub fn graph(&self) -> &GraphStore {
         self.db.graph_unflushed()
+    }
+
+    /// The CSR-compacted graph this snapshot's traversals run against
+    /// (see [`crate::csr`]). Built lazily — one compaction pass under a
+    /// single graph read lock, shared through the store's generation-keyed
+    /// memo with sibling snapshots — and **pinned**: every call on this
+    /// snapshot returns the same compaction, so graph reads are repeatable
+    /// even while ingest keeps mutating the live adjacency maps. Like
+    /// [`graph`](StoreSnapshot::graph), the view contains at least
+    /// everything accepted up to the snapshot's generation.
+    pub fn graph_csr(&self) -> &Arc<CsrGraph> {
+        self.csr.get_or_init(|| self.db.csr_for(self.generation))
     }
 
     /// The KV backend as materialized at snapshot creation (same
@@ -197,10 +214,14 @@ impl StoreSnapshot {
         query: &Query,
         plan: &provql::QueryPlan,
     ) -> Result<Arc<QueryOutput>, ExecError> {
-        let selective = plan
-            .pipelines()
-            .iter()
-            .all(|p| p.has_pushdown() || p.scan.limit.is_some() || p.scan.columnar_only);
+        // Graph path primitives have no frame fallback (the oracle frame
+        // cannot answer them — `provql::execute` would return
+        // `GraphUnsupported`), so they always go to the plan executor.
+        let selective = query.has_graph()
+            || plan
+                .pipelines()
+                .iter()
+                .all(|p| p.has_pushdown() || p.scan.limit.is_some() || p.scan.columnar_only);
         if selective {
             if let exec::Pushdown::Executed(res) = exec::execute_plan_snapshot(self, plan) {
                 return res.map(Arc::new);
@@ -228,5 +249,8 @@ impl PushdownCapability for StoreSnapshot {
     }
     fn pushable_sort(&self, column: &str) -> bool {
         self.db.pushable_sort(column)
+    }
+    fn pushable_graph(&self) -> bool {
+        self.db.pushable_graph()
     }
 }

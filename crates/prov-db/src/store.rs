@@ -21,6 +21,7 @@
 //!   draining any pending log, so arrival order is preserved).
 
 use crate::cache::PlanCache;
+use crate::csr::CsrGraph;
 use crate::document::DocumentStore;
 use crate::graph::{GraphBatch, GraphStore};
 use crate::kv::KvStore;
@@ -54,6 +55,10 @@ pub struct ProvenanceDatabase {
     /// [`StoreSnapshot`] of this database (entries are keyed on the
     /// snapshot generation, so one cache serves all generations safely).
     plan_cache: PlanCache,
+    /// Generation-keyed CSR graph memo: many snapshots of one generation
+    /// share a single compaction (see [`crate::csr`]). Rebuilt lazily on
+    /// first graph read after the generation moves.
+    csr: Mutex<Option<(u64, Arc<CsrGraph>)>>,
 }
 
 impl ProvenanceDatabase {
@@ -89,6 +94,7 @@ impl ProvenanceDatabase {
             flusher: Mutex::new(()),
             inserts: AtomicU64::new(0),
             plan_cache: PlanCache::default(),
+            csr: Mutex::new(None),
         }
     }
 
@@ -138,6 +144,38 @@ impl ProvenanceDatabase {
     /// The shared plan-keyed result cache (see [`crate::cache`]).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.plan_cache
+    }
+
+    /// CSR graph compaction covering **at least** generation `generation`
+    /// (the graph backend has no per-row high-water mark, so like every
+    /// graph read through a snapshot this is a superset view; each
+    /// [`StoreSnapshot`] pins the first build it observes, making its own
+    /// reads repeatable). Memoized: concurrent snapshots of one generation
+    /// share a single compaction pass.
+    pub(crate) fn csr_for(&self, generation: u64) -> Arc<CsrGraph> {
+        {
+            let memo = self.csr.lock();
+            if let Some((g, csr)) = memo.as_ref() {
+                if generation <= *g {
+                    return Arc::clone(csr);
+                }
+            }
+        }
+        // The coverage floor must be read *before* flushing: a message
+        // counted by `generation()` here is already in the pending log
+        // (the count bumps under the pending lock, after the append), so
+        // the flush below materializes it and the build covers it.
+        let floor = self.generation().max(generation);
+        self.flush_views();
+        let mut memo = self.csr.lock();
+        if let Some((g, csr)) = memo.as_ref() {
+            if floor <= *g {
+                return Arc::clone(csr);
+            }
+        }
+        let built = Arc::new(CsrGraph::build(&self.graph));
+        *memo = Some((floor, Arc::clone(&built)));
+        built
     }
 
     /// Pin the store's current contents as an immutable read view.

@@ -171,8 +171,60 @@ impl Pipeline {
     }
 }
 
-/// A complete query: a pipeline, a `len(...)` wrapper, or scalar arithmetic
-/// between two queries.
+/// A lineage path primitive over the provenance graph — the traversal
+/// queries the DataFrame engine cannot express (§5.4). Node ids are PROV
+/// task/activity ids; depths are hop counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphQuery {
+    /// `upstream("task", depth)` — transitive causes over
+    /// `prov:wasInformedBy` out-edges, BFS order with hop distance.
+    Upstream {
+        /// Start node id.
+        node: String,
+        /// Maximum hop count.
+        depth: usize,
+    },
+    /// `downstream("task", depth)` — transitive impact over
+    /// `prov:wasInformedBy` in-edges.
+    Downstream {
+        /// Start node id.
+        node: String,
+        /// Maximum hop count.
+        depth: usize,
+    },
+    /// `paths("a", "b")` — one shortest directed path over any relation
+    /// (endpoints included), empty when unreachable.
+    Paths {
+        /// Source node id.
+        from: String,
+        /// Target node id.
+        to: String,
+    },
+    /// `khop("id", k)` — the k-hop neighborhood over any relation,
+    /// treating edges as undirected (out-neighbors before in-neighbors
+    /// per visited node).
+    Khop {
+        /// Center node id.
+        node: String,
+        /// Neighborhood radius in hops.
+        k: usize,
+    },
+}
+
+impl GraphQuery {
+    /// The primitive's name as it appears in query text.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphQuery::Upstream { .. } => "upstream",
+            GraphQuery::Downstream { .. } => "downstream",
+            GraphQuery::Paths { .. } => "paths",
+            GraphQuery::Khop { .. } => "khop",
+        }
+    }
+}
+
+/// A complete query: a pipeline, a `len(...)` wrapper, scalar arithmetic
+/// between two queries, or a graph path primitive.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// A plain pipeline.
@@ -183,6 +235,9 @@ pub enum Query {
     Binary(Box<Query>, ArithOp, Box<Query>),
     /// Bare numeric literal appearing in scalar arithmetic.
     Number(f64),
+    /// A lineage path primitive (`upstream(...)`, `paths(...)`, ...),
+    /// answered by a graph-capable store rather than the frame.
+    Graph(GraphQuery),
 }
 
 impl Query {
@@ -205,7 +260,7 @@ impl Query {
                 }
                 cols
             }
-            Query::Number(_) => Vec::new(),
+            Query::Number(_) | Query::Graph(_) => Vec::new(),
         }
     }
 
@@ -219,7 +274,18 @@ impl Query {
                 v.extend(b.pipelines());
                 v
             }
-            Query::Number(_) => Vec::new(),
+            Query::Number(_) | Query::Graph(_) => Vec::new(),
+        }
+    }
+
+    /// True when a graph path primitive appears anywhere in the query —
+    /// such queries need a graph-capable store, not just a frame.
+    pub fn has_graph(&self) -> bool {
+        match self {
+            Query::Graph(_) => true,
+            Query::Len(q) => q.has_graph(),
+            Query::Binary(a, _, b) => a.has_graph() || b.has_graph(),
+            Query::Pipeline(_) | Query::Number(_) => false,
         }
     }
 }

@@ -181,6 +181,21 @@ impl Summary {
                 limit: None,
                 counts: false,
             },
+            // A path primitive scores like a table selected by its own
+            // canonical text: two graph queries are similar exactly when
+            // primitive, node ids, and depth coincide.
+            Query::Graph(g) => Summary {
+                shape: match g {
+                    crate::ast::GraphQuery::Paths { .. } => ResultShape::Series,
+                    _ => ResultShape::Table,
+                },
+                filter_conjuncts: vec![crate::render::render(&Query::Graph(g.clone()))],
+                group_keys: Vec::new(),
+                aggs: Vec::new(),
+                sort_keys: Vec::new(),
+                limit: None,
+                counts: false,
+            },
         }
     }
 

@@ -135,6 +135,9 @@ pub enum ExecError {
     UnconsumedGroupBy,
     /// Frame is empty where a value was required.
     EmptyInput,
+    /// A graph path primitive reached a frame-only executor — only a
+    /// graph-capable store (`prov_db`) can answer it.
+    GraphUnsupported,
 }
 
 impl std::fmt::Display for ExecError {
@@ -151,6 +154,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "groupby must be followed by an aggregation")
             }
             ExecError::EmptyInput => write!(f, "empty input where a value was required"),
+            ExecError::GraphUnsupported => {
+                write!(f, "graph path primitives require a graph-capable store")
+            }
         }
     }
 }
@@ -180,6 +186,7 @@ pub fn execute(query: &Query, df: &DataFrame) -> Result<QueryOutput, ExecError> 
             arith_scalars(left, *op, right)
         }
         Query::Number(n) => Ok(QueryOutput::Scalar(Value::Float(*n))),
+        Query::Graph(_) => Err(ExecError::GraphUnsupported),
     }
 }
 

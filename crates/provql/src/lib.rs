@@ -35,11 +35,12 @@ pub mod plan;
 pub mod render;
 pub mod token;
 
-pub use ast::{Pipeline, Query, Stage};
+pub use ast::{GraphQuery, Pipeline, Query, Stage};
 pub use compare::{compare, Comparison, ResultShape};
 pub use exec::{arith_scalars, execute, execute_stages, scalar_operand, ExecError, QueryOutput};
 pub use parser::{parse, ParseError};
 pub use plan::{
-    plan, PipelinePlan, PlanNode, PushOp, PushdownCapability, PushedFilter, QueryPlan, ScanNode,
+    plan, GraphPlan, PipelinePlan, PlanNode, PushOp, PushdownCapability, PushedFilter, QueryPlan,
+    ScanNode,
 };
 pub use render::render;

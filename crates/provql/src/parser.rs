@@ -11,7 +11,7 @@
 //! index     := STRING | '[' STRING, ... ']' | boolexpr
 //! ```
 
-use crate::ast::{Pipeline, Query, Stage};
+use crate::ast::{GraphQuery, Pipeline, Query, Stage};
 use crate::token::{tokenize, LexError, Token};
 use dataframe::{AggFunc, ArithOp, CmpOp, Expr};
 use prov_model::Value;
@@ -179,6 +179,14 @@ impl Parser {
                 Ok(Query::Len(Box::new(inner)))
             }
             Some(t) if t.is_ident("df") => self.parse_pipeline().map(Query::Pipeline),
+            Some(t)
+                if ["upstream", "downstream", "paths", "khop"]
+                    .iter()
+                    .any(|n| t.is_ident(n))
+                    && self.peek_at(1).is_some_and(|t| t.is_punct("(")) =>
+            {
+                self.parse_graph().map(Query::Graph)
+            }
             Some(t) if t.is_punct("(") => {
                 self.pos += 1;
                 let inner = self.parse_additive()?;
@@ -190,6 +198,43 @@ impl Parser {
                 other.map(|t| t.to_string()).unwrap_or("EOF".into())
             ))),
         }
+    }
+
+    // ---- graph path primitives ----------------------------------------
+
+    /// `upstream("task", depth)` / `downstream("task", depth)` /
+    /// `paths("a", "b")` / `khop("id", k)` — the caller has already
+    /// checked the ident is one of the four names and `(` follows.
+    fn parse_graph(&mut self) -> Result<GraphQuery, ParseError> {
+        let name = match self.bump() {
+            Some(Token::Ident(n)) => n,
+            _ => unreachable!("caller checked ident"),
+        };
+        self.eat_punct("(")?;
+        let first = self.expect_string()?;
+        self.eat_punct(",")?;
+        let q = match name.as_str() {
+            "paths" => {
+                let to = self.expect_string()?;
+                GraphQuery::Paths { from: first, to }
+            }
+            _ => {
+                let n = self.expect_int()?;
+                let depth = usize::try_from(n)
+                    .map_err(|_| self.err(format!("{name} depth must be non-negative, got {n}")))?;
+                match name.as_str() {
+                    "upstream" => GraphQuery::Upstream { node: first, depth },
+                    "downstream" => GraphQuery::Downstream { node: first, depth },
+                    "khop" => GraphQuery::Khop {
+                        node: first,
+                        k: depth,
+                    },
+                    _ => unreachable!("caller checked the name set"),
+                }
+            }
+        };
+        self.eat_punct(")")?;
+        Ok(q)
     }
 
     // ---- pipeline level ------------------------------------------------

@@ -3,7 +3,7 @@
 //! `parse(render(q)) == q` for every constructible query, which the
 //! property tests in this crate assert.
 
-use crate::ast::{Pipeline, Query, Stage};
+use crate::ast::{GraphQuery, Pipeline, Query, Stage};
 use dataframe::{ArithOp, CmpOp, Expr};
 use prov_model::Value;
 use std::fmt::Write as _;
@@ -34,6 +34,21 @@ fn render_query(out: &mut String, query: &Query) {
             } else {
                 let _ = write!(out, "{n}");
             }
+        }
+        Query::Graph(g) => render_graph(out, g),
+    }
+}
+
+fn render_graph(out: &mut String, g: &GraphQuery) {
+    match g {
+        GraphQuery::Upstream { node, depth } | GraphQuery::Downstream { node, depth } => {
+            let _ = write!(out, "{}(\"{node}\", {depth})", g.name());
+        }
+        GraphQuery::Paths { from, to } => {
+            let _ = write!(out, "paths(\"{from}\", \"{to}\")");
+        }
+        GraphQuery::Khop { node, k } => {
+            let _ = write!(out, "khop(\"{node}\", {k})");
         }
     }
 }
@@ -302,6 +317,11 @@ mod tests {
             r#"df.drop_duplicates(subset=["a", "b"])"#,
             r#"df[df["x"].notna()].shape[0]"#,
             r#"df[df["dur"] * 2.0 > 3.5]"#,
+            r#"upstream("t42", 3)"#,
+            r#"downstream("t42", 16)"#,
+            r#"paths("a", "b")"#,
+            r#"khop("t7", 2)"#,
+            r#"len(upstream("t42", 5))"#,
         ] {
             roundtrip(text);
         }
