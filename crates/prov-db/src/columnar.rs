@@ -180,6 +180,16 @@ pub(crate) fn lookup(name: &str) -> Option<ColField> {
         .map(ColField::F64)
 }
 
+/// Position of `name` in [`STR_FIELDS`], if it is a string hot column.
+pub(crate) fn str_field_index(name: &str) -> Option<usize> {
+    STR_FIELDS.iter().position(|f| *f == name)
+}
+
+/// Position of `name` in [`F64_FIELDS`], if it is a float hot column.
+pub(crate) fn f64_field_index(name: &str) -> Option<usize> {
+    F64_FIELDS.iter().position(|f| *f == name)
+}
+
 /// The field's name.
 pub(crate) fn field_name(f: ColField) -> &'static str {
     match f {
@@ -612,6 +622,53 @@ impl ColumnarShard {
     /// Extract-and-append in one step (backfill path, tests).
     pub(crate) fn push_doc(&mut self, doc: &Value) -> PushReport {
         self.push_row(extract(doc))
+    }
+
+    /// Serialize the chunk zone maps of rows `[start, end)` for a sealed
+    /// segment footer (see [`crate::segment`]). Both bounds must sit on
+    /// chunk boundaries and be covered — seals only ever cover whole
+    /// chunks, whose zones are frozen (only the trailing partial chunk
+    /// still mutates). The string dictionaries are snapshotted whole:
+    /// codes are first-appearance stable, so the snapshot maps every
+    /// code the sealed zones can reference, and symbol clones are
+    /// refcount bumps.
+    pub(crate) fn export_zone_tables(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> Option<crate::segment::ZoneTables> {
+        if !start.is_multiple_of(self.chunk)
+            || !end.is_multiple_of(self.chunk)
+            || end > self.len()
+            || start > end
+        {
+            return None;
+        }
+        let (c0, c1) = (start / self.chunk, end / self.chunk);
+        Some(crate::segment::ZoneTables {
+            str_dicts: self.strs.iter().map(|col| col.dict.clone()).collect(),
+            str_zones: self
+                .str_zones
+                .iter()
+                .map(|zs| {
+                    zs[c0..c1]
+                        .iter()
+                        .map(|z| (z.min_code, z.max_code, z.present))
+                        .collect()
+                })
+                .collect(),
+            f64_zones: self
+                .f64_zones
+                .iter()
+                .map(|zs| {
+                    zs[c0..c1]
+                        .iter()
+                        .map(|z| (z.min, z.max, z.present, z.nan))
+                        .collect()
+                })
+                .collect(),
+            chunk_decodable: self.chunk_decodable[c0..c1].to_vec(),
+        })
     }
 
     /// Compile scan conjuncts against this shard's dictionaries. The

@@ -482,6 +482,28 @@ impl DocumentStore {
         self.shards.iter().map(|s| s.read().docs.len()).collect()
     }
 
+    /// Export one shard's rows `[start, end)` for segment sealing: the
+    /// document handles plus the serialized chunk zone maps covering
+    /// exactly those rows (see [`crate::segment`]). One read-lock
+    /// acquisition; rows below `end` are immutable (append-only shards)
+    /// and `end` sits on a chunk boundary, so everything copied here is
+    /// frozen. `None` when the range is not chunk-aligned or the
+    /// columnar sidecar does not cover it (never the case behind the
+    /// facade, which enables the sidecar at construction).
+    pub(crate) fn seal_export(
+        &self,
+        shard: usize,
+        start: usize,
+        end: usize,
+    ) -> Option<(Vec<Arc<Value>>, crate::segment::ZoneTables)> {
+        let guard = self.shards[shard].read();
+        if guard.docs.len() < end || guard.cols.len() < end {
+            return None;
+        }
+        let zones = guard.cols.export_zone_tables(start, end)?;
+        Some((guard.docs[start..end].to_vec(), zones))
+    }
+
     /// [`find`](DocumentStore::find) restricted to the documents below a
     /// per-shard row bound (as captured by [`shard_rows`]). Rows appended
     /// after the bound was taken are invisible; everything else —

@@ -76,10 +76,28 @@
 //! `(canonical plan, generation)` via [`provql::plan::cache_key`]), and
 //! [`serve::QueryServer`] puts a bounded thread-pool front-end with
 //! admission control over the whole read path. See `docs/serving.md`.
+//!
+//! ## Durability (WAL + sealed segments)
+//!
+//! [`ProvenanceDatabase::open`] turns the same engine into a durable
+//! store rooted at a directory: every materialized batch is serialized
+//! into an append-only, checksummed write-ahead log *before* any view
+//! observes it (`PROVDB_WAL_SYNC=always|batch` picks the fsync cadence),
+//! complete chunks of materialized rows are periodically sealed into
+//! immutable per-shard columnar segments whose footers are the
+//! serialized chunk zone maps (so on-disk scans prune whole segments
+//! without reading a document), and sealed runs are compacted off the
+//! accept path. Recovery replays the last sealed segments plus the WAL
+//! tail through the normal materialization path — a crashed-and-
+//! recovered store answers every query byte-identically to one that
+//! never crashed, which `tests/recovery_differential.rs` enforces at
+//! every WAL record boundary. See `docs/durability.md`.
 
 #![warn(missing_docs)]
 
 pub(crate) mod columnar;
+pub(crate) mod segment;
+pub(crate) mod wal;
 
 pub mod cache;
 pub mod csr;
@@ -104,4 +122,5 @@ pub use kv::KvStore;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};
 pub use serve::{QueryServer, ServeConfig, ServeError, ServeStats, SubmitError};
 pub use snapshot::StoreSnapshot;
-pub use store::ProvenanceDatabase;
+pub use store::{DurabilityOptions, DurableStats, ProvenanceDatabase};
+pub use wal::SyncPolicy;

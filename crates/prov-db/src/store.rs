@@ -26,11 +26,88 @@ use crate::document::DocumentStore;
 use crate::graph::{GraphBatch, GraphStore};
 use crate::kv::KvStore;
 use crate::query::{DocQuery, GroupSpec, Op};
+use crate::segment::{self, SegmentMeta};
 use crate::snapshot::StoreSnapshot;
+use crate::wal::{self, SyncPolicy, WalWriter};
 use parking_lot::Mutex;
 use prov_model::{Map, ProvRelation, TaskMessage, Value};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Tuning knobs of a durable store (see [`ProvenanceDatabase::open_with`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// WAL sync policy (default: `PROVDB_WAL_SYNC`, else batch).
+    pub sync: SyncPolicy,
+    /// Arrivals the WAL may accumulate before a seal is attempted
+    /// (default: `PROVDB_SEAL_ROWS`, else 32768). Sealing granularity is
+    /// additionally bounded below by one `PROVDB_CHUNK` chunk per shard.
+    pub seal_every: u64,
+    /// Sealed runs one shard may accumulate before they are compacted
+    /// into one segment (default 4).
+    pub compact_fanin: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::from_env(),
+            seal_every: std::env::var("PROVDB_SEAL_ROWS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(32_768),
+            compact_fanin: 4,
+        }
+    }
+}
+
+/// Observability snapshot of a durable store's on-disk state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Arrivals serialized to the WAL since the store was created
+    /// (sealed ones included).
+    pub logged: u64,
+    /// Arrivals not yet covered by sealed segments (the WAL tail a
+    /// recovery would replay).
+    pub wal_tail: u64,
+    /// Per-shard sealed row count (uniform across shards).
+    pub sealed_slots: u64,
+    /// Sealed segment files currently on disk.
+    pub segments: usize,
+    /// Sealed runs merged away by compaction so far.
+    pub compactions: u64,
+}
+
+/// WAL half of the durable state: the appender plus the next arrival
+/// index. One lock, taken on every materialization pass.
+struct WalState {
+    writer: WalWriter,
+    next_seq: u64,
+}
+
+/// Segment half of the durable state: sealed coverage and the catalog.
+struct SealState {
+    /// Rows of every shard covered by sealed segments (current epoch).
+    slots: u64,
+    segments: Vec<SegmentMeta>,
+    compactions: u64,
+}
+
+/// Everything [`ProvenanceDatabase::open`] attaches to make the store
+/// durable. Lock order: `flusher` → `wal` → `seal` (durability locks
+/// are only ever taken under the flusher lock, so seals, rotations, and
+/// appends serialize with materialization).
+struct Durability {
+    dir: PathBuf,
+    wal_path: PathBuf,
+    sync: SyncPolicy,
+    seal_every: u64,
+    compact_fanin: usize,
+    wal: Mutex<WalState>,
+    seal: Mutex<SealState>,
+}
 
 /// Unified provenance database over document + KV + graph backends.
 ///
@@ -59,6 +136,10 @@ pub struct ProvenanceDatabase {
     /// share a single compaction (see [`crate::csr`]). Rebuilt lazily on
     /// first graph read after the generation moves.
     csr: Mutex<Option<(u64, Arc<CsrGraph>)>>,
+    /// WAL + sealed-segment state when the store was opened durably
+    /// ([`ProvenanceDatabase::open`]); `None` for in-memory stores, which
+    /// pay nothing for the feature.
+    durability: Option<Durability>,
 }
 
 impl ProvenanceDatabase {
@@ -95,7 +176,121 @@ impl ProvenanceDatabase {
             inserts: AtomicU64::new(0),
             plan_cache: PlanCache::default(),
             csr: Mutex::new(None),
+            durability: None,
         }
+    }
+
+    /// Open (or create) a **durable** store rooted at `dir`, with the
+    /// default [`DurabilityOptions`] (env-resolved sync policy and seal
+    /// threshold).
+    ///
+    /// Recovery is replay: the sealed segments under `dir` provide the
+    /// bulk of the arrival sequence, the WAL tail provides the rest, and
+    /// the longest contiguous arrival prefix is re-materialized through
+    /// the exact ingest path a live store uses — so a crashed-and-
+    /// recovered store answers every query byte-identically to one that
+    /// never crashed (the recovery differential suite pins this).
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> std::io::Result<Arc<Self>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let wal_path = dir.join("wal.log");
+
+        // Assemble the arrival sequence: sealed segments first (each
+        // names the arrival indexes it covers — shard-count changes
+        // across restarts are handled because the mapping is stored per
+        // segment), then the WAL's valid prefix; duplicates (a crash
+        // between segment rename and WAL rotation) dedupe by arrival
+        // index.
+        let segs = segment::scan_dir(&dir)?;
+        let records = wal::read_records(&wal_path)?;
+        let mut by_seq: std::collections::BTreeMap<u64, Value> = std::collections::BTreeMap::new();
+        for seg in &segs {
+            for (i, doc) in segment::read_docs(seg)?.into_iter().enumerate() {
+                let slot = seg.start + i as u64;
+                by_seq
+                    .entry(slot * seg.nshards as u64 + seg.shard as u64)
+                    .or_insert(doc);
+            }
+        }
+        for r in &records {
+            if let std::collections::btree_map::Entry::Vacant(e) = by_seq.entry(r.seq) {
+                if let Some(doc) = r.decode() {
+                    e.insert(doc);
+                }
+            }
+        }
+        let mut assembled = Vec::with_capacity(by_seq.len());
+        let mut next = 0u64;
+        while let Some(doc) = by_seq.remove(&next) {
+            assembled.push(doc);
+            next += 1;
+        }
+
+        // Normalize the WAL before appending to it: a torn tail record
+        // must not be left in front of fresh appends (replay would stop
+        // at the tear and lose them).
+        wal::rewrite(&wal_path, &records)?;
+
+        // Replay through the live ingest path. Round-robin routing from
+        // a zero router makes arrival `k` land on shard `k % n`, slot
+        // `k / n` — the same ids as the original run, so query output
+        // (which orders by id) is reproduced exactly.
+        let mut db = Self::with_store(DocumentStore::new());
+        db.materialize_docs(assembled);
+        db.inserts.store(next, Ordering::Relaxed);
+
+        // Sealed coverage of the *current* epoch: contiguous-from-zero
+        // runs matching this store's shard count and chunk size; the
+        // uniform sealed-slot mark is their minimum over shards.
+        // Segments from other epochs stay in the catalog (they still
+        // serve recovery and pruning) but don't advance the mark.
+        let n = db.documents.shard_count() as u64;
+        let chunk = crate::columnar::chunk_rows() as u64;
+        let slots = (0..n)
+            .map(|s| {
+                let mut runs: Vec<&SegmentMeta> = segs
+                    .iter()
+                    .filter(|m| {
+                        m.nshards as u64 == n && m.shard as u64 == s && m.chunk as u64 == chunk
+                    })
+                    .collect();
+                runs.sort_by_key(|m| m.start);
+                let mut covered = 0u64;
+                for m in runs {
+                    if m.start == covered {
+                        covered = m.end;
+                    } else {
+                        break;
+                    }
+                }
+                covered
+            })
+            .min()
+            .unwrap_or(0);
+
+        let writer = WalWriter::open(&wal_path, opts.sync)?;
+        db.durability = Some(Durability {
+            dir,
+            wal_path,
+            sync: opts.sync,
+            seal_every: opts.seal_every,
+            compact_fanin: opts.compact_fanin.max(2),
+            wal: Mutex::new(WalState {
+                writer,
+                next_seq: next,
+            }),
+            seal: Mutex::new(SealState {
+                slots,
+                segments: segs,
+                compactions: 0,
+            }),
+        });
+        Ok(Arc::new(db))
     }
 
     /// Shared handle.
@@ -313,10 +508,244 @@ impl ProvenanceDatabase {
         if n == 0 {
             return 0;
         }
+        // Durable stores serialize the drained batch into the WAL before
+        // any view observes it; the arrival index is assigned here, under
+        // the flusher lock every materialization holds. A WAL that cannot
+        // take the batch must not pretend it did — all whole-store state
+        // is already unrecoverable at that point, so fail loudly.
+        if let Some(d) = &self.durability {
+            let mut wal_state = d.wal.lock();
+            let base = wal_state.next_seq;
+            wal_state
+                .writer
+                .append(base, &docs)
+                .expect("provdb: WAL append failed");
+            wal_state.next_seq += n as u64;
+        }
         self.documents.insert_many_shared(docs);
         self.kv.put_batch(kv_rows);
         self.graph.apply_batch(graph);
+        if self.durability.is_some() {
+            // Best-effort: a failed seal leaves everything in the WAL,
+            // which is bigger but just as durable.
+            let _ = self.seal_locked(false);
+        }
         n
+    }
+
+    /// Replay path of [`open_with`](Self::open_with): materialize
+    /// already-serialized documents through the same fan-out as
+    /// [`materialize`](Self::materialize) — same KV keys, same graph
+    /// nodes and edges, same shard routing — but without re-serializing
+    /// or re-logging anything. Must mirror `materialize` exactly; the
+    /// recovery differential suite holds the two to byte-identical query
+    /// answers.
+    fn materialize_docs(&self, raw: Vec<Value>) {
+        let mut docs: Vec<Arc<Value>> = Vec::with_capacity(raw.len());
+        let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
+        let mut graph = GraphBatch::new();
+        let empty_props = Arc::new(Value::object(Map::new()));
+        for v in raw {
+            let doc = Arc::new(v);
+            // Documents written by `materialize` always decode (they are
+            // `to_value` output); the guard only protects against a
+            // hand-corrupted directory.
+            if let Some(msg) = TaskMessage::from_value(&doc) {
+                kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
+                graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
+                for dep in &msg.depends_on {
+                    graph.add_edge(
+                        msg.task_id.as_str(),
+                        dep.as_str(),
+                        ProvRelation::WasInformedBy.as_str(),
+                    );
+                }
+                if let Some(agent) = &msg.agent_id {
+                    graph.upsert_node_shared(agent.as_str(), "prov:Agent", empty_props.clone());
+                    graph.add_edge(
+                        msg.task_id.as_str(),
+                        agent.as_str(),
+                        ProvRelation::WasAssociatedWith.as_str(),
+                    );
+                }
+            }
+            docs.push(doc);
+        }
+        if docs.is_empty() {
+            return;
+        }
+        self.documents.insert_many_shared(docs);
+        self.kv.put_batch(kv_rows);
+        self.graph.apply_batch(graph);
+    }
+
+    /// Seal everything sealable now: drain pending ingest, then write
+    /// per-shard segments for every complete chunk of materialized rows
+    /// and rotate the sealed records out of the WAL. Returns the sealed
+    /// per-shard row count. No-op (`Ok(0)`) on in-memory stores.
+    pub fn seal_now(&self) -> std::io::Result<u64> {
+        let _flush = self.flusher.lock();
+        let batch = std::mem::take(&mut *self.pending.lock());
+        if !batch.is_empty() {
+            self.materialize(batch.iter().map(|m| m.as_ref()));
+        }
+        self.seal_locked(true)
+    }
+
+    /// Seal sealed-but-uncovered rows into per-shard segments. Caller
+    /// holds the flusher lock (directly or via `materialize`). With
+    /// `force`, seals whenever at least one whole chunk per shard is
+    /// uncovered; otherwise only once `seal_every` arrivals accumulated.
+    fn seal_locked(&self, force: bool) -> std::io::Result<u64> {
+        let Some(d) = &self.durability else {
+            return Ok(0);
+        };
+        let nshards = self.documents.shard_count() as u64;
+        let chunk = crate::columnar::chunk_rows() as u64;
+        let next_seq = d.wal.lock().next_seq;
+        let slots = d.seal.lock().slots;
+        if !force && next_seq.saturating_sub(slots * nshards) < d.seal_every {
+            return Ok(slots);
+        }
+        // Seal uniformly: every shard advances to the same chunk-aligned
+        // row count, so the covered arrivals are exactly `0..m * n`.
+        let m_new = ((next_seq / nshards) / chunk) * chunk;
+        if m_new <= slots {
+            return Ok(slots);
+        }
+        let mut new_metas = Vec::with_capacity(nshards as usize);
+        for s in 0..nshards {
+            let (docs, zones) = self
+                .documents
+                .seal_export(s as usize, slots as usize, m_new as usize)
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "provdb: columnar sidecar out of sync with documents",
+                    )
+                })?;
+            new_metas.push(segment::write_segment(
+                &d.dir,
+                nshards as u32,
+                s as u32,
+                slots,
+                chunk as u32,
+                &docs,
+                &zones,
+            )?);
+        }
+        // Rotate: the WAL keeps only arrivals past the sealed coverage.
+        // Segments are synced and renamed first, so a crash anywhere in
+        // here loses nothing — at worst the WAL still holds (and replay
+        // dedupes) records the segments already cover.
+        {
+            let mut wal_state = d.wal.lock();
+            let cutoff = m_new * nshards;
+            let tail: Vec<wal::RawRecord> = wal::read_records(&d.wal_path)?
+                .into_iter()
+                .filter(|r| r.seq >= cutoff)
+                .collect();
+            wal::rewrite(&d.wal_path, &tail)?;
+            let written = wal_state.writer.written();
+            let mut writer = WalWriter::open(&d.wal_path, d.sync)?;
+            writer.set_written(written);
+            wal_state.writer = writer;
+        }
+        let mut seal = d.seal.lock();
+        seal.slots = m_new;
+        seal.segments.extend(new_metas);
+        Self::compact_catalog(d, &mut seal, d.compact_fanin)?;
+        Ok(m_new)
+    }
+
+    /// Compact sealed runs: merge every maximal contiguous same-shard
+    /// chain of at least `fanin` segments into one. Runs off the accept
+    /// path (seal time or explicit call), never under shard locks.
+    fn compact_catalog(d: &Durability, seal: &mut SealState, fanin: usize) -> std::io::Result<()> {
+        let mut groups: std::collections::BTreeMap<(u32, u32), Vec<SegmentMeta>> =
+            std::collections::BTreeMap::new();
+        for m in seal.segments.drain(..) {
+            groups.entry((m.nshards, m.shard)).or_default().push(m);
+        }
+        let mut rebuilt = Vec::new();
+        for (_, mut metas) in groups {
+            metas.sort_by_key(|m| m.start);
+            let mut i = 0;
+            while i < metas.len() {
+                // Maximal contiguous chain starting at i (equal chunk
+                // sizes — compaction rebuilds zones at that granularity).
+                let mut j = i + 1;
+                while j < metas.len()
+                    && metas[j].start == metas[j - 1].end
+                    && metas[j].chunk == metas[i].chunk
+                {
+                    j += 1;
+                }
+                if j - i >= fanin {
+                    let merged = segment::compact_runs(&d.dir, &metas[i..j])?;
+                    seal.compactions += (j - i) as u64;
+                    rebuilt.push(merged);
+                } else {
+                    rebuilt.extend(metas[i..j].iter().cloned());
+                }
+                i = j;
+            }
+        }
+        seal.segments = rebuilt;
+        Ok(())
+    }
+
+    /// Merge every contiguous run of two or more sealed segments per
+    /// shard right now. Returns how many segment files remain. No-op on
+    /// in-memory stores.
+    pub fn compact_segments(&self) -> std::io::Result<usize> {
+        let _flush = self.flusher.lock();
+        let Some(d) = &self.durability else {
+            return Ok(0);
+        };
+        let mut seal = d.seal.lock();
+        Self::compact_catalog(d, &mut seal, 2)?;
+        Ok(seal.segments.len())
+    }
+
+    /// On-disk durability counters; `None` for in-memory stores.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        let d = self.durability.as_ref()?;
+        let logged = d.wal.lock().next_seq;
+        let seal = d.seal.lock();
+        Some(DurableStats {
+            logged,
+            wal_tail: logged.saturating_sub(seal.slots * self.documents.shard_count() as u64),
+            sealed_slots: seal.slots,
+            segments: seal.segments.len(),
+            compactions: seal.compactions,
+        })
+    }
+
+    /// Consult only the serialized segment footers: how many sealed
+    /// segments provably contain no document matching
+    /// `field op lit` (frame comparison semantics)? Returns
+    /// `(pruned, total)`; `None` for in-memory stores. This is the
+    /// on-disk scan contract: a pruned segment never needs its
+    /// documents read.
+    pub fn sealed_prune_report(
+        &self,
+        field: &str,
+        op: dataframe::CmpOp,
+        lit: &Value,
+    ) -> Option<(usize, usize)> {
+        let d = self.durability.as_ref()?;
+        let seal = d.seal.lock();
+        let total = seal.segments.len();
+        let mut pruned = 0;
+        for meta in &seal.segments {
+            if let Ok(footer) = segment::read_footer(meta) {
+                if segment::segment_prunes(meta, &footer, field, op, lit) {
+                    pruned += 1;
+                }
+            }
+        }
+        Some((pruned, total))
     }
 
     /// Total messages accepted (materialized or still pending).

@@ -30,6 +30,13 @@ pub struct KeeperConfig {
     /// keeper then makes persistence idempotent. Off by default — the
     /// fire-and-forget Redis-like path never duplicates.
     pub dedup: bool,
+    /// Flush database views after every persisted batch. On a durable
+    /// store ([`ProvenanceDatabase::open`]) this hands each batch to the
+    /// write-ahead log as soon as the keeper accepts it, bounding what a
+    /// crash can lose to one in-flight batch; on an in-memory store it
+    /// merely materializes eagerly. Off by default — the lazy
+    /// flush-on-read path is faster when durability is not in play.
+    pub durable_flush: bool,
 }
 
 impl Default for KeeperConfig {
@@ -43,6 +50,7 @@ impl Default for KeeperConfig {
             batch_size: 64,
             poll_timeout: Duration::from_millis(20),
             dedup: false,
+            durable_flush: false,
         }
     }
 }
@@ -122,6 +130,7 @@ pub fn start(
         };
         let batch_size = config.batch_size.max(1);
         let poll_timeout = config.poll_timeout;
+        let durable_flush = config.durable_flush;
         let name = format!("keeper-{topic}");
         workers.push(
             std::thread::Builder::new()
@@ -135,17 +144,17 @@ pub fn start(
                                     batch.push(msg);
                                 }
                                 if batch.len() >= batch_size {
-                                    persist(&db, &prov, &processed, &mut batch);
+                                    persist(&db, &prov, &processed, &mut batch, durable_flush);
                                 }
                             }
                             Err(RecvTimeoutError::Timeout) => {
-                                persist(&db, &prov, &processed, &mut batch);
+                                persist(&db, &prov, &processed, &mut batch, durable_flush);
                                 if stop.load(Ordering::Relaxed) {
                                     break;
                                 }
                             }
                             Err(RecvTimeoutError::Disconnected) => {
-                                persist(&db, &prov, &processed, &mut batch);
+                                persist(&db, &prov, &processed, &mut batch, durable_flush);
                                 break;
                             }
                         }
@@ -183,6 +192,7 @@ fn persist(
     prov: &Mutex<ProvDocument>,
     processed: &AtomicU64,
     batch: &mut Vec<prov_stream::Delivery>,
+    durable_flush: bool,
 ) {
     if batch.is_empty() {
         return;
@@ -191,6 +201,11 @@ fn persist(
     // handles — view materialization is deferred and batched (one lock
     // acquisition per backend when it happens).
     db.insert_batch_shared(batch.iter().cloned());
+    if durable_flush {
+        // Materialize now so a durable store's WAL covers this batch
+        // before the keeper acknowledges it via `processed`.
+        db.flush_views();
+    }
     {
         let mut doc = prov.lock();
         for m in batch.iter() {
@@ -273,6 +288,39 @@ mod tests {
         assert!(keeper.wait_for(100, Duration::from_secs(5)));
         keeper.stop();
         assert_eq!(db.documents().len(), 100);
+    }
+
+    /// A `durable_flush` keeper over a durable store: once the keeper
+    /// acknowledges the messages, they are in the WAL — dropping the
+    /// store without any explicit flush and reopening must recover every
+    /// acknowledged message.
+    #[test]
+    fn durable_flush_keeper_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("provdb-keeper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let hub = StreamingHub::in_memory();
+            let db = ProvenanceDatabase::open(&dir).expect("open durable");
+            let keeper = start(
+                &hub,
+                db.clone(),
+                KeeperConfig {
+                    durable_flush: true,
+                    ..KeeperConfig::default()
+                },
+            );
+            for i in 0..40 {
+                hub.publish_task(msg(i)).unwrap();
+            }
+            assert!(keeper.wait_for(40, Duration::from_secs(5)));
+            keeper.stop();
+        }
+        let back = ProvenanceDatabase::open(&dir).expect("reopen");
+        assert_eq!(back.insert_count(), 40);
+        assert_eq!(back.documents().len(), 40);
+        assert!(back.get_task("t39").is_some());
+        drop(back);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,12 +9,18 @@
 #      `[dependencies.<name>]` table — uses `workspace = true` or a
 #      `path = …` spec, never a bare registry version requirement.
 #   3. Cargo.lock registers no registry or git source.
-#   4. CI workflows (.github/workflows/*.yml) contain no network-touching
-#      steps: no `cargo install`, no curl/wget/git-clone, no crates.io or
-#      registry URLs, and CARGO_NET_OFFLINE is never switched off — so the
-#      offline invariant covers CI itself, not just the build. (`rustup
-#      toolchain install` is the one allowed network step: hosted runners
-#      need a toolchain before anything can run.)
+#   4. CI workflows (.github/workflows/*.yml) AND local composite actions
+#      (.github/actions/**/*.yml) contain no network-touching steps: no
+#      `cargo install`, no curl/wget/git-clone, no crates.io or registry
+#      URLs, and CARGO_NET_OFFLINE is never switched off — so the offline
+#      invariant covers CI itself, not just the build. (`rustup toolchain
+#      install` is the one allowed network step: hosted runners need a
+#      toolchain before anything can run.)
+#   5. Every `uses:` step in workflows and composite actions is either a
+#      local `./` action or pinned to an immutable ref — a version tag
+#      (`@v4`, `@v1.2.3`) or a 40-hex commit SHA. Mutable branch refs
+#      (`@main`, `@master`, `@latest`, feature branches) would let the
+#      action's code change under CI without a diff here.
 #
 # Pure bash/awk so it runs in the offline build container and in CI without
 # compiling anything. Exit 0 = clean, 1 = violation.
@@ -101,9 +107,42 @@ check_workflow() {
     fi
 }
 
-for wf in .github/workflows/*.yml .github/workflows/*.yaml; do
+# Pinned-ref check for `uses:` steps: local `./` actions are fine, as is
+# anything pinned to a version tag (@v4, @v1.2.3) or a full 40-hex commit
+# SHA. Everything else — no `@` at all, or a branch-like ref such as
+# @main/@master/@latest — is mutable and rejected.
+check_uses_pins() {
+    local wf="$1"
+    local bad
+    bad=$(awk '
+        {
+            line = $0
+            sub(/#.*/, "", line)          # strip YAML comments
+        }
+        line ~ /(^|[[:space:]])uses:[[:space:]]*/ {
+            ref = line
+            sub(/.*uses:[[:space:]]*/, "", ref)
+            gsub(/["'"'"'[:space:]]/, "", ref)
+            if (ref == "") next
+            if (ref ~ /^\.\//) next                              # local action
+            if (ref ~ /@v[0-9][0-9A-Za-z._-]*$/) next            # version tag
+            if (ref ~ /@[0-9a-f]{40}$/) next                     # commit SHA
+            print FILENAME ":" FNR ": " $0
+        }
+    ' "$wf")
+    if [ -n "$bad" ]; then
+        echo "offline-guard: unpinned or mutable-ref action in $wf:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+}
+
+for wf in .github/workflows/*.yml .github/workflows/*.yaml \
+          .github/actions/*/*.yml .github/actions/*/*.yaml \
+          .github/actions/*.yml .github/actions/*.yaml; do
     [ -f "$wf" ] || continue
     check_workflow "$wf"
+    check_uses_pins "$wf"
 done
 
 # The lockfile is ground truth for resolved sources: any registry/git
@@ -116,7 +155,9 @@ fi
 
 if [ "$fail" -eq 0 ]; then
     n=$(ls Cargo.toml crates/*/Cargo.toml crates/shims/*/Cargo.toml 2>/dev/null | wc -l)
-    w=$(ls .github/workflows/*.yml .github/workflows/*.yaml 2>/dev/null | wc -l)
-    echo "offline-guard: $n manifests and $w workflows clean — no registry dependencies, no network steps"
+    w=$(ls .github/workflows/*.yml .github/workflows/*.yaml \
+           .github/actions/*/*.yml .github/actions/*/*.yaml \
+           .github/actions/*.yml .github/actions/*.yaml 2>/dev/null | wc -l)
+    echo "offline-guard: $n manifests and $w workflow/action files clean — no registry dependencies, no network steps, all action refs pinned"
 fi
 exit "$fail"
