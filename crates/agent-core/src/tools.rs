@@ -227,6 +227,7 @@ impl Tool for ProvDbQueryTool {
             _ => None,
         };
         let stats = db.plan_cache().stats();
+        let pager = db.pager_stats();
         let meta = obj! {
             "cache" => outcome.as_str(),
             "generation" => snap.generation() as i64,
@@ -235,6 +236,12 @@ impl Tool for ProvDbQueryTool {
             "cache_evictions" => stats.evictions as i64,
             "cache_entries" => stats.entries as i64,
             "cache_bytes" => stats.bytes as i64,
+            "pager_hits" => pager.hits as i64,
+            "pager_paged_in" => pager.paged_in as i64,
+            "pager_evicted" => pager.evicted as i64,
+            "pager_zone_skips" => pager.zone_skips as i64,
+            "pager_resident_chunks" => pager.resident_chunks as i64,
+            "pager_resident_bytes" => pager.resident_bytes as i64,
         };
         Ok(ToolOutput {
             rendered: out.render(),

@@ -12,7 +12,11 @@
 //! * the recovered insert count is exactly `min(n, total)` — nothing a
 //!   sync covered is lost, nothing past the abort leaks in;
 //! * every golden pipeline answers **byte-identically** to a
-//!   never-crashed oracle over that prefix.
+//!   never-crashed oracle over that prefix — through **both** open
+//!   paths: the default lazy open (sealed rows attached cold and paged
+//!   on demand, kv/graph hydrated on first access) and a forced eager
+//!   replay (`eager_open`), so crash recovery is held on the
+//!   out-of-core path too.
 //!
 //! Crash points come from a seeded LCG so a CI leg loops a reproducible
 //! schedule: `crash_harness --runs 12 --seed 7`. Any mismatch leaves the
@@ -103,6 +107,15 @@ fn fingerprint(db: &ProvenanceDatabase) -> Vec<String> {
         .collect()
 }
 
+/// Durability options forcing one of the two open paths, regardless of
+/// any `PROVDB_EAGER_OPEN` in the environment.
+fn open_opts(eager: bool) -> prov_db::DurabilityOptions {
+    prov_db::DurabilityOptions {
+        eager_open: eager,
+        ..Default::default()
+    }
+}
+
 fn artifact_root() -> PathBuf {
     std::env::var("PROVDB_TEST_ARTIFACT_DIR")
         .map(PathBuf::from)
@@ -155,29 +168,38 @@ fn run_parent(runs: u64, seed: u64) -> i32 {
             failures += 1;
             continue;
         }
-        let recovered = ProvenanceDatabase::open(&dir).expect("parent: recover store");
-        let got = recovered.insert_count();
-        let golden_ok = {
-            let oracle = ProvenanceDatabase::new();
-            oracle.insert_batch(&msgs[..got as usize]);
-            fingerprint(&recovered) == fingerprint(&oracle)
-        };
-        if got != expect || !golden_ok {
+        // Recover through the default lazy path first (sealed prefix
+        // attached cold, kv/graph hydrated on first access) …
+        let lazy = ProvenanceDatabase::open_with(&dir, open_opts(false))
+            .expect("parent: recover store (lazy)");
+        let got = lazy.insert_count();
+        let oracle = ProvenanceDatabase::new();
+        oracle.insert_batch(&msgs[..got as usize]);
+        let want = fingerprint(&oracle);
+        let lazy_ok = fingerprint(&lazy) == want;
+        let stats = lazy.durable_stats().expect("durable");
+        let paged = lazy.pager_stats();
+        drop(lazy);
+        // … then again with eager replay forced: both open paths must
+        // agree on the recovered prefix and every golden answer.
+        let eager = ProvenanceDatabase::open_with(&dir, open_opts(true))
+            .expect("parent: recover store (eager)");
+        let eager_ok = eager.insert_count() == got && fingerprint(&eager) == want;
+        drop(eager);
+        if got != expect || !lazy_ok || !eager_ok {
             eprintln!(
                 "run {run}: MISMATCH crash_at={crash_at} recovered={got} expect={expect} \
-                 golden_identical={golden_ok}; artifacts kept at {}",
+                 lazy_identical={lazy_ok} eager_identical={eager_ok}; artifacts kept at {}",
                 dir.display()
             );
             failures += 1;
             continue;
         }
-        let stats = recovered.durable_stats().expect("durable");
         println!(
             "run {run}: ok crash_at={crash_at} recovered={got} sealed_slots={} segments={} \
-             wal_tail={}",
-            stats.sealed_slots, stats.segments, stats.wal_tail
+             wal_tail={} paged_in={}",
+            stats.sealed_slots, stats.segments, stats.wal_tail, paged.paged_in
         );
-        drop(recovered);
         let _ = std::fs::remove_dir_all(&dir);
     }
     if failures > 0 {

@@ -336,6 +336,9 @@ struct ProvDbReport {
     /// Rows per column chunk (zone-map granule) the stores ran with.
     chunk: usize,
     chunk_override: Option<String>,
+    /// Resident-set budget (MiB) lazily opened stores page within.
+    resident_mb: usize,
+    resident_override: Option<String>,
     measurements: Vec<ProvDbMeasurement>,
     mixed: MixedLoadProfile,
 }
@@ -348,7 +351,7 @@ impl ProvDbReport {
         };
         let mut out = format!(
             "Provenance DB: sharded clone-free engine vs seed baseline \
-             ({} task messages, {} shards).\nrunner: {} core(s), {} shard(s){}, {} scan thread(s){}, {}-row chunks{}\n{:<28} {:>14} {:>14} {:>9}\n",
+             ({} task messages, {} shards).\nrunner: {} core(s), {} shard(s){}, {} scan thread(s){}, {}-row chunks{}, {} MiB resident budget{}\n{:<28} {:>14} {:>14} {:>9}\n",
             self.messages,
             self.shards,
             self.cores,
@@ -358,6 +361,8 @@ impl ProvDbReport {
             override_note(&self.threads_override),
             self.chunk,
             override_note(&self.chunk_override),
+            self.resident_mb,
+            override_note(&self.resident_override),
             "hot path",
             "baseline",
             "sharded",
@@ -416,6 +421,14 @@ impl ProvDbReport {
         runner.insert(
             "chunk_override".into(),
             self.chunk_override
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        );
+        runner.insert("resident_mb".into(), Value::from(self.resident_mb));
+        runner.insert(
+            "resident_override".into(),
+            self.resident_override
                 .as_deref()
                 .map(Value::from)
                 .unwrap_or(Value::Null),
@@ -494,13 +507,29 @@ impl ProvDbReport {
                  workload on an in-memory store vs a durable one (every drained batch \
                  serialized into the checksummed WAL under the env-selected \
                  PROVDB_WAL_SYNC policy, complete chunks sealed into columnar \
-                 segments) — the durability tax. recovery_replay compares rebuilding \
-                 the store by re-ingesting the 100k source messages vs \
-                 ProvenanceDatabase::open's recovery-by-replay from sealed segments \
-                 plus the WAL tail. Both are disk-bound near-1x contrasts and carry \
-                 parity: true; the crash-consistency contract itself is enforced by \
-                 the recovery differential suite and the crash_harness binary, not \
-                 by these timings (see docs/durability.md).",
+                 segments) — the durability tax; a disk-bound near-1x contrast, so \
+                 it carries parity: true. recovery_replay compares rebuilding the \
+                 store by re-ingesting the 100k source messages vs \
+                 ProvenanceDatabase::open's recovery path, which since the \
+                 out-of-core work loads only the segment directory + zone-map \
+                 footers and replays the WAL tail — sealed rows page in on first \
+                 touch and the kv/graph backends hydrate on first access, so replay \
+                 now beats re-ingest by the sealed fraction of history and the \
+                 entry is a real (non-parity) speedup. cold_open isolates the \
+                 open-time contrast on an explicitly sealed corpus: the same \
+                 directory opened with eager_open=true (replay every sealed row \
+                 into RAM, the pre-out-of-core behaviour) vs lazily. \
+                 out_of_core_scan is the steady-state paged-read tax: the \
+                 dict_filter columnar scan on a fully resident store vs the same \
+                 scan re-paging every chunk through a deliberately tiny 4 MiB \
+                 resident budget (the bounded-memory worst case); the paged side is \
+                 expected to trail, so the entry carries parity: true and the gate \
+                 only guards against collapse. The runner object records the \
+                 resident budget in effect (resident_mb, with any \
+                 PROVDB_RESIDENT_MB override) alongside the core/shard/thread/chunk \
+                 geometry. The crash-consistency contract itself is enforced by the \
+                 recovery and out-of-core differential suites and the crash_harness \
+                 binary, not by these timings (see docs/durability.md).",
             ),
         );
         let mut profile = Map::new();
@@ -554,6 +583,20 @@ fn provdb_corpus() -> Vec<prov_model::TaskMessage> {
             .build()
         })
         .collect()
+}
+
+/// Seed `root` with the benchmark corpus as a durable store and seal
+/// every complete chunk into columnar segments, so a reopen finds sealed
+/// coverage with only the chunk-unaligned remainder left in the WAL tail
+/// — the store shape the cold-open and out-of-core measurements contrast.
+fn seed_sealed_store(root: &std::path::Path, msgs: &[prov_model::TaskMessage]) {
+    let _ = std::fs::remove_dir_all(root);
+    let shared: Vec<std::sync::Arc<prov_model::TaskMessage>> =
+        msgs.iter().cloned().map(std::sync::Arc::new).collect();
+    let db = prov_db::ProvenanceDatabase::open(root).expect("seed sealed bench store");
+    db.insert_batch_shared(shared);
+    db.flush_views();
+    db.seal_now().expect("seal bench store");
 }
 
 fn provdb_find_query() -> prov_db::DocQuery {
@@ -1108,6 +1151,53 @@ fn provdb_measure(which: &str) -> f64 {
             let _ = std::fs::remove_dir_all(&root);
             t
         }
+        // Cold open over an explicitly sealed corpus: eager replay of
+        // every sealed row into RAM (the pre-out-of-core behaviour,
+        // forced via `eager_open`) vs the lazy path that loads only the
+        // segment directory + zone-map footers and replays the WAL tail.
+        // Seeding runs once outside the timed region; both sides open
+        // the same files.
+        "cold-open-eager" | "cold-open-lazy" => {
+            let root =
+                std::env::temp_dir().join(format!("provdb-bench-{which}-{}", std::process::id()));
+            seed_sealed_store(&root, &msgs);
+            let eager = which == "cold-open-eager";
+            let t = best_of(3, || {
+                let opts = prov_db::DurabilityOptions {
+                    eager_open: eager,
+                    ..Default::default()
+                };
+                let db =
+                    ProvenanceDatabase::open_with(&root, opts).expect("open sealed bench store");
+                std::hint::black_box(db.insert_count());
+            });
+            let _ = std::fs::remove_dir_all(&root);
+            t
+        }
+        // Steady-state paged-read tax: the dict-filter columnar scan on
+        // a fully resident (eager-opened) store vs the same scan through
+        // the chunk pager under a deliberately tiny 4 MiB budget — small
+        // enough that every probe re-pages cold chunks from the segment
+        // files, the bounded-memory worst case rather than a warm-cache
+        // best case.
+        "ooc-scan-resident" | "ooc-scan-paged" => {
+            let root =
+                std::env::temp_dir().join(format!("provdb-bench-{which}-{}", std::process::id()));
+            seed_sealed_store(&root, &msgs);
+            let opts = prov_db::DurabilityOptions {
+                eager_open: which == "ooc-scan-resident",
+                resident_bytes: Some(4 << 20),
+                ..Default::default()
+            };
+            let db = ProvenanceDatabase::open_with(&root, opts).expect("open sealed bench store");
+            let q = dict_filter_query();
+            let t = best_of(5, || {
+                std::hint::black_box(run_columnar_query(&db, &q, true));
+            });
+            drop(db);
+            let _ = std::fs::remove_dir_all(&root);
+            t
+        }
         other => panic!("unknown provdb measurement `{other}`"),
     }
 }
@@ -1299,11 +1389,35 @@ fn provdb_benchmark() -> ProvDbReport {
             sharded: provdb_measure_isolated("wal-ingest-durable") * 1e3,
             parity: true,
         },
+        // Recovery is no longer a near-1x parity contrast: since the
+        // out-of-core work, open loads only the segment directory +
+        // footers and the WAL tail, so replay beats re-ingest by the
+        // sealed fraction of history.
         ProvDbMeasurement {
             name: "recovery_replay",
             unit: "ms",
             baseline: provdb_measure_isolated("recovery-reingest") * 1e3,
             sharded: provdb_measure_isolated("recovery-replay") * 1e3,
+            parity: false,
+        },
+        // Both sides open the same sealed files; the contrast is eager
+        // replay of sealed rows vs the lazy out-of-core open.
+        ProvDbMeasurement {
+            name: "cold_open",
+            unit: "ms",
+            baseline: provdb_measure_isolated("cold-open-eager") * 1e3,
+            sharded: provdb_measure_isolated("cold-open-lazy") * 1e3,
+            parity: false,
+        },
+        // The paged side deliberately runs under a 4 MiB resident budget
+        // (the bounded-memory worst case, re-paging every chunk per
+        // probe), so it is expected to trail the resident side — parity
+        // keeps the gate guarding against collapse, not the ratio.
+        ProvDbMeasurement {
+            name: "out_of_core_scan",
+            unit: "ms",
+            baseline: provdb_measure_isolated("ooc-scan-resident") * 1e3,
+            sharded: provdb_measure_isolated("ooc-scan-paged") * 1e3,
             parity: true,
         },
     ];
@@ -1319,6 +1433,12 @@ fn provdb_benchmark() -> ProvDbReport {
         threads_override: std::env::var("PROVDB_THREADS").ok(),
         chunk: probe.chunk_rows(),
         chunk_override: std::env::var("PROVDB_CHUNK").ok(),
+        resident_mb: std::env::var("PROVDB_RESIDENT_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(256),
+        resident_override: std::env::var("PROVDB_RESIDENT_MB").ok(),
         measurements,
         mixed: mixed_load_profile(),
     }

@@ -668,6 +668,10 @@ impl ColumnarShard {
                 })
                 .collect(),
             chunk_decodable: self.chunk_decodable[c0..c1].to_vec(),
+            // The sealer stamps the store-wide pushdown masks in before
+            // writing (the shard has no view of sibling shards' rows).
+            irregular: 0,
+            poison: 0,
         })
     }
 
@@ -1028,10 +1032,10 @@ fn retain_sel(sel: &mut Vec<u32>, mut keep: impl FnMut(usize) -> bool) {
 /// to a shard — the pure half of ingest-time population, computable
 /// outside every lock.
 pub(crate) struct ExtractedRow {
-    decodable: bool,
-    strs: [Option<Sym>; STR_FIELDS.len()],
-    floats: [Option<f64>; F64_FIELDS.len()],
-    report: PushReport,
+    pub(crate) decodable: bool,
+    pub(crate) strs: [Option<Sym>; STR_FIELDS.len()],
+    pub(crate) floats: [Option<f64>; F64_FIELDS.len()],
+    pub(crate) report: PushReport,
 }
 
 /// Decode one document's hot fields into an [`ExtractedRow`] (see the

@@ -16,6 +16,7 @@
 //! keep insertion order exactly as the single-lock engine did.
 
 use crate::columnar::{self, ColField, ColumnarShard};
+use crate::pager::{ColdShard, PagerCore, PagerStats};
 use crate::query::{Condition, DocQuery, GroupSpec, Op};
 use dataframe::CmpOp;
 use parking_lot::RwLock;
@@ -146,10 +147,63 @@ fn range_key(f: f64) -> u64 {
 
 /// One shard: its documents plus the slot-aligned columnar sidecar (the
 /// sidecar stays empty until [`DocumentStore::enable_columnar`]).
+///
+/// A lazily opened durable store additionally carries a `cold` prefix:
+/// shard slots `[0, cold.rows())` live in sealed segment files and are
+/// paged on demand (see [`crate::pager`]); `docs`/`cols` then hold only
+/// the rows from `cold.rows()` upward, and all slot arithmetic in this
+/// module goes through [`Shard::cold_rows`].
 #[derive(Default)]
 struct Shard {
     docs: Vec<Arc<Value>>,
     cols: ColumnarShard,
+    cold: Option<ColdShard>,
+}
+
+impl Shard {
+    /// Rows of the sealed on-disk prefix (0 for in-memory stores).
+    fn cold_rows(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.rows())
+    }
+
+    /// Total rows of the shard: cold prefix plus resident tail.
+    fn total_rows(&self) -> usize {
+        self.cold_rows() + self.docs.len()
+    }
+}
+
+/// A cursor for id-ordered walks over one shard that may have a cold
+/// prefix: keeps the current paged chunk resident between calls so a
+/// slot-major sweep pages each chunk exactly once.
+struct ShardCursor<'g> {
+    shard: &'g Shard,
+    cur: Option<(usize, Arc<crate::pager::PagedChunk>)>,
+}
+
+impl<'g> ShardCursor<'g> {
+    fn new(shard: &'g Shard) -> Self {
+        Self { shard, cur: None }
+    }
+
+    /// Document at `slot` (shard-global), if the shard has one there.
+    fn doc(&mut self, slot: usize) -> Option<&Arc<Value>> {
+        let cold_rows = self.shard.cold_rows();
+        if slot < cold_rows {
+            let cold = self
+                .shard
+                .cold
+                .as_ref()
+                .expect("cold rows imply cold shard");
+            let c = slot / cold.chunk_rows();
+            if self.cur.as_ref().map(|(i, _)| *i) != Some(c) {
+                self.cur = Some((c, cold.chunk(c)));
+            }
+            let (_, chunk) = self.cur.as_ref().expect("chunk just pinned");
+            chunk.docs.get(slot % cold.chunk_rows())
+        } else {
+            self.shard.docs.get(slot - cold_rows)
+        }
+    }
 }
 
 /// Parse a capped-count env override (`PROVDB_SHARDS`, `PROVDB_THREADS`):
@@ -198,6 +252,14 @@ pub struct DocumentStore {
     /// Worker count for shard-parallel scans (see [`resolve_threads`]);
     /// `1` takes the exact sequential path.
     scan_threads: AtomicUsize,
+    /// Whether any shard carries a cold on-disk prefix (set once by
+    /// [`DocumentStore::attach_cold`]). When set, the field indexes and
+    /// per-code fast paths — which only see resident rows — are bypassed
+    /// in favor of full chunk-major scans that page cold chunks through
+    /// the zone maps.
+    cold_attached: AtomicBool,
+    /// The chunk pager shared by all cold shards (for stats).
+    pager: std::sync::OnceLock<Arc<PagerCore>>,
 }
 
 impl Default for DocumentStore {
@@ -240,7 +302,35 @@ impl DocumentStore {
             col_irregular: AtomicU16::new(0),
             col_poison: AtomicU16::new(0),
             scan_threads: AtomicUsize::new(resolve_threads()),
+            cold_attached: AtomicBool::new(false),
+            pager: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Whether any shard carries a cold on-disk prefix.
+    fn has_cold(&self) -> bool {
+        self.cold_attached.load(Ordering::Acquire)
+    }
+
+    /// Attach the sealed on-disk prefixes of a lazily opened store —
+    /// one [`ColdShard`] per shard, all sharing `core`. Must run before
+    /// any resident row is inserted (the lazy open path attaches first,
+    /// then materializes the WAL tail), so every resident slot sits
+    /// above the cold prefix.
+    pub(crate) fn attach_cold(&self, core: Arc<PagerCore>, cold: Vec<ColdShard>) {
+        assert_eq!(cold.len(), self.shards.len(), "one cold prefix per shard");
+        for (lock, shard_cold) in self.shards.iter().zip(cold) {
+            let mut guard = lock.write();
+            assert!(guard.docs.is_empty(), "cold prefix attaches before ingest");
+            guard.cold = Some(shard_cold);
+        }
+        let _ = self.pager.set(core);
+        self.cold_attached.store(true, Ordering::Release);
+    }
+
+    /// Pager counters (all zeros when no cold prefix is attached).
+    pub fn pager_stats(&self) -> PagerStats {
+        self.pager.get().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Number of shards.
@@ -264,12 +354,12 @@ impl DocumentStore {
 
     /// Number of documents.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().docs.len()).sum()
+        self.shards.iter().map(|s| s.read().total_rows()).sum()
     }
 
     /// True when no documents are stored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().docs.is_empty())
+        self.shards.iter().all(|s| s.read().total_rows() == 0)
     }
 
     /// Insert one document; returns its id.
@@ -323,7 +413,7 @@ impl DocumentStore {
             let mut shard = self.shards[s].write();
             let columnar = self.columnar.load(Ordering::Acquire);
             for (doc, row) in docs {
-                let id = shard.docs.len() * nshards + s;
+                let id = (shard.cold_rows() + shard.docs.len()) * nshards + s;
                 first = Some(first.map_or(id, |f| f.min(id)));
                 for (path, index) in indexes.iter_mut() {
                     if let Some(v) = doc.get_path(path) {
@@ -340,7 +430,7 @@ impl DocumentStore {
         first
     }
 
-    fn apply_columnar_report(&self, report: columnar::PushReport) {
+    pub(crate) fn apply_columnar_report(&self, report: columnar::PushReport) {
         if report.irregular != 0 {
             self.col_irregular
                 .fetch_or(report.irregular, Ordering::Release);
@@ -390,11 +480,42 @@ impl DocumentStore {
 
     /// Visit every document as `(id, &doc)` in shard order (used for index
     /// builds; callers hold the index write lock, honoring lock order).
+    /// Cold chunks page in sequentially — index builds on a lazily opened
+    /// store are possible but the indexes are never consulted there
+    /// (see [`candidates`](Self::candidates)).
     fn for_each_doc(&self, mut f: impl FnMut(DocId, &Arc<Value>)) {
         let nshards = self.shards.len();
         for (s, shard) in self.shards.iter().enumerate() {
-            for (slot, doc) in shard.read().docs.iter().enumerate() {
-                f(slot * nshards + s, doc);
+            let shard = shard.read();
+            let cold_rows = shard.cold_rows();
+            if let Some(cold) = &shard.cold {
+                for c in 0..cold.n_chunks() {
+                    let chunk = cold.chunk(c);
+                    let base = c * cold.chunk_rows();
+                    for (r, doc) in chunk.docs.iter().enumerate() {
+                        f((base + r) * nshards + s, doc);
+                    }
+                }
+            }
+            for (slot, doc) in shard.docs.iter().enumerate() {
+                f((cold_rows + slot) * nshards + s, doc);
+            }
+        }
+    }
+
+    /// Visit every document in id order across shards (slot-major). Used
+    /// by the deferred KV/graph hydration of a lazily opened store, which
+    /// must replay arrival order exactly (ids equal arrival indexes).
+    pub(crate) fn for_each_doc_in_id_order(&self, mut f: impl FnMut(&Arc<Value>)) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut cursors: Vec<ShardCursor<'_>> =
+            guards.iter().map(|g| ShardCursor::new(g)).collect();
+        let max_slots = guards.iter().map(|g| g.total_rows()).max().unwrap_or(0);
+        for slot in 0..max_slots {
+            for cursor in cursors.iter_mut() {
+                if let Some(doc) = cursor.doc(slot) {
+                    f(doc);
+                }
             }
         }
     }
@@ -402,11 +523,14 @@ impl DocumentStore {
     /// Fetch a document by id as a shared handle (no clone of the payload).
     pub fn get(&self, id: DocId) -> Option<Arc<Value>> {
         let nshards = self.shards.len();
-        self.shards[id % nshards]
-            .read()
-            .docs
-            .get(id / nshards)
-            .cloned()
+        let shard = self.shards[id % nshards].read();
+        let slot = id / nshards;
+        let cold_rows = shard.cold_rows();
+        if slot < cold_rows {
+            let cold = shard.cold.as_ref().expect("cold rows imply cold shard");
+            return Some(cold.doc(slot));
+        }
+        shard.docs.get(slot - cold_rows).cloned()
     }
 
     /// Run a query: filter → sort → limit → project. Results are shared
@@ -461,12 +585,14 @@ impl DocumentStore {
             None => {
                 let mut n = 0;
                 for shard in self.shards.iter() {
-                    n += shard
-                        .read()
-                        .docs
-                        .iter()
-                        .filter(|d| query.matches(d))
-                        .count();
+                    let shard = shard.read();
+                    if let Some(cold) = &shard.cold {
+                        for c in 0..cold.n_chunks() {
+                            let chunk = cold.chunk(c);
+                            n += chunk.docs.iter().filter(|d| query.matches(d)).count();
+                        }
+                    }
+                    n += shard.docs.iter().filter(|d| query.matches(d)).count();
                 }
                 n
             }
@@ -479,7 +605,7 @@ impl DocumentStore {
     /// `slot < rows[s]` name exactly the documents that existed when the
     /// counts were taken.
     pub fn shard_rows(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.read().docs.len()).collect()
+        self.shards.iter().map(|s| s.read().total_rows()).collect()
     }
 
     /// Export one shard's rows `[start, end)` for segment sealing: the
@@ -497,11 +623,23 @@ impl DocumentStore {
         end: usize,
     ) -> Option<(Vec<Arc<Value>>, crate::segment::ZoneTables)> {
         let guard = self.shards[shard].read();
-        if guard.docs.len() < end || guard.cols.len() < end {
+        // `start`/`end` are shard-global rows; the sealer only exports
+        // resident rows (the seal watermark never regresses below the
+        // cold prefix), so translate into the resident tail.
+        let cold_rows = guard.cold_rows();
+        if start < cold_rows {
             return None;
         }
-        let zones = guard.cols.export_zone_tables(start, end)?;
-        Some((guard.docs[start..end].to_vec(), zones))
+        let (lo, hi) = (start - cold_rows, end - cold_rows);
+        if guard.docs.len() < hi || guard.cols.len() < hi {
+            return None;
+        }
+        let mut zones = guard.cols.export_zone_tables(lo, hi)?;
+        // Stamp the store-wide pushdown masks into the footer so a lazy
+        // open recovers them without re-extracting the sealed rows.
+        zones.irregular = self.col_irregular.load(Ordering::Acquire);
+        zones.poison = self.col_poison.load(Ordering::Acquire);
+        Some((guard.docs[lo..hi].to_vec(), zones))
     }
 
     /// [`find`](DocumentStore::find) restricted to the documents below a
@@ -572,9 +710,21 @@ impl DocumentStore {
             None => {
                 for (s, shard) in self.shards.iter().enumerate() {
                     let shard = shard.read();
+                    let cold_rows = shard.cold_rows();
+                    if let Some(cold) = &shard.cold {
+                        for c in 0..cold.n_chunks() {
+                            let chunk = cold.chunk(c);
+                            let base = c * cold.chunk_rows();
+                            for (r, doc) in chunk.docs.iter().enumerate() {
+                                if query.matches(doc) {
+                                    hits.push(((base + r) * nshards + s, doc.clone()));
+                                }
+                            }
+                        }
+                    }
                     for (slot, doc) in shard.docs.iter().enumerate() {
                         if query.matches(doc) {
-                            hits.push((slot * nshards + s, doc.clone()));
+                            hits.push(((cold_rows + slot) * nshards + s, doc.clone()));
                         }
                     }
                 }
@@ -591,6 +741,13 @@ impl DocumentStore {
     /// contributes one; the smallest set seeds the scan and the rest are
     /// intersected — the old engine took the *first* index hit only.
     fn candidates(&self, conditions: &[Condition]) -> Option<Vec<DocId>> {
+        // Cold rows never enter the field indexes, so an index probe on a
+        // lazily opened store would silently drop the sealed prefix; fall
+        // back to the full scan, which prunes cold chunks through the
+        // on-disk zone maps instead.
+        if self.has_cold() {
+            return None;
+        }
         // Range probes read the sorted run, so any pending appends must be
         // merged first — that needs the write lock, taken only when a write
         // burst actually left unmerged entries (LSM-style amortization).
@@ -802,6 +959,11 @@ impl DocumentStore {
         // column neither poisoned nor irregular — so each frame cell
         // equals the raw document value.
         let codes_path = |ci: usize| -> Option<Vec<Bucket>> {
+            // The code tables only cover resident rows; a cold prefix
+            // takes the generic path below.
+            if self.has_cold() {
+                return None;
+            }
             let clean = self.col_irregular.load(Ordering::Acquire)
                 & columnar::field_bit(ColField::Str(ci))
                 == 0;
@@ -903,12 +1065,16 @@ impl DocumentStore {
                 // Full scan: feed documents straight from the shards in id
                 // order (slot-major, shard-minor — ids are
                 // `slot * nshards + shard`) without materializing an
-                // `Arc`-cloned hit list first.
+                // `Arc`-cloned hit list first. Shard cursors keep one paged
+                // chunk per shard resident, so a cold prefix streams
+                // through in id order with bounded memory.
                 let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-                let max_slots = guards.iter().map(|g| g.docs.len()).max().unwrap_or(0);
+                let mut cursors: Vec<ShardCursor<'_>> =
+                    guards.iter().map(|g| ShardCursor::new(g)).collect();
+                let max_slots = guards.iter().map(|g| g.total_rows()).max().unwrap_or(0);
                 for slot in 0..max_slots {
-                    for g in &guards {
-                        if let Some(doc) = g.docs.get(slot) {
+                    for cursor in cursors.iter_mut() {
+                        if let Some(doc) = cursor.doc(slot) {
                             if stripped.matches(doc) {
                                 visit(doc);
                             }
@@ -1016,7 +1182,17 @@ impl DocumentStore {
     /// Answers frame column *existence* without touching a document.
     pub fn columnar_presence(&self, column: &str) -> Option<usize> {
         let f = self.columnar_field(column)?;
-        Some(self.shards.iter().map(|s| s.read().cols.present(f)).sum())
+        Some(
+            self.shards
+                .iter()
+                .map(|s| {
+                    let g = s.read();
+                    // Cold presence comes from the footer zone maps
+                    // summed at attach time — no I/O here.
+                    g.cold.as_ref().map_or(0, |c| c.present(f)) + g.cols.present(f)
+                })
+                .sum(),
+        )
     }
 
     /// [`columnar_presence`](DocumentStore::columnar_presence) restricted
@@ -1029,7 +1205,15 @@ impl DocumentStore {
             self.shards
                 .iter()
                 .zip(bound)
-                .map(|(s, &n)| s.read().cols.present_prefix(f, n))
+                .map(|(s, &n)| {
+                    let g = s.read();
+                    let cold_rows = g.cold_rows();
+                    match &g.cold {
+                        Some(cold) if n <= cold_rows => cold.present_prefix(f, n),
+                        Some(cold) => cold.present(f) + g.cols.present_prefix(f, n - cold_rows),
+                        None => g.cols.present_prefix(f, n),
+                    }
+                })
                 .sum(),
         )
     }
@@ -1173,7 +1357,15 @@ impl DocumentStore {
             }
             None => {
                 let total: usize = guards.iter().map(|g| g.cols.len()).sum();
-                let workers = self.scan_threads().min(nshards);
+                // A cold prefix takes the sequential chunk-major path:
+                // paging is I/O-bound and shares one budgeted cache, so
+                // shard-parallel workers would only thrash it.
+                let has_cold = guards.iter().any(|g| g.cold.is_some());
+                let workers = if has_cold {
+                    1
+                } else {
+                    self.scan_threads().min(nshards)
+                };
                 // Compile the conjunction once per shard (dictionaries are
                 // shard-local); both scan shapes below run the same
                 // chunk kernels.
@@ -1231,19 +1423,40 @@ impl DocumentStore {
                     }
                 } else {
                     // Chunk-major over the shards: chunk `c` covers the
-                    // same slot range in every shard, so sorting each
-                    // chunk's combined survivors yields globally ascending
-                    // ids and a pushed limit can stop after any chunk.
-                    let max_chunks = guards.iter().map(|g| g.cols.n_chunks()).max().unwrap_or(0);
+                    // same slot range in every shard (cold prefixes are
+                    // uniform across shards by construction), so sorting
+                    // each chunk's combined survivors yields globally
+                    // ascending ids and a pushed limit can stop after any
+                    // chunk. Cold chunks consult the on-disk zone maps
+                    // first and are only paged in when they might match.
+                    let max_chunks = guards
+                        .iter()
+                        .map(|g| g.cold.as_ref().map_or(0, |c| c.n_chunks()) + g.cols.n_chunks())
+                        .max()
+                        .unwrap_or(0);
                     let mut sel: Vec<u32> = Vec::new();
                     let mut chunk_ids: Vec<DocId> = Vec::new();
                     for c in 0..max_chunks {
                         chunk_ids.clear();
                         for (s, g) in guards.iter().enumerate() {
-                            if c < g.cols.n_chunks() {
-                                g.cols.filter_chunk(&compiled[s], c, &mut sel);
-                                chunk_ids
-                                    .extend(sel.iter().map(|&slot| slot as usize * nshards + s));
+                            let cold_chunks = g.cold.as_ref().map_or(0, |cc| cc.n_chunks());
+                            if c < cold_chunks {
+                                let cold = g.cold.as_ref().expect("cold chunk implies cold shard");
+                                if !cold.chunk_prunable(&fields, c) {
+                                    let chunk = cold.chunk(c);
+                                    chunk.filter(&fields, &mut sel);
+                                    let base = c * cold.chunk_rows();
+                                    chunk_ids.extend(
+                                        sel.iter().map(|&r| (base + r as usize) * nshards + s),
+                                    );
+                                }
+                            } else if c - cold_chunks < g.cols.n_chunks() {
+                                g.cols.filter_chunk(&compiled[s], c - cold_chunks, &mut sel);
+                                let cold_rows = g.cold_rows();
+                                chunk_ids.extend(
+                                    sel.iter()
+                                        .map(|&slot| (cold_rows + slot as usize) * nshards + s),
+                                );
                             }
                         }
                         chunk_ids.sort_unstable();
@@ -1419,7 +1632,14 @@ impl DocumentStore {
             }
             None => {
                 let total: usize = guards.iter().map(|g| g.cols.len()).sum();
-                let workers = self.scan_threads().min(nshards);
+                // Cold prefixes select sequentially (see
+                // `columnar_scan_where` for the rationale).
+                let has_cold = guards.iter().any(|g| g.cold.is_some());
+                let workers = if has_cold {
+                    1
+                } else {
+                    self.scan_threads().min(nshards)
+                };
                 // Same chunk kernels as `columnar_scan_where`: the zone
                 // maps prune on the *filters* (the selection bound is
                 // dynamic, so sort keys cannot prune), then the bounded
@@ -1438,11 +1658,28 @@ impl DocumentStore {
                     let mut sel: Vec<u32> = Vec::new();
                     for (i, (shard, preds)) in group.iter().enumerate() {
                         let s = base + i;
+                        if let Some(cold) = &shard.cold {
+                            for c in 0..cold.n_chunks() {
+                                if cold.chunk_prunable(&fields, c) {
+                                    continue;
+                                }
+                                let chunk = cold.chunk(c);
+                                chunk.filter(&fields, &mut sel);
+                                let cbase = c * cold.chunk_rows();
+                                for &r in &sel {
+                                    let r = r as usize;
+                                    let cells: Vec<Value> =
+                                        keys.iter().map(|(f, _)| chunk.value(r, *f)).collect();
+                                    buf.push((cells, (cbase + r) * nshards + s))?;
+                                }
+                            }
+                        }
+                        let cold_rows = shard.cold_rows();
                         for c in 0..shard.cols.n_chunks() {
                             shard.cols.filter_chunk(preds, c, &mut sel);
                             for &slot in &sel {
                                 let slot = slot as usize;
-                                buf.push((gather(shard, slot), slot * nshards + s))?;
+                                buf.push((gather(shard, slot), (cold_rows + slot) * nshards + s))?;
                             }
                         }
                     }
@@ -1509,6 +1746,11 @@ impl DocumentStore {
         k: usize,
     ) -> Option<Vec<DocId>> {
         let (field, ascending) = key;
+        // Cold rows are absent from the sorted run (and from the slot
+        // arithmetic below); the bounded-selection scan handles them.
+        if self.has_cold() {
+            return None;
+        }
         // Irregular raw values (defaulted/coerced during decode) or
         // derived fields: the index cannot speak for the cells.
         if !columnar::hint_safe(field, self.col_irregular.load(Ordering::Acquire)) {
@@ -1608,8 +1850,50 @@ impl DocumentStore {
         let mut keys: Vec<Value> = Vec::new();
         let mut null_group = u32::MAX;
         let mut row_groups: Vec<u32> = Vec::with_capacity(ids.len());
+        // One paged chunk kept warm for cold ids (scan output is
+        // id-ordered, so consecutive cold ids usually share a chunk).
+        let mut warm: Option<(usize, usize, Arc<crate::pager::PagedChunk>)> = None;
         for &id in ids {
             let (s, slot) = (id % nshards, id / nshards);
+            let cold_rows = guards[s].cold_rows();
+            if slot < cold_rows {
+                // Cold rows have no shard code table; unify their symbol
+                // through the same content-hash buckets the coded path
+                // uses, so group identity and first-seen order match.
+                let cold = guards[s].cold.as_ref().expect("cold rows imply cold shard");
+                let c = slot / cold.chunk_rows();
+                if warm.as_ref().map(|(ws, wc, _)| (*ws, *wc)) != Some((s, c)) {
+                    warm = Some((s, c, cold.chunk(c)));
+                }
+                let (_, _, chunk) = warm.as_ref().expect("chunk just pinned");
+                let g = match chunk.value(slot % cold.chunk_rows(), ColField::Str(ci)) {
+                    Value::Str(sym) => {
+                        let bucket = by_hash.entry(sym.hash_u64()).or_default();
+                        match bucket
+                            .iter()
+                            .find(|&&g| matches!(&keys[g as usize], Value::Str(k) if *k == sym))
+                        {
+                            Some(&g) => g,
+                            None => {
+                                let g = keys.len() as u32;
+                                bucket.push(g);
+                                keys.push(Value::Str(sym));
+                                g
+                            }
+                        }
+                    }
+                    _ => {
+                        if null_group == u32::MAX {
+                            null_group = keys.len() as u32;
+                            keys.push(Value::Null);
+                        }
+                        null_group
+                    }
+                };
+                row_groups.push(g);
+                continue;
+            }
+            let slot = slot - cold_rows;
             let code = guards[s].cols.str_codes(ci)[slot];
             let g = if code == columnar::NULL_CODE {
                 // Decodable rows always provide every string field, but a
@@ -1654,9 +1938,24 @@ impl DocumentStore {
         let f = self.columnar_field(column)?;
         let nshards = self.shards.len();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut warm: Option<(usize, usize, Arc<crate::pager::PagedChunk>)> = None;
         Some(
             ids.iter()
-                .map(|id| guards[id % nshards].cols.value(id / nshards, f))
+                .map(|id| {
+                    let (s, slot) = (id % nshards, id / nshards);
+                    let cold_rows = guards[s].cold_rows();
+                    if slot < cold_rows {
+                        let cold = guards[s].cold.as_ref().expect("cold rows imply cold shard");
+                        let c = slot / cold.chunk_rows();
+                        if warm.as_ref().map(|(ws, wc, _)| (*ws, *wc)) != Some((s, c)) {
+                            warm = Some((s, c, cold.chunk(c)));
+                        }
+                        let (_, _, chunk) = warm.as_ref().expect("chunk just pinned");
+                        chunk.value(slot % cold.chunk_rows(), f)
+                    } else {
+                        guards[s].cols.value(slot - cold_rows, f)
+                    }
+                })
                 .collect(),
         )
     }
@@ -1666,11 +1965,23 @@ impl DocumentStore {
     pub fn docs_for_ids(&self, ids: &[DocId]) -> Vec<Arc<Value>> {
         let nshards = self.shards.len();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut warm: Option<(usize, usize, Arc<crate::pager::PagedChunk>)> = None;
         ids.iter()
             .map(|id| {
-                guards[id % nshards]
+                let (s, slot) = (id % nshards, id / nshards);
+                let cold_rows = guards[s].cold_rows();
+                if slot < cold_rows {
+                    let cold = guards[s].cold.as_ref().expect("cold rows imply cold shard");
+                    let c = slot / cold.chunk_rows();
+                    if warm.as_ref().map(|(ws, wc, _)| (*ws, *wc)) != Some((s, c)) {
+                        warm = Some((s, c, cold.chunk(c)));
+                    }
+                    let (_, _, chunk) = warm.as_ref().expect("chunk just pinned");
+                    return Arc::clone(&chunk.docs[slot % cold.chunk_rows()]);
+                }
+                guards[s]
                     .docs
-                    .get(id / nshards)
+                    .get(slot - cold_rows)
                     .cloned()
                     .expect("scanned id resolves in an append-only store")
             })

@@ -92,10 +92,26 @@
 //! recovered store answers every query byte-identically to one that
 //! never crashed, which `tests/recovery_differential.rs` enforces at
 //! every WAL record boundary. See `docs/durability.md`.
+//!
+//! ## Out-of-core reads (lazy open + chunk paging)
+//!
+//! Reopening a durable store is *lazy* by default: sealed coverage is
+//! attached, not replayed — open reads only the segment directory, the
+//! zone-map footers, and the WAL tail, so open time is independent of
+//! sealed history. Queries then page cold chunks from the segment files
+//! on demand ([`pager`]), pruning through the on-disk zone maps before
+//! any I/O and holding the paged set under a byte budget
+//! (`PROVDB_RESIDENT_MB`, LRU; counters in [`PagerStats`]). Sealed rows
+//! are immutable and below every snapshot high-water mark, so paged
+//! reads take no lock. `PROVDB_EAGER_OPEN=1` (or
+//! [`DurabilityOptions::eager_open`]) restores the eager re-ingest, and
+//! `tests/out_of_core_differential.rs` pins that both paths answer every
+//! pipeline byte-identically.
 
 #![warn(missing_docs)]
 
 pub(crate) mod columnar;
+pub(crate) mod pager;
 pub(crate) mod segment;
 pub(crate) mod wal;
 
@@ -119,6 +135,7 @@ pub use exec::{
 };
 pub use graph::{GraphBatch, GraphEdge, GraphNode, GraphStore};
 pub use kv::KvStore;
+pub use pager::PagerStats;
 pub use query::{AggOp, Aggregate, Condition, DocQuery, GroupSpec, Op};
 pub use serve::{QueryServer, ServeConfig, ServeError, ServeStats, SubmitError};
 pub use snapshot::StoreSnapshot;

@@ -1,0 +1,555 @@
+//! Out-of-core read path over sealed segments: lazy chunk paging with a
+//! bounded resident set.
+//!
+//! A durable store opened lazily ([`crate::store::ProvenanceDatabase::open`])
+//! does not re-ingest its sealed history. Instead each document-store shard
+//! carries a [`ColdShard`]: the sealed, chunk-aligned row prefix stays on
+//! disk and is described only by per-segment metadata plus the parsed zone
+//! footer ([`crate::segment::ZoneTables`]). Queries consult the footer zone
+//! maps *before any I/O* — a chunk the zones prove predicate-free is never
+//! read — and page the rest in whole [`chunk_rows`]-sized chunks through a
+//! process-wide byte budget (`PROVDB_RESIDENT_MB`, LRU eviction), so the
+//! resident set stays bounded no matter how large the corpus is.
+//!
+//! ## Exactness
+//!
+//! A paged chunk re-derives exactly the state the resident sidecar would
+//! hold for the same rows: every record is CRC-verified, decoded with the
+//! WAL's canonical codec, and run through the same [`crate::columnar::
+//! extract`] pass ingest uses, so [`PagedChunk::value`] equals
+//! [`crate::columnar::ColumnarShard::value`] cell for cell and predicate
+//! evaluation ([`PagedChunk::matches_pred`]) agrees with the compiled
+//! in-memory kernels on every row. The out-of-core differential suite pins
+//! this: a store reopened with a tiny budget answers every golden and
+//! random pipeline byte-identically to a fully-resident one.
+//!
+//! ## Immutability and locking
+//!
+//! Sealed rows sit below every snapshot high-water mark and are immutable
+//! by construction, so paged reads need no coordination with writers: each
+//! [`ColdSegment`] keeps the `File` handle it was attached with and serves
+//! chunk loads with positional reads (`read_exact_at`), which share no
+//! cursor and take no lock. Compaction may unlink or replace a segment
+//! file at any time; the held descriptor keeps the original immutable
+//! bytes readable (POSIX unlink semantics), so scans race nothing.
+//!
+//! Paging failures (I/O error, checksum mismatch) are store corruption
+//! discovered after open — like the WAL append path, they panic with the
+//! failing path rather than silently dropping rows.
+
+use crate::columnar::{self, ColField, ColPredicate, ExtractedRow};
+use crate::segment::{SegmentMeta, ZoneTables};
+use crate::wal::{crc32, decode_value};
+use dataframe::{cmp_matches, values_equal};
+use parking_lot::Mutex;
+use prov_model::{Sym, Value};
+use std::collections::HashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Default resident-set budget for paged cold chunks (256 MiB).
+pub(crate) const DEFAULT_RESIDENT_BYTES: usize = 256 << 20;
+
+/// Byte length of a segment file's fixed header (magic + metadata:
+/// 6 + 4 + 4 + 8 + 8 + 4 + 4), i.e. where the document records begin.
+const DATA_START: u64 = 38;
+
+/// `PROVDB_RESIDENT_MB` as bytes, when set to a positive integer.
+pub(crate) fn env_resident_bytes() -> Option<usize> {
+    std::env::var("PROVDB_RESIDENT_MB")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| (n as usize) << 20)
+}
+
+/// Observability counters of the chunk pager (see
+/// [`crate::ProvenanceDatabase::pager_stats`]). All zeros on in-memory
+/// stores and eagerly opened stores, which never page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PagerStats {
+    /// Chunk reads served from the resident set.
+    pub hits: u64,
+    /// Chunks paged in from disk.
+    pub paged_in: u64,
+    /// Chunks evicted to stay under the byte budget.
+    pub evicted: u64,
+    /// Cold chunks skipped via the on-disk zone maps before any I/O.
+    pub zone_skips: u64,
+    /// Paged chunks currently resident.
+    pub resident_chunks: u64,
+    /// Estimated bytes of the resident paged chunks.
+    pub resident_bytes: u64,
+}
+
+/// One cold chunk, fully hydrated: the decoded documents plus the same
+/// per-row cells the resident columnar sidecar would hold for them.
+pub(crate) struct PagedChunk {
+    /// Decoded documents in slot order.
+    pub(crate) docs: Vec<Arc<Value>>,
+    decodable: Vec<bool>,
+    strs: [Vec<Option<Sym>>; columnar::STR_FIELDS.len()],
+    floats: [Vec<Option<f64>>; columnar::F64_FIELDS.len()],
+    /// Resident-set accounting estimate: raw record bytes scaled for the
+    /// decoded tree plus a per-row constant for the cell vectors.
+    bytes: usize,
+}
+
+impl PagedChunk {
+    /// Rows in this chunk.
+    pub(crate) fn rows(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Estimated resident bytes (see the field docs).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The frame cell for `(row, field)` — mirrors
+    /// [`columnar::ColumnarShard::value`] exactly.
+    pub(crate) fn value(&self, row: usize, f: ColField) -> Value {
+        match f {
+            ColField::Str(i) => match self.strs[i].get(row) {
+                Some(Some(s)) => Value::Str(s.clone()),
+                _ => Value::Null,
+            },
+            ColField::F64(i) => self.floats[i]
+                .get(row)
+                .and_then(|v| *v)
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        }
+    }
+
+    /// Evaluate one predicate on one row with frame semantics — mirrors
+    /// [`columnar::ColumnarShard::matches_pred`].
+    pub(crate) fn matches_pred(&self, row: usize, p: &ColPredicate<'_>) -> bool {
+        match p {
+            ColPredicate::Cmp(f, op, lit) => cmp_matches(&self.value(row, *f), *op, lit),
+            ColPredicate::In(f, list) => {
+                let v = self.value(row, *f);
+                list.iter().any(|x| values_equal(x, &v))
+            }
+        }
+    }
+
+    /// Surviving decodable rows of the conjunction, chunk-relative and
+    /// ascending — the paged counterpart of
+    /// [`columnar::ColumnarShard::filter_chunk`] (which hands back the
+    /// same verdicts via its compiled kernels).
+    pub(crate) fn filter(&self, preds: &[ColPredicate<'_>], sel: &mut Vec<u32>) {
+        sel.clear();
+        for row in 0..self.rows() {
+            if self.decodable[row] && preds.iter().all(|p| self.matches_pred(row, p)) {
+                sel.push(row as u32);
+            }
+        }
+    }
+
+    /// Present cells of a field among the first `n` rows.
+    pub(crate) fn present_prefix(&self, f: ColField, n: usize) -> usize {
+        let n = n.min(self.rows());
+        match f {
+            ColField::Str(i) => self.strs[i][..n].iter().filter(|v| v.is_some()).count(),
+            ColField::F64(i) => self.floats[i][..n].iter().filter(|v| v.is_some()).count(),
+        }
+    }
+}
+
+/// Fail loudly on a cold read that cannot be served: sealed bytes were
+/// readable at attach time, so this is post-open corruption or a dying
+/// disk — continuing would silently drop rows from query answers.
+fn page_fault(msg: &str, meta: &SegmentMeta) -> ! {
+    panic!("provdb: cold segment {msg}: {}", meta.path.display());
+}
+
+/// One sealed segment attached for paging: its metadata, the parsed zone
+/// footer, the held file descriptor, and the lazily built chunk offset
+/// table.
+pub(crate) struct ColdSegment {
+    meta: SegmentMeta,
+    file: File,
+    zones: ZoneTables,
+    /// Byte offset of each chunk boundary in the record region
+    /// (`n_chunks + 1` entries), built on first touch with one buffered
+    /// walk over the record headers — no payload is decoded.
+    offsets: OnceLock<Vec<u64>>,
+}
+
+impl ColdSegment {
+    pub(crate) fn new(meta: SegmentMeta, file: File, zones: ZoneTables) -> Self {
+        Self {
+            meta,
+            file,
+            zones,
+            offsets: OnceLock::new(),
+        }
+    }
+
+    /// Positional read filling `buf` entirely, tolerating short reads.
+    fn read_full_at(&self, buf: &mut [u8], pos: u64) {
+        if let Err(e) = self.file.read_exact_at(buf, pos) {
+            page_fault(&format!("read failed ({e})"), &self.meta);
+        }
+    }
+
+    fn offsets(&self) -> &[u64] {
+        self.offsets.get_or_init(|| {
+            let n_docs = self.meta.n_docs as usize;
+            let chunk = (self.meta.chunk as usize).max(1);
+            let mut offs = Vec::with_capacity(n_docs / chunk + 2);
+            let mut pos = DATA_START;
+            // Buffered header walk: records are length-prefixed, so one
+            // sequential pass over `[len][crc]` pairs locates every chunk
+            // boundary without decoding a payload.
+            let mut buf = vec![0u8; 256 * 1024];
+            let mut buf_start = 0u64;
+            let mut buf_len = 0usize;
+            let file_len = self
+                .file
+                .metadata()
+                .map(|m| m.len())
+                .unwrap_or_else(|e| page_fault(&format!("stat failed ({e})"), &self.meta));
+            for i in 0..n_docs {
+                if i % chunk == 0 {
+                    offs.push(pos);
+                }
+                if pos < buf_start || pos + 8 > buf_start + buf_len as u64 {
+                    buf_start = pos;
+                    buf_len = (file_len.saturating_sub(pos) as usize).min(buf.len());
+                    if buf_len < 8 {
+                        page_fault("record header overruns file", &self.meta);
+                    }
+                    self.read_full_at(&mut buf[..buf_len], pos);
+                }
+                let o = (pos - buf_start) as usize;
+                let len = u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
+                pos += 8 + len as u64;
+            }
+            offs.push(pos);
+            offs
+        })
+    }
+
+    /// Read, verify, decode, and extract one chunk of documents. `lc` is
+    /// the chunk index local to this segment.
+    fn load_chunk(&self, lc: usize) -> PagedChunk {
+        let offs = self.offsets();
+        let (a, b) = (offs[lc], offs[lc + 1]);
+        let mut raw = vec![0u8; (b - a) as usize];
+        self.read_full_at(&mut raw, a);
+        let chunk = self.meta.chunk as usize;
+        let rows = chunk.min(self.meta.n_docs as usize - lc * chunk);
+        let mut docs = Vec::with_capacity(rows);
+        let mut decodable = Vec::with_capacity(rows);
+        let mut strs: [Vec<Option<Sym>>; columnar::STR_FIELDS.len()] = Default::default();
+        let mut floats: [Vec<Option<f64>>; columnar::F64_FIELDS.len()] = Default::default();
+        let mut pos = 0usize;
+        for _ in 0..rows {
+            let header: [u8; 8] = raw
+                .get(pos..pos + 8)
+                .and_then(|b| b.try_into().ok())
+                .unwrap_or_else(|| page_fault("torn record", &self.meta));
+            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+            pos += 8;
+            let payload = raw
+                .get(pos..pos + len)
+                .unwrap_or_else(|| page_fault("torn record", &self.meta));
+            pos += len;
+            if crc32(&[payload]) != crc {
+                page_fault("record checksum mismatch", &self.meta);
+            }
+            let mut dpos = 0usize;
+            let doc = decode_value(payload, &mut dpos)
+                .filter(|_| dpos == len)
+                .unwrap_or_else(|| page_fault("undecodable record", &self.meta));
+            // The same pure extraction ingest runs: the paged cells are
+            // byte-identical to what the resident sidecar held when this
+            // chunk was sealed.
+            let row: ExtractedRow = columnar::extract(&doc);
+            decodable.push(row.decodable);
+            for (i, v) in row.strs.into_iter().enumerate() {
+                strs[i].push(v);
+            }
+            for (i, v) in row.floats.into_iter().enumerate() {
+                floats[i].push(v);
+            }
+            docs.push(Arc::new(doc));
+        }
+        // Decoded trees and interned symbols cost more than the wire
+        // bytes; a fixed scale keeps accounting cheap and monotone.
+        let bytes = raw.len() * 4 + rows * 96;
+        PagedChunk {
+            docs,
+            decodable,
+            strs,
+            floats,
+            bytes,
+        }
+    }
+}
+
+struct LruInner {
+    /// `(shard, global cold chunk) → (last-used tick, chunk)`.
+    map: HashMap<(usize, usize), (u64, Arc<PagedChunk>)>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// The store-wide paged-chunk cache: a byte budget, an LRU map, and the
+/// stat counters surfaced through [`PagerStats`]. Shaped like
+/// [`crate::cache::PlanCache`]'s ledger — atomics for the monotone
+/// counters, one short-lived mutex for the resident map, loads done
+/// outside the lock.
+pub(crate) struct PagerCore {
+    budget: usize,
+    inner: Mutex<LruInner>,
+    hits: AtomicU64,
+    paged_in: AtomicU64,
+    evicted: AtomicU64,
+    zone_skips: AtomicU64,
+}
+
+impl PagerCore {
+    pub(crate) fn new(budget: usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            paged_in: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            zone_skips: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> PagerStats {
+        let (chunks, bytes) = {
+            let inner = self.inner.lock();
+            (inner.map.len() as u64, inner.bytes as u64)
+        };
+        PagerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            paged_in: self.paged_in.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            zone_skips: self.zone_skips.load(Ordering::Relaxed),
+            resident_chunks: chunks,
+            resident_bytes: bytes,
+        }
+    }
+
+    fn note_zone_skip(&self) {
+        self.zone_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resident chunk for `key`, loading with `load` on a miss. The load
+    /// runs outside the lock; a racing double-load keeps the first copy.
+    /// Eviction drops least-recently-used chunks until the budget holds —
+    /// readers keep their `Arc`s, so an evicted chunk stays valid until
+    /// its last user drops it.
+    fn get(&self, key: (usize, usize), load: impl FnOnce() -> PagedChunk) -> Arc<PagedChunk> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.0 = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.1);
+            }
+        }
+        let chunk = Arc::new(load());
+        self.paged_in.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Lost a load race; keep the resident copy.
+                e.get_mut().0 = tick;
+                return Arc::clone(&e.get().1);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((tick, Arc::clone(&chunk)));
+            }
+        }
+        inner.bytes += chunk.bytes();
+        while inner.bytes > self.budget && !inner.map.is_empty() {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            if let Some((_, dropped)) = inner.map.remove(&oldest) {
+                inner.bytes -= dropped.bytes();
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            if oldest == key {
+                // Even the fresh chunk may exceed the budget on its own;
+                // the caller's Arc keeps it alive for this read.
+                break;
+            }
+        }
+        chunk
+    }
+}
+
+/// The sealed, on-disk row prefix of one document-store shard: rows
+/// `[0, rows)` (always whole chunks) live in `segs` and are paged on
+/// demand through the shared [`PagerCore`].
+pub(crate) struct ColdShard {
+    rows: usize,
+    chunk: usize,
+    /// Attached segments, sorted by `start`, contiguous from slot 0.
+    segs: Vec<ColdSegment>,
+    core: Arc<PagerCore>,
+    shard: usize,
+    /// Present cells per field over the cold rows, summed from the
+    /// footer zone maps at attach time (no I/O at query time).
+    present: [usize; columnar::STR_FIELDS.len() + columnar::F64_FIELDS.len()],
+}
+
+impl ColdShard {
+    /// Attach `segs` as shard `shard`'s cold prefix of `rows` rows.
+    pub(crate) fn new(
+        rows: usize,
+        chunk: usize,
+        segs: Vec<ColdSegment>,
+        core: Arc<PagerCore>,
+        shard: usize,
+    ) -> Self {
+        debug_assert!(rows.is_multiple_of(chunk.max(1)));
+        let mut present = [0usize; columnar::STR_FIELDS.len() + columnar::F64_FIELDS.len()];
+        for seg in &segs {
+            let covered = (seg.meta.end.min(rows as u64) - seg.meta.start) as usize;
+            let chunks = covered / chunk.max(1);
+            for (i, zones) in seg.zones.str_zones.iter().enumerate() {
+                present[i] += zones[..chunks]
+                    .iter()
+                    .map(|&(_, _, p)| p as usize)
+                    .sum::<usize>();
+            }
+            for (i, zones) in seg.zones.f64_zones.iter().enumerate() {
+                present[columnar::STR_FIELDS.len() + i] += zones[..chunks]
+                    .iter()
+                    .map(|&(_, _, p, _)| p as usize)
+                    .sum::<usize>();
+            }
+        }
+        Self {
+            rows,
+            chunk,
+            segs,
+            core,
+            shard,
+            present,
+        }
+    }
+
+    /// Cold rows of this shard (a whole-chunk multiple).
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows per chunk (matches the live sidecar's chunk size).
+    pub(crate) fn chunk_rows(&self) -> usize {
+        self.chunk
+    }
+
+    /// Cold chunks of this shard.
+    pub(crate) fn n_chunks(&self) -> usize {
+        self.rows / self.chunk.max(1)
+    }
+
+    /// Present cells of a field over all cold rows (from the footers).
+    pub(crate) fn present(&self, f: ColField) -> usize {
+        match f {
+            ColField::Str(i) => self.present[i],
+            ColField::F64(i) => self.present[columnar::STR_FIELDS.len() + i],
+        }
+    }
+
+    /// Present cells of a field among the first `n` cold rows: whole
+    /// chunks from the footer zones, the one boundary chunk paged.
+    pub(crate) fn present_prefix(&self, f: ColField, n: usize) -> usize {
+        let n = n.min(self.rows);
+        if n == self.rows {
+            return self.present(f);
+        }
+        let full = n / self.chunk;
+        let mut sum = 0usize;
+        for c in 0..full {
+            let (seg, lc) = self.locate(c);
+            sum += match f {
+                ColField::Str(i) => seg.zones.str_zones[i][lc].2 as usize,
+                ColField::F64(i) => seg.zones.f64_zones[i][lc].2 as usize,
+            };
+        }
+        let boundary = n - full * self.chunk;
+        if boundary > 0 {
+            sum += self.chunk(full).present_prefix(f, boundary);
+        }
+        sum
+    }
+
+    /// Segment holding global cold chunk `c`, plus the segment-local
+    /// chunk index.
+    fn locate(&self, c: usize) -> (&ColdSegment, usize) {
+        let row = (c * self.chunk) as u64;
+        let seg = self
+            .segs
+            .iter()
+            .find(|s| s.meta.start <= row && row < s.meta.end)
+            .unwrap_or_else(|| {
+                panic!(
+                    "provdb: cold chunk {c} of shard {} has no attached segment",
+                    self.shard
+                )
+            });
+        (seg, (row - seg.meta.start) as usize / self.chunk)
+    }
+
+    /// Whether the on-disk zone maps prove no row of cold chunk `c` can
+    /// satisfy all predicates — decided from the footer alone, before any
+    /// document byte is read. Conservative, exactly like the in-memory
+    /// [`columnar::ColumnarShard::chunk_prunable`].
+    pub(crate) fn chunk_prunable(&self, preds: &[ColPredicate<'_>], c: usize) -> bool {
+        let (seg, lc) = self.locate(c);
+        let prunable = seg.zones.chunk_decodable[lc] == 0
+            || preds.iter().any(|p| match p {
+                ColPredicate::Cmp(f, op, lit) => {
+                    seg.zones
+                        .chunk_skips(columnar::field_name(*f), *op, lit, lc, self.chunk as u32)
+                }
+                // In-lists have no footer test; never prune on them.
+                ColPredicate::In(..) => false,
+            });
+        if prunable {
+            self.core.note_zone_skip();
+        }
+        prunable
+    }
+
+    /// The resident (or freshly paged) cold chunk `c`.
+    pub(crate) fn chunk(&self, c: usize) -> Arc<PagedChunk> {
+        self.core.get((self.shard, c), || {
+            let (seg, lc) = self.locate(c);
+            seg.load_chunk(lc)
+        })
+    }
+
+    /// Document at cold slot `slot` (pages its chunk if needed).
+    pub(crate) fn doc(&self, slot: usize) -> Arc<Value> {
+        let chunk = self.chunk(slot / self.chunk);
+        Arc::clone(&chunk.docs[slot % self.chunk])
+    }
+}

@@ -34,8 +34,10 @@
 //!
 //! Segments are written to a temp file, synced, and renamed into place;
 //! a crash mid-seal leaves at most an ignorable `*.tmp`. **Compaction**
-//! merges a shard's contiguous sealed runs into one segment (rebuilding
-//! the footer from a fresh columnar pass over the merged documents) and
+//! merges a shard's contiguous sealed runs into one segment (reusing the
+//! inputs' serialized chunk zones when their dictionaries are
+//! prefix-compatible, rebuilding them from a fresh columnar pass
+//! otherwise) and
 //! deletes the inputs after the rename; a crash in between leaves
 //! overlapping segments, which [`scan_dir`] resolves by keeping the
 //! widest coverage and deleting the contained leftovers.
@@ -68,6 +70,15 @@ pub(crate) struct ZoneTables {
     pub(crate) f64_zones: Vec<Vec<(f64, f64, u32, u32)>>,
     /// Decodable rows per sealed chunk.
     pub(crate) chunk_decodable: Vec<u32>,
+    /// Store-wide irregular-column bitmask at seal time (the columnar
+    /// sidecar's pushdown poison state). A lazily opened store ORs the
+    /// masks of its attached segments instead of re-extracting every
+    /// sealed document, which yields the same bits: every document's
+    /// ingest report is folded into the store mask before its seal.
+    pub(crate) irregular: u16,
+    /// Store-wide telemetry-poison bitmask at seal time (same contract
+    /// as [`irregular`](Self::irregular)).
+    pub(crate) poison: u16,
 }
 
 impl ZoneTables {
@@ -108,6 +119,8 @@ impl ZoneTables {
         for &n in &self.chunk_decodable {
             put_u32(&mut out, n);
         }
+        put_u32(&mut out, self.irregular as u32);
+        put_u32(&mut out, self.poison as u32);
         out
     }
 
@@ -172,11 +185,15 @@ impl ZoneTables {
         for _ in 0..n {
             chunk_decodable.push(get_u32(buf, &mut pos)?);
         }
+        let irregular = u16::try_from(get_u32(buf, &mut pos)?).ok()?;
+        let poison = u16::try_from(get_u32(buf, &mut pos)?).ok()?;
         (pos == buf.len()).then_some(Self {
             str_dicts,
             str_zones,
             f64_zones,
             chunk_decodable,
+            irregular,
+            poison,
         })
     }
 
@@ -184,7 +201,14 @@ impl ZoneTables {
     /// semantics of the in-memory `zone_skips` (conservative: `false`
     /// means "must read", never "matches"). `rows` is the chunk's row
     /// count (needed for the null-matching widening of `!=`).
-    fn chunk_skips(&self, field: &str, op: CmpOp, lit: &Value, c: usize, rows: u32) -> bool {
+    pub(crate) fn chunk_skips(
+        &self,
+        field: &str,
+        op: CmpOp,
+        lit: &Value,
+        c: usize,
+        rows: u32,
+    ) -> bool {
         if let Some(i) = crate::columnar::str_field_index(field) {
             let (min, max, present) = self.str_zones[i][c];
             // `!=` matches null cells against a non-null literal, so a
@@ -486,16 +510,33 @@ pub(crate) fn scan_dir(dir: &Path) -> std::io::Result<Vec<SegmentMeta>> {
     Ok(kept)
 }
 
-/// Merge a shard's contiguous sealed runs into one segment: decode all
-/// documents in slot order, rebuild the zone tables with a fresh
-/// columnar pass at the same chunk size, write the merged file, then
-/// delete the inputs. `runs` must be same-shard, same-epoch, sorted,
-/// and contiguous. Returns the merged meta.
+/// Merge a shard's contiguous sealed runs into one segment. `runs` must
+/// be same-shard, same-epoch, sorted, and contiguous. Returns the
+/// merged meta.
+///
+/// Chunks are never re-cut (every input is a whole-chunk run at the same
+/// chunk size), so when the inputs' dictionaries are prefix-compatible —
+/// always true for live seals of one shard, whose dictionary only grows —
+/// the merged footer is just the inputs' chunk zones concatenated under
+/// the last (largest) dictionary snapshot, and the documents are copied
+/// as raw CRC-verified records without a decode + re-extract pass. The
+/// fallback (non-compatible dictionaries, e.g. inputs from an older
+/// compaction epoch, or an unreadable footer) rebuilds the footer from a
+/// fresh columnar pass as before.
 pub(crate) fn compact_runs(dir: &Path, runs: &[SegmentMeta]) -> std::io::Result<SegmentMeta> {
     debug_assert!(runs.len() >= 2);
     debug_assert!(runs.windows(2).all(|w| {
         w[0].end == w[1].start && w[0].shard == w[1].shard && w[0].nshards == w[1].nshards
     }));
+    if let Ok(footers) = runs
+        .iter()
+        .map(read_footer)
+        .collect::<std::io::Result<Vec<_>>>()
+    {
+        if dicts_prefix_compatible(&footers) {
+            return compact_runs_reusing_footers(dir, runs, footers);
+        }
+    }
     let first = &runs[0];
     let chunk = first.chunk as usize;
     let mut docs: Vec<Arc<Value>> = Vec::new();
@@ -503,12 +544,17 @@ pub(crate) fn compact_runs(dir: &Path, runs: &[SegmentMeta]) -> std::io::Result<
         docs.extend(read_docs(run)?.into_iter().map(Arc::new));
     }
     let mut cols = ColumnarShard::with_chunk(chunk);
+    let (mut irregular, mut poison) = (0u16, 0u16);
     for doc in &docs {
-        cols.push_doc(doc);
+        let report = cols.push_doc(doc);
+        irregular |= report.irregular;
+        poison |= report.poison;
     }
-    let footer = cols
+    let mut footer = cols
         .export_zone_tables(0, docs.len())
         .expect("merged run is whole chunks");
+    footer.irregular = irregular;
+    footer.poison = poison;
     let merged = write_segment(
         dir,
         first.nshards,
@@ -523,6 +569,132 @@ pub(crate) fn compact_runs(dir: &Path, runs: &[SegmentMeta]) -> std::io::Result<
     }
     sync_dir(dir);
     Ok(merged)
+}
+
+/// Whether every footer's dictionaries are a prefix of the next one's —
+/// the condition under which their chunk zone code intervals all stay
+/// meaningful under the last footer's dictionary snapshot.
+fn dicts_prefix_compatible(footers: &[ZoneTables]) -> bool {
+    footers.windows(2).all(|w| {
+        w[0].str_dicts.len() == w[1].str_dicts.len()
+            && w[0].str_dicts.iter().zip(&w[1].str_dicts).all(|(a, b)| {
+                a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x.as_str() == y.as_str())
+            })
+    })
+}
+
+/// The footer-reuse merge: stream the inputs' record regions (verifying
+/// every checksum, decoding nothing) into the merged file and write a
+/// footer assembled from the inputs' already-serialized chunk zones.
+fn compact_runs_reusing_footers(
+    dir: &Path,
+    runs: &[SegmentMeta],
+    footers: Vec<ZoneTables>,
+) -> std::io::Result<SegmentMeta> {
+    let first = &runs[0];
+    let last = runs.last().expect("at least two runs");
+    let n_docs: u64 = runs.iter().map(|r| u64::from(r.n_docs)).sum();
+    let path = dir.join(segment_name(
+        first.nshards,
+        first.shard,
+        first.start,
+        last.end,
+    ));
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = BufWriter::new(File::create(&tmp)?);
+        f.write_all(MAGIC)?;
+        f.write_all(&first.nshards.to_le_bytes())?;
+        f.write_all(&first.shard.to_le_bytes())?;
+        f.write_all(&first.start.to_le_bytes())?;
+        f.write_all(&last.end.to_le_bytes())?;
+        f.write_all(&first.chunk.to_le_bytes())?;
+        f.write_all(&(n_docs as u32).to_le_bytes())?;
+        for run in runs {
+            f.write_all(&read_record_region(run)?)?;
+        }
+        let merged = merge_footers(footers);
+        let footer_bytes = merged.to_bytes();
+        f.write_all(&footer_bytes)?;
+        f.write_all(&(footer_bytes.len() as u32).to_le_bytes())?;
+        f.write_all(&crc32(&[&footer_bytes]).to_le_bytes())?;
+        f.write_all(TAIL_MAGIC)?;
+        f.flush()?;
+        f.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir);
+    for run in runs {
+        let _ = std::fs::remove_file(&run.path);
+    }
+    sync_dir(dir);
+    Ok(SegmentMeta {
+        path,
+        nshards: first.nshards,
+        shard: first.shard,
+        start: first.start,
+        end: last.end,
+        chunk: first.chunk,
+        n_docs: n_docs as u32,
+    })
+}
+
+/// A segment's raw record region (`[len][crc][payload]*`), with every
+/// record's structure and checksum verified but no payload decoded.
+fn read_record_region(meta: &SegmentMeta) -> std::io::Result<Vec<u8>> {
+    let mut f = File::open(&meta.path)?;
+    let hdr = read_header(&meta.path, &mut f)?;
+    let mut rest = Vec::new();
+    f.read_to_end(&mut rest)?;
+    let mut pos = 0usize;
+    for _ in 0..hdr.n_docs {
+        let len =
+            get_u32(&rest, &mut pos).ok_or_else(|| corrupt("torn document", &meta.path))? as usize;
+        let crc = get_u32(&rest, &mut pos).ok_or_else(|| corrupt("torn document", &meta.path))?;
+        let payload = rest
+            .get(pos..pos + len)
+            .ok_or_else(|| corrupt("torn document", &meta.path))?;
+        pos += len;
+        if crc32(&[payload]) != crc {
+            return Err(corrupt("document checksum mismatch", &meta.path));
+        }
+    }
+    rest.truncate(pos);
+    Ok(rest)
+}
+
+/// Concatenate prefix-compatible footers: the last dictionary snapshot
+/// maps every code the earlier zones reference, chunk zones append in
+/// slot order, and the store-wide pushdown masks OR together.
+fn merge_footers(mut footers: Vec<ZoneTables>) -> ZoneTables {
+    let last = footers.pop().expect("at least two footers");
+    let mut merged = ZoneTables {
+        str_dicts: last.str_dicts,
+        str_zones: vec![Vec::new(); last.str_zones.len()],
+        f64_zones: vec![Vec::new(); last.f64_zones.len()],
+        chunk_decodable: Vec::new(),
+        irregular: last.irregular,
+        poison: last.poison,
+    };
+    for ft in footers.into_iter().chain(std::iter::once(ZoneTables {
+        str_dicts: Vec::new(),
+        str_zones: last.str_zones,
+        f64_zones: last.f64_zones,
+        chunk_decodable: last.chunk_decodable,
+        irregular: 0,
+        poison: 0,
+    })) {
+        for (i, zones) in ft.str_zones.into_iter().enumerate() {
+            merged.str_zones[i].extend(zones);
+        }
+        for (i, zones) in ft.f64_zones.into_iter().enumerate() {
+            merged.f64_zones[i].extend(zones);
+        }
+        merged.chunk_decodable.extend(ft.chunk_decodable);
+        merged.irregular |= ft.irregular;
+        merged.poison |= ft.poison;
+    }
+    merged
 }
 
 #[cfg(test)]

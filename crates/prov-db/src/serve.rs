@@ -105,6 +105,9 @@ pub struct ServeStats {
     /// Plan-cache counters (shared with every other caller of the
     /// database's cache).
     pub cache: CacheStats,
+    /// Chunk-pager counters (all zero unless the database was opened
+    /// lazily over sealed segments — see [`crate::pager`]'s module docs).
+    pub pager: crate::PagerStats,
 }
 
 struct Job {
@@ -209,6 +212,7 @@ impl QueryServer {
             p50_micros: p50,
             p99_micros: p99,
             cache: self.shared.db.plan_cache().stats(),
+            pager: self.shared.db.pager_stats(),
         }
     }
 

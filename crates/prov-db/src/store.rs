@@ -25,6 +25,7 @@ use crate::csr::CsrGraph;
 use crate::document::DocumentStore;
 use crate::graph::{GraphBatch, GraphStore};
 use crate::kv::KvStore;
+use crate::pager::{self, ColdSegment, ColdShard, PagerCore, PagerStats};
 use crate::query::{DocQuery, GroupSpec, Op};
 use crate::segment::{self, SegmentMeta};
 use crate::snapshot::StoreSnapshot;
@@ -32,7 +33,7 @@ use crate::wal::{self, SyncPolicy, WalWriter};
 use parking_lot::Mutex;
 use prov_model::{Map, ProvRelation, TaskMessage, Value};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs of a durable store (see [`ProvenanceDatabase::open_with`]).
@@ -47,6 +48,19 @@ pub struct DurabilityOptions {
     /// Sealed runs one shard may accumulate before they are compacted
     /// into one segment (default 4).
     pub compact_fanin: usize,
+    /// Replay the full sealed history into memory at open instead of
+    /// attaching it as a lazily paged cold prefix (default: the
+    /// `PROVDB_EAGER_OPEN` env var, truthy when set to anything but
+    /// `0`/`false`; else lazy). Lazy open reads only the segment
+    /// directory, the zone-map footers, and the WAL tail — open time is
+    /// independent of sealed history — and answers every query
+    /// byte-identically to an eager open (the out-of-core differential
+    /// suite pins this).
+    pub eager_open: bool,
+    /// Resident-set byte budget for paged cold chunks (default:
+    /// `PROVDB_RESIDENT_MB` in MiB, else 256 MiB). Ignored by eager
+    /// opens, which never page.
+    pub resident_bytes: Option<usize>,
 }
 
 impl Default for DurabilityOptions {
@@ -59,6 +73,13 @@ impl Default for DurabilityOptions {
                 .filter(|&n| n > 0)
                 .unwrap_or(32_768),
             compact_fanin: 4,
+            eager_open: std::env::var("PROVDB_EAGER_OPEN")
+                .map(|v| {
+                    let t = v.trim();
+                    !t.is_empty() && t != "0" && !t.eq_ignore_ascii_case("false")
+                })
+                .unwrap_or(false),
+            resident_bytes: None,
         }
     }
 }
@@ -140,6 +161,13 @@ pub struct ProvenanceDatabase {
     /// ([`ProvenanceDatabase::open`]); `None` for in-memory stores, which
     /// pay nothing for the feature.
     durability: Option<Durability>,
+    /// Set by a lazy open: the KV and graph backends do not yet hold the
+    /// sealed prefix. The first KV/graph read hydrates them in one pass
+    /// (see [`hydrate_backends`](Self::hydrate_backends)); until then,
+    /// materialization skips their fan-out — hydration replays every
+    /// document in arrival order, so rows ingested while cold are covered
+    /// by that same pass.
+    backends_cold: AtomicBool,
 }
 
 impl ProvenanceDatabase {
@@ -177,6 +205,7 @@ impl ProvenanceDatabase {
             plan_cache: PlanCache::default(),
             csr: Mutex::new(None),
             durability: None,
+            backends_cold: AtomicBool::new(false),
         }
     }
 
@@ -200,57 +229,17 @@ impl ProvenanceDatabase {
         std::fs::create_dir_all(&dir)?;
         let wal_path = dir.join("wal.log");
 
-        // Assemble the arrival sequence: sealed segments first (each
-        // names the arrival indexes it covers — shard-count changes
-        // across restarts are handled because the mapping is stored per
-        // segment), then the WAL's valid prefix; duplicates (a crash
-        // between segment rename and WAL rotation) dedupe by arrival
-        // index.
         let segs = segment::scan_dir(&dir)?;
         let records = wal::read_records(&wal_path)?;
-        let mut by_seq: std::collections::BTreeMap<u64, Value> = std::collections::BTreeMap::new();
-        for seg in &segs {
-            for (i, doc) in segment::read_docs(seg)?.into_iter().enumerate() {
-                let slot = seg.start + i as u64;
-                by_seq
-                    .entry(slot * seg.nshards as u64 + seg.shard as u64)
-                    .or_insert(doc);
-            }
-        }
-        for r in &records {
-            if let std::collections::btree_map::Entry::Vacant(e) = by_seq.entry(r.seq) {
-                if let Some(doc) = r.decode() {
-                    e.insert(doc);
-                }
-            }
-        }
-        let mut assembled = Vec::with_capacity(by_seq.len());
-        let mut next = 0u64;
-        while let Some(doc) = by_seq.remove(&next) {
-            assembled.push(doc);
-            next += 1;
-        }
-
-        // Normalize the WAL before appending to it: a torn tail record
-        // must not be left in front of fresh appends (replay would stop
-        // at the tear and lose them).
-        wal::rewrite(&wal_path, &records)?;
-
-        // Replay through the live ingest path. Round-robin routing from
-        // a zero router makes arrival `k` land on shard `k % n`, slot
-        // `k / n` — the same ids as the original run, so query output
-        // (which orders by id) is reproduced exactly.
         let mut db = Self::with_store(DocumentStore::new());
-        db.materialize_docs(assembled);
-        db.inserts.store(next, Ordering::Relaxed);
+        let n = db.documents.shard_count() as u64;
+        let chunk = crate::columnar::chunk_rows() as u64;
 
         // Sealed coverage of the *current* epoch: contiguous-from-zero
         // runs matching this store's shard count and chunk size; the
         // uniform sealed-slot mark is their minimum over shards.
         // Segments from other epochs stay in the catalog (they still
         // serve recovery and pruning) but don't advance the mark.
-        let n = db.documents.shard_count() as u64;
-        let chunk = crate::columnar::chunk_rows() as u64;
         let slots = (0..n)
             .map(|s| {
                 let mut runs: Vec<&SegmentMeta> = segs
@@ -273,6 +262,115 @@ impl ProvenanceDatabase {
             .min()
             .unwrap_or(0);
 
+        // Lazy by default: attach the sealed coverage as a paged cold
+        // prefix instead of replaying it, so open cost is the segment
+        // directory + footers + WAL tail, not the sealed history. Any
+        // footer that fails to load falls back to the eager replay below
+        // (which reads whole documents and so tolerates more damage).
+        let cold = if slots > 0 && !opts.eager_open {
+            Self::build_cold(&segs, n, chunk, slots, opts.resident_bytes)
+        } else {
+            None
+        };
+
+        let next = if let Some((core, shards, masks)) = cold {
+            // Only arrivals past the cold coverage are materialized: the
+            // tail of epoch segments sealed beyond the uniform mark, any
+            // other-epoch segments reaching past it, and the WAL tail —
+            // deduped by arrival index exactly like the eager path.
+            let base = slots * n;
+            let mut by_seq: std::collections::BTreeMap<u64, Value> =
+                std::collections::BTreeMap::new();
+            for seg in &segs {
+                let max_seq = (seg.end.saturating_sub(1)) * seg.nshards as u64 + seg.shard as u64;
+                if seg.n_docs == 0 || max_seq < base {
+                    continue;
+                }
+                for (i, doc) in segment::read_docs(seg)?.into_iter().enumerate() {
+                    let seq = (seg.start + i as u64) * seg.nshards as u64 + seg.shard as u64;
+                    if seq >= base {
+                        by_seq.entry(seq).or_insert(doc);
+                    }
+                }
+            }
+            for r in &records {
+                if r.seq < base {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = by_seq.entry(r.seq) {
+                    if let Some(doc) = r.decode() {
+                        e.insert(doc);
+                    }
+                }
+            }
+            let mut assembled = Vec::with_capacity(by_seq.len());
+            let mut next = base;
+            while let Some(doc) = by_seq.remove(&next) {
+                assembled.push(doc);
+                next += 1;
+            }
+
+            // Normalize the WAL before appending to it: a torn tail
+            // record must not be left in front of fresh appends.
+            wal::rewrite(&wal_path, &records)?;
+
+            // Attach order matters: the cold prefix must be in place
+            // before the tail materializes (ids continue from it), the
+            // recovered pushdown masks before any query plans against
+            // the columns, and `backends_cold` before `materialize_docs`
+            // so the tail skips the KV/graph fan-out it would otherwise
+            // double-apply when hydration later replays ids from zero.
+            db.backends_cold.store(true, Ordering::Release);
+            db.documents.apply_columnar_report(masks);
+            db.documents.attach_cold(core, shards);
+            db.materialize_docs(assembled);
+            next
+        } else {
+            // Eager replay: assemble the whole arrival sequence — sealed
+            // segments first (each names the arrival indexes it covers —
+            // shard-count changes across restarts are handled because
+            // the mapping is stored per segment), then the WAL's valid
+            // prefix; duplicates (a crash between segment rename and WAL
+            // rotation) dedupe by arrival index.
+            let mut by_seq: std::collections::BTreeMap<u64, Value> =
+                std::collections::BTreeMap::new();
+            for seg in &segs {
+                for (i, doc) in segment::read_docs(seg)?.into_iter().enumerate() {
+                    let slot = seg.start + i as u64;
+                    by_seq
+                        .entry(slot * seg.nshards as u64 + seg.shard as u64)
+                        .or_insert(doc);
+                }
+            }
+            for r in &records {
+                if let std::collections::btree_map::Entry::Vacant(e) = by_seq.entry(r.seq) {
+                    if let Some(doc) = r.decode() {
+                        e.insert(doc);
+                    }
+                }
+            }
+            let mut assembled = Vec::with_capacity(by_seq.len());
+            let mut next = 0u64;
+            while let Some(doc) = by_seq.remove(&next) {
+                assembled.push(doc);
+                next += 1;
+            }
+
+            // Normalize the WAL before appending to it: a torn tail
+            // record must not be left in front of fresh appends (replay
+            // would stop at the tear and lose them).
+            wal::rewrite(&wal_path, &records)?;
+
+            // Replay through the live ingest path. Round-robin routing
+            // from a zero router makes arrival `k` land on shard
+            // `k % n`, slot `k / n` — the same ids as the original run,
+            // so query output (which orders by id) is reproduced
+            // exactly.
+            db.materialize_docs(assembled);
+            next
+        };
+        db.inserts.store(next, Ordering::Relaxed);
+
         let writer = WalWriter::open(&wal_path, opts.sync)?;
         db.durability = Some(Durability {
             dir,
@@ -293,6 +391,130 @@ impl ProvenanceDatabase {
         Ok(Arc::new(db))
     }
 
+    /// Build the per-shard cold prefixes for a lazy open: for each shard,
+    /// the contiguous-from-zero chain of current-epoch segments covering
+    /// `slots` rows, each opened (the held fd keeps paged reads safe even
+    /// if compaction later unlinks the file) with its zone-map footer
+    /// decoded. Returns `None` — eager fallback — if any file or footer
+    /// fails to load (e.g. a pre-mask-format footer). Also accumulates
+    /// the OR of the footers' pushdown masks, which equals the live
+    /// store's masks over those rows: every sealed document's mask bits
+    /// were stamped into some footer at its seal, and seal-time masks
+    /// only ever contain bits contributed by documents still in the
+    /// append-only store.
+    #[allow(clippy::type_complexity)]
+    fn build_cold(
+        segs: &[SegmentMeta],
+        n: u64,
+        chunk: u64,
+        slots: u64,
+        budget: Option<usize>,
+    ) -> Option<(Arc<PagerCore>, Vec<ColdShard>, crate::columnar::PushReport)> {
+        let budget = budget
+            .or_else(pager::env_resident_bytes)
+            .unwrap_or(pager::DEFAULT_RESIDENT_BYTES);
+        let core = Arc::new(PagerCore::new(budget));
+        let mut masks = crate::columnar::PushReport::default();
+        let mut shards = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            let mut metas: Vec<&SegmentMeta> = segs
+                .iter()
+                .filter(|m| {
+                    m.nshards as u64 == n
+                        && m.shard as u64 == s
+                        && m.chunk as u64 == chunk
+                        && m.start < slots
+                })
+                .collect();
+            metas.sort_by_key(|m| m.start);
+            let mut covered = 0u64;
+            let mut cold_segs = Vec::with_capacity(metas.len());
+            for m in metas {
+                if covered >= slots {
+                    break;
+                }
+                if m.start != covered {
+                    return None;
+                }
+                covered = m.end;
+                let file = std::fs::File::open(&m.path).ok()?;
+                let zones = segment::read_footer(m).ok()?;
+                masks.irregular |= zones.irregular;
+                masks.poison |= zones.poison;
+                cold_segs.push(ColdSegment::new((*m).clone(), file, zones));
+            }
+            if covered < slots {
+                return None;
+            }
+            shards.push(ColdShard::new(
+                slots as usize,
+                chunk as usize,
+                cold_segs,
+                Arc::clone(&core),
+                s as usize,
+            ));
+        }
+        Some((core, shards, masks))
+    }
+
+    /// One-shot KV/graph hydration after a lazy open: replay every
+    /// document in arrival order through the same fan-out as
+    /// [`materialize`](Self::materialize), in bounded batches. Runs under
+    /// the flusher lock, so it serializes with ingest; documents
+    /// materialized while the backends were cold were skipped there and
+    /// are covered here (id order *is* arrival order). Document-only
+    /// workloads never pay this — it triggers on the first KV or graph
+    /// read.
+    fn hydrate_backends(&self) {
+        if !self.backends_cold.load(Ordering::Acquire) {
+            return;
+        }
+        let _flush = self.flusher.lock();
+        if !self.backends_cold.load(Ordering::Acquire) {
+            return;
+        }
+        let empty_props = Arc::new(Value::object(Map::new()));
+        let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
+        let mut graph = GraphBatch::new();
+        self.documents.for_each_doc_in_id_order(|doc| {
+            if let Some(msg) = TaskMessage::from_value(doc) {
+                kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
+                graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
+                for dep in &msg.depends_on {
+                    graph.add_edge(
+                        msg.task_id.as_str(),
+                        dep.as_str(),
+                        ProvRelation::WasInformedBy.as_str(),
+                    );
+                }
+                if let Some(agent) = &msg.agent_id {
+                    graph.upsert_node_shared(agent.as_str(), "prov:Agent", empty_props.clone());
+                    graph.add_edge(
+                        msg.task_id.as_str(),
+                        agent.as_str(),
+                        ProvRelation::WasAssociatedWith.as_str(),
+                    );
+                }
+            }
+            if kv_rows.len() >= 8192 {
+                self.kv.put_batch(std::mem::take(&mut kv_rows));
+                self.graph
+                    .apply_batch(std::mem::replace(&mut graph, GraphBatch::new()));
+            }
+        });
+        self.kv.put_batch(kv_rows);
+        self.graph.apply_batch(graph);
+        self.backends_cold.store(false, Ordering::Release);
+    }
+
+    /// Chunk-pager counters: cache hits, chunks paged in and evicted,
+    /// chunks skipped by zone pruning before any I/O, and the current
+    /// resident set. All zero for in-memory stores and eager opens, which
+    /// never page.
+    pub fn pager_stats(&self) -> PagerStats {
+        self.documents.pager_stats()
+    }
+
     /// Shared handle.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
@@ -311,8 +533,10 @@ impl ProvenanceDatabase {
         &self.documents
     }
 
-    /// The KV backend, with pending ingest materialized.
+    /// The KV backend, with pending ingest materialized (and, after a
+    /// lazy open, the sealed prefix hydrated).
     pub fn kv(&self) -> &KvStore {
+        self.hydrate_backends();
         self.flush_views();
         &self.kv
     }
@@ -320,11 +544,14 @@ impl ProvenanceDatabase {
     /// The KV backend without flushing — for snapshot reads, whose
     /// creation already materialized everything they may observe.
     pub(crate) fn kv_unflushed(&self) -> &KvStore {
+        self.hydrate_backends();
         &self.kv
     }
 
-    /// The graph backend, with pending ingest materialized.
+    /// The graph backend, with pending ingest materialized (and, after a
+    /// lazy open, the sealed prefix hydrated).
     pub fn graph(&self) -> &GraphStore {
+        self.hydrate_backends();
         self.flush_views();
         &self.graph
     }
@@ -333,6 +560,7 @@ impl ProvenanceDatabase {
     ///
     /// [`kv_unflushed`]: ProvenanceDatabase::kv_unflushed
     pub(crate) fn graph_unflushed(&self) -> &GraphStore {
+        self.hydrate_backends();
         &self.graph
     }
 
@@ -348,6 +576,9 @@ impl ProvenanceDatabase {
     /// reads repeatable). Memoized: concurrent snapshots of one generation
     /// share a single compaction pass.
     pub(crate) fn csr_for(&self, generation: u64) -> Arc<CsrGraph> {
+        // Hydrate *before* consulting the memo: a build over cold (still
+        // empty) backends must never be memoized.
+        self.hydrate_backends();
         {
             let memo = self.csr.lock();
             if let Some((g, csr)) = memo.as_ref() {
@@ -475,6 +706,10 @@ impl ProvenanceDatabase {
         let mut docs: Vec<Arc<Value>> = Vec::new();
         let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
         let mut graph = GraphBatch::new();
+        // While the KV/graph backends are cold (lazy open, not yet read),
+        // skip their fan-out: hydration replays every document — these
+        // included — in arrival order before the first KV/graph read.
+        let cold = self.backends_cold.load(Ordering::Acquire);
         // Agent nodes carry no properties of their own; share one object.
         let empty_props = Arc::new(Value::object(Map::new()));
         for msg in msgs {
@@ -484,73 +719,7 @@ impl ProvenanceDatabase {
             // the per-message path used to copy out), so property-graph
             // ingest costs no map construction at all.
             let doc = Arc::new(msg.to_value());
-            kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
-            graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
-            docs.push(doc);
-
-            for dep in &msg.depends_on {
-                graph.add_edge(
-                    msg.task_id.as_str(),
-                    dep.as_str(),
-                    ProvRelation::WasInformedBy.as_str(),
-                );
-            }
-            if let Some(agent) = &msg.agent_id {
-                graph.upsert_node_shared(agent.as_str(), "prov:Agent", empty_props.clone());
-                graph.add_edge(
-                    msg.task_id.as_str(),
-                    agent.as_str(),
-                    ProvRelation::WasAssociatedWith.as_str(),
-                );
-            }
-        }
-        let n = docs.len();
-        if n == 0 {
-            return 0;
-        }
-        // Durable stores serialize the drained batch into the WAL before
-        // any view observes it; the arrival index is assigned here, under
-        // the flusher lock every materialization holds. A WAL that cannot
-        // take the batch must not pretend it did — all whole-store state
-        // is already unrecoverable at that point, so fail loudly.
-        if let Some(d) = &self.durability {
-            let mut wal_state = d.wal.lock();
-            let base = wal_state.next_seq;
-            wal_state
-                .writer
-                .append(base, &docs)
-                .expect("provdb: WAL append failed");
-            wal_state.next_seq += n as u64;
-        }
-        self.documents.insert_many_shared(docs);
-        self.kv.put_batch(kv_rows);
-        self.graph.apply_batch(graph);
-        if self.durability.is_some() {
-            // Best-effort: a failed seal leaves everything in the WAL,
-            // which is bigger but just as durable.
-            let _ = self.seal_locked(false);
-        }
-        n
-    }
-
-    /// Replay path of [`open_with`](Self::open_with): materialize
-    /// already-serialized documents through the same fan-out as
-    /// [`materialize`](Self::materialize) — same KV keys, same graph
-    /// nodes and edges, same shard routing — but without re-serializing
-    /// or re-logging anything. Must mirror `materialize` exactly; the
-    /// recovery differential suite holds the two to byte-identical query
-    /// answers.
-    fn materialize_docs(&self, raw: Vec<Value>) {
-        let mut docs: Vec<Arc<Value>> = Vec::with_capacity(raw.len());
-        let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
-        let mut graph = GraphBatch::new();
-        let empty_props = Arc::new(Value::object(Map::new()));
-        for v in raw {
-            let doc = Arc::new(v);
-            // Documents written by `materialize` always decode (they are
-            // `to_value` output); the guard only protects against a
-            // hand-corrupted directory.
-            if let Some(msg) = TaskMessage::from_value(&doc) {
+            if !cold {
                 kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
                 graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
                 for dep in &msg.depends_on {
@@ -571,12 +740,88 @@ impl ProvenanceDatabase {
             }
             docs.push(doc);
         }
+        let n = docs.len();
+        if n == 0 {
+            return 0;
+        }
+        // Durable stores serialize the drained batch into the WAL before
+        // any view observes it; the arrival index is assigned here, under
+        // the flusher lock every materialization holds. A WAL that cannot
+        // take the batch must not pretend it did — all whole-store state
+        // is already unrecoverable at that point, so fail loudly.
+        if let Some(d) = &self.durability {
+            let mut wal_state = d.wal.lock();
+            let base = wal_state.next_seq;
+            wal_state
+                .writer
+                .append(base, &docs)
+                .expect("provdb: WAL append failed");
+            wal_state.next_seq += n as u64;
+        }
+        self.documents.insert_many_shared(docs);
+        if !cold {
+            self.kv.put_batch(kv_rows);
+            self.graph.apply_batch(graph);
+        }
+        if self.durability.is_some() {
+            // Best-effort: a failed seal leaves everything in the WAL,
+            // which is bigger but just as durable.
+            let _ = self.seal_locked(false);
+        }
+        n
+    }
+
+    /// Replay path of [`open_with`](Self::open_with): materialize
+    /// already-serialized documents through the same fan-out as
+    /// [`materialize`](Self::materialize) — same KV keys, same graph
+    /// nodes and edges, same shard routing — but without re-serializing
+    /// or re-logging anything. Must mirror `materialize` exactly; the
+    /// recovery differential suite holds the two to byte-identical query
+    /// answers.
+    fn materialize_docs(&self, raw: Vec<Value>) {
+        let mut docs: Vec<Arc<Value>> = Vec::with_capacity(raw.len());
+        let mut kv_rows: Vec<(String, Arc<Value>)> = Vec::new();
+        let mut graph = GraphBatch::new();
+        // Lazy open defers the KV/graph fan-out of the whole replay to
+        // the first KV/graph read (see `hydrate_backends`).
+        let cold = self.backends_cold.load(Ordering::Acquire);
+        let empty_props = Arc::new(Value::object(Map::new()));
+        for v in raw {
+            let doc = Arc::new(v);
+            // Documents written by `materialize` always decode (they are
+            // `to_value` output); the guard only protects against a
+            // hand-corrupted directory.
+            if !cold {
+                if let Some(msg) = TaskMessage::from_value(&doc) {
+                    kv_rows.push((format!("task/{}", msg.task_id.as_str()), doc.clone()));
+                    graph.upsert_node_shared(msg.task_id.as_str(), "prov:Activity", doc.clone());
+                    for dep in &msg.depends_on {
+                        graph.add_edge(
+                            msg.task_id.as_str(),
+                            dep.as_str(),
+                            ProvRelation::WasInformedBy.as_str(),
+                        );
+                    }
+                    if let Some(agent) = &msg.agent_id {
+                        graph.upsert_node_shared(agent.as_str(), "prov:Agent", empty_props.clone());
+                        graph.add_edge(
+                            msg.task_id.as_str(),
+                            agent.as_str(),
+                            ProvRelation::WasAssociatedWith.as_str(),
+                        );
+                    }
+                }
+            }
+            docs.push(doc);
+        }
         if docs.is_empty() {
             return;
         }
         self.documents.insert_many_shared(docs);
-        self.kv.put_batch(kv_rows);
-        self.graph.apply_batch(graph);
+        if !cold {
+            self.kv.put_batch(kv_rows);
+            self.graph.apply_batch(graph);
+        }
     }
 
     /// Seal everything sealable now: drain pending ingest, then write

@@ -1,0 +1,369 @@
+//! Out-of-core differential suite: a durable store reopened **lazily**
+//! (sealed coverage attached as a paged cold prefix, not replayed) must
+//! answer every golden pipeline byte-identically to an eager reopen and
+//! to a never-crashed in-memory oracle — including under a resident-set
+//! budget so small that every scan churns the chunk cache, and across
+//! further ingest, sealing, and compaction on the lazily opened store.
+//!
+//! CI runs this suite across the durability matrix (`PROVDB_CHUNK=64`
+//! and `4096`, `PROVDB_RESIDENT_MB=4`, shard and thread counts), so the
+//! paging layer is exercised at both one-chunk-per-segment and
+//! many-rows-per-chunk granularities.
+
+use proptest::prelude::*;
+use prov_db::{DurabilityOptions, ProvenanceDatabase, SyncPolicy};
+use prov_model::{TaskMessage, TaskMessageBuilder, TaskStatus};
+use provql::{execute, parse};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The recovery suite's golden pipelines: the query families the
+/// engine's pushdown tiers split on.
+const GOLDEN: &[&str] = &[
+    r#"len(df)"#,
+    r#"len(df[df["status"] == "ERROR"])"#,
+    r#"len(df[df["workflow_id"] != "wf-1"])"#,
+    r#"df[df["status"] != "ERROR"]["duration"].sum()"#,
+    r#"df["started_at"].mean()"#,
+    r#"df["y"].sum()"#,
+    r#"df[df["started_at"] >= 12]["task_id"]"#,
+    r#"len(df[df["hostname"].isin(["n0", "n2"])])"#,
+    r#"df.groupby("activity_id")["duration"].mean()"#,
+    r#"df.groupby("workflow_id")["started_at"].count()"#,
+    r#"df.sort_values("started_at", ascending=False)[["task_id", "started_at"]].head(5)"#,
+    r#"df.sort_values("duration")[["task_id"]].head(4)"#,
+    r#"df[["task_id", "workflow_id"]].head(6)"#,
+    r#"df["status"].value_counts()"#,
+    r#"df[df["cpu_percent_end"] > 20]["task_id"]"#,
+];
+
+/// Same deterministic corpus as the recovery suite (NaN payloads,
+/// lineage, agents, dataflow keys).
+fn corpus(n: usize) -> Vec<TaskMessage> {
+    (0..n)
+        .map(|i| {
+            let status = match i % 4 {
+                0 => TaskStatus::Error,
+                1 => TaskStatus::Running,
+                _ => TaskStatus::Finished,
+            };
+            let y = if i % 11 == 3 {
+                f64::NAN
+            } else {
+                i as f64 * 0.5
+            };
+            let mut b = TaskMessageBuilder::new(
+                format!("t{i}"),
+                format!("wf-{}", i % 3),
+                format!("act{}", i % 2),
+            )
+            .host(format!("n{}", i % 4))
+            .status(status)
+            .span(i as f64, i as f64 + 1.5)
+            .uses("y", y);
+            if i % 7 == 2 && i > 0 {
+                b = b.depends_on(format!("t{}", i - 1)).agent("agent-7");
+            }
+            if i % 5 == 1 {
+                b = b.generates("out", i as f64);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn oracle(msgs: &[TaskMessage]) -> ProvenanceDatabase {
+    let db = ProvenanceDatabase::new();
+    db.insert_batch(msgs);
+    db
+}
+
+/// Scrub `DataFrame`'s per-instance-random name→position map Debug form.
+fn scrub_index_maps(mut s: String) -> String {
+    const KEY: &str = "index: {";
+    let mut from = 0;
+    while let Some(at) = s[from..].find(KEY) {
+        let open = from + at + KEY.len() - 1;
+        let Some(close) = s[open..].find('}') else {
+            break;
+        };
+        s.replace_range(open..open + close + 1, "_");
+        from += at + KEY.len();
+    }
+    s
+}
+
+/// Byte-identity fingerprint: full-frame oracle answer plus pushdown
+/// outcome per pipeline (see the recovery suite for the rationale).
+fn fingerprint(db: &ProvenanceDatabase, queries: &[&str]) -> Vec<String> {
+    let frame = prov_db::full_frame(db);
+    queries
+        .iter()
+        .map(|text| {
+            let q = parse(text).expect("golden query parses");
+            let full = execute(&q, &frame);
+            let pushed = match prov_db::try_execute(db, &q) {
+                prov_db::Pushdown::Executed(r) => format!("pushed:{r:?}"),
+                prov_db::Pushdown::NeedsFullFrame(r) => format!("fallback:{r}"),
+            };
+            scrub_index_maps(format!("{text} => {full:?} | {pushed}"))
+        })
+        .collect()
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Fresh durable directory under the artifact root (kept on panic for
+/// CI's failure-artifact upload, like the recovery suite's).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let root = std::env::var("PROVDB_TEST_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    let dir = root.join(format!(
+        "provdb-ooc-{}-{}-{}",
+        std::process::id(),
+        tag,
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create durable dir");
+    dir
+}
+
+/// Options for a lazy reopen with an explicit resident budget.
+fn lazy_opts(resident_bytes: usize) -> DurabilityOptions {
+    DurabilityOptions {
+        sync: SyncPolicy::Batch,
+        eager_open: false,
+        resident_bytes: Some(resident_bytes),
+        ..DurabilityOptions::default()
+    }
+}
+
+fn eager_opts() -> DurabilityOptions {
+    DurabilityOptions {
+        sync: SyncPolicy::Batch,
+        eager_open: true,
+        ..DurabilityOptions::default()
+    }
+}
+
+/// Per-shard chunk geometry of this process (env-resolved once).
+fn geometry() -> (usize, usize) {
+    let probe = ProvenanceDatabase::new();
+    let chunk = probe.documents().chunk_rows();
+    let nshards = probe.documents().shard_count();
+    (chunk, nshards)
+}
+
+/// Build a sealed-and-compacted durable directory over `msgs`, with the
+/// final `tail` messages left in the WAL.
+fn seal_corpus(dir: &PathBuf, msgs: &[TaskMessage]) {
+    let db = ProvenanceDatabase::open_with(dir, eager_opts()).expect("open durable");
+    db.insert_batch_shared(msgs.iter().cloned().map(Arc::new));
+    db.flush_views();
+    db.seal_now().expect("seal");
+    db.compact_segments().expect("compact");
+}
+
+/// Lazy reopen ≡ eager reopen ≡ oracle on the full golden set — at a
+/// generous budget and at a one-byte budget that forces every paged
+/// chunk to evict its predecessors.
+#[test]
+fn lazy_open_matches_eager_and_oracle_under_any_budget() {
+    let (chunk, nshards) = geometry();
+    let msgs = corpus(2 * chunk * nshards + 7);
+    let dir = fresh_dir("golden");
+    seal_corpus(&dir, &msgs);
+
+    let want = fingerprint(&oracle(&msgs), GOLDEN);
+    let eager = ProvenanceDatabase::open_with(&dir, eager_opts()).expect("eager reopen");
+    assert_eq!(eager.insert_count(), msgs.len() as u64);
+    assert_eq!(fingerprint(&eager, GOLDEN), want, "eager reopen drifted");
+    assert_eq!(eager.pager_stats().paged_in, 0, "eager opens never page");
+    drop(eager);
+
+    for budget in [64 << 20, 1] {
+        let lazy = ProvenanceDatabase::open_with(&dir, lazy_opts(budget)).expect("lazy reopen");
+        assert_eq!(lazy.insert_count(), msgs.len() as u64, "budget {budget}");
+        assert_eq!(
+            lazy.pager_stats().paged_in,
+            0,
+            "open itself must not page (budget {budget})"
+        );
+        let stats = lazy.durable_stats().expect("durable");
+        assert_eq!(stats.sealed_slots, 2 * chunk as u64);
+        assert_eq!(fingerprint(&lazy, GOLDEN), want, "budget {budget}");
+        let pager = lazy.pager_stats();
+        assert!(pager.paged_in > 0, "queries page cold chunks in");
+        if budget == 1 {
+            assert!(pager.evicted > 0, "one-byte budget must evict");
+        }
+        drop(lazy);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deferred KV/graph hydration: point lookups and lineage traversals
+/// on a lazily opened store equal the oracle's, and repeated scans hit
+/// the resident set.
+#[test]
+fn lazy_open_hydrates_kv_and_graph_on_first_read() {
+    let (chunk, nshards) = geometry();
+    let n = chunk * nshards + 5;
+    let msgs = corpus(n);
+    let dir = fresh_dir("hydrate");
+    seal_corpus(&dir, &msgs);
+
+    let lazy = ProvenanceDatabase::open_with(&dir, lazy_opts(64 << 20)).expect("lazy reopen");
+    let oracle = oracle(&msgs);
+    // Graph first (hydration triggers here), then KV.
+    assert_eq!(lazy.lineage("t9", 10), oracle.lineage("t9", 10));
+    let last = format!("t{}", n - 1);
+    for id in ["t0", "t2", "t9", last.as_str(), "missing"] {
+        assert_eq!(
+            lazy.get_task(id).map(|m| m.to_value()),
+            oracle.get_task(id).map(|m| m.to_value()),
+            "task {id}"
+        );
+    }
+    assert_eq!(lazy.kv().len(), oracle.kv().len());
+    assert_eq!(lazy.graph().node_count(), oracle.graph().node_count());
+
+    // A warm re-scan is served from the resident set.
+    let _ = fingerprint(&lazy, &[GOLDEN[6]]);
+    let before = lazy.pager_stats();
+    let _ = fingerprint(&lazy, &[GOLDEN[6]]);
+    let after = lazy.pager_stats();
+    assert!(after.hits > before.hits, "warm scan must hit the cache");
+    drop(lazy);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zone pruning happens *before* I/O: a predicate no sealed chunk can
+/// satisfy skips every cold chunk without paging one in.
+#[test]
+fn impossible_predicate_prunes_cold_chunks_without_paging() {
+    let (chunk, nshards) = geometry();
+    let msgs = corpus(2 * chunk * nshards);
+    let dir = fresh_dir("prune");
+    seal_corpus(&dir, &msgs);
+
+    let lazy = ProvenanceDatabase::open_with(&dir, lazy_opts(64 << 20)).expect("lazy reopen");
+    let q = parse(r#"df[df["started_at"] > 1e12]["task_id"]"#).expect("parses");
+    let out = prov_db::try_execute(&lazy, &q);
+    assert!(
+        matches!(out, prov_db::Pushdown::Executed(_)),
+        "selective scan should push down"
+    );
+    let stats = lazy.pager_stats();
+    assert!(stats.zone_skips > 0, "zone maps must prune cold chunks");
+    assert_eq!(stats.paged_in, 0, "pruned chunks must not be paged");
+    drop(lazy);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sealing while reads are in flight: a snapshot pinned over the cold
+/// prefix keeps answering as of its generation while the store ingests,
+/// seals, and compacts underneath it — and the store's own answers track
+/// the growing corpus, byte-identically to the oracle, including after
+/// yet another lazy reopen.
+#[test]
+fn continued_ingest_sealing_and_reopen_preserve_answers() {
+    let (chunk, nshards) = geometry();
+    let per_run = chunk * nshards;
+    let msgs = corpus(2 * per_run + 3);
+    let dir = fresh_dir("reseal");
+    seal_corpus(&dir, &msgs[..per_run]);
+
+    let db = ProvenanceDatabase::open_with(&dir, lazy_opts(64 << 20)).expect("lazy reopen");
+    let snap = db.snapshot();
+    let want_prefix = fingerprint(&oracle(&msgs[..per_run]), GOLDEN);
+    assert_eq!(fingerprint(&db, GOLDEN), want_prefix);
+
+    // Grow past the cold prefix, seal the resident rows, compact the
+    // catalog — all on the lazily opened store.
+    db.insert_batch_shared(msgs[per_run..].iter().cloned().map(Arc::new));
+    db.flush_views();
+    assert_eq!(db.seal_now().expect("reseal"), 2 * chunk as u64);
+    db.compact_segments().expect("compact");
+
+    let want_full = fingerprint(&oracle(&msgs), GOLDEN);
+    assert_eq!(fingerprint(&db, GOLDEN), want_full, "post-reseal answers");
+    // The pinned snapshot still answers as of its generation.
+    let q = parse(r#"len(df)"#).expect("parses");
+    let (res, _) = snap.query(&q);
+    assert_eq!(
+        *res.expect("snapshot len"),
+        provql::QueryOutput::Scalar(prov_model::Value::Int(per_run as i64))
+    );
+    drop(snap);
+    drop(db);
+
+    let back = ProvenanceDatabase::open(&dir).expect("reopen again");
+    assert_eq!(fingerprint(&back, GOLDEN), want_full, "second reopen");
+    drop(back);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shared sealed fixture for the random-pipeline differential: one
+/// directory, three stores (eager, lazy, lazy with a one-byte budget).
+fn shared_stores() -> &'static (
+    Arc<ProvenanceDatabase>,
+    Arc<ProvenanceDatabase>,
+    Arc<ProvenanceDatabase>,
+) {
+    static STORES: std::sync::OnceLock<(
+        Arc<ProvenanceDatabase>,
+        Arc<ProvenanceDatabase>,
+        Arc<ProvenanceDatabase>,
+    )> = std::sync::OnceLock::new();
+    STORES.get_or_init(|| {
+        let (chunk, nshards) = geometry();
+        let msgs = corpus(chunk * nshards + 9);
+        let dir = fresh_dir("prop");
+        seal_corpus(&dir, &msgs);
+        let eager = ProvenanceDatabase::open_with(&dir, eager_opts()).expect("eager");
+        let lazy = ProvenanceDatabase::open_with(&dir, lazy_opts(64 << 20)).expect("lazy");
+        let tiny = ProvenanceDatabase::open_with(&dir, lazy_opts(1)).expect("tiny");
+        (eager, lazy, tiny)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random pipelines over the sealed fixture: the lazy stores (both
+    /// budgets) answer byte-identically to the eager one — full-frame
+    /// and pushdown outcomes both.
+    #[test]
+    fn random_pipelines_answer_identically_out_of_core(
+        family in 0usize..5,
+        lit in 0u64..40,
+        limit in 1usize..9,
+        desc in any::<bool>(),
+    ) {
+        let text = match family {
+            0 => format!(
+                r#"df[df["started_at"] >= {lit}][["task_id", "started_at"]].head({limit})"#
+            ),
+            1 => format!(r#"df[df["started_at"] < {lit}]["duration"].sum()"#),
+            2 => format!(
+                r#"df.sort_values("started_at", ascending={})[["task_id"]].head({limit})"#,
+                if desc { "False" } else { "True" }
+            ),
+            3 => format!(r#"len(df[df["hostname"] == "n{}"])"#, lit % 5),
+            4 => format!(
+                r#"df.groupby("{}")["y"].count()"#,
+                if lit % 2 == 0 { "workflow_id" } else { "activity_id" }
+            ),
+            _ => unreachable!(),
+        };
+        let queries = [text.as_str()];
+        let (eager, lazy, tiny) = shared_stores();
+        let want = fingerprint(eager, &queries);
+        prop_assert_eq!(&fingerprint(lazy, &queries), &want, "lazy drifted: {}", text);
+        prop_assert_eq!(&fingerprint(tiny, &queries), &want, "tiny-budget drifted: {}", text);
+    }
+}
